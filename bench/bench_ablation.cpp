@@ -1,0 +1,127 @@
+// Ablations of the design choices DESIGN.md calls out:
+//
+//  A1. Phase I consistency checks (paper §III): how much do per-round
+//      host pruning and early infeasibility exits shrink the candidate
+//      vector and the end-to-end time?
+//  A2. Host-label caching (host_labels.hpp, an implementation addition):
+//      Phase I's host relabeling is pattern-independent, so a library sweep
+//      can share it. Measures the sweep speedup.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "match/host_labels.hpp"
+
+namespace subg::bench {
+namespace {
+
+void ablate_consistency() {
+  std::printf("A1: Phase I consistency checks on vs off\n\n");
+  report::Table t({"host", "pattern", "CV (on)", "CV (off)", "total ms (on)",
+                   "total ms (off)"});
+  for (std::size_t c = 2; c < 6; ++c) t.align_right(c);
+
+  cells::CellLibrary lib;
+  struct Task {
+    std::string name;
+    gen::Generated host;
+    const char* cell;
+  };
+  std::vector<Task> tasks;
+  tasks.push_back({"rca64", gen::ripple_carry_adder(64), "fulladder"});
+  tasks.push_back({"soup5k", gen::logic_soup(5000, 3), "xor2"});
+  tasks.push_back({"soup5k", gen::logic_soup(5000, 3), "nor2"});
+  tasks.push_back({"sram16x64", gen::sram_array(16, 64), "sram6t"});
+  // A pattern with no instances: early infeasibility exit pays off most.
+  tasks.push_back({"rca64(no dff)", gen::ripple_carry_adder(64), "dff"});
+
+  for (Task& task : tasks) {
+    Netlist pattern = lib.pattern(task.cell);
+    MatchOptions on, off;
+    off.phase1.consistency_checks = false;
+
+    Timer t_on;
+    SubgraphMatcher m_on(pattern, task.host.netlist, on);
+    MatchReport r_on = m_on.find_all();
+    const double ms_on = t_on.seconds() * 1e3;
+
+    Timer t_off;
+    SubgraphMatcher m_off(pattern, task.host.netlist, off);
+    MatchReport r_off = m_off.find_all();
+    const double ms_off = t_off.seconds() * 1e3;
+
+    if (r_on.count() != r_off.count()) {
+      std::printf("!! count mismatch on %s/%s\n", task.name.c_str(), task.cell);
+    }
+    t.add_row({task.name, task.cell,
+               with_commas(static_cast<long long>(r_on.phase1.candidates.size())),
+               with_commas(static_cast<long long>(r_off.phase1.candidates.size())),
+               format_fixed(ms_on, 2), format_fixed(ms_off, 2)});
+  }
+  std::string s = t.to_string();
+  std::fputs(s.c_str(), stdout);
+  std::printf("\n");
+}
+
+void ablate_cache() {
+  std::printf("A2: library sweep with vs without a shared host-label cache\n\n");
+  report::Table t({"host", "cells swept", "no cache ms", "shared cache ms",
+                   "speedup"});
+  for (std::size_t c = 1; c < 5; ++c) t.align_right(c);
+
+  cells::CellLibrary lib;
+  const std::vector<const char*> sweep = {
+      "inv",  "nand2", "nand3", "nor2",  "nor3",  "aoi21", "aoi22",
+      "oai21", "xor2",  "xnor2", "mux2",  "dlatch", "dff",  "fulladder"};
+
+  struct Task {
+    std::string name;
+    gen::Generated host;
+  };
+  std::vector<Task> tasks;
+  tasks.push_back({"soup2k", gen::logic_soup(2000, 5)});
+  tasks.push_back({"soup10k", gen::logic_soup(10000, 6)});
+  tasks.push_back({"mul12", gen::array_multiplier(12)});
+
+  for (Task& task : tasks) {
+    CircuitGraph gg(task.host.netlist);
+
+    Timer plain;
+    std::size_t found_plain = 0;
+    for (const char* cell : sweep) {
+      Netlist pattern = lib.pattern(cell);
+      SubgraphMatcher m(pattern, gg);
+      found_plain += m.find_all().count();
+    }
+    const double ms_plain = plain.seconds() * 1e3;
+
+    HostLabelCache cache(gg);
+    Timer cached;
+    std::size_t found_cached = 0;
+    for (const char* cell : sweep) {
+      Netlist pattern = lib.pattern(cell);
+      MatchOptions opts;
+      opts.phase1.host_cache = &cache;
+      SubgraphMatcher m(pattern, gg, opts);
+      found_cached += m.find_all().count();
+    }
+    const double ms_cached = cached.seconds() * 1e3;
+
+    if (found_plain != found_cached) {
+      std::printf("!! count mismatch on %s\n", task.name.c_str());
+    }
+    t.add_row({task.name, std::to_string(sweep.size()),
+               format_fixed(ms_plain, 1), format_fixed(ms_cached, 1),
+               format_fixed(ms_plain / std::max(ms_cached, 1e-3), 2) + "x"});
+  }
+  std::string s = t.to_string();
+  std::fputs(s.c_str(), stdout);
+}
+
+}  // namespace
+}  // namespace subg::bench
+
+int main() {
+  subg::bench::ablate_consistency();
+  subg::bench::ablate_cache();
+  return 0;
+}

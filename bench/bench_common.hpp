@@ -1,0 +1,68 @@
+// Shared helpers for the experiment benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "cells/cells.hpp"
+#include "gen/generators.hpp"
+#include "match/matcher.hpp"
+#include "report/report.hpp"
+#include "util/strings.hpp"
+#include "util/timer.hpp"
+
+namespace subg::bench {
+
+struct MatchRow {
+  std::string circuit;
+  std::size_t devices = 0;
+  std::size_t nets = 0;
+  std::string cell;
+  std::size_t cv = 0;
+  std::size_t found = 0;
+  std::size_t expected = 0;  // construction ground truth (lower bound)
+  std::size_t guesses = 0;
+  double phase1_ms = 0;
+  double phase2_ms = 0;
+};
+
+/// Run one (pattern, host) match and collect the row.
+inline MatchRow run_match(const std::string& circuit_name, const Netlist& host,
+                          const std::string& cell_name, const Netlist& pattern,
+                          std::size_t expected) {
+  SubgraphMatcher matcher(pattern, host);
+  MatchReport r = matcher.find_all();
+  MatchRow row;
+  row.circuit = circuit_name;
+  row.devices = host.device_count();
+  row.nets = host.net_count();
+  row.cell = cell_name;
+  row.cv = r.phase1.candidates.size();
+  row.found = r.count();
+  row.expected = expected;
+  row.guesses = r.phase2.guesses;
+  row.phase1_ms = r.phase1_seconds * 1e3;
+  row.phase2_ms = r.phase2_seconds * 1e3;
+  return row;
+}
+
+inline void print_rows(const std::vector<MatchRow>& rows) {
+  report::Table t({"circuit", "devices", "nets", "subcircuit", "CV", "found",
+                   "expected", "guesses", "phaseI ms", "phaseII ms",
+                   "total ms"});
+  for (std::size_t c = 1; c < 11; ++c) t.align_right(c);
+  for (const MatchRow& r : rows) {
+    t.add_row({r.circuit, with_commas(static_cast<long long>(r.devices)),
+               with_commas(static_cast<long long>(r.nets)), r.cell,
+               with_commas(static_cast<long long>(r.cv)),
+               with_commas(static_cast<long long>(r.found)),
+               with_commas(static_cast<long long>(r.expected)),
+               with_commas(static_cast<long long>(r.guesses)),
+               format_fixed(r.phase1_ms, 2), format_fixed(r.phase2_ms, 2),
+               format_fixed(r.phase1_ms + r.phase2_ms, 2)});
+  }
+  std::string s = t.to_string();
+  std::fputs(s.c_str(), stdout);
+}
+
+}  // namespace subg::bench

@@ -1,0 +1,87 @@
+// Experiment E8 — gate extraction throughput (the paper's flagship
+// application, §I): transistor netlist → gate netlist with a full cell
+// library, largest-first. Reports per-cell instance counts and the overall
+// device compression, across host sizes.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "extract/extract.hpp"
+
+namespace subg::bench {
+namespace {
+
+void run() {
+  std::printf("E8: library gate extraction (largest-first)\n\n");
+
+  cells::CellLibrary lib;
+  std::vector<extract::LibraryCell> library;
+  for (const char* name :
+       {"fulladder", "halfadder", "dff", "dlatch", "xor2", "xnor2", "mux2",
+        "aoi22", "aoi21", "oai21", "nand4", "nand3", "nor3", "nand2", "nor2",
+        "sram6t", "buf", "inv"}) {
+    library.push_back(extract::LibraryCell{name, lib.pattern(name)});
+  }
+
+  report::Table t({"host", "transistors", "gates out", "unextracted",
+                   "compression", "time ms"});
+  for (std::size_t c = 1; c < 6; ++c) t.align_right(c);
+
+  struct Task {
+    std::string name;
+    gen::Generated host;
+  };
+  std::vector<Task> tasks;
+  tasks.push_back({"rca32", gen::ripple_carry_adder(32)});
+  tasks.push_back({"mul12", gen::array_multiplier(12)});
+  tasks.push_back({"sram16x64", gen::sram_array(16, 64)});
+  tasks.push_back({"rf16x16", gen::register_file(16, 16)});
+  tasks.push_back({"soup2k", gen::logic_soup(2000, 21)});
+
+  for (Task& task : tasks) {
+    Timer timer;
+    extract::ExtractResult result = extract::extract_gates(task.host.netlist,
+                                                           library);
+    const double ms = timer.seconds() * 1e3;
+    t.add_row(
+        {task.name,
+         with_commas(static_cast<long long>(result.report.devices_before)),
+         with_commas(static_cast<long long>(result.report.devices_after)),
+         with_commas(
+             static_cast<long long>(result.report.unextracted_primitives)),
+         format_fixed(static_cast<double>(result.report.devices_before) /
+                          static_cast<double>(result.report.devices_after),
+                      1) +
+             "x",
+         format_fixed(ms, 1)});
+  }
+  std::string s = t.to_string();
+  std::fputs(s.c_str(), stdout);
+
+  // Detail for one host: which cells were found.
+  std::printf("\nPer-cell detail for soup2k:\n");
+  gen::Generated soup = gen::logic_soup(2000, 21);
+  extract::ExtractResult detail = extract::extract_gates(soup.netlist, library);
+  report::Table d({"cell", "instances", "placed by generator", "ms"});
+  for (std::size_t c = 1; c < 4; ++c) d.align_right(c);
+  for (const auto& per : detail.report.cells) {
+    if (per.instances == 0) continue;
+    d.add_row({per.cell, with_commas(static_cast<long long>(per.instances)),
+               with_commas(static_cast<long long>(soup.placed_count(per.cell))),
+               format_fixed(per.seconds * 1e3, 1)});
+  }
+  std::string sd = d.to_string();
+  std::fputs(sd.c_str(), stdout);
+  std::printf(
+      "\n'instances' can differ from 'placed': composite cells are claimed\n"
+      "largest-first (a dff consumes two dlatches; an extracted xor2 hides\n"
+      "its two inverters), and leftover fragments extract as smaller "
+      "cells.\n");
+}
+
+}  // namespace
+}  // namespace subg::bench
+
+int main() {
+  subg::bench::run();
+  return 0;
+}

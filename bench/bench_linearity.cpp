@@ -1,0 +1,100 @@
+// Experiment E5 — the paper's headline claim (abstract, §I):
+//
+//   "the typical running time for large CMOS circuits is approximately
+//    linear in the total number of devices within the subcircuits being
+//    matched."
+//
+// We sweep host size on two families (ripple-carry adders searched for
+// fulladder cells; SRAM arrays searched for 6T cells), measure the total
+// matching time, and regress it against the total matched-device count.
+// The regenerated figure is the printed (x, y) series; the fit's R² and
+// the log-log scaling exponent quantify "approximately linear" (exponent
+// ≈ 1).
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace subg::bench {
+namespace {
+
+struct Point {
+  std::size_t host_devices;
+  std::size_t matched_devices;
+  double ms;
+};
+
+std::vector<Point> sweep_adders(cells::CellLibrary& lib) {
+  std::vector<Point> pts;
+  Netlist pattern = lib.pattern("fulladder");
+  for (int bits : {8, 16, 32, 64, 128, 256, 512}) {
+    gen::Generated g = gen::ripple_carry_adder(bits);
+    // Median-of-3 timing.
+    double best_ms = 1e100;
+    std::size_t matched = 0;
+    for (int rep = 0; rep < 3; ++rep) {
+      SubgraphMatcher matcher(pattern, g.netlist);
+      Timer timer;
+      MatchReport r = matcher.find_all();
+      best_ms = std::min(best_ms, timer.seconds() * 1e3);
+      matched = r.count() * pattern.device_count();
+    }
+    pts.push_back({g.netlist.device_count(), matched, best_ms});
+  }
+  return pts;
+}
+
+std::vector<Point> sweep_sram(cells::CellLibrary& lib) {
+  std::vector<Point> pts;
+  Netlist pattern = lib.pattern("sram6t");
+  for (int cols : {16, 32, 64, 128, 256, 512}) {
+    gen::Generated g = gen::sram_array(16, cols);
+    double best_ms = 1e100;
+    std::size_t matched = 0;
+    for (int rep = 0; rep < 3; ++rep) {
+      SubgraphMatcher matcher(pattern, g.netlist);
+      Timer timer;
+      MatchReport r = matcher.find_all();
+      best_ms = std::min(best_ms, timer.seconds() * 1e3);
+      matched = r.count() * pattern.device_count();
+    }
+    pts.push_back({g.netlist.device_count(), matched, best_ms});
+  }
+  return pts;
+}
+
+void report_series(const char* name, const std::vector<Point>& pts) {
+  std::printf("\n%s\n", name);
+  report::Table t({"host devices", "matched devices", "time ms",
+                   "us per matched device"});
+  for (std::size_t c = 0; c < 4; ++c) t.align_right(c);
+  std::vector<double> x, y;
+  for (const Point& p : pts) {
+    t.add_row({with_commas(static_cast<long long>(p.host_devices)),
+               with_commas(static_cast<long long>(p.matched_devices)),
+               format_fixed(p.ms, 2),
+               format_fixed(p.ms * 1e3 / static_cast<double>(p.matched_devices),
+                            3)});
+    x.push_back(static_cast<double>(p.matched_devices));
+    y.push_back(p.ms);
+  }
+  std::string s = t.to_string();
+  std::fputs(s.c_str(), stdout);
+  report::LinearFit fit = report::fit_line(x, y);
+  double expo = report::scaling_exponent(x, y);
+  std::printf("linear fit: time_ms = %.6f * matched + %.3f   R^2 = %.4f\n",
+              fit.slope, fit.intercept, fit.r2);
+  std::printf("log-log scaling exponent: %.3f (paper claims ~1.0)\n", expo);
+}
+
+}  // namespace
+}  // namespace subg::bench
+
+int main() {
+  using namespace subg::bench;
+  std::printf("E5: running time vs total devices inside matched subcircuits\n");
+  subg::cells::CellLibrary lib;
+  report_series("fulladder in ripple-carry adders", sweep_adders(lib));
+  report_series("sram6t in 16-row SRAM arrays", sweep_sram(lib));
+  return 0;
+}

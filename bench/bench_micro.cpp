@@ -1,0 +1,100 @@
+// Micro-benchmarks (google-benchmark) for the building blocks: circuit
+// graph construction, Phase I relabeling, per-candidate Phase II
+// verification, explicit instance verification, and Gemini comparison.
+// These localize where time goes inside the end-to-end numbers reported by
+// the experiment benches.
+#include <benchmark/benchmark.h>
+
+#include "cells/cells.hpp"
+#include "gemini/gemini.hpp"
+#include "gen/generators.hpp"
+#include "match/matcher.hpp"
+#include "match/phase1.hpp"
+#include "match/phase2.hpp"
+#include "match/verify.hpp"
+
+namespace subg {
+namespace {
+
+void BM_GraphConstruction(benchmark::State& state) {
+  gen::Generated g = gen::ripple_carry_adder(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    CircuitGraph graph(g.netlist);
+    benchmark::DoNotOptimize(graph.vertex_count());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(g.netlist.device_count()));
+}
+BENCHMARK(BM_GraphConstruction)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_Phase1(benchmark::State& state) {
+  cells::CellLibrary lib;
+  Netlist pattern = lib.pattern("fulladder");
+  gen::Generated g = gen::ripple_carry_adder(static_cast<int>(state.range(0)));
+  CircuitGraph sg(pattern), gg(g.netlist);
+  for (auto _ : state) {
+    Phase1Result r = run_phase1(sg, gg);
+    benchmark::DoNotOptimize(r.candidates.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(g.netlist.device_count()));
+}
+BENCHMARK(BM_Phase1)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_Phase2PerCandidate(benchmark::State& state) {
+  cells::CellLibrary lib;
+  Netlist pattern = lib.pattern("fulladder");
+  gen::Generated g = gen::ripple_carry_adder(64);
+  CircuitGraph sg(pattern), gg(g.netlist);
+  Phase1Result p1 = run_phase1(sg, gg);
+  Phase2Verifier verifier(sg, gg);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto inst = verifier.verify(p1.key, p1.candidates[i % p1.candidates.size()]);
+    benchmark::DoNotOptimize(inst.has_value());
+    ++i;
+  }
+}
+BENCHMARK(BM_Phase2PerCandidate);
+
+void BM_VerifyInstance(benchmark::State& state) {
+  cells::CellLibrary lib;
+  Netlist pattern = lib.pattern("fulladder");
+  gen::Generated g = gen::ripple_carry_adder(16);
+  SubgraphMatcher matcher(pattern, g.netlist);
+  MatchReport r = matcher.find_all();
+  const SubcircuitInstance& inst = r.instances.front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verify_instance(pattern, g.netlist, inst));
+  }
+}
+BENCHMARK(BM_VerifyInstance);
+
+void BM_GeminiCompare(benchmark::State& state) {
+  gen::Generated a = gen::logic_soup(static_cast<std::size_t>(state.range(0)), 5);
+  gen::Generated b = gen::logic_soup(static_cast<std::size_t>(state.range(0)), 5);
+  for (auto _ : state) {
+    CompareResult r = compare_netlists(a.netlist, b.netlist);
+    benchmark::DoNotOptimize(r.isomorphic);
+  }
+}
+BENCHMARK(BM_GeminiCompare)->Arg(100)->Arg(400);
+
+void BM_EndToEndMatch(benchmark::State& state) {
+  cells::CellLibrary lib;
+  Netlist pattern = lib.pattern("sram6t");
+  gen::Generated g = gen::sram_array(16, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    SubgraphMatcher matcher(pattern, g.netlist);
+    MatchReport r = matcher.find_all();
+    benchmark::DoNotOptimize(r.count());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(g.netlist.device_count()));
+}
+BENCHMARK(BM_EndToEndMatch)->Arg(32)->Arg(128);
+
+}  // namespace
+}  // namespace subg
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// Experiments E1/E10 — Phase I filter quality.
+//
+// Phase I's whole purpose (§III) is to hand Phase II a candidate vector
+// barely larger than the true instance set. We measure, across patterns and
+// workloads: CV size vs instances found (precision = found/CV), surviving
+// "possible" host vertices after consistency pruning, relabeling rounds,
+// and Phase I's share of total time.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "match/phase1.hpp"
+
+namespace subg::bench {
+namespace {
+
+void run() {
+  cells::CellLibrary lib;
+  std::printf("E10: Phase I candidate-vector quality\n\n");
+
+  report::Table t({"host", "pattern", "rounds", "possible/host vtx", "CV",
+                   "found", "precision", "phaseI share"});
+  for (std::size_t c = 2; c < 8; ++c) t.align_right(c);
+
+  struct Task {
+    std::string host_name;
+    gen::Generated host;
+    const char* cell;
+  };
+  std::vector<Task> tasks;
+  tasks.push_back({"rca64", gen::ripple_carry_adder(64), "fulladder"});
+  tasks.push_back({"rca64", gen::ripple_carry_adder(64), "xor2"});
+  tasks.push_back({"rca64", gen::ripple_carry_adder(64), "nand2"});
+  tasks.push_back({"rca64", gen::ripple_carry_adder(64), "inv"});
+  tasks.push_back({"mul12", gen::array_multiplier(12), "fulladder"});
+  tasks.push_back({"mul12", gen::array_multiplier(12), "halfadder"});
+  tasks.push_back({"sram16x64", gen::sram_array(16, 64), "sram6t"});
+  tasks.push_back({"soup5k", gen::logic_soup(5000, 3), "aoi21"});
+  tasks.push_back({"soup5k", gen::logic_soup(5000, 3), "xor2"});
+  tasks.push_back({"soup5k", gen::logic_soup(5000, 3), "dff"});
+
+  for (Task& task : tasks) {
+    Netlist pattern = lib.pattern(task.cell);
+    SubgraphMatcher matcher(pattern, task.host.netlist);
+    MatchReport r = matcher.find_all();
+    const std::size_t host_vtx =
+        task.host.netlist.device_count() + task.host.netlist.net_count();
+    const double precision =
+        r.phase1.candidates.empty()
+            ? 0.0
+            : static_cast<double>(r.count()) /
+                  static_cast<double>(r.phase1.candidates.size());
+    const double share =
+        r.total_seconds() > 0 ? r.phase1_seconds / r.total_seconds() : 0.0;
+    t.add_row({task.host_name, task.cell, std::to_string(r.phase1.rounds),
+               with_commas(static_cast<long long>(r.phase1.possible_host_vertices)) +
+                   "/" + with_commas(static_cast<long long>(host_vtx)),
+               with_commas(static_cast<long long>(r.phase1.candidates.size())),
+               with_commas(static_cast<long long>(r.count())),
+               format_fixed(precision, 3), format_fixed(share, 2)});
+  }
+  std::string s = t.to_string();
+  std::fputs(s.c_str(), stdout);
+  std::printf(
+      "\nprecision = found / CV  (1.0 means Phase I admitted no false "
+      "candidates).\n"
+      "Patterns with internal nets (fulladder, sram6t) filter best; an\n"
+      "inverter has only external nets, so its CV is every same-type device\n"
+      "(the paper's motivation for special rails and extraction order).\n");
+}
+
+}  // namespace
+}  // namespace subg::bench
+
+int main() {
+  subg::bench::run();
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Gate extraction (the paper's flagship application, §I): take a flat
+// transistor netlist — here a generated 8-bit ripple-carry adder — and
+// rediscover its gate-level structure with a standard-cell library,
+// largest cells first. The round trip is verified: re-expanding the gates
+// to transistors yields a netlist isomorphic to the original (checked with
+// the Gemini comparator).
+#include <cstdio>
+
+#include "cells/cells.hpp"
+#include "extract/extract.hpp"
+#include "gemini/gemini.hpp"
+#include "gen/generators.hpp"
+#include "report/report.hpp"
+#include "spice/spice.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace subg;
+
+  gen::Generated adder = gen::ripple_carry_adder(8);
+  std::printf("input: %s — %zu transistors, %zu nets\n",
+              adder.netlist.name().c_str(), adder.netlist.device_count(),
+              adder.netlist.net_count());
+
+  cells::CellLibrary lib;
+  std::vector<extract::LibraryCell> library;
+  for (const char* cell : {"fulladder", "xor2", "nand2", "inv"}) {
+    library.push_back(extract::LibraryCell{cell, lib.pattern(cell)});
+  }
+
+  extract::ExtractResult result = extract::extract_gates(adder.netlist, library);
+
+  report::Table t({"cell", "instances", "transistors replaced", "ms"});
+  t.align_right(1);
+  t.align_right(2);
+  t.align_right(3);
+  for (const auto& per : result.report.cells) {
+    t.add_row({per.cell, std::to_string(per.instances),
+               std::to_string(per.devices_replaced),
+               format_fixed(per.seconds * 1e3, 2)});
+  }
+  std::string s = t.to_string();
+  std::fputs(s.c_str(), stdout);
+  std::printf("\n%zu transistors -> %zu gates, %zu primitives left\n",
+              result.report.devices_before, result.report.devices_after,
+              result.report.unextracted_primitives);
+
+  // Largest-first means the whole adder collapses into fulladder cells;
+  // the xor2/nand2/inv patterns find nothing left to claim.
+  std::printf("\ngate-level netlist (SPICE):\n");
+  std::string text = spice::write_string(result.netlist);
+  // Print just the first few cards.
+  std::size_t pos = 0;
+  for (int line = 0; line < 8 && pos != std::string::npos; ++line) {
+    std::size_t nl = text.find('\n', pos);
+    std::printf("  %s\n", text.substr(pos, nl - pos).c_str());
+    pos = nl == std::string::npos ? nl : nl + 1;
+  }
+  std::printf("  ...\n");
+
+  // Round-trip proof: expand the gates back to transistors and compare.
+  Netlist expanded =
+      extract::expand_gates(result.netlist, library, adder.netlist.catalog_ptr());
+  CompareResult cmp = compare_netlists(adder.netlist, expanded);
+  std::printf("\nround trip (expand gates, Gemini compare): %s\n",
+              cmp.isomorphic ? "ISOMORPHIC — extraction is faithful"
+                             : ("MISMATCH: " + cmp.reason).c_str());
+  return cmp.isomorphic ? 0 : 1;
+}

@@ -1,0 +1,168 @@
+// The paper's worked example (Figs 1, 2, 4 and Table 1), end to end.
+//
+// Subgraph S is a 2-input NAND built from 3-pin transistors whose rails are
+// ordinary external nets (the paper's setting). The main graph G contains
+// one instance of S plus surrounding circuitry, including a decoy net that
+// survives Phase I. This program prints:
+//   - the Phase I outcome: key vertex and candidate vector (the paper gets
+//     CV = {N13, N14}, key = N4 — the series-stack midpoint);
+//   - a Table-1-style pass-by-pass trace of Phase II labels;
+//   - the final instance mapping.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "match/matcher.hpp"
+#include "report/report.hpp"
+
+using namespace subg;
+
+namespace {
+
+struct Example {
+  std::shared_ptr<const DeviceCatalog> cat = DeviceCatalog::cmos3();
+  DeviceTypeId nmos = cat->require("nmos");
+  DeviceTypeId pmos = cat->require("pmos");
+
+  Netlist pattern{cat, "S"};
+  Netlist host{cat, "G"};
+
+  Example() {
+    // --- subgraph S: NAND2, every net except the stack midpoint external.
+    NetId a = pattern.add_net("N3"), b = pattern.add_net("N5");
+    NetId y = pattern.add_net("N2"), vdd = pattern.add_net("N1");
+    NetId gnd = pattern.add_net("N6"), mid = pattern.add_net("N4");
+    pattern.add_device(pmos, {y, b, vdd}, "D1");
+    pattern.add_device(pmos, {y, a, vdd}, "D2");
+    pattern.add_device(nmos, {y, a, mid}, "D3");
+    pattern.add_device(nmos, {mid, b, gnd}, "D4");
+    for (NetId port : {a, b, y, vdd, gnd}) pattern.mark_port(port);
+
+    // --- main graph G: the NAND instance, an input inverter, an output
+    // inverter, and a decoy series-nmos pair whose midpoint looks like N4.
+    NetId vddg = host.add_net("vdd"), gndg = host.add_net("gnd");
+    NetId in1 = host.add_net("in1"), in2 = host.add_net("in2"),
+          out = host.add_net("out");
+    NetId x = host.add_net("N14");  // the true image of N4
+    host.add_device(pmos, {out, in2, vddg}, "D6");
+    host.add_device(pmos, {out, in1, vddg}, "D7");
+    host.add_device(nmos, {out, in1, x}, "D9");
+    host.add_device(nmos, {x, in2, gndg}, "D11");
+    NetId pi = host.add_net("pi");
+    host.add_device(pmos, {in1, pi, vddg}, "D5");
+    host.add_device(nmos, {in1, pi, gndg}, "D8");
+    NetId da = host.add_net("da"), db = host.add_net("db"),
+          dg1 = host.add_net("dg1"), dg2 = host.add_net("dg2"),
+          decoy = host.add_net("N13");
+    host.add_device(nmos, {da, dg1, decoy}, "D10");
+    host.add_device(nmos, {decoy, dg2, db}, "D12");
+    NetId out2 = host.add_net("out2");
+    host.add_device(pmos, {out2, out, vddg}, "D13");
+    host.add_device(nmos, {out2, out, gndg}, "D14");
+  }
+};
+
+std::string short_label(Label l) {
+  if (l == kNoLabel) return "-";
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "%04llx",
+                static_cast<unsigned long long>(l >> 48));
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  Example ex;
+
+  Phase2Trace trace;
+  MatchOptions opts;
+  opts.trace = &trace;
+  SubgraphMatcher matcher(ex.pattern, ex.host, opts);
+  MatchReport report = matcher.find_all();
+
+  const CircuitGraph& sg = matcher.pattern_graph();
+  const CircuitGraph& gg = matcher.host_graph();
+
+  std::printf("Phase I: key vertex = %s, candidate vector = {",
+              sg.vertex_name(report.phase1.key).c_str());
+  for (std::size_t i = 0; i < report.phase1.candidates.size(); ++i) {
+    std::printf("%s%s", i ? ", " : "",
+                gg.vertex_name(report.phase1.candidates[i]).c_str());
+  }
+  std::printf("}  (%zu relabeling rounds)\n\n",
+              report.phase1.rounds);
+
+  // Table-1-style trace: one row per vertex, one column per pass. Matched
+  // labels are boxed with [..], safe labels are marked with *. Show only
+  // the successful candidate's attempt (the paper's Table 1 traces N14).
+  std::map<std::size_t, std::size_t> matched_per_candidate;
+  for (const auto& e : trace.entries) {
+    if (!e.host && e.matched) ++matched_per_candidate[e.candidate];
+  }
+  std::size_t winner = 0, best = 0;
+  for (const auto& [cand, count] : matched_per_candidate) {
+    if (count > best) {
+      best = count;
+      winner = cand;
+    }
+  }
+  std::size_t passes = 0;
+  for (const auto& e : trace.entries) {
+    if (e.candidate == winner) passes = std::max(passes, e.pass);
+  }
+
+  std::map<std::pair<bool, Vertex>, std::map<std::size_t, std::string>> cells;
+  for (const auto& e : trace.entries) {
+    if (e.candidate != winner) continue;
+    std::string text = short_label(e.label);
+    if (e.matched) {
+      text = "[" + text + "]";
+    } else if (e.safe) {
+      text += "*";
+    }
+    cells[{e.host, e.vertex}][e.pass] = text;
+  }
+
+  std::vector<std::string> headers = {"vertex"};
+  for (std::size_t p = 0; p <= passes; ++p) {
+    headers.push_back(p == 0 ? "init" : "pass " + std::to_string(p));
+  }
+  report::Table table(headers);
+  auto emit_side = [&](bool host_side) {
+    for (const auto& [key, row] : cells) {
+      if (key.first != host_side) continue;
+      const auto& graph = host_side ? gg : sg;
+      std::vector<std::string> cols = {(host_side ? "G " : "S ") +
+                                       graph.vertex_name(key.second)};
+      for (std::size_t p = 0; p <= passes; ++p) {
+        auto it = row.find(p);
+        cols.push_back(it == row.end() ? "" : it->second);
+      }
+      table.add_row(std::move(cols));
+    }
+  };
+  emit_side(false);
+  emit_side(true);
+  std::printf("Phase II relabeling trace (labels shown as 16-bit prefixes;\n"
+              "* = safe partition, [..] = matched pair):\n\n");
+  std::string s = table.to_string();
+  std::fputs(s.c_str(), stdout);
+
+  std::printf("\nResult: %zu instance found, %zu candidates tried, "
+              "%zu guesses, %zu backtracks\n\n",
+              report.count(), report.phase2.candidates_tried,
+              report.phase2.guesses, report.phase2.backtracks);
+  if (!report.instances.empty()) {
+    const SubcircuitInstance& inst = report.instances.front();
+    for (std::uint32_t d = 0; d < ex.pattern.device_count(); ++d) {
+      std::printf("  %s -> %s\n", ex.pattern.device_name(DeviceId(d)).c_str(),
+                  ex.host.device_name(inst.device_image[d]).c_str());
+    }
+    for (std::uint32_t n = 0; n < ex.pattern.net_count(); ++n) {
+      std::printf("  %s -> %s\n", ex.pattern.net_name(NetId(n)).c_str(),
+                  ex.host.net_name(inst.net_image[n]).c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Quickstart: find all 2-input NAND gates in a small transistor netlist.
+//
+// Shows the three steps every SubGemini flow has:
+//   1. build (or parse) a pattern netlist — ports marked, rails global;
+//   2. build (or parse) the host netlist;
+//   3. run SubgraphMatcher and walk the instances.
+#include <cstdio>
+
+#include "cells/cells.hpp"
+#include "match/matcher.hpp"
+#include "spice/spice.hpp"
+
+int main() {
+  using namespace subg;
+
+  // The host: a tiny circuit described in SPICE — two NAND2 gates and an
+  // inverter sharing the rails.
+  const char* deck = R"(
+* two nands feeding an inverter
+.global vdd gnd
+.subckt nand2 a b y
+mp0 y a vdd vdd pmos
+mp1 y b vdd vdd pmos
+mn0 y a x  gnd nmos
+mn1 x b gnd gnd nmos
+.ends
+
+x0 in0 in1 n0 nand2
+x1 n0 in2 n1 nand2
+mp2 out n1 vdd vdd pmos
+mn2 out n1 gnd gnd nmos
+.end
+)";
+  Netlist host = spice::read_flat(deck);
+  std::printf("host: %zu devices, %zu nets\n", host.device_count(),
+              host.net_count());
+
+  // The pattern: the standard-cell library's NAND2 at transistor level
+  // (ports a0/a1/y, vdd/gnd global).
+  cells::CellLibrary lib;
+  Netlist pattern = lib.pattern("nand2");
+
+  SubgraphMatcher matcher(pattern, host);
+  MatchReport report = matcher.find_all();
+
+  std::printf("phase I: candidate vector of %zu, key vertex in pattern\n",
+              report.phase1.candidates.size());
+  std::printf("found %zu instance(s) in %.3f ms\n\n", report.count(),
+              report.total_seconds() * 1e3);
+
+  for (std::size_t i = 0; i < report.count(); ++i) {
+    const SubcircuitInstance& inst = report.instances[i];
+    std::printf("instance %zu:\n", i);
+    for (std::uint32_t d = 0; d < pattern.device_count(); ++d) {
+      std::printf("  pattern %-12s -> host %s\n",
+                  pattern.device_name(DeviceId(d)).c_str(),
+                  host.device_name(inst.device_image[d]).c_str());
+    }
+    for (NetId port : pattern.ports()) {
+      std::printf("  port    %-12s -> net  %s\n",
+                  pattern.net_name(port).c_str(),
+                  host.net_name(inst.net_image[port.index()]).c_str());
+    }
+  }
+  return 0;
+}

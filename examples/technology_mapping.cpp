@@ -1,0 +1,55 @@
+// Technology mapping (paper §I): cover a transistor-level circuit with
+// library components — on a GENERAL graph, reconvergent fanout included,
+// which tree-covering mappers cannot do. The subject is a Kogge-Stone
+// prefix adder (heavily reconvergent); the library offers both macro cells
+// and small gates, and the mapper picks the cheapest exact cover per
+// overlap cluster.
+#include <cstdio>
+
+#include "cells/cells.hpp"
+#include "gen/generators.hpp"
+#include "report/report.hpp"
+#include "util/strings.hpp"
+#include "techmap/techmap.hpp"
+
+int main() {
+  using namespace subg;
+
+  gen::Generated ks = gen::kogge_stone_adder(8);
+  std::printf("subject: 8-bit Kogge-Stone adder, %zu transistors "
+              "(reconvergent prefix tree)\n\n",
+              ks.netlist.device_count());
+
+  cells::CellLibrary cl;
+  std::vector<techmap::MapCell> library;
+  auto add = [&](const char* name, double cost) {
+    library.push_back(techmap::MapCell{name, cl.pattern(name), cost});
+  };
+  // Costs: loosely area-shaped; the and2 macro is cheaper than nand2+inv.
+  add("and2", 5.0);
+  add("xor2", 11.0);
+  add("aoi21", 6.0);
+  add("nand2", 4.0);
+  add("buf", 3.5);
+  add("inv", 2.0);
+
+  techmap::MapResult result = techmap::map(ks.netlist, library);
+
+  report::Table t({"cell", "instances", "cost each", "cost total"});
+  for (std::size_t c = 1; c < 4; ++c) t.align_right(c);
+  std::vector<std::size_t> count(library.size(), 0);
+  for (const techmap::Candidate& c : result.chosen) ++count[c.cell];
+  for (std::size_t i = 0; i < library.size(); ++i) {
+    if (!count[i]) continue;
+    t.add_row({library[i].name, std::to_string(count[i]),
+               subg::format_fixed(library[i].cost, 1),
+               subg::format_fixed(library[i].cost * static_cast<double>(count[i]), 1)});
+  }
+  std::string s = t.to_string();
+  std::fputs(s.c_str(), stdout);
+  std::printf("\ncandidates enumerated: %zu\n", result.candidates_enumerated);
+  std::printf("total cost: %.1f   complete: %s   per-cluster optimal: %s\n",
+              result.total_cost, result.complete() ? "yes" : "NO",
+              result.optimal ? "yes" : "no (greedy fallback used)");
+  return result.complete() ? 0 : 1;
+}

@@ -1,0 +1,55 @@
+// Baseline subgraph-isomorphism matchers for comparison against SubGemini
+// (experiment E7) and for cross-validating its results.
+//
+// Two classic approaches:
+//  - `match_ullmann`: Ullmann's 1976 algorithm — candidate matrix over
+//    (pattern vertex, host vertex) pairs, iterative matrix refinement, and
+//    depth-first assignment with re-refinement at every search node.
+//  - `match_vf2`: a VF2-flavoured DFS that extends a partial mapping along
+//    adjacency — the "exhaustive search from the key vertex" strawman the
+//    paper contrasts Phase II against (§IV, reference [6]).
+//
+// Both enumerate ALL instances (deduplicated by host device set) and both
+// honour the same pattern semantics as SubgraphMatcher: ports may have
+// extra host connections, internal nets are induced, pattern globals bind
+// by name. Every reported instance passes verify_instance().
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "match/instance.hpp"
+#include "netlist/netlist.hpp"
+
+namespace subg {
+
+struct BaselineOptions {
+  std::size_t max_matches = static_cast<std::size_t>(-1);
+  /// Abort the search after this many explored search-tree nodes (the
+  /// exponential worst case is the point of these baselines; benches need a
+  /// leash). When hit, `budget_exhausted` is set in the result.
+  std::size_t node_budget = 200'000'000;
+};
+
+struct BaselineResult {
+  std::vector<SubcircuitInstance> instances;
+  std::size_t nodes_explored = 0;
+  bool budget_exhausted = false;
+  double seconds = 0;
+
+  [[nodiscard]] std::size_t count() const { return instances.size(); }
+};
+
+/// Ullmann's algorithm. Throws subg::Error on an empty pattern.
+[[nodiscard]] BaselineResult match_ullmann(const Netlist& pattern,
+                                           const Netlist& host,
+                                           const BaselineOptions& options = {});
+
+/// VF2-style adjacency-directed DFS. Throws subg::Error on an empty
+/// pattern; disconnected patterns are handled (slowly — the far component
+/// falls back to a full host scan).
+[[nodiscard]] BaselineResult match_vf2(const Netlist& pattern,
+                                       const Netlist& host,
+                                       const BaselineOptions& options = {});
+
+}  // namespace subg

@@ -1,0 +1,119 @@
+// VF2-style adjacency-directed depth-first matcher — the paper's "simple
+// approach": exhaustively search from a start vertex, extending a partial
+// mapping one vertex at a time (§IV, ref [6]). No partition refinement, no
+// candidate filtering beyond local feasibility; wrong early guesses cost
+// exponential time, which is exactly what SubGemini's Phase II avoids.
+#include <unordered_set>
+
+#include "baseline/baseline.hpp"
+#include "baseline/common.hpp"
+#include "util/timer.hpp"
+
+namespace subg {
+
+namespace {
+
+using baseline_detail::kInvalid;
+using baseline_detail::Prep;
+
+struct Vf2Search {
+  const Prep& prep;
+  const BaselineOptions& options;
+  BaselineResult& result;
+  std::vector<Vertex> mapping;       // pattern vertex → host vertex
+  std::vector<bool> used;            // host vertex claimed
+  std::set<std::vector<std::uint32_t>> seen;
+
+  Vf2Search(const Prep& p, const BaselineOptions& o, BaselineResult& r)
+      : prep(p), options(o), result(r) {
+    mapping.assign(prep.sg.vertex_count(), kInvalid);
+    used.assign(prep.gg.vertex_count(), false);
+  }
+
+  [[nodiscard]] bool done() const {
+    return result.instances.size() >= options.max_matches ||
+           result.budget_exhausted;
+  }
+
+  /// Candidate host vertices for pattern vertex s given the current partial
+  /// mapping: neighbors of an assigned neighbor's image (through the right
+  /// pin class), falling back to a rail's fanout, falling back to a full
+  /// host scan for the very first vertex.
+  void candidates(Vertex s, std::vector<Vertex>* out) const {
+    out->clear();
+    // Prefer an assigned non-special neighbor: its image's adjacency is the
+    // tightest candidate source.
+    for (const auto& e : prep.sg.edges(s)) {
+      const Vertex img = prep.sg.is_special(e.to) ? kInvalid : mapping[e.to];
+      if (img == kInvalid) continue;
+      for (const auto& he : prep.gg.edges(img)) {
+        if (he.coefficient == e.coefficient) out->push_back(he.to);
+      }
+      dedup(out);
+      return;
+    }
+    for (const auto& e : prep.sg.edges(s)) {
+      if (!prep.sg.is_special(e.to)) continue;
+      const Vertex rail = prep.special_image[e.to];
+      if (rail == kInvalid) continue;
+      for (const auto& he : prep.gg.edges(rail)) {
+        if (he.coefficient == e.coefficient) out->push_back(he.to);
+      }
+      dedup(out);
+      return;
+    }
+    // First vertex (or disconnected pattern handled by caller's contract).
+    for (Vertex g = 0; g < prep.gg.vertex_count(); ++g) out->push_back(g);
+  }
+
+  static void dedup(std::vector<Vertex>* v) {
+    std::sort(v->begin(), v->end());
+    v->erase(std::unique(v->begin(), v->end()), v->end());
+  }
+
+  void search(std::size_t depth) {
+    if (done()) return;
+    if (depth == prep.order.size()) {
+      if (auto inst = prep.extract(mapping)) {
+        if (seen.insert(baseline_detail::device_set_key(*inst)).second) {
+          result.instances.push_back(std::move(*inst));
+        }
+      }
+      return;
+    }
+    const Vertex s = prep.order[depth];
+    std::vector<Vertex> cands;
+    candidates(s, &cands);
+    for (Vertex g : cands) {
+      if (done()) return;
+      if (++result.nodes_explored > options.node_budget) {
+        result.budget_exhausted = true;
+        return;
+      }
+      if (used[g] || !prep.compatible(s, g)) continue;
+      if (!prep.edges_consistent(s, g, mapping)) continue;
+      mapping[s] = g;
+      used[g] = true;
+      search(depth + 1);
+      mapping[s] = kInvalid;
+      used[g] = false;
+    }
+  }
+};
+
+}  // namespace
+
+BaselineResult match_vf2(const Netlist& pattern, const Netlist& host,
+                         const BaselineOptions& options) {
+  Timer timer;
+  BaselineResult result;
+  Prep prep(pattern, host);
+  if (prep.feasible) {
+    Vf2Search search(prep, options, result);
+    search.search(0);
+  }
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace subg

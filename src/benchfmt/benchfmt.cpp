@@ -1,0 +1,274 @@
+#include "benchfmt/benchfmt.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_set>
+
+#include "cells/cells.hpp"
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace subg::benchfmt {
+
+namespace {
+
+[[noreturn]] void parse_error(std::size_t line, const std::string& what) {
+  throw Error("bench: line " + std::to_string(line) + ": " + what);
+}
+
+struct Statement {
+  std::size_t line;
+  std::string kind;               // INPUT / OUTPUT / function name
+  std::string target;             // lhs (empty for INPUT/OUTPUT)
+  std::vector<std::string> args;  // operands
+};
+
+std::vector<Statement> parse_statements(std::string_view text) {
+  std::vector<Statement> out;
+  std::istringstream in{std::string(text)};
+  std::string raw;
+  std::size_t lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    if (auto pos = raw.find('#'); pos != std::string::npos) raw.erase(pos);
+    std::string_view line = trim(raw);
+    if (line.empty()) continue;
+
+    Statement st;
+    st.line = lineno;
+    std::string_view rest = line;
+    if (auto eq = line.find('='); eq != std::string_view::npos) {
+      st.target = std::string(trim(line.substr(0, eq)));
+      rest = trim(line.substr(eq + 1));
+      if (st.target.empty()) parse_error(lineno, "missing assignment target");
+    }
+    auto open = rest.find('(');
+    auto close = rest.rfind(')');
+    if (open == std::string_view::npos || close == std::string_view::npos ||
+        close < open) {
+      parse_error(lineno, "expected FUNC(args)");
+    }
+    st.kind = to_upper(trim(rest.substr(0, open)));
+    for (std::string_view arg :
+         split_char(rest.substr(open + 1, close - open - 1), ',')) {
+      std::string_view t = trim(arg);
+      if (t.empty()) parse_error(lineno, "empty operand");
+      st.args.push_back(std::string(t));
+    }
+    if (st.kind.empty()) parse_error(lineno, "missing function name");
+    out.push_back(std::move(st));
+  }
+  return out;
+}
+
+/// Function → cell family. Wide fan-ins decompose through 2-input
+/// reductions of the base (AND/OR) function.
+struct Func {
+  const char* reducer;    // 2-input tree cell for wide fan-in ("" = none)
+  const char* final_base; // cell prefix for the final gate ("nand" → nand2..4)
+  int max_final;          // widest direct cell
+};
+
+const Func* lookup(const std::string& kind) {
+  static const std::map<std::string, Func> kFuncs = {
+      {"NAND", {"and2", "nand", 4}}, {"AND", {"and2", "and", 4}},
+      {"NOR", {"or2", "nor", 4}},    {"OR", {"or2", "or", 4}},
+  };
+  auto it = kFuncs.find(kind);
+  return it == kFuncs.end() ? nullptr : &it->second;
+}
+
+struct Builder {
+  cells::CellLibrary lib;
+  ModuleId top_id;
+  Module* top = nullptr;
+  std::map<std::string, std::size_t> gates;
+  std::uint64_t serial = 0;
+
+  NetId net(const std::string& name) { return top->ensure_net(name); }
+
+  NetId fresh() { return top->add_net("$t" + std::to_string(serial++)); }
+
+  void place(const std::string& cell, std::vector<NetId> actuals) {
+    top->add_instance(lib.module(cell), actuals);
+    ++gates[cell];
+  }
+
+  void emit(const Statement& st) {
+    NetId out = net(st.target);
+    const std::string& kind = st.kind;
+    std::vector<NetId> ins;
+    for (const auto& a : st.args) ins.push_back(net(a));
+
+    if (kind == "NOT" || kind == "INV") {
+      if (ins.size() != 1) parse_error(st.line, "NOT takes one operand");
+      place("inv", {ins[0], out});
+      return;
+    }
+    if (kind == "BUF" || kind == "BUFF") {
+      if (ins.size() != 1) parse_error(st.line, "BUF takes one operand");
+      place("buf", {ins[0], out});
+      return;
+    }
+    if (kind == "DFF") {
+      if (ins.size() != 1) parse_error(st.line, "DFF takes one operand");
+      place("dff", {ins[0], net("clk"), out});
+      return;
+    }
+    if (kind == "XOR" || kind == "XNOR") {
+      if (ins.size() < 2) parse_error(st.line, kind + " needs two operands");
+      // Fold: parity of all but the last pair, final gate sets polarity.
+      NetId acc = ins[0];
+      for (std::size_t i = 1; i + 1 < ins.size(); ++i) {
+        NetId t = fresh();
+        place("xor2", {acc, ins[i], t});
+        acc = t;
+      }
+      place(kind == "XOR" ? "xor2" : "xnor2", {acc, ins.back(), out});
+      return;
+    }
+    if (const Func* f = lookup(kind)) {
+      if (ins.size() < 2) parse_error(st.line, kind + " needs two operands");
+      // Reduce wide fan-in with 2-input trees of the base function.
+      while (static_cast<int>(ins.size()) > f->max_final) {
+        NetId t = fresh();
+        place(f->reducer, {ins[ins.size() - 2], ins[ins.size() - 1], t});
+        ins.pop_back();
+        ins.back() = t;
+      }
+      std::vector<NetId> actuals = ins;
+      actuals.push_back(out);
+      place(std::string(f->final_base) + std::to_string(ins.size()),
+            std::move(actuals));
+      return;
+    }
+    parse_error(st.line, "unsupported function '" + kind + "'");
+  }
+};
+
+}  // namespace
+
+BenchCircuit read_string(std::string_view text) {
+  std::vector<Statement> statements = parse_statements(text);
+
+  std::vector<std::string> inputs, outputs;
+  for (const Statement& st : statements) {
+    if (st.kind == "INPUT") {
+      if (st.args.size() != 1) parse_error(st.line, "INPUT takes one name");
+      inputs.push_back(st.args[0]);
+    } else if (st.kind == "OUTPUT") {
+      if (st.args.size() != 1) parse_error(st.line, "OUTPUT takes one name");
+      outputs.push_back(st.args[0]);
+    }
+  }
+
+  Builder b;
+  std::vector<std::string> ports = inputs;
+  ports.insert(ports.end(), outputs.begin(), outputs.end());
+  // An output may repeat an input name; Module rejects duplicates.
+  {
+    std::unordered_set<std::string> seen;
+    std::vector<std::string> unique_ports;
+    for (std::string& p : ports) {
+      if (seen.insert(p).second) unique_ports.push_back(std::move(p));
+    }
+    ports = std::move(unique_ports);
+  }
+  b.top_id = b.lib.design().add_module("main", std::move(ports));
+  b.top = &b.lib.design().module(b.top_id);
+
+  bool any_dff = false;
+  for (const Statement& st : statements) {
+    if (st.kind == "INPUT" || st.kind == "OUTPUT") continue;
+    if (st.target.empty()) parse_error(st.line, "gate without a target net");
+    if (st.kind == "DFF") any_dff = true;
+    b.emit(st);
+  }
+  if (any_dff) b.lib.design().add_global("clk");
+
+  BenchCircuit out{b.lib.design().flatten("main"), std::move(b.gates),
+                   std::move(inputs), std::move(outputs)};
+  out.transistors.validate();
+  return out;
+}
+
+BenchCircuit read_file(const std::string& path) {
+  std::ifstream in(path);
+  SUBG_CHECK_MSG(in.good(), "cannot open bench file '" << path << "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return read_string(buffer.str());
+}
+
+std::string write_string(const Netlist& gates) {
+  // Function name per device type; the LAST pin of every supported cell is
+  // its output.
+  auto func_of = [](const std::string& type) -> std::string {
+    if (type == "inv") return "NOT";
+    if (type == "buf") return "BUF";
+    if (type == "dff") return "DFF";
+    if (type == "xor2") return "XOR";
+    if (type == "xnor2") return "XNOR";
+    for (const char* base : {"nand", "nor", "and", "or"}) {
+      const std::string b(base);
+      if (type.size() == b.size() + 1 && type.compare(0, b.size(), b) == 0 &&
+          std::isdigit(static_cast<unsigned char>(type.back()))) {
+        return to_upper(b);
+      }
+    }
+    throw Error("bench: device type '" + type + "' is not expressible");
+  };
+
+  std::vector<bool> driven(gates.net_count(), false);
+  std::ostringstream body;
+  for (std::uint32_t d = 0; d < gates.device_count(); ++d) {
+    const DeviceId id(d);
+    const DeviceTypeInfo& info = gates.device_type_info(id);
+    const std::string func = func_of(info.name);
+    auto pins = gates.device_pins(id);
+    const NetId out = pins[pins.size() - 1];
+    driven[out.index()] = true;
+    body << gates.net_name(out) << " = " << func << '(';
+    bool first = true;
+    for (std::uint32_t p = 0; p + 1 < pins.size(); ++p) {
+      if (info.name == "dff" && info.pins[p].name == "clk") continue;
+      if (!first) body << ", ";
+      body << gates.net_name(pins[p]);
+      first = false;
+    }
+    body << ")\n";
+  }
+
+  std::ostringstream head;
+  head << "# " << (gates.name().empty() ? "netlist" : gates.name())
+       << " — written by subgemini\n";
+  for (std::uint32_t n = 0; n < gates.net_count(); ++n) {
+    const NetId id(n);
+    if (gates.is_global(id) || driven[n] || gates.net_degree(id) == 0) continue;
+    head << "INPUT(" << gates.net_name(id) << ")\n";
+  }
+  for (NetId p : gates.ports()) {
+    if (driven[p.index()]) head << "OUTPUT(" << gates.net_name(p) << ")\n";
+  }
+  return head.str() + body.str();
+}
+
+const char* c17_text() {
+  return R"(# ISCAS-85 c17
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+)";
+}
+
+}  // namespace subg::benchfmt

@@ -1,0 +1,58 @@
+// ISCAS-85/89 ".bench" netlist format:
+//
+//     # c17
+//     INPUT(1)
+//     OUTPUT(22)
+//     10 = NAND(1, 3)
+//     22 = NAND(10, 16)
+//     G5 = DFF(G4)
+//
+// The classic open benchmark suites for this literature are distributed in
+// this format. The reader expands each logic function to transistor-level
+// standard cells (src/cells/): NOT→inv, BUF→buf, NAND/AND/NOR/OR→the n-ary
+// cell (wider fan-ins are decomposed with and2/or2 trees), XOR/XNOR→the
+// 2-input cells, DFF→the master-slave dff clocked by a global "clk" net.
+// The writer emits .bench from a GATE-level netlist whose device types are
+// the supported cells (inv/buf/nandN/andN/norN/orN/xor2/xnor2/dff).
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace subg::benchfmt {
+
+struct BenchCircuit {
+  /// Flattened transistor-level netlist (4-pin cmos catalog, vdd/gnd/clk
+  /// global as needed).
+  Netlist transistors;
+  /// Logic gates instantiated per cell name (after decomposition).
+  std::map<std::string, std::size_t> gates;
+  std::vector<std::string> inputs;
+  std::vector<std::string> outputs;
+
+  [[nodiscard]] std::size_t gate_count() const {
+    std::size_t n = 0;
+    for (const auto& [cell, count] : gates) n += count;
+    return n;
+  }
+};
+
+/// Parse .bench text. Throws subg::Error with a line number on malformed
+/// input or unsupported functions.
+[[nodiscard]] BenchCircuit read_string(std::string_view text);
+[[nodiscard]] BenchCircuit read_file(const std::string& path);
+
+/// Emit .bench from a gate-level netlist (e.g. extract_gates output) whose
+/// device types are all expressible. Ports become INPUT/OUTPUT lines:
+/// a port is an OUTPUT if some device output pin drives it, else an INPUT.
+/// Throws subg::Error for inexpressible device types.
+[[nodiscard]] std::string write_string(const Netlist& gates);
+
+/// The ISCAS-85 c17 circuit, embedded for tests and demos.
+[[nodiscard]] const char* c17_text();
+
+}  // namespace subg::benchfmt

@@ -1,0 +1,37 @@
+// Canonical netlist fingerprinting.
+//
+// A 64-bit hash that is invariant under device/net renaming and reordering
+// (isomorphic netlists always collide) and separates non-isomorphic
+// netlists with WL-refinement power — the right prefilter for cell-library
+// deduplication and cache keys. Port markings and global-net names are
+// part of the identity (an inverter pattern with ports {a,y} differs from
+// the same transistors with no ports). `isomorphism_classes` combines the
+// prefilter with exact Gemini confirmation, so its grouping is sound, not
+// just probabilistic.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "util/hash.hpp"
+
+namespace subg::canon {
+
+struct CanonOptions {
+  /// Refinement rounds (labels stabilize in O(diameter); this is a cap).
+  std::size_t max_rounds = 64;
+};
+
+/// Renaming-invariant fingerprint.
+[[nodiscard]] Label fingerprint(const Netlist& netlist,
+                                const CanonOptions& options = {});
+
+/// Partition netlists into isomorphism classes: fingerprint buckets,
+/// confirmed pairwise with the Gemini comparator. Returns groups of
+/// indices into `netlists`; singletons included.
+[[nodiscard]] std::vector<std::vector<std::size_t>> isomorphism_classes(
+    const std::vector<const Netlist*>& netlists,
+    const CanonOptions& options = {});
+
+}  // namespace subg::canon

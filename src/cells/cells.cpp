@@ -1,0 +1,363 @@
+#include "cells/cells.hpp"
+
+#include "util/check.hpp"
+
+namespace subg::cells {
+
+CellLibrary::CellLibrary(std::shared_ptr<const DeviceCatalog> catalog)
+    : design_(std::move(catalog)) {
+  nmos_ = design_.catalog().require("nmos");
+  pmos_ = design_.catalog().require("pmos");
+  SUBG_CHECK_MSG(design_.catalog().type(nmos_).pin_count() == 4 &&
+                     design_.catalog().type(pmos_).pin_count() == 4,
+                 "CellLibrary needs 4-pin nmos/pmos (d,g,s,b)");
+  design_.add_global("vdd");
+  design_.add_global("gnd");
+}
+
+void CellLibrary::nmos(Module& m, NetId d, NetId g, NetId s) {
+  m.add_device(nmos_, {d, g, s, gnd(m)});
+}
+
+void CellLibrary::pmos(Module& m, NetId d, NetId g, NetId s) {
+  m.add_device(pmos_, {d, g, s, vdd(m)});
+}
+
+ModuleId CellLibrary::module(std::string_view name) {
+  if (auto found = design_.find_module(name)) return *found;
+  return build(name);
+}
+
+ModuleId CellLibrary::build(std::string_view name) {
+  if (name == "inv") return build_inv();
+  if (name == "buf") return build_buf();
+  if (name == "nand2") return build_nand(2);
+  if (name == "nand3") return build_nand(3);
+  if (name == "nand4") return build_nand(4);
+  if (name == "nor2") return build_nor(2);
+  if (name == "nor3") return build_nor(3);
+  if (name == "nor4") return build_nor(4);
+  if (name == "and2") return build_and_or(true, 2);
+  if (name == "and3") return build_and_or(true, 3);
+  if (name == "and4") return build_and_or(true, 4);
+  if (name == "or2") return build_and_or(false, 2);
+  if (name == "or3") return build_and_or(false, 3);
+  if (name == "or4") return build_and_or(false, 4);
+  if (name == "aoi21") return build_aoi21();
+  if (name == "aoi22") return build_aoi22();
+  if (name == "oai21") return build_oai21();
+  if (name == "xor2") return build_xor2(false);
+  if (name == "xnor2") return build_xor2(true);
+  if (name == "tgate") return build_tgate();
+  if (name == "mux2") return build_mux2();
+  if (name == "dlatch") return build_dlatch();
+  if (name == "dff") return build_dff();
+  if (name == "fulladder") return build_fulladder();
+  if (name == "halfadder") return build_halfadder();
+  if (name == "sram6t") return build_sram6t();
+  SUBG_CHECK_MSG(false, "unknown cell '" << name << "'");
+}
+
+const std::vector<std::string>& CellLibrary::all_cells() {
+  static const std::vector<std::string> kCells = {
+      "inv",   "buf",   "nand2", "nand3",  "nand4",  "nor2",      "nor3",
+      "nor4",  "and2",  "and3",  "and4",   "or2",    "or3",       "or4",
+      "aoi21", "aoi22", "oai21", "xor2",   "xnor2",  "tgate",
+      "mux2",  "dlatch", "dff",  "fulladder", "halfadder", "sram6t"};
+  return kCells;
+}
+
+Netlist CellLibrary::pattern(std::string_view name) {
+  module(name);  // ensure built
+  Netlist flat = design_.flatten(name);
+  flat.set_name(std::string(name));
+  return flat;
+}
+
+std::size_t CellLibrary::transistor_count(std::string_view name) {
+  module(name);
+  return design_.flattened_device_count(name);
+}
+
+ModuleId CellLibrary::build_inv() {
+  ModuleId id = design_.add_module("inv", {"a", "y"});
+  Module& m = design_.module(id);
+  NetId a = *m.find_net("a"), y = *m.find_net("y");
+  pmos(m, y, a, vdd(m));
+  nmos(m, y, a, gnd(m));
+  return id;
+}
+
+ModuleId CellLibrary::build_buf() {
+  ModuleId inv = module("inv");
+  ModuleId id = design_.add_module("buf", {"a", "y"});
+  Module& m = design_.module(id);
+  NetId mid = m.add_net("mid");
+  m.add_instance(inv, {*m.find_net("a"), mid});
+  m.add_instance(inv, {mid, *m.find_net("y")});
+  return id;
+}
+
+ModuleId CellLibrary::build_nand(int n) {
+  std::vector<std::string> ports;
+  for (int i = 0; i < n; ++i) ports.push_back("a" + std::to_string(i));
+  ports.push_back("y");
+  ModuleId id = design_.add_module("nand" + std::to_string(n), std::move(ports));
+  Module& m = design_.module(id);
+  NetId y = *m.find_net("y");
+  // Pull-up: n parallel pmos.
+  for (int i = 0; i < n; ++i) {
+    pmos(m, y, *m.find_net("a" + std::to_string(i)), vdd(m));
+  }
+  // Pull-down: n series nmos.
+  NetId top = y;
+  for (int i = 0; i < n; ++i) {
+    NetId bottom = (i == n - 1) ? gnd(m) : m.add_net("x" + std::to_string(i));
+    nmos(m, top, *m.find_net("a" + std::to_string(i)), bottom);
+    top = bottom;
+  }
+  return id;
+}
+
+ModuleId CellLibrary::build_nor(int n) {
+  std::vector<std::string> ports;
+  for (int i = 0; i < n; ++i) ports.push_back("a" + std::to_string(i));
+  ports.push_back("y");
+  ModuleId id = design_.add_module("nor" + std::to_string(n), std::move(ports));
+  Module& m = design_.module(id);
+  NetId y = *m.find_net("y");
+  // Pull-up: n series pmos.
+  NetId top = vdd(m);
+  for (int i = 0; i < n; ++i) {
+    NetId bottom = (i == n - 1) ? y : m.add_net("x" + std::to_string(i));
+    pmos(m, bottom, *m.find_net("a" + std::to_string(i)), top);
+    top = bottom;
+  }
+  // Pull-down: n parallel nmos.
+  for (int i = 0; i < n; ++i) {
+    nmos(m, y, *m.find_net("a" + std::to_string(i)), gnd(m));
+  }
+  return id;
+}
+
+ModuleId CellLibrary::build_and_or(bool is_and, int n) {
+  // Composed: nand/nor followed by an inverter.
+  ModuleId inner = module((is_and ? "nand" : "nor") + std::to_string(n));
+  ModuleId inv = module("inv");
+  std::vector<std::string> ports;
+  for (int i = 0; i < n; ++i) ports.push_back("a" + std::to_string(i));
+  ports.push_back("y");
+  ModuleId id = design_.add_module(
+      (is_and ? "and" : "or") + std::to_string(n), std::move(ports));
+  Module& m = design_.module(id);
+  NetId ny = m.add_net("ny");
+  std::vector<NetId> actuals;
+  for (int i = 0; i < n; ++i) actuals.push_back(*m.find_net("a" + std::to_string(i)));
+  actuals.push_back(ny);
+  m.add_instance(inner, actuals);
+  m.add_instance(inv, {ny, *m.find_net("y")});
+  return id;
+}
+
+ModuleId CellLibrary::build_aoi21() {
+  // y = !((a & b) | c)
+  ModuleId id = design_.add_module("aoi21", {"a", "b", "c", "y"});
+  Module& m = design_.module(id);
+  NetId a = *m.find_net("a"), b = *m.find_net("b"), c = *m.find_net("c"),
+        y = *m.find_net("y");
+  // PDN: (a series b) parallel c.
+  NetId x = m.add_net("x");
+  nmos(m, y, a, x);
+  nmos(m, x, b, gnd(m));
+  nmos(m, y, c, gnd(m));
+  // PUN: (a parallel b) series c.
+  NetId u = m.add_net("u");
+  pmos(m, u, a, vdd(m));
+  pmos(m, u, b, vdd(m));
+  pmos(m, y, c, u);
+  return id;
+}
+
+ModuleId CellLibrary::build_aoi22() {
+  // y = !((a & b) | (c & d))
+  ModuleId id = design_.add_module("aoi22", {"a", "b", "c", "d", "y"});
+  Module& m = design_.module(id);
+  NetId a = *m.find_net("a"), b = *m.find_net("b"), c = *m.find_net("c"),
+        d = *m.find_net("d"), y = *m.find_net("y");
+  NetId x1 = m.add_net("x1"), x2 = m.add_net("x2");
+  nmos(m, y, a, x1);
+  nmos(m, x1, b, gnd(m));
+  nmos(m, y, c, x2);
+  nmos(m, x2, d, gnd(m));
+  NetId u = m.add_net("u");
+  pmos(m, u, a, vdd(m));
+  pmos(m, u, b, vdd(m));
+  pmos(m, y, c, u);
+  pmos(m, y, d, u);
+  return id;
+}
+
+ModuleId CellLibrary::build_oai21() {
+  // y = !((a | b) & c)
+  ModuleId id = design_.add_module("oai21", {"a", "b", "c", "y"});
+  Module& m = design_.module(id);
+  NetId a = *m.find_net("a"), b = *m.find_net("b"), c = *m.find_net("c"),
+        y = *m.find_net("y");
+  // PDN: (a parallel b) series c.
+  NetId x = m.add_net("x");
+  nmos(m, x, a, gnd(m));
+  nmos(m, x, b, gnd(m));
+  nmos(m, y, c, x);
+  // PUN: (a series b) parallel c.
+  NetId u = m.add_net("u");
+  pmos(m, u, a, vdd(m));
+  pmos(m, y, b, u);
+  pmos(m, y, c, vdd(m));
+  return id;
+}
+
+ModuleId CellLibrary::build_xor2(bool invert) {
+  // Static CMOS XOR/XNOR with internal input inverters (12T).
+  ModuleId inv = module("inv");
+  ModuleId id =
+      design_.add_module(invert ? "xnor2" : "xor2", {"a", "b", "y"});
+  Module& m = design_.module(id);
+  NetId a = *m.find_net("a"), b = *m.find_net("b"), y = *m.find_net("y");
+  NetId an = m.add_net("an"), bn = m.add_net("bn");
+  m.add_instance(inv, {a, an});
+  m.add_instance(inv, {b, bn});
+
+  // For XOR:  PDN conducts when a==b   (y low),  PUN when a!=b.
+  // For XNOR: swap which inputs drive which network.
+  NetId pd_g1a = invert ? a : a, pd_g1b = invert ? bn : b;
+  NetId pd_g2a = invert ? an : an, pd_g2b = invert ? b : bn;
+  NetId pu_g1a = invert ? an : an, pu_g1b = invert ? bn : b;
+  NetId pu_g2a = invert ? a : a, pu_g2b = invert ? b : bn;
+
+  NetId x1 = m.add_net("x1"), x2 = m.add_net("x2");
+  nmos(m, y, pd_g1a, x1);
+  nmos(m, x1, pd_g1b, gnd(m));
+  nmos(m, y, pd_g2a, x2);
+  nmos(m, x2, pd_g2b, gnd(m));
+
+  NetId u1 = m.add_net("u1"), u2 = m.add_net("u2");
+  pmos(m, u1, pu_g1a, vdd(m));
+  pmos(m, y, pu_g1b, u1);
+  pmos(m, u2, pu_g2a, vdd(m));
+  pmos(m, y, pu_g2b, u2);
+  return id;
+}
+
+ModuleId CellLibrary::build_tgate() {
+  ModuleId id = design_.add_module("tgate", {"x", "y", "en", "enb"});
+  Module& m = design_.module(id);
+  NetId x = *m.find_net("x"), y = *m.find_net("y"), en = *m.find_net("en"),
+        enb = *m.find_net("enb");
+  nmos(m, x, en, y);
+  pmos(m, x, enb, y);
+  return id;
+}
+
+ModuleId CellLibrary::build_mux2() {
+  // y = s ? b : a. Transmission-gate mux with local select inverter (6T).
+  ModuleId inv = module("inv");
+  ModuleId id = design_.add_module("mux2", {"a", "b", "s", "y"});
+  Module& m = design_.module(id);
+  NetId a = *m.find_net("a"), b = *m.find_net("b"), s = *m.find_net("s"),
+        y = *m.find_net("y");
+  NetId sn = m.add_net("sn");
+  m.add_instance(inv, {s, sn});
+  // Pass a when s==0.
+  nmos(m, a, sn, y);
+  pmos(m, a, s, y);
+  // Pass b when s==1.
+  nmos(m, b, s, y);
+  pmos(m, b, sn, y);
+  return id;
+}
+
+ModuleId CellLibrary::build_dlatch() {
+  // Transparent-high transmission-gate latch (10T):
+  //   en=1: m follows d; en=0: feedback loop holds.
+  ModuleId inv = module("inv");
+  ModuleId tg = module("tgate");
+  ModuleId id = design_.add_module("dlatch", {"d", "en", "q"});
+  Module& m = design_.module(id);
+  NetId d = *m.find_net("d"), en = *m.find_net("en"), q = *m.find_net("q");
+  NetId enb = m.add_net("enb"), mem = m.add_net("mem"), fb = m.add_net("fb");
+  m.add_instance(inv, {en, enb});
+  m.add_instance(tg, {d, mem, en, enb});   // input gate, open when en=1
+  m.add_instance(inv, {mem, q});
+  m.add_instance(inv, {q, fb});
+  m.add_instance(tg, {fb, mem, enb, en});  // feedback gate, open when en=0
+  return id;
+}
+
+ModuleId CellLibrary::build_dff() {
+  // Master-slave D flip-flop from two latches and a clock inverter (22T).
+  ModuleId inv = module("inv");
+  ModuleId latch = module("dlatch");
+  ModuleId id = design_.add_module("dff", {"d", "clk", "q"});
+  Module& m = design_.module(id);
+  NetId d = *m.find_net("d"), clk = *m.find_net("clk"), q = *m.find_net("q");
+  NetId clkb = m.add_net("clkb"), mid = m.add_net("mid");
+  m.add_instance(inv, {clk, clkb});
+  m.add_instance(latch, {d, clkb, mid});  // master transparent when clk=0
+  m.add_instance(latch, {mid, clk, q});   // slave transparent when clk=1
+  return id;
+}
+
+ModuleId CellLibrary::build_fulladder() {
+  // NAND/XOR composition (36T):
+  //   s = (a ^ b) ^ cin
+  //   cout = nand(nand(a,b), nand(cin, a^b))
+  ModuleId x2 = module("xor2");
+  ModuleId nd2 = module("nand2");
+  ModuleId id =
+      design_.add_module("fulladder", {"a", "b", "cin", "s", "cout"});
+  Module& m = design_.module(id);
+  NetId a = *m.find_net("a"), b = *m.find_net("b"), cin = *m.find_net("cin"),
+        s = *m.find_net("s"), cout = *m.find_net("cout");
+  NetId axb = m.add_net("axb"), n1 = m.add_net("n1"), n2 = m.add_net("n2");
+  m.add_instance(x2, {a, b, axb});
+  m.add_instance(x2, {axb, cin, s});
+  m.add_instance(nd2, {a, b, n1});
+  m.add_instance(nd2, {cin, axb, n2});
+  m.add_instance(nd2, {n1, n2, cout});
+  return id;
+}
+
+ModuleId CellLibrary::build_halfadder() {
+  // s = a ^ b, c = a & b (nand + inv), 18T.
+  ModuleId x2 = module("xor2");
+  ModuleId nd2 = module("nand2");
+  ModuleId inv = module("inv");
+  ModuleId id = design_.add_module("halfadder", {"a", "b", "s", "c"});
+  Module& m = design_.module(id);
+  NetId a = *m.find_net("a"), b = *m.find_net("b"), s = *m.find_net("s"),
+        c = *m.find_net("c");
+  NetId nc = m.add_net("nc");
+  m.add_instance(x2, {a, b, s});
+  m.add_instance(nd2, {a, b, nc});
+  m.add_instance(inv, {nc, c});
+  return id;
+}
+
+ModuleId CellLibrary::build_sram6t() {
+  // Classic 6T SRAM bit cell: cross-coupled inverters + two access nmos.
+  ModuleId id = design_.add_module("sram6t", {"bl", "blb", "wl"});
+  Module& m = design_.module(id);
+  NetId bl = *m.find_net("bl"), blb = *m.find_net("blb"),
+        wl = *m.find_net("wl");
+  NetId t = m.add_net("t"), tb = m.add_net("tb");
+  // Inverter t→tb and tb→t, written out so the cell is one flat module.
+  pmos(m, tb, t, vdd(m));
+  nmos(m, tb, t, gnd(m));
+  pmos(m, t, tb, vdd(m));
+  nmos(m, t, tb, gnd(m));
+  nmos(m, bl, wl, t);
+  nmos(m, blb, wl, tb);
+  return id;
+}
+
+}  // namespace subg::cells

@@ -1,0 +1,88 @@
+// Transistor-level CMOS standard-cell library.
+//
+// Every cell is a hierarchical module over the 4-pin nmos/pmos catalog
+// (bulk tied to the rails); power comes in through the global nets "vdd"
+// and "gnd". `pattern(name)` flattens a cell into a standalone netlist
+// whose signal pins are marked as ports and whose rails are global — i.e.
+// exactly the shape SubgraphMatcher expects for a pattern. The same
+// modules double as building blocks for the workload generators in
+// src/gen/.
+//
+// Available cells (name → signal ports, transistor count):
+//   inv        a y                      2     buf       a y             4
+//   nand2..4   a0..a{n-1} y             2n    nor2..4   a0..a{n-1} y    2n
+//   and2..4    a0..a{n-1} y             2n+2  or2..4    a0..a{n-1} y    2n+2
+//   aoi21      a b c y                  6     oai21     a b c y         6
+//   aoi22      a b c d y                8
+//   xor2       a b y                    12    xnor2     a b y           12
+//   tgate      x y en enb               2     mux2      a b s y         6
+//   dlatch     d en q                   10    dff       d clk q         22
+//   fulladder  a b cin s cout           36    sram6t    bl blb wl       6
+//   halfadder  a b s c                  18
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netlist/design.hpp"
+
+namespace subg::cells {
+
+class CellLibrary {
+ public:
+  /// The catalog must provide 4-pin "nmos"/"pmos" types (d,g,s,b with d/s
+  /// interchangeable), as DeviceCatalog::cmos() does.
+  explicit CellLibrary(
+      std::shared_ptr<const DeviceCatalog> catalog = DeviceCatalog::cmos());
+
+  /// The design holding the cell modules; generators may add their own
+  /// modules here and instantiate cells.
+  [[nodiscard]] Design& design() { return design_; }
+
+  /// Get (building on demand) the module implementing `name`.
+  /// Throws subg::Error for unknown cell names.
+  ModuleId module(std::string_view name);
+
+  /// Flattened pattern netlist for a cell: signal ports marked as ports,
+  /// vdd/gnd marked global.
+  [[nodiscard]] Netlist pattern(std::string_view name);
+
+  /// Transistors in the flattened cell.
+  [[nodiscard]] std::size_t transistor_count(std::string_view name);
+
+  /// All cell names this library can build.
+  [[nodiscard]] static const std::vector<std::string>& all_cells();
+
+ private:
+  ModuleId build(std::string_view name);
+  ModuleId build_inv();
+  ModuleId build_buf();
+  ModuleId build_nand(int n);
+  ModuleId build_nor(int n);
+  ModuleId build_and_or(bool is_and, int n);
+  ModuleId build_aoi21();
+  ModuleId build_aoi22();
+  ModuleId build_oai21();
+  ModuleId build_xor2(bool invert);
+  ModuleId build_tgate();
+  ModuleId build_mux2();
+  ModuleId build_dlatch();
+  ModuleId build_dff();
+  ModuleId build_fulladder();
+  ModuleId build_halfadder();
+  ModuleId build_sram6t();
+
+  // Helpers working inside a module.
+  NetId vdd(Module& m) { return m.ensure_net("vdd"); }
+  NetId gnd(Module& m) { return m.ensure_net("gnd"); }
+  void nmos(Module& m, NetId d, NetId g, NetId s);
+  void pmos(Module& m, NetId d, NetId g, NetId s);
+
+  Design design_;
+  DeviceTypeId nmos_;
+  DeviceTypeId pmos_;
+};
+
+}  // namespace subg::cells

@@ -1,0 +1,277 @@
+#include "extract/extract.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "gemini/gemini.hpp"
+#include "util/check.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace subg::extract {
+
+namespace {
+
+/// Copy `pattern`, renaming each port net to the given unique marker name
+/// and declaring it global — pinning port identities for an isomorphism
+/// test. `swap_a`/`swap_b` (port positions) exchange marker names.
+Netlist pin_ports(const Netlist& pattern, std::size_t swap_a,
+                  std::size_t swap_b) {
+  Netlist out(pattern.catalog_ptr(), pattern.name());
+  auto ports = pattern.ports();
+  std::vector<std::string> names(pattern.net_count());
+  for (std::uint32_t n = 0; n < pattern.net_count(); ++n) {
+    names[n] = pattern.net_name(NetId(n));
+  }
+  for (std::size_t i = 0; i < ports.size(); ++i) {
+    std::size_t marker = i;
+    if (i == swap_a) marker = swap_b;
+    if (i == swap_b) marker = swap_a;
+    names[ports[i].index()] = "!pin" + std::to_string(marker);
+  }
+  for (std::uint32_t n = 0; n < pattern.net_count(); ++n) {
+    const NetId id(n);
+    NetId nn = out.add_net(names[n]);
+    if (pattern.is_global(id) || pattern.is_port(id)) out.mark_global(nn);
+  }
+  std::vector<NetId> pins;
+  for (std::uint32_t d = 0; d < pattern.device_count(); ++d) {
+    const DeviceId id(d);
+    pins.clear();
+    for (NetId pn : pattern.device_pins(id)) pins.push_back(NetId(pn.value));
+    out.add_device(pattern.device_type(id), pins);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> port_equivalence_classes(const Netlist& pattern) {
+  const std::size_t n = pattern.ports().size();
+  std::vector<std::uint32_t> parent(n);
+  for (std::size_t i = 0; i < n; ++i) parent[i] = static_cast<std::uint32_t>(i);
+  auto find = [&](std::uint32_t x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+
+  const Netlist reference = pin_ports(pattern, n, n);  // no swap
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (find(static_cast<std::uint32_t>(i)) ==
+          find(static_cast<std::uint32_t>(j))) {
+        continue;
+      }
+      // Cheap filter: interchangeable ports must at least share a degree.
+      if (pattern.net_degree(pattern.ports()[i]) !=
+          pattern.net_degree(pattern.ports()[j])) {
+        continue;
+      }
+      Netlist swapped = pin_ports(pattern, i, j);
+      if (compare_netlists(reference, swapped).isomorphic) {
+        parent[find(static_cast<std::uint32_t>(j))] =
+            find(static_cast<std::uint32_t>(i));
+      }
+    }
+  }
+
+  std::vector<std::uint32_t> classes(n);
+  std::vector<std::uint32_t> dense(n, 0xFFFFFFFFu);
+  std::uint32_t next = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint32_t root = find(static_cast<std::uint32_t>(i));
+    if (dense[root] == 0xFFFFFFFFu) dense[root] = next++;
+    classes[i] = dense[root];
+  }
+  return classes;
+}
+
+std::shared_ptr<const DeviceCatalog> extended_catalog(
+    const DeviceCatalog& base, const std::vector<LibraryCell>& cells) {
+  auto cat = std::make_shared<DeviceCatalog>();
+  for (const DeviceTypeInfo& t : base.types()) {
+    std::vector<PinSpec> pins = t.pins;
+    cat->add_type(t.name, std::move(pins));
+  }
+  for (const LibraryCell& cell : cells) {
+    SUBG_CHECK_MSG(!cat->find(cell.name).has_value(),
+                   "library cell '" << cell.name
+                                    << "' collides with an existing type");
+    std::vector<std::uint32_t> classes = port_equivalence_classes(cell.pattern);
+    std::vector<PinSpec> pins;
+    auto ports = cell.pattern.ports();
+    for (std::size_t i = 0; i < ports.size(); ++i) {
+      pins.push_back(PinSpec{cell.pattern.net_name(ports[i]),
+                             "c" + std::to_string(classes[i])});
+    }
+    SUBG_CHECK_MSG(!pins.empty(),
+                   "library cell '" << cell.name << "' has no ports");
+    cat->add_type(cell.name, std::move(pins));
+  }
+  return cat;
+}
+
+Netlist clone_netlist(const Netlist& source,
+                      std::shared_ptr<const DeviceCatalog> catalog) {
+  Netlist out(std::move(catalog), source.name());
+  for (std::uint32_t n = 0; n < source.net_count(); ++n) {
+    const NetId id(n);
+    NetId nn = out.add_net(source.net_name(id));
+    if (source.is_global(id)) out.mark_global(nn);
+    if (source.is_port(id)) out.mark_port(nn);
+  }
+  std::vector<NetId> pins;
+  for (std::uint32_t d = 0; d < source.device_count(); ++d) {
+    const DeviceId id(d);
+    pins.clear();
+    for (NetId pn : source.device_pins(id)) pins.push_back(NetId(pn.value));
+    out.add_device(out.catalog().require(source.device_type_info(id).name), pins,
+                   source.device_name(id));
+  }
+  return out;
+}
+
+ExtractResult extract_gates(const Netlist& transistors,
+                            const std::vector<LibraryCell>& cells,
+                            const ExtractOptions& options) {
+  auto catalog = extended_catalog(transistors.catalog(), cells);
+
+  // Processing order: the subcircuit partial order approximated by
+  // descending size (ties by name for determinism).
+  std::vector<const LibraryCell*> order;
+  order.reserve(cells.size());
+  for (const LibraryCell& c : cells) order.push_back(&c);
+  if (options.largest_first) {
+    std::stable_sort(order.begin(), order.end(),
+                     [](const LibraryCell* a, const LibraryCell* b) {
+                       if (a->pattern.device_count() != b->pattern.device_count()) {
+                         return a->pattern.device_count() > b->pattern.device_count();
+                       }
+                       return a->name < b->name;
+                     });
+  }
+
+  ExtractResult result{clone_netlist(transistors, catalog), {}};
+  Netlist& working = result.netlist;
+  result.report.devices_before = working.device_count();
+
+  std::uint64_t gate_serial = 0;
+  for (const LibraryCell* cell : order) {
+    Timer timer;
+    ExtractReport::PerCell per;
+    per.cell = cell->name;
+
+    SubgraphMatcher matcher(cell->pattern, working, options.match);
+    MatchReport matches = matcher.find_all();
+
+    // Greedy non-overlapping acceptance.
+    std::unordered_set<std::uint32_t> claimed;
+    std::vector<const SubcircuitInstance*> accepted;
+    for (const SubcircuitInstance& inst : matches.instances) {
+      bool free = true;
+      for (DeviceId d : inst.device_image) {
+        if (claimed.contains(d.value)) {
+          free = false;
+          break;
+        }
+      }
+      if (!free) continue;
+      for (DeviceId d : inst.device_image) claimed.insert(d.value);
+      accepted.push_back(&inst);
+    }
+
+    // Materialize the gates, then drop their transistors in one sweep.
+    const DeviceTypeId gate_type = working.catalog().require(cell->name);
+    std::vector<DeviceId> victims;
+    std::vector<NetId> pins;
+    for (const SubcircuitInstance* inst : accepted) {
+      pins.clear();
+      for (NetId port : cell->pattern.ports()) {
+        pins.push_back(inst->net_image[port.index()]);
+      }
+      working.add_device(gate_type, pins,
+                         cell->name + "_" + std::to_string(gate_serial++));
+      for (DeviceId d : inst->device_image) victims.push_back(d);
+    }
+    working.remove_devices(victims);
+
+    per.instances = accepted.size();
+    per.devices_replaced = victims.size();
+    per.seconds = timer.seconds();
+    result.report.cells.push_back(std::move(per));
+    SUBG_DEBUG("extract: " << cell->name << " x" << accepted.size());
+  }
+
+  result.report.devices_after = working.device_count();
+  std::unordered_set<std::string> cell_names;
+  for (const LibraryCell& c : cells) cell_names.insert(c.name);
+  for (std::uint32_t d = 0; d < working.device_count(); ++d) {
+    if (!cell_names.contains(working.device_type_info(DeviceId(d)).name)) {
+      ++result.report.unextracted_primitives;
+    }
+  }
+  return result;
+}
+
+Netlist expand_gates(const Netlist& gates, const std::vector<LibraryCell>& cells,
+                     std::shared_ptr<const DeviceCatalog> catalog) {
+  Netlist out(catalog, gates.name());
+  for (std::uint32_t n = 0; n < gates.net_count(); ++n) {
+    const NetId id(n);
+    NetId nn = out.add_net(gates.net_name(id));
+    if (gates.is_global(id)) out.mark_global(nn);
+    if (gates.is_port(id)) out.mark_port(nn);
+  }
+
+  std::uint64_t serial = 0;
+  std::vector<NetId> pins;
+  for (std::uint32_t d = 0; d < gates.device_count(); ++d) {
+    const DeviceId id(d);
+    const std::string& tname = gates.device_type_info(id).name;
+    const LibraryCell* cell = nullptr;
+    for (const LibraryCell& c : cells) {
+      if (c.name == tname) {
+        cell = &c;
+        break;
+      }
+    }
+    if (cell == nullptr) {
+      // Primitive: copy through.
+      pins.clear();
+      for (NetId pn : gates.device_pins(id)) pins.push_back(NetId(pn.value));
+      out.add_device(out.catalog().require(tname), pins, gates.device_name(id));
+      continue;
+    }
+    // Instantiate the cell's transistors; ports bind to the gate's pins,
+    // internal nets get fresh names.
+    const Netlist& pat = cell->pattern;
+    auto gpins = gates.device_pins(id);
+    SUBG_CHECK(gpins.size() == pat.ports().size());
+    std::vector<NetId> net_map(pat.net_count(), NetId());
+    for (std::size_t p = 0; p < gpins.size(); ++p) {
+      net_map[pat.ports()[p].index()] = NetId(gpins[p].value);
+    }
+    const std::string prefix = "x" + std::to_string(serial++) + "/";
+    for (std::uint32_t n = 0; n < pat.net_count(); ++n) {
+      const NetId pn(n);
+      if (net_map[n].valid()) continue;
+      if (pat.is_global(pn)) {
+        NetId g = out.ensure_net(pat.net_name(pn));
+        out.mark_global(g);
+        net_map[n] = g;
+      } else {
+        net_map[n] = out.add_net(prefix + pat.net_name(pn));
+      }
+    }
+    for (std::uint32_t pd = 0; pd < pat.device_count(); ++pd) {
+      const DeviceId pid(pd);
+      pins.clear();
+      for (NetId pn : pat.device_pins(pid)) pins.push_back(net_map[pn.index()]);
+      out.add_device(out.catalog().require(pat.device_type_info(pid).name), pins,
+                     prefix + pat.device_name(pid));
+    }
+  }
+  return out;
+}
+
+}  // namespace subg::extract

@@ -1,0 +1,90 @@
+// Gate extraction: convert a transistor netlist into a gate netlist by
+// repeatedly finding library subcircuits and replacing each instance with a
+// single higher-level device — the paper's flagship application (§I).
+//
+// Cells are processed in the subcircuit partial order (largest first, §IV.A:
+// "one would first extract the largest gates which are not subcircuits of
+// any other gates and then proceed to smaller and smaller gates"), so a
+// NAND's pullup/stack pair is not misextracted as an inverter. Overlapping
+// matches are resolved greedily: an instance is accepted only if none of
+// its transistors is already claimed.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "match/matcher.hpp"
+#include "netlist/netlist.hpp"
+
+namespace subg::extract {
+
+/// One library entry: the pattern netlist (ports marked, rails global) and
+/// the name of the device type each found instance becomes.
+struct LibraryCell {
+  std::string name;
+  Netlist pattern;
+};
+
+struct ExtractOptions {
+  /// Sort cells by descending transistor count before extracting. Disable
+  /// to process in the given order (ablation: shows Fig 7-style
+  /// misextraction when inverters run first).
+  bool largest_first = true;
+  MatchOptions match;
+};
+
+struct ExtractReport {
+  struct PerCell {
+    std::string cell;
+    std::size_t instances = 0;
+    std::size_t devices_replaced = 0;
+    double seconds = 0;
+  };
+  std::vector<PerCell> cells;
+  std::size_t devices_before = 0;
+  std::size_t devices_after = 0;
+  /// Primitive (transistor-level) devices the library could not explain.
+  std::size_t unextracted_primitives = 0;
+};
+
+struct ExtractResult {
+  Netlist netlist;  ///< gate-level netlist (extended catalog)
+  ExtractReport report;
+};
+
+/// Catalog of `base` plus one device type per cell (pins = the cell's
+/// pattern ports). Interchangeable ports — those exchanged by a true
+/// structural automorphism of the cell that fixes every other port (a
+/// transmission gate's x/y, an SRAM cell's bl/blb, a resistor divider's
+/// ends) — share a pin equivalence class. Note that functional
+/// commutativity is NOT structural symmetry: NAND inputs stay distinct
+/// because a0 always gates the top of the series stack — which is also
+/// what makes extraction canonical, so swapped-input instances still
+/// extract to isomorphic gate netlists.
+[[nodiscard]] std::shared_ptr<const DeviceCatalog> extended_catalog(
+    const DeviceCatalog& base, const std::vector<LibraryCell>& cells);
+
+/// Pin equivalence classes of a pattern's ports: result[i] is the class
+/// index of port i (dense, by first appearance). Ports are in one class iff
+/// swapping them extends to an automorphism fixing the other ports.
+[[nodiscard]] std::vector<std::uint32_t> port_equivalence_classes(
+    const Netlist& pattern);
+
+/// Rebuild `source` onto another catalog (types resolved by name).
+[[nodiscard]] Netlist clone_netlist(const Netlist& source,
+                                    std::shared_ptr<const DeviceCatalog> catalog);
+
+/// Extract all library cells from `transistors`.
+[[nodiscard]] ExtractResult extract_gates(const Netlist& transistors,
+                                          const std::vector<LibraryCell>& cells,
+                                          const ExtractOptions& options = {});
+
+/// Re-expand a gate-level netlist back to transistors using the same
+/// library (the inverse of extract_gates up to isomorphism — verified with
+/// gemini in the tests).
+[[nodiscard]] Netlist expand_gates(const Netlist& gates,
+                                   const std::vector<LibraryCell>& cells,
+                                   std::shared_ptr<const DeviceCatalog> catalog);
+
+}  // namespace subg::extract

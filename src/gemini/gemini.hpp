@@ -1,0 +1,49 @@
+// Gemini-style netlist comparison (graph isomorphism) — the substrate the
+// SubGemini paper builds on (refs [3,4]).
+//
+// Two circuit graphs are relabeled in lockstep by the same partition
+// refinement SubGemini uses for subgraph matching, but with no
+// corrupt/suspect machinery: both graphs are complete, so every vertex
+// invariant (device type, net degree, rail names) is trustworthy. When the
+// partitions of the two graphs ever disagree, the netlists are not
+// isomorphic; when refinement reaches all-singleton partitions, the label
+// correspondence IS the isomorphism. Automorphic (symmetric) circuits
+// stall with paired non-singleton partitions; then one vertex pair is
+// individuated (given a fresh shared label) and refinement resumes, with
+// backtracking across the choice.
+//
+// Used here to verify gate-extraction round trips (extract, re-expand,
+// compare to the original) and as a standalone LVS-lite utility.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace subg {
+
+struct CompareOptions {
+  std::uint64_t seed = 0x47454D494E49ULL;  // "GEMINI"
+  std::size_t max_rounds = 10'000;
+  std::size_t max_individuations = 100'000;
+};
+
+struct CompareResult {
+  bool isomorphic = false;
+  /// Human-readable cause when not isomorphic (first divergence found).
+  std::string reason;
+  /// When isomorphic: device i of `a` corresponds to device_map[i] of `b`,
+  /// net i of `a` to net_map[i] of `b`.
+  std::vector<DeviceId> device_map;
+  std::vector<NetId> net_map;
+  std::size_t rounds = 0;
+  std::size_t individuations = 0;
+};
+
+/// Decide whether two netlists are isomorphic (same devices, same
+/// connectivity up to pin equivalence classes, rails matched by name).
+[[nodiscard]] CompareResult compare_netlists(const Netlist& a, const Netlist& b,
+                                             const CompareOptions& options = {});
+
+}  // namespace subg

@@ -1,0 +1,75 @@
+// Transistor-level workload generators (the paper's §VI evaluation used the
+// authors' proprietary CMOS chips; these parameterized circuits are the
+// open substitute — see DESIGN.md §4). Each generator builds a hierarchical
+// design out of the standard-cell library, flattens it, and reports ground
+// truth: how many instances of each cell the construction placed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace subg::gen {
+
+struct Generated {
+  Netlist netlist;
+  /// Cell name → number of instances placed by construction. A lower bound
+  /// on what a matcher must find (incidental structural copies can exist,
+  /// e.g. the cross-coupled inverter pair inside an SRAM cell).
+  std::map<std::string, std::size_t> placed;
+
+  [[nodiscard]] std::size_t placed_count(const std::string& cell) const {
+    auto it = placed.find(cell);
+    return it == placed.end() ? 0 : it->second;
+  }
+};
+
+/// N-bit ripple-carry adder: a chain of `fulladder` cells.
+[[nodiscard]] Generated ripple_carry_adder(int bits);
+
+/// N×N Braun array multiplier: N² AND gates (nand2+inv) plus an adder array
+/// of halfadder/fulladder cells.
+[[nodiscard]] Generated array_multiplier(int bits);
+
+/// SRAM block: rows×cols 6T cells, a NAND/INV row decoder (rows ≤ 16), and
+/// per-column pmos precharge pairs.
+[[nodiscard]] Generated sram_array(int rows, int cols);
+
+/// n-to-2^n decoder (n ≤ 4): per-output nand_n + inverter, plus address
+/// inverters.
+[[nodiscard]] Generated decoder(int addr_bits);
+
+/// words×width register file: dff storage with a write-select mux2 per bit.
+[[nodiscard]] Generated register_file(int words, int width);
+
+/// Random combinational/sequential "logic soup": `gates` random cells with
+/// random input wiring; realistic fanout distribution, reconvergence, and
+/// rails shared by everything.
+[[nodiscard]] Generated logic_soup(std::size_t gates, std::uint64_t seed);
+
+/// Kogge–Stone parallel-prefix adder: log-depth carry tree with heavy
+/// reconvergent fanout (every prefix node feeds two successors). Exercises
+/// the paper's claim that the matcher handles reconvergence, unlike
+/// tree-covering technology mappers (§I).
+[[nodiscard]] Generated kogge_stone_adder(int bits);
+
+/// Balanced XOR parity tree over n inputs (n rounded up to a power of two
+/// internally is NOT done — n-1 xor2 cells in a left-balanced tree).
+[[nodiscard]] Generated parity_tree(int inputs);
+
+/// ISCAS-85 c17 (6 NAND2 gates) at transistor level.
+[[nodiscard]] Generated c17();
+
+/// Copy `pattern` into `host` `count` times. Internal pattern nets get
+/// fresh host nets (so every copy is a true induced instance); port nets
+/// are wired to nets drawn from `pool` (distinct nets within one copy).
+/// Pool nets must not be internal to anything the caller cares about.
+/// Returns the number of instances planted (== count).
+std::size_t plant_instances(Netlist& host, const Netlist& pattern,
+                            std::size_t count, std::span<const NetId> pool,
+                            std::uint64_t seed);
+
+}  // namespace subg::gen

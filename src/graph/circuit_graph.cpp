@@ -1,0 +1,64 @@
+#include "graph/circuit_graph.hpp"
+
+#include "util/check.hpp"
+
+namespace subg {
+
+CircuitGraph::CircuitGraph(const Netlist& netlist) : netlist_(&netlist) {
+  device_count_ = netlist.device_count();
+  net_count_ = netlist.net_count();
+  const std::size_t nv = vertex_count();
+
+  // Count edges per vertex, then fill CSR.
+  edge_begin_.assign(nv + 1, 0);
+  for (std::uint32_t d = 0; d < device_count_; ++d) {
+    const DeviceId dev(d);
+    auto pins = netlist.device_pins(dev);
+    edge_begin_[vertex_of(dev) + 1] += pins.size();
+    for (NetId n : pins) {
+      edge_begin_[vertex_of(n) + 1] += 1;
+    }
+  }
+  for (std::size_t v = 0; v < nv; ++v) edge_begin_[v + 1] += edge_begin_[v];
+  edge_store_.resize(edge_begin_[nv]);
+
+  std::vector<std::size_t> cursor(edge_begin_.begin(), edge_begin_.end() - 1);
+  for (std::uint32_t d = 0; d < device_count_; ++d) {
+    const DeviceId dev(d);
+    const DeviceTypeInfo& info = netlist.device_type_info(dev);
+    auto pins = netlist.device_pins(dev);
+    const Vertex dv = vertex_of(dev);
+    for (std::uint32_t p = 0; p < pins.size(); ++p) {
+      const Label coeff = info.class_coefficient[info.pin_class[p]];
+      const Vertex nv_ = vertex_of(pins[p]);
+      edge_store_[cursor[dv]++] = Edge{nv_, coeff};
+      edge_store_[cursor[nv_]++] = Edge{dv, coeff};
+    }
+  }
+
+  // Invariant labels and special flags.
+  initial_label_.resize(nv);
+  special_.assign(nv, false);
+  for (std::uint32_t d = 0; d < device_count_; ++d) {
+    initial_label_[d] =
+        netlist.device_type_info(DeviceId(d)).type_label;
+  }
+  for (std::uint32_t n = 0; n < net_count_; ++n) {
+    const NetId net(n);
+    const Vertex v = vertex_of(net);
+    if (netlist.is_global(net)) {
+      special_[v] = true;
+      initial_label_[v] = special_net_label(netlist.net_name(net));
+    } else {
+      initial_label_[v] = degree_label(netlist.net_degree(net));
+    }
+  }
+}
+
+std::string CircuitGraph::vertex_name(Vertex v) const {
+  SUBG_CHECK_MSG(v < vertex_count(), "invalid vertex");
+  if (is_device(v)) return "dev:" + netlist_->device_name(device_of(v));
+  return "net:" + netlist_->net_name(net_of(v));
+}
+
+}  // namespace subg

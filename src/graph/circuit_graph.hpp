@@ -1,0 +1,92 @@
+// Bipartite circuit-graph view over a Netlist (paper §II, Figs 1–2).
+//
+// Vertices 0..D-1 are devices, D..D+N-1 are nets. Each device pin yields
+// one undirected edge between the device vertex and the net vertex; the
+// edge carries the relabeling coefficient of the pin's terminal equivalence
+// class, so that — per Fig 3 — a neighbor's label contributes through the
+// class of the connecting terminal. Adjacency is CSR (one contiguous edge
+// array) because Phase I sweeps the whole host graph every iteration.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "util/hash.hpp"
+
+namespace subg {
+
+/// Graph vertex index (devices first, then nets).
+using Vertex = std::uint32_t;
+
+class CircuitGraph {
+ public:
+  struct Edge {
+    Vertex to;
+    Label coefficient;  // terminal-class coefficient of this connection
+  };
+
+  /// Build the view. The netlist must outlive the graph and must not be
+  /// mutated while the graph is in use.
+  explicit CircuitGraph(const Netlist& netlist);
+
+  [[nodiscard]] const Netlist& netlist() const { return *netlist_; }
+
+  [[nodiscard]] std::size_t device_count() const { return device_count_; }
+  [[nodiscard]] std::size_t net_count() const { return net_count_; }
+  [[nodiscard]] std::size_t vertex_count() const {
+    return device_count_ + net_count_;
+  }
+
+  [[nodiscard]] bool is_device(Vertex v) const { return v < device_count_; }
+  [[nodiscard]] bool is_net(Vertex v) const { return v >= device_count_; }
+
+  [[nodiscard]] Vertex vertex_of(DeviceId d) const {
+    return static_cast<Vertex>(d.index());
+  }
+  [[nodiscard]] Vertex vertex_of(NetId n) const {
+    return static_cast<Vertex>(device_count_ + n.index());
+  }
+  [[nodiscard]] DeviceId device_of(Vertex v) const {
+    return DeviceId(v);
+  }
+  [[nodiscard]] NetId net_of(Vertex v) const {
+    return NetId(static_cast<std::uint32_t>(v - device_count_));
+  }
+
+  [[nodiscard]] std::span<const Edge> edges(Vertex v) const {
+    return {edge_store_.data() + edge_begin_[v],
+            edge_begin_[v + 1] - edge_begin_[v]};
+  }
+
+  [[nodiscard]] std::size_t degree(Vertex v) const {
+    return edge_begin_[v + 1] - edge_begin_[v];
+  }
+
+  /// True for global nets (the paper's "special signals").
+  [[nodiscard]] bool is_special(Vertex v) const { return special_[v]; }
+
+  /// Initial invariant label (paper §III): device type hash for devices,
+  /// degree hash for nets, fixed name-derived label for special nets.
+  [[nodiscard]] Label initial_label(Vertex v) const { return initial_label_[v]; }
+
+  /// Fixed label of a special net, derived from its (global) name — equal in
+  /// pattern and host exactly when the rails have the same name.
+  [[nodiscard]] static Label special_net_label(std::string_view name) {
+    return hash_string(std::string("!global:") += name);
+  }
+
+  /// Human-readable vertex name for traces and error messages.
+  [[nodiscard]] std::string vertex_name(Vertex v) const;
+
+ private:
+  const Netlist* netlist_;
+  std::size_t device_count_ = 0;
+  std::size_t net_count_ = 0;
+  std::vector<std::size_t> edge_begin_;  // size vertex_count()+1
+  std::vector<Edge> edge_store_;
+  std::vector<Label> initial_label_;
+  std::vector<bool> special_;
+};
+
+}  // namespace subg

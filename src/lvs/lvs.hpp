@@ -1,0 +1,52 @@
+// LVS-style netlist comparison with diagnostics.
+//
+// compare_netlists() (gemini) answers yes/no; a layout-vs-schematic flow
+// needs to know *where* two netlists diverge. This module runs the same
+// lockstep partition refinement and, on failure, reports the first
+// unbalanced partitions with their member device/net names on each side —
+// the refinement radius localizes the defect to its neighborhood. An
+// optional preprocessing pass applies series/parallel reduction to both
+// sides (layouts finger their transistors; schematics don't).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gemini/gemini.hpp"
+#include "netlist/netlist.hpp"
+
+namespace subg::lvs {
+
+struct LvsOptions {
+  /// Reduce both netlists (finger merge, ladder collapse) before comparing.
+  bool reduce_first = true;
+  /// Cap on diagnostic entries.
+  std::size_t max_findings = 16;
+  CompareOptions compare;
+};
+
+/// One divergent partition: vertices that have this label on one side but
+/// not (or in different numbers) on the other.
+struct Mismatch {
+  /// Device or net names on each side sharing the diverging label.
+  std::vector<std::string> left;
+  std::vector<std::string> right;
+  /// Refinement round at which the divergence first appeared (roughly the
+  /// graph distance from the defect).
+  std::size_t round = 0;
+};
+
+struct LvsReport {
+  bool clean = false;
+  std::string summary;
+  std::vector<Mismatch> mismatches;
+  /// Statistics after optional reduction.
+  std::size_t left_devices = 0;
+  std::size_t right_devices = 0;
+};
+
+/// Compare `left` (e.g. extracted layout) against `right` (schematic).
+[[nodiscard]] LvsReport compare(const Netlist& left, const Netlist& right,
+                                const LvsOptions& options = {});
+
+}  // namespace subg::lvs

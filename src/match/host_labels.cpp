@@ -1,0 +1,57 @@
+#include "match/host_labels.hpp"
+
+#include "util/check.hpp"
+
+namespace subg {
+
+const std::vector<Label>& HostLabelCache::labels(const RailKey& rails,
+                                                 std::size_t round) {
+  std::vector<std::vector<Label>>& seq = sequences_[rails];
+  if (seq.empty()) {
+    // Round 0: invariant labels, with rail overrides. Host-declared globals
+    // that are NOT in the rail set get ordinary degree labels (specialness
+    // is pattern-driven; see phase1.cpp).
+    std::vector<Label> init(g_->vertex_count());
+    const Netlist& hnl = g_->netlist();
+    for (Vertex v = 0; v < g_->vertex_count(); ++v) {
+      init[v] = g_->is_device(v)
+                    ? g_->initial_label(v)
+                    : degree_label(hnl.net_degree(g_->net_of(v)));
+    }
+    for (const auto& [vertex, label] : rails) {
+      SUBG_CHECK_MSG(vertex < g_->vertex_count(), "rail vertex out of range");
+      init[vertex] = label;
+    }
+    seq.push_back(std::move(init));
+  }
+
+  while (seq.size() <= round) {
+    const std::size_t r = seq.size();  // computing labels after round r
+    const bool net_round = (r % 2) == 1;
+    const std::vector<Label>& prev = seq.back();
+    std::vector<Label> next = prev;
+
+    std::vector<bool> is_rail(g_->vertex_count(), false);
+    for (const auto& [vertex, label] : rails) is_rail[vertex] = true;
+
+    for (Vertex v = 0; v < g_->vertex_count(); ++v) {
+      const bool is_net = g_->is_net(v);
+      if (is_net != net_round || is_rail[v]) continue;
+      Label sum = 0;
+      for (const auto& e : g_->edges(v)) {
+        sum += edge_contribution(e.coefficient, prev[e.to]);
+      }
+      next[v] = relabel(prev[v], sum);
+    }
+    seq.push_back(std::move(next));
+  }
+  return seq[round];
+}
+
+std::size_t HostLabelCache::cached_rounds() const {
+  std::size_t total = 0;
+  for (const auto& [key, seq] : sequences_) total += seq.size();
+  return total;
+}
+
+}  // namespace subg

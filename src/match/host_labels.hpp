@@ -1,0 +1,52 @@
+// Host-side Phase I label sequences, cacheable across patterns.
+//
+// Phase I relabels the WHOLE host every round (host labels are "true"
+// labels — every neighbor contributes, no corrupt bits), so the label array
+// after k rounds is a pure function of (host graph, which host nets act as
+// special rails and with what fixed labels). Pattern structure only decides
+// how many rounds get used and which labels survive consistency pruning.
+// Searching one host for a whole cell library therefore recomputes the
+// same arrays once per cell; a HostLabelCache shares them.
+//
+//   HostLabelCache cache(host_graph);
+//   Phase1Options opts;
+//   opts.host_cache = &cache;
+//   run_phase1(pattern1, host_graph, opts);  // computes rounds 0..k1
+//   run_phase1(pattern2, host_graph, opts);  // reuses them
+//
+// Rounds alternate like Phase I does: round 0 = initial invariant labels,
+// odd rounds relabel nets, even rounds relabel devices.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "graph/circuit_graph.hpp"
+
+namespace subg {
+
+class HostLabelCache {
+ public:
+  /// Identifies a rail configuration: (host net vertex, fixed label) pairs,
+  /// sorted by vertex. Built by Phase I from the pattern's global nets.
+  using RailKey = std::vector<std::pair<Vertex, Label>>;
+
+  explicit HostLabelCache(const CircuitGraph& host) : g_(&host) {}
+
+  /// Label array after `round` relabeling steps under `rails`; computed
+  /// (and memoized) on demand.
+  const std::vector<Label>& labels(const RailKey& rails, std::size_t round);
+
+  [[nodiscard]] const CircuitGraph& host() const { return *g_; }
+
+  /// Number of label arrays currently memoized (for tests/benches).
+  [[nodiscard]] std::size_t cached_rounds() const;
+
+ private:
+  const CircuitGraph* g_;
+  std::map<RailKey, std::vector<std::vector<Label>>> sequences_;
+};
+
+}  // namespace subg

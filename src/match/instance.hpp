@@ -1,0 +1,32 @@
+// Match records and statistics shared by Phase II and the public matcher.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "netlist/ids.hpp"
+
+namespace subg {
+
+/// One verified instance of the pattern inside the host: a full
+/// vertex-to-vertex mapping, indexed by pattern device/net index.
+struct SubcircuitInstance {
+  /// device_image[i] = host device matched to pattern device i.
+  std::vector<DeviceId> device_image;
+  /// net_image[i] = host net matched to pattern net i (globals included,
+  /// resolved by name).
+  std::vector<NetId> net_image;
+};
+
+/// Phase II counters, accumulated across all candidates of a search.
+struct Phase2Stats {
+  std::size_t candidates_tried = 0;
+  std::size_t candidates_matched = 0;
+  std::size_t passes = 0;            ///< relabeling passes, all candidates
+  std::size_t guesses = 0;           ///< postulated matches at ambiguity points
+  std::size_t backtracks = 0;        ///< failed guesses undone
+  std::size_t verify_failures = 0;   ///< final explicit verification rejected
+  std::size_t max_guess_depth = 0;
+};
+
+}  // namespace subg

@@ -1,0 +1,141 @@
+#include "match/matcher.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/check.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace subg {
+
+namespace {
+/// Pattern must be connected when global rails are allowed as connectors:
+/// Phase II refinement spreads along edges (crossing rails only via the
+/// guess fallback), so an island with no rail anchor could never be placed.
+void check_pattern_connected(const CircuitGraph& s) {
+  const std::size_t nv = s.vertex_count();
+  if (nv == 0) return;
+  std::vector<bool> seen(nv, false);
+  std::vector<Vertex> stack;
+  // Start from any device (patterns always have one).
+  stack.push_back(0);
+  seen[0] = true;
+  while (!stack.empty()) {
+    Vertex v = stack.back();
+    stack.pop_back();
+    for (const auto& e : s.edges(v)) {
+      if (!seen[e.to]) {
+        seen[e.to] = true;
+        stack.push_back(e.to);
+      }
+    }
+  }
+  for (Vertex v = 0; v < nv; ++v) {
+    // Unconnected special rails declared but unused are harmless.
+    if (!seen[v] && !(s.is_net(v) && s.degree(v) == 0)) {
+      SUBG_CHECK_MSG(false, "pattern netlist is disconnected at "
+                                << s.vertex_name(v)
+                                << "; split it into connected patterns");
+    }
+  }
+}
+}  // namespace
+
+void SubgraphMatcher::check_catalog_compatibility(const Netlist& pattern,
+                                                  const Netlist& host) {
+  if (&pattern.catalog() == &host.catalog()) return;
+  for (const DeviceTypeInfo& pt : pattern.catalog().types()) {
+    auto hid = host.catalog().find(pt.name);
+    if (!hid) continue;  // host simply has no such devices
+    const DeviceTypeInfo& ht = host.catalog().type(*hid);
+    SUBG_CHECK_MSG(pt.pin_class == ht.pin_class,
+                   "device type '" << pt.name
+                                   << "' has different pin structure in the "
+                                      "pattern and host catalogs");
+  }
+}
+
+SubgraphMatcher::SubgraphMatcher(const Netlist& pattern, const Netlist& host,
+                                 MatchOptions options)
+    : pattern_(pattern),
+      host_(host),
+      options_(options),
+      pattern_graph_(pattern),
+      owned_host_graph_(std::in_place, host),
+      host_graph_(&*owned_host_graph_) {
+  validate_inputs();
+}
+
+SubgraphMatcher::SubgraphMatcher(const Netlist& pattern,
+                                 const CircuitGraph& host_graph,
+                                 MatchOptions options)
+    : pattern_(pattern),
+      host_(host_graph.netlist()),
+      options_(options),
+      pattern_graph_(pattern),
+      host_graph_(&host_graph) {
+  validate_inputs();
+}
+
+void SubgraphMatcher::validate_inputs() const {
+  SUBG_CHECK_MSG(pattern_.device_count() > 0, "pattern netlist has no devices");
+  check_catalog_compatibility(pattern_, host_);
+  check_pattern_connected(pattern_graph_);
+}
+
+MatchReport SubgraphMatcher::run(std::size_t limit) {
+  MatchReport report;
+  Timer timer;
+  report.phase1 = run_phase1(pattern_graph_, *host_graph_, options_.phase1);
+  report.phase1_seconds = timer.seconds();
+  if (!report.phase1.feasible) return report;
+
+  Phase2Options p2;
+  p2.seed = options_.seed;
+  p2.max_passes_per_candidate = options_.max_phase2_passes_per_candidate;
+  p2.max_guess_depth = options_.max_guess_depth;
+  p2.trace = options_.trace;
+
+  timer.reset();
+  Phase2Verifier verifier(pattern_graph_, *host_graph_, p2);
+  std::set<std::vector<std::uint32_t>> seen_device_sets;
+  auto accept = [&](SubcircuitInstance&& inst) {
+    if (options_.deduplicate || options_.exhaustive) {
+      std::vector<std::uint32_t> key_set;
+      key_set.reserve(inst.device_image.size());
+      for (DeviceId d : inst.device_image) key_set.push_back(d.value);
+      std::sort(key_set.begin(), key_set.end());
+      if (!seen_device_sets.insert(std::move(key_set)).second) return;
+    }
+    report.instances.push_back(std::move(inst));
+  };
+  for (Vertex c : report.phase1.candidates) {
+    if (report.instances.size() >= limit) break;
+    if (options_.exhaustive) {
+      std::vector<SubcircuitInstance> found = verifier.enumerate(
+          report.phase1.key, c, limit - report.instances.size());
+      for (SubcircuitInstance& inst : found) accept(std::move(inst));
+    } else {
+      auto inst = verifier.verify(report.phase1.key, c);
+      if (inst) accept(std::move(*inst));
+    }
+  }
+  report.phase2 = verifier.stats();
+  report.phase2_seconds = timer.seconds();
+
+  SUBG_DEBUG("matcher: cv=" << report.phase1.candidates.size() << " found="
+                            << report.instances.size() << " in "
+                            << report.total_seconds() * 1e3 << " ms");
+  return report;
+}
+
+MatchReport SubgraphMatcher::find_all() { return run(options_.max_matches); }
+
+std::optional<SubcircuitInstance> SubgraphMatcher::find_first() {
+  MatchReport report = run(1);
+  if (report.instances.empty()) return std::nullopt;
+  return std::move(report.instances.front());
+}
+
+}  // namespace subg

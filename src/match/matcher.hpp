@@ -1,0 +1,103 @@
+// SubgraphMatcher — the public entry point of the SubGemini algorithm.
+//
+// Given a pattern netlist (the subcircuit, with its external nets marked as
+// ports and its rails marked global) and a host netlist, find the instances
+// of the pattern inside the host:
+//
+//   SubgraphMatcher matcher(nand2, chip);
+//   MatchReport report = matcher.find_all();
+//   for (const SubcircuitInstance& inst : report.instances) { ... }
+//
+// Phase I computes a key vertex and candidate vector; Phase II verifies
+// each candidate. find_all() reports at most one instance per candidate —
+// distinct instances have distinct images of the key vertex, so every
+// instance is discovered; overlapping instances that share a key image
+// resolve to one representative (the paper's semantics, which is what gate
+// extraction wants). Results are deduplicated by their device set, so
+// pattern automorphisms do not double-count.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "graph/circuit_graph.hpp"
+#include "match/instance.hpp"
+#include "match/phase1.hpp"
+#include "match/phase2.hpp"
+
+namespace subg {
+
+struct MatchOptions {
+  /// Stop after this many verified instances.
+  std::size_t max_matches = static_cast<std::size_t>(-1);
+  /// Drop instances whose host device set equals an earlier instance's.
+  bool deduplicate = true;
+  /// Exhaustive semantics: enumerate EVERY instance (like the baselines) by
+  /// exploring all Phase II guess branches per candidate, instead of the
+  /// paper's one-instance-per-key-image. Costs extra only where instances
+  /// overlap or patterns are symmetric. Implies deduplication.
+  bool exhaustive = false;
+  /// Seed for the fixed labels Phase II assigns to matched pairs.
+  std::uint64_t seed = 0x53554247454D494EULL;
+  Phase1Options phase1;
+  std::size_t max_phase2_passes_per_candidate = 1u << 20;
+  std::size_t max_guess_depth = 4096;
+  /// Optional Phase II pass trace (small examples only).
+  Phase2Trace* trace = nullptr;
+};
+
+struct MatchReport {
+  std::vector<SubcircuitInstance> instances;
+  Phase1Result phase1;
+  Phase2Stats phase2;
+  double phase1_seconds = 0;
+  double phase2_seconds = 0;
+
+  [[nodiscard]] std::size_t count() const { return instances.size(); }
+  [[nodiscard]] double total_seconds() const {
+    return phase1_seconds + phase2_seconds;
+  }
+};
+
+class SubgraphMatcher {
+ public:
+  /// Both netlists must outlive the matcher and stay unmodified while it is
+  /// in use. Throws subg::Error when the pattern is empty, when it is
+  /// disconnected (counting global rails as connectors), or when the two
+  /// catalogs disagree on the pin structure of a shared device type.
+  SubgraphMatcher(const Netlist& pattern, const Netlist& host,
+                  MatchOptions options = {});
+
+  /// Same, but over a caller-owned host graph — build one CircuitGraph (and
+  /// optionally one HostLabelCache, via options.phase1.host_cache) and share
+  /// them across a whole library sweep.
+  SubgraphMatcher(const Netlist& pattern, const CircuitGraph& host_graph,
+                  MatchOptions options = {});
+
+  /// Find all instances (per the key-image semantics above).
+  [[nodiscard]] MatchReport find_all();
+
+  /// Find at most one instance.
+  [[nodiscard]] std::optional<SubcircuitInstance> find_first();
+
+  [[nodiscard]] const CircuitGraph& pattern_graph() const { return pattern_graph_; }
+  [[nodiscard]] const CircuitGraph& host_graph() const { return *host_graph_; }
+
+  /// Throws subg::Error if shared device-type names have mismatched pin
+  /// structure across the two catalogs.
+  static void check_catalog_compatibility(const Netlist& pattern,
+                                          const Netlist& host);
+
+ private:
+  MatchReport run(std::size_t limit);
+  void validate_inputs() const;
+
+  const Netlist& pattern_;
+  const Netlist& host_;
+  MatchOptions options_;
+  CircuitGraph pattern_graph_;
+  std::optional<CircuitGraph> owned_host_graph_;
+  const CircuitGraph* host_graph_;
+};
+
+}  // namespace subg

@@ -1,0 +1,283 @@
+#include "match/phase1.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "match/host_labels.hpp"
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace subg {
+
+namespace {
+
+/// Vertex kind selector for the alternating rounds.
+enum class Kind { kNet, kDevice };
+
+struct Phase1State {
+  const CircuitGraph& s;
+  const CircuitGraph& g;
+  HostLabelCache& cache;
+  HostLabelCache::RailKey rail_key;
+
+  std::vector<Label> label_s;
+  std::vector<Label> scratch_s;
+  std::vector<bool> valid_s;     // pattern: valid (not corrupt)
+  std::vector<bool> possible_g;  // host: still a possible image of a valid vertex
+  /// Host vertices treated as special for THIS match: a host net is special
+  /// iff the pattern declares a same-named global (paper §IV.A — special
+  /// signals are matched by name). A host rail that the pattern does not
+  /// name is an ordinary net here.
+  std::vector<bool> special_g;
+  /// Host labels after `round` relabeling steps (shared via the cache).
+  const std::vector<Label>* label_g;
+  std::size_t round = 0;
+
+  explicit Phase1State(const CircuitGraph& pattern, const CircuitGraph& host,
+                       HostLabelCache& host_cache)
+      : s(pattern), g(host), cache(host_cache) {
+    label_s.resize(s.vertex_count());
+    for (Vertex v = 0; v < s.vertex_count(); ++v) label_s[v] = s.initial_label(v);
+    scratch_s = label_s;
+
+    // Resolve the pattern's rails against the host by name; they form the
+    // cache key and are excluded from candidacy.
+    special_g.assign(g.vertex_count(), false);
+    const Netlist& pnl = s.netlist();
+    const Netlist& hnl = g.netlist();
+    for (Vertex v = 0; v < s.vertex_count(); ++v) {
+      if (!s.is_special(v)) continue;
+      auto hn = hnl.find_net(pnl.net_name(s.net_of(v)));
+      if (hn.has_value()) {
+        const Vertex hv = g.vertex_of(*hn);
+        special_g[hv] = true;
+        rail_key.emplace_back(hv, s.initial_label(v));
+      }
+    }
+    std::sort(rail_key.begin(), rail_key.end());
+    label_g = &cache.labels(rail_key, 0);
+
+    valid_s.assign(s.vertex_count(), true);
+    for (NetId port : pnl.ports()) {
+      if (!pnl.is_global(port)) valid_s[s.vertex_of(port)] = false;
+    }
+    // Host: special nets are matched by name, never by candidate search.
+    possible_g.assign(g.vertex_count(), true);
+    for (Vertex v = 0; v < g.vertex_count(); ++v) {
+      if (special_g[v]) possible_g[v] = false;
+    }
+  }
+
+  [[nodiscard]] static bool kind_of(const CircuitGraph& graph, Vertex v,
+                                    Kind kind) {
+    return kind == Kind::kDevice ? graph.is_device(v) : graph.is_net(v);
+  }
+
+  /// One synchronous relabeling round over all vertices of `kind`.
+  /// Pattern vertices whose neighbor (of the other kind) is corrupt become
+  /// corrupt themselves instead of being relabeled; host labels advance via
+  /// the shared cache.
+  void relabel_round(Kind kind) {
+    for (Vertex v = 0; v < s.vertex_count(); ++v) {
+      if (!kind_of(s, v, kind) || s.is_special(v) || !valid_s[v]) continue;
+      Label sum = 0;
+      bool corrupt = false;
+      for (const auto& e : s.edges(v)) {
+        if (!valid_s[e.to]) {
+          corrupt = true;
+          break;
+        }
+        sum += edge_contribution(e.coefficient, label_s[e.to]);
+      }
+      if (corrupt) {
+        valid_s[v] = false;
+      } else {
+        scratch_s[v] = relabel(label_s[v], sum);
+      }
+    }
+    for (Vertex v = 0; v < s.vertex_count(); ++v) {
+      if (kind_of(s, v, kind) && !s.is_special(v) && valid_s[v]) {
+        label_s[v] = scratch_s[v];
+      }
+    }
+    ++round;
+    label_g = &cache.labels(rail_key, round);
+  }
+
+  [[nodiscard]] bool any_valid(Kind kind) const {
+    for (Vertex v = 0; v < s.vertex_count(); ++v) {
+      if (kind_of(s, v, kind) && !s.is_special(v) && valid_s[v]) return true;
+    }
+    return false;
+  }
+
+  /// (valid vertex count, distinct label count) over valid pattern vertices
+  /// of a kind — used to detect that refinement has stabilized (patterns
+  /// with few or no ports may never corrupt a whole side).
+  [[nodiscard]] std::pair<std::size_t, std::size_t> refinement_shape(
+      Kind kind) const {
+    std::unordered_map<Label, std::size_t> parts;
+    std::size_t count = 0;
+    for (Vertex v = 0; v < s.vertex_count(); ++v) {
+      if (kind_of(s, v, kind) && !s.is_special(v) && valid_s[v]) {
+        ++count;
+        ++parts[label_s[v]];
+      }
+    }
+    return {count, parts.size()};
+  }
+
+  bool prune = true;
+
+  /// Prune host vertices whose label matches no valid pattern partition;
+  /// detect infeasibility when a host partition is smaller than its valid
+  /// pattern twin. Returns false on infeasibility.
+  [[nodiscard]] bool consistency(Kind kind) {
+    if (!prune) return true;
+    std::unordered_map<Label, std::size_t> s_count;
+    for (Vertex v = 0; v < s.vertex_count(); ++v) {
+      if (kind_of(s, v, kind) && !s.is_special(v) && valid_s[v]) {
+        ++s_count[label_s[v]];
+      }
+    }
+    std::unordered_map<Label, std::size_t> g_count;
+    for (Vertex v = 0; v < g.vertex_count(); ++v) {
+      if (!kind_of(g, v, kind) || !possible_g[v]) continue;
+      auto it = s_count.find((*label_g)[v]);
+      if (it == s_count.end()) {
+        possible_g[v] = false;  // cannot be the image of any valid vertex
+      } else {
+        ++g_count[(*label_g)[v]];
+      }
+    }
+    for (const auto& [lbl, need] : s_count) {
+      auto it = g_count.find(lbl);
+      const std::size_t have = it == g_count.end() ? 0 : it->second;
+      if (have < need) return false;  // no induced subgraph can exist
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+Phase1Result run_phase1(const CircuitGraph& pattern, const CircuitGraph& host,
+                        const Phase1Options& options) {
+  SUBG_CHECK_MSG(pattern.device_count() > 0, "pattern has no devices");
+
+  // Fall back to a call-local cache when the caller does not share one.
+  HostLabelCache local_cache(host);
+  HostLabelCache& cache =
+      options.host_cache != nullptr ? *options.host_cache : local_cache;
+  SUBG_CHECK_MSG(&cache.host() == &host,
+                 "host label cache was built over a different host graph");
+
+  Phase1Result result;
+  Phase1State st(pattern, host, cache);
+  st.prune = options.consistency_checks;
+
+  // Initial consistency pass over both sides of the bipartition (Fig 4:
+  // degree-/type-infeasible host vertices are pruned before any round).
+  if (!st.consistency(Kind::kNet) || !st.consistency(Kind::kDevice)) {
+    result.feasible = false;
+    return result;
+  }
+
+  auto prev_shape = std::make_pair(st.refinement_shape(Kind::kNet),
+                                   st.refinement_shape(Kind::kDevice));
+  while (result.rounds < options.max_rounds) {
+    st.relabel_round(Kind::kNet);
+    ++result.rounds;
+    if (!st.any_valid(Kind::kNet)) break;
+    if (!st.consistency(Kind::kNet)) {
+      result.feasible = false;
+      return result;
+    }
+
+    st.relabel_round(Kind::kDevice);
+    ++result.rounds;
+    if (!st.any_valid(Kind::kDevice)) break;
+    if (!st.consistency(Kind::kDevice)) {
+      result.feasible = false;
+      return result;
+    }
+
+    // No vertex corrupted and no partition split this full cycle ⇒
+    // refinement is stable and further rounds cannot sharpen the CV.
+    auto shape = std::make_pair(st.refinement_shape(Kind::kNet),
+                                st.refinement_shape(Kind::kDevice));
+    if (shape == prev_shape) break;
+    prev_shape = shape;
+  }
+
+  // Candidate-vector selection: for every label of a valid pattern vertex,
+  // count eligible host vertices; pick the label with the smallest host
+  // partition (least Phase II work). Ties break deterministically.
+  std::unordered_map<Label, std::pair<std::size_t, Vertex>> s_parts;  // count, first
+  for (Vertex v = 0; v < pattern.vertex_count(); ++v) {
+    if (pattern.is_special(v) || !st.valid_s[v]) continue;
+    auto [it, inserted] = s_parts.try_emplace(st.label_s[v], 1, v);
+    if (!inserted) {
+      ++it->second.first;
+      it->second.second = std::min(it->second.second, v);
+    }
+  }
+  SUBG_CHECK_MSG(!s_parts.empty(),
+                 "phase I: no valid pattern vertices remain (pattern is all "
+                 "ports/globals?)");
+
+  const std::vector<Label>& label_g = *st.label_g;
+  std::unordered_map<Label, std::size_t> g_count;
+  for (Vertex v = 0; v < host.vertex_count(); ++v) {
+    if (!st.possible_g[v]) continue;
+    if (s_parts.contains(label_g[v])) ++g_count[label_g[v]];
+  }
+
+  bool found = false;
+  Label best_label = 0;
+  std::size_t best_g = 0, best_s = 0;
+  for (const auto& [lbl, part] : s_parts) {
+    auto it = g_count.find(lbl);
+    const std::size_t have = it == g_count.end() ? 0 : it->second;
+    if (have < part.first) {
+      // Smaller host partition than pattern partition: infeasible.
+      result.feasible = false;
+      return result;
+    }
+    if (!found || have < best_g ||
+        (have == best_g && (part.first < best_s ||
+                            (part.first == best_s && lbl < best_label)))) {
+      found = true;
+      best_label = lbl;
+      best_g = have;
+      best_s = part.first;
+    }
+  }
+  SUBG_CHECK(found);
+
+  result.key = s_parts[best_label].second;
+  result.key_is_device = pattern.is_device(result.key);
+  result.candidates.reserve(best_g);
+  for (Vertex v = 0; v < host.vertex_count(); ++v) {
+    if (st.possible_g[v] && label_g[v] == best_label) {
+      result.candidates.push_back(v);
+    }
+  }
+  for (Vertex v = 0; v < pattern.vertex_count(); ++v) {
+    if (!pattern.is_special(v) && st.valid_s[v]) ++result.valid_pattern_vertices;
+  }
+  for (Vertex v = 0; v < host.vertex_count(); ++v) {
+    if (st.possible_g[v]) ++result.possible_host_vertices;
+  }
+  if (options.keep_labels) {
+    result.pattern_labels = st.label_s;
+    result.pattern_valid = st.valid_s;
+    result.host_labels = *st.label_g;
+  }
+
+  SUBG_DEBUG("phase1: rounds=" << result.rounds << " cv=" << result.candidates.size()
+                               << " key=" << pattern.vertex_name(result.key));
+  return result;
+}
+
+}  // namespace subg

@@ -1,0 +1,435 @@
+#include "match/phase2.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "match/verify.hpp"
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace subg {
+
+namespace {
+/// Relabel base: devices restate their type each pass, nets have no
+/// trustworthy invariant (an external net's host degree differs from its
+/// pattern degree), so they start from nothing (paper Table 1: "D3: A = n +
+/// sKV" vs "N2: B = sA").
+Label base_label(const CircuitGraph& graph, Vertex v) {
+  return graph.is_device(v) ? graph.initial_label(v) : kNoLabel;
+}
+}  // namespace
+
+Phase2Verifier::Phase2Verifier(const CircuitGraph& pattern,
+                               const CircuitGraph& host, Phase2Options options)
+    : s_(pattern), g_(host), options_(options) {
+  special_image_.assign(s_.vertex_count(), kInvalidVertex);
+  host_fixed_label_.assign(g_.vertex_count(), kNoLabel);
+
+  // Resolve pattern globals to same-named host nets (paper §IV.A: special
+  // signals mean the same thing in both circuits, so they match by name;
+  // the host need not have marked the net global itself). An unused
+  // (degree-0) pattern global places no constraint.
+  const Netlist& pnl = s_.netlist();
+  const Netlist& hnl = g_.netlist();
+  for (Vertex v = 0; v < s_.vertex_count(); ++v) {
+    if (!s_.is_special(v)) {
+      ++matchable_total_;
+      continue;
+    }
+    const std::string& name = pnl.net_name(s_.net_of(v));
+    auto hn = hnl.find_net(name);
+    if (!hn) {
+      if (s_.degree(v) > 0) {
+        globals_resolved_ = false;
+        SUBG_WARN("pattern global net '" << name
+                                         << "' has no same-named net in host");
+      }
+      continue;
+    }
+    special_image_[v] = g_.vertex_of(*hn);
+    host_fixed_label_[g_.vertex_of(*hn)] = s_.initial_label(v);
+  }
+}
+
+Label Phase2Verifier::fresh_label(State& st) {
+  Label l;
+  do {
+    l = st.rng();
+  } while (l == kNoLabel);
+  return l;
+}
+
+std::uint32_t Phase2Verifier::ensure_slot(State& st, Vertex g) {
+  auto [it, inserted] =
+      st.slot_of.try_emplace(g, static_cast<std::uint32_t>(st.slots.size()));
+  if (inserted) {
+    Slot slot;
+    slot.vertex = g;
+    st.slots.push_back(slot);
+  }
+  return it->second;
+}
+
+void Phase2Verifier::postulate(State& st, Vertex s, Vertex g) {
+  const Label l = fresh_label(st);
+  st.label_s[s] = l;
+  st.considered_s[s] = true;
+  st.safe_s[s] = true;
+  st.matched_s[s] = g;
+  ++st.matched_count;
+
+  Slot& slot = st.slots[ensure_slot(st, g)];
+  slot.label = l;
+  slot.safe = true;
+  slot.excluded = false;
+  slot.matched_to = s;
+}
+
+std::optional<SubcircuitInstance> Phase2Verifier::verify(Vertex key,
+                                                         Vertex candidate) {
+  ++stats_.candidates_tried;
+  if (!globals_resolved_) return std::nullopt;
+  if (s_.is_device(key) != g_.is_device(candidate)) return std::nullopt;
+  if (s_.is_device(key)) {
+    // Cheap pre-check: the candidate must at least share the device type.
+    if (s_.initial_label(key) != g_.initial_label(candidate)) return std::nullopt;
+  }
+
+  State st;
+  st.label_s.assign(s_.vertex_count(), kNoLabel);
+  st.considered_s.assign(s_.vertex_count(), false);
+  st.safe_s.assign(s_.vertex_count(), false);
+  st.matched_s.assign(s_.vertex_count(), kInvalidVertex);
+  st.rng = SplitMix64(options_.seed ^ splitmix64_mix(candidate));
+  postulate(st, key, candidate);
+  record_trace(st, 0);
+
+  SubcircuitInstance inst;
+  if (run(st, 0, &inst) == Outcome::kSuccess) {
+    ++stats_.candidates_matched;
+    return inst;
+  }
+  return std::nullopt;
+}
+
+std::vector<SubcircuitInstance> Phase2Verifier::enumerate(Vertex key,
+                                                          Vertex candidate,
+                                                          std::size_t limit) {
+  ++stats_.candidates_tried;
+  std::vector<SubcircuitInstance> found;
+  if (!globals_resolved_ || limit == 0) return found;
+  if (s_.is_device(key) != g_.is_device(candidate)) return found;
+  if (s_.is_device(key) &&
+      s_.initial_label(key) != g_.initial_label(candidate)) {
+    return found;
+  }
+
+  State st;
+  st.label_s.assign(s_.vertex_count(), kNoLabel);
+  st.considered_s.assign(s_.vertex_count(), false);
+  st.safe_s.assign(s_.vertex_count(), false);
+  st.matched_s.assign(s_.vertex_count(), kInvalidVertex);
+  st.rng = SplitMix64(options_.seed ^ splitmix64_mix(candidate));
+  postulate(st, key, candidate);
+  record_trace(st, 0);
+
+  SubcircuitInstance scratch;
+  (void)run(st, 0, &scratch, &found, limit);
+
+  // Automorphic branches revisit the same device set; dedup locally,
+  // keeping first-found order (deterministic).
+  std::set<std::vector<std::uint32_t>> seen;
+  std::vector<SubcircuitInstance> unique;
+  for (SubcircuitInstance& inst : found) {
+    std::vector<std::uint32_t> key_set;
+    key_set.reserve(inst.device_image.size());
+    for (DeviceId d : inst.device_image) key_set.push_back(d.value);
+    std::sort(key_set.begin(), key_set.end());
+    if (seen.insert(std::move(key_set)).second) {
+      unique.push_back(std::move(inst));
+    }
+  }
+  if (!unique.empty()) ++stats_.candidates_matched;
+  return unique;
+}
+
+Phase2Verifier::Outcome Phase2Verifier::run(
+    State& st, std::size_t depth, SubcircuitInstance* out,
+    std::vector<SubcircuitInstance>* sink, std::size_t sink_limit) {
+  stats_.max_guess_depth = std::max(stats_.max_guess_depth, depth);
+  while (true) {
+    if (st.matched_count == matchable_total_) {
+      if (!extract_mapping(st, out)) return Outcome::kFail;
+      if (!verify_mapping(*out)) {
+        ++stats_.verify_failures;
+        return Outcome::kFail;
+      }
+      if (sink != nullptr) {
+        // Enumerate mode: record and pretend failure so the parent guess
+        // loop explores the remaining branches.
+        sink->push_back(*out);
+        return Outcome::kFail;
+      }
+      return Outcome::kSuccess;
+    }
+    if (sink != nullptr && sink->size() >= sink_limit) return Outcome::kFail;
+    if (st.passes >= options_.max_passes_per_candidate) {
+      SUBG_WARN("phase2: pass budget exhausted; rejecting candidate");
+      return Outcome::kFail;
+    }
+
+    bool progress = false;
+    if (!pass(st, &progress)) return Outcome::kFail;
+    if (progress) continue;
+
+    // Stalled: refinement can make no further distinction (symmetric
+    // pattern, Fig 5). Guess a match in the most constrained stalled
+    // partition and recurse with backtracking.
+    if (depth >= options_.max_guess_depth) {
+      SUBG_WARN("phase2: guess depth budget exhausted; rejecting candidate");
+      return Outcome::kFail;
+    }
+
+    // Candidate images per pattern label among live host slots.
+    std::unordered_map<Label, std::vector<Vertex>> g_parts;
+    for (const Slot& slot : st.slots) {
+      if (slot.excluded || slot.matched_to != kInvalidVertex) continue;
+      if (slot.label != kNoLabel) g_parts[slot.label].push_back(slot.vertex);
+    }
+
+    Vertex guess_s = kInvalidVertex;
+    std::size_t best_size = 0;
+    for (Vertex v = 0; v < s_.vertex_count(); ++v) {
+      if (s_.is_special(v) || !st.considered_s[v]) continue;
+      if (st.matched_s[v] != kInvalidVertex || st.label_s[v] == kNoLabel) continue;
+      auto it = g_parts.find(st.label_s[v]);
+      if (it == g_parts.end()) return Outcome::kFail;  // should not happen
+      if (guess_s == kInvalidVertex || it->second.size() < best_size) {
+        guess_s = v;
+        best_size = it->second.size();
+      }
+    }
+
+    std::vector<Vertex> pool;
+    if (guess_s != kInvalidVertex) {
+      pool = g_parts[st.label_s[guess_s]];
+    } else {
+      // No labeled unmatched pattern vertex: the remaining pattern region is
+      // reachable only through a special rail (frontier expansion does not
+      // cross rails). Seed it by guessing a device hanging off a rail.
+      for (Vertex v = 0; v < s_.device_count() && guess_s == kInvalidVertex;
+           ++v) {
+        if (st.matched_s[v] != kInvalidVertex) continue;
+        for (const auto& e : s_.edges(v)) {
+          if (s_.is_special(e.to) && special_image_[e.to] != kInvalidVertex) {
+            guess_s = v;
+            // Pool: same-type host devices on the image rail, unmatched.
+            for (const auto& he : g_.edges(special_image_[e.to])) {
+              if (!g_.is_device(he.to)) continue;
+              if (g_.initial_label(he.to) != s_.initial_label(v)) continue;
+              auto sit = st.slot_of.find(he.to);
+              if (sit != st.slot_of.end()) {
+                const Slot& slot = st.slots[sit->second];
+                if (slot.excluded || slot.matched_to != kInvalidVertex) continue;
+              }
+              pool.push_back(he.to);
+            }
+            break;
+          }
+        }
+      }
+      if (guess_s == kInvalidVertex) {
+        // Disconnected pattern component with no rail anchor: unreachable by
+        // refinement. The public matcher rejects such patterns up front.
+        return Outcome::kFail;
+      }
+      std::sort(pool.begin(), pool.end());
+      pool.erase(std::unique(pool.begin(), pool.end()), pool.end());
+    }
+
+    for (Vertex g : pool) {
+      if (sink != nullptr && sink->size() >= sink_limit) break;
+      State snapshot = st;
+      ++stats_.guesses;
+      postulate(st, guess_s, g);
+      if (run(st, depth + 1, out, sink, sink_limit) == Outcome::kSuccess) {
+        return Outcome::kSuccess;
+      }
+      ++stats_.backtracks;
+      st = std::move(snapshot);
+    }
+    return Outcome::kFail;
+  }
+}
+
+bool Phase2Verifier::pass(State& st, bool* progress) {
+  ++st.passes;
+  ++stats_.passes;
+
+  // --- 1. Frontier expansion: neighbors of safe vertices join the search.
+  // Special rails never expand the frontier (they would drag their whole
+  // host fanout in); their labels still contribute below.
+  for (Vertex v = 0; v < s_.vertex_count(); ++v) {
+    if (s_.is_special(v) || !st.considered_s[v] || !st.safe_s[v]) continue;
+    for (const auto& e : s_.edges(v)) {
+      if (!s_.is_special(e.to)) st.considered_s[e.to] = true;
+    }
+  }
+  const std::size_t slot_count_before = st.slots.size();
+  for (std::size_t i = 0; i < slot_count_before; ++i) {
+    // Indexed loop: ensure_slot may grow st.slots.
+    if (!st.slots[i].safe) continue;
+    const Vertex v = st.slots[i].vertex;
+    for (const auto& e : g_.edges(v)) {
+      if (host_fixed_label_[e.to] == kNoLabel) ensure_slot(st, e.to);
+    }
+  }
+
+  // --- 2. Synchronous relabel of every live vertex on both sides.
+  // Contributions come only from neighbors that were safe as of the last
+  // completed pass (matched and special vertices are always safe).
+  auto safe_label_s = [&](Vertex u) -> Label {
+    if (s_.is_special(u)) {
+      return special_image_[u] != kInvalidVertex ? s_.initial_label(u) : kNoLabel;
+    }
+    return st.safe_s[u] ? st.label_s[u] : kNoLabel;
+  };
+  auto safe_label_g = [&](Vertex u) -> Label {
+    if (host_fixed_label_[u] != kNoLabel) return host_fixed_label_[u];
+    auto it = st.slot_of.find(u);
+    if (it == st.slot_of.end()) return kNoLabel;
+    const Slot& slot = st.slots[it->second];
+    return (slot.safe && !slot.excluded) ? slot.label : kNoLabel;
+  };
+
+  std::vector<std::pair<Vertex, Label>> new_s;
+  for (Vertex v = 0; v < s_.vertex_count(); ++v) {
+    if (s_.is_special(v) || !st.considered_s[v]) continue;
+    if (st.matched_s[v] != kInvalidVertex) continue;
+    Label sum = 0;
+    for (const auto& e : s_.edges(v)) {
+      const Label nl = safe_label_s(e.to);
+      if (nl != kNoLabel) sum += edge_contribution(e.coefficient, nl);
+    }
+    new_s.emplace_back(v, relabel(base_label(s_, v), sum));
+  }
+  std::vector<std::pair<std::uint32_t, Label>> new_g;
+  for (std::uint32_t i = 0; i < st.slots.size(); ++i) {
+    const Slot& slot = st.slots[i];
+    if (slot.excluded || slot.matched_to != kInvalidVertex) continue;
+    Label sum = 0;
+    for (const auto& e : g_.edges(slot.vertex)) {
+      const Label nl = safe_label_g(e.to);
+      if (nl != kNoLabel) sum += edge_contribution(e.coefficient, nl);
+    }
+    new_g.emplace_back(i, relabel(base_label(g_, slot.vertex), sum));
+  }
+  for (const auto& [v, l] : new_s) st.label_s[v] = l;
+  for (const auto& [i, l] : new_g) st.slots[i].label = l;
+
+  // --- 3. Partition comparison: equal sizes ⇒ safe; host-only labels ⇒
+  // excluded; undersized host partitions ⇒ hypothesis refuted.
+  struct Part {
+    std::vector<Vertex> s_members;
+    std::vector<std::uint32_t> g_slots;
+  };
+  std::unordered_map<Label, Part> parts;
+  for (Vertex v = 0; v < s_.vertex_count(); ++v) {
+    if (s_.is_special(v) || !st.considered_s[v]) continue;
+    if (st.matched_s[v] != kInvalidVertex) continue;
+    parts[st.label_s[v]].s_members.push_back(v);
+  }
+  for (std::uint32_t i = 0; i < st.slots.size(); ++i) {
+    const Slot& slot = st.slots[i];
+    if (slot.excluded || slot.matched_to != kInvalidVertex) continue;
+    parts[slot.label].g_slots.push_back(i);
+  }
+
+  const std::size_t matched_before = st.matched_count;
+  std::size_t safe_unmatched = 0;
+  std::vector<std::pair<Vertex, Vertex>> to_match;
+  for (auto& [label, part] : parts) {
+    if (part.s_members.empty()) {
+      for (std::uint32_t i : part.g_slots) st.slots[i].excluded = true;
+      continue;
+    }
+    if (part.g_slots.size() < part.s_members.size()) return false;
+    const bool safe = part.g_slots.size() == part.s_members.size();
+    for (Vertex v : part.s_members) st.safe_s[v] = safe;
+    for (std::uint32_t i : part.g_slots) st.slots[i].safe = safe;
+    if (safe) {
+      safe_unmatched += part.s_members.size();
+      if (part.s_members.size() == 1) {
+        to_match.emplace_back(part.s_members.front(),
+                              st.slots[part.g_slots.front()].vertex);
+      }
+    }
+  }
+
+  // --- 4. Match singleton safe pairs (fresh fixed labels).
+  for (const auto& [sv, gv] : to_match) {
+    const Label l = fresh_label(st);
+    st.label_s[sv] = l;
+    st.matched_s[sv] = gv;
+    ++st.matched_count;
+    Slot& slot = st.slots[st.slot_of.at(gv)];
+    slot.label = l;
+    slot.safe = true;
+    slot.matched_to = sv;
+    --safe_unmatched;
+  }
+
+  *progress = st.matched_count > matched_before ||
+              safe_unmatched > st.safe_unmatched;
+  st.safe_unmatched = safe_unmatched;
+  record_trace(st, st.passes);
+  return true;
+}
+
+bool Phase2Verifier::extract_mapping(const State& st,
+                                     SubcircuitInstance* out) const {
+  out->device_image.assign(s_.device_count(), DeviceId());
+  out->net_image.assign(s_.net_count(), NetId());
+  for (Vertex v = 0; v < s_.vertex_count(); ++v) {
+    Vertex image;
+    if (s_.is_special(v)) {
+      image = special_image_[v];
+      if (image == kInvalidVertex && s_.degree(v) == 0) {
+        continue;  // unused pattern global: no image required
+      }
+    } else {
+      image = st.matched_s[v];
+    }
+    if (image == kInvalidVertex) return false;
+    if (s_.is_device(v)) {
+      if (!g_.is_device(image)) return false;
+      out->device_image[v] = g_.device_of(image);
+    } else {
+      if (!g_.is_net(image)) return false;
+      out->net_image[s_.net_of(v).index()] = g_.net_of(image);
+    }
+  }
+  return true;
+}
+
+bool Phase2Verifier::verify_mapping(const SubcircuitInstance& inst) const {
+  return verify_instance(s_.netlist(), g_.netlist(), inst);
+}
+
+void Phase2Verifier::record_trace(const State& st, std::size_t pass) const {
+  if (options_.trace == nullptr) return;
+  for (Vertex v = 0; v < s_.vertex_count(); ++v) {
+    if (s_.is_special(v) || !st.considered_s[v]) continue;
+    options_.trace->entries.push_back(Phase2Trace::Entry{
+        stats_.candidates_tried, pass, false, v, st.label_s[v], st.safe_s[v],
+        st.matched_s[v] != kInvalidVertex});
+  }
+  for (const Slot& slot : st.slots) {
+    if (slot.excluded) continue;
+    options_.trace->entries.push_back(Phase2Trace::Entry{
+        stats_.candidates_tried, pass, true, slot.vertex, slot.label,
+        slot.safe, slot.matched_to != kInvalidVertex});
+  }
+}
+
+}  // namespace subg

@@ -1,0 +1,151 @@
+// Phase II — candidate verification (paper §IV, Algorithm VerifyImage).
+//
+// For a candidate c, postulate image(K) = c, give both vertices one fresh
+// fixed label, and relabel outward. Only *safe* labels may contribute to a
+// relabeling: a partition (same-label vertex group) is safe when its
+// pattern and host sides have equal size — under the working hypothesis
+// that an instance exists, an equal-sized host partition can contain only
+// image vertices. Oversized host partitions are suspect; host vertices
+// whose label matches no pattern partition are excluded (not in the image);
+// an undersized host partition refutes the hypothesis. Singleton safe
+// pairs are matched and receive a fresh fixed label that keeps refining
+// their neighborhoods. Throughout,
+//
+//   Label Invariant (2): if g = image(s) then label(g) == label(s), and
+//                        g and s are both safe or both suspect.
+//
+// When refinement stalls (symmetric patterns, Fig 5) the verifier guesses a
+// match inside the smallest stalled partition and recurses with full state
+// save/restore (backtracking). A fully matched mapping is then verified
+// explicitly — edges, pin equivalence classes, induced-ness of internal
+// nets — so reported instances are sound even if 64-bit labels collide.
+//
+// Special signals (paper §IV.A): global nets are pre-matched by name,
+// carry fixed name-derived labels, are never relabeled and never expand the
+// search frontier — matching a pattern against a 100k-fanout rail must not
+// drag the whole rail fanout into the refinement.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/circuit_graph.hpp"
+#include "match/instance.hpp"
+#include "util/rng.hpp"
+
+namespace subg {
+
+/// Optional pass-by-pass trace (used to regenerate the paper's Table 1).
+struct Phase2Trace {
+  struct Entry {
+    std::size_t candidate;  ///< 1-based index of the verify() call
+    std::size_t pass;   ///< relabeling pass, 1-based; 0 = initial postulate
+    bool host;          ///< false: pattern-side vertex; true: host-side
+    Vertex vertex;
+    Label label;
+    bool safe;
+    bool matched;
+  };
+  std::vector<Entry> entries;
+};
+
+struct Phase2Options {
+  std::uint64_t seed = 0x53554247454D494EULL;  // "SUBGEMIN"
+  std::size_t max_passes_per_candidate = 1u << 20;
+  std::size_t max_guess_depth = 4096;
+  /// When non-null, every pass appends the labels of both graphs' live
+  /// vertices. Only use on small examples.
+  Phase2Trace* trace = nullptr;
+};
+
+class Phase2Verifier {
+ public:
+  /// Both graphs must outlive the verifier. Pattern global nets are
+  /// resolved against same-named host global nets at construction.
+  Phase2Verifier(const CircuitGraph& pattern, const CircuitGraph& host,
+                 Phase2Options options = {});
+
+  /// False when some pattern global net has no same-named global net in the
+  /// host — then no instance can exist and verify() always returns nullopt.
+  [[nodiscard]] bool globals_resolved() const { return globals_resolved_; }
+
+  /// Attempt to find one instance in which `candidate` is the image of
+  /// `key`. Returns the full mapping on success.
+  [[nodiscard]] std::optional<SubcircuitInstance> verify(Vertex key,
+                                                         Vertex candidate);
+
+  /// Enumerate EVERY instance in which `candidate` is the image of `key`
+  /// (deduplicated by host device set), by exploring all guess branches
+  /// instead of stopping at the first completion. Forced (refinement)
+  /// steps are shared by all such instances, so only ambiguity points
+  /// branch; symmetric patterns still enumerate automorphic assignments,
+  /// so `limit` caps the work. Used for exhaustive matching semantics.
+  [[nodiscard]] std::vector<SubcircuitInstance> enumerate(Vertex key,
+                                                          Vertex candidate,
+                                                          std::size_t limit);
+
+  [[nodiscard]] const Phase2Stats& stats() const { return stats_; }
+
+ private:
+  struct Slot {
+    Vertex vertex;
+    Label label = kNoLabel;
+    bool safe = false;      // as of the last completed pass
+    bool excluded = false;  // proven outside the image under this hypothesis
+    Vertex matched_to = kInvalidVertex;  // pattern vertex, if matched
+  };
+
+  /// Complete mutable search state; copied wholesale for backtracking.
+  struct State {
+    // Pattern side (dense arrays over pattern vertices).
+    std::vector<Label> label_s;
+    std::vector<bool> considered_s;
+    std::vector<bool> safe_s;                 // as of the last completed pass
+    std::vector<Vertex> matched_s;            // host vertex, if matched
+    std::size_t matched_count = 0;            // matched non-special vertices
+    std::size_t safe_unmatched = 0;           // |safe ∧ ¬matched| pattern side
+    // Host side (sparse: only vertices the refinement has touched).
+    std::unordered_map<Vertex, std::uint32_t> slot_of;
+    std::vector<Slot> slots;
+    SplitMix64 rng;
+    std::size_t passes = 0;
+  };
+
+  enum class Outcome { kSuccess, kFail };
+
+  static constexpr Vertex kInvalidVertex = 0xFFFFFFFFu;
+
+  /// In enumerate mode `sink` collects completions and run() keeps
+  /// backtracking (returns kFail upward) until branches are exhausted or
+  /// `sink_limit` is reached.
+  Outcome run(State& st, std::size_t depth, SubcircuitInstance* out,
+              std::vector<SubcircuitInstance>* sink = nullptr,
+              std::size_t sink_limit = 0);
+  /// One relabel + partition + safety + match pass. Returns false on
+  /// refuted hypothesis; sets *progress.
+  bool pass(State& st, bool* progress);
+  void postulate(State& st, Vertex s, Vertex g);
+  std::uint32_t ensure_slot(State& st, Vertex g);
+  [[nodiscard]] Label fresh_label(State& st);
+  [[nodiscard]] bool extract_mapping(const State& st,
+                                     SubcircuitInstance* out) const;
+  [[nodiscard]] bool verify_mapping(const SubcircuitInstance& inst) const;
+  void record_trace(const State& st, std::size_t pass) const;
+
+  const CircuitGraph& s_;
+  const CircuitGraph& g_;
+  Phase2Options options_;
+  Phase2Stats stats_;
+  bool globals_resolved_ = true;
+  /// Pattern special net vertex → host special net vertex (by name).
+  std::vector<Vertex> special_image_;  // indexed by pattern vertex; kInvalidVertex
+  /// Host vertices acting as special rails for THIS pattern (same-named
+  /// pattern global exists): their fixed label; kNoLabel for ordinary
+  /// vertices — including host-declared globals the pattern does not name.
+  std::vector<Label> host_fixed_label_;
+  std::size_t matchable_total_ = 0;    // non-special pattern vertices
+};
+
+}  // namespace subg

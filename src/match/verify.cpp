@@ -1,0 +1,80 @@
+#include "match/verify.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace subg {
+
+bool verify_instance(const Netlist& pnl, const Netlist& hnl,
+                     const SubcircuitInstance& inst) {
+  if (inst.device_image.size() != pnl.device_count()) return false;
+  if (inst.net_image.size() != pnl.net_count()) return false;
+
+  // Injectivity.
+  {
+    std::vector<std::uint32_t> devs;
+    devs.reserve(inst.device_image.size());
+    for (DeviceId d : inst.device_image) {
+      if (!d.valid()) return false;
+      devs.push_back(d.value);
+    }
+    std::sort(devs.begin(), devs.end());
+    if (std::adjacent_find(devs.begin(), devs.end()) != devs.end()) return false;
+
+    std::vector<std::uint32_t> nets;
+    nets.reserve(inst.net_image.size());
+    for (std::uint32_t i = 0; i < inst.net_image.size(); ++i) {
+      const NetId n = inst.net_image[i];
+      if (!n.valid()) {
+        const NetId pn(i);
+        if (pnl.is_global(pn) && pnl.net_degree(pn) == 0) continue;
+        return false;
+      }
+      nets.push_back(n.value);
+    }
+    std::sort(nets.begin(), nets.end());
+    if (std::adjacent_find(nets.begin(), nets.end()) != nets.end()) return false;
+  }
+
+  // Device structure: same type; pin connections agree up to pin
+  // equivalence classes.
+  for (std::uint32_t d = 0; d < pnl.device_count(); ++d) {
+    const DeviceId pd(d);
+    const DeviceId hd = inst.device_image[d];
+    const DeviceTypeInfo& pt = pnl.device_type_info(pd);
+    const DeviceTypeInfo& ht = hnl.device_type_info(hd);
+    if (pt.name != ht.name || pt.pin_class != ht.pin_class) return false;
+
+    auto ppins = pnl.device_pins(pd);
+    auto hpins = hnl.device_pins(hd);
+    if (ppins.size() != hpins.size()) return false;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> want, have;
+    want.reserve(ppins.size());
+    have.reserve(hpins.size());
+    for (std::uint32_t p = 0; p < ppins.size(); ++p) {
+      want.emplace_back(pt.pin_class[p], inst.net_image[ppins[p].index()].value);
+      have.emplace_back(ht.pin_class[p], hpins[p].value);
+    }
+    std::sort(want.begin(), want.end());
+    std::sort(have.begin(), have.end());
+    if (want != have) return false;
+  }
+
+  // Net structure: internal nets must be fully accounted for — the image is
+  // an *induced* subgraph (paper §II). Port images may be fatter.
+  for (std::uint32_t n = 0; n < pnl.net_count(); ++n) {
+    const NetId pn(n);
+    if (pnl.is_global(pn)) continue;  // matched by name; any degree
+    const NetId hn = inst.net_image[n];
+    const std::size_t pd = pnl.net_degree(pn);
+    const std::size_t hd = hnl.net_degree(hn);
+    if (pnl.is_port(pn)) {
+      if (hd < pd) return false;
+    } else {
+      if (hd != pd) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace subg

@@ -1,0 +1,23 @@
+// Explicit embedding verification, shared by the SubGemini Phase II
+// verifier and the baseline matchers: label machinery aside, an instance
+// is only reported if this check passes, so results are sound even under
+// 64-bit label collisions.
+#pragma once
+
+#include "match/instance.hpp"
+#include "netlist/netlist.hpp"
+
+namespace subg {
+
+/// True iff `inst` is a valid embedding of `pattern` into `host`:
+///  - injective on devices and on nets (unused pattern globals may have an
+///    invalid image and are skipped),
+///  - device types equal and pin connections agree up to pin equivalence
+///    classes,
+///  - internal pattern nets (neither port nor global) have images of equal
+///    degree — the induced-subgraph condition; port images may have extra
+///    host connections.
+[[nodiscard]] bool verify_instance(const Netlist& pattern, const Netlist& host,
+                                   const SubcircuitInstance& inst);
+
+}  // namespace subg

@@ -1,0 +1,91 @@
+#include "netlist/catalog.hpp"
+
+#include "util/check.hpp"
+
+namespace subg {
+
+DeviceTypeId DeviceCatalog::add_type(std::string name, std::vector<PinSpec> pins) {
+  SUBG_CHECK_MSG(!name.empty(), "device type name must be non-empty");
+  SUBG_CHECK_MSG(!pins.empty(), "device type '" << name << "' must declare pins");
+  SUBG_CHECK_MSG(!by_name_.contains(name),
+                 "device type '" << name << "' registered twice");
+
+  DeviceTypeInfo info;
+  info.name = name;
+  info.type_label = hash_string(name);
+  info.pin_class.reserve(pins.size());
+
+  std::unordered_map<std::string_view, std::uint32_t> class_index;
+  for (const PinSpec& pin : pins) {
+    SUBG_CHECK_MSG(!pin.name.empty(), "pin of '" << name << "' must be named");
+    auto [it, inserted] =
+        class_index.try_emplace(pin.equivalence_class, info.class_count);
+    if (inserted) ++info.class_count;
+    info.pin_class.push_back(it->second);
+  }
+  info.pins = std::move(pins);
+  info.class_coefficient.reserve(info.class_count);
+  for (std::uint32_t c = 0; c < info.class_count; ++c) {
+    info.class_coefficient.push_back(class_coefficient(info.type_label, c));
+  }
+
+  DeviceTypeId id(static_cast<std::uint32_t>(types_.size()));
+  by_name_.emplace(info.name, id);
+  types_.push_back(std::move(info));
+  return id;
+}
+
+DeviceTypeId DeviceCatalog::add_type_compact(
+    std::string name, std::initializer_list<std::string_view> pins) {
+  std::vector<PinSpec> specs;
+  specs.reserve(pins.size());
+  for (std::string_view p : pins) {
+    std::size_t colon = p.find(':');
+    if (colon == std::string_view::npos) {
+      specs.push_back({std::string(p), std::string(p)});
+    } else {
+      specs.push_back({std::string(p.substr(0, colon)),
+                       std::string(p.substr(colon + 1))});
+    }
+  }
+  return add_type(std::move(name), std::move(specs));
+}
+
+std::optional<DeviceTypeId> DeviceCatalog::find(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+DeviceTypeId DeviceCatalog::require(std::string_view name) const {
+  auto id = find(name);
+  SUBG_CHECK_MSG(id.has_value(), "unknown device type '" << name << "'");
+  return *id;
+}
+
+const DeviceTypeInfo& DeviceCatalog::type(DeviceTypeId id) const {
+  SUBG_CHECK_MSG(id.valid() && id.index() < types_.size(),
+                 "invalid device type id");
+  return types_[id.index()];
+}
+
+std::shared_ptr<const DeviceCatalog> DeviceCatalog::cmos() {
+  auto cat = std::make_shared<DeviceCatalog>();
+  cat->add_type("nmos", {{"d", "sd"}, {"g", "gate"}, {"s", "sd"}, {"b", "bulk"}});
+  cat->add_type("pmos", {{"d", "sd"}, {"g", "gate"}, {"s", "sd"}, {"b", "bulk"}});
+  cat->add_type("res", {{"p1", "t"}, {"p2", "t"}});
+  cat->add_type("cap", {{"p1", "t"}, {"p2", "t"}});
+  cat->add_type("diode", {{"a", "anode"}, {"c", "cathode"}});
+  return cat;
+}
+
+std::shared_ptr<const DeviceCatalog> DeviceCatalog::cmos3() {
+  auto cat = std::make_shared<DeviceCatalog>();
+  cat->add_type("nmos", {{"d", "sd"}, {"g", "gate"}, {"s", "sd"}});
+  cat->add_type("pmos", {{"d", "sd"}, {"g", "gate"}, {"s", "sd"}});
+  cat->add_type("res", {{"p1", "t"}, {"p2", "t"}});
+  cat->add_type("cap", {{"p1", "t"}, {"p2", "t"}});
+  return cat;
+}
+
+}  // namespace subg

@@ -1,0 +1,90 @@
+// Device catalog: the set of device types a netlist may instantiate.
+//
+// A device type declares named pins, and partitions those pins into
+// *terminal equivalence classes* (paper §II): nets attached to pins of the
+// same class are interchangeable without changing circuit function (a
+// MOSFET's source/drain pins; both ends of a resistor). The matcher keys
+// all of its labeling off (type label, pin class index), so a pattern and
+// host netlist can use distinct catalog objects as long as type names and
+// pin class structure agree.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/ids.hpp"
+#include "util/hash.hpp"
+
+namespace subg {
+
+/// One pin declaration: a pin name plus the name of its equivalence class.
+/// Pins that share a class name are interchangeable.
+struct PinSpec {
+  std::string name;
+  std::string equivalence_class;
+};
+
+/// Immutable description of a registered device type.
+struct DeviceTypeInfo {
+  std::string name;
+  std::vector<PinSpec> pins;
+  /// Per pin: index of its equivalence class within this type (dense, 0-based).
+  std::vector<std::uint32_t> pin_class;
+  /// Number of distinct equivalence classes.
+  std::uint32_t class_count = 0;
+  /// Invariant label of devices of this type (hash of the type name).
+  Label type_label = kNoLabel;
+  /// Per equivalence class: the relabeling coefficient (util/hash.hpp).
+  std::vector<Label> class_coefficient;
+
+  [[nodiscard]] std::uint32_t pin_count() const {
+    return static_cast<std::uint32_t>(pins.size());
+  }
+};
+
+/// Registry of device types. Typically shared (via shared_ptr) by all
+/// netlists in a flow; see `cmos()` for the standard transistor-level set.
+class DeviceCatalog {
+ public:
+  /// Register a device type. Throws subg::Error on duplicate name or empty
+  /// pin list. Pin classes are numbered in order of first appearance.
+  DeviceTypeId add_type(std::string name, std::vector<PinSpec> pins);
+
+  /// Convenience: register a type whose pins are given as
+  /// "pin:class" strings (class defaults to the pin name when omitted).
+  DeviceTypeId add_type_compact(std::string name,
+                                std::initializer_list<std::string_view> pins);
+
+  [[nodiscard]] std::optional<DeviceTypeId> find(std::string_view name) const;
+
+  /// Like find(), but throws subg::Error when the type is unknown.
+  [[nodiscard]] DeviceTypeId require(std::string_view name) const;
+
+  [[nodiscard]] const DeviceTypeInfo& type(DeviceTypeId id) const;
+
+  [[nodiscard]] std::size_t size() const { return types_.size(); }
+
+  /// All registered types, in registration order.
+  [[nodiscard]] std::span<const DeviceTypeInfo> types() const { return types_; }
+
+  /// Standard transistor-level CMOS catalog:
+  ///   nmos/pmos: pins d,g,s,b — d and s share class "sd"; g is "gate";
+  ///              b is "bulk".
+  ///   res, cap:  two interchangeable pins.
+  ///   diode:     anode / cathode, distinct classes.
+  [[nodiscard]] static std::shared_ptr<const DeviceCatalog> cmos();
+
+  /// 3-pin MOS catalog (d,g,s — no bulk), matching the paper's figures.
+  [[nodiscard]] static std::shared_ptr<const DeviceCatalog> cmos3();
+
+ private:
+  std::vector<DeviceTypeInfo> types_;
+  std::unordered_map<std::string, DeviceTypeId> by_name_;
+};
+
+}  // namespace subg

@@ -1,0 +1,254 @@
+#include "netlist/design.hpp"
+
+#include "util/check.hpp"
+
+namespace subg {
+
+// --- Module ------------------------------------------------------------
+
+NetId Module::add_net(std::string name) {
+  if (name.empty()) {
+    do {
+      name = "$n" + std::to_string(auto_net_++);
+    } while (net_by_name_.contains(name));
+  } else {
+    SUBG_CHECK_MSG(!net_by_name_.contains(name),
+                   "net '" << name << "' already exists in module '" << name_
+                           << "'");
+  }
+  NetId id(static_cast<std::uint32_t>(nets_.size()));
+  net_by_name_.emplace(name, id);
+  nets_.push_back(std::move(name));
+  return id;
+}
+
+NetId Module::ensure_net(std::string_view name) {
+  SUBG_CHECK_MSG(!name.empty(), "ensure_net requires a name");
+  if (auto found = find_net(name)) return *found;
+  return add_net(std::string(name));
+}
+
+std::optional<NetId> Module::find_net(std::string_view name) const {
+  auto it = net_by_name_.find(std::string(name));
+  if (it == net_by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& Module::net_name(NetId n) const {
+  SUBG_CHECK_MSG(n.valid() && n.index() < nets_.size(), "invalid module net id");
+  return nets_[n.index()];
+}
+
+void Module::add_device(DeviceTypeId type, std::span<const NetId> nets,
+                        std::string name) {
+  const DeviceTypeInfo& info = design_->catalog().type(type);
+  SUBG_CHECK_MSG(nets.size() == info.pin_count(),
+                 "module '" << name_ << "': device of type '" << info.name
+                            << "' needs " << info.pin_count() << " nets, got "
+                            << nets.size());
+  for (NetId n : nets) {
+    SUBG_CHECK_MSG(n.valid() && n.index() < nets_.size(),
+                   "module '" << name_ << "': device pin bound to invalid net");
+  }
+  devices_.push_back(Prim{type, {nets.begin(), nets.end()}, std::move(name)});
+}
+
+void Module::add_device(DeviceTypeId type, std::initializer_list<NetId> nets,
+                        std::string name) {
+  add_device(type, std::span<const NetId>(nets.begin(), nets.size()),
+             std::move(name));
+}
+
+void Module::add_instance(ModuleId child, std::span<const NetId> actuals,
+                          std::string name) {
+  const Module& c = design_->module(child);
+  SUBG_CHECK_MSG(actuals.size() == c.ports().size(),
+                 "module '" << name_ << "': instance of '" << c.name()
+                            << "' needs " << c.ports().size()
+                            << " actuals, got " << actuals.size());
+  for (NetId n : actuals) {
+    SUBG_CHECK_MSG(n.valid() && n.index() < nets_.size(),
+                   "module '" << name_ << "': instance actual is invalid");
+  }
+  if (name.empty()) name = "x" + std::to_string(auto_inst_++);
+  instances_.push_back(Instance{child, {actuals.begin(), actuals.end()},
+                                std::move(name)});
+}
+
+void Module::add_instance(ModuleId child, std::initializer_list<NetId> actuals,
+                          std::string name) {
+  add_instance(child, std::span<const NetId>(actuals.begin(), actuals.size()),
+               std::move(name));
+}
+
+// --- Design ------------------------------------------------------------
+
+Design::Design(std::shared_ptr<const DeviceCatalog> catalog)
+    : catalog_(std::move(catalog)) {
+  SUBG_CHECK_MSG(catalog_ != nullptr, "design requires a device catalog");
+}
+
+ModuleId Design::add_module(std::string name, std::vector<std::string> port_names) {
+  SUBG_CHECK_MSG(!name.empty(), "module name must be non-empty");
+  SUBG_CHECK_MSG(!by_name_.contains(name),
+                 "module '" << name << "' registered twice");
+  ModuleId id(static_cast<std::uint32_t>(modules_.size()));
+  auto mod = std::unique_ptr<Module>(new Module(this, name));
+  for (std::string& p : port_names) {
+    NetId n = mod->add_net(std::move(p));
+    mod->ports_.push_back(n);
+  }
+  by_name_.emplace(std::move(name), id);
+  modules_.push_back(std::move(mod));
+  return id;
+}
+
+std::optional<ModuleId> Design::find_module(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+Module& Design::module(ModuleId id) {
+  SUBG_CHECK_MSG(id.valid() && id.index() < modules_.size(), "invalid module id");
+  return *modules_[id.index()];
+}
+
+const Module& Design::module(ModuleId id) const {
+  SUBG_CHECK_MSG(id.valid() && id.index() < modules_.size(), "invalid module id");
+  return *modules_[id.index()];
+}
+
+void Design::add_global(std::string name) {
+  SUBG_CHECK_MSG(!name.empty(), "global net name must be non-empty");
+  if (global_set_.insert(name).second) globals_.push_back(std::move(name));
+}
+
+bool Design::is_global_name(std::string_view name) const {
+  return global_set_.contains(std::string(name));
+}
+
+Netlist Design::flatten(std::string_view top) const {
+  auto top_id = find_module(top);
+  SUBG_CHECK_MSG(top_id.has_value(), "unknown top module '" << top << "'");
+  Netlist out(catalog_, std::string(top));
+
+  // Globals first, so they exist even if unused at this level.
+  for (const std::string& g : globals_) {
+    NetId n = out.ensure_net(g);
+    out.mark_global(n);
+  }
+
+  const Module& top_mod = module(*top_id);
+  // The top module's ports become named nets marked as ports of the result,
+  // so a flattened .SUBCKT can serve directly as a matcher pattern.
+  std::vector<NetId> top_ports;
+  top_ports.reserve(top_mod.ports().size());
+  for (NetId p : top_mod.ports()) {
+    NetId n = out.ensure_net(top_mod.net_name(p));
+    out.mark_port(n);
+    top_ports.push_back(n);
+  }
+
+  std::vector<bool> on_stack(modules_.size(), false);
+  flatten_into(*top_id, "", top_ports, out, on_stack);
+  return out;
+}
+
+void Design::flatten_into(ModuleId id, const std::string& prefix,
+                          std::span<const NetId> bound_ports, Netlist& out,
+                          std::vector<bool>& on_stack) const {
+  SUBG_CHECK_MSG(!on_stack[id.index()],
+                 "recursive hierarchy through module '" << module(id).name()
+                                                        << "'");
+  on_stack[id.index()] = true;
+  const Module& mod = module(id);
+  SUBG_CHECK(bound_ports.size() == mod.ports().size());
+
+  // Resolve each module-local net to a net in the flat output.
+  std::vector<NetId> resolved(mod.net_count());
+  std::vector<bool> have(mod.net_count(), false);
+  for (std::size_t i = 0; i < mod.ports().size(); ++i) {
+    resolved[mod.ports()[i].index()] = bound_ports[i];
+    have[mod.ports()[i].index()] = true;
+  }
+  for (std::uint32_t i = 0; i < mod.net_count(); ++i) {
+    if (have[i]) continue;
+    const std::string& local = mod.net_name(NetId(i));
+    if (is_global_name(local)) {
+      resolved[i] = out.ensure_net(local);
+    } else {
+      resolved[i] = out.add_net(prefix + local);
+    }
+    have[i] = true;
+  }
+
+  std::vector<NetId> pins;
+  for (const Module::Prim& dev : mod.devices_) {
+    pins.clear();
+    for (NetId n : dev.nets) pins.push_back(resolved[n.index()]);
+    std::string flat_name =
+        dev.name.empty() ? std::string() : prefix + dev.name;
+    out.add_device(dev.type, pins, std::move(flat_name));
+  }
+  for (const Module::Instance& inst : mod.instances_) {
+    pins.clear();
+    for (NetId n : inst.actuals) pins.push_back(resolved[n.index()]);
+    flatten_into(inst.child, prefix + inst.name + "/", pins, out, on_stack);
+  }
+  on_stack[id.index()] = false;
+}
+
+std::size_t Design::count_module_instances(std::string_view top,
+                                           std::string_view target) const {
+  auto top_id = find_module(top);
+  auto target_id = find_module(target);
+  SUBG_CHECK_MSG(top_id.has_value(), "unknown top module '" << top << "'");
+  SUBG_CHECK_MSG(target_id.has_value(), "unknown module '" << target << "'");
+  std::vector<std::size_t> memo(modules_.size(),
+                                std::numeric_limits<std::size_t>::max());
+  std::vector<bool> on_stack(modules_.size(), false);
+  auto dfs = [&](auto&& self, ModuleId id) -> std::size_t {
+    if (id == *target_id) return 1;
+    if (memo[id.index()] != std::numeric_limits<std::size_t>::max()) {
+      return memo[id.index()];
+    }
+    SUBG_CHECK_MSG(!on_stack[id.index()], "recursive hierarchy");
+    on_stack[id.index()] = true;
+    std::size_t total = 0;
+    for (const Module::Instance& inst : module(id).instances_) {
+      total += self(self, inst.child);
+    }
+    on_stack[id.index()] = false;
+    memo[id.index()] = total;
+    return total;
+  };
+  return dfs(dfs, *top_id);
+}
+
+std::size_t Design::flattened_device_count(std::string_view top) const {
+  auto top_id = find_module(top);
+  SUBG_CHECK_MSG(top_id.has_value(), "unknown top module '" << top << "'");
+  // Memoized DFS over the module DAG.
+  std::vector<std::size_t> memo(modules_.size(),
+                                std::numeric_limits<std::size_t>::max());
+  std::vector<bool> on_stack(modules_.size(), false);
+  auto dfs = [&](auto&& self, ModuleId id) -> std::size_t {
+    if (memo[id.index()] != std::numeric_limits<std::size_t>::max()) {
+      return memo[id.index()];
+    }
+    SUBG_CHECK_MSG(!on_stack[id.index()], "recursive hierarchy");
+    on_stack[id.index()] = true;
+    const Module& mod = module(id);
+    std::size_t total = mod.device_count();
+    for (const Module::Instance& inst : mod.instances_) {
+      total += self(self, inst.child);
+    }
+    on_stack[id.index()] = false;
+    memo[id.index()] = total;
+    return total;
+  };
+  return dfs(dfs, *top_id);
+}
+
+}  // namespace subg

@@ -1,0 +1,129 @@
+// Hierarchical netlist ("design"): modules containing primitive devices and
+// instances of other modules. The matcher itself works on flat netlists
+// (the paper treats the main circuit as flat); this substrate exists so
+// workload generators and the SPICE reader can build circuits
+// hierarchically and flatten them — and so the hierarchy-discovery
+// application (paper §I) has something to rediscover.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace subg {
+
+class Design;
+
+/// One module (SPICE .SUBCKT): local nets, primitive devices, and child
+/// instances. Nets are module-local; ports are the first `port_count`
+/// declared nets in order.
+class Module {
+ public:
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::span<const NetId> ports() const { return ports_; }
+
+  NetId add_net(std::string name = "");
+  NetId ensure_net(std::string_view name);
+  [[nodiscard]] std::optional<NetId> find_net(std::string_view name) const;
+  [[nodiscard]] const std::string& net_name(NetId n) const;
+  [[nodiscard]] std::size_t net_count() const { return nets_.size(); }
+
+  /// Primitive device: pin i connects to nets[i].
+  void add_device(DeviceTypeId type, std::span<const NetId> nets,
+                  std::string name = "");
+  void add_device(DeviceTypeId type, std::initializer_list<NetId> nets,
+                  std::string name = "");
+
+  /// Instance of another module; actuals bind to the child's ports in order.
+  void add_instance(ModuleId child, std::span<const NetId> actuals,
+                    std::string name = "");
+  void add_instance(ModuleId child, std::initializer_list<NetId> actuals,
+                    std::string name = "");
+
+  [[nodiscard]] std::size_t device_count() const { return devices_.size(); }
+  [[nodiscard]] std::size_t instance_count() const { return instances_.size(); }
+
+ private:
+  friend class Design;
+  struct Prim {
+    DeviceTypeId type;
+    std::vector<NetId> nets;
+    std::string name;
+  };
+  struct Instance {
+    ModuleId child;
+    std::vector<NetId> actuals;
+    std::string name;
+  };
+
+  explicit Module(Design* design, std::string name)
+      : design_(design), name_(std::move(name)) {}
+
+  Design* design_;
+  std::string name_;
+  std::vector<std::string> nets_;
+  std::vector<NetId> ports_;
+  std::unordered_map<std::string, NetId> net_by_name_;
+  std::vector<Prim> devices_;
+  std::vector<Instance> instances_;
+  std::uint64_t auto_net_ = 0;
+  std::uint64_t auto_inst_ = 0;
+};
+
+class Design {
+ public:
+  explicit Design(std::shared_ptr<const DeviceCatalog> catalog);
+
+  [[nodiscard]] const DeviceCatalog& catalog() const { return *catalog_; }
+  [[nodiscard]] const std::shared_ptr<const DeviceCatalog>& catalog_ptr() const {
+    return catalog_;
+  }
+
+  /// Create a module; `port_names` become its first nets, in order.
+  ModuleId add_module(std::string name, std::vector<std::string> port_names = {});
+
+  [[nodiscard]] std::optional<ModuleId> find_module(std::string_view name) const;
+  [[nodiscard]] Module& module(ModuleId id);
+  [[nodiscard]] const Module& module(ModuleId id) const;
+  [[nodiscard]] std::size_t module_count() const { return modules_.size(); }
+
+  /// Declare a net name global: every occurrence anywhere in the hierarchy
+  /// refers to one top-level net (SPICE .GLOBAL semantics).
+  void add_global(std::string name);
+  [[nodiscard]] bool is_global_name(std::string_view name) const;
+  [[nodiscard]] const std::vector<std::string>& globals() const { return globals_; }
+
+  /// Expand `top` into a flat netlist. Instance-local nets are named
+  /// "<instance path>/<net>"; globals keep their bare names and are marked
+  /// global in the result. Throws on recursive hierarchy.
+  [[nodiscard]] Netlist flatten(std::string_view top) const;
+
+  /// Total primitive devices a full expansion of `top` would contain.
+  [[nodiscard]] std::size_t flattened_device_count(std::string_view top) const;
+
+  /// How many instances of module `target` a full expansion of `top`
+  /// contains (counting nested instantiations) — ground truth for the
+  /// matcher benchmarks. Returns 1 when top == target.
+  [[nodiscard]] std::size_t count_module_instances(std::string_view top,
+                                                   std::string_view target) const;
+
+ private:
+  void flatten_into(ModuleId id, const std::string& prefix,
+                    std::span<const NetId> bound_ports, Netlist& out,
+                    std::vector<bool>& on_stack) const;
+
+  std::shared_ptr<const DeviceCatalog> catalog_;
+  std::vector<std::unique_ptr<Module>> modules_;
+  std::unordered_map<std::string, ModuleId> by_name_;
+  std::vector<std::string> globals_;
+  std::unordered_set<std::string> global_set_;
+};
+
+}  // namespace subg

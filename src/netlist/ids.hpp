@@ -1,0 +1,51 @@
+// Strongly-typed index handles for netlist entities.
+//
+// Devices, nets and device types live in per-container vectors; these
+// wrappers prevent accidentally indexing one with the other while staying
+// trivially copyable and hashable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace subg {
+
+namespace detail {
+template <class Tag>
+struct IdBase {
+  std::uint32_t value = kInvalid;
+
+  static constexpr std::uint32_t kInvalid = std::numeric_limits<std::uint32_t>::max();
+
+  constexpr IdBase() = default;
+  constexpr explicit IdBase(std::uint32_t v) : value(v) {}
+  [[nodiscard]] constexpr bool valid() const { return value != kInvalid; }
+  [[nodiscard]] constexpr std::size_t index() const { return value; }
+
+  friend constexpr bool operator==(IdBase, IdBase) = default;
+  friend constexpr auto operator<=>(IdBase, IdBase) = default;
+};
+}  // namespace detail
+
+struct DeviceTag {};
+struct NetTag {};
+struct DeviceTypeTag {};
+struct ModuleTag {};
+
+using DeviceId = detail::IdBase<DeviceTag>;
+using NetId = detail::IdBase<NetTag>;
+using DeviceTypeId = detail::IdBase<DeviceTypeTag>;
+using ModuleId = detail::IdBase<ModuleTag>;
+
+}  // namespace subg
+
+namespace std {
+template <class Tag>
+struct hash<subg::detail::IdBase<Tag>> {
+  size_t operator()(subg::detail::IdBase<Tag> id) const noexcept {
+    return std::hash<uint32_t>{}(id.value);
+  }
+};
+}  // namespace std

@@ -1,0 +1,278 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/check.hpp"
+
+namespace subg {
+
+Netlist::Netlist(std::shared_ptr<const DeviceCatalog> catalog, std::string name)
+    : catalog_(std::move(catalog)), name_(std::move(name)) {
+  SUBG_CHECK_MSG(catalog_ != nullptr, "netlist requires a device catalog");
+}
+
+NetId Netlist::add_net(std::string name) {
+  if (name.empty()) {
+    do {
+      name = "$n" + std::to_string(auto_net_++);
+    } while (net_by_name_.contains(name));
+  } else {
+    SUBG_CHECK_MSG(!net_by_name_.contains(name),
+                   "net '" << name << "' already exists in netlist '" << name_
+                           << "'");
+  }
+  NetId id(static_cast<std::uint32_t>(nets_.size()));
+  net_by_name_.emplace(name, id);
+  nets_.push_back(Net{std::move(name), {}, false, false});
+  return id;
+}
+
+NetId Netlist::ensure_net(std::string_view name) {
+  SUBG_CHECK_MSG(!name.empty(), "ensure_net requires a name");
+  if (auto found = find_net(name)) return *found;
+  return add_net(std::string(name));
+}
+
+std::optional<NetId> Netlist::find_net(std::string_view name) const {
+  auto it = net_by_name_.find(std::string(name));
+  if (it == net_by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& Netlist::net_name(NetId n) const {
+  SUBG_CHECK_MSG(n.valid() && n.index() < nets_.size(), "invalid net id");
+  return nets_[n.index()].name;
+}
+
+std::size_t Netlist::net_degree(NetId n) const {
+  SUBG_CHECK_MSG(n.valid() && n.index() < nets_.size(), "invalid net id");
+  return nets_[n.index()].pins.size();
+}
+
+void Netlist::mark_global(NetId n) {
+  SUBG_CHECK_MSG(n.valid() && n.index() < nets_.size(), "invalid net id");
+  nets_[n.index()].global = true;
+}
+
+bool Netlist::is_global(NetId n) const {
+  SUBG_CHECK_MSG(n.valid() && n.index() < nets_.size(), "invalid net id");
+  return nets_[n.index()].global;
+}
+
+void Netlist::mark_port(NetId n) {
+  SUBG_CHECK_MSG(n.valid() && n.index() < nets_.size(), "invalid net id");
+  if (!nets_[n.index()].port) {
+    nets_[n.index()].port = true;
+    ports_.push_back(n);
+  }
+}
+
+bool Netlist::is_port(NetId n) const {
+  SUBG_CHECK_MSG(n.valid() && n.index() < nets_.size(), "invalid net id");
+  return nets_[n.index()].port;
+}
+
+DeviceId Netlist::add_device(DeviceTypeId type, std::span<const NetId> nets,
+                             std::string name) {
+  const DeviceTypeInfo& info = catalog_->type(type);
+  SUBG_CHECK_MSG(nets.size() == info.pin_count(),
+                 "device of type '" << info.name << "' needs " << info.pin_count()
+                                    << " nets, got " << nets.size());
+  if (name.empty()) {
+    do {
+      name = "$d" + std::to_string(auto_dev_++);
+    } while (device_by_name_.contains(name));
+  } else {
+    SUBG_CHECK_MSG(!device_by_name_.contains(name),
+                   "device '" << name << "' already exists in netlist '" << name_
+                              << "'");
+  }
+
+  DeviceId id(static_cast<std::uint32_t>(devices_.size()));
+  Device dev;
+  dev.type = type;
+  dev.name = std::move(name);
+  dev.first_pin = static_cast<std::uint32_t>(pin_nets_.size());
+  dev.pin_count = info.pin_count();
+  for (std::uint32_t p = 0; p < dev.pin_count; ++p) {
+    NetId n = nets[p];
+    SUBG_CHECK_MSG(n.valid() && n.index() < nets_.size(),
+                   "device '" << dev.name << "' pin " << p
+                              << " connects to an invalid net");
+    pin_nets_.push_back(n);
+    nets_[n.index()].pins.push_back(NetPin{id, p});
+  }
+  device_by_name_.emplace(dev.name, id);
+  devices_.push_back(std::move(dev));
+  return id;
+}
+
+DeviceId Netlist::add_device(DeviceTypeId type, std::initializer_list<NetId> nets,
+                             std::string name) {
+  return add_device(type, std::span<const NetId>(nets.begin(), nets.size()),
+                    std::move(name));
+}
+
+DeviceTypeId Netlist::device_type(DeviceId d) const {
+  SUBG_CHECK_MSG(d.valid() && d.index() < devices_.size(), "invalid device id");
+  return devices_[d.index()].type;
+}
+
+const DeviceTypeInfo& Netlist::device_type_info(DeviceId d) const {
+  return catalog_->type(device_type(d));
+}
+
+const std::string& Netlist::device_name(DeviceId d) const {
+  SUBG_CHECK_MSG(d.valid() && d.index() < devices_.size(), "invalid device id");
+  return devices_[d.index()].name;
+}
+
+std::optional<DeviceId> Netlist::find_device(std::string_view name) const {
+  auto it = device_by_name_.find(std::string(name));
+  if (it == device_by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::span<const NetId> Netlist::device_pins(DeviceId d) const {
+  SUBG_CHECK_MSG(d.valid() && d.index() < devices_.size(), "invalid device id");
+  const Device& dev = devices_[d.index()];
+  return {pin_nets_.data() + dev.first_pin, dev.pin_count};
+}
+
+std::span<const Netlist::NetPin> Netlist::net_pins(NetId n) const {
+  SUBG_CHECK_MSG(n.valid() && n.index() < nets_.size(), "invalid net id");
+  return nets_[n.index()].pins;
+}
+
+void Netlist::remove_devices(std::span<const DeviceId> victims) {
+  if (victims.empty()) return;
+  std::unordered_set<std::uint32_t> dead;
+  dead.reserve(victims.size());
+  for (DeviceId d : victims) {
+    SUBG_CHECK_MSG(d.valid() && d.index() < devices_.size(),
+                   "remove_devices: invalid device id");
+    dead.insert(d.value);
+  }
+
+  // Rebuild devices / pin table, tracking surviving net usage.
+  std::vector<Device> new_devices;
+  new_devices.reserve(devices_.size() - dead.size());
+  std::vector<NetId> new_pin_nets;
+  new_pin_nets.reserve(pin_nets_.size());
+  device_by_name_.clear();
+  for (std::uint32_t i = 0; i < devices_.size(); ++i) {
+    if (dead.contains(i)) continue;
+    Device dev = devices_[i];
+    std::uint32_t old_first = dev.first_pin;
+    dev.first_pin = static_cast<std::uint32_t>(new_pin_nets.size());
+    for (std::uint32_t p = 0; p < dev.pin_count; ++p) {
+      new_pin_nets.push_back(pin_nets_[old_first + p]);
+    }
+    DeviceId nid(static_cast<std::uint32_t>(new_devices.size()));
+    device_by_name_.emplace(dev.name, nid);
+    new_devices.push_back(std::move(dev));
+  }
+  devices_ = std::move(new_devices);
+  pin_nets_ = std::move(new_pin_nets);
+
+  // Recompute net pin lists; drop nets that became disconnected and are
+  // neither ports nor globals.
+  for (Net& net : nets_) net.pins.clear();
+  for (std::uint32_t i = 0; i < devices_.size(); ++i) {
+    const Device& dev = devices_[i];
+    for (std::uint32_t p = 0; p < dev.pin_count; ++p) {
+      nets_[pin_nets_[dev.first_pin + p].index()].pins.push_back(
+          NetPin{DeviceId(i), p});
+    }
+  }
+
+  std::vector<Net> new_nets;
+  new_nets.reserve(nets_.size());
+  std::vector<NetId> remap(nets_.size());
+  for (std::uint32_t i = 0; i < nets_.size(); ++i) {
+    Net& net = nets_[i];
+    bool keep = !net.pins.empty() || net.port || net.global;
+    if (keep) {
+      remap[i] = NetId(static_cast<std::uint32_t>(new_nets.size()));
+      new_nets.push_back(std::move(net));
+    } else {
+      remap[i] = NetId();
+    }
+  }
+  nets_ = std::move(new_nets);
+
+  net_by_name_.clear();
+  for (std::uint32_t i = 0; i < nets_.size(); ++i) {
+    net_by_name_.emplace(nets_[i].name, NetId(i));
+  }
+  for (NetId& n : pin_nets_) n = remap[n.index()];
+  for (Net& net : nets_) net.pins.clear();
+  for (std::uint32_t i = 0; i < devices_.size(); ++i) {
+    const Device& dev = devices_[i];
+    for (std::uint32_t p = 0; p < dev.pin_count; ++p) {
+      nets_[pin_nets_[dev.first_pin + p].index()].pins.push_back(
+          NetPin{DeviceId(i), p});
+    }
+  }
+  std::vector<NetId> new_ports;
+  for (NetId p : ports_) {
+    if (remap[p.index()].valid()) new_ports.push_back(remap[p.index()]);
+  }
+  ports_ = std::move(new_ports);
+}
+
+NetlistStats Netlist::stats() const {
+  NetlistStats s;
+  s.device_count = devices_.size();
+  s.net_count = nets_.size();
+  s.pin_count = pin_nets_.size();
+  s.port_count = ports_.size();
+  std::vector<std::size_t> by_type(catalog_->size(), 0);
+  for (const Device& d : devices_) ++by_type[d.type.index()];
+  for (std::size_t t = 0; t < by_type.size(); ++t) {
+    if (by_type[t]) {
+      s.devices_by_type.emplace_back(
+          catalog_->type(DeviceTypeId(static_cast<std::uint32_t>(t))).name,
+          by_type[t]);
+    }
+  }
+  for (const Net& n : nets_) {
+    if (n.global) ++s.global_net_count;
+    s.max_net_degree = std::max(s.max_net_degree, n.pins.size());
+  }
+  return s;
+}
+
+void Netlist::validate() const {
+  std::size_t pin_total = 0;
+  for (std::uint32_t i = 0; i < devices_.size(); ++i) {
+    const Device& dev = devices_[i];
+    const DeviceTypeInfo& info = catalog_->type(dev.type);
+    SUBG_CHECK_MSG(dev.pin_count == info.pin_count(),
+                   "device '" << dev.name << "' pin count mismatch");
+    for (std::uint32_t p = 0; p < dev.pin_count; ++p) {
+      NetId n = pin_nets_[dev.first_pin + p];
+      SUBG_CHECK_MSG(n.valid() && n.index() < nets_.size(),
+                     "device '" << dev.name << "' pin " << p << " dangling");
+      const auto& pins = nets_[n.index()].pins;
+      bool found = std::any_of(pins.begin(), pins.end(), [&](const NetPin& np) {
+        return np.device == DeviceId(i) && np.pin == p;
+      });
+      SUBG_CHECK_MSG(found, "net '" << nets_[n.index()].name
+                                    << "' missing back-reference to device '"
+                                    << dev.name << "' pin " << p);
+    }
+    pin_total += dev.pin_count;
+  }
+  std::size_t net_pin_total = 0;
+  for (const Net& n : nets_) net_pin_total += n.pins.size();
+  SUBG_CHECK_MSG(pin_total == net_pin_total,
+                 "pin table and net connectivity out of sync");
+  for (NetId p : ports_) {
+    SUBG_CHECK_MSG(p.valid() && p.index() < nets_.size() && nets_[p.index()].port,
+                   "port list entry is not a port net");
+  }
+}
+
+}  // namespace subg

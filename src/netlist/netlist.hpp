@@ -1,0 +1,154 @@
+// Flat netlist: the circuit representation both sides of the matcher use.
+//
+// A netlist is a set of devices (instances of catalog device types) and a
+// set of nets; each device pin connects to exactly one net. Pattern
+// netlists additionally declare *ports* — their external nets (paper §II:
+// external nets may connect to arbitrary surrounding circuitry, internal
+// nets may not) — and either side may declare *global* nets (the paper's
+// "special signals", §IV.A: Vdd/GND/clock rails that mean the same thing in
+// pattern and host and are matched by name, not structure).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/catalog.hpp"
+#include "netlist/ids.hpp"
+
+namespace subg {
+
+/// Per-device-type instance counts etc.; see Netlist::stats().
+struct NetlistStats {
+  std::size_t device_count = 0;
+  std::size_t net_count = 0;
+  std::size_t pin_count = 0;
+  std::size_t global_net_count = 0;
+  std::size_t port_count = 0;
+  std::size_t max_net_degree = 0;
+  /// (type name, count) in catalog order, zero-count types omitted.
+  std::vector<std::pair<std::string, std::size_t>> devices_by_type;
+};
+
+class Netlist {
+ public:
+  explicit Netlist(std::shared_ptr<const DeviceCatalog> catalog,
+                   std::string name = "");
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  [[nodiscard]] const DeviceCatalog& catalog() const { return *catalog_; }
+  [[nodiscard]] const std::shared_ptr<const DeviceCatalog>& catalog_ptr() const {
+    return catalog_;
+  }
+
+  // --- nets -----------------------------------------------------------
+
+  /// Create a net. Empty name ⇒ an auto-generated unique name "$n<k>".
+  /// Named nets must be unique within the netlist.
+  NetId add_net(std::string name = "");
+
+  /// Find an existing net by name, or create it.
+  NetId ensure_net(std::string_view name);
+
+  [[nodiscard]] std::optional<NetId> find_net(std::string_view name) const;
+
+  [[nodiscard]] const std::string& net_name(NetId n) const;
+
+  /// Number of device pins attached to the net (the paper's degree(n)).
+  [[nodiscard]] std::size_t net_degree(NetId n) const;
+
+  /// Mark a net as a global "special signal" (Vdd/GND/clk). Global nets in
+  /// pattern and host correspond iff their names match.
+  void mark_global(NetId n);
+  [[nodiscard]] bool is_global(NetId n) const;
+
+  /// Mark a pattern net as a port (external net). Global nets may also be
+  /// ports; globals are matched by name and never corrupt labeling.
+  void mark_port(NetId n);
+  [[nodiscard]] bool is_port(NetId n) const;
+
+  /// Port nets in declaration order (pattern interface).
+  [[nodiscard]] std::span<const NetId> ports() const { return ports_; }
+
+  [[nodiscard]] std::size_t net_count() const { return nets_.size(); }
+
+  // --- devices --------------------------------------------------------
+
+  /// Instantiate a device of `type`, connecting pin i to nets[i].
+  /// `nets.size()` must equal the type's pin count. Empty name ⇒
+  /// auto-generated "$d<k>".
+  DeviceId add_device(DeviceTypeId type, std::span<const NetId> nets,
+                      std::string name = "");
+
+  /// Convenience overload taking an initializer list of nets.
+  DeviceId add_device(DeviceTypeId type, std::initializer_list<NetId> nets,
+                      std::string name = "");
+
+  [[nodiscard]] DeviceTypeId device_type(DeviceId d) const;
+  [[nodiscard]] const DeviceTypeInfo& device_type_info(DeviceId d) const;
+  [[nodiscard]] const std::string& device_name(DeviceId d) const;
+  [[nodiscard]] std::optional<DeviceId> find_device(std::string_view name) const;
+
+  /// Nets attached to the device, in pin order.
+  [[nodiscard]] std::span<const NetId> device_pins(DeviceId d) const;
+
+  [[nodiscard]] std::size_t device_count() const { return devices_.size(); }
+
+  /// Remove a set of devices (used by gate extraction when a matched
+  /// subcircuit is replaced). Invalidates all DeviceIds; net ids survive.
+  /// Nets left with degree 0 that are neither ports nor globals are removed
+  /// as well (they were internal to the extracted instance); removing nets
+  /// invalidates NetIds too, so callers should re-resolve by name.
+  void remove_devices(std::span<const DeviceId> victims);
+
+  // --- connectivity ---------------------------------------------------
+
+  /// (device, pin index) pairs attached to a net.
+  struct NetPin {
+    DeviceId device;
+    std::uint32_t pin;
+  };
+  [[nodiscard]] std::span<const NetPin> net_pins(NetId n) const;
+
+  // --- misc -----------------------------------------------------------
+
+  [[nodiscard]] NetlistStats stats() const;
+
+  /// Consistency audit: every pin attached to a live net, port/global flags
+  /// on live nets, connectivity index in sync. Throws subg::Error with a
+  /// description of the first problem found.
+  void validate() const;
+
+ private:
+  struct Device {
+    DeviceTypeId type;
+    std::string name;
+    std::uint32_t first_pin = 0;  // into pin_nets_
+    std::uint32_t pin_count = 0;
+  };
+  struct Net {
+    std::string name;
+    std::vector<NetPin> pins;
+    bool global = false;
+    bool port = false;
+  };
+
+  std::shared_ptr<const DeviceCatalog> catalog_;
+  std::string name_;
+  std::vector<Device> devices_;
+  std::vector<Net> nets_;
+  std::vector<NetId> pin_nets_;  // flattened pin→net table
+  std::vector<NetId> ports_;
+  std::unordered_map<std::string, NetId> net_by_name_;
+  std::unordered_map<std::string, DeviceId> device_by_name_;
+  std::uint64_t auto_net_ = 0;
+  std::uint64_t auto_dev_ = 0;
+};
+
+}  // namespace subg

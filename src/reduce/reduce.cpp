@@ -1,0 +1,161 @@
+#include "reduce/reduce.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/check.hpp"
+
+namespace subg::reduce {
+
+namespace {
+
+struct WorkDev {
+  DeviceTypeId type;
+  std::string name;
+  std::vector<NetId> pins;
+  std::vector<DeviceId> origin;
+  bool dead = false;
+};
+
+/// Canonical pin signature: (pin class, net) pairs, sorted — identical for
+/// devices that are connected identically up to pin interchangeability.
+std::vector<std::pair<std::uint32_t, std::uint32_t>> signature(
+    const DeviceTypeInfo& info, const WorkDev& dev) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> sig;
+  sig.reserve(dev.pins.size());
+  for (std::size_t p = 0; p < dev.pins.size(); ++p) {
+    sig.emplace_back(info.pin_class[p], dev.pins[p].value);
+  }
+  std::sort(sig.begin(), sig.end());
+  return sig;
+}
+
+/// True for types eligible for series merging: exactly two pins, both in
+/// one equivalence class (res, cap).
+bool series_eligible(const DeviceTypeInfo& info) {
+  return info.pin_count() == 2 && info.class_count == 1;
+}
+
+}  // namespace
+
+Reduced reduce_netlist(const Netlist& input, const ReduceOptions& options) {
+  const DeviceCatalog& catalog = input.catalog();
+
+  std::vector<WorkDev> devs;
+  devs.reserve(input.device_count());
+  for (std::uint32_t d = 0; d < input.device_count(); ++d) {
+    const DeviceId id(d);
+    WorkDev w;
+    w.type = input.device_type(id);
+    w.name = input.device_name(id);
+    auto pins = input.device_pins(id);
+    w.pins.assign(pins.begin(), pins.end());
+    w.origin = {id};
+    devs.push_back(std::move(w));
+  }
+
+  std::unordered_set<std::string> protected_names(options.protected_nets.begin(),
+                                                  options.protected_nets.end());
+  auto net_protected = [&](NetId n) {
+    return input.is_port(n) || input.is_global(n) ||
+           protected_names.contains(input.net_name(n));
+  };
+
+  auto parallel_pass = [&]() {
+    bool changed = false;
+    std::map<std::pair<std::uint32_t,
+                       std::vector<std::pair<std::uint32_t, std::uint32_t>>>,
+             std::size_t>
+        groups;
+    for (std::size_t i = 0; i < devs.size(); ++i) {
+      if (devs[i].dead) continue;
+      const DeviceTypeInfo& info = catalog.type(devs[i].type);
+      auto key = std::make_pair(devs[i].type.value, signature(info, devs[i]));
+      auto [it, inserted] = groups.try_emplace(std::move(key), i);
+      if (!inserted) {
+        WorkDev& keeper = devs[it->second];
+        keeper.origin.insert(keeper.origin.end(), devs[i].origin.begin(),
+                             devs[i].origin.end());
+        devs[i].dead = true;
+        changed = true;
+      }
+    }
+    return changed;
+  };
+
+  auto series_pass = [&]() {
+    bool changed = false;
+    // Live two-pin single-class device endpoints per net.
+    std::unordered_map<std::uint32_t, std::vector<std::size_t>> at_net;
+    std::vector<std::size_t> live_uses(input.net_count(), 0);
+    for (std::size_t i = 0; i < devs.size(); ++i) {
+      if (devs[i].dead) continue;
+      for (NetId n : devs[i].pins) ++live_uses[n.index()];
+      if (!series_eligible(catalog.type(devs[i].type))) continue;
+      for (NetId n : devs[i].pins) at_net[n.value].push_back(i);
+    }
+    for (auto& [net_value, users] : at_net) {
+      const NetId net(net_value);
+      if (net_protected(net)) continue;
+      if (live_uses[net.index()] != 2) continue;  // must be exclusive
+      if (users.size() != 2) continue;
+      std::size_t a = users[0], b = users[1];
+      if (a == b || devs[a].dead || devs[b].dead) continue;
+      if (devs[a].type != devs[b].type) continue;
+      // Other endpoints (each device has exactly 2 pins).
+      auto other = [&](std::size_t i) {
+        return devs[i].pins[0] == net ? devs[i].pins[1] : devs[i].pins[0];
+      };
+      NetId oa = other(a), ob = other(b);
+      if (oa == net || ob == net) continue;  // self-loop, leave alone
+      devs[a].pins = {oa, ob};
+      devs[a].origin.insert(devs[a].origin.end(), devs[b].origin.begin(),
+                            devs[b].origin.end());
+      devs[b].dead = true;
+      changed = true;
+      // Net usage changed; conservative: finish this sweep, fixpoint loop
+      // re-runs with fresh indices.
+      break;
+    }
+    return changed;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    if (options.parallel) changed |= parallel_pass();
+    if (options.series) changed |= series_pass();
+  }
+
+  // Rebuild the output netlist: keep every net that is still used, plus
+  // ports and globals (name-preserving).
+  Reduced out{Netlist(input.catalog_ptr(), input.name()), {}};
+  std::vector<bool> used(input.net_count(), false);
+  for (const WorkDev& w : devs) {
+    if (w.dead) continue;
+    for (NetId n : w.pins) used[n.index()] = true;
+  }
+  std::vector<NetId> remap(input.net_count());
+  for (std::uint32_t n = 0; n < input.net_count(); ++n) {
+    const NetId id(n);
+    if (!used[n] && !input.is_port(id) && !input.is_global(id)) continue;
+    NetId nn = out.netlist.add_net(input.net_name(id));
+    if (input.is_global(id)) out.netlist.mark_global(nn);
+    if (input.is_port(id)) out.netlist.mark_port(nn);
+    remap[n] = nn;
+  }
+  std::vector<NetId> pins;
+  for (const WorkDev& w : devs) {
+    if (w.dead) continue;
+    pins.clear();
+    for (NetId n : w.pins) pins.push_back(remap[n.index()]);
+    out.netlist.add_device(w.type, pins, w.name);
+    out.merged_from.push_back(w.origin);
+  }
+  out.netlist.validate();
+  return out;
+}
+
+}  // namespace subg::reduce

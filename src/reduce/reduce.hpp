@@ -1,0 +1,51 @@
+// Netlist reduction: canonicalize device-level redundancy before matching.
+//
+// Real layouts implement one logical transistor as several parallel
+// "fingers" and one logical resistor as a series ladder; a pattern drawn
+// with single devices then fails to match structurally. Reducing *both*
+// netlists first restores matchability (and shrinks the graphs):
+//
+//  - parallel merge: devices of the same type whose pins connect to the
+//    same nets through the same pin classes collapse into one device with
+//    a multiplicity;
+//  - series merge (two-pin devices with one interchangeable pin class,
+//    i.e. res/cap): chains through exclusive degree-2 internal nodes
+//    collapse into one device.
+//
+// Reductions iterate to a fixpoint (a ladder of parallel pairs reduces
+// fully). The result records, for every surviving device, which original
+// devices it absorbed, so match results on the reduced netlist can be
+// mapped back.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace subg::reduce {
+
+struct ReduceOptions {
+  bool parallel = true;
+  bool series = true;
+  /// Nets whose name appears here are never elided by series merging
+  /// (ports and globals are always protected).
+  std::vector<std::string> protected_nets;
+};
+
+struct Reduced {
+  Netlist netlist;
+  /// merged_from[i] = original device ids absorbed into reduced device i
+  /// (singleton for untouched devices), in the reduced netlist's order.
+  std::vector<std::vector<DeviceId>> merged_from;
+
+  [[nodiscard]] std::size_t multiplicity(DeviceId reduced_device) const {
+    return merged_from[reduced_device.index()].size();
+  }
+};
+
+/// Reduce to fixpoint. Ports and globals survive with names intact; elided
+/// series-internal nets are dropped.
+[[nodiscard]] Reduced reduce_netlist(const Netlist& input,
+                                     const ReduceOptions& options = {});
+
+}  // namespace subg::reduce

@@ -1,0 +1,103 @@
+#include "report/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace subg::report {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  SUBG_CHECK_MSG(!headers_.empty(), "table needs at least one column");
+  right_.assign(headers_.size(), false);
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  SUBG_CHECK_MSG(cells.size() == headers_.size(),
+                 "row has " << cells.size() << " cells, table has "
+                            << headers_.size() << " columns");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::align_right(std::size_t column) {
+  SUBG_CHECK(column < right_.size());
+  right_[column] = true;
+}
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) out << "  ";
+      const std::size_t pad = width[c] - cells[c].size();
+      if (right_[c]) out << std::string(pad, ' ');
+      out << cells[c];
+      if (!right_[c] && c + 1 < cells.size()) out << std::string(pad, ' ');
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + (c ? 2 : 0);
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string Table::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+LinearFit fit_line(std::span<const double> x, std::span<const double> y) {
+  SUBG_CHECK_MSG(x.size() == y.size() && x.size() >= 2,
+                 "fit_line needs two equal-length series with >= 2 points");
+  const double n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  LinearFit fit;
+  if (denom == 0) return fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+
+  const double mean_y = sy / n;
+  double ss_res = 0, ss_tot = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double pred = fit.slope * x[i] + fit.intercept;
+    ss_res += (y[i] - pred) * (y[i] - pred);
+    ss_tot += (y[i] - mean_y) * (y[i] - mean_y);
+  }
+  fit.r2 = ss_tot == 0 ? 1.0 : 1.0 - ss_res / ss_tot;
+  return fit;
+}
+
+double scaling_exponent(std::span<const double> x, std::span<const double> y) {
+  std::vector<double> lx, ly;
+  lx.reserve(x.size());
+  ly.reserve(y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] > 0 && y[i] > 0) {
+      lx.push_back(std::log(x[i]));
+      ly.push_back(std::log(y[i]));
+    }
+  }
+  return fit_line(lx, ly).slope;
+}
+
+}  // namespace subg::report

@@ -1,0 +1,50 @@
+// Experiment-harness glue: aligned ASCII tables (the shape of the paper's
+// results tables) and the least-squares fit behind the linearity figure
+// (experiment E5).
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace subg::report {
+
+/// Column-aligned ASCII table with a header rule.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Right-align the given column (numbers look better that way).
+  void align_right(std::size_t column);
+
+  void print(std::ostream& out) const;
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<bool> right_;
+};
+
+/// Ordinary least squares y = slope*x + intercept.
+struct LinearFit {
+  double slope = 0;
+  double intercept = 0;
+  /// Coefficient of determination in [0,1]; 1 = perfectly linear.
+  double r2 = 0;
+};
+
+[[nodiscard]] LinearFit fit_line(std::span<const double> x,
+                                 std::span<const double> y);
+
+/// log-log slope: fits log(y) = k*log(x) + c and returns k — the empirical
+/// scaling exponent (≈1 for linear behaviour).
+[[nodiscard]] double scaling_exponent(std::span<const double> x,
+                                      std::span<const double> y);
+
+}  // namespace subg::report

@@ -1,0 +1,103 @@
+#include "rulecheck/rulecheck.hpp"
+
+#include "util/check.hpp"
+
+namespace subg::rulecheck {
+
+namespace {
+
+/// Bulk rail for a 4-pin MOS: nmos bulk goes to gnd, pmos to vdd.
+NetId bulk_rail(Netlist& nl, const char* type) {
+  return *nl.find_net(std::string_view(type) == "nmos" ? "gnd" : "vdd");
+}
+
+void add_mos(Netlist& nl, const char* type, NetId d, NetId g, NetId s) {
+  DeviceTypeId id = nl.catalog().require(type);
+  const std::uint32_t pins = nl.catalog().type(id).pin_count();
+  SUBG_CHECK_MSG(pins == 3 || pins == 4,
+                 "builtin rules support 3- or 4-pin MOS types");
+  if (pins == 3) {
+    nl.add_device(id, {d, g, s});
+  } else {
+    nl.add_device(id, {d, g, s, bulk_rail(nl, type)});
+  }
+}
+
+Netlist rail_short_pattern(const std::shared_ptr<const DeviceCatalog>& cat,
+                           const char* type) {
+  Netlist nl(cat, std::string("rule_crowbar_") + type);
+  NetId vdd = nl.add_net("vdd"), gnd = nl.add_net("gnd"), g = nl.add_net("g");
+  nl.mark_global(vdd);
+  nl.mark_global(gnd);
+  nl.mark_port(g);
+  add_mos(nl, type, vdd, g, gnd);
+  return nl;
+}
+
+Netlist stuck_gate_pattern(const std::shared_ptr<const DeviceCatalog>& cat,
+                           const char* type, const char* rail) {
+  Netlist nl(cat, std::string("rule_stuck_") + type);
+  NetId vdd = nl.add_net("vdd"), gnd = nl.add_net("gnd");
+  NetId a = nl.add_net("a"), b = nl.add_net("b");
+  nl.mark_global(vdd);
+  nl.mark_global(gnd);
+  nl.mark_port(a);
+  nl.mark_port(b);
+  NetId gate = *nl.find_net(rail);
+  add_mos(nl, type, a, gate, b);
+  return nl;
+}
+
+}  // namespace
+
+std::vector<Rule> builtin_rules(std::shared_ptr<const DeviceCatalog> cat) {
+  std::vector<Rule> rules;
+  rules.push_back(Rule{"crowbar-nmos",
+                       "nmos connects vdd directly to gnd (static short when on)",
+                       Severity::kError, rail_short_pattern(cat, "nmos")});
+  rules.push_back(Rule{"crowbar-pmos",
+                       "pmos connects vdd directly to gnd (static short when on)",
+                       Severity::kError, rail_short_pattern(cat, "pmos")});
+  rules.push_back(Rule{"nmos-gate-tied-high",
+                       "nmos gate tied to vdd: always-on pass device",
+                       Severity::kWarning,
+                       stuck_gate_pattern(cat, "nmos", "vdd")});
+  rules.push_back(Rule{"pmos-gate-tied-low",
+                       "pmos gate tied to gnd: always-on pass device",
+                       Severity::kWarning,
+                       stuck_gate_pattern(cat, "pmos", "gnd")});
+  return rules;
+}
+
+CheckReport check(const Netlist& design, const std::vector<Rule>& rules,
+                  const MatchOptions& match_options) {
+  CheckReport report;
+  for (const Rule& rule : rules) {
+    ++report.rules_checked;
+    SubgraphMatcher matcher(rule.pattern, design, match_options);
+    MatchReport matches = matcher.find_all();
+    for (const SubcircuitInstance& inst : matches.instances) {
+      Violation v;
+      v.rule = rule.name;
+      v.message = rule.message;
+      v.severity = rule.severity;
+      for (DeviceId d : inst.device_image) {
+        v.devices.push_back(design.device_name(d));
+      }
+      for (NetId n : inst.net_image) {
+        if (n.valid() && !design.is_global(n)) {
+          v.nets.push_back(design.net_name(n));
+        }
+      }
+      if (rule.severity == Severity::kError) {
+        ++report.errors;
+      } else if (rule.severity == Severity::kWarning) {
+        ++report.warnings;
+      }
+      report.violations.push_back(std::move(v));
+    }
+  }
+  return report;
+}
+
+}  // namespace subg::rulecheck

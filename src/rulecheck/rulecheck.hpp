@@ -1,0 +1,55 @@
+// Circuit rule checking via pattern matching (paper §I): questionable
+// constructs are described *as circuits* in an extensible library instead
+// of being hard-coded into a linting program. Each rule is a pattern
+// netlist; every instance found in the design under check is a violation,
+// reported with the device and net names involved.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "match/matcher.hpp"
+#include "netlist/netlist.hpp"
+
+namespace subg::rulecheck {
+
+enum class Severity { kInfo, kWarning, kError };
+
+struct Rule {
+  std::string name;
+  std::string message;
+  Severity severity = Severity::kWarning;
+  Netlist pattern;
+};
+
+struct Violation {
+  std::string rule;
+  std::string message;
+  Severity severity;
+  /// Host devices forming the flagged construct.
+  std::vector<std::string> devices;
+  /// Host nets touched by it.
+  std::vector<std::string> nets;
+};
+
+struct CheckReport {
+  std::vector<Violation> violations;
+  std::size_t rules_checked = 0;
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+
+  [[nodiscard]] bool clean() const { return violations.empty(); }
+};
+
+/// A small built-in rule library: rail-shorting transistors and always-on
+/// pass devices. Works with both the 3-pin (cmos3) and 4-pin (cmos)
+/// MOS catalogs; 4-pin patterns tie bulk to the appropriate rail.
+[[nodiscard]] std::vector<Rule> builtin_rules(
+    std::shared_ptr<const DeviceCatalog> catalog = DeviceCatalog::cmos3());
+
+/// Run every rule against the design.
+[[nodiscard]] CheckReport check(const Netlist& design,
+                                const std::vector<Rule>& rules,
+                                const MatchOptions& match_options = {});
+
+}  // namespace subg::rulecheck

@@ -1,0 +1,365 @@
+#include "sim/sim.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace subg::sim {
+
+namespace {
+
+// --- 4-valued (Kleene) logic ---------------------------------------------
+
+V v_not(V a) {
+  switch (a) {
+    case V::k0: return V::k1;
+    case V::k1: return V::k0;
+    default: return V::kX;
+  }
+}
+
+V v_and2(V a, V b) {
+  if (a == V::k0 || b == V::k0) return V::k0;
+  if (a == V::k1 && b == V::k1) return V::k1;
+  return V::kX;
+}
+
+V v_or2(V a, V b) {
+  if (a == V::k1 || b == V::k1) return V::k1;
+  if (a == V::k0 && b == V::k0) return V::k0;
+  return V::kX;
+}
+
+V v_xor2(V a, V b) {
+  if ((a != V::k0 && a != V::k1) || (b != V::k0 && b != V::k1)) return V::kX;
+  return a == b ? V::k0 : V::k1;
+}
+
+V v_and(std::span<const V> in) {
+  V acc = V::k1;
+  for (V v : in) acc = v_and2(acc, v);
+  return acc;
+}
+
+V v_or(std::span<const V> in) {
+  V acc = V::k0;
+  for (V v : in) acc = v_or2(acc, v);
+  return acc;
+}
+
+/// Merge a driver value into an accumulating resolution.
+V resolve(V acc, V drv) {
+  if (drv == V::kZ) return acc;
+  if (acc == V::kZ) return drv;
+  if (acc == drv) return acc;
+  return V::kX;
+}
+
+// --- gate truth functions -------------------------------------------------
+
+struct CellFn {
+  std::vector<std::string> inputs;
+  std::vector<std::string> outputs;
+  /// outputs.size() values from inputs.size() values.
+  std::vector<V> (*eval)(std::span<const V>);
+};
+
+const std::map<std::string, CellFn>& cell_functions() {
+  static const std::map<std::string, CellFn> kFns = [] {
+    std::map<std::string, CellFn> m;
+    auto nary = [&](const std::string& base, int n,
+                    std::vector<V> (*fn)(std::span<const V>)) {
+      CellFn f;
+      for (int i = 0; i < n; ++i) f.inputs.push_back("a" + std::to_string(i));
+      f.outputs = {"y"};
+      f.eval = fn;
+      m[base + std::to_string(n)] = std::move(f);
+    };
+    for (int n = 2; n <= 4; ++n) {
+      nary("nand", n, +[](std::span<const V> in) {
+        return std::vector<V>{v_not(v_and(in))};
+      });
+      nary("nor", n, +[](std::span<const V> in) {
+        return std::vector<V>{v_not(v_or(in))};
+      });
+      nary("and", n, +[](std::span<const V> in) {
+        return std::vector<V>{v_and(in)};
+      });
+      nary("or", n, +[](std::span<const V> in) {
+        return std::vector<V>{v_or(in)};
+      });
+    }
+    m["inv"] = CellFn{{"a"}, {"y"}, +[](std::span<const V> in) {
+                        return std::vector<V>{v_not(in[0])};
+                      }};
+    m["buf"] = CellFn{{"a"}, {"y"}, +[](std::span<const V> in) {
+                        V v = in[0] == V::kZ ? V::kX : in[0];
+                        return std::vector<V>{v};
+                      }};
+    m["xor2"] = CellFn{{"a", "b"}, {"y"}, +[](std::span<const V> in) {
+                         return std::vector<V>{v_xor2(in[0], in[1])};
+                       }};
+    m["xnor2"] = CellFn{{"a", "b"}, {"y"}, +[](std::span<const V> in) {
+                          return std::vector<V>{v_not(v_xor2(in[0], in[1]))};
+                        }};
+    m["aoi21"] = CellFn{{"a", "b", "c"}, {"y"}, +[](std::span<const V> in) {
+                          return std::vector<V>{v_not(
+                              v_or2(v_and2(in[0], in[1]), in[2]))};
+                        }};
+    m["aoi22"] =
+        CellFn{{"a", "b", "c", "d"}, {"y"}, +[](std::span<const V> in) {
+                 return std::vector<V>{v_not(
+                     v_or2(v_and2(in[0], in[1]), v_and2(in[2], in[3])))};
+               }};
+    m["oai21"] = CellFn{{"a", "b", "c"}, {"y"}, +[](std::span<const V> in) {
+                          return std::vector<V>{v_not(
+                              v_and2(v_or2(in[0], in[1]), in[2]))};
+                        }};
+    m["mux2"] = CellFn{{"a", "b", "s"}, {"y"}, +[](std::span<const V> in) {
+                         if (in[2] == V::k0) return std::vector<V>{in[0]};
+                         if (in[2] == V::k1) return std::vector<V>{in[1]};
+                         V v = (in[0] == in[1] &&
+                                (in[0] == V::k0 || in[0] == V::k1))
+                                   ? in[0]
+                                   : V::kX;
+                         return std::vector<V>{v};
+                       }};
+    m["halfadder"] =
+        CellFn{{"a", "b"}, {"s", "c"}, +[](std::span<const V> in) {
+                 return std::vector<V>{v_xor2(in[0], in[1]),
+                                       v_and2(in[0], in[1])};
+               }};
+    m["fulladder"] =
+        CellFn{{"a", "b", "cin"}, {"s", "cout"}, +[](std::span<const V> in) {
+                 V axb = v_xor2(in[0], in[1]);
+                 return std::vector<V>{
+                     v_xor2(axb, in[2]),
+                     v_or2(v_and2(in[0], in[1]), v_and2(in[2], axb))};
+               }};
+    return m;
+  }();
+  return kFns;
+}
+
+/// Disjoint-set over nets for conduction groups.
+struct Dsu {
+  std::vector<std::uint32_t> parent;
+  explicit Dsu(std::size_t n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), 0);
+  }
+  std::uint32_t find(std::uint32_t x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  }
+  void unite(std::uint32_t a, std::uint32_t b) { parent[find(a)] = find(b); }
+};
+
+}  // namespace
+
+char to_char(V v) {
+  switch (v) {
+    case V::k0: return '0';
+    case V::k1: return '1';
+    case V::kX: return 'X';
+    case V::kZ: return 'Z';
+  }
+  return '?';
+}
+
+Simulator::Simulator(const Netlist& netlist) : netlist_(&netlist) {
+  const auto& fns = cell_functions();
+  for (std::uint32_t d = 0; d < netlist.device_count(); ++d) {
+    const DeviceId id(d);
+    const DeviceTypeInfo& info = netlist.device_type_info(id);
+    auto pins = netlist.device_pins(id);
+    if (info.name == "nmos" || info.name == "pmos") {
+      // Pins d,g,s[,b]; bulk ignored.
+      switches_.push_back(Switch{pins[1].value, pins[0].value, pins[2].value,
+                                 info.name == "pmos", false});
+      continue;
+    }
+    if (info.name == "res") {
+      switches_.push_back(Switch{0, pins[0].value, pins[1].value, false, true});
+      continue;
+    }
+    if (info.name == "cap") continue;  // no steady-state effect
+    auto fn = fns.find(info.name);
+    SUBG_CHECK_MSG(fn != fns.end(),
+                   "simulator cannot evaluate device type '" << info.name
+                                                             << "'");
+    Gate gate;
+    gate.device = d;
+    gate.type = info.name;
+    auto pin_by_name = [&](const std::string& name) -> std::uint32_t {
+      for (std::uint32_t p = 0; p < info.pins.size(); ++p) {
+        if (info.pins[p].name == name) return pins[p].value;
+      }
+      SUBG_CHECK_MSG(false, "cell '" << info.name << "' lacks pin '" << name
+                                     << "'");
+    };
+    for (const std::string& in : fn->second.inputs) {
+      gate.input_nets.push_back(pin_by_name(in));
+    }
+    for (const std::string& out : fn->second.outputs) {
+      gate.output_nets.push_back(pin_by_name(out));
+    }
+    gates_.push_back(std::move(gate));
+  }
+}
+
+SolveResult Simulator::solve(const std::map<std::string, V>& inputs) const {
+  const Netlist& nl = *netlist_;
+  const std::size_t n = nl.net_count();
+  SolveResult result;
+  result.values.assign(n, V::kZ);
+
+  std::vector<V> fixed(n, V::kZ);
+  std::vector<bool> is_fixed(n, false);
+  auto fix_by_name = [&](const char* name, V v) {
+    if (auto net = nl.find_net(name)) {
+      fixed[net->index()] = v;
+      is_fixed[net->index()] = true;
+    }
+  };
+  fix_by_name("vdd", V::k1);
+  fix_by_name("vcc", V::k1);
+  fix_by_name("gnd", V::k0);
+  fix_by_name("vss", V::k0);
+  for (const auto& [name, v] : inputs) {
+    auto net = nl.find_net(name);
+    SUBG_CHECK_MSG(net.has_value(), "no net named '" << name << "'");
+    fixed[net->index()] = v;
+    is_fixed[net->index()] = true;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (is_fixed[i]) result.values[i] = fixed[i];
+  }
+
+  const auto& fns = cell_functions();
+  const std::size_t cap = 2 * (n + gates_.size()) + 20;
+  for (result.iterations = 0; result.iterations < cap; ++result.iterations) {
+    const std::vector<V>& old = result.values;
+
+    // Gate outputs drive their nets.
+    std::vector<V> drive(n, V::kZ);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (is_fixed[i]) drive[i] = fixed[i];
+    }
+    for (const Gate& gate : gates_) {
+      std::vector<V> in;
+      in.reserve(gate.input_nets.size());
+      for (std::uint32_t net : gate.input_nets) {
+        in.push_back(old[net] == V::kZ ? V::kX : old[net]);
+      }
+      std::vector<V> out = fns.at(gate.type).eval(in);
+      for (std::size_t o = 0; o < out.size(); ++o) {
+        drive[gate.output_nets[o]] = resolve(drive[gate.output_nets[o]], out[o]);
+      }
+    }
+
+    // Conduction groups over definitely-on switches.
+    Dsu dsu(n);
+    std::vector<const Switch*> maybes;
+    for (const Switch& sw : switches_) {
+      bool on, maybe = false;
+      if (sw.always_on) {
+        on = true;
+      } else {
+        const V g = old[sw.gate_net];
+        const V active = sw.is_pmos ? V::k0 : V::k1;
+        const V inactive = sw.is_pmos ? V::k1 : V::k0;
+        on = g == active;
+        maybe = g != active && g != inactive;  // X or Z gate
+      }
+      if (on) {
+        dsu.unite(sw.a, sw.b);
+      } else if (maybe) {
+        maybes.push_back(&sw);
+      }
+    }
+    std::vector<V> group_value(n, V::kZ);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      std::uint32_t root = dsu.find(i);
+      group_value[root] = resolve(group_value[root], drive[i]);
+    }
+    std::vector<V> next(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      next[i] = is_fixed[i] ? fixed[i] : group_value[dsu.find(i)];
+    }
+    // Maybe-conducting switches taint: a definite value may or may not
+    // reach the other side.
+    for (const Switch* sw : maybes) {
+      const V va = next[sw->a], vb = next[sw->b];
+      if (va == vb) continue;
+      if (!is_fixed[sw->a] && vb != V::kZ) next[sw->a] = V::kX;
+      if (!is_fixed[sw->b] && va != V::kZ) next[sw->b] = V::kX;
+    }
+
+    if (next == result.values) {
+      result.converged = true;
+      return result;
+    }
+    result.values = std::move(next);
+  }
+  result.converged = false;
+  return result;
+}
+
+EquivalenceResult check_equivalence(const Netlist& a, const Netlist& b,
+                                    std::span<const std::string> inputs,
+                                    std::span<const std::string> outputs,
+                                    std::size_t max_vectors,
+                                    std::uint64_t seed) {
+  Simulator sa(a), sb(b);
+  EquivalenceResult result;
+
+  const std::size_t n = inputs.size();
+  const bool exhaustive = n < 20 && (std::size_t{1} << n) <= max_vectors;
+  const std::size_t total =
+      exhaustive ? (std::size_t{1} << n) : max_vectors;
+  Xoshiro256 rng(seed);
+
+  for (std::size_t k = 0; k < total; ++k) {
+    std::uint64_t bits = exhaustive ? k : rng();
+    std::map<std::string, V> vec;
+    for (std::size_t i = 0; i < n; ++i) {
+      vec[inputs[i]] = ((bits >> i) & 1) ? V::k1 : V::k0;
+    }
+    SolveResult ra = sa.solve(vec);
+    SolveResult rb = sb.solve(vec);
+    ++result.vectors_checked;
+
+    bool inconclusive = !ra.converged || !rb.converged;
+    for (const std::string& out : outputs) {
+      auto na = a.find_net(out);
+      auto nb = b.find_net(out);
+      SUBG_CHECK_MSG(na && nb, "output net '" << out << "' missing");
+      const V va = ra.value(*na);
+      const V vb = rb.value(*nb);
+      const bool da = va == V::k0 || va == V::k1;
+      const bool db = vb == V::k0 || vb == V::k1;
+      if (da && db && va != vb) {
+        result.equivalent = false;
+        std::ostringstream os;
+        os << "output " << out << ": " << to_char(va) << " vs " << to_char(vb)
+           << " for inputs {";
+        for (std::size_t i = 0; i < n; ++i) {
+          if (i) os << ", ";
+          os << inputs[i] << '=' << (((bits >> i) & 1) ? '1' : '0');
+        }
+        os << '}';
+        result.counterexample = os.str();
+        return result;
+      }
+      if (!da || !db) inconclusive = true;
+    }
+    if (inconclusive) ++result.inconclusive;
+  }
+  return result;
+}
+
+}  // namespace subg::sim

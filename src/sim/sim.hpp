@@ -1,0 +1,98 @@
+// Switch-level / gate-level logic simulation.
+//
+// The structural tools in this library (extraction, techmap, LVS) argue
+// about graph shape; this module closes the loop FUNCTIONALLY: simulate a
+// transistor netlist as bidirectional switches (nmos conducts on gate=1,
+// pmos on gate=0; rails drive; conduction groups resolve to 0/1/X/Z) and a
+// gate-level netlist by evaluating cell truth functions — then check that
+// an extracted/mapped netlist computes the same outputs as its source on
+// exhaustive or random vectors.
+//
+// Scope: steady-state combinational analysis with 4-valued logic
+// (0, 1, X = unknown/conflict, Z = undriven). Feedback structures settle
+// to X unless their state is forced; sequential cells are out of scope for
+// equivalence checking (check_equivalence rejects netlists it cannot
+// evaluate).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace subg::sim {
+
+enum class V : std::uint8_t { k0, k1, kX, kZ };
+
+[[nodiscard]] char to_char(V v);
+
+struct SolveResult {
+  /// Value per net, indexed by NetId.
+  std::vector<V> values;
+  bool converged = true;
+  std::size_t iterations = 0;
+
+  [[nodiscard]] V value(NetId n) const { return values[n.index()]; }
+};
+
+/// Steady-state solver for one netlist. Construction cost is O(netlist);
+/// each solve() is a fixpoint iteration. Handles three device kinds:
+///   - nmos/pmos: bidirectional switches (3- or 4-pin; bulk ignored);
+///   - recognized gate-level cell types (inv, buf, nand/nor/and/or 2..4,
+///     xor2, xnor2, aoi21, aoi22, oai21, mux2, halfadder, fulladder):
+///     evaluated functionally, outputs drive;
+///   - res: treated as a closed switch (always conducting); cap: ignored.
+/// Throws subg::Error for any other device type (dff, dlatch, tgate at
+/// gate level, custom types).
+class Simulator {
+ public:
+  explicit Simulator(const Netlist& netlist);
+
+  /// Net names "vdd"/"vcc" preset to 1 and "gnd"/"vss" to 0; `inputs`
+  /// (by net name) are fixed for the run. Unknown names throw.
+  [[nodiscard]] SolveResult solve(
+      const std::map<std::string, V>& inputs) const;
+
+  [[nodiscard]] const Netlist& netlist() const { return *netlist_; }
+
+ private:
+  struct Switch {
+    std::uint32_t gate_net;
+    std::uint32_t a, b;  // source/drain nets
+    bool is_pmos;
+    bool always_on;  // res
+  };
+  struct Gate {
+    std::uint32_t device;  // for diagnostics
+    std::string type;
+    std::vector<std::uint32_t> input_nets;
+    std::vector<std::uint32_t> output_nets;  // 1 or 2 (halfadder/fulladder)
+  };
+
+  const Netlist* netlist_;
+  std::vector<Switch> switches_;
+  std::vector<Gate> gates_;
+};
+
+struct EquivalenceResult {
+  bool equivalent = true;
+  std::size_t vectors_checked = 0;
+  /// Vectors where some output was X/Z on either side (not a mismatch, but
+  /// reported — clean CMOS combinational logic should have none).
+  std::size_t inconclusive = 0;
+  std::string counterexample;  // human-readable, set when !equivalent
+};
+
+/// Drive both netlists with the same values on `inputs` (shared net names)
+/// and compare `outputs`. Exhaustive when 2^|inputs| <= max_vectors, else
+/// that many random vectors.
+[[nodiscard]] EquivalenceResult check_equivalence(
+    const Netlist& a, const Netlist& b, std::span<const std::string> inputs,
+    std::span<const std::string> outputs, std::size_t max_vectors = 4096,
+    std::uint64_t seed = 1);
+
+}  // namespace subg::sim

@@ -1,0 +1,302 @@
+#include "spice/spice.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace subg::spice {
+
+namespace {
+
+/// Logical line (continuations folded), with its starting line number.
+struct Card {
+  std::string text;
+  std::size_t line;
+};
+
+[[noreturn]] void parse_error(std::size_t line, const std::string& what) {
+  throw Error("spice: line " + std::to_string(line) + ": " + what);
+}
+
+std::vector<Card> logical_lines(std::istream& in) {
+  std::vector<Card> cards;
+  std::string raw;
+  std::size_t lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    // Strip inline "$" comments — but only at a token boundary, because
+    // auto-generated names may legitimately contain '$' ("x0/$d1").
+    for (std::size_t pos = 0; pos < raw.size(); ++pos) {
+      if (raw[pos] == '$' &&
+          (pos == 0 || std::isspace(static_cast<unsigned char>(raw[pos - 1])))) {
+        raw.erase(pos);
+        break;
+      }
+    }
+    std::string_view t = trim(raw);
+    if (t.empty() || t.front() == '*' || t.front() == ';') continue;
+    if (t.front() == '+') {
+      if (cards.empty()) parse_error(lineno, "continuation with no prior card");
+      cards.back().text += ' ';
+      cards.back().text += std::string(t.substr(1));
+    } else {
+      cards.push_back(Card{std::string(t), lineno});
+    }
+  }
+  return cards;
+}
+
+struct Parser {
+  const ReadOptions& options;
+  Design design;
+  Module* current = nullptr;  // module receiving cards
+  Module* top = nullptr;
+  bool in_subckt = false;
+
+  explicit Parser(const ReadOptions& opts)
+      : options(opts), design(opts.catalog) {
+    ModuleId id = design.add_module(opts.top_name);
+    top = &design.module(id);
+    current = top;
+  }
+
+  /// Resolve a MOSFET model name to a catalog type.
+  [[nodiscard]] DeviceTypeId mos_type(std::string_view model,
+                                      std::size_t line) const {
+    std::string lower = to_lower(model);
+    if (auto t = design.catalog().find(lower)) return *t;
+    if (!lower.empty() && lower.front() == 'p') {
+      if (auto t = design.catalog().find("pmos")) return *t;
+    }
+    if (auto t = design.catalog().find("nmos")) return *t;
+    parse_error(line, "cannot resolve MOSFET model '" + std::string(model) + "'");
+  }
+
+  [[nodiscard]] static bool is_param(std::string_view tok) {
+    return tok.find('=') != std::string_view::npos;
+  }
+
+  NetId net(std::string_view name) { return current->ensure_net(to_lower(name)); }
+
+  void device_card(const Card& card) {
+    auto toks = split_ws(card.text);
+    const char kind =
+        static_cast<char>(std::tolower(static_cast<unsigned char>(toks[0][0])));
+    const std::string name = to_lower(toks[0]);
+    // Non-parameter tokens after the name.
+    std::vector<std::string_view> args;
+    for (std::size_t i = 1; i < toks.size(); ++i) {
+      if (!is_param(toks[i])) args.push_back(toks[i]);
+    }
+
+    switch (kind) {
+      case 'm': {
+        auto nm = design.catalog().find("nmos");
+        SUBG_CHECK_MSG(nm.has_value(), "catalog lacks an nmos type");
+        const std::size_t pins = design.catalog().type(*nm).pin_count();
+        if (args.size() < pins + 1) {
+          parse_error(card.line, "MOSFET card needs " + std::to_string(pins) +
+                                     " nodes and a model");
+        }
+        DeviceTypeId type = mos_type(args[pins], card.line);
+        std::vector<NetId> nets;
+        for (std::size_t i = 0; i < pins; ++i) nets.push_back(net(args[i]));
+        current->add_device(type, nets, name);
+        return;
+      }
+      case 'r':
+      case 'c': {
+        if (args.size() < 2) parse_error(card.line, "R/C card needs two nodes");
+        auto type = design.catalog().find(kind == 'r' ? "res" : "cap");
+        if (!type) {
+          parse_error(card.line, std::string("catalog lacks a '") +
+                                     (kind == 'r' ? "res" : "cap") + "' type");
+        }
+        current->add_device(*type, {net(args[0]), net(args[1])}, name);
+        return;
+      }
+      case 'd': {
+        if (args.size() < 2) parse_error(card.line, "D card needs two nodes");
+        auto type = design.catalog().find("diode");
+        if (!type) parse_error(card.line, "catalog lacks a 'diode' type");
+        current->add_device(*type, {net(args[0]), net(args[1])}, name);
+        return;
+      }
+      case 'x': {
+        if (args.size() < 1) parse_error(card.line, "X card needs a target");
+        const std::string target = to_lower(args.back());
+        args.pop_back();
+        std::vector<NetId> nets;
+        for (auto a : args) nets.push_back(net(a));
+        if (auto mod = design.find_module(target)) {
+          if (design.module(*mod).ports().size() != nets.size()) {
+            parse_error(card.line, "instance of '" + target + "' expects " +
+                                       std::to_string(
+                                           design.module(*mod).ports().size()) +
+                                       " nets, got " + std::to_string(nets.size()));
+          }
+          current->add_instance(*mod, nets, name);
+          return;
+        }
+        if (auto type = design.catalog().find(target)) {
+          if (design.catalog().type(*type).pin_count() != nets.size()) {
+            parse_error(card.line,
+                        "device of type '" + target + "' expects " +
+                            std::to_string(design.catalog().type(*type).pin_count()) +
+                            " nets, got " + std::to_string(nets.size()));
+          }
+          current->add_device(*type, nets, name);
+          return;
+        }
+        parse_error(card.line,
+                    "unknown subcircuit or device type '" + target + "'");
+      }
+      default:
+        parse_error(card.line, std::string("unsupported card '") + toks[0][0] +
+                                   "'");
+    }
+  }
+
+  void directive(const Card& card) {
+    auto toks = split_ws(card.text);
+    const std::string key = to_lower(toks[0]);
+    if (key == ".subckt") {
+      if (in_subckt) parse_error(card.line, "nested .SUBCKT is not supported");
+      if (toks.size() < 2) parse_error(card.line, ".SUBCKT needs a name");
+      std::vector<std::string> ports;
+      for (std::size_t i = 2; i < toks.size(); ++i) {
+        if (!is_param(toks[i])) ports.push_back(to_lower(toks[i]));
+      }
+      ModuleId id = design.add_module(to_lower(toks[1]), std::move(ports));
+      current = &design.module(id);
+      in_subckt = true;
+    } else if (key == ".ends") {
+      if (!in_subckt) parse_error(card.line, ".ENDS without .SUBCKT");
+      current = top;
+      in_subckt = false;
+    } else if (key == ".global") {
+      for (std::size_t i = 1; i < toks.size(); ++i) {
+        design.add_global(to_lower(toks[i]));
+      }
+    } else if (key == ".end") {
+      // ignore
+    } else {
+      // Unknown dot-directives (.model, .option, ...) are skipped.
+    }
+  }
+
+  void run(std::istream& in) {
+    for (const Card& card : logical_lines(in)) {
+      if (card.text.front() == '.') {
+        directive(card);
+      } else {
+        device_card(card);
+      }
+    }
+    if (in_subckt) {
+      throw Error("spice: unterminated .SUBCKT '" + current->name() + "'");
+    }
+  }
+};
+
+const char* card_letter(const std::string& type) {
+  if (type == "nmos" || type == "pmos") return "m";
+  if (type == "res") return "r";
+  if (type == "cap") return "c";
+  if (type == "diode") return "d";
+  return "x";
+}
+
+/// '$' begins a comment in SPICE, but auto-generated names ("$n0") contain
+/// it; rewrite to a safe marker on output. (Injective unless the netlist
+/// already uses the "_S_" marker, which our own names never do.)
+std::string sanitize(const std::string& name) {
+  if (name.find('$') == std::string::npos) return name;
+  std::string out;
+  out.reserve(name.size() + 4);
+  for (char c : name) {
+    if (c == '$') {
+      out += "_S_";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Design read(std::istream& in, const ReadOptions& options) {
+  Parser parser(options);
+  parser.run(in);
+  return std::move(parser.design);
+}
+
+Design read_string(std::string_view text, const ReadOptions& options) {
+  std::istringstream in{std::string(text)};
+  return read(in, options);
+}
+
+Design read_file(const std::string& path, const ReadOptions& options) {
+  std::ifstream in(path);
+  SUBG_CHECK_MSG(in.good(), "cannot open SPICE file '" << path << "'");
+  return read(in, options);
+}
+
+Netlist read_flat(std::string_view text, const ReadOptions& options,
+                  std::string_view top) {
+  Design design = read_string(text, options);
+  return design.flatten(top.empty() ? std::string_view(options.top_name) : top);
+}
+
+void write(std::ostream& out, const Netlist& netlist) {
+  out << "* " << (netlist.name().empty() ? "netlist" : netlist.name())
+      << " — written by subgemini\n";
+  bool any_global = false;
+  for (std::uint32_t n = 0; n < netlist.net_count(); ++n) {
+    if (netlist.is_global(NetId(n))) {
+      if (!any_global) {
+        out << ".global";
+        any_global = true;
+      }
+      out << ' ' << sanitize(netlist.net_name(NetId(n)));
+    }
+  }
+  if (any_global) out << '\n';
+
+  const bool as_subckt = !netlist.ports().empty();
+  if (as_subckt) {
+    out << ".subckt " << (netlist.name().empty() ? "cell" : netlist.name());
+    for (NetId p : netlist.ports()) out << ' ' << sanitize(netlist.net_name(p));
+    out << '\n';
+  }
+  for (std::uint32_t d = 0; d < netlist.device_count(); ++d) {
+    const DeviceId dev(d);
+    const DeviceTypeInfo& info = netlist.device_type_info(dev);
+    const char* letter = card_letter(info.name);
+    out << letter << sanitize(netlist.device_name(dev));
+    for (NetId n : netlist.device_pins(dev)) {
+      out << ' ' << sanitize(netlist.net_name(n));
+    }
+    if (*letter == 'm' || *letter == 'x') out << ' ' << info.name;
+    out << '\n';
+  }
+  if (as_subckt) {
+    out << ".ends\n";
+  } else {
+    out << ".end\n";
+  }
+}
+
+std::string write_string(const Netlist& netlist) {
+  std::ostringstream out;
+  write(out, netlist);
+  return out.str();
+}
+
+}  // namespace subg::spice

@@ -1,0 +1,251 @@
+#include "techmap/techmap.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "graph/circuit_graph.hpp"
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace subg::techmap {
+
+namespace {
+
+struct Cand {
+  std::size_t cell;
+  SubcircuitInstance instance;
+  double cost;
+  std::vector<std::uint32_t> devices;  // sorted subject device ids
+};
+
+/// Union-find for clustering candidates that share subject devices.
+struct UnionFind {
+  std::vector<std::size_t> parent;
+  explicit UnionFind(std::size_t n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), 0);
+  }
+  std::size_t find(std::size_t x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent[find(a)] = find(b); }
+};
+
+/// Result of solving one overlap cluster.
+struct ClusterSolution {
+  std::vector<std::size_t> chosen;  // candidate indices (cluster-local)
+  std::size_t uncovered = 0;
+  double cost = 0;
+  bool exact = false;
+};
+
+/// Exact exact-cover-with-penalties via branch and bound. `cands` are
+/// cluster-local; device ids are cluster-local too (0..device_count).
+ClusterSolution solve_exact(const std::vector<const Cand*>& cands,
+                            const std::vector<std::vector<std::uint32_t>>& devs,
+                            std::size_t device_count) {
+  ClusterSolution best;
+  best.uncovered = std::numeric_limits<std::size_t>::max();
+  best.cost = std::numeric_limits<double>::infinity();
+
+  // For each device: which candidates cover it.
+  std::vector<std::vector<std::size_t>> covers(device_count);
+  for (std::size_t c = 0; c < devs.size(); ++c) {
+    for (std::uint32_t d : devs[c]) covers[d].push_back(c);
+  }
+
+  std::vector<int> state(device_count, 0);  // 0 undecided, 1 covered, -1 skipped
+  std::vector<bool> used(cands.size(), false);
+  std::vector<std::size_t> chosen;
+
+  auto better = [&](std::size_t unc, double cost) {
+    return unc < best.uncovered ||
+           (unc == best.uncovered && cost < best.cost - 1e-12);
+  };
+
+  auto rec = [&](auto&& self, std::size_t uncovered, double cost) -> void {
+    if (!better(uncovered, cost)) return;  // bound (both are monotone)
+    std::size_t pick = device_count;
+    for (std::size_t d = 0; d < device_count; ++d) {
+      if (state[d] == 0) {
+        pick = d;
+        break;
+      }
+    }
+    if (pick == device_count) {
+      best.uncovered = uncovered;
+      best.cost = cost;
+      best.chosen = chosen;
+      best.exact = true;
+      return;
+    }
+    // Branch 1..k: a candidate covering `pick` whose devices are all free.
+    for (std::size_t c : covers[pick]) {
+      if (used[c]) continue;
+      bool free = true;
+      for (std::uint32_t d : devs[c]) {
+        if (state[d] != 0) {
+          free = false;
+          break;
+        }
+      }
+      if (!free) continue;
+      for (std::uint32_t d : devs[c]) state[d] = 1;
+      used[c] = true;
+      chosen.push_back(c);
+      self(self, uncovered, cost + cands[c]->cost);
+      chosen.pop_back();
+      used[c] = false;
+      for (std::uint32_t d : devs[c]) state[d] = 0;
+    }
+    // Branch 0: leave `pick` uncovered.
+    state[pick] = -1;
+    self(self, uncovered + 1, cost);
+    state[pick] = 0;
+  };
+  rec(rec, 0, 0);
+  return best;
+}
+
+/// Greedy: best cost-per-device first, conflicts skipped.
+ClusterSolution solve_greedy(const std::vector<const Cand*>& cands,
+                             const std::vector<std::vector<std::uint32_t>>& devs,
+                             std::size_t device_count) {
+  std::vector<std::size_t> order(cands.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double ra = cands[a]->cost / static_cast<double>(devs[a].size());
+    const double rb = cands[b]->cost / static_cast<double>(devs[b].size());
+    if (ra != rb) return ra < rb;
+    if (devs[a].size() != devs[b].size()) return devs[a].size() > devs[b].size();
+    return a < b;
+  });
+  ClusterSolution out;
+  std::vector<bool> taken(device_count, false);
+  for (std::size_t c : order) {
+    bool free = true;
+    for (std::uint32_t d : devs[c]) {
+      if (taken[d]) {
+        free = false;
+        break;
+      }
+    }
+    if (!free) continue;
+    for (std::uint32_t d : devs[c]) taken[d] = true;
+    out.chosen.push_back(c);
+    out.cost += cands[c]->cost;
+  }
+  for (std::size_t d = 0; d < device_count; ++d) {
+    if (!taken[d]) ++out.uncovered;
+  }
+  return out;
+}
+
+}  // namespace
+
+MapResult map(const Netlist& subject, const std::vector<MapCell>& library,
+              const MapOptions& options) {
+  SUBG_CHECK_MSG(!library.empty(), "techmap needs a non-empty library");
+
+  // 1. Enumerate every instance of every cell (exhaustive semantics).
+  CircuitGraph subject_graph(subject);
+  std::vector<Cand> cands;
+  for (std::size_t i = 0; i < library.size(); ++i) {
+    MatchOptions mo = options.match;
+    mo.exhaustive = true;
+    SubgraphMatcher matcher(library[i].pattern, subject_graph, mo);
+    MatchReport report = matcher.find_all();
+    const double cost = library[i].cost > 0
+                            ? library[i].cost
+                            : static_cast<double>(
+                                  library[i].pattern.device_count());
+    for (SubcircuitInstance& inst : report.instances) {
+      Cand c;
+      c.cell = i;
+      c.cost = cost;
+      c.devices.reserve(inst.device_image.size());
+      for (DeviceId d : inst.device_image) c.devices.push_back(d.value);
+      std::sort(c.devices.begin(), c.devices.end());
+      c.instance = std::move(inst);
+      cands.push_back(std::move(c));
+    }
+  }
+
+  MapResult result;
+  result.candidates_enumerated = cands.size();
+
+  // 2. Cluster by overlap.
+  UnionFind uf(cands.size());
+  {
+    std::vector<std::size_t> first_owner(subject.device_count(),
+                                         std::numeric_limits<std::size_t>::max());
+    for (std::size_t c = 0; c < cands.size(); ++c) {
+      for (std::uint32_t d : cands[c].devices) {
+        if (first_owner[d] == std::numeric_limits<std::size_t>::max()) {
+          first_owner[d] = c;
+        } else {
+          uf.unite(first_owner[d], c);
+        }
+      }
+    }
+  }
+  std::vector<std::vector<std::size_t>> clusters_by_root(cands.size());
+  for (std::size_t c = 0; c < cands.size(); ++c) {
+    clusters_by_root[uf.find(c)].push_back(c);
+  }
+
+  // 3. Solve each cluster.
+  std::vector<bool> device_covered(subject.device_count(), false);
+  result.optimal = true;
+  for (const auto& cluster : clusters_by_root) {
+    if (cluster.empty()) continue;
+    // Local device numbering.
+    std::vector<std::uint32_t> local_devices;
+    for (std::size_t c : cluster) {
+      local_devices.insert(local_devices.end(), cands[c].devices.begin(),
+                           cands[c].devices.end());
+    }
+    std::sort(local_devices.begin(), local_devices.end());
+    local_devices.erase(std::unique(local_devices.begin(), local_devices.end()),
+                        local_devices.end());
+    auto local_of = [&](std::uint32_t d) {
+      return static_cast<std::uint32_t>(
+          std::lower_bound(local_devices.begin(), local_devices.end(), d) -
+          local_devices.begin());
+    };
+    std::vector<const Cand*> cl_cands;
+    std::vector<std::vector<std::uint32_t>> cl_devs;
+    for (std::size_t c : cluster) {
+      cl_cands.push_back(&cands[c]);
+      std::vector<std::uint32_t> local;
+      for (std::uint32_t d : cands[c].devices) local.push_back(local_of(d));
+      cl_devs.push_back(std::move(local));
+    }
+
+    ClusterSolution sol;
+    if (cluster.size() <= options.exact_cluster_limit) {
+      sol = solve_exact(cl_cands, cl_devs, local_devices.size());
+    } else {
+      sol = solve_greedy(cl_cands, cl_devs, local_devices.size());
+      result.optimal = false;
+    }
+    for (std::size_t local_c : sol.chosen) {
+      const Cand& c = *cl_cands[local_c];
+      result.chosen.push_back(
+          Candidate{c.cell, c.instance, c.cost});
+      result.total_cost += c.cost;
+      for (std::uint32_t d : c.devices) device_covered[d] = true;
+    }
+  }
+
+  for (std::uint32_t d = 0; d < subject.device_count(); ++d) {
+    if (!device_covered[d]) ++result.uncovered_devices;
+  }
+  SUBG_DEBUG("techmap: " << result.chosen.size() << " cells, cost "
+                         << result.total_cost << ", uncovered "
+                         << result.uncovered_devices);
+  return result;
+}
+
+}  // namespace subg::techmap

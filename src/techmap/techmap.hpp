@@ -1,0 +1,67 @@
+// Technology mapping by subgraph matching (paper §I):
+//
+//   "Another application arises in the area of technology mapping, which
+//    covers a circuit graph with components from a library. Current
+//    techniques rely on tree-covering algorithms, which require that both
+//    the input circuit and library components be represented as trees. A
+//    general subgraph isomorphism algorithm would allow one to find all
+//    possible coverings for general component graphs, including those with
+//    feedback and reconvergent fanout."
+//
+// This module does exactly that: enumerate every instance of every library
+// cell in the subject netlist (exhaustive matching — overlaps included),
+// then choose a cover: a subset of instances such that every subject
+// device is claimed exactly once, minimizing total cost. Selection is
+// exact branch-and-bound for small conflict clusters and greedy
+// (cost-per-device, largest first) beyond a configurable limit.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "match/matcher.hpp"
+#include "netlist/netlist.hpp"
+
+namespace subg::techmap {
+
+struct MapCell {
+  std::string name;
+  Netlist pattern;
+  /// Cost of one instance (area, delay proxy, ...). Default: device count
+  /// of the pattern (set by map() when <= 0).
+  double cost = -1;
+};
+
+struct Candidate {
+  std::size_t cell;  ///< index into the library
+  SubcircuitInstance instance;
+  double cost = 0;
+};
+
+struct MapResult {
+  /// Chosen cover, in selection order.
+  std::vector<Candidate> chosen;
+  /// All candidate instances that were enumerated (diagnostics).
+  std::size_t candidates_enumerated = 0;
+  /// Subject devices no candidate could cover (mapping is then partial).
+  std::size_t uncovered_devices = 0;
+  double total_cost = 0;
+  bool optimal = false;  ///< true when every cluster was solved exactly
+
+  [[nodiscard]] bool complete() const { return uncovered_devices == 0; }
+};
+
+struct MapOptions {
+  /// Exact branch-and-bound is used for overlap clusters with at most this
+  /// many candidates; bigger clusters fall back to greedy.
+  std::size_t exact_cluster_limit = 24;
+  MatchOptions match;
+};
+
+/// Cover `subject` with the library. Patterns and subject must share
+/// compatible catalogs (same rules as SubgraphMatcher).
+[[nodiscard]] MapResult map(const Netlist& subject,
+                            const std::vector<MapCell>& library,
+                            const MapOptions& options = {});
+
+}  // namespace subg::techmap

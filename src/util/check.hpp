@@ -1,0 +1,51 @@
+// Precondition / invariant checking.
+//
+// SUBG_CHECK is always on (API misuse should fail loudly, per the C++ Core
+// Guidelines' interface rules); SUBG_DCHECK compiles out in release builds
+// and guards internal invariants on hot paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace subg {
+
+/// Thrown on violated preconditions and malformed inputs.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace subg
+
+#define SUBG_CHECK(expr)                                                     \
+  do {                                                                       \
+    if (!(expr)) ::subg::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define SUBG_CHECK_MSG(expr, msg)                                      \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      std::ostringstream subg_os_;                                     \
+      subg_os_ << msg;                                                 \
+      ::subg::detail::check_failed(#expr, __FILE__, __LINE__,          \
+                                   subg_os_.str());                   \
+    }                                                                  \
+  } while (0)
+
+#ifdef NDEBUG
+#define SUBG_DCHECK(expr) ((void)0)
+#else
+#define SUBG_DCHECK(expr) SUBG_CHECK(expr)
+#endif

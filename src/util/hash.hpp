@@ -1,0 +1,77 @@
+// Label hashing for the Gemini/SubGemini relabeling function (paper Fig 3).
+//
+// The paper labels vertices with integers that "approximate exact labels
+// ... with a very high probability". A relabeling step computes
+//
+//   new(v) = f( old(v), { (class(e), old(u)) : e = (v,u) incident } )
+//
+// and must be (a) commutative over the incident edges — neighbor order is
+// arbitrary — and (b) sensitive to the terminal class of each edge (the
+// gate pin of a MOSFET must contribute differently from a source/drain
+// pin). We realize f over uint64 as
+//
+//   new(v) = mix(old(v)) + Σ_e  mix( old(u) ^ coeff(class(e)) )
+//
+// with wrapping addition (commutative) and SplitMix64 as the mixer. A
+// collision between inequivalent vertices requires a 64-bit hash collision;
+// Phase II additionally verifies every reported match explicitly, so
+// collisions can cost time but never soundness.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/rng.hpp"
+
+namespace subg {
+
+/// Label type used throughout the partition-refinement machinery.
+/// Label 0 is reserved to mean "unlabeled" (Phase II starts nets blank).
+using Label = std::uint64_t;
+
+inline constexpr Label kNoLabel = 0;
+
+/// FNV-1a over a string, finalized with SplitMix64. Used for the initial
+/// invariant labels (device type names) and special-net fixed labels.
+[[nodiscard]] constexpr Label hash_string(std::string_view s) noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  Label out = splitmix64_mix(h);
+  return out == kNoLabel ? 1 : out;
+}
+
+/// Combine two 64-bit values order-dependently (for tuples, not multisets).
+[[nodiscard]] constexpr Label hash_combine(Label a, Label b) noexcept {
+  Label out = splitmix64_mix(a ^ (splitmix64_mix(b) + 0x9E3779B97F4A7C15ULL));
+  return out == kNoLabel ? 1 : out;
+}
+
+/// Initial invariant label of a net vertex of the given degree.
+[[nodiscard]] constexpr Label degree_label(std::size_t degree) noexcept {
+  Label out = splitmix64_mix(0xA076'1D64'78BD'642FULL ^ static_cast<Label>(degree));
+  return out == kNoLabel ? 1 : out;
+}
+
+/// Per-edge coefficient for a terminal class. `type_label` identifies the
+/// device type; `class_index` is the pin equivalence class within the type.
+[[nodiscard]] constexpr Label class_coefficient(Label type_label,
+                                                std::uint32_t class_index) noexcept {
+  return splitmix64_mix(type_label + 0x2545F4914F6CDD1DULL * (class_index + 1));
+}
+
+/// One incident edge's contribution to a relabeling sum.
+[[nodiscard]] constexpr Label edge_contribution(Label coefficient,
+                                                Label neighbor_label) noexcept {
+  return splitmix64_mix(neighbor_label ^ coefficient);
+}
+
+/// Finalize a relabeling: mixed old label plus the commutative edge sum.
+[[nodiscard]] constexpr Label relabel(Label old_label, Label edge_sum) noexcept {
+  Label out = splitmix64_mix(old_label) + edge_sum;
+  return out == kNoLabel ? 1 : out;
+}
+
+}  // namespace subg

@@ -1,0 +1,37 @@
+// Tiny leveled logger. Off by default above `warn` so library users are not
+// spammed; benches/examples raise the level to trace algorithm internals
+// (Phase I/II pass traces).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace subg {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}
+
+}  // namespace subg
+
+#define SUBG_LOG(level, expr)                                       \
+  do {                                                              \
+    if (static_cast<int>(level) >=                                  \
+        static_cast<int>(::subg::log_level())) {                    \
+      std::ostringstream subg_log_os_;                              \
+      subg_log_os_ << expr;                                         \
+      ::subg::detail::log_emit(level, subg_log_os_.str());          \
+    }                                                               \
+  } while (0)
+
+#define SUBG_TRACE(expr) SUBG_LOG(::subg::LogLevel::kTrace, expr)
+#define SUBG_DEBUG(expr) SUBG_LOG(::subg::LogLevel::kDebug, expr)
+#define SUBG_INFO(expr) SUBG_LOG(::subg::LogLevel::kInfo, expr)
+#define SUBG_WARN(expr) SUBG_LOG(::subg::LogLevel::kWarn, expr)
+#define SUBG_ERROR(expr) SUBG_LOG(::subg::LogLevel::kError, expr)

@@ -1,0 +1,107 @@
+// Deterministic pseudo-random number generation for reproducible runs.
+//
+// SubGemini's Phase II assigns "unique random labels" to matched vertex
+// pairs (paper §IV). Reproducibility of a run therefore requires that all
+// randomness come from an explicitly seeded stream. We provide SplitMix64
+// (used both as a stream generator and as a 64-bit finalizer/mixer) and
+// xoshiro256** for bulk workload generation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace subg {
+
+/// SplitMix64 finalizer: a high-quality 64-bit bijective mixing function.
+/// Used to derive label hashes; see util/hash.hpp for the labeling helpers.
+[[nodiscard]] constexpr std::uint64_t splitmix64_mix(std::uint64_t z) noexcept {
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Minimal SplitMix64 stream generator. Satisfies UniformRandomBitGenerator.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  constexpr explicit SplitMix64(std::uint64_t seed = 0x8D0C5DE3F0E2B1A7ULL) noexcept
+      : state_(seed) {}
+
+  [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+  [[nodiscard]] static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    state_ += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  constexpr std::uint64_t below(std::uint64_t bound) noexcept {
+    // Multiply-shift rejection-free mapping (Lemire); tiny bias is
+    // irrelevant for workload generation.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(operator()()) * bound) >> 64);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 — fast, high-quality generator for bulk random
+/// workload generation (logic soup wiring, instance placement).
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  constexpr explicit Xoshiro256(std::uint64_t seed = 1) noexcept : s_{} {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) w = sm();
+  }
+
+  [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+  [[nodiscard]] static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  constexpr std::uint64_t below(std::uint64_t bound) noexcept {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(operator()()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() noexcept {
+    return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p.
+  constexpr bool chance(double p) noexcept { return uniform() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> s_;
+};
+
+}  // namespace subg

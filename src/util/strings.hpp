@@ -1,0 +1,40 @@
+// Small string helpers shared by the SPICE parser and the report printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace subg {
+
+/// Split on any run of whitespace; no empty tokens.
+[[nodiscard]] std::vector<std::string_view> split_ws(std::string_view line);
+
+/// Split on a single delimiter character; keeps empty fields.
+[[nodiscard]] std::vector<std::string_view> split_char(std::string_view s, char delim);
+
+/// ASCII lower-case copy (SPICE is case-insensitive).
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+/// ASCII upper-case copy.
+[[nodiscard]] std::string to_upper(std::string_view s);
+
+/// Trim ASCII whitespace from both ends.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// True if `s` starts with `prefix`, ignoring ASCII case.
+[[nodiscard]] bool starts_with_icase(std::string_view s, std::string_view prefix);
+
+/// True if `s` ends with `suffix`, ignoring ASCII case.
+[[nodiscard]] bool ends_with_icase(std::string_view s, std::string_view suffix);
+
+/// Case-insensitive ASCII equality.
+[[nodiscard]] bool equals_icase(std::string_view a, std::string_view b);
+
+/// Format a double with fixed precision into a string (no locale surprises).
+[[nodiscard]] std::string format_fixed(double value, int precision);
+
+/// Thousands-separated integer rendering for tables ("123,456").
+[[nodiscard]] std::string with_commas(long long value);
+
+}  // namespace subg

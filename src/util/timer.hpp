@@ -1,0 +1,54 @@
+// Monotonic wall-clock timing for the benchmark harnesses.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace subg {
+
+/// Simple monotonic stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/reset, in seconds.
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+  /// Elapsed time in microseconds.
+  [[nodiscard]] double micros() const { return seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates time across multiple start/stop windows (Phase I vs Phase II
+/// attribution in the results tables).
+class Accumulator {
+ public:
+  void start() { timer_.reset(); running_ = true; }
+  void stop() {
+    if (running_) {
+      total_ += timer_.seconds();
+      running_ = false;
+    }
+  }
+  void add_seconds(double s) { total_ += s; }
+  [[nodiscard]] double seconds() const { return total_; }
+  [[nodiscard]] double millis() const { return total_ * 1e3; }
+  void reset() { total_ = 0; running_ = false; }
+
+ private:
+  Timer timer_;
+  double total_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace subg

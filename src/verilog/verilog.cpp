@@ -1,0 +1,402 @@
+#include "verilog/verilog.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace subg::verilog {
+
+namespace {
+
+// --- tokenizer ----------------------------------------------------------
+
+struct Token {
+  std::string text;
+  std::size_t line;
+};
+
+[[noreturn]] void parse_error(std::size_t line, const std::string& what) {
+  throw Error("verilog: line " + std::to_string(line) + ": " + what);
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '$';
+}
+
+std::vector<Token> tokenize(std::istream& in) {
+  std::vector<Token> out;
+  std::string line;
+  std::size_t lineno = 0;
+  bool in_block_comment = false;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::size_t i = 0;
+    while (i < line.size()) {
+      if (in_block_comment) {
+        auto end = line.find("*/", i);
+        if (end == std::string::npos) {
+          i = line.size();
+        } else {
+          i = end + 2;
+          in_block_comment = false;
+        }
+        continue;
+      }
+      char c = line[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+        in_block_comment = true;
+        i += 2;
+        continue;
+      }
+      if (c == '(' && i + 1 < line.size() && line[i + 1] == '*') {
+        out.push_back({"(*", lineno});
+        i += 2;
+        continue;
+      }
+      if (c == '*' && i + 1 < line.size() && line[i + 1] == ')') {
+        out.push_back({"*)", lineno});
+        i += 2;
+        continue;
+      }
+      if (std::string_view("().,;").find(c) != std::string_view::npos) {
+        out.push_back({std::string(1, c), lineno});
+        ++i;
+        continue;
+      }
+      if (c == '\\') {
+        // Escaped identifier: up to whitespace.
+        std::size_t start = ++i;
+        while (i < line.size() &&
+               !std::isspace(static_cast<unsigned char>(line[i]))) {
+          ++i;
+        }
+        out.push_back({line.substr(start, i - start), lineno});
+        continue;
+      }
+      if (ident_char(c)) {
+        std::size_t start = i;
+        while (i < line.size() && ident_char(line[i])) ++i;
+        out.push_back({line.substr(start, i - start), lineno});
+        continue;
+      }
+      parse_error(lineno, std::string("unexpected character '") + c + "'");
+    }
+  }
+  return out;
+}
+
+// --- parser -------------------------------------------------------------
+
+struct Parser {
+  const ReadOptions& options;
+  std::vector<Token> toks;
+  std::size_t pos = 0;
+  Design design;
+  std::string last_module;
+
+  explicit Parser(const ReadOptions& opts)
+      : options(opts), design(opts.catalog) {}
+
+  [[nodiscard]] bool done() const { return pos >= toks.size(); }
+  [[nodiscard]] const Token& peek() const {
+    SUBG_CHECK_MSG(!done(), "verilog: unexpected end of input");
+    return toks[pos];
+  }
+  Token next() {
+    Token t = peek();
+    ++pos;
+    return t;
+  }
+  void expect(std::string_view text) {
+    Token t = next();
+    if (t.text != text) {
+      parse_error(t.line, "expected '" + std::string(text) + "', got '" +
+                              t.text + "'");
+    }
+  }
+  bool accept(std::string_view text) {
+    if (!done() && peek().text == text) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  /// Skip "(* ... *)" and return true if subg_global appeared.
+  bool attributes() {
+    bool global = false;
+    while (accept("(*")) {
+      while (!accept("*)")) {
+        Token t = next();
+        if (t.text == "subg_global") global = true;
+      }
+    }
+    return global;
+  }
+
+  /// Pass 1: record every module's name and port list so any definition
+  /// order works.
+  void scan_modules() {
+    std::size_t save = pos;
+    while (!done()) {
+      if (next().text != "module") continue;
+      Token name = next();
+      std::vector<std::string> ports;
+      if (accept("(")) {
+        while (!accept(")")) {
+          Token t = next();
+          if (t.text == ",") continue;
+          ports.push_back(to_lower(t.text));
+        }
+      }
+      expect(";");
+      design.add_module(to_lower(name.text), std::move(ports));
+    }
+    pos = save;
+  }
+
+  void parse_all() {
+    scan_modules();
+    while (!done()) {
+      attributes();
+      Token t = next();
+      if (t.text != "module") {
+        parse_error(t.line, "expected 'module', got '" + t.text + "'");
+      }
+      parse_module();
+    }
+  }
+
+  void parse_module() {
+    Token name = next();
+    Module& mod = design.module(*design.find_module(to_lower(name.text)));
+    last_module = mod.name();
+    if (accept("(")) {
+      while (!accept(")")) next();  // ports already recorded in pass 1
+    }
+    expect(";");
+
+    while (true) {
+      bool global = attributes();
+      Token t = next();
+      if (t.text == "endmodule") return;
+      if (t.text == "wire" || t.text == "input" || t.text == "output" ||
+          t.text == "inout" || t.text == "supply0" || t.text == "supply1") {
+        // Declaration list. supply0/1 and subg_global mark design globals.
+        const bool is_global =
+            global || t.text == "supply0" || t.text == "supply1";
+        if (accept("wire")) {
+          // "inout wire a" style.
+        }
+        while (true) {
+          Token n = next();
+          std::string net = to_lower(n.text);
+          mod.ensure_net(net);
+          if (is_global) design.add_global(net);
+          Token sep = next();
+          if (sep.text == ";") break;
+          if (sep.text != ",") parse_error(sep.line, "expected ',' or ';'");
+        }
+        continue;
+      }
+      // Instance: TYPE NAME ( connections ) ;
+      parse_instance(mod, t);
+    }
+  }
+
+  void parse_instance(Module& mod, const Token& type_tok) {
+    const std::string type_name = to_lower(type_tok.text);
+    Token inst_name = next();
+    expect("(");
+
+    auto target_module = design.find_module(type_name);
+    std::optional<DeviceTypeId> target_type;
+    if (!target_module) target_type = design.catalog().find(type_name);
+    if (!target_module && !target_type) {
+      parse_error(type_tok.line,
+                  "unknown module or device type '" + type_name + "'");
+    }
+
+    // Formal pin order.
+    std::vector<std::string> formals;
+    if (target_module) {
+      const Module& m = design.module(*target_module);
+      for (NetId p : m.ports()) formals.push_back(m.net_name(p));
+    } else {
+      for (const PinSpec& p : design.catalog().type(*target_type).pins) {
+        formals.push_back(p.name);
+      }
+    }
+
+    std::vector<NetId> actuals(formals.size(), NetId());
+    std::vector<bool> bound(formals.size(), false);
+    std::size_t positional = 0;
+    bool named = false;
+    while (!accept(")")) {
+      if (accept(",")) continue;
+      if (accept(".")) {
+        named = true;
+        Token pin = next();
+        expect("(");
+        Token net = next();
+        expect(")");
+        const std::string pin_name = to_lower(pin.text);
+        bool found = false;
+        for (std::size_t i = 0; i < formals.size(); ++i) {
+          if (equals_icase(formals[i], pin_name)) {
+            if (bound[i]) {
+              parse_error(pin.line, "pin '" + pin_name + "' bound twice");
+            }
+            actuals[i] = mod.ensure_net(to_lower(net.text));
+            bound[i] = true;
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          parse_error(pin.line, "no pin '" + pin_name + "' on '" + type_name +
+                                    "'");
+        }
+      } else {
+        if (named) {
+          parse_error(peek().line, "cannot mix positional and named "
+                                   "connections");
+        }
+        Token net = next();
+        if (positional >= formals.size()) {
+          parse_error(net.line, "too many connections for '" + type_name + "'");
+        }
+        actuals[positional] = mod.ensure_net(to_lower(net.text));
+        bound[positional] = true;
+        ++positional;
+      }
+    }
+    expect(";");
+    for (std::size_t i = 0; i < formals.size(); ++i) {
+      if (!bound[i]) {
+        parse_error(inst_name.line, "pin '" + formals[i] + "' of '" +
+                                        type_name + "' left unconnected");
+      }
+    }
+    if (target_module) {
+      mod.add_instance(*target_module, actuals, to_lower(inst_name.text));
+    } else {
+      mod.add_device(*target_type, actuals, to_lower(inst_name.text));
+    }
+  }
+};
+
+// --- writer -------------------------------------------------------------
+
+/// Verilog identifier: letters, digits, _, non-leading $.
+std::string vsanitize(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 2);
+  for (char c : name) {
+    if (c == '/') {
+      out += "__";
+    } else if (ident_char(c)) {
+      out.push_back(c);
+    } else {
+      out.push_back('_');
+    }
+  }
+  if (out.empty() ||
+      std::isdigit(static_cast<unsigned char>(out.front())) ||
+      out.front() == '$') {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+Design read(std::istream& in, const ReadOptions& options) {
+  Parser parser(options);
+  parser.toks = tokenize(in);
+  parser.parse_all();
+  return std::move(parser.design);
+}
+
+Design read_string(std::string_view text, const ReadOptions& options) {
+  std::istringstream in{std::string(text)};
+  return read(in, options);
+}
+
+Design read_file(const std::string& path, const ReadOptions& options) {
+  std::ifstream in(path);
+  SUBG_CHECK_MSG(in.good(), "cannot open Verilog file '" << path << "'");
+  return read(in, options);
+}
+
+Netlist read_flat(std::string_view text, const ReadOptions& options,
+                  std::string_view top) {
+  std::istringstream in{std::string(text)};
+  Parser parser(options);
+  parser.toks = tokenize(in);
+  parser.parse_all();
+  std::string chosen =
+      top.empty() ? parser.last_module : to_lower(top);
+  SUBG_CHECK_MSG(!chosen.empty(), "verilog: no module found");
+  return parser.design.flatten(chosen);
+}
+
+void write(std::ostream& out, const Netlist& netlist) {
+  const std::string mod_name =
+      vsanitize(netlist.name().empty() ? "top" : netlist.name());
+  out << "// " << mod_name << " — written by subgemini\n";
+  out << "module " << mod_name << " (";
+  for (std::size_t i = 0; i < netlist.ports().size(); ++i) {
+    if (i) out << ", ";
+    out << vsanitize(netlist.net_name(netlist.ports()[i]));
+  }
+  out << ");\n";
+  for (NetId p : netlist.ports()) {
+    out << "  inout " << vsanitize(netlist.net_name(p)) << ";\n";
+  }
+  for (std::uint32_t n = 0; n < netlist.net_count(); ++n) {
+    const NetId id(n);
+    if (netlist.is_port(id)) continue;
+    if (netlist.is_global(id)) {
+      out << "  (* subg_global *) wire " << vsanitize(netlist.net_name(id))
+          << ";\n";
+    } else if (netlist.net_degree(id) > 0) {
+      out << "  wire " << vsanitize(netlist.net_name(id)) << ";\n";
+    }
+  }
+  for (std::uint32_t d = 0; d < netlist.device_count(); ++d) {
+    const DeviceId dev(d);
+    const DeviceTypeInfo& info = netlist.device_type_info(dev);
+    out << "  " << vsanitize(info.name) << ' '
+        << vsanitize(netlist.device_name(dev)) << " (";
+    auto pins = netlist.device_pins(dev);
+    for (std::uint32_t p = 0; p < pins.size(); ++p) {
+      if (p) out << ", ";
+      out << '.' << info.pins[p].name << '('
+          << vsanitize(netlist.net_name(pins[p])) << ')';
+    }
+    out << ");\n";
+  }
+  out << "endmodule\n";
+}
+
+std::string write_string(const Netlist& netlist) {
+  std::ostringstream out;
+  write(out, netlist);
+  return out.str();
+}
+
+}  // namespace subg::verilog

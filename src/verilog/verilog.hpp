@@ -1,0 +1,55 @@
+// Structural Verilog reader/writer (subset) — the gate-level counterpart
+// of the SPICE module, so extracted netlists can flow into standard
+// digital tooling and gate-level hosts can come from synthesis output.
+//
+// Writer: one module per netlist. Every device becomes a named-connection
+// instantiation of its catalog type ("nand2 g0 (.a0(n1), .a1(n2), .y(n3));"
+// — transistors instantiate as "nmos"/"pmos" the same way). Netlist ports
+// become module inout ports; global nets are declared as
+// "(* subg_global *) wire vdd;". Names are sanitized to Verilog identifier
+// rules ('/' → "__", leading '$' → "_S").
+//
+// Reader (subset):
+//   - // and /* */ comments, (* attribute *) lists (only subg_global is
+//     interpreted)
+//   - module NAME (port, ...); ... endmodule     (non-ANSI header)
+//   - input / output / inout / wire declarations (directions ignored —
+//     circuit graphs are undirected; all declared ports become netlist
+//     ports)
+//   - instantiations with named (.pin(net)) or positional connections;
+//     the instance type must name a catalog device type or a module defined
+//     in the same source (any definition order), which is expanded like a
+//     SPICE subcircuit.
+// No vectors/buses, parameters, assigns, or behavioural constructs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "netlist/design.hpp"
+
+namespace subg::verilog {
+
+struct ReadOptions {
+  std::shared_ptr<const DeviceCatalog> catalog = DeviceCatalog::cmos();
+};
+
+/// Parse all modules into a design. Throws subg::Error with a line number
+/// on malformed or unsupported input.
+[[nodiscard]] Design read(std::istream& in, const ReadOptions& options = {});
+[[nodiscard]] Design read_string(std::string_view text,
+                                 const ReadOptions& options = {});
+[[nodiscard]] Design read_file(const std::string& path,
+                               const ReadOptions& options = {});
+
+/// Parse and flatten the given module (default: the last one defined,
+/// which is conventionally the top).
+[[nodiscard]] Netlist read_flat(std::string_view text,
+                                const ReadOptions& options = {},
+                                std::string_view top = "");
+
+void write(std::ostream& out, const Netlist& netlist);
+[[nodiscard]] std::string write_string(const Netlist& netlist);
+
+}  // namespace subg::verilog

@@ -1,0 +1,21 @@
+* small standard-cell library (transistor level)
+.global vdd gnd
+
+.subckt inv a y
+mp y a vdd vdd pmos
+mn y a gnd gnd nmos
+.ends
+
+.subckt nand2 a b y
+mp0 y a vdd vdd pmos
+mp1 y b vdd vdd pmos
+mn0 y a x  gnd nmos
+mn1 x b gnd gnd nmos
+.ends
+
+.subckt nor2 a b y
+mp0 u a vdd vdd pmos
+mp1 y b u   vdd pmos
+mn0 y a gnd gnd nmos
+mn1 y b gnd gnd nmos
+.ends

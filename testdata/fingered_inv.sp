@@ -1,0 +1,8 @@
+* inverter drawn with fingered devices (reduce collapses it to 2 transistors)
+.global vdd gnd
+mp0 y a vdd vdd pmos
+mp1 y a vdd vdd pmos
+mn0 y a gnd gnd nmos
+mn1 y a gnd gnd nmos
+mn2 y a gnd gnd nmos
+.end

@@ -1,0 +1,22 @@
+* an and-or-invert mux built from the library cells, plus a spare inverter
+.global vdd gnd
+
+.subckt inv a y
+mp y a vdd vdd pmos
+mn y a gnd gnd nmos
+.ends
+
+.subckt nand2 a b y
+mp0 y a vdd vdd pmos
+mp1 y b vdd vdd pmos
+mn0 y a x  gnd nmos
+mn1 x b gnd gnd nmos
+.ends
+
+* y = (a & s) | (b & ~s)  via nand-nand
+x_inv_s   sel   nsel  inv
+x_na      a sel  n1   nand2
+x_nb      b nsel n2   nand2
+x_out     n1 n2  y    nand2
+x_spare   y     yb    inv
+.end

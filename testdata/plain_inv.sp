@@ -1,0 +1,5 @@
+* schematic inverter
+.global vdd gnd
+mp out in vdd vdd pmos
+mn out in gnd gnd nmos
+.end

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "benchfmt/benchfmt.hpp"
+#include "cells/cells.hpp"
+#include "extract/extract.hpp"
+#include "gemini/gemini.hpp"
+#include "match/matcher.hpp"
+#include "util/check.hpp"
+
+namespace subg::benchfmt {
+namespace {
+
+TEST(BenchFmt, ParsesC17) {
+  BenchCircuit c = read_string(c17_text());
+  EXPECT_EQ(c.inputs.size(), 5u);
+  EXPECT_EQ(c.outputs.size(), 2u);
+  EXPECT_EQ(c.gates.at("nand2"), 6u);
+  EXPECT_EQ(c.transistors.device_count(), 24u);
+  // Ports marked for all named I/O.
+  EXPECT_EQ(c.transistors.ports().size(), 7u);
+  EXPECT_TRUE(c.transistors.is_global(*c.transistors.find_net("vdd")));
+}
+
+TEST(BenchFmt, MatcherFindsTheGates) {
+  BenchCircuit c = read_string(c17_text());
+  cells::CellLibrary lib;
+  Netlist pattern = lib.pattern("nand2");
+  SubgraphMatcher matcher(pattern, c.transistors);
+  EXPECT_EQ(matcher.find_all().count(), 6u);
+}
+
+TEST(BenchFmt, WideFanInDecomposes) {
+  const char* text = R"(
+INPUT(a) INPUT(b) INPUT(c) INPUT(d) INPUT(e) INPUT(f)
+OUTPUT(y)
+y = NAND(a, b, c, d, e, f)
+)";
+  // The single-line INPUTs above are not legal .bench (one per line), so
+  // split them:
+  BenchCircuit c = read_string(
+      "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nINPUT(e)\nINPUT(f)\n"
+      "OUTPUT(y)\ny = NAND(a, b, c, d, e, f)\n");
+  (void)text;
+  // 6 inputs → two and2 reductions + a final nand4.
+  EXPECT_EQ(c.gates.at("and2"), 2u);
+  EXPECT_EQ(c.gates.at("nand4"), 1u);
+}
+
+TEST(BenchFmt, XorChainAndPolarity) {
+  BenchCircuit c = read_string(
+      "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\ny = XNOR(a, b, c)\n");
+  EXPECT_EQ(c.gates.at("xor2"), 1u);
+  EXPECT_EQ(c.gates.at("xnor2"), 1u);
+}
+
+TEST(BenchFmt, DffGetsGlobalClock) {
+  BenchCircuit c = read_string(
+      "INPUT(d)\nOUTPUT(q)\nq = DFF(d)\n");
+  EXPECT_EQ(c.gates.at("dff"), 1u);
+  auto clk = c.transistors.find_net("clk");
+  ASSERT_TRUE(clk.has_value());
+  EXPECT_TRUE(c.transistors.is_global(*clk));
+}
+
+TEST(BenchFmt, NotAndBuf) {
+  BenchCircuit c = read_string(
+      "INPUT(a)\nOUTPUT(y)\nn = NOT(a)\ny = BUF(n)\n");
+  EXPECT_EQ(c.gates.at("inv"), 1u);
+  EXPECT_EQ(c.gates.at("buf"), 1u);
+  EXPECT_EQ(c.transistors.device_count(), 6u);
+}
+
+TEST(BenchFmt, Errors) {
+  EXPECT_THROW(static_cast<void>(read_string("y = MAJ(a, b, c)\n")), Error);
+  EXPECT_THROW(static_cast<void>(read_string("y = NOT(a, b)\n")), Error);
+  EXPECT_THROW(static_cast<void>(read_string("y = NAND(a)\n")), Error);
+  EXPECT_THROW(static_cast<void>(read_string("= NAND(a, b)\n")), Error);
+  EXPECT_THROW(static_cast<void>(read_string("y = NAND a, b\n")), Error);
+  try {
+    static_cast<void>(read_string("INPUT(a)\ny = FROB(a)\n"));
+    FAIL() << "expected error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(BenchFmt, ExtractionRoundTripsToBench) {
+  // transistors → gates (extraction) → .bench text → transistors again;
+  // the two transistor netlists must be isomorphic.
+  BenchCircuit original = read_string(c17_text());
+  cells::CellLibrary lib;
+  std::vector<extract::LibraryCell> cells;
+  cells.push_back(extract::LibraryCell{"nand2", lib.pattern("nand2")});
+  extract::ExtractResult gates =
+      extract::extract_gates(original.transistors, cells);
+  ASSERT_EQ(gates.report.unextracted_primitives, 0u);
+
+  std::string text = write_string(gates.netlist);
+  EXPECT_NE(text.find("= NAND("), std::string::npos);
+
+  BenchCircuit back = read_string(text);
+  CompareResult cmp =
+      compare_netlists(original.transistors, back.transistors);
+  EXPECT_TRUE(cmp.isomorphic) << cmp.reason << "\n" << text;
+}
+
+TEST(BenchFmt, WriterRejectsInexpressibleTypes) {
+  cells::CellLibrary lib;
+  std::vector<extract::LibraryCell> cells;
+  cells.push_back(extract::LibraryCell{"aoi21", lib.pattern("aoi21")});
+  auto cat = extract::extended_catalog(*DeviceCatalog::cmos(), cells);
+  Netlist gates(cat, "g");
+  NetId a = gates.add_net("a"), b = gates.add_net("b"), c = gates.add_net("c"),
+        y = gates.add_net("y");
+  gates.add_device(cat->require("aoi21"), {a, b, c, y});
+  EXPECT_THROW(static_cast<void>(write_string(gates)), Error);
+}
+
+}  // namespace
+}  // namespace subg::benchfmt

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "canon/canon.hpp"
+#include "cells/cells.hpp"
+#include "gen/generators.hpp"
+#include "util/rng.hpp"
+
+namespace subg::canon {
+namespace {
+
+/// Renamed/reordered clone (globals keep names).
+Netlist scramble(const Netlist& in, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::uint32_t> order(in.device_count());
+  for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.below(i)]);
+  }
+  Netlist out(in.catalog_ptr(), "scrambled");
+  std::vector<NetId> remap(in.net_count());
+  for (std::uint32_t n = 0; n < in.net_count(); ++n) {
+    const NetId id(n);
+    std::string name =
+        in.is_global(id) ? in.net_name(id) : "zz" + std::to_string(n);
+    NetId nn = out.add_net(std::move(name));
+    if (in.is_global(id)) out.mark_global(nn);
+    if (in.is_port(id)) out.mark_port(nn);
+    remap[n] = nn;
+  }
+  std::vector<NetId> pins;
+  for (std::uint32_t i : order) {
+    const DeviceId id(i);
+    pins.clear();
+    for (NetId pn : in.device_pins(id)) pins.push_back(remap[pn.index()]);
+    out.add_device(in.device_type(id), pins);
+  }
+  return out;
+}
+
+TEST(Canon, InvariantUnderRenamingAndReordering) {
+  cells::CellLibrary lib;
+  for (const std::string& cell : cells::CellLibrary::all_cells()) {
+    Netlist original = lib.pattern(cell);
+    Netlist copy = scramble(original, 42);
+    EXPECT_EQ(fingerprint(original), fingerprint(copy)) << cell;
+  }
+}
+
+TEST(Canon, AllLibraryCellsHaveDistinctFingerprints) {
+  cells::CellLibrary lib;
+  std::set<Label> seen;
+  for (const std::string& cell : cells::CellLibrary::all_cells()) {
+    Netlist pattern = lib.pattern(cell);
+    EXPECT_TRUE(seen.insert(fingerprint(pattern)).second) << cell;
+  }
+}
+
+TEST(Canon, PortMarkingIsPartOfIdentity) {
+  auto cat = DeviceCatalog::cmos3();
+  DeviceTypeId nmos = cat->require("nmos");
+  auto make = [&](bool port) {
+    Netlist nl(cat);
+    NetId a = nl.add_net("a"), b = nl.add_net("b"), g = nl.add_net("g");
+    nl.add_device(nmos, {a, g, b});
+    if (port) nl.mark_port(a);
+    return nl;
+  };
+  EXPECT_NE(fingerprint(make(true)), fingerprint(make(false)));
+}
+
+TEST(Canon, GlobalNamesArePartOfIdentity) {
+  auto cat = DeviceCatalog::cmos3();
+  DeviceTypeId nmos = cat->require("nmos");
+  auto make = [&](const char* rail) {
+    Netlist nl(cat);
+    NetId r = nl.add_net(rail), g = nl.add_net("g"), d = nl.add_net("d");
+    nl.mark_global(r);
+    nl.add_device(nmos, {d, g, r});
+    return nl;
+  };
+  EXPECT_EQ(fingerprint(make("vdd")), fingerprint(make("vdd")));
+  EXPECT_NE(fingerprint(make("vdd")), fingerprint(make("vss")));
+}
+
+TEST(Canon, DifferentWiringDiffers) {
+  gen::Generated a = gen::logic_soup(100, 7);
+  gen::Generated b = gen::logic_soup(100, 8);
+  EXPECT_NE(fingerprint(a.netlist), fingerprint(b.netlist));
+}
+
+TEST(Canon, IsomorphismClassesGroupDuplicates) {
+  cells::CellLibrary lib;
+  Netlist nand2 = lib.pattern("nand2");
+  Netlist nand2_dup = scramble(nand2, 9);
+  Netlist nor2 = lib.pattern("nor2");
+  Netlist inv = lib.pattern("inv");
+  Netlist inv_dup = scramble(inv, 10);
+  Netlist inv_dup2 = scramble(inv, 11);
+
+  std::vector<const Netlist*> cells = {&nand2, &nor2,    &inv,
+                                       &nand2_dup, &inv_dup, &inv_dup2};
+  auto classes = isomorphism_classes(cells);
+  ASSERT_EQ(classes.size(), 3u);
+  std::map<std::size_t, std::size_t> class_sizes;
+  for (const auto& group : classes) ++class_sizes[group.size()];
+  EXPECT_EQ(class_sizes[1], 1u);  // nor2 alone
+  EXPECT_EQ(class_sizes[2], 1u);  // the two nand2s
+  EXPECT_EQ(class_sizes[3], 1u);  // the three inverters
+}
+
+TEST(Canon, SymmetricCircuitsStillFingerprintStably) {
+  // A ring is fully symmetric (refinement never reaches singletons); the
+  // fingerprint must still stabilize and be invariant.
+  auto cat = DeviceCatalog::cmos3();
+  DeviceTypeId nmos = cat->require("nmos");
+  auto ring = [&](int n, std::uint64_t salt) {
+    Netlist nl(cat);
+    NetId gate = nl.add_net("gate");
+    std::vector<NetId> nodes;
+    for (int i = 0; i < n; ++i) {
+      nodes.push_back(nl.add_net("r" + std::to_string(i ^ salt)));
+    }
+    for (int i = 0; i < n; ++i) {
+      nl.add_device(nmos, {nodes[i], gate, nodes[(i + 1) % n]});
+    }
+    return nl;
+  };
+  EXPECT_EQ(fingerprint(ring(8, 0)), fingerprint(ring(8, 3)));
+  EXPECT_NE(fingerprint(ring(8, 0)), fingerprint(ring(9, 0)));
+}
+
+}  // namespace
+}  // namespace subg::canon

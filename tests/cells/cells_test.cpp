@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "cells/cells.hpp"
+#include "util/check.hpp"
+
+namespace subg::cells {
+namespace {
+
+TEST(Cells, TransistorCounts) {
+  CellLibrary lib;
+  const std::map<std::string, std::size_t> expected = {
+      {"inv", 2},    {"buf", 4},    {"nand2", 4},     {"nand3", 6},
+      {"nand4", 8},  {"nor2", 4},   {"nor3", 6},      {"nor4", 8},
+      {"aoi21", 6},  {"aoi22", 8},  {"oai21", 6},     {"xor2", 12},
+      {"xnor2", 12}, {"tgate", 2},  {"mux2", 6},      {"dlatch", 10},
+      {"dff", 22},   {"fulladder", 36}, {"halfadder", 18}, {"sram6t", 6},
+      {"and2", 6},   {"and3", 8},       {"and4", 10},      {"or2", 6},
+      {"or3", 8},    {"or4", 10}};
+  for (const auto& [name, count] : expected) {
+    EXPECT_EQ(lib.transistor_count(name), count) << name;
+  }
+}
+
+TEST(Cells, AllCellsFlattenAndValidate) {
+  CellLibrary lib;
+  for (const std::string& name : CellLibrary::all_cells()) {
+    Netlist flat = lib.pattern(name);
+    EXPECT_NO_THROW(flat.validate()) << name;
+    EXPECT_GT(flat.device_count(), 0u) << name;
+    EXPECT_FALSE(flat.ports().empty()) << name;
+  }
+}
+
+TEST(Cells, PatternsHaveGlobalRails) {
+  CellLibrary lib;
+  Netlist inv = lib.pattern("inv");
+  auto vdd = inv.find_net("vdd");
+  auto gnd = inv.find_net("gnd");
+  ASSERT_TRUE(vdd.has_value());
+  ASSERT_TRUE(gnd.has_value());
+  EXPECT_TRUE(inv.is_global(*vdd));
+  EXPECT_TRUE(inv.is_global(*gnd));
+  EXPECT_FALSE(inv.is_port(*vdd));
+}
+
+TEST(Cells, InverterStructure) {
+  CellLibrary lib;
+  Netlist inv = lib.pattern("inv");
+  ASSERT_EQ(inv.ports().size(), 2u);
+  NetId a = inv.ports()[0], y = inv.ports()[1];
+  EXPECT_EQ(inv.net_name(a), "a");
+  EXPECT_EQ(inv.net_name(y), "y");
+  EXPECT_EQ(inv.net_degree(a), 2u);   // both gates
+  EXPECT_EQ(inv.net_degree(y), 2u);   // both drains
+  // vdd: pmos source + pmos bulk.
+  EXPECT_EQ(inv.net_degree(*inv.find_net("vdd")), 2u);
+}
+
+TEST(Cells, NandPullNetworkShape) {
+  CellLibrary lib;
+  Netlist nand3 = lib.pattern("nand3");
+  // Output: 3 pmos drains + 1 nmos drain.
+  NetId y = *nand3.find_net("y");
+  EXPECT_EQ(nand3.net_degree(y), 4u);
+  // Series stack internal nets have degree 2.
+  EXPECT_EQ(nand3.net_degree(*nand3.find_net("x0")), 2u);
+  EXPECT_EQ(nand3.net_degree(*nand3.find_net("x1")), 2u);
+}
+
+TEST(Cells, DffComposition) {
+  CellLibrary lib;
+  Netlist dff = lib.pattern("dff");
+  EXPECT_EQ(dff.device_count(), 22u);
+  ASSERT_EQ(dff.ports().size(), 3u);
+  NetlistStats s = dff.stats();
+  // 11 nmos + 11 pmos.
+  ASSERT_EQ(s.devices_by_type.size(), 2u);
+  EXPECT_EQ(s.devices_by_type[0].second, 11u);
+  EXPECT_EQ(s.devices_by_type[1].second, 11u);
+}
+
+TEST(Cells, ModuleIsMemoized) {
+  CellLibrary lib;
+  EXPECT_EQ(lib.module("nand2"), lib.module("nand2"));
+}
+
+TEST(Cells, UnknownCellThrows) {
+  CellLibrary lib;
+  EXPECT_THROW(lib.module("nand17"), Error);
+}
+
+TEST(Cells, SramCellCrossCoupled) {
+  CellLibrary lib;
+  Netlist sram = lib.pattern("sram6t");
+  NetId t = *sram.find_net("t"), tb = *sram.find_net("tb");
+  // Each storage node: pmos drain + nmos drain + 2 gates + access nmos = 5.
+  EXPECT_EQ(sram.net_degree(t), 5u);
+  EXPECT_EQ(sram.net_degree(tb), 5u);
+  EXPECT_EQ(sram.net_degree(*sram.find_net("wl")), 2u);
+}
+
+}  // namespace
+}  // namespace subg::cells

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "cells/cells.hpp"
+#include "gen/generators.hpp"
+#include "util/check.hpp"
+
+namespace subg::gen {
+namespace {
+
+TEST(Generators, RippleCarryAdderShape) {
+  Generated g = ripple_carry_adder(8);
+  EXPECT_NO_THROW(g.netlist.validate());
+  EXPECT_EQ(g.placed_count("fulladder"), 8u);
+  // 8 FAs × 36 transistors.
+  EXPECT_EQ(g.netlist.device_count(), 8u * 36u);
+  EXPECT_TRUE(g.netlist.find_net("cin").has_value());
+  EXPECT_TRUE(g.netlist.find_net("cout").has_value());
+  EXPECT_TRUE(g.netlist.is_global(*g.netlist.find_net("vdd")));
+}
+
+TEST(Generators, AdderScalesLinearly) {
+  EXPECT_EQ(ripple_carry_adder(4).netlist.device_count() * 4,
+            ripple_carry_adder(16).netlist.device_count());
+}
+
+TEST(Generators, MultiplierShape) {
+  const int n = 4;
+  Generated g = array_multiplier(n);
+  EXPECT_NO_THROW(g.netlist.validate());
+  EXPECT_EQ(g.placed_count("nand2"), static_cast<std::size_t>(n * n));
+  EXPECT_EQ(g.placed_count("inv"), static_cast<std::size_t>(n * n));
+  EXPECT_EQ(g.placed_count("halfadder"), static_cast<std::size_t>(n - 1));
+  EXPECT_EQ(g.placed_count("fulladder"),
+            static_cast<std::size_t>((n - 1) * (n - 1)));
+}
+
+TEST(Generators, SramArrayShape) {
+  Generated g = sram_array(8, 16);
+  EXPECT_NO_THROW(g.netlist.validate());
+  EXPECT_EQ(g.placed_count("sram6t"), 8u * 16u);
+  EXPECT_EQ(g.placed_count("nand3"), 8u);  // 3 address bits
+  // Wordlines drive a full row: 2 access-gate pins per cell plus the
+  // decoder inverter's two drains.
+  auto wl0 = g.netlist.find_net("wl0");
+  ASSERT_TRUE(wl0.has_value());
+  EXPECT_EQ(g.netlist.net_degree(*wl0), 16u * 2u + 2u);
+}
+
+TEST(Generators, DecoderShape) {
+  Generated g = decoder(3);
+  EXPECT_NO_THROW(g.netlist.validate());
+  EXPECT_EQ(g.placed_count("nand3"), 8u);
+  EXPECT_EQ(g.placed_count("inv"), 8u + 3u);  // per-output + address inverters
+}
+
+TEST(Generators, RegisterFileShape) {
+  Generated g = register_file(4, 8);
+  EXPECT_NO_THROW(g.netlist.validate());
+  EXPECT_EQ(g.placed_count("dff"), 32u);
+  EXPECT_EQ(g.placed_count("mux2"), 32u);
+  EXPECT_EQ(g.netlist.device_count(), 32u * (22u + 6u));
+}
+
+TEST(Generators, LogicSoupDeterministicPerSeed) {
+  Generated a = logic_soup(200, 42);
+  Generated b = logic_soup(200, 42);
+  EXPECT_EQ(a.netlist.device_count(), b.netlist.device_count());
+  EXPECT_EQ(a.placed, b.placed);
+  Generated c = logic_soup(200, 43);
+  EXPECT_NE(a.placed, c.placed);  // overwhelmingly likely
+}
+
+TEST(Generators, LogicSoupPlacesRequestedGateCount) {
+  Generated g = logic_soup(500, 1);
+  EXPECT_NO_THROW(g.netlist.validate());
+  std::size_t total = 0;
+  for (const auto& [cell, count] : g.placed) total += count;
+  EXPECT_EQ(total, 500u);
+  EXPECT_GT(g.netlist.device_count(), 500u);  // ≥ 2 transistors per gate
+}
+
+TEST(Generators, KoggeStoneShape) {
+  Generated g = kogge_stone_adder(8);
+  EXPECT_NO_THROW(g.netlist.validate());
+  // 8 preprocess groups + 3 prefix levels with (8-1)+(8-2)+(8-4) nodes + sums.
+  EXPECT_EQ(g.placed_count("xor2"), 8u + 7u);   // preprocess + sum (s0 is buf)
+  EXPECT_EQ(g.placed_count("aoi21"), 7u + 6u + 4u);
+  EXPECT_EQ(g.placed_count("buf"), 1u);
+  // Reconvergent fanout exists: some prefix G net feeds several consumers.
+  bool reconverges = false;
+  for (std::uint32_t n = 0; n < g.netlist.net_count(); ++n) {
+    if (g.netlist.net_name(NetId(n)).rfind("g1_", 0) == 0 &&
+        g.netlist.net_degree(NetId(n)) > 2) {
+      reconverges = true;
+    }
+  }
+  EXPECT_TRUE(reconverges);
+}
+
+TEST(Generators, ParityTreeShape) {
+  Generated g = parity_tree(16);
+  EXPECT_EQ(g.placed_count("xor2"), 15u);
+  EXPECT_NO_THROW(g.netlist.validate());
+  Generated odd = parity_tree(9);
+  EXPECT_EQ(odd.placed_count("xor2"), 8u);
+}
+
+TEST(Generators, C17IsSixNands) {
+  Generated g = c17();
+  EXPECT_EQ(g.placed_count("nand2"), 6u);
+  EXPECT_EQ(g.netlist.device_count(), 24u);
+  EXPECT_TRUE(g.netlist.find_net("N22").has_value());
+}
+
+TEST(Generators, PlantInstancesAddsExactCopies) {
+  Generated host = logic_soup(80, 3);
+  // Pool: the soup's primary inputs (xor2 has 3 ports, 5 copies need 15).
+  std::vector<NetId> pool;
+  for (int i = 0; i < 18; ++i) {
+    pool.push_back(*host.netlist.find_net("pi" + std::to_string(i)));
+  }
+  cells::CellLibrary lib;
+  Netlist pattern = lib.pattern("xor2");
+  const std::size_t before = host.netlist.device_count();
+  std::size_t planted = plant_instances(host.netlist, pattern, 5, pool, 99);
+  EXPECT_EQ(planted, 5u);
+  EXPECT_EQ(host.netlist.device_count(), before + 5 * pattern.device_count());
+  EXPECT_NO_THROW(host.netlist.validate());
+}
+
+TEST(Generators, PlantRejectsTinyPool) {
+  Generated host = logic_soup(10, 3);
+  std::vector<NetId> pool = {*host.netlist.find_net("pi0")};
+  cells::CellLibrary lib;
+  Netlist pattern = lib.pattern("xor2");  // 3 ports > 1 pool net
+  EXPECT_THROW(plant_instances(host.netlist, pattern, 1, pool, 1), Error);
+}
+
+}  // namespace
+}  // namespace subg::gen

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "cells/cells.hpp"
+#include "graph/circuit_graph.hpp"
+
+namespace subg {
+namespace {
+
+class CircuitGraphTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<const DeviceCatalog> cat = DeviceCatalog::cmos3();
+  DeviceTypeId nmos = cat->require("nmos");
+  DeviceTypeId pmos = cat->require("pmos");
+};
+
+TEST_F(CircuitGraphTest, BipartiteLayout) {
+  Netlist nl(cat);
+  NetId a = nl.add_net("a"), y = nl.add_net("y"), g = nl.add_net("gnd");
+  DeviceId d = nl.add_device(nmos, {y, a, g});
+  CircuitGraph graph(nl);
+  EXPECT_EQ(graph.device_count(), 1u);
+  EXPECT_EQ(graph.net_count(), 3u);
+  EXPECT_EQ(graph.vertex_count(), 4u);
+  Vertex dv = graph.vertex_of(d);
+  EXPECT_TRUE(graph.is_device(dv));
+  EXPECT_FALSE(graph.is_net(dv));
+  Vertex av = graph.vertex_of(a);
+  EXPECT_TRUE(graph.is_net(av));
+  EXPECT_EQ(graph.device_of(dv), d);
+  EXPECT_EQ(graph.net_of(av), a);
+}
+
+TEST_F(CircuitGraphTest, EdgesMirroredWithCoefficients) {
+  Netlist nl(cat);
+  NetId a = nl.add_net("a"), y = nl.add_net("y"), g = nl.add_net("gnd");
+  DeviceId d = nl.add_device(nmos, {y, a, g});
+  CircuitGraph graph(nl);
+  Vertex dv = graph.vertex_of(d);
+  auto de = graph.edges(dv);
+  ASSERT_EQ(de.size(), 3u);
+  // Pin 0 (d) and pin 2 (s) share the sd class coefficient; pin 1 (g)
+  // differs.
+  EXPECT_EQ(de[0].coefficient, de[2].coefficient);
+  EXPECT_NE(de[0].coefficient, de[1].coefficient);
+  // Net side sees the same coefficient back.
+  auto ae = graph.edges(graph.vertex_of(a));
+  ASSERT_EQ(ae.size(), 1u);
+  EXPECT_EQ(ae[0].to, dv);
+  EXPECT_EQ(ae[0].coefficient, de[1].coefficient);
+}
+
+TEST_F(CircuitGraphTest, InitialLabels) {
+  Netlist nl(cat);
+  NetId a = nl.add_net("a"), y = nl.add_net("y"), v = nl.add_net("vdd"),
+        g = nl.add_net("gnd");
+  nl.mark_global(v);
+  DeviceId mp = nl.add_device(pmos, {y, a, v});
+  DeviceId mn = nl.add_device(nmos, {y, a, g});
+  CircuitGraph graph(nl);
+  // Devices: type hash.
+  EXPECT_EQ(graph.initial_label(graph.vertex_of(mp)), hash_string("pmos"));
+  EXPECT_EQ(graph.initial_label(graph.vertex_of(mn)), hash_string("nmos"));
+  // Nets: degree hash; a and y both have degree 2.
+  EXPECT_EQ(graph.initial_label(graph.vertex_of(a)), degree_label(2));
+  EXPECT_EQ(graph.initial_label(graph.vertex_of(a)),
+            graph.initial_label(graph.vertex_of(y)));
+  EXPECT_EQ(graph.initial_label(graph.vertex_of(g)), degree_label(1));
+  // Special nets: fixed name-derived label, independent of degree.
+  EXPECT_TRUE(graph.is_special(graph.vertex_of(v)));
+  EXPECT_EQ(graph.initial_label(graph.vertex_of(v)),
+            CircuitGraph::special_net_label("vdd"));
+}
+
+TEST_F(CircuitGraphTest, DegreeMatchesNetlist) {
+  cells::CellLibrary lib;
+  Netlist nand3 = lib.pattern("nand3");
+  CircuitGraph graph(nand3);
+  for (std::uint32_t n = 0; n < nand3.net_count(); ++n) {
+    NetId net(n);
+    EXPECT_EQ(graph.degree(graph.vertex_of(net)), nand3.net_degree(net));
+  }
+  std::size_t edge_total = 0;
+  for (Vertex v = 0; v < graph.vertex_count(); ++v) {
+    edge_total += graph.degree(v);
+  }
+  // Each pin contributes one edge seen from both endpoints.
+  EXPECT_EQ(edge_total, 2 * nand3.stats().pin_count);
+}
+
+TEST_F(CircuitGraphTest, VertexNames) {
+  Netlist nl(cat);
+  NetId a = nl.add_net("a"), y = nl.add_net("y"), g = nl.add_net("gnd");
+  DeviceId d = nl.add_device(nmos, {y, a, g}, "m1");
+  CircuitGraph graph(nl);
+  EXPECT_EQ(graph.vertex_name(graph.vertex_of(d)), "dev:m1");
+  EXPECT_EQ(graph.vertex_name(graph.vertex_of(a)), "net:a");
+}
+
+}  // namespace
+}  // namespace subg

@@ -1,0 +1,170 @@
+// Technology independence (paper §I): the matcher has no built-in notion
+// of gates — analog idioms are just patterns too. Current mirrors,
+// differential pairs and RC networks exercise device types beyond MOS
+// logic (res/cap with fully interchangeable pins) and diode-connected
+// transistors (two pins of one device on one net).
+#include <gtest/gtest.h>
+
+#include "match/matcher.hpp"
+
+namespace subg {
+namespace {
+
+struct Analog {
+  std::shared_ptr<const DeviceCatalog> cat = DeviceCatalog::cmos3();
+  DeviceTypeId nmos = cat->require("nmos");
+  DeviceTypeId pmos = cat->require("pmos");
+  DeviceTypeId res = cat->require("res");
+  DeviceTypeId cap = cat->require("cap");
+
+  /// nmos current mirror: m1 diode-connected (gate = drain = iref),
+  /// m2 mirrors onto iout; common source rail.
+  void mirror(Netlist& nl, NetId iref, NetId iout, NetId rail) const {
+    nl.add_device(nmos, {iref, iref, rail});
+    nl.add_device(nmos, {iout, iref, rail});
+  }
+
+  /// Differential pair: two nmos with common source (tail), separate
+  /// gates/drains.
+  void diff_pair(Netlist& nl, NetId inp, NetId inn, NetId outp, NetId outn,
+                 NetId tail) const {
+    nl.add_device(nmos, {outp, inp, tail});
+    nl.add_device(nmos, {outn, inn, tail});
+  }
+};
+
+TEST(Analog, CurrentMirrorFound) {
+  Analog a;
+  Netlist pattern(a.cat, "mirror");
+  NetId iref = pattern.add_net("iref"), iout = pattern.add_net("iout"),
+        rail = pattern.add_net("rail");
+  a.mirror(pattern, iref, iout, rail);
+  for (NetId p : {iref, iout, rail}) pattern.mark_port(p);
+
+  // Host: a five-transistor OTA — diff pair + nmos tail mirror + pmos load
+  // mirror.
+  Netlist host(a.cat, "ota");
+  NetId vdd = host.add_net("vdd"), gnd = host.add_net("gnd");
+  NetId inp = host.add_net("inp"), inn = host.add_net("inn");
+  NetId out = host.add_net("out"), x = host.add_net("x"),
+        tail = host.add_net("tail"), bias = host.add_net("bias");
+  a.diff_pair(host, inp, inn, x, out, tail);
+  // pmos load mirror (diode-connected on x).
+  host.add_device(a.pmos, {x, x, vdd});
+  host.add_device(a.pmos, {out, x, vdd});
+  // nmos tail current mirror from bias.
+  host.add_device(a.nmos, {bias, bias, gnd});
+  host.add_device(a.nmos, {tail, bias, gnd});
+
+  SubgraphMatcher matcher(pattern, host);
+  MatchReport r = matcher.find_all();
+  // The nmos tail mirror. (The diff pair shares tail but has no
+  // diode-connected device; the pmos mirror is the wrong type.)
+  ASSERT_EQ(r.count(), 1u);
+  const SubcircuitInstance& inst = r.instances.front();
+  EXPECT_EQ(host.net_name(inst.net_image[iref.index()]), "bias");
+  EXPECT_EQ(host.net_name(inst.net_image[iout.index()]), "tail");
+  EXPECT_EQ(host.net_name(inst.net_image[rail.index()]), "gnd");
+}
+
+TEST(Analog, PmosMirrorNeedsPmosPattern) {
+  Analog a;
+  Netlist pattern(a.cat, "pmirror");
+  NetId iref = pattern.add_net("iref"), iout = pattern.add_net("iout"),
+        rail = pattern.add_net("rail");
+  pattern.add_device(a.pmos, {iref, iref, rail});
+  pattern.add_device(a.pmos, {iout, iref, rail});
+  for (NetId p : {iref, iout, rail}) pattern.mark_port(p);
+
+  Netlist host(a.cat, "h");
+  NetId vdd = host.add_net("vdd"), x = host.add_net("x"), y = host.add_net("y");
+  host.add_device(a.pmos, {x, x, vdd});
+  host.add_device(a.pmos, {y, x, vdd});
+  NetId gnd = host.add_net("gnd"), p = host.add_net("p"), q = host.add_net("q");
+  host.add_device(a.nmos, {p, p, gnd});
+  host.add_device(a.nmos, {q, p, gnd});
+
+  SubgraphMatcher matcher(pattern, host);
+  EXPECT_EQ(matcher.find_all().count(), 1u);
+}
+
+TEST(Analog, DiodeConnectedPinsMustStayDiodeConnected) {
+  // The pattern's m1 has gate and drain on ONE net; a host pair where the
+  // "diode" device's gate goes elsewhere must not match.
+  Analog a;
+  Netlist pattern(a.cat, "mirror");
+  NetId iref = pattern.add_net("iref"), iout = pattern.add_net("iout"),
+        rail = pattern.add_net("rail");
+  a.mirror(pattern, iref, iout, rail);
+  for (NetId p : {iref, iout, rail}) pattern.mark_port(p);
+
+  Netlist host(a.cat, "h");
+  NetId g = host.add_net("g"), d1 = host.add_net("d1"), d2 = host.add_net("d2"),
+        s = host.add_net("s");
+  // Two matched transistors sharing gate and source — but no diode tie.
+  host.add_device(a.nmos, {d1, g, s});
+  host.add_device(a.nmos, {d2, g, s});
+  SubgraphMatcher matcher(pattern, host);
+  EXPECT_EQ(matcher.find_all().count(), 0u);
+}
+
+TEST(Analog, RcLowpassLadder) {
+  Analog a;
+  // Pattern: one RC stage — series res into a shunt cap.
+  Netlist pattern(a.cat, "rc");
+  NetId in = pattern.add_net("in"), out = pattern.add_net("out"),
+        gnd = pattern.add_net("gnd");
+  pattern.add_device(a.res, {in, out});
+  pattern.add_device(a.cap, {out, gnd});
+  pattern.mark_port(in);
+  pattern.mark_port(out);
+  pattern.mark_global(gnd);
+
+  // Host: 4-stage ladder.
+  Netlist host(a.cat, "ladder");
+  NetId hgnd = host.add_net("gnd");
+  host.mark_global(hgnd);
+  NetId prev = host.add_net("n0");
+  for (int i = 1; i <= 4; ++i) {
+    NetId next = host.add_net("n" + std::to_string(i));
+    host.add_device(a.res, {prev, next});
+    host.add_device(a.cap, {next, hgnd});
+    prev = next;
+  }
+  SubgraphMatcher matcher(pattern, host);
+  EXPECT_EQ(matcher.find_all().count(), 4u);
+}
+
+TEST(Analog, MixedSignalHostKeepsDomainsSeparate) {
+  // Digital gates next to analog blocks: searching for the mirror must not
+  // be confused by logic transistors.
+  Analog a;
+  Netlist host(a.cat, "mixed");
+  NetId vdd = host.add_net("vdd"), gnd = host.add_net("gnd");
+  host.mark_global(vdd);
+  host.mark_global(gnd);
+  // Some inverters.
+  for (int i = 0; i < 5; ++i) {
+    NetId in = host.add_net("di" + std::to_string(i));
+    NetId out = host.add_net("do" + std::to_string(i));
+    host.add_device(a.pmos, {out, in, vdd});
+    host.add_device(a.nmos, {out, in, gnd});
+  }
+  // One mirror.
+  NetId bias = host.add_net("bias"), tail = host.add_net("tail");
+  a.mirror(host, bias, tail, gnd);
+
+  Netlist pattern(a.cat, "mirror");
+  NetId iref = pattern.add_net("iref"), iout = pattern.add_net("iout");
+  NetId rail = pattern.add_net("gnd");
+  pattern.mark_global(rail);
+  a.mirror(pattern, iref, iout, rail);
+  pattern.mark_port(iref);
+  pattern.mark_port(iout);
+
+  SubgraphMatcher matcher(pattern, host);
+  EXPECT_EQ(matcher.find_all().count(), 1u);
+}
+
+}  // namespace
+}  // namespace subg

@@ -1,0 +1,113 @@
+// Patterns with multi-edges (two pins of one device on one net) stress the
+// relabeling sum and the pin-multiset verification: a diode-connected
+// transistor must match only diode-connected host devices with the same
+// tie (d+g, never d+s), and parallel multi-edges must count with
+// multiplicity.
+#include <gtest/gtest.h>
+
+#include "match/matcher.hpp"
+#include "test_circuits.hpp"
+
+namespace subg {
+namespace {
+
+using test::Cmos3;
+
+TEST(DiodeConnected, TieKindIsDistinguished) {
+  Cmos3 c;
+  // Pattern: d+g tied (diode).
+  Netlist pattern = c.netlist("diode");
+  NetId a = pattern.add_net("a"), s = pattern.add_net("s");
+  pattern.add_device(c.nmos, {a, a, s});
+  pattern.mark_port(a);
+  pattern.mark_port(s);
+
+  Netlist host = c.netlist();
+  NetId h1 = host.add_net("h1"), h2 = host.add_net("h2");
+  host.add_device(c.nmos, {h1, h1, h2}, "diode_tie");   // d+g: matches
+  NetId h3 = host.add_net("h3"), h4 = host.add_net("h4");
+  host.add_device(c.nmos, {h3, h4, h3}, "ds_tie");      // d+s: does NOT
+  NetId h5 = host.add_net("h5"), h6 = host.add_net("h6"), h7 = host.add_net("h7");
+  host.add_device(c.nmos, {h5, h6, h7}, "plain");
+
+  SubgraphMatcher matcher(pattern, host);
+  MatchReport r = matcher.find_all();
+  ASSERT_EQ(r.count(), 1u);
+  EXPECT_EQ(host.device_name(r.instances[0].device_image[0]), "diode_tie");
+}
+
+TEST(DiodeConnected, SourceDrainTiePattern) {
+  Cmos3 c;
+  // Pattern: d+s tied (capacitor-connected transistor).
+  Netlist pattern = c.netlist("dstie");
+  NetId x = pattern.add_net("x"), g = pattern.add_net("g");
+  pattern.add_device(c.nmos, {x, g, x});
+  pattern.mark_port(x);
+  pattern.mark_port(g);
+
+  Netlist host = c.netlist();
+  NetId h1 = host.add_net("h1"), h2 = host.add_net("h2");
+  host.add_device(c.nmos, {h1, h1, h2}, "diode_tie");
+  NetId h3 = host.add_net("h3"), h4 = host.add_net("h4");
+  host.add_device(c.nmos, {h3, h4, h3}, "ds_tie");
+
+  SubgraphMatcher matcher(pattern, host);
+  MatchReport r = matcher.find_all();
+  ASSERT_EQ(r.count(), 1u);
+  EXPECT_EQ(host.device_name(r.instances[0].device_image[0]), "ds_tie");
+}
+
+TEST(DiodeConnected, AllThreePinsOneNet) {
+  Cmos3 c;
+  Netlist pattern = c.netlist("allone");
+  NetId x = pattern.add_net("x");
+  pattern.add_device(c.nmos, {x, x, x});
+  pattern.mark_port(x);
+
+  Netlist host = c.netlist();
+  NetId h1 = host.add_net("h1");
+  host.add_device(c.nmos, {h1, h1, h1}, "all_tied");
+  NetId h2 = host.add_net("h2"), h3 = host.add_net("h3");
+  host.add_device(c.nmos, {h2, h2, h3}, "diode_tie");
+
+  SubgraphMatcher matcher(pattern, host);
+  MatchReport r = matcher.find_all();
+  ASSERT_EQ(r.count(), 1u);
+  EXPECT_EQ(host.device_name(r.instances[0].device_image[0]), "all_tied");
+}
+
+TEST(DiodeConnected, DiodeInsideLargerPattern) {
+  // Current-mirror-with-cascode-ish: diode device + plain device sharing
+  // gate and source; must bind the diode role to the tied host device.
+  Cmos3 c;
+  Netlist pattern = c.netlist("mirror");
+  NetId iref = pattern.add_net("iref"), iout = pattern.add_net("iout"),
+        rail = pattern.add_net("rail");
+  pattern.add_device(c.nmos, {iref, iref, rail}, "m_diode");
+  pattern.add_device(c.nmos, {iout, iref, rail}, "m_mirror");
+  for (NetId p : {iref, iout, rail}) pattern.mark_port(p);
+
+  Netlist host = c.netlist();
+  NetId b = host.add_net("b"), t = host.add_net("t"), g = host.add_net("g");
+  host.add_device(c.nmos, {b, b, g}, "h_diode");
+  host.add_device(c.nmos, {t, b, g}, "h_mirror");
+  // A reversed decoy: mirror first, diode second, wired differently.
+  NetId p = host.add_net("p"), q = host.add_net("q"), r = host.add_net("r");
+  host.add_device(c.nmos, {p, q, r}, "h_plain1");
+  host.add_device(c.nmos, {q, q, r}, "h_plain2");
+
+  SubgraphMatcher matcher(pattern, host);
+  MatchReport report = matcher.find_all();
+  // Both the (h_diode, h_mirror) pair and the (h_plain2, h_plain1) pair
+  // are valid mirrors (h_plain2 is diode-tied, h_plain1 mirrors it).
+  EXPECT_EQ(report.count(), 2u);
+  for (const auto& inst : report.instances) {
+    const std::string diode_image =
+        host.device_name(inst.device_image[0]);
+    EXPECT_TRUE(diode_image == "h_diode" || diode_image == "h_plain2")
+        << diode_image;
+  }
+}
+
+}  // namespace
+}  // namespace subg

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "cells/cells.hpp"
+#include "gen/generators.hpp"
+#include "match/host_labels.hpp"
+#include "match/matcher.hpp"
+#include "util/check.hpp"
+
+namespace subg {
+namespace {
+
+TEST(HostLabels, CachedAndUncachedResultsIdentical) {
+  gen::Generated host = gen::ripple_carry_adder(8);
+  CircuitGraph gg(host.netlist);
+  HostLabelCache cache(gg);
+  cells::CellLibrary lib;
+
+  for (const char* cell : {"fulladder", "xor2", "nand2", "inv"}) {
+    Netlist pattern = lib.pattern(cell);
+    CircuitGraph sg(pattern);
+    Phase1Options with, without;
+    with.host_cache = &cache;
+    Phase1Result a = run_phase1(sg, gg, with);
+    Phase1Result b = run_phase1(sg, gg, without);
+    EXPECT_EQ(a.feasible, b.feasible) << cell;
+    EXPECT_EQ(a.key, b.key) << cell;
+    EXPECT_EQ(a.candidates, b.candidates) << cell;
+    EXPECT_EQ(a.rounds, b.rounds) << cell;
+  }
+}
+
+TEST(HostLabels, SequencesAreMemoized) {
+  gen::Generated host = gen::ripple_carry_adder(4);
+  CircuitGraph gg(host.netlist);
+  HostLabelCache cache(gg);
+  cells::CellLibrary lib;
+
+  Netlist p1 = lib.pattern("fulladder");
+  CircuitGraph s1(p1);
+  Phase1Options opts;
+  opts.host_cache = &cache;
+  (void)run_phase1(s1, gg, opts);
+  const std::size_t after_first = cache.cached_rounds();
+  EXPECT_GT(after_first, 0u);
+
+  // A second pattern with the same rails and no more rounds reuses
+  // everything.
+  Netlist p2 = lib.pattern("xor2");
+  CircuitGraph s2(p2);
+  (void)run_phase1(s2, gg, opts);
+  EXPECT_EQ(cache.cached_rounds(), after_first);
+}
+
+TEST(HostLabels, DistinctRailSetsGetDistinctSequences) {
+  gen::Generated host = gen::ripple_carry_adder(4);
+  CircuitGraph gg(host.netlist);
+  HostLabelCache cache(gg);
+
+  // Same structural pattern, one with rails global, one with rails as
+  // ports: different cache keys.
+  auto cat = host.netlist.catalog_ptr();
+  auto make_pattern = [&](bool global_rails) {
+    Netlist nl(cat, global_rails ? "gp" : "pp");
+    NetId a = nl.add_net("a"), y = nl.add_net("y");
+    NetId vdd = nl.add_net("vdd"), gnd = nl.add_net("gnd");
+    nl.add_device(cat->require("pmos"), {y, a, vdd, vdd});
+    nl.add_device(cat->require("nmos"), {y, a, gnd, gnd});
+    nl.mark_port(a);
+    nl.mark_port(y);
+    if (global_rails) {
+      nl.mark_global(vdd);
+      nl.mark_global(gnd);
+    } else {
+      nl.mark_port(vdd);
+      nl.mark_port(gnd);
+    }
+    return nl;
+  };
+
+  Phase1Options opts;
+  opts.host_cache = &cache;
+  Netlist g1 = make_pattern(true);
+  CircuitGraph s1(g1);
+  (void)run_phase1(s1, gg, opts);
+  const std::size_t after_first = cache.cached_rounds();
+
+  Netlist g2 = make_pattern(false);
+  CircuitGraph s2(g2);
+  (void)run_phase1(s2, gg, opts);
+  EXPECT_GT(cache.cached_rounds(), after_first);
+}
+
+TEST(HostLabels, WrongHostRejected) {
+  gen::Generated a = gen::ripple_carry_adder(2);
+  gen::Generated b = gen::ripple_carry_adder(2);
+  CircuitGraph ga(a.netlist), gb(b.netlist);
+  HostLabelCache cache(ga);
+  cells::CellLibrary lib;
+  Netlist pattern = lib.pattern("inv");
+  CircuitGraph sg(pattern);
+  Phase1Options opts;
+  opts.host_cache = &cache;
+  EXPECT_THROW(static_cast<void>(run_phase1(sg, gb, opts)), Error);
+}
+
+TEST(HostLabels, MatcherEndToEndWithSharedCache) {
+  gen::Generated host = gen::logic_soup(300, 9);
+  CircuitGraph gg(host.netlist);
+  cells::CellLibrary lib;
+
+  // Shared graph + cache across a library sweep via MatchOptions.
+  HostLabelCache cache(gg);
+  for (const char* cell : {"nand2", "nor2", "xor2", "aoi21"}) {
+    Netlist pattern = lib.pattern(cell);
+    MatchOptions plain;
+    MatchOptions cached;
+    cached.phase1.host_cache = &cache;
+    SubgraphMatcher m1(pattern, host.netlist, plain);
+    // Shared-graph constructor: the cache must be keyed to this graph.
+    SubgraphMatcher m2(pattern, gg, cached);
+    EXPECT_EQ(m1.find_all().count(), m2.find_all().count()) << cell;
+  }
+}
+
+}  // namespace
+}  // namespace subg

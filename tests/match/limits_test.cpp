@@ -1,0 +1,93 @@
+// Resource-limit and failure-injection behaviour of the matcher: budget
+// exhaustion must degrade to "no match" without crashing or corrupting
+// later searches.
+#include <gtest/gtest.h>
+
+#include "cells/cells.hpp"
+#include "gen/generators.hpp"
+#include "match/matcher.hpp"
+#include "test_circuits.hpp"
+
+namespace subg {
+namespace {
+
+using test::Cmos3;
+
+TEST(Limits, ZeroGuessDepthRejectsSymmetricPatterns) {
+  // The parallel pair needs one guess; with the guess budget at zero the
+  // candidate is rejected cleanly.
+  Cmos3 c;
+  Netlist pattern = c.netlist("pair");
+  NetId n1 = pattern.add_net("n1"), n2 = pattern.add_net("n2"),
+        g = pattern.add_net("g");
+  pattern.add_device(c.nmos, {n1, g, n2});
+  pattern.add_device(c.nmos, {n1, g, n2});
+  for (NetId p : {n1, n2, g}) pattern.mark_port(p);
+
+  Netlist host = c.netlist();
+  NetId h1 = host.add_net("h1"), h2 = host.add_net("h2"), hg = host.add_net("hg");
+  host.add_device(c.nmos, {h1, hg, h2});
+  host.add_device(c.nmos, {h1, hg, h2});
+
+  MatchOptions opts;
+  opts.max_guess_depth = 0;
+  SubgraphMatcher matcher(pattern, host, opts);
+  EXPECT_EQ(matcher.find_all().count(), 0u);
+
+  // Default budget finds it.
+  SubgraphMatcher ok(pattern, host);
+  EXPECT_EQ(ok.find_all().count(), 1u);
+}
+
+TEST(Limits, TinyPassBudgetRejectsCleanly) {
+  cells::CellLibrary lib;
+  Netlist pattern = lib.pattern("fulladder");
+  gen::Generated host = gen::ripple_carry_adder(2);
+  MatchOptions opts;
+  opts.max_phase2_passes_per_candidate = 1;
+  SubgraphMatcher matcher(pattern, host.netlist, opts);
+  EXPECT_EQ(matcher.find_all().count(), 0u);
+}
+
+TEST(Limits, PhaseOneRoundCapRespected) {
+  cells::CellLibrary lib;
+  Netlist pattern = lib.pattern("fulladder");
+  gen::Generated host = gen::ripple_carry_adder(4);
+  MatchOptions opts;
+  opts.phase1.max_rounds = 1;
+  SubgraphMatcher matcher(pattern, host.netlist, opts);
+  MatchReport r = matcher.find_all();
+  // One loop iteration = a net round + a device round.
+  EXPECT_LE(r.phase1.rounds, 2u);
+  // A weaker CV, but Phase II still verifies correctly.
+  EXPECT_EQ(r.count(), 4u);
+}
+
+TEST(Limits, MatcherReusableAfterBudgetFailure) {
+  // Same matcher options object used for a failing then a succeeding run.
+  cells::CellLibrary lib;
+  gen::Generated host = gen::ripple_carry_adder(2);
+  Netlist pattern = lib.pattern("fulladder");
+  MatchOptions tight;
+  tight.max_phase2_passes_per_candidate = 1;
+  SubgraphMatcher bad(pattern, host.netlist, tight);
+  EXPECT_EQ(bad.find_all().count(), 0u);
+  SubgraphMatcher good(pattern, host.netlist);
+  EXPECT_EQ(good.find_all().count(), 2u);
+}
+
+TEST(Limits, FindAllIsRepeatableOnOneMatcher) {
+  cells::CellLibrary lib;
+  gen::Generated host = gen::ripple_carry_adder(3);
+  Netlist pattern = lib.pattern("xor2");
+  SubgraphMatcher matcher(pattern, host.netlist);
+  MatchReport a = matcher.find_all();
+  MatchReport b = matcher.find_all();
+  EXPECT_EQ(a.count(), b.count());
+  for (std::size_t i = 0; i < a.count(); ++i) {
+    EXPECT_EQ(a.instances[i].device_image, b.instances[i].device_image);
+  }
+}
+
+}  // namespace
+}  // namespace subg

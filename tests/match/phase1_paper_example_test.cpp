@@ -1,0 +1,147 @@
+// E1 — the paper's worked example, Phase I (Figs 1, 2, 4).
+//
+// The subgraph S is a 2-input NAND (3-pin transistors, rails as ordinary
+// external nets): devices D1,D2 (pmos, parallel between vdd and out) and
+// D3,D4 (nmos, series from out through internal net N4 to gnd). All nets
+// except N4 are external. Phase I must (a) corrupt outward from the
+// external nets, (b) end with the internal net N4 as the only valid net —
+// the key vertex — and (c) return a candidate vector containing exactly
+// the host nets that look like an N4: degree-2 nets joining two nmos
+// source/drain terminals.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "match/phase1.hpp"
+#include "test_circuits.hpp"
+
+namespace subg {
+namespace {
+
+using test::Cmos3;
+
+/// Host: one NAND2 instance plus surrounding devices, including a decoy
+/// series-nmos pair whose middle net looks exactly like N4 to Phase I
+/// (the paper's CV = {N13, N14} has one true and potentially false hits).
+struct PaperHost {
+  Cmos3 c;
+  Netlist nl = c.netlist("main");
+  NetId vdd, gnd, in1, in2, out, decoy_mid;
+
+  PaperHost() {
+    vdd = nl.add_net("vdd");
+    gnd = nl.add_net("gnd");
+    in1 = nl.add_net("in1");
+    in2 = nl.add_net("in2");
+    out = nl.add_net("out");
+    c.nand2(nl, in1, in2, out, vdd, gnd);
+    // Inverter driving in1 from some primary input.
+    NetId pi = nl.add_net("pi");
+    c.inv(nl, pi, in1, vdd, gnd);
+    // Decoy: two series nmos pass transistors; their middle net has the
+    // same initial shape as the NAND's internal net.
+    NetId da = nl.add_net("da"), db = nl.add_net("db"), dg1 = nl.add_net("dg1"),
+          dg2 = nl.add_net("dg2");
+    decoy_mid = nl.add_net("decoy_mid");
+    nl.add_device(c.nmos, {da, dg1, decoy_mid});
+    nl.add_device(c.nmos, {decoy_mid, dg2, db});
+    // Load on the output.
+    c.inv(nl, out, nl.add_net("out_inv"), vdd, gnd);
+  }
+};
+
+TEST(Phase1PaperExample, KeyVertexIsInternalNet) {
+  Cmos3 c;
+  Netlist pattern = c.nand2_pattern(/*global_rails=*/false);
+  PaperHost host;
+  CircuitGraph sg(pattern), gg(host.nl);
+
+  Phase1Result r = run_phase1(sg, gg);
+  ASSERT_TRUE(r.feasible);
+  // The only net of S with no external connection is the series-stack
+  // midpoint (named "$n0" by Cmos3::nand2 — the only non-port net).
+  EXPECT_FALSE(r.key_is_device);
+  ASSERT_TRUE(sg.is_net(r.key));
+  NetId key_net = sg.net_of(r.key);
+  EXPECT_FALSE(pattern.is_port(key_net));
+  // It is the unique valid vertex left.
+  EXPECT_EQ(r.valid_pattern_vertices, 1u);
+}
+
+TEST(Phase1PaperExample, CandidateVectorIsTrueInstancePlusDecoy) {
+  Cmos3 c;
+  Netlist pattern = c.nand2_pattern(false);
+  PaperHost host;
+  CircuitGraph sg(pattern), gg(host.nl);
+
+  Phase1Result r = run_phase1(sg, gg);
+  ASSERT_TRUE(r.feasible);
+  // CV must contain the true internal net of the host NAND2 (added by
+  // Cmos3::nand2 as an auto-named net of degree 2) and the decoy midpoint.
+  std::vector<std::string> names;
+  for (Vertex v : r.candidates) {
+    ASSERT_TRUE(gg.is_net(v));
+    names.push_back(host.nl.net_name(gg.net_of(v)));
+  }
+  EXPECT_EQ(names.size(), 2u);
+  EXPECT_TRUE(std::find(names.begin(), names.end(), "decoy_mid") != names.end());
+}
+
+TEST(Phase1PaperExample, CorruptionStopsAfterDeviceRound) {
+  // Round 1 relabels nets (only N4 stays valid); round 2 corrupts every
+  // device (each touches an external net), ending the loop.
+  Cmos3 c;
+  Netlist pattern = c.nand2_pattern(false);
+  PaperHost host;
+  CircuitGraph sg(pattern), gg(host.nl);
+  Phase1Result r = run_phase1(sg, gg);
+  EXPECT_EQ(r.rounds, 2u);
+}
+
+TEST(Phase1PaperExample, ConsistencyPrunesHostVertices) {
+  Cmos3 c;
+  Netlist pattern = c.nand2_pattern(false);
+  PaperHost host;
+  CircuitGraph sg(pattern), gg(host.nl);
+  Phase1Result r = run_phase1(sg, gg);
+  // Far fewer host vertices remain possible than exist (Fig 4's "-" marks).
+  EXPECT_LT(r.possible_host_vertices, gg.vertex_count());
+  EXPECT_GE(r.possible_host_vertices, r.candidates.size());
+}
+
+TEST(Phase1PaperExample, GlobalRailsDoNotCorruptLabels) {
+  // Marking vdd/gnd global must not change feasibility: rails are valid
+  // forever instead of corrupt, and the internal net's one-ring shape is
+  // identical, so the CV is still {true instance, decoy}.
+  Cmos3 c;
+  Netlist pattern = c.nand2_pattern(/*global_rails=*/true);
+  PaperHost host;
+  host.nl.mark_global(host.vdd);
+  host.nl.mark_global(host.gnd);
+  CircuitGraph sg(pattern), gg(host.nl);
+  Phase1Result r = run_phase1(sg, gg);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.candidates.size(), 2u);
+}
+
+TEST(Phase1PaperExample, AbsentPatternIsInfeasible) {
+  // A NOR2 pattern has an internal net joining two pmos source/drains;
+  // the host has no such net, so the consistency check proves infeasibility
+  // without any Phase II work.
+  Cmos3 c;
+  Netlist pattern = c.netlist("nor2");
+  NetId a = pattern.add_net("a"), b = pattern.add_net("b"),
+        y = pattern.add_net("y"), vdd = pattern.add_net("vdd"),
+        gnd = pattern.add_net("gnd");
+  c.nor2(pattern, a, b, y, vdd, gnd);
+  for (NetId port : {a, b, y, vdd, gnd}) pattern.mark_port(port);
+
+  PaperHost host;
+  CircuitGraph sg(pattern), gg(host.nl);
+  Phase1Result r = run_phase1(sg, gg);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_TRUE(r.candidates.empty());
+}
+
+}  // namespace
+}  // namespace subg

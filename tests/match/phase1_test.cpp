@@ -1,0 +1,142 @@
+// Phase I generic properties (beyond the paper's worked example).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cells/cells.hpp"
+#include "match/matcher.hpp"
+#include "match/phase1.hpp"
+#include "test_circuits.hpp"
+
+namespace subg {
+namespace {
+
+using test::Cmos3;
+
+TEST(Phase1, CandidateVectorContainsEveryKeyImage) {
+  // Completeness (Label Invariant 1): the image of the key vertex in every
+  // true instance must appear in the candidate vector.
+  Cmos3 c;
+  Netlist host = c.netlist();
+  NetId vdd = host.add_net("vdd"), gnd = host.add_net("gnd");
+  host.mark_global(vdd);
+  host.mark_global(gnd);
+  NetId prev = host.add_net("pi");
+  for (int i = 0; i < 6; ++i) {
+    NetId b = host.add_net("b" + std::to_string(i));
+    NetId y = host.add_net("y" + std::to_string(i));
+    c.nand2(host, prev, b, y, vdd, gnd);
+    prev = y;
+  }
+  Netlist pattern = c.nand2_pattern(true);
+  SubgraphMatcher matcher(pattern, host);
+  MatchReport report = matcher.find_all();
+  ASSERT_EQ(report.count(), 6u);
+
+  const CircuitGraph& sg = matcher.pattern_graph();
+  const CircuitGraph& gg = matcher.host_graph();
+  for (const SubcircuitInstance& inst : report.instances) {
+    Vertex key_image;
+    if (report.phase1.key_is_device) {
+      key_image = gg.vertex_of(inst.device_image[sg.device_of(report.phase1.key).index()]);
+    } else {
+      key_image = gg.vertex_of(inst.net_image[sg.net_of(report.phase1.key).index()]);
+    }
+    EXPECT_TRUE(std::find(report.phase1.candidates.begin(),
+                          report.phase1.candidates.end(),
+                          key_image) != report.phase1.candidates.end());
+  }
+}
+
+TEST(Phase1, RoundsBoundedByPatternRadius) {
+  // Corruption spreads one ring per round from the ports, so the loop ends
+  // after O(pattern diameter) rounds regardless of host size.
+  cells::CellLibrary lib;
+  Netlist pattern = lib.pattern("fulladder");
+  Netlist host = lib.pattern("fulladder");  // host == pattern is fine
+  CircuitGraph sg(pattern), gg(host);
+  Phase1Result r = run_phase1(sg, gg);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_LE(r.rounds, 2 * (pattern.device_count() + pattern.net_count()));
+  EXPECT_GE(r.rounds, 1u);
+}
+
+TEST(Phase1, SingleDevicePatternCandidatesAreAllSameTypeDevices) {
+  Cmos3 c;
+  Netlist pattern = c.netlist();
+  NetId a = pattern.add_net("a"), y = pattern.add_net("y"),
+        g = pattern.add_net("g");
+  pattern.add_device(c.nmos, {y, a, g});
+  for (NetId p : {a, y, g}) pattern.mark_port(p);
+
+  Netlist host = c.netlist();
+  NetId vdd = host.add_net("vdd"), gnd = host.add_net("gnd");
+  c.inv(host, host.add_net("ia"), host.add_net("iy"), vdd, gnd);
+  c.nand2(host, host.add_net("na"), host.add_net("nb"), host.add_net("ny"),
+          vdd, gnd);
+
+  CircuitGraph sg(pattern), gg(host);
+  Phase1Result r = run_phase1(sg, gg);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_TRUE(r.key_is_device);
+  // 1 inverter nmos + 2 NAND nmos.
+  EXPECT_EQ(r.candidates.size(), 3u);
+  for (Vertex v : r.candidates) {
+    ASSERT_TRUE(gg.is_device(v));
+    EXPECT_EQ(host.device_type_info(gg.device_of(v)).name, "nmos");
+  }
+}
+
+TEST(Phase1, InterchangeablePinDevicesPartitionTogether) {
+  // Resistor dividers: both pins are in one equivalence class, so a
+  // resistor seen "backwards" must still be a candidate.
+  auto cat = DeviceCatalog::cmos3();
+  DeviceTypeId res = cat->require("res");
+  Netlist pattern(cat);
+  NetId top = pattern.add_net("top"), mid = pattern.add_net("mid"),
+        bot = pattern.add_net("bot");
+  pattern.add_device(res, {top, mid});
+  pattern.add_device(res, {mid, bot});
+  pattern.mark_port(top);
+  pattern.mark_port(bot);
+
+  Netlist host(cat);
+  NetId a = host.add_net("a"), m1 = host.add_net("m1"), b = host.add_net("b");
+  host.add_device(res, {a, m1});
+  host.add_device(res, {b, m1});  // second resistor flipped
+  NetId x = host.add_net("x"), y = host.add_net("y");
+  host.add_device(res, {x, y});  // unrelated single resistor
+
+  SubgraphMatcher matcher(pattern, host);
+  MatchReport report = matcher.find_all();
+  EXPECT_EQ(report.count(), 1u);
+}
+
+TEST(Phase1, HostSmallerThanPatternInfeasible) {
+  Cmos3 c;
+  Netlist pattern = c.nand2_pattern(false);
+  Netlist host = c.netlist();
+  NetId a = host.add_net("a"), y = host.add_net("y"), g = host.add_net("g");
+  host.add_device(c.nmos, {y, a, g});
+  CircuitGraph sg(pattern), gg(host);
+  Phase1Result r = run_phase1(sg, gg);
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(Phase1, PossibleHostCountShrinksWithStructure) {
+  // The more structure the pattern retains (more internal nets), the more
+  // host vertices consistency checks can discard.
+  cells::CellLibrary lib;
+  Netlist host = lib.pattern("fulladder");
+  Netlist weak = lib.pattern("inv");    // no internal nets at all
+  Netlist strong = lib.pattern("xor2"); // several internal nets
+  CircuitGraph gg(host), wg(weak), sg(strong);
+  Phase1Result rw = run_phase1(wg, gg);
+  Phase1Result rs = run_phase1(sg, gg);
+  ASSERT_TRUE(rw.feasible);
+  ASSERT_TRUE(rs.feasible);
+  EXPECT_LE(rs.possible_host_vertices, rw.possible_host_vertices);
+}
+
+}  // namespace
+}  // namespace subg

@@ -1,0 +1,162 @@
+// E4 — special signals (paper §IV.A, Fig 7).
+//
+// Without treating Vdd/GND as special, the CMOS inverter pattern is found
+// inside every NAND gate: the p-pullup/n-stack pair driven by the same
+// input looks exactly like an inverter whose "gnd" is the NAND's internal
+// stack net. Declaring the rails global (matched by name) eliminates the
+// spurious instances.
+#include <gtest/gtest.h>
+
+#include "match/matcher.hpp"
+#include "test_circuits.hpp"
+
+namespace subg {
+namespace {
+
+using test::Cmos3;
+
+/// Host: one real inverter plus one NAND2, sharing rails.
+struct Fig7Host {
+  Cmos3 c;
+  Netlist nl = c.netlist("fig7");
+  NetId vdd, gnd;
+
+  explicit Fig7Host(bool global_rails) {
+    vdd = nl.add_net("vdd");
+    gnd = nl.add_net("gnd");
+    if (global_rails) {
+      nl.mark_global(vdd);
+      nl.mark_global(gnd);
+    }
+    c.inv(nl, nl.add_net("ia"), nl.add_net("iy"), vdd, gnd);
+    c.nand2(nl, nl.add_net("na"), nl.add_net("nb"), nl.add_net("ny"), vdd,
+            gnd);
+  }
+};
+
+TEST(SpecialSignals, InverterFoundInsideNandWithoutSpecials) {
+  Cmos3 c;
+  Netlist pattern = c.inv_pattern(/*global_rails=*/false);
+  Fig7Host host(/*global_rails=*/false);
+  SubgraphMatcher matcher(pattern, host.nl);
+  MatchReport report = matcher.find_all();
+  // The real inverter + the false one inside the NAND (pmos on input a
+  // sharing drain with the top nmos of the stack).
+  EXPECT_EQ(report.count(), 2u);
+}
+
+TEST(SpecialSignals, GlobalRailsEliminateFalseInstances) {
+  Cmos3 c;
+  Netlist pattern = c.inv_pattern(/*global_rails=*/true);
+  Fig7Host host(/*global_rails=*/true);
+  SubgraphMatcher matcher(pattern, host.nl);
+  MatchReport report = matcher.find_all();
+  ASSERT_EQ(report.count(), 1u);
+  // And it is the real inverter: its output is "iy".
+  const SubcircuitInstance& inst = report.instances.front();
+  NetId y_img = inst.net_image[pattern.find_net("y")->index()];
+  EXPECT_EQ(host.nl.net_name(y_img), "iy");
+}
+
+TEST(SpecialSignals, GlobalImagesResolvedByName) {
+  Cmos3 c;
+  Netlist pattern = c.inv_pattern(true);
+  Fig7Host host(true);
+  SubgraphMatcher matcher(pattern, host.nl);
+  MatchReport report = matcher.find_all();
+  ASSERT_EQ(report.count(), 1u);
+  const SubcircuitInstance& inst = report.instances.front();
+  EXPECT_EQ(inst.net_image[pattern.find_net("vdd")->index()], host.vdd);
+  EXPECT_EQ(inst.net_image[pattern.find_net("gnd")->index()], host.gnd);
+}
+
+TEST(SpecialSignals, RailFanoutDoesNotEnterRefinement) {
+  // Many inverters on the same rails: per-candidate Phase II work must not
+  // scale with rail fanout. We can't measure time here, but we can check
+  // the pass count stays flat as fanout grows.
+  Cmos3 c;
+  auto passes_for = [&](int fanout) {
+    Netlist host = c.netlist();
+    NetId vdd = host.add_net("vdd"), gnd = host.add_net("gnd");
+    host.mark_global(vdd);
+    host.mark_global(gnd);
+    for (int i = 0; i < fanout; ++i) {
+      c.inv(host, host.add_net("a" + std::to_string(i)),
+            host.add_net("y" + std::to_string(i)), vdd, gnd);
+    }
+    Netlist pattern = c.inv_pattern(true);
+    SubgraphMatcher matcher(pattern, host);
+    MatchReport report = matcher.find_all();
+    EXPECT_EQ(report.count(), static_cast<std::size_t>(fanout));
+    // Normalize by candidate count.
+    return static_cast<double>(report.phase2.passes) /
+           static_cast<double>(report.phase2.candidates_tried);
+  };
+  double small = passes_for(4);
+  double large = passes_for(64);
+  EXPECT_LE(large, small * 2.0);
+}
+
+TEST(SpecialSignals, SpecialnessIsPatternDriven) {
+  // A host-declared global the pattern does not name is an ordinary net for
+  // that match: a pattern with vdd/gnd as plain ports still finds the real
+  // inverter (and the false one inside the NAND) in a host with global
+  // rails.
+  Cmos3 c;
+  Netlist pattern = c.inv_pattern(/*global_rails=*/false);
+  Fig7Host host(/*global_rails=*/true);
+  SubgraphMatcher matcher(pattern, host.nl);
+  EXPECT_EQ(matcher.find_all().count(), 2u);
+}
+
+TEST(SpecialSignals, HostRailNeedNotBeMarkedGlobal) {
+  // Pattern globals resolve to same-named host nets by name alone.
+  Cmos3 c;
+  Netlist pattern = c.inv_pattern(/*global_rails=*/true);
+  Fig7Host host(/*global_rails=*/false);  // host rails named vdd/gnd, unmarked
+  SubgraphMatcher matcher(pattern, host.nl);
+  MatchReport report = matcher.find_all();
+  ASSERT_EQ(report.count(), 1u);
+  NetId y_img =
+      report.instances.front().net_image[pattern.find_net("y")->index()];
+  EXPECT_EQ(host.nl.net_name(y_img), "iy");
+}
+
+TEST(SpecialSignals, UnusedPatternGlobalPlacesNoConstraint) {
+  // A pattern that declares a global it never connects (e.g. a library-wide
+  // rail list) must still match hosts lacking that net.
+  Cmos3 c;
+  Netlist pattern = c.netlist("pair");
+  NetId n1 = pattern.add_net("n1"), n2 = pattern.add_net("n2"),
+        g = pattern.add_net("g");
+  NetId unused = pattern.add_net("vsub");
+  pattern.mark_global(unused);
+  pattern.add_device(c.nmos, {n1, g, n2});
+  for (NetId p : {n1, n2, g}) pattern.mark_port(p);
+
+  Netlist host = c.netlist();
+  NetId a = host.add_net("a"), b = host.add_net("b"), hg = host.add_net("hg");
+  host.add_device(c.nmos, {a, hg, b});
+  SubgraphMatcher matcher(pattern, host);
+  EXPECT_EQ(matcher.find_all().count(), 1u);
+}
+
+TEST(SpecialSignals, GlobalOnlyInPatternSideNamedDifferentlyFails) {
+  // Pattern rail "vcc" has no same-named host global → zero instances.
+  Cmos3 c;
+  Netlist pattern = c.netlist("inv");
+  NetId a = pattern.add_net("a"), y = pattern.add_net("y");
+  NetId vcc = pattern.add_net("vcc"), gnd = pattern.add_net("gnd");
+  c.inv(pattern, a, y, vcc, gnd);
+  pattern.mark_port(a);
+  pattern.mark_port(y);
+  pattern.mark_global(vcc);
+  pattern.mark_global(gnd);
+
+  Fig7Host host(true);
+  SubgraphMatcher matcher(pattern, host.nl);
+  EXPECT_EQ(matcher.find_all().count(), 0u);
+}
+
+}  // namespace
+}  // namespace subg

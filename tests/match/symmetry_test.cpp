@@ -1,0 +1,181 @@
+// E3 — ambiguity and backtracking (paper Fig 5).
+//
+// A pattern of two parallel transistors (same gate, same source/drain
+// nets) is symmetric: refinement can never split {A, B}, so Phase II must
+// guess. Either guess is correct — a match is found with no backtracking.
+#include <gtest/gtest.h>
+
+#include "match/matcher.hpp"
+#include "match/verify.hpp"
+#include "test_circuits.hpp"
+
+namespace subg {
+namespace {
+
+using test::Cmos3;
+
+/// Pattern: two parallel nmos between n1 and n2, common gate g.
+Netlist parallel_pair_pattern(const Cmos3& c) {
+  Netlist nl = c.netlist("pair");
+  NetId n1 = nl.add_net("n1"), n2 = nl.add_net("n2"), g = nl.add_net("g");
+  nl.add_device(c.nmos, {n1, g, n2}, "A");
+  nl.add_device(c.nmos, {n1, g, n2}, "B");
+  nl.mark_port(n1);
+  nl.mark_port(n2);
+  nl.mark_port(g);
+  return nl;
+}
+
+TEST(Symmetry, ParallelPairNeedsAGuessButNoBacktracking) {
+  Cmos3 c;
+  Netlist pattern = parallel_pair_pattern(c);
+
+  Netlist host = c.netlist("main");
+  NetId h1 = host.add_net("h1"), h2 = host.add_net("h2"), hg = host.add_net("hg");
+  host.add_device(c.nmos, {h1, hg, h2}, "A'");
+  host.add_device(c.nmos, {h1, hg, h2}, "B'");
+  // Unrelated device elsewhere so the host is not literally the pattern.
+  NetId q1 = host.add_net("q1"), q2 = host.add_net("q2"), qg = host.add_net("qg");
+  host.add_device(c.pmos, {q1, qg, q2}, "other");
+
+  SubgraphMatcher matcher(pattern, host);
+  MatchReport report = matcher.find_all();
+  ASSERT_EQ(report.count(), 1u);
+  EXPECT_GE(report.phase2.guesses, 1u);
+  EXPECT_EQ(report.phase2.backtracks, 0u);
+}
+
+TEST(Symmetry, AutomorphicInstancesDeduplicated) {
+  // Both parallel transistors are in the candidate vector; each candidate
+  // verifies to the same device set, which dedup collapses to one instance.
+  Cmos3 c;
+  Netlist pattern = parallel_pair_pattern(c);
+
+  Netlist host = c.netlist();
+  NetId h1 = host.add_net("h1"), h2 = host.add_net("h2"), hg = host.add_net("hg");
+  host.add_device(c.nmos, {h1, hg, h2});
+  host.add_device(c.nmos, {h1, hg, h2});
+
+  SubgraphMatcher matcher(pattern, host);
+  MatchReport report = matcher.find_all();
+  EXPECT_EQ(report.count(), 1u);
+  EXPECT_EQ(report.phase2.candidates_matched, 2u);
+}
+
+/// Ring of `n` identical pass transistors sharing one gate net; ring nets
+/// named prefix+i.
+void add_ring(const Cmos3& c, Netlist& nl, int n, const std::string& prefix) {
+  NetId gate = nl.add_net(prefix + "gate");
+  std::vector<NetId> nodes;
+  for (int i = 0; i < n; ++i) nodes.push_back(nl.add_net(prefix + std::to_string(i)));
+  for (int i = 0; i < n; ++i) {
+    nl.add_device(c.nmos, {nodes[i], gate, nodes[(i + 1) % n]});
+  }
+}
+
+TEST(Symmetry, BacktrackingRecoversFromWrongGuess) {
+  // Host contains a "fat" ring — a 6-ring with one extra transistor hanging
+  // off ring net f1 — and a clean 6-ring. Refinement inside the fat ring
+  // completes after a symmetric guess (the extra device is invisible to
+  // safe-only labeling), but the final explicit verification rejects the
+  // mapping: f1 has degree 3 where the pattern's internal ring net needs
+  // exactly 2. Both mirror guesses must fail (backtracking), every fat-ring
+  // candidate must be rejected, and the clean ring is the only instance.
+  Cmos3 c;
+  Netlist pattern = c.netlist("ring_p");
+  add_ring(c, pattern, 6, "r");
+  pattern.mark_port(*pattern.find_net("rgate"));
+
+  Netlist host = c.netlist("main");
+  add_ring(c, host, 6, "f");
+  // The poison: one extra transistor with a source/drain on f1.
+  NetId qg = host.add_net("qg"), qd = host.add_net("qd");
+  host.add_device(c.nmos, {*host.find_net("f1"), qg, qd});
+  add_ring(c, host, 6, "c");
+
+  SubgraphMatcher matcher(pattern, host);
+  MatchReport report = matcher.find_all();
+  ASSERT_EQ(report.count(), 1u);
+  // The instance lives in the clean ring.
+  for (NetId n : report.instances.front().net_image) {
+    EXPECT_EQ(host.net_name(n)[0], 'c') << host.net_name(n);
+  }
+  // Fat-ring candidates really did complete-and-fail: final verification
+  // rejections and backtracking both occurred.
+  EXPECT_GE(report.phase2.verify_failures, 1u);
+  EXPECT_GE(report.phase2.backtracks, 1u);
+  EXPECT_GT(report.phase2.guesses, report.phase2.backtracks);
+}
+
+TEST(Symmetry, RailOnlyConnectedPatternUsesGuessFallback) {
+  // A pattern whose two halves connect ONLY through the global rails:
+  // refinement cannot cross a rail (its fanout is never expanded), so after
+  // the first half matches, Phase II must seed the second half by guessing
+  // a device on the rail — the dedicated fallback path.
+  Cmos3 c;
+  Netlist pattern = c.netlist("two_inv");
+  NetId vdd = pattern.add_net("vdd"), gnd = pattern.add_net("gnd");
+  pattern.mark_global(vdd);
+  pattern.mark_global(gnd);
+  NetId a1 = pattern.add_net("a1"), y1 = pattern.add_net("y1");
+  NetId a2 = pattern.add_net("a2"), y2 = pattern.add_net("y2");
+  c.inv(pattern, a1, y1, vdd, gnd);
+  c.inv(pattern, a2, y2, vdd, gnd);
+  for (NetId p : {a1, y1, a2, y2}) pattern.mark_port(p);
+
+  Netlist host = c.netlist("main");
+  NetId hv = host.add_net("vdd"), hg = host.add_net("gnd");
+  host.mark_global(hv);
+  host.mark_global(hg);
+  for (int i = 0; i < 3; ++i) {
+    c.inv(host, host.add_net("ia" + std::to_string(i)),
+          host.add_net("iy" + std::to_string(i)), hv, hg);
+  }
+
+  SubgraphMatcher matcher(pattern, host);
+  MatchReport report = matcher.find_all();
+  // Any unordered pair of distinct inverters is an instance; at least the
+  // per-key-image count must come out, each passing verification.
+  EXPECT_GE(report.count(), 1u);
+  EXPECT_GE(report.phase2.guesses, 1u);
+  for (const auto& inst : report.instances) {
+    EXPECT_TRUE(verify_instance(pattern, host, inst));
+  }
+
+  // Exhaustive semantics enumerates all C(3,2) = 3 pairs.
+  MatchOptions ex;
+  ex.exhaustive = true;
+  SubgraphMatcher exm(pattern, host, ex);
+  EXPECT_EQ(exm.find_all().count(), 3u);
+}
+
+TEST(Symmetry, FullySymmetricRingMatches) {
+  // A ring of identical pass transistors: every vertex is equivalent, so
+  // matching a ring of the same size requires a chain of guesses.
+  Cmos3 c;
+  constexpr int kRing = 6;
+  auto make_ring = [&](std::string name) {
+    Netlist nl = c.netlist(name);
+    NetId gate = nl.add_net("gate");
+    std::vector<NetId> nodes;
+    for (int i = 0; i < kRing; ++i) {
+      nodes.push_back(nl.add_net("r" + std::to_string(i)));
+    }
+    for (int i = 0; i < kRing; ++i) {
+      nl.add_device(c.nmos, {nodes[i], gate, nodes[(i + 1) % kRing]});
+    }
+    return nl;
+  };
+  Netlist pattern = make_ring("ring_p");
+  // Every ring net is internal; only the gate is external.
+  pattern.mark_port(*pattern.find_net("gate"));
+  Netlist host = make_ring("ring_h");
+
+  SubgraphMatcher matcher(pattern, host);
+  MatchReport report = matcher.find_all();
+  ASSERT_EQ(report.count(), 1u);
+  EXPECT_GE(report.phase2.guesses, 1u);
+}
+
+}  // namespace
+}  // namespace subg

@@ -1,0 +1,86 @@
+// Shared hand-built circuits for the matcher tests.
+//
+// Gates here use the 3-pin MOS catalog (d,g,s — no bulk), matching the
+// paper's figures: with 4-pin transistors the bulk rail connection already
+// disambiguates Vdd/GND and the Fig 7 inverter-in-NAND phenomenon cannot
+// occur.
+#pragma once
+
+#include <memory>
+
+#include "netlist/netlist.hpp"
+
+namespace subg::test {
+
+struct Cmos3 {
+  std::shared_ptr<const DeviceCatalog> cat = DeviceCatalog::cmos3();
+  DeviceTypeId nmos = cat->require("nmos");
+  DeviceTypeId pmos = cat->require("pmos");
+
+  [[nodiscard]] Netlist netlist(std::string name = "") const {
+    return Netlist(cat, std::move(name));
+  }
+
+  void inv(Netlist& nl, NetId a, NetId y, NetId vdd, NetId gnd) const {
+    nl.add_device(pmos, {y, a, vdd});
+    nl.add_device(nmos, {y, a, gnd});
+  }
+
+  void nand2(Netlist& nl, NetId a, NetId b, NetId y, NetId vdd,
+             NetId gnd) const {
+    nl.add_device(pmos, {y, a, vdd});
+    nl.add_device(pmos, {y, b, vdd});
+    NetId x = nl.add_net();
+    nl.add_device(nmos, {y, a, x});
+    nl.add_device(nmos, {x, b, gnd});
+  }
+
+  void nor2(Netlist& nl, NetId a, NetId b, NetId y, NetId vdd,
+            NetId gnd) const {
+    NetId u = nl.add_net();
+    nl.add_device(pmos, {u, a, vdd});
+    nl.add_device(pmos, {y, b, u});
+    nl.add_device(nmos, {y, a, gnd});
+    nl.add_device(nmos, {y, b, gnd});
+  }
+
+  /// Inverter pattern; rails global when `global_rails`.
+  [[nodiscard]] Netlist inv_pattern(bool global_rails) const {
+    Netlist nl = netlist("inv");
+    NetId a = nl.add_net("a"), y = nl.add_net("y");
+    NetId vdd = nl.add_net("vdd"), gnd = nl.add_net("gnd");
+    inv(nl, a, y, vdd, gnd);
+    nl.mark_port(a);
+    nl.mark_port(y);
+    if (global_rails) {
+      nl.mark_global(vdd);
+      nl.mark_global(gnd);
+    } else {
+      nl.mark_port(vdd);
+      nl.mark_port(gnd);
+    }
+    return nl;
+  }
+
+  /// NAND2 pattern — the paper's Fig 1 subgraph S when `global_rails` is
+  /// false (vdd/gnd are plain external nets there).
+  [[nodiscard]] Netlist nand2_pattern(bool global_rails) const {
+    Netlist nl = netlist("nand2");
+    NetId a = nl.add_net("a"), b = nl.add_net("b"), y = nl.add_net("y");
+    NetId vdd = nl.add_net("vdd"), gnd = nl.add_net("gnd");
+    nand2(nl, a, b, y, vdd, gnd);
+    nl.mark_port(a);
+    nl.mark_port(b);
+    nl.mark_port(y);
+    if (global_rails) {
+      nl.mark_global(vdd);
+      nl.mark_global(gnd);
+    } else {
+      nl.mark_port(vdd);
+      nl.mark_port(gnd);
+    }
+    return nl;
+  }
+};
+
+}  // namespace subg::test

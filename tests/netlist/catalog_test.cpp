@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "netlist/catalog.hpp"
+#include "util/check.hpp"
+
+namespace subg {
+namespace {
+
+TEST(Catalog, PinClassesNumberedByFirstAppearance) {
+  DeviceCatalog cat;
+  auto id = cat.add_type("nmos", {{"d", "sd"}, {"g", "gate"}, {"s", "sd"}});
+  const DeviceTypeInfo& info = cat.type(id);
+  EXPECT_EQ(info.pin_count(), 3u);
+  EXPECT_EQ(info.class_count, 2u);
+  EXPECT_EQ(info.pin_class[0], 0u);  // sd
+  EXPECT_EQ(info.pin_class[1], 1u);  // gate
+  EXPECT_EQ(info.pin_class[2], 0u);  // sd again
+}
+
+TEST(Catalog, CoefficientsPerClassDistinct) {
+  DeviceCatalog cat;
+  auto id = cat.add_type("nmos", {{"d", "sd"}, {"g", "gate"}, {"s", "sd"}});
+  const DeviceTypeInfo& info = cat.type(id);
+  ASSERT_EQ(info.class_coefficient.size(), 2u);
+  EXPECT_NE(info.class_coefficient[0], info.class_coefficient[1]);
+}
+
+TEST(Catalog, TypeLabelDerivedFromNameOnly) {
+  DeviceCatalog a, b;
+  auto ia = a.add_type("nmos", {{"d", "sd"}, {"g", "gate"}, {"s", "sd"}});
+  auto ib = b.add_type("nmos", {{"d", "sd"}, {"g", "gate"}, {"s", "sd"}});
+  EXPECT_EQ(a.type(ia).type_label, b.type(ib).type_label);
+  EXPECT_EQ(a.type(ia).class_coefficient, b.type(ib).class_coefficient);
+}
+
+TEST(Catalog, DuplicateNameThrows) {
+  DeviceCatalog cat;
+  cat.add_type("res", {{"p1", "t"}, {"p2", "t"}});
+  EXPECT_THROW(cat.add_type("res", {{"p1", "t"}, {"p2", "t"}}), Error);
+}
+
+TEST(Catalog, EmptyPinsThrows) {
+  DeviceCatalog cat;
+  EXPECT_THROW(cat.add_type("bad", {}), Error);
+}
+
+TEST(Catalog, FindAndRequire) {
+  DeviceCatalog cat;
+  auto id = cat.add_type("cap", {{"p1", "t"}, {"p2", "t"}});
+  EXPECT_EQ(cat.find("cap"), id);
+  EXPECT_EQ(cat.require("cap"), id);
+  EXPECT_FALSE(cat.find("missing").has_value());
+  EXPECT_THROW(static_cast<void>(cat.require("missing")), Error);
+}
+
+TEST(Catalog, CompactSyntax) {
+  DeviceCatalog cat;
+  auto id = cat.add_type_compact("nmos", {"d:sd", "g:gate", "s:sd"});
+  const DeviceTypeInfo& info = cat.type(id);
+  EXPECT_EQ(info.pins[0].name, "d");
+  EXPECT_EQ(info.pins[0].equivalence_class, "sd");
+  EXPECT_EQ(info.class_count, 2u);
+  // Without a colon, the class defaults to the pin name.
+  auto id2 = cat.add_type_compact("diode", {"a", "c"});
+  EXPECT_EQ(cat.type(id2).class_count, 2u);
+}
+
+TEST(Catalog, CmosCatalogShape) {
+  auto cat = DeviceCatalog::cmos();
+  const DeviceTypeInfo& n = cat->type(cat->require("nmos"));
+  EXPECT_EQ(n.pin_count(), 4u);
+  EXPECT_EQ(n.class_count, 3u);                 // sd, gate, bulk
+  EXPECT_EQ(n.pin_class[0], n.pin_class[2]);    // d and s interchangeable
+  EXPECT_NE(n.pin_class[0], n.pin_class[1]);
+  EXPECT_TRUE(cat->find("pmos").has_value());
+  EXPECT_TRUE(cat->find("res").has_value());
+}
+
+TEST(Catalog, Cmos3CatalogShape) {
+  auto cat = DeviceCatalog::cmos3();
+  const DeviceTypeInfo& n = cat->type(cat->require("nmos"));
+  EXPECT_EQ(n.pin_count(), 3u);
+  EXPECT_EQ(n.class_count, 2u);
+}
+
+}  // namespace
+}  // namespace subg

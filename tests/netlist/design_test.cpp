@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "netlist/design.hpp"
+#include "util/check.hpp"
+
+namespace subg {
+namespace {
+
+class DesignTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<const DeviceCatalog> cat = DeviceCatalog::cmos3();
+  DeviceTypeId nmos = cat->require("nmos");
+  DeviceTypeId pmos = cat->require("pmos");
+
+  /// Build an inverter module with rails through design globals.
+  ModuleId make_inv(Design& d) {
+    ModuleId id = d.add_module("inv", {"a", "y"});
+    Module& m = d.module(id);
+    NetId a = *m.find_net("a"), y = *m.find_net("y");
+    m.add_device(pmos, {y, a, m.ensure_net("vdd")}, "mp");
+    m.add_device(nmos, {y, a, m.ensure_net("gnd")}, "mn");
+    return id;
+  }
+};
+
+TEST_F(DesignTest, FlattenSingleModule) {
+  Design d(cat);
+  d.add_global("vdd");
+  d.add_global("gnd");
+  make_inv(d);
+  Netlist flat = d.flatten("inv");
+  flat.validate();
+  EXPECT_EQ(flat.device_count(), 2u);
+  EXPECT_EQ(flat.net_count(), 4u);
+  EXPECT_TRUE(flat.is_global(*flat.find_net("vdd")));
+  EXPECT_TRUE(flat.is_global(*flat.find_net("gnd")));
+  // Top module ports become ports of the flat netlist.
+  ASSERT_EQ(flat.ports().size(), 2u);
+  EXPECT_EQ(flat.net_name(flat.ports()[0]), "a");
+  EXPECT_EQ(flat.net_name(flat.ports()[1]), "y");
+}
+
+TEST_F(DesignTest, FlattenHierarchyManglesNames) {
+  Design d(cat);
+  d.add_global("vdd");
+  d.add_global("gnd");
+  ModuleId inv = make_inv(d);
+
+  ModuleId top = d.add_module("buf", {"in", "out"});
+  Module& m = d.module(top);
+  NetId mid = m.add_net("mid");
+  m.add_instance(inv, {*m.find_net("in"), mid}, "u1");
+  m.add_instance(inv, {mid, *m.find_net("out")}, "u2");
+
+  Netlist flat = d.flatten("buf");
+  flat.validate();
+  EXPECT_EQ(flat.device_count(), 4u);
+  EXPECT_TRUE(flat.find_device("u1/mp").has_value());
+  EXPECT_TRUE(flat.find_device("u2/mn").has_value());
+  // Port binding: u1's output y is the top-level "mid" net.
+  DeviceId u1mp = *flat.find_device("u1/mp");
+  EXPECT_EQ(flat.net_name(flat.device_pins(u1mp)[0]), "mid");
+  // Globals merged, not mangled.
+  EXPECT_EQ(flat.net_degree(*flat.find_net("vdd")), 2u);
+}
+
+TEST_F(DesignTest, NestedHierarchyThreeLevels) {
+  Design d(cat);
+  d.add_global("vdd");
+  d.add_global("gnd");
+  ModuleId inv = make_inv(d);
+
+  ModuleId buf = d.add_module("buf", {"in", "out"});
+  {
+    Module& m = d.module(buf);
+    NetId mid = m.add_net("mid");
+    m.add_instance(inv, {*m.find_net("in"), mid}, "i0");
+    m.add_instance(inv, {mid, *m.find_net("out")}, "i1");
+  }
+  ModuleId chain = d.add_module("chain", {"in", "out"});
+  {
+    Module& m = d.module(chain);
+    NetId mid = m.add_net("mid");
+    m.add_instance(buf, {*m.find_net("in"), mid}, "b0");
+    m.add_instance(buf, {mid, *m.find_net("out")}, "b1");
+  }
+  EXPECT_EQ(d.flattened_device_count("chain"), 8u);
+  Netlist flat = d.flatten("chain");
+  flat.validate();
+  EXPECT_EQ(flat.device_count(), 8u);
+  EXPECT_TRUE(flat.find_device("b1/i0/mp").has_value());
+  EXPECT_TRUE(flat.find_net("b0/mid").has_value());
+}
+
+TEST_F(DesignTest, RecursionDetected) {
+  Design d(cat);
+  ModuleId a = d.add_module("a", {"p"});
+  ModuleId b = d.add_module("b", {"p"});
+  d.module(a).add_instance(b, {*d.module(a).find_net("p")});
+  d.module(b).add_instance(a, {*d.module(b).find_net("p")});
+  EXPECT_THROW(d.flatten("a"), Error);
+  EXPECT_THROW((void)d.flattened_device_count("a"), Error);
+}
+
+TEST_F(DesignTest, UnknownTopThrows) {
+  Design d(cat);
+  EXPECT_THROW(d.flatten("nope"), Error);
+}
+
+TEST_F(DesignTest, InstanceArityChecked) {
+  Design d(cat);
+  d.add_global("vdd");
+  d.add_global("gnd");
+  ModuleId inv = make_inv(d);
+  ModuleId top = d.add_module("top", {"x"});
+  Module& m = d.module(top);
+  std::vector<NetId> one = {*m.find_net("x")};
+  EXPECT_THROW(m.add_instance(inv, one), Error);
+}
+
+TEST_F(DesignTest, DuplicateModuleNameThrows) {
+  Design d(cat);
+  d.add_module("m");
+  EXPECT_THROW(d.add_module("m"), Error);
+}
+
+}  // namespace
+}  // namespace subg

@@ -1,0 +1,84 @@
+// Randomized stress of Netlist mutation invariants: repeated random device
+// removal must keep the connectivity index consistent (validate()) and
+// never resurrect dangling internal nets.
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "util/rng.hpp"
+
+namespace subg {
+namespace {
+
+class NetlistStress : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NetlistStress, RandomRemovalKeepsInvariants) {
+  gen::Generated g = gen::logic_soup(120, GetParam());
+  Netlist& nl = g.netlist;
+  Xoshiro256 rng(GetParam() * 7919 + 1);
+
+  while (nl.device_count() > 0) {
+    // Remove a random batch of up to 9 devices.
+    const std::size_t batch =
+        std::min<std::size_t>(1 + rng.below(9), nl.device_count());
+    std::vector<DeviceId> victims;
+    std::vector<bool> picked(nl.device_count(), false);
+    while (victims.size() < batch) {
+      std::uint32_t idx =
+          static_cast<std::uint32_t>(rng.below(nl.device_count()));
+      if (!picked[idx]) {
+        picked[idx] = true;
+        victims.push_back(DeviceId(idx));
+      }
+    }
+    const std::size_t before = nl.device_count();
+    nl.remove_devices(victims);
+    ASSERT_EQ(nl.device_count(), before - batch);
+    ASSERT_NO_THROW(nl.validate());
+    // No non-port, non-global net may be dangling.
+    for (std::uint32_t n = 0; n < nl.net_count(); ++n) {
+      const NetId id(n);
+      if (nl.net_degree(id) == 0) {
+        EXPECT_TRUE(nl.is_port(id) || nl.is_global(id))
+            << "dangling net " << nl.net_name(id);
+      }
+    }
+  }
+  // Globals survive to the end.
+  EXPECT_TRUE(nl.find_net("vdd").has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetlistStress,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(NetlistStress, InterleavedAddRemove) {
+  auto cat = DeviceCatalog::cmos3();
+  DeviceTypeId nmos = cat->require("nmos");
+  Netlist nl(cat);
+  Xoshiro256 rng(99);
+  std::vector<NetId> nets;
+  for (int i = 0; i < 8; ++i) nets.push_back(nl.add_net("n" + std::to_string(i)));
+
+  for (int round = 0; round < 50; ++round) {
+    // Add a few devices.
+    for (int k = 0; k < 3; ++k) {
+      nl.add_device(nmos, {nets[rng.below(nets.size())],
+                           nets[rng.below(nets.size())],
+                           nets[rng.below(nets.size())]});
+    }
+    // Remove one at random.
+    if (nl.device_count() > 0) {
+      std::vector<DeviceId> victim = {
+          DeviceId(static_cast<std::uint32_t>(rng.below(nl.device_count())))};
+      nl.remove_devices(victim);
+    }
+    ASSERT_NO_THROW(nl.validate());
+    // Net handles may be invalidated by removal; re-resolve by name.
+    for (int i = 0; i < 8; ++i) {
+      nets[i] = nl.ensure_net("n" + std::to_string(i));
+    }
+  }
+  EXPECT_GT(nl.device_count(), 0u);
+}
+
+}  // namespace
+}  // namespace subg

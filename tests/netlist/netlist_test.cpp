@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "netlist/netlist.hpp"
+#include "util/check.hpp"
+
+namespace subg {
+namespace {
+
+class NetlistTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<const DeviceCatalog> cat = DeviceCatalog::cmos3();
+  DeviceTypeId nmos = cat->require("nmos");
+  DeviceTypeId pmos = cat->require("pmos");
+};
+
+TEST_F(NetlistTest, AddNetsAndDevices) {
+  Netlist nl(cat, "t");
+  NetId a = nl.add_net("a"), y = nl.add_net("y"), g = nl.add_net("gnd");
+  DeviceId d = nl.add_device(nmos, {y, a, g}, "m1");
+  EXPECT_EQ(nl.net_count(), 3u);
+  EXPECT_EQ(nl.device_count(), 1u);
+  EXPECT_EQ(nl.device_name(d), "m1");
+  EXPECT_EQ(nl.device_type(d), nmos);
+  auto pins = nl.device_pins(d);
+  ASSERT_EQ(pins.size(), 3u);
+  EXPECT_EQ(pins[0], y);
+  EXPECT_EQ(pins[1], a);
+  EXPECT_EQ(pins[2], g);
+}
+
+TEST_F(NetlistTest, DegreeCountsPinConnections) {
+  Netlist nl(cat);
+  NetId a = nl.add_net("a"), b = nl.add_net("b");
+  // Device with two pins on the same net: degree counts both.
+  nl.add_device(nmos, {a, b, a});
+  EXPECT_EQ(nl.net_degree(a), 2u);
+  EXPECT_EQ(nl.net_degree(b), 1u);
+}
+
+TEST_F(NetlistTest, NetPinsBackReferences) {
+  Netlist nl(cat);
+  NetId a = nl.add_net("a"), b = nl.add_net("b"), c = nl.add_net("c");
+  DeviceId d1 = nl.add_device(nmos, {a, b, c});
+  DeviceId d2 = nl.add_device(pmos, {a, b, c});
+  auto pins = nl.net_pins(a);
+  ASSERT_EQ(pins.size(), 2u);
+  EXPECT_EQ(pins[0].device, d1);
+  EXPECT_EQ(pins[0].pin, 0u);
+  EXPECT_EQ(pins[1].device, d2);
+}
+
+TEST_F(NetlistTest, AutoNamesAreUnique) {
+  Netlist nl(cat);
+  NetId n1 = nl.add_net(), n2 = nl.add_net();
+  EXPECT_NE(nl.net_name(n1), nl.net_name(n2));
+  NetId a = nl.add_net("a"), b = nl.add_net("b"), c = nl.add_net("c");
+  DeviceId d1 = nl.add_device(nmos, {a, b, c});
+  DeviceId d2 = nl.add_device(nmos, {a, b, c});
+  EXPECT_NE(nl.device_name(d1), nl.device_name(d2));
+}
+
+TEST_F(NetlistTest, DuplicateNamesThrow) {
+  Netlist nl(cat);
+  nl.add_net("a");
+  EXPECT_THROW(nl.add_net("a"), Error);
+  NetId b = nl.add_net("b"), c = nl.add_net("c"), d = nl.add_net("d");
+  nl.add_device(nmos, {b, c, d}, "m1");
+  EXPECT_THROW(nl.add_device(nmos, {b, c, d}, "m1"), Error);
+}
+
+TEST_F(NetlistTest, WrongPinCountThrows) {
+  Netlist nl(cat);
+  NetId a = nl.add_net("a"), b = nl.add_net("b");
+  EXPECT_THROW(nl.add_device(nmos, {a, b}), Error);
+}
+
+TEST_F(NetlistTest, EnsureNetIdempotent) {
+  Netlist nl(cat);
+  NetId a = nl.ensure_net("vdd");
+  EXPECT_EQ(nl.ensure_net("vdd"), a);
+  EXPECT_EQ(nl.net_count(), 1u);
+}
+
+TEST_F(NetlistTest, PortsAndGlobals) {
+  Netlist nl(cat);
+  NetId a = nl.add_net("a"), v = nl.add_net("vdd");
+  nl.mark_port(a);
+  nl.mark_port(a);  // idempotent
+  nl.mark_global(v);
+  EXPECT_TRUE(nl.is_port(a));
+  EXPECT_FALSE(nl.is_port(v));
+  EXPECT_TRUE(nl.is_global(v));
+  ASSERT_EQ(nl.ports().size(), 1u);
+  EXPECT_EQ(nl.ports()[0], a);
+}
+
+TEST_F(NetlistTest, RemoveDevicesDropsInternalNets) {
+  Netlist nl(cat);
+  NetId a = nl.add_net("a"), mid = nl.add_net("mid"), g = nl.add_net("gnd");
+  NetId y = nl.add_net("y");
+  nl.mark_global(g);
+  DeviceId d1 = nl.add_device(nmos, {y, a, mid}, "m1");
+  nl.add_device(nmos, {mid, a, g}, "m2");
+  nl.add_device(pmos, {y, a, g}, "m3");
+
+  std::vector<DeviceId> victims = {d1, *nl.find_device("m2")};
+  nl.remove_devices(victims);
+  nl.validate();
+
+  EXPECT_EQ(nl.device_count(), 1u);
+  EXPECT_TRUE(nl.find_device("m3").has_value());
+  EXPECT_FALSE(nl.find_device("m1").has_value());
+  // "mid" lost all connections and is neither port nor global → removed.
+  EXPECT_FALSE(nl.find_net("mid").has_value());
+  // Globals survive even when disconnected... gnd still used by m3 anyway.
+  EXPECT_TRUE(nl.find_net("gnd").has_value());
+  // Surviving device is still wired correctly after the rebuild.
+  DeviceId m3 = *nl.find_device("m3");
+  auto pins = nl.device_pins(m3);
+  EXPECT_EQ(nl.net_name(pins[0]), "y");
+  EXPECT_EQ(nl.net_name(pins[1]), "a");
+  EXPECT_EQ(nl.net_name(pins[2]), "gnd");
+}
+
+TEST_F(NetlistTest, RemoveAllDevicesKeepsGlobalsAndPorts) {
+  Netlist nl(cat);
+  NetId a = nl.add_net("a"), y = nl.add_net("y"), g = nl.add_net("gnd");
+  nl.mark_port(a);
+  nl.mark_global(g);
+  DeviceId d = nl.add_device(nmos, {y, a, g});
+  std::vector<DeviceId> victims = {d};
+  nl.remove_devices(victims);
+  nl.validate();
+  EXPECT_EQ(nl.device_count(), 0u);
+  EXPECT_TRUE(nl.find_net("a").has_value());
+  EXPECT_TRUE(nl.find_net("gnd").has_value());
+  EXPECT_FALSE(nl.find_net("y").has_value());
+  ASSERT_EQ(nl.ports().size(), 1u);
+  EXPECT_EQ(nl.net_name(nl.ports()[0]), "a");
+}
+
+TEST_F(NetlistTest, StatsAggregates) {
+  Netlist nl(cat);
+  NetId a = nl.add_net("a"), y = nl.add_net("y"), v = nl.add_net("vdd"),
+        g = nl.add_net("gnd");
+  nl.mark_global(v);
+  nl.mark_global(g);
+  nl.add_device(pmos, {y, a, v});
+  nl.add_device(nmos, {y, a, g});
+  nl.add_device(nmos, {y, a, g});
+  NetlistStats s = nl.stats();
+  EXPECT_EQ(s.device_count, 3u);
+  EXPECT_EQ(s.net_count, 4u);
+  EXPECT_EQ(s.pin_count, 9u);
+  EXPECT_EQ(s.global_net_count, 2u);
+  EXPECT_EQ(s.max_net_degree, 3u);  // a and y have 3 connections
+  ASSERT_EQ(s.devices_by_type.size(), 2u);
+  EXPECT_EQ(s.devices_by_type[0].first, "nmos");
+  EXPECT_EQ(s.devices_by_type[0].second, 2u);
+  EXPECT_EQ(s.devices_by_type[1].first, "pmos");
+  EXPECT_EQ(s.devices_by_type[1].second, 1u);
+}
+
+TEST_F(NetlistTest, ValidatePassesOnWellFormed) {
+  Netlist nl(cat);
+  NetId a = nl.add_net("a"), y = nl.add_net("y"), g = nl.add_net("gnd");
+  nl.add_device(nmos, {y, a, g});
+  EXPECT_NO_THROW(nl.validate());
+}
+
+}  // namespace
+}  // namespace subg

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "cells/cells.hpp"
+#include "gemini/gemini.hpp"
+#include "match/matcher.hpp"
+#include "reduce/reduce.hpp"
+
+namespace subg::reduce {
+namespace {
+
+class ReduceTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<const DeviceCatalog> cat = DeviceCatalog::cmos3();
+  DeviceTypeId nmos = cat->require("nmos");
+  DeviceTypeId pmos = cat->require("pmos");
+  DeviceTypeId res = cat->require("res");
+};
+
+TEST_F(ReduceTest, ParallelFingersMerge) {
+  // A "3-finger" transistor: three parallel nmos with identical nets.
+  Netlist nl(cat);
+  NetId d = nl.add_net("d"), g = nl.add_net("g"), s = nl.add_net("s");
+  nl.add_device(nmos, {d, g, s}, "f0");
+  nl.add_device(nmos, {d, g, s}, "f1");
+  nl.add_device(nmos, {s, g, d}, "f2");  // flipped orientation still merges
+  Reduced r = reduce_netlist(nl);
+  ASSERT_EQ(r.netlist.device_count(), 1u);
+  EXPECT_EQ(r.multiplicity(DeviceId(0)), 3u);
+  EXPECT_EQ(r.merged_from[0].size(), 3u);
+}
+
+TEST_F(ReduceTest, GatePinNotInterchangeable) {
+  // Same three nets but the gate differs in position: NOT parallel.
+  Netlist nl(cat);
+  NetId a = nl.add_net("a"), b = nl.add_net("b"), c = nl.add_net("c");
+  nl.add_device(nmos, {a, b, c});  // gate = b
+  nl.add_device(nmos, {b, a, c});  // gate = a
+  Reduced r = reduce_netlist(nl);
+  EXPECT_EQ(r.netlist.device_count(), 2u);
+}
+
+TEST_F(ReduceTest, SeriesResistorLadderCollapses) {
+  // r1 - r2 - r3 in series through exclusive internal nodes.
+  Netlist nl(cat);
+  NetId a = nl.add_net("a"), m1 = nl.add_net("m1"), m2 = nl.add_net("m2"),
+        b = nl.add_net("b");
+  nl.mark_port(a);
+  nl.mark_port(b);
+  nl.add_device(res, {a, m1});
+  nl.add_device(res, {m1, m2});
+  nl.add_device(res, {m2, b});
+  Reduced r = reduce_netlist(nl);
+  ASSERT_EQ(r.netlist.device_count(), 1u);
+  EXPECT_EQ(r.multiplicity(DeviceId(0)), 3u);
+  // Internal nodes are gone; the endpoints survive as ports.
+  EXPECT_FALSE(r.netlist.find_net("m1").has_value());
+  ASSERT_EQ(r.netlist.ports().size(), 2u);
+}
+
+TEST_F(ReduceTest, SeriesStopsAtProtectedNets) {
+  Netlist nl(cat);
+  NetId a = nl.add_net("a"), tap = nl.add_net("tap"), b = nl.add_net("b");
+  nl.mark_port(a);
+  nl.mark_port(b);
+  nl.add_device(res, {a, tap});
+  nl.add_device(res, {tap, b});
+  ReduceOptions opts;
+  opts.protected_nets = {"tap"};
+  Reduced r = reduce_netlist(nl, opts);
+  EXPECT_EQ(r.netlist.device_count(), 2u);
+  EXPECT_TRUE(r.netlist.find_net("tap").has_value());
+}
+
+TEST_F(ReduceTest, SeriesDoesNotCrossHighDegreeNodes) {
+  // The middle node also feeds a transistor gate: not exclusive.
+  Netlist nl(cat);
+  NetId a = nl.add_net("a"), m = nl.add_net("m"), b = nl.add_net("b");
+  NetId x = nl.add_net("x"), y = nl.add_net("y");
+  nl.add_device(res, {a, m});
+  nl.add_device(res, {m, b});
+  nl.add_device(nmos, {x, m, y});
+  Reduced r = reduce_netlist(nl);
+  EXPECT_EQ(r.netlist.device_count(), 3u);
+}
+
+TEST_F(ReduceTest, MosNotSeriesMerged) {
+  // Series nmos share a node exclusively but MOS stacks are NOT electrically
+  // one device (distinct gates); only single-class 2-pin types merge.
+  Netlist nl(cat);
+  NetId a = nl.add_net("a"), m = nl.add_net("m"), b = nl.add_net("b");
+  NetId g1 = nl.add_net("g1"), g2 = nl.add_net("g2");
+  nl.add_device(nmos, {a, g1, m});
+  nl.add_device(nmos, {m, g2, b});
+  Reduced r = reduce_netlist(nl);
+  EXPECT_EQ(r.netlist.device_count(), 2u);
+}
+
+TEST_F(ReduceTest, FingeredHostMatchesUnsizedPatternAfterReduction) {
+  // Host NAND2 whose bottom stack transistor is drawn as two parallel
+  // fingers: the pattern's internal stack node has degree 2, the fingered
+  // host's has degree 3, so the direct match fails (induced-subgraph rule).
+  // After reduction the fingers collapse and the match appears.
+  Netlist host(cat, "fingered");
+  NetId vdd = host.add_net("vdd"), gnd = host.add_net("gnd");
+  host.mark_global(vdd);
+  host.mark_global(gnd);
+  NetId a = host.add_net("a"), b = host.add_net("b"), y = host.add_net("y"),
+        x = host.add_net("x");
+  host.add_device(pmos, {y, a, vdd});
+  host.add_device(pmos, {y, b, vdd});
+  host.add_device(nmos, {y, a, x});
+  host.add_device(nmos, {x, b, gnd});
+  host.add_device(nmos, {x, b, gnd});  // second finger
+
+  Netlist pattern(cat, "nand2");
+  NetId pa = pattern.add_net("a"), pb = pattern.add_net("b"),
+        py = pattern.add_net("y"), px = pattern.add_net("x");
+  NetId pv = pattern.add_net("vdd"), pg = pattern.add_net("gnd");
+  pattern.mark_port(pa);
+  pattern.mark_port(pb);
+  pattern.mark_port(py);
+  pattern.mark_global(pv);
+  pattern.mark_global(pg);
+  pattern.add_device(pmos, {py, pa, pv});
+  pattern.add_device(pmos, {py, pb, pv});
+  pattern.add_device(nmos, {py, pa, px});
+  pattern.add_device(nmos, {px, pb, pg});
+
+  {
+    SubgraphMatcher direct(pattern, host);
+    EXPECT_EQ(direct.find_all().count(), 0u);  // fingered stack: no match
+  }
+  Reduced rhost = reduce_netlist(host);
+  EXPECT_EQ(rhost.netlist.device_count(), 4u);
+  EXPECT_EQ(rhost.multiplicity(DeviceId(3)), 2u);
+  SubgraphMatcher reduced(pattern, rhost.netlist);
+  EXPECT_EQ(reduced.find_all().count(), 1u);
+}
+
+TEST_F(ReduceTest, IdempotentAndStructurePreserving) {
+  cells::CellLibrary lib;
+  Netlist cell = lib.pattern("fulladder");
+  // A cell with no fingers/ladders must come through untouched.
+  Reduced r1 = reduce_netlist(cell);
+  EXPECT_EQ(r1.netlist.device_count(), cell.device_count());
+  CompareResult cmp = compare_netlists(cell, r1.netlist);
+  EXPECT_TRUE(cmp.isomorphic) << cmp.reason;
+  // And reducing again changes nothing.
+  Reduced r2 = reduce_netlist(r1.netlist);
+  EXPECT_EQ(r2.netlist.device_count(), r1.netlist.device_count());
+}
+
+TEST_F(ReduceTest, MergedFromCoversAllOriginals) {
+  Netlist nl(cat);
+  NetId a = nl.add_net("a"), m = nl.add_net("m"), b = nl.add_net("b");
+  nl.mark_port(a);
+  nl.mark_port(b);
+  nl.add_device(res, {a, m});
+  nl.add_device(res, {a, m});  // parallel pair
+  nl.add_device(res, {m, b});
+  Reduced r = reduce_netlist(nl);
+  std::size_t total = 0;
+  for (const auto& origins : r.merged_from) total += origins.size();
+  EXPECT_EQ(total, 3u);
+  EXPECT_EQ(r.netlist.device_count(), 1u);  // (a=m pair) series (m-b)
+}
+
+}  // namespace
+}  // namespace subg::reduce

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "report/report.hpp"
+#include "util/check.hpp"
+
+namespace subg::report {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table t({"name", "count"});
+  t.align_right(1);
+  t.add_row({"inv", "2"});
+  t.add_row({"fulladder", "13"});
+  std::string s = t.to_string();
+
+  // Header, rule, two rows.
+  std::vector<std::string> lines;
+  for (std::size_t pos = 0; pos < s.size();) {
+    std::size_t nl = s.find('\n', pos);
+    lines.push_back(s.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  ASSERT_EQ(lines.size(), 4u);
+  // Right-aligned numeric column: every line ends at the same width.
+  EXPECT_EQ(lines[0].size(), lines[1].size());
+  EXPECT_EQ(lines[2].back(), '2');
+  EXPECT_EQ(lines[3].substr(lines[3].size() - 2), "13");
+  EXPECT_EQ(lines[2].size(), lines[3].size());
+  EXPECT_EQ(lines[0].substr(0, 4), "name");
+  EXPECT_EQ(lines[1].find_first_not_of('-'), std::string::npos);
+}
+
+TEST(Table, RowArityChecked) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Fit, ExactLine) {
+  std::array<double, 4> x = {1, 2, 3, 4};
+  std::array<double, 4> y = {3, 5, 7, 9};  // y = 2x + 1
+  LinearFit f = fit_line(x, y);
+  EXPECT_NEAR(f.slope, 2.0, 1e-12);
+  EXPECT_NEAR(f.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(Fit, NoisyLineStillHighR2) {
+  std::array<double, 6> x = {1, 2, 3, 4, 5, 6};
+  std::array<double, 6> y = {2.1, 3.9, 6.2, 7.8, 10.1, 11.9};
+  LinearFit f = fit_line(x, y);
+  EXPECT_NEAR(f.slope, 2.0, 0.1);
+  EXPECT_GT(f.r2, 0.99);
+}
+
+TEST(Fit, ConstantSeriesHasZeroSlope) {
+  std::array<double, 3> x = {1, 2, 3};
+  std::array<double, 3> y = {5, 5, 5};
+  LinearFit f = fit_line(x, y);
+  EXPECT_NEAR(f.slope, 0.0, 1e-12);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);  // zero variance: model is exact
+}
+
+TEST(Fit, NeedsTwoPoints) {
+  std::array<double, 1> x = {1}, y = {2};
+  EXPECT_THROW(static_cast<void>(fit_line(x, y)), Error);
+}
+
+TEST(Fit, ScalingExponent) {
+  // y = 3 x^1.5
+  std::vector<double> x, y;
+  for (double v : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+    x.push_back(v);
+    y.push_back(3.0 * v * std::sqrt(v));
+  }
+  EXPECT_NEAR(scaling_exponent(x, y), 1.5, 1e-9);
+  // Linear data → exponent ≈ 1.
+  std::vector<double> ylin;
+  for (double v : x) ylin.push_back(7.0 * v);
+  EXPECT_NEAR(scaling_exponent(x, ylin), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace subg::report

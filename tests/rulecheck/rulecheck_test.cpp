@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "rulecheck/rulecheck.hpp"
+
+namespace subg::rulecheck {
+namespace {
+
+/// A small design with known problems: one crowbar nmos, one always-on
+/// nmos pass device, and a clean inverter.
+Netlist troubled_design() {
+  auto cat = DeviceCatalog::cmos3();
+  DeviceTypeId nmos = cat->require("nmos"), pmos = cat->require("pmos");
+  Netlist nl(cat, "troubled");
+  NetId vdd = nl.add_net("vdd"), gnd = nl.add_net("gnd");
+  nl.mark_global(vdd);
+  nl.mark_global(gnd);
+  // Clean inverter.
+  NetId a = nl.add_net("a"), y = nl.add_net("y");
+  nl.add_device(pmos, {y, a, vdd}, "mp_ok");
+  nl.add_device(nmos, {y, a, gnd}, "mn_ok");
+  // Crowbar: nmos straight across the rails.
+  NetId g = nl.add_net("g");
+  nl.add_device(nmos, {vdd, g, gnd}, "mn_crowbar");
+  // Always-on pass transistor.
+  NetId p = nl.add_net("p"), q = nl.add_net("q");
+  nl.add_device(nmos, {p, vdd, q}, "mn_alwayson");
+  return nl;
+}
+
+TEST(RuleCheck, FlagsKnownBadConstructs) {
+  CheckReport report = check(troubled_design(), builtin_rules());
+  EXPECT_EQ(report.rules_checked, 4u);
+  ASSERT_EQ(report.violations.size(), 2u);
+  EXPECT_EQ(report.errors, 1u);
+  EXPECT_EQ(report.warnings, 1u);
+
+  bool saw_crowbar = false, saw_always_on = false;
+  for (const Violation& v : report.violations) {
+    if (v.rule == "crowbar-nmos") {
+      saw_crowbar = true;
+      ASSERT_EQ(v.devices.size(), 1u);
+      EXPECT_EQ(v.devices[0], "mn_crowbar");
+    }
+    if (v.rule == "nmos-gate-tied-high") {
+      saw_always_on = true;
+      ASSERT_EQ(v.devices.size(), 1u);
+      EXPECT_EQ(v.devices[0], "mn_alwayson");
+    }
+  }
+  EXPECT_TRUE(saw_crowbar);
+  EXPECT_TRUE(saw_always_on);
+}
+
+TEST(RuleCheck, FourPinCatalogSupported) {
+  auto cat = DeviceCatalog::cmos();
+  DeviceTypeId nmos = cat->require("nmos");
+  Netlist nl(cat, "dut4");
+  NetId vdd = nl.add_net("vdd"), gnd = nl.add_net("gnd");
+  nl.mark_global(vdd);
+  nl.mark_global(gnd);
+  NetId g = nl.add_net("g");
+  nl.add_device(nmos, {vdd, g, gnd, gnd}, "mn_crowbar");
+
+  CheckReport report = check(nl, builtin_rules(cat));
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].rule, "crowbar-nmos");
+  EXPECT_EQ(report.violations[0].devices[0], "mn_crowbar");
+}
+
+TEST(RuleCheck, CleanDesignPasses) {
+  auto cat = DeviceCatalog::cmos3();
+  DeviceTypeId nmos = cat->require("nmos"), pmos = cat->require("pmos");
+  Netlist nl(cat, "clean");
+  NetId vdd = nl.add_net("vdd"), gnd = nl.add_net("gnd");
+  nl.mark_global(vdd);
+  nl.mark_global(gnd);
+  NetId a = nl.add_net("a"), y = nl.add_net("y");
+  nl.add_device(pmos, {y, a, vdd});
+  nl.add_device(nmos, {y, a, gnd});
+  CheckReport report = check(nl, builtin_rules());
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.errors, 0u);
+}
+
+TEST(RuleCheck, UserDefinedRule) {
+  // Rules are just pattern circuits: flag any transmission gate whose both
+  // control nets are the same (en == enb means it is a plain resistor).
+  auto cat = DeviceCatalog::cmos3();
+  DeviceTypeId nmos = cat->require("nmos"), pmos = cat->require("pmos");
+  Netlist pat(cat, "degenerate_tgate");
+  NetId x = pat.add_net("x"), y = pat.add_net("y"), c = pat.add_net("c");
+  pat.add_device(nmos, {x, c, y});
+  pat.add_device(pmos, {x, c, y});
+  pat.mark_port(x);
+  pat.mark_port(y);
+  pat.mark_port(c);
+  Rule rule{"degenerate-tgate", "tgate with tied controls never isolates",
+            Severity::kError, std::move(pat)};
+
+  Netlist design(cat, "dut");
+  NetId dx = design.add_net("dx"), dy = design.add_net("dy"),
+        dc = design.add_net("dc"), dcb = design.add_net("dcb");
+  // Proper tgate (distinct controls) — fine.
+  design.add_device(nmos, {dx, dc, dy}, "good_n");
+  design.add_device(pmos, {dx, dcb, dy}, "good_p");
+  // Degenerate tgate.
+  NetId ex = design.add_net("ex"), ey = design.add_net("ey"),
+        ec = design.add_net("ec");
+  design.add_device(nmos, {ex, ec, ey}, "bad_n");
+  design.add_device(pmos, {ex, ec, ey}, "bad_p");
+
+  std::vector<Rule> rules;
+  rules.push_back(std::move(rule));
+  CheckReport report = check(design, rules);
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].devices.size(), 2u);
+  EXPECT_EQ(report.errors, 1u);
+}
+
+}  // namespace
+}  // namespace subg::rulecheck

@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include "benchfmt/benchfmt.hpp"
+#include "cells/cells.hpp"
+#include "extract/extract.hpp"
+#include "gen/generators.hpp"
+#include "sim/sim.hpp"
+#include "util/check.hpp"
+
+namespace subg::sim {
+namespace {
+
+using cells::CellLibrary;
+
+V solve_one(const Simulator& s, std::map<std::string, V> in,
+            const std::string& out) {
+  SolveResult r = s.solve(in);
+  EXPECT_TRUE(r.converged);
+  return r.value(*s.netlist().find_net(out));
+}
+
+TEST(Sim, TransistorInverterTruthTable) {
+  CellLibrary lib;
+  Netlist inv = lib.pattern("inv");
+  Simulator s(inv);
+  EXPECT_EQ(solve_one(s, {{"a", V::k0}}, "y"), V::k1);
+  EXPECT_EQ(solve_one(s, {{"a", V::k1}}, "y"), V::k0);
+  EXPECT_EQ(solve_one(s, {{"a", V::kX}}, "y"), V::kX);
+}
+
+TEST(Sim, TransistorNandTruthTable) {
+  CellLibrary lib;
+  Netlist nand2 = lib.pattern("nand2");
+  Simulator s(nand2);
+  auto y = [&](V a, V b) {
+    return solve_one(s, {{"a0", a}, {"a1", b}}, "y");
+  };
+  EXPECT_EQ(y(V::k0, V::k0), V::k1);
+  EXPECT_EQ(y(V::k0, V::k1), V::k1);
+  EXPECT_EQ(y(V::k1, V::k0), V::k1);
+  EXPECT_EQ(y(V::k1, V::k1), V::k0);
+  // One X input: output known only when the other input is 0.
+  EXPECT_EQ(y(V::k0, V::kX), V::k1);
+  EXPECT_EQ(y(V::kX, V::k1), V::kX);
+}
+
+TEST(Sim, TransistorXorThroughInternalInverters) {
+  CellLibrary lib;
+  Netlist xor2 = lib.pattern("xor2");
+  Simulator s(xor2);
+  auto y = [&](V a, V b) { return solve_one(s, {{"a", a}, {"b", b}}, "y"); };
+  EXPECT_EQ(y(V::k0, V::k0), V::k0);
+  EXPECT_EQ(y(V::k0, V::k1), V::k1);
+  EXPECT_EQ(y(V::k1, V::k0), V::k1);
+  EXPECT_EQ(y(V::k1, V::k1), V::k0);
+}
+
+TEST(Sim, FloatingAndUndriven) {
+  CellLibrary lib;
+  Netlist inv = lib.pattern("inv");
+  Simulator s(inv);
+  // No input at all: gate floats (Z) → both transistors maybe → output X.
+  SolveResult r = s.solve({});
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.value(*inv.find_net("y")), V::kX);
+  EXPECT_EQ(r.value(*inv.find_net("a")), V::kZ);
+}
+
+TEST(Sim, CrowbarResolvesToX) {
+  auto cat = DeviceCatalog::cmos3();
+  Netlist nl(cat, "crowbar");
+  NetId vdd = nl.add_net("vdd"), gnd = nl.add_net("gnd"), g = nl.add_net("g");
+  nl.add_device(cat->require("nmos"), {vdd, g, gnd});
+  Simulator s(nl);
+  SolveResult r = s.solve({{"g", V::k1}});
+  // Rails stay fixed, but a probe net shorted to both would be X; here the
+  // conducting group contains both rails: every non-fixed member is X.
+  // Add a probe:
+  Netlist nl2(cat, "crowbar2");
+  NetId v2 = nl2.add_net("vdd"), g2n = nl2.add_net("gnd"), gg = nl2.add_net("g");
+  NetId probe = nl2.add_net("probe");
+  nl2.add_device(cat->require("nmos"), {v2, gg, probe});
+  nl2.add_device(cat->require("nmos"), {probe, gg, g2n});
+  Simulator s2(nl2);
+  SolveResult r2 = s2.solve({{"g", V::k1}});
+  EXPECT_EQ(r2.value(probe), V::kX);
+  (void)r;
+}
+
+TEST(Sim, GateLevelAdderArithmetic) {
+  // Gate-level fulladder cell: s = a^b^cin, cout = majority.
+  CellLibrary lib;
+  std::vector<extract::LibraryCell> cells;
+  cells.push_back(extract::LibraryCell{"fulladder", lib.pattern("fulladder")});
+  auto cat = extract::extended_catalog(*DeviceCatalog::cmos(), cells);
+  Netlist gates(cat, "fa");
+  NetId a = gates.add_net("a"), b = gates.add_net("b"), cin = gates.add_net("cin");
+  NetId sum = gates.add_net("s"), cout = gates.add_net("cout");
+  gates.add_device(cat->require("fulladder"), {a, b, cin, sum, cout});
+  Simulator s(gates);
+  for (int v = 0; v < 8; ++v) {
+    const V va = (v & 1) ? V::k1 : V::k0;
+    const V vb = (v & 2) ? V::k1 : V::k0;
+    const V vc = (v & 4) ? V::k1 : V::k0;
+    SolveResult r = s.solve({{"a", va}, {"b", vb}, {"cin", vc}});
+    const int total = (v & 1) + ((v >> 1) & 1) + ((v >> 2) & 1);
+    EXPECT_EQ(r.value(sum), (total & 1) ? V::k1 : V::k0) << v;
+    EXPECT_EQ(r.value(cout), (total >= 2) ? V::k1 : V::k0) << v;
+  }
+}
+
+TEST(Sim, TransistorAdderComputesArithmetic) {
+  gen::Generated rca = gen::ripple_carry_adder(4);
+  Simulator s(rca.netlist);
+  for (std::uint32_t a = 0; a < 16; a += 3) {
+    for (std::uint32_t b = 0; b < 16; b += 5) {
+      std::map<std::string, V> in;
+      for (int i = 0; i < 4; ++i) {
+        in["a" + std::to_string(i)] = ((a >> i) & 1) ? V::k1 : V::k0;
+        in["b" + std::to_string(i)] = ((b >> i) & 1) ? V::k1 : V::k0;
+      }
+      in["cin"] = V::k0;
+      SolveResult r = s.solve(in);
+      ASSERT_TRUE(r.converged);
+      std::uint32_t got = 0;
+      for (int i = 0; i < 4; ++i) {
+        V v = r.value(*rca.netlist.find_net("s" + std::to_string(i)));
+        ASSERT_TRUE(v == V::k0 || v == V::k1);
+        if (v == V::k1) got |= 1u << i;
+      }
+      if (r.value(*rca.netlist.find_net("cout")) == V::k1) got |= 16;
+      EXPECT_EQ(got, a + b) << a << "+" << b;
+    }
+  }
+}
+
+TEST(Sim, ExtractionIsFunctionallyEquivalent) {
+  // The headline: transistors vs SubGemini-extracted gates compute the same
+  // function, exhaustively over all 2^9 input vectors.
+  gen::Generated rca = gen::ripple_carry_adder(4);
+  CellLibrary lib;
+  std::vector<extract::LibraryCell> cells;
+  cells.push_back(extract::LibraryCell{"fulladder", lib.pattern("fulladder")});
+  extract::ExtractResult gates = extract::extract_gates(rca.netlist, cells);
+  ASSERT_EQ(gates.report.unextracted_primitives, 0u);
+
+  std::vector<std::string> inputs = {"cin"};
+  std::vector<std::string> outputs = {"cout"};
+  for (int i = 0; i < 4; ++i) {
+    inputs.push_back("a" + std::to_string(i));
+    inputs.push_back("b" + std::to_string(i));
+    outputs.push_back("s" + std::to_string(i));
+  }
+  EquivalenceResult r =
+      check_equivalence(rca.netlist, gates.netlist, inputs, outputs);
+  EXPECT_TRUE(r.equivalent) << r.counterexample;
+  EXPECT_EQ(r.vectors_checked, 512u);
+  EXPECT_EQ(r.inconclusive, 0u);
+}
+
+TEST(Sim, C17TransistorsMatchGateEquations) {
+  benchfmt::BenchCircuit c17 = benchfmt::read_string(benchfmt::c17_text());
+  CellLibrary lib;
+  std::vector<extract::LibraryCell> cells;
+  cells.push_back(extract::LibraryCell{"nand2", lib.pattern("nand2")});
+  extract::ExtractResult gates = extract::extract_gates(c17.transistors, cells);
+
+  std::vector<std::string> outputs = c17.outputs;
+  EquivalenceResult r = check_equivalence(c17.transistors, gates.netlist,
+                                          c17.inputs, outputs);
+  EXPECT_TRUE(r.equivalent) << r.counterexample;
+  EXPECT_EQ(r.vectors_checked, 32u);
+  EXPECT_EQ(r.inconclusive, 0u);
+}
+
+TEST(Sim, EquivalenceCatchesAPlantedBug) {
+  gen::Generated good = gen::c17();
+  // Bad copy: one nand input rewired (same edit as the LVS test).
+  Netlist bad(good.netlist.catalog_ptr(), "bad");
+  for (std::uint32_t n = 0; n < good.netlist.net_count(); ++n) {
+    const NetId id(n);
+    NetId nn = bad.add_net(good.netlist.net_name(id));
+    if (good.netlist.is_global(id)) bad.mark_global(nn);
+  }
+  for (std::uint32_t d = 0; d < good.netlist.device_count(); ++d) {
+    const DeviceId id(d);
+    std::vector<NetId> pins;
+    for (NetId pn : good.netlist.device_pins(id)) pins.push_back(NetId(pn.value));
+    // Gate 4 (devices 16..19) gets its a0 input moved from N10 to N7 on
+    // BOTH the pullup (16) and the stack nmos (18): still clean CMOS, but
+    // output 22 now computes NAND(N7, N16) — a definite functional bug.
+    if (d == 16 || d == 18) {
+      ASSERT_EQ(good.netlist.net_name(pins[1]), "N10");
+      pins[1] = *bad.find_net("N7");
+    }
+    bad.add_device(good.netlist.device_type(id), pins);
+  }
+  std::vector<std::string> inputs = {"N1", "N2", "N3", "N6", "N7"};
+  std::vector<std::string> outputs = {"N22", "N23"};
+  EquivalenceResult r = check_equivalence(good.netlist, bad, inputs, outputs);
+  EXPECT_FALSE(r.equivalent);
+  EXPECT_FALSE(r.counterexample.empty());
+}
+
+TEST(Sim, RejectsSequentialCells) {
+  CellLibrary lib;
+  std::vector<extract::LibraryCell> cells;
+  cells.push_back(extract::LibraryCell{"dff", lib.pattern("dff")});
+  auto cat = extract::extended_catalog(*DeviceCatalog::cmos(), cells);
+  Netlist gates(cat, "seq");
+  NetId d = gates.add_net("d"), clk = gates.add_net("clk"), q = gates.add_net("q");
+  gates.add_device(cat->require("dff"), {d, clk, q});
+  EXPECT_THROW(Simulator s(gates), Error);
+}
+
+}  // namespace
+}  // namespace subg::sim

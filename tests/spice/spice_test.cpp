@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "gemini/gemini.hpp"
+#include "match/matcher.hpp"
+#include "spice/spice.hpp"
+#include "util/check.hpp"
+
+namespace subg::spice {
+namespace {
+
+constexpr const char* kInverterDeck = R"(
+* a CMOS inverter pattern
+.global vdd gnd
+.subckt inv a y
+mp1 y a vdd vdd pmos W=2u L=0.1u
+mn1 y a gnd gnd nmos W=1u L=0.1u
+.ends inv
+
+* main circuit: two inverters back to back
+x0 in mid inv
+x1 mid out inv
+.end
+)";
+
+TEST(Spice, ParsesHierarchyAndGlobals) {
+  Design d = read_string(kInverterDeck);
+  ASSERT_TRUE(d.find_module("inv").has_value());
+  ASSERT_TRUE(d.find_module("main").has_value());
+  EXPECT_TRUE(d.is_global_name("vdd"));
+  EXPECT_TRUE(d.is_global_name("gnd"));
+  EXPECT_EQ(d.flattened_device_count("main"), 4u);
+
+  Netlist flat = d.flatten("main");
+  flat.validate();
+  EXPECT_EQ(flat.device_count(), 4u);
+  EXPECT_TRUE(flat.find_net("mid").has_value());
+  EXPECT_TRUE(flat.is_global(*flat.find_net("vdd")));
+  // Pattern from the subckt: ports marked.
+  Netlist pattern = d.flatten("inv");
+  ASSERT_EQ(pattern.ports().size(), 2u);
+  EXPECT_EQ(pattern.net_name(pattern.ports()[0]), "a");
+}
+
+TEST(Spice, EndToEndMatchFromDecks) {
+  Design d = read_string(kInverterDeck);
+  Netlist pattern = d.flatten("inv");
+  Netlist host = d.flatten("main");
+  SubgraphMatcher matcher(pattern, host);
+  EXPECT_EQ(matcher.find_all().count(), 2u);
+}
+
+TEST(Spice, ContinuationAndComments) {
+  const char* deck = R"(
+* leading comment
+m1 drain gate
++ source bulk
++ nmos W=1u $ trailing comment
+; another comment style
+.end
+)";
+  Design d = read_string(deck);
+  Netlist flat = d.flatten("main");
+  EXPECT_EQ(flat.device_count(), 1u);
+  DeviceId dev(0);
+  EXPECT_EQ(flat.device_type_info(dev).name, "nmos");
+  EXPECT_EQ(flat.net_name(flat.device_pins(dev)[0]), "drain");
+  EXPECT_EQ(flat.net_name(flat.device_pins(dev)[3]), "bulk");
+}
+
+TEST(Spice, CaseInsensitive) {
+  const char* deck = R"(
+.GLOBAL VDD
+M1 Y A VDD VDD PMOS
+.END
+)";
+  Netlist flat = read_flat(deck);
+  EXPECT_EQ(flat.device_count(), 1u);
+  EXPECT_TRUE(flat.find_net("vdd").has_value());
+  EXPECT_TRUE(flat.is_global(*flat.find_net("vdd")));
+  EXPECT_EQ(flat.device_type_info(DeviceId(0)).name, "pmos");
+}
+
+TEST(Spice, PassiveAndDiodeCards) {
+  const char* deck = R"(
+r1 a b 10k
+c1 b gnd 1p
+d1 b gnd dmod
+.end
+)";
+  Netlist flat = read_flat(deck);
+  EXPECT_EQ(flat.device_count(), 3u);
+  EXPECT_EQ(flat.device_type_info(DeviceId(0)).name, "res");
+  EXPECT_EQ(flat.device_type_info(DeviceId(1)).name, "cap");
+  EXPECT_EQ(flat.device_type_info(DeviceId(2)).name, "diode");
+}
+
+TEST(Spice, MosModelResolution) {
+  const char* deck = R"(
+m1 d1 g1 s1 b1 nch
+m2 d2 g2 s2 b2 pch
+m3 d3 g3 s3 b3 nmos
+.end
+)";
+  Netlist flat = read_flat(deck);
+  EXPECT_EQ(flat.device_type_info(DeviceId(0)).name, "nmos");
+  EXPECT_EQ(flat.device_type_info(DeviceId(1)).name, "pmos");
+  EXPECT_EQ(flat.device_type_info(DeviceId(2)).name, "nmos");
+}
+
+TEST(Spice, ThreePinCatalog) {
+  ReadOptions opts;
+  opts.catalog = DeviceCatalog::cmos3();
+  const char* deck = "m1 d g s nmos\n.end\n";
+  Netlist flat = read_flat(deck, opts);
+  EXPECT_EQ(flat.device_count(), 1u);
+  EXPECT_EQ(flat.device_pins(DeviceId(0)).size(), 3u);
+}
+
+TEST(Spice, ErrorsCarryLineNumbers) {
+  EXPECT_THROW(read_string("q1 a b c npn\n"), Error);        // unsupported card
+  EXPECT_THROW(read_string("m1 d g s b\n"), Error);          // missing model
+  EXPECT_THROW(read_string(".subckt foo a\nm1 d g s b nmos\n"), Error);  // no .ends
+  EXPECT_THROW(read_string(".ends\n"), Error);               // stray .ends
+  EXPECT_THROW(read_string("x1 a b nosuch\n"), Error);       // unknown target
+  try {
+    static_cast<void>(read_string("r1 a\n"));
+    FAIL() << "expected error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 1"), std::string::npos);
+  }
+}
+
+TEST(Spice, WriterRoundTripIsIsomorphic) {
+  Design d = read_string(kInverterDeck);
+  Netlist original = d.flatten("main");
+  std::string text = write_string(original);
+  Netlist reparsed = read_flat(text);
+  CompareResult r = compare_netlists(original, reparsed);
+  EXPECT_TRUE(r.isomorphic) << r.reason << "\n" << text;
+}
+
+TEST(Spice, WriterEmitsSubcktForPatterns) {
+  Design d = read_string(kInverterDeck);
+  Netlist pattern = d.flatten("inv");
+  std::string text = write_string(pattern);
+  EXPECT_NE(text.find(".subckt inv a y"), std::string::npos);
+  EXPECT_NE(text.find(".global"), std::string::npos);
+  EXPECT_NE(text.find(".ends"), std::string::npos);
+
+  // And it reads back as an equivalent pattern.
+  Design d2 = read_string(text);
+  Netlist pattern2 = d2.flatten("inv");
+  CompareResult r = compare_netlists(pattern, pattern2);
+  EXPECT_TRUE(r.isomorphic) << r.reason;
+}
+
+}  // namespace
+}  // namespace subg::spice

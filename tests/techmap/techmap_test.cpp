@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "cells/cells.hpp"
+#include "gen/generators.hpp"
+#include "techmap/techmap.hpp"
+
+namespace subg::techmap {
+namespace {
+
+using cells::CellLibrary;
+
+std::vector<MapCell> make_library(
+    std::initializer_list<std::pair<const char*, double>> cells) {
+  CellLibrary lib;
+  std::vector<MapCell> out;
+  for (auto [name, cost] : cells) {
+    out.push_back(MapCell{name, lib.pattern(name), cost});
+  }
+  return out;
+}
+
+TEST(Techmap, CoversC17WithNands) {
+  gen::Generated g = gen::c17();
+  auto lib = make_library({{"nand2", 1.0}});
+  MapResult r = map(g.netlist, lib);
+  EXPECT_TRUE(r.complete());
+  EXPECT_EQ(r.chosen.size(), 6u);
+  EXPECT_DOUBLE_EQ(r.total_cost, 6.0);
+  EXPECT_TRUE(r.optimal);
+}
+
+TEST(Techmap, PrefersCheaperCover) {
+  // Full adder subject. Library: fulladder (cost 5) vs {xor2 (cost 3),
+  // nand2 (cost 1)}. Covering with the single fulladder costs 5; the
+  // decomposition costs 2*3 + 3*1 = 9 — the mapper must take the FA.
+  CellLibrary cl;
+  Netlist subject = cl.pattern("fulladder");
+  auto lib = make_library({{"fulladder", 5.0}, {"xor2", 3.0}, {"nand2", 1.0}});
+  MapResult r = map(subject, lib);
+  ASSERT_TRUE(r.complete());
+  ASSERT_EQ(r.chosen.size(), 1u);
+  EXPECT_EQ(lib[r.chosen[0].cell].name, "fulladder");
+  EXPECT_DOUBLE_EQ(r.total_cost, 5.0);
+}
+
+TEST(Techmap, PrefersDecompositionWhenCheaper) {
+  // Same subject, but the fulladder macro is overpriced.
+  CellLibrary cl;
+  Netlist subject = cl.pattern("fulladder");
+  auto lib = make_library({{"fulladder", 100.0}, {"xor2", 3.0}, {"nand2", 1.0}});
+  MapResult r = map(subject, lib);
+  ASSERT_TRUE(r.complete());
+  EXPECT_EQ(r.chosen.size(), 5u);  // 2 xor2 + 3 nand2
+  EXPECT_DOUBLE_EQ(r.total_cost, 9.0);
+}
+
+TEST(Techmap, CoverageBeatsCost) {
+  // A NAND2 subject with library {inv} only: inverters cannot cover a NAND
+  // (wrong structure), so the mapping is incomplete — and reported so.
+  CellLibrary cl;
+  Netlist subject = cl.pattern("nand2");
+  auto lib = make_library({{"inv", 1.0}});
+  MapResult r = map(subject, lib);
+  EXPECT_FALSE(r.complete());
+  EXPECT_EQ(r.uncovered_devices, 4u);
+  EXPECT_TRUE(r.chosen.empty());
+}
+
+TEST(Techmap, OverlappingChoicesResolvedExactly) {
+  // Chain of 3 pass transistors; pattern library: the 2-chain (cost 3) and
+  // the single device (cost 2). Best cover: one 2-chain + one single
+  // (cost 5), not three singles (cost 6). The 2-chain instances overlap on
+  // the middle device, so this exercises the exact cluster solver.
+  auto cat = DeviceCatalog::cmos3();
+  DeviceTypeId nmos = cat->require("nmos");
+  Netlist subject(cat, "chain3");
+  NetId n0 = subject.add_net("n0"), n1 = subject.add_net("n1"),
+        n2 = subject.add_net("n2"), n3 = subject.add_net("n3");
+  NetId g1 = subject.add_net("g1"), g2 = subject.add_net("g2"),
+        g3 = subject.add_net("g3");
+  subject.add_device(nmos, {n0, g1, n1});
+  subject.add_device(nmos, {n1, g2, n2});
+  subject.add_device(nmos, {n2, g3, n3});
+
+  Netlist two(cat, "pass2");
+  {
+    NetId a = two.add_net("a"), m = two.add_net("m"), b = two.add_net("b");
+    NetId ga = two.add_net("ga"), gb = two.add_net("gb");
+    two.add_device(nmos, {a, ga, m});
+    two.add_device(nmos, {m, gb, b});
+    for (NetId p : {a, b, ga, gb}) two.mark_port(p);
+  }
+  Netlist one(cat, "pass1");
+  {
+    NetId a = one.add_net("a"), b = one.add_net("b"), g = one.add_net("g");
+    one.add_device(nmos, {a, g, b});
+    for (NetId p : {a, b, g}) one.mark_port(p);
+  }
+  std::vector<MapCell> lib;
+  lib.push_back(MapCell{"pass2", std::move(two), 3.0});
+  lib.push_back(MapCell{"pass1", std::move(one), 2.0});
+
+  MapResult r = map(subject, lib);
+  ASSERT_TRUE(r.complete());
+  EXPECT_TRUE(r.optimal);
+  EXPECT_DOUBLE_EQ(r.total_cost, 5.0);
+  EXPECT_EQ(r.chosen.size(), 2u);
+}
+
+TEST(Techmap, AdderMapsToFullAdders) {
+  gen::Generated g = gen::ripple_carry_adder(6);
+  auto lib = make_library({{"fulladder", 10.0}, {"xor2", 4.0}, {"nand2", 2.0},
+                           {"inv", 1.0}});
+  MapResult r = map(g.netlist, lib);
+  ASSERT_TRUE(r.complete());
+  // 6 FAs at cost 10 beats any decomposition (2*4 + 3*2 = 14 each).
+  EXPECT_EQ(r.chosen.size(), 6u);
+  EXPECT_DOUBLE_EQ(r.total_cost, 60.0);
+}
+
+TEST(Techmap, DefaultCostIsDeviceCount) {
+  gen::Generated g = gen::c17();
+  CellLibrary cl;
+  std::vector<MapCell> lib;
+  lib.push_back(MapCell{"nand2", cl.pattern("nand2")});  // cost unset
+  MapResult r = map(g.netlist, lib);
+  EXPECT_TRUE(r.complete());
+  EXPECT_DOUBLE_EQ(r.total_cost, 6.0 * 4.0);
+}
+
+}  // namespace
+}  // namespace subg::techmap

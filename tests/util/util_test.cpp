@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace subg {
+namespace {
+
+TEST(SplitMix64, DeterministicAcrossInstances) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(SplitMix64, BelowStaysInRange) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(SplitMix64, BelowCoversRange) {
+  SplitMix64 rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Xoshiro256, UniformInUnitInterval) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro256, ChanceExtremes) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Hash, StringHashNonZeroAndStable) {
+  EXPECT_NE(hash_string("nmos"), kNoLabel);
+  EXPECT_EQ(hash_string("nmos"), hash_string("nmos"));
+  EXPECT_NE(hash_string("nmos"), hash_string("pmos"));
+  EXPECT_NE(hash_string(""), kNoLabel);
+}
+
+TEST(Hash, DegreeLabelsDistinct) {
+  std::set<Label> labels;
+  for (std::size_t d = 0; d < 100; ++d) labels.insert(degree_label(d));
+  EXPECT_EQ(labels.size(), 100u);
+}
+
+TEST(Hash, ClassCoefficientsDependOnTypeAndClass) {
+  Label t1 = hash_string("nmos"), t2 = hash_string("pmos");
+  EXPECT_NE(class_coefficient(t1, 0), class_coefficient(t1, 1));
+  EXPECT_NE(class_coefficient(t1, 0), class_coefficient(t2, 0));
+}
+
+TEST(Hash, EdgeContributionCommutativeSum) {
+  // The relabeling sum must not depend on neighbor order.
+  Label c1 = class_coefficient(hash_string("nmos"), 0);
+  Label c2 = class_coefficient(hash_string("nmos"), 1);
+  Label l1 = hash_string("x"), l2 = hash_string("y");
+  Label sum_ab = edge_contribution(c1, l1) + edge_contribution(c2, l2);
+  Label sum_ba = edge_contribution(c2, l2) + edge_contribution(c1, l1);
+  EXPECT_EQ(sum_ab, sum_ba);
+}
+
+TEST(Hash, RelabelNeverReturnsNoLabel) {
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    EXPECT_NE(relabel(i, splitmix64_mix(i)), kNoLabel);
+  }
+}
+
+TEST(Strings, SplitWs) {
+  auto parts = split_ws("  a bb\tccc \n");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "bb");
+  EXPECT_EQ(parts[2], "ccc");
+  EXPECT_TRUE(split_ws("   ").empty());
+}
+
+TEST(Strings, SplitChar) {
+  auto parts = split_char("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Strings, CaseHelpers) {
+  EXPECT_EQ(to_lower("AbC"), "abc");
+  EXPECT_EQ(to_upper("AbC"), "ABC");
+  EXPECT_TRUE(equals_icase("VDD", "vdd"));
+  EXPECT_FALSE(equals_icase("vdd", "vd"));
+  EXPECT_TRUE(starts_with_icase(".SUBCKT inv", ".subckt"));
+  EXPECT_FALSE(starts_with_icase(".SUB", ".subckt"));
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x y \t"), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, Formatting) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(1234567), "1,234,567");
+  EXPECT_EQ(with_commas(-1234), "-1,234");
+  EXPECT_EQ(with_commas(999), "999");
+}
+
+}  // namespace
+}  // namespace subg

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "cells/cells.hpp"
+#include "extract/extract.hpp"
+#include "gemini/gemini.hpp"
+#include "gen/generators.hpp"
+#include "match/matcher.hpp"
+#include "util/check.hpp"
+#include "verilog/verilog.hpp"
+
+namespace subg::verilog {
+namespace {
+
+constexpr const char* kGateNetlist = R"(
+// two nands and an inverter
+module nand2 (a, b, y);
+  inout a, b, y;
+  (* subg_global *) wire vdd;
+  (* subg_global *) wire gnd;
+  pmos mp0 (.d(y), .g(a), .s(vdd), .b(vdd));
+  pmos mp1 (.d(y), .g(b), .s(vdd), .b(vdd));
+  nmos mn0 (.d(y), .g(a), .s(x), .b(gnd));
+  nmos mn1 (.d(x), .g(b), .s(gnd), .b(gnd));
+endmodule
+
+module top (in0, in1, in2, out);
+  inout in0, in1, in2, out;
+  (* subg_global *) wire vdd;
+  (* subg_global *) wire gnd;
+  wire n0; wire n1;
+  nand2 g0 (.a(in0), .b(in1), .y(n0));
+  nand2 g1 (.a(n0), .b(in2), .y(n1));
+  pmos mp (.d(out), .g(n1), .s(vdd), .b(vdd));
+  nmos mn (.d(out), .g(n1), .s(gnd), .b(gnd));
+endmodule
+)";
+
+TEST(Verilog, ParsesHierarchy) {
+  Design d = read_string(kGateNetlist);
+  ASSERT_TRUE(d.find_module("nand2").has_value());
+  ASSERT_TRUE(d.find_module("top").has_value());
+  EXPECT_TRUE(d.is_global_name("vdd"));
+  EXPECT_EQ(d.flattened_device_count("top"), 10u);
+  Netlist flat = d.flatten("top");
+  flat.validate();
+  ASSERT_EQ(flat.ports().size(), 4u);
+  EXPECT_TRUE(flat.find_device("g0/mn0").has_value());
+  EXPECT_TRUE(flat.find_net("g0/x").has_value());
+}
+
+TEST(Verilog, ReadFlatDefaultsToLastModule) {
+  Netlist flat = read_flat(kGateNetlist);
+  EXPECT_EQ(flat.name(), "top");
+  EXPECT_EQ(flat.device_count(), 10u);
+}
+
+TEST(Verilog, MatchAgainstParsedHost) {
+  Netlist host = read_flat(kGateNetlist);
+  cells::CellLibrary lib;
+  Netlist pattern = lib.pattern("nand2");
+  SubgraphMatcher matcher(pattern, host);
+  EXPECT_EQ(matcher.find_all().count(), 2u);
+}
+
+TEST(Verilog, PositionalConnections) {
+  const char* text = R"(
+module m (a, y);
+  inout a, y;
+  (* subg_global *) wire vdd;
+  (* subg_global *) wire gnd;
+  pmos p0 (y, a, vdd, vdd);
+  nmos n0 (y, a, gnd, gnd);
+endmodule
+)";
+  Netlist flat = read_flat(text);
+  EXPECT_EQ(flat.device_count(), 2u);
+  auto pins = flat.device_pins(*flat.find_device("p0"));
+  EXPECT_EQ(flat.net_name(pins[0]), "y");
+  EXPECT_EQ(flat.net_name(pins[1]), "a");
+  EXPECT_EQ(flat.net_name(pins[2]), "vdd");
+}
+
+TEST(Verilog, DefinitionOrderDoesNotMatter) {
+  // top defined before the module it instantiates.
+  const char* text = R"(
+module top (x, z);
+  inout x, z;
+  buf2 u0 (.i(x), .o(z));
+endmodule
+module buf2 (i, o);
+  inout i, o;
+  (* subg_global *) wire vdd;
+  (* subg_global *) wire gnd;
+  pmos p (.d(o), .g(i), .s(vdd), .b(vdd));
+  nmos n (.d(o), .g(i), .s(gnd), .b(gnd));
+endmodule
+)";
+  Netlist flat = read_flat(text, {}, "top");
+  EXPECT_EQ(flat.device_count(), 2u);
+}
+
+TEST(Verilog, SupplyNetsAreGlobals) {
+  const char* text = R"(
+module m (a, y);
+  inout a, y;
+  supply1 vdd;
+  supply0 gnd;
+  pmos p0 (.d(y), .g(a), .s(vdd), .b(vdd));
+  nmos n0 (.d(y), .g(a), .s(gnd), .b(gnd));
+endmodule
+)";
+  Netlist flat = read_flat(text);
+  EXPECT_TRUE(flat.is_global(*flat.find_net("vdd")));
+  EXPECT_TRUE(flat.is_global(*flat.find_net("gnd")));
+}
+
+TEST(Verilog, Errors) {
+  EXPECT_THROW(static_cast<void>(read_string("module m (a; endmodule")), Error);
+  EXPECT_THROW(static_cast<void>(read_string(
+                   "module m (a);\n inout a;\n nosuch u0 (.x(a));\nendmodule")),
+               Error);
+  EXPECT_THROW(static_cast<void>(read_string(
+                   "module m (a);\n inout a;\n nmos u0 (.q(a));\nendmodule")),
+               Error);
+  // Unconnected pin.
+  EXPECT_THROW(static_cast<void>(read_string(
+                   "module m (a);\n inout a;\n nmos u0 (.d(a));\nendmodule")),
+               Error);
+}
+
+TEST(Verilog, WriterRoundTripsGateLevelNetlists) {
+  // Extract a generated adder to gates, write Verilog, read it back with
+  // the extended catalog, and compare.
+  gen::Generated g = gen::ripple_carry_adder(3);
+  cells::CellLibrary lib;
+  std::vector<extract::LibraryCell> cells;
+  for (const char* c : {"xor2", "nand2"}) {
+    cells.push_back(extract::LibraryCell{c, lib.pattern(c)});
+  }
+  extract::ExtractResult result = extract::extract_gates(g.netlist, cells);
+  ASSERT_EQ(result.report.unextracted_primitives, 0u);
+
+  std::string text = write_string(result.netlist);
+  EXPECT_NE(text.find("xor2 "), std::string::npos);
+
+  ReadOptions opts;
+  opts.catalog = result.netlist.catalog_ptr();
+  Netlist back = read_flat(text, opts);
+  CompareResult cmp = compare_netlists(result.netlist, back);
+  EXPECT_TRUE(cmp.isomorphic) << cmp.reason << "\n" << text;
+}
+
+TEST(Verilog, WriterRoundTripsTransistorNetlists) {
+  gen::Generated g = gen::c17();
+  std::string text = write_string(g.netlist);
+  Netlist back = read_flat(text);
+  CompareResult cmp = compare_netlists(g.netlist, back);
+  EXPECT_TRUE(cmp.isomorphic) << cmp.reason;
+}
+
+TEST(Verilog, SanitizesAwkwardNames) {
+  auto cat = DeviceCatalog::cmos3();
+  Netlist nl(cat, "weird/name");
+  NetId a = nl.add_net("$n0"), y = nl.add_net("x0/y"), g = nl.add_net("1bad");
+  nl.add_device(cat->require("nmos"), {y, a, g}, "$d0");
+  std::string text = write_string(nl);
+  // Must parse back cleanly.
+  ReadOptions opts;
+  opts.catalog = cat;
+  Netlist back = read_flat(text, opts);
+  EXPECT_EQ(back.device_count(), 1u);
+  CompareResult cmp = compare_netlists(nl, back);
+  EXPECT_TRUE(cmp.isomorphic) << cmp.reason << "\n" << text;
+}
+
+}  // namespace
+}  // namespace subg::verilog

@@ -1,0 +1,261 @@
+// subgemini — command-line front end for the library.
+//
+//   subgemini find <pattern.sp> <host.sp> [pattern_top] [host_top]
+//       Find instances of a subcircuit. The pattern file's top is its
+//       first .SUBCKT unless named; the host top defaults to "main"
+//       (top-level cards).
+//   subgemini extract <library.sp> <host.sp> [host_top]
+//       Extract every .SUBCKT of the library deck from the host,
+//       largest-first; writes the gate-level netlist as SPICE to stdout.
+//   subgemini compare <a.sp> <b.sp> [a_top] [b_top]
+//       Gemini netlist isomorphism check (LVS-lite). Exit 0 iff isomorphic.
+//   subgemini check <host.sp> [host_top]
+//       Run the built-in circuit rule library. Exit 0 iff clean of errors.
+//   subgemini reduce <host.sp> [host_top]
+//       Series/parallel device reduction; writes SPICE to stdout.
+//   subgemini stats <host.sp> [host_top]
+//       Netlist statistics.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "benchfmt/benchfmt.hpp"
+#include "extract/extract.hpp"
+#include "gemini/gemini.hpp"
+#include "lvs/lvs.hpp"
+#include "match/matcher.hpp"
+#include "reduce/reduce.hpp"
+#include "rulecheck/rulecheck.hpp"
+#include "spice/spice.hpp"
+#include "util/check.hpp"
+#include "util/strings.hpp"
+#include "verilog/verilog.hpp"
+
+namespace {
+
+using namespace subg;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  subgemini find <pattern.sp> <host.sp> [pattern_top] [host_top]\n"
+      "  subgemini extract <library.sp> <host.sp> [host_top]\n"
+      "  subgemini compare <a.sp> <b.sp> [a_top] [b_top]\n"
+      "  subgemini lvs <layout.sp> <schematic.sp> [l_top] [s_top]\n"
+      "  subgemini check <host.sp> [host_top]\n"
+      "  subgemini reduce <host.sp> [host_top]\n"
+      "  subgemini stats <host.sp> [host_top]\n"
+      "\nInputs may be SPICE (.sp), structural Verilog (.v), or ISCAS "
+      "(.bench).\n");
+  return 64;
+}
+
+/// First .SUBCKT name of a design, or "main" when it only has top cards.
+std::string default_top(const Design& design, const std::string& requested) {
+  if (!requested.empty()) return requested;
+  // Module 0 is the implicit "main"; prefer the first explicit subckt with
+  // devices if main is empty.
+  if (design.module_count() > 1 &&
+      design.module(ModuleId(0)).device_count() == 0 &&
+      design.module(ModuleId(0)).instance_count() == 0) {
+    return design.module(ModuleId(1)).name();
+  }
+  return design.module(ModuleId(0)).name();
+}
+
+[[nodiscard]] bool is_verilog(const std::string& path) {
+  return ends_with_icase(path, ".v") || ends_with_icase(path, ".sv") ||
+         ends_with_icase(path, ".vh");
+}
+
+[[nodiscard]] bool is_bench(const std::string& path) {
+  return ends_with_icase(path, ".bench");
+}
+
+/// Load a netlist from SPICE, structural Verilog, or ISCAS .bench (by file
+/// extension; .bench expands to transistor level).
+Netlist load(const std::string& path, const std::string& top) {
+  if (is_bench(path)) {
+    return std::move(benchfmt::read_file(path).transistors);
+  }
+  if (is_verilog(path)) {
+    Design design = verilog::read_file(path);
+    // Verilog: prefer the last-defined module as top (conventional).
+    std::string chosen = top;
+    if (chosen.empty() && design.module_count() > 0) {
+      chosen =
+          design.module(ModuleId(static_cast<std::uint32_t>(
+                             design.module_count() - 1)))
+              .name();
+    }
+    return design.flatten(chosen);
+  }
+  Design design = spice::read_file(path);
+  return design.flatten(default_top(design, top));
+}
+
+/// Emit in the format matching the INPUT file the netlist came from.
+void emit(const std::string& like_path, const Netlist& netlist) {
+  if (is_verilog(like_path)) {
+    verilog::write(std::cout, netlist);
+  } else {
+    spice::write(std::cout, netlist);
+  }
+}
+
+int cmd_find(const std::vector<std::string>& args) {
+  if (args.size() < 2) return usage();
+  Netlist pattern = load(args[0], args.size() > 2 ? args[2] : "");
+  Netlist host = load(args[1], args.size() > 3 ? args[3] : "");
+
+  SubgraphMatcher matcher(pattern, host);
+  MatchReport report = matcher.find_all();
+  std::printf("# pattern %s (%zu devices), host %s (%zu devices)\n",
+              pattern.name().c_str(), pattern.device_count(),
+              host.name().c_str(), host.device_count());
+  std::printf("# candidates %zu, instances %zu, %.2f ms (phase I %.2f)\n",
+              report.phase1.candidates.size(), report.count(),
+              report.total_seconds() * 1e3, report.phase1_seconds * 1e3);
+  for (std::size_t i = 0; i < report.count(); ++i) {
+    const SubcircuitInstance& inst = report.instances[i];
+    std::printf("instance %zu:", i);
+    for (NetId port : pattern.ports()) {
+      std::printf(" %s=%s", pattern.net_name(port).c_str(),
+                  host.net_name(inst.net_image[port.index()]).c_str());
+    }
+    std::printf("\n  devices:");
+    for (std::uint32_t d = 0; d < inst.device_image.size(); ++d) {
+      std::printf(" %s", host.device_name(inst.device_image[d]).c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int cmd_extract(const std::vector<std::string>& args) {
+  if (args.size() < 2) return usage();
+  Design lib = is_verilog(args[0]) ? verilog::read_file(args[0])
+                                   : spice::read_file(args[0]);
+  Netlist host = load(args[1], args.size() > 2 ? args[2] : "");
+
+  std::vector<extract::LibraryCell> cells;
+  for (std::uint32_t m = 0; m < lib.module_count(); ++m) {
+    const Module& mod = lib.module(ModuleId(m));
+    if (mod.ports().empty() || (mod.device_count() == 0 &&
+                                mod.instance_count() == 0)) {
+      continue;  // the implicit 'main', or an empty stub
+    }
+    cells.push_back(extract::LibraryCell{mod.name(), lib.flatten(mod.name())});
+  }
+  SUBG_CHECK_MSG(!cells.empty(), "library deck has no usable .SUBCKT");
+
+  extract::ExtractResult result = extract::extract_gates(host, cells);
+  std::fprintf(stderr, "# %zu transistors -> %zu devices (%zu unextracted)\n",
+               result.report.devices_before, result.report.devices_after,
+               result.report.unextracted_primitives);
+  for (const auto& per : result.report.cells) {
+    if (per.instances) {
+      std::fprintf(stderr, "#   %-12s x %zu\n", per.cell.c_str(),
+                   per.instances);
+    }
+  }
+  emit(args[1], result.netlist);
+  return 0;
+}
+
+int cmd_compare(const std::vector<std::string>& args) {
+  if (args.size() < 2) return usage();
+  Netlist a = load(args[0], args.size() > 2 ? args[2] : "");
+  Netlist b = load(args[1], args.size() > 3 ? args[3] : "");
+  CompareResult r = compare_netlists(a, b);
+  if (r.isomorphic) {
+    std::printf("ISOMORPHIC (%zu refinement rounds, %zu individuations)\n",
+                r.rounds, r.individuations);
+    return 0;
+  }
+  std::printf("NOT ISOMORPHIC: %s\n", r.reason.c_str());
+  return 1;
+}
+
+int cmd_check(const std::vector<std::string>& args) {
+  if (args.size() < 1) return usage();
+  Netlist host = load(args[0], args.size() > 1 ? args[1] : "");
+  rulecheck::CheckReport report =
+      rulecheck::check(host, rulecheck::builtin_rules(host.catalog_ptr()));
+  std::printf("# %zu rules, %zu errors, %zu warnings\n", report.rules_checked,
+              report.errors, report.warnings);
+  for (const auto& v : report.violations) {
+    std::printf("%s %s:",
+                v.severity == rulecheck::Severity::kError ? "ERROR" : "WARN",
+                v.rule.c_str());
+    for (const auto& d : v.devices) std::printf(" %s", d.c_str());
+    std::printf("  (%s)\n", v.message.c_str());
+  }
+  return report.errors == 0 ? 0 : 1;
+}
+
+int cmd_reduce(const std::vector<std::string>& args) {
+  if (args.size() < 1) return usage();
+  Netlist host = load(args[0], args.size() > 1 ? args[1] : "");
+  reduce::Reduced r = reduce::reduce_netlist(host);
+  std::fprintf(stderr, "# %zu -> %zu devices\n", host.device_count(),
+               r.netlist.device_count());
+  emit(args[0], r.netlist);
+  return 0;
+}
+
+int cmd_lvs(const std::vector<std::string>& args) {
+  if (args.size() < 2) return usage();
+  Netlist left = load(args[0], args.size() > 2 ? args[2] : "");
+  Netlist right = load(args[1], args.size() > 3 ? args[3] : "");
+  lvs::LvsReport report = lvs::compare(left, right);
+  std::printf("%s\n", report.summary.c_str());
+  for (const lvs::Mismatch& m : report.mismatches) {
+    std::printf("mismatch (round %zu):\n  left :", m.round);
+    for (const auto& n : m.left) std::printf(" %s", n.c_str());
+    std::printf("\n  right:");
+    for (const auto& n : m.right) std::printf(" %s", n.c_str());
+    std::printf("\n");
+  }
+  return report.clean ? 0 : 1;
+}
+
+int cmd_stats(const std::vector<std::string>& args) {
+  if (args.size() < 1) return usage();
+  Netlist host = load(args[0], args.size() > 1 ? args[1] : "");
+  NetlistStats s = host.stats();
+  std::printf("netlist %s\n", host.name().c_str());
+  std::printf("  devices      %zu\n", s.device_count);
+  std::printf("  nets         %zu (%zu global)\n", s.net_count,
+              s.global_net_count);
+  std::printf("  pins         %zu\n", s.pin_count);
+  std::printf("  max degree   %zu\n", s.max_net_degree);
+  for (const auto& [type, count] : s.devices_by_type) {
+    std::printf("  %-12s %zu\n", type.c_str(), count);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  std::string cmd = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (cmd == "find") return cmd_find(args);
+    if (cmd == "extract") return cmd_extract(args);
+    if (cmd == "compare") return cmd_compare(args);
+    if (cmd == "lvs") return cmd_lvs(args);
+    if (cmd == "check") return cmd_check(args);
+    if (cmd == "reduce") return cmd_reduce(args);
+    if (cmd == "stats") return cmd_stats(args);
+  } catch (const subg::Error& e) {
+    std::fprintf(stderr, "subgemini: %s\n", e.what());
+    return 65;
+  }
+  return usage();
+}
