@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ambiguity.dir/bench_ambiguity.cpp.o"
+  "CMakeFiles/bench_ambiguity.dir/bench_ambiguity.cpp.o.d"
+  "bench_ambiguity"
+  "bench_ambiguity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ambiguity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

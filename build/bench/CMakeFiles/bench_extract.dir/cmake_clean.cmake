@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extract.dir/bench_extract.cpp.o"
+  "CMakeFiles/bench_extract.dir/bench_extract.cpp.o.d"
+  "bench_extract"
+  "bench_extract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

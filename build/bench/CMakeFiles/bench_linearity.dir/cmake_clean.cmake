@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_linearity.dir/bench_linearity.cpp.o"
+  "CMakeFiles/bench_linearity.dir/bench_linearity.cpp.o.d"
+  "bench_linearity"
+  "bench_linearity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_linearity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_phase1.dir/bench_phase1.cpp.o"
+  "CMakeFiles/bench_phase1.dir/bench_phase1.cpp.o.d"
+  "bench_phase1"
+  "bench_phase1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_phase1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

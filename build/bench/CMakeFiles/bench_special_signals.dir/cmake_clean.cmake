@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_special_signals.dir/bench_special_signals.cpp.o"
+  "CMakeFiles/bench_special_signals.dir/bench_special_signals.cpp.o.d"
+  "bench_special_signals"
+  "bench_special_signals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_special_signals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

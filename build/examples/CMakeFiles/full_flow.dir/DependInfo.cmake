@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/full_flow.cpp" "examples/CMakeFiles/full_flow.dir/full_flow.cpp.o" "gcc" "examples/CMakeFiles/full_flow.dir/full_flow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/benchfmt/CMakeFiles/subg_benchfmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/extract/CMakeFiles/subg_extract.dir/DependInfo.cmake"
+  "/root/repo/build/src/lvs/CMakeFiles/subg_lvs.dir/DependInfo.cmake"
+  "/root/repo/build/src/rulecheck/CMakeFiles/subg_rulecheck.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/subg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/verilog/CMakeFiles/subg_verilog.dir/DependInfo.cmake"
+  "/root/repo/build/src/cells/CMakeFiles/subg_cells.dir/DependInfo.cmake"
+  "/root/repo/build/src/gemini/CMakeFiles/subg_gemini.dir/DependInfo.cmake"
+  "/root/repo/build/src/reduce/CMakeFiles/subg_reduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/match/CMakeFiles/subg_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/subg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/subg_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/subg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gate_extraction.dir/gate_extraction.cpp.o"
+  "CMakeFiles/gate_extraction.dir/gate_extraction.cpp.o.d"
+  "gate_extraction"
+  "gate_extraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gate_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

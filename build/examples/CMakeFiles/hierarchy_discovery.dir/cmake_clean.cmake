@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hierarchy_discovery.dir/hierarchy_discovery.cpp.o"
+  "CMakeFiles/hierarchy_discovery.dir/hierarchy_discovery.cpp.o.d"
+  "hierarchy_discovery"
+  "hierarchy_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hierarchy_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

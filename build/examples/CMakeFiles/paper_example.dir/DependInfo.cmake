@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/paper_example.cpp" "examples/CMakeFiles/paper_example.dir/paper_example.cpp.o" "gcc" "examples/CMakeFiles/paper_example.dir/paper_example.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/match/CMakeFiles/subg_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/subg_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/subg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/subg_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/subg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_example.dir/paper_example.cpp.o"
+  "CMakeFiles/paper_example.dir/paper_example.cpp.o.d"
+  "paper_example"
+  "paper_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule_check.dir/rule_check.cpp.o"
+  "CMakeFiles/rule_check.dir/rule_check.cpp.o.d"
+  "rule_check"
+  "rule_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/technology_mapping.dir/technology_mapping.cpp.o"
+  "CMakeFiles/technology_mapping.dir/technology_mapping.cpp.o.d"
+  "technology_mapping"
+  "technology_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/technology_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

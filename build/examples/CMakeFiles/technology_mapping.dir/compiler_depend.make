@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for technology_mapping.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("netlist")
+subdirs("graph")
+subdirs("match")
+subdirs("baseline")
+subdirs("gemini")
+subdirs("lvs")
+subdirs("canon")
+subdirs("sim")
+subdirs("cells")
+subdirs("benchfmt")
+subdirs("gen")
+subdirs("reduce")
+subdirs("spice")
+subdirs("verilog")
+subdirs("extract")
+subdirs("techmap")
+subdirs("rulecheck")
+subdirs("report")

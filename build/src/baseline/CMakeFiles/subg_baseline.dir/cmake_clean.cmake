@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subg_baseline.dir/ullmann.cpp.o"
+  "CMakeFiles/subg_baseline.dir/ullmann.cpp.o.d"
+  "CMakeFiles/subg_baseline.dir/vf2.cpp.o"
+  "CMakeFiles/subg_baseline.dir/vf2.cpp.o.d"
+  "libsubg_baseline.a"
+  "libsubg_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subg_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subg_benchfmt.dir/benchfmt.cpp.o"
+  "CMakeFiles/subg_benchfmt.dir/benchfmt.cpp.o.d"
+  "libsubg_benchfmt.a"
+  "libsubg_benchfmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subg_benchfmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subg_canon.dir/canon.cpp.o"
+  "CMakeFiles/subg_canon.dir/canon.cpp.o.d"
+  "libsubg_canon.a"
+  "libsubg_canon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subg_canon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subg_cells.dir/cells.cpp.o"
+  "CMakeFiles/subg_cells.dir/cells.cpp.o.d"
+  "libsubg_cells.a"
+  "libsubg_cells.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subg_cells.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

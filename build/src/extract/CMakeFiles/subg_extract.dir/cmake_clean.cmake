@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subg_extract.dir/extract.cpp.o"
+  "CMakeFiles/subg_extract.dir/extract.cpp.o.d"
+  "libsubg_extract.a"
+  "libsubg_extract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subg_extract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for subg_extract.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subg_gemini.dir/gemini.cpp.o"
+  "CMakeFiles/subg_gemini.dir/gemini.cpp.o.d"
+  "libsubg_gemini.a"
+  "libsubg_gemini.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subg_gemini.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

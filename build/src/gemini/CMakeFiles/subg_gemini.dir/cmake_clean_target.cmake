@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsubg_gemini.a"
+)

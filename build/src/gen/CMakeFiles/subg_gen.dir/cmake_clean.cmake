@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subg_gen.dir/generators.cpp.o"
+  "CMakeFiles/subg_gen.dir/generators.cpp.o.d"
+  "libsubg_gen.a"
+  "libsubg_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subg_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

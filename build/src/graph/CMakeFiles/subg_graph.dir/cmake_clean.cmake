@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subg_graph.dir/circuit_graph.cpp.o"
+  "CMakeFiles/subg_graph.dir/circuit_graph.cpp.o.d"
+  "libsubg_graph.a"
+  "libsubg_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subg_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

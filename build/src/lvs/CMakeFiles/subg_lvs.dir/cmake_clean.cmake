@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subg_lvs.dir/lvs.cpp.o"
+  "CMakeFiles/subg_lvs.dir/lvs.cpp.o.d"
+  "libsubg_lvs.a"
+  "libsubg_lvs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subg_lvs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/match/host_labels.cpp" "src/match/CMakeFiles/subg_match.dir/host_labels.cpp.o" "gcc" "src/match/CMakeFiles/subg_match.dir/host_labels.cpp.o.d"
+  "/root/repo/src/match/matcher.cpp" "src/match/CMakeFiles/subg_match.dir/matcher.cpp.o" "gcc" "src/match/CMakeFiles/subg_match.dir/matcher.cpp.o.d"
+  "/root/repo/src/match/phase1.cpp" "src/match/CMakeFiles/subg_match.dir/phase1.cpp.o" "gcc" "src/match/CMakeFiles/subg_match.dir/phase1.cpp.o.d"
+  "/root/repo/src/match/phase2.cpp" "src/match/CMakeFiles/subg_match.dir/phase2.cpp.o" "gcc" "src/match/CMakeFiles/subg_match.dir/phase2.cpp.o.d"
+  "/root/repo/src/match/verify.cpp" "src/match/CMakeFiles/subg_match.dir/verify.cpp.o" "gcc" "src/match/CMakeFiles/subg_match.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/subg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/subg_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/subg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

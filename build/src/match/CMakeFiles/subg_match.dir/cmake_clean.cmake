@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subg_match.dir/host_labels.cpp.o"
+  "CMakeFiles/subg_match.dir/host_labels.cpp.o.d"
+  "CMakeFiles/subg_match.dir/matcher.cpp.o"
+  "CMakeFiles/subg_match.dir/matcher.cpp.o.d"
+  "CMakeFiles/subg_match.dir/phase1.cpp.o"
+  "CMakeFiles/subg_match.dir/phase1.cpp.o.d"
+  "CMakeFiles/subg_match.dir/phase2.cpp.o"
+  "CMakeFiles/subg_match.dir/phase2.cpp.o.d"
+  "CMakeFiles/subg_match.dir/verify.cpp.o"
+  "CMakeFiles/subg_match.dir/verify.cpp.o.d"
+  "libsubg_match.a"
+  "libsubg_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subg_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

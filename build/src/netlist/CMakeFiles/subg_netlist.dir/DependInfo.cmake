@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/catalog.cpp" "src/netlist/CMakeFiles/subg_netlist.dir/catalog.cpp.o" "gcc" "src/netlist/CMakeFiles/subg_netlist.dir/catalog.cpp.o.d"
+  "/root/repo/src/netlist/design.cpp" "src/netlist/CMakeFiles/subg_netlist.dir/design.cpp.o" "gcc" "src/netlist/CMakeFiles/subg_netlist.dir/design.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/netlist/CMakeFiles/subg_netlist.dir/netlist.cpp.o" "gcc" "src/netlist/CMakeFiles/subg_netlist.dir/netlist.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/subg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subg_netlist.dir/catalog.cpp.o"
+  "CMakeFiles/subg_netlist.dir/catalog.cpp.o.d"
+  "CMakeFiles/subg_netlist.dir/design.cpp.o"
+  "CMakeFiles/subg_netlist.dir/design.cpp.o.d"
+  "CMakeFiles/subg_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/subg_netlist.dir/netlist.cpp.o.d"
+  "libsubg_netlist.a"
+  "libsubg_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subg_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subg_reduce.dir/reduce.cpp.o"
+  "CMakeFiles/subg_reduce.dir/reduce.cpp.o.d"
+  "libsubg_reduce.a"
+  "libsubg_reduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subg_reduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

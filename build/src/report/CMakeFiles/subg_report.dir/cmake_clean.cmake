@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subg_report.dir/report.cpp.o"
+  "CMakeFiles/subg_report.dir/report.cpp.o.d"
+  "libsubg_report.a"
+  "libsubg_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subg_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

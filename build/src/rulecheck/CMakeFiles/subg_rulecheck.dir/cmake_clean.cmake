@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subg_rulecheck.dir/rulecheck.cpp.o"
+  "CMakeFiles/subg_rulecheck.dir/rulecheck.cpp.o.d"
+  "libsubg_rulecheck.a"
+  "libsubg_rulecheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subg_rulecheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subg_sim.dir/sim.cpp.o"
+  "CMakeFiles/subg_sim.dir/sim.cpp.o.d"
+  "libsubg_sim.a"
+  "libsubg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

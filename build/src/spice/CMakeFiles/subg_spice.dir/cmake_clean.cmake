@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subg_spice.dir/spice.cpp.o"
+  "CMakeFiles/subg_spice.dir/spice.cpp.o.d"
+  "libsubg_spice.a"
+  "libsubg_spice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subg_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

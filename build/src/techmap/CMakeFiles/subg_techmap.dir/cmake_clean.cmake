@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subg_techmap.dir/techmap.cpp.o"
+  "CMakeFiles/subg_techmap.dir/techmap.cpp.o.d"
+  "libsubg_techmap.a"
+  "libsubg_techmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subg_techmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

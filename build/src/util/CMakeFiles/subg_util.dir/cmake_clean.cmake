@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subg_util.dir/log.cpp.o"
+  "CMakeFiles/subg_util.dir/log.cpp.o.d"
+  "CMakeFiles/subg_util.dir/strings.cpp.o"
+  "CMakeFiles/subg_util.dir/strings.cpp.o.d"
+  "libsubg_util.a"
+  "libsubg_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subg_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

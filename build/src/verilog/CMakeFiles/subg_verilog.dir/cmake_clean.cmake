@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subg_verilog.dir/verilog.cpp.o"
+  "CMakeFiles/subg_verilog.dir/verilog.cpp.o.d"
+  "libsubg_verilog.a"
+  "libsubg_verilog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subg_verilog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

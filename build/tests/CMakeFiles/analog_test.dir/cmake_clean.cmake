@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analog_test.dir/match/analog_test.cpp.o"
+  "CMakeFiles/analog_test.dir/match/analog_test.cpp.o.d"
+  "analog_test"
+  "analog_test.pdb"
+  "analog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

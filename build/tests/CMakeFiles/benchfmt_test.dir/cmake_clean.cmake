@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benchfmt_test.dir/benchfmt/benchfmt_test.cpp.o"
+  "CMakeFiles/benchfmt_test.dir/benchfmt/benchfmt_test.cpp.o.d"
+  "benchfmt_test"
+  "benchfmt_test.pdb"
+  "benchfmt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benchfmt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canon_test.dir/canon/canon_test.cpp.o"
+  "CMakeFiles/canon_test.dir/canon/canon_test.cpp.o.d"
+  "canon_test"
+  "canon_test.pdb"
+  "canon_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

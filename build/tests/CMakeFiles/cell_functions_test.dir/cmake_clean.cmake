@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cell_functions_test.dir/sim/cell_functions_test.cpp.o"
+  "CMakeFiles/cell_functions_test.dir/sim/cell_functions_test.cpp.o.d"
+  "cell_functions_test"
+  "cell_functions_test.pdb"
+  "cell_functions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cell_functions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cells_test.dir/cells/cells_test.cpp.o"
+  "CMakeFiles/cells_test.dir/cells/cells_test.cpp.o.d"
+  "cells_test"
+  "cells_test.pdb"
+  "cells_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cells_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circuit_graph_test.dir/graph/circuit_graph_test.cpp.o"
+  "CMakeFiles/circuit_graph_test.dir/graph/circuit_graph_test.cpp.o.d"
+  "circuit_graph_test"
+  "circuit_graph_test.pdb"
+  "circuit_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circuit_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

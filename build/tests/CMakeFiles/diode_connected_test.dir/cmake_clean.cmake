@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diode_connected_test.dir/match/diode_connected_test.cpp.o"
+  "CMakeFiles/diode_connected_test.dir/match/diode_connected_test.cpp.o.d"
+  "diode_connected_test"
+  "diode_connected_test.pdb"
+  "diode_connected_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diode_connected_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

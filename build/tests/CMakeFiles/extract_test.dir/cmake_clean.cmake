@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extract_test.dir/extract/extract_test.cpp.o"
+  "CMakeFiles/extract_test.dir/extract/extract_test.cpp.o.d"
+  "extract_test"
+  "extract_test.pdb"
+  "extract_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extract_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemini_test.dir/gemini/gemini_test.cpp.o"
+  "CMakeFiles/gemini_test.dir/gemini/gemini_test.cpp.o.d"
+  "gemini_test"
+  "gemini_test.pdb"
+  "gemini_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemini_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_edge_cases_test.dir/graph/graph_edge_cases_test.cpp.o"
+  "CMakeFiles/graph_edge_cases_test.dir/graph/graph_edge_cases_test.cpp.o.d"
+  "graph_edge_cases_test"
+  "graph_edge_cases_test.pdb"
+  "graph_edge_cases_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_edge_cases_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

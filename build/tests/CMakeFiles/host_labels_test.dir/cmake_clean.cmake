@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/host_labels_test.dir/match/host_labels_test.cpp.o"
+  "CMakeFiles/host_labels_test.dir/match/host_labels_test.cpp.o.d"
+  "host_labels_test"
+  "host_labels_test.pdb"
+  "host_labels_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/host_labels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

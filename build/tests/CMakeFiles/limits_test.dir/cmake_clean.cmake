@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limits_test.dir/match/limits_test.cpp.o"
+  "CMakeFiles/limits_test.dir/match/limits_test.cpp.o.d"
+  "limits_test"
+  "limits_test.pdb"
+  "limits_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limits_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lvs_test.dir/lvs/lvs_test.cpp.o"
+  "CMakeFiles/lvs_test.dir/lvs/lvs_test.cpp.o.d"
+  "lvs_test"
+  "lvs_test.pdb"
+  "lvs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lvs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

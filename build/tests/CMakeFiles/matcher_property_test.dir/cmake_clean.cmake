@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matcher_property_test.dir/match/matcher_property_test.cpp.o"
+  "CMakeFiles/matcher_property_test.dir/match/matcher_property_test.cpp.o.d"
+  "matcher_property_test"
+  "matcher_property_test.pdb"
+  "matcher_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matcher_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

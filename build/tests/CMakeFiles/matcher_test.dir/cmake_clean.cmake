@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matcher_test.dir/match/matcher_test.cpp.o"
+  "CMakeFiles/matcher_test.dir/match/matcher_test.cpp.o.d"
+  "matcher_test"
+  "matcher_test.pdb"
+  "matcher_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netlist_stress_test.dir/netlist/netlist_stress_test.cpp.o"
+  "CMakeFiles/netlist_stress_test.dir/netlist/netlist_stress_test.cpp.o.d"
+  "netlist_stress_test"
+  "netlist_stress_test.pdb"
+  "netlist_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netlist_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phase1_paper_example_test.dir/match/phase1_paper_example_test.cpp.o"
+  "CMakeFiles/phase1_paper_example_test.dir/match/phase1_paper_example_test.cpp.o.d"
+  "phase1_paper_example_test"
+  "phase1_paper_example_test.pdb"
+  "phase1_paper_example_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase1_paper_example_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

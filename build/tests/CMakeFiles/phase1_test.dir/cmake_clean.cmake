@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phase1_test.dir/match/phase1_test.cpp.o"
+  "CMakeFiles/phase1_test.dir/match/phase1_test.cpp.o.d"
+  "phase1_test"
+  "phase1_test.pdb"
+  "phase1_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase1_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

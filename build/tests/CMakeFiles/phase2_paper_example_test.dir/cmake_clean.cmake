@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phase2_paper_example_test.dir/match/phase2_paper_example_test.cpp.o"
+  "CMakeFiles/phase2_paper_example_test.dir/match/phase2_paper_example_test.cpp.o.d"
+  "phase2_paper_example_test"
+  "phase2_paper_example_test.pdb"
+  "phase2_paper_example_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase2_paper_example_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

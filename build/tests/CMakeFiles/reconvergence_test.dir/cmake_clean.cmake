@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reconvergence_test.dir/match/reconvergence_test.cpp.o"
+  "CMakeFiles/reconvergence_test.dir/match/reconvergence_test.cpp.o.d"
+  "reconvergence_test"
+  "reconvergence_test.pdb"
+  "reconvergence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reconvergence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rulecheck_test.dir/rulecheck/rulecheck_test.cpp.o"
+  "CMakeFiles/rulecheck_test.dir/rulecheck/rulecheck_test.cpp.o.d"
+  "rulecheck_test"
+  "rulecheck_test.pdb"
+  "rulecheck_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rulecheck_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/match/selfmatch_test.cpp" "tests/CMakeFiles/selfmatch_test.dir/match/selfmatch_test.cpp.o" "gcc" "tests/CMakeFiles/selfmatch_test.dir/match/selfmatch_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/match/CMakeFiles/subg_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/subg_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/cells/CMakeFiles/subg_cells.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/subg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/subg_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/subg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selfmatch_test.dir/match/selfmatch_test.cpp.o"
+  "CMakeFiles/selfmatch_test.dir/match/selfmatch_test.cpp.o.d"
+  "selfmatch_test"
+  "selfmatch_test.pdb"
+  "selfmatch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selfmatch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/special_signals_test.dir/match/special_signals_test.cpp.o"
+  "CMakeFiles/special_signals_test.dir/match/special_signals_test.cpp.o.d"
+  "special_signals_test"
+  "special_signals_test.pdb"
+  "special_signals_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/special_signals_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spice_files_test.dir/spice/spice_files_test.cpp.o"
+  "CMakeFiles/spice_files_test.dir/spice/spice_files_test.cpp.o.d"
+  "spice_files_test"
+  "spice_files_test.pdb"
+  "spice_files_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spice_files_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

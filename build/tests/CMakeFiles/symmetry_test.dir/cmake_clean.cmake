@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symmetry_test.dir/match/symmetry_test.cpp.o"
+  "CMakeFiles/symmetry_test.dir/match/symmetry_test.cpp.o.d"
+  "symmetry_test"
+  "symmetry_test.pdb"
+  "symmetry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symmetry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

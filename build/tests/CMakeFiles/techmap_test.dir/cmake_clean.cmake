@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/techmap_test.dir/techmap/techmap_test.cpp.o"
+  "CMakeFiles/techmap_test.dir/techmap/techmap_test.cpp.o.d"
+  "techmap_test"
+  "techmap_test.pdb"
+  "techmap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/techmap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verilog_test.dir/verilog/verilog_test.cpp.o"
+  "CMakeFiles/verilog_test.dir/verilog/verilog_test.cpp.o.d"
+  "verilog_test"
+  "verilog_test.pdb"
+  "verilog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verilog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subgemini.dir/subgemini.cpp.o"
+  "CMakeFiles/subgemini.dir/subgemini.cpp.o.d"
+  "subgemini"
+  "subgemini.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subgemini.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

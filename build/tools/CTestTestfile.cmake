@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_stats "/root/repo/build/tools/subgemini" "stats" "/root/repo/testdata/mux_host.sp")
+set_tests_properties(cli_stats PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_find "/root/repo/build/tools/subgemini" "find" "/root/repo/testdata/cells.sp" "/root/repo/testdata/mux_host.sp" "nand2")
+set_tests_properties(cli_find PROPERTIES  PASS_REGULAR_EXPRESSION "instances 3" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_find_bench_host "/root/repo/build/tools/subgemini" "find" "/root/repo/testdata/cells.sp" "/root/repo/testdata/c17.bench" "nand2")
+set_tests_properties(cli_find_bench_host PROPERTIES  PASS_REGULAR_EXPRESSION "instances 6" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_extract "/root/repo/build/tools/subgemini" "extract" "/root/repo/testdata/cells.sp" "/root/repo/testdata/mux_host.sp")
+set_tests_properties(cli_extract PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_compare_self "/root/repo/build/tools/subgemini" "compare" "/root/repo/testdata/mux_host.sp" "/root/repo/testdata/mux_host.sp")
+set_tests_properties(cli_compare_self PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_compare_differs "/root/repo/build/tools/subgemini" "compare" "/root/repo/testdata/plain_inv.sp" "/root/repo/testdata/fingered_inv.sp")
+set_tests_properties(cli_compare_differs PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;22;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_lvs_reduction "/root/repo/build/tools/subgemini" "lvs" "/root/repo/testdata/fingered_inv.sp" "/root/repo/testdata/plain_inv.sp")
+set_tests_properties(cli_lvs_reduction PROPERTIES  PASS_REGULAR_EXPRESSION "netlists match" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;26;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_check "/root/repo/build/tools/subgemini" "check" "/root/repo/testdata/mux_host.sp")
+set_tests_properties(cli_check PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;29;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_reduce "/root/repo/build/tools/subgemini" "reduce" "/root/repo/testdata/fingered_inv.sp")
+set_tests_properties(cli_reduce PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;31;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_usage "/root/repo/build/tools/subgemini")
+set_tests_properties(cli_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;33;add_test;/root/repo/tools/CMakeLists.txt;0;")
