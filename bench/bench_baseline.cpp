@@ -59,17 +59,22 @@ void run() {
 
     auto fmt_baseline = [](const BaselineResult& r) {
       std::string s = format_fixed(r.seconds * 1e3, 2);
-      if (r.budget_exhausted) s += "*";
+      if (!r.status.complete()) s += "*";
       return s;
     };
+    std::string sub_found = with_commas(static_cast<long long>(sub.count()));
+    if (!sub.status.complete()) sub_found += "*";
     t.add_row({task.host_name,
                with_commas(static_cast<long long>(task.host.netlist.device_count())),
-               task.cell, with_commas(static_cast<long long>(sub.count())),
+               task.cell, sub_found,
                format_fixed(sub_ms, 2), fmt_baseline(ull), fmt_baseline(dfs),
                format_fixed(ull.seconds * 1e3 / std::max(sub_ms, 1e-3), 1) + "x",
                format_fixed(dfs.seconds * 1e3 / std::max(sub_ms, 1e-3), 1) + "x"});
 
-    if (sub.count() != ull.count() && !ull.budget_exhausted) {
+    // A count disagreement only indicts correctness when both sweeps ran to
+    // completion; a truncated side only guarantees a lower bound.
+    if (sub.count() != ull.count() && ull.status.complete() &&
+        sub.status.complete()) {
       std::printf("!! count mismatch on %s/%s: subgemini=%zu ullmann=%zu\n",
                   task.host_name.c_str(), task.cell, sub.count(), ull.count());
     }
@@ -77,8 +82,9 @@ void run() {
 
   std::string s = t.to_string();
   std::fputs(s.c_str(), stdout);
-  std::printf("\n(* = baseline aborted at its search-node budget; its time is "
-              "a lower bound)\n");
+  std::printf("\n(* = run aborted at a resource limit — search-node budget, "
+              "deadline, or cancellation; counts and times are lower "
+              "bounds)\n");
 }
 
 }  // namespace

@@ -24,6 +24,9 @@ struct MatchRow {
   std::size_t guesses = 0;
   double phase1_ms = 0;
   double phase2_ms = 0;
+  /// How the sweep ended; anything but kComplete means `found` is a lower
+  /// bound and the timing row is not comparable to a complete run.
+  RunOutcome outcome = RunOutcome::kComplete;
 };
 
 /// Run one (pattern, host) match and collect the row.
@@ -43,6 +46,7 @@ inline MatchRow run_match(const std::string& circuit_name, const Netlist& host,
   row.guesses = r.phase2.guesses;
   row.phase1_ms = r.phase1_seconds * 1e3;
   row.phase2_ms = r.phase2_seconds * 1e3;
+  row.outcome = r.status.outcome;
   return row;
 }
 
@@ -51,11 +55,16 @@ inline void print_rows(const std::vector<MatchRow>& rows) {
                    "expected", "guesses", "phaseI ms", "phaseII ms",
                    "total ms"});
   for (std::size_t c = 1; c < 11; ++c) t.align_right(c);
+  bool any_incomplete = false;
   for (const MatchRow& r : rows) {
+    std::string found = with_commas(static_cast<long long>(r.found));
+    if (r.outcome != RunOutcome::kComplete) {
+      found += "*";
+      any_incomplete = true;
+    }
     t.add_row({r.circuit, with_commas(static_cast<long long>(r.devices)),
                with_commas(static_cast<long long>(r.nets)), r.cell,
-               with_commas(static_cast<long long>(r.cv)),
-               with_commas(static_cast<long long>(r.found)),
+               with_commas(static_cast<long long>(r.cv)), found,
                with_commas(static_cast<long long>(r.expected)),
                with_commas(static_cast<long long>(r.guesses)),
                format_fixed(r.phase1_ms, 2), format_fixed(r.phase2_ms, 2),
@@ -63,6 +72,9 @@ inline void print_rows(const std::vector<MatchRow>& rows) {
   }
   std::string s = t.to_string();
   std::fputs(s.c_str(), stdout);
+  if (any_incomplete) {
+    std::printf("(* = run hit a resource limit; count is a lower bound)\n");
+  }
 }
 
 }  // namespace subg::bench

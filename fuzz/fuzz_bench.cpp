@@ -1,0 +1,29 @@
+// .bench reader fuzz target. Contract under ANY byte sequence: strict mode
+// either parses or throws subg::Error; recovering mode never throws.
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "benchfmt/benchfmt.hpp"
+#include "util/check.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size > (1u << 16)) return 0;
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  try {
+    static_cast<void>(subg::benchfmt::read_string(text));
+  } catch (const subg::Error&) {
+  }
+  subg::DiagnosticSink sink;
+  subg::benchfmt::ReadOptions options;
+  options.diagnostics = &sink;
+  try {
+    static_cast<void>(subg::benchfmt::read_string(text, options));
+  } catch (const subg::Error&) {
+    // The final flatten/validate of the surviving statements can still
+    // reject (e.g. a port list the recovered gates no longer justify);
+    // that is an Error, not a crash.
+  }
+  return 0;
+}

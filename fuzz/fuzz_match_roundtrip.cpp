@@ -1,0 +1,78 @@
+// Matcher round-trip fuzz target. Any netlist the SPICE reader accepts (in
+// recovering mode, so almost every input yields SOMETHING) must:
+//   1. survive write → strict reparse — the writer's output is always a
+//      valid deck;
+//   2. reparse to a gemini-isomorphic netlist;
+//   3. be found whole when matched against itself, under a deadline that
+//      must be honored (no unbounded search on adversarial inputs).
+// Violations abort; rejected inputs (subg::Error) are not failures.
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string_view>
+
+#include "gemini/gemini.hpp"
+#include "util/check.hpp"
+#include "match/matcher.hpp"
+#include "spice/spice.hpp"
+
+namespace {
+
+[[noreturn]] void die(const char* what, const std::string& deck) {
+  std::fprintf(stderr, "fuzz_match_roundtrip: %s\ndeck:\n%s\n", what,
+               deck.c_str());
+  std::abort();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size > (1u << 14)) return 0;
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+
+  std::optional<subg::Netlist> net;
+  try {
+    subg::DiagnosticSink sink;
+    subg::spice::ReadOptions options;
+    options.diagnostics = &sink;
+    subg::Design design = subg::spice::read_string(text, options);
+    if (design.flattened_device_count("main") > 64) return 0;
+    net = design.flatten("main");
+  } catch (const subg::Error&) {
+    return 0;  // rejected input (recursive hierarchy etc.) — fine
+  }
+  if (net->device_count() == 0) return 0;
+
+  const std::string written = subg::spice::write_string(*net);
+  std::optional<subg::Netlist> back;
+  try {
+    back = subg::spice::read_flat(written);
+  } catch (const subg::Error& e) {
+    die(e.what(), written);
+  }
+
+  subg::CompareOptions compare;
+  compare.budget = subg::Budget::after(2.0);
+  subg::CompareResult same = subg::compare_netlists(*net, *back, compare);
+  if (!same.isomorphic && same.outcome == subg::RunOutcome::kComplete) {
+    die(("round-trip not isomorphic: " + same.reason).c_str(), written);
+  }
+
+  // Self-match under a short deadline: instances found are verified, and
+  // the run must come back even on maximally symmetric inputs.
+  try {
+    subg::MatchOptions options;
+    options.budget = subg::Budget::after(0.2);
+    subg::SubgraphMatcher matcher(*net, *net, options);
+    subg::MatchReport report = matcher.find_all();
+    if (report.count() == 0 && report.status.complete()) {
+      die("complete self-match found nothing", written);
+    }
+  } catch (const subg::Error&) {
+    // Disconnected patterns are rejected by the matcher up front.
+  }
+  return 0;
+}

@@ -1,0 +1,26 @@
+// SPICE reader fuzz target. Contract under ANY byte sequence: strict mode
+// either parses or throws subg::Error (nothing else, no crash, no UB);
+// recovering mode never throws at all — every malformed card must become a
+// Diagnostic.
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "spice/spice.hpp"
+#include "util/check.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size > (1u << 16)) return 0;
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  try {
+    static_cast<void>(subg::spice::read_string(text));
+  } catch (const subg::Error&) {
+    // Strict mode rejecting a malformed deck is the contract, not a bug.
+  }
+  subg::DiagnosticSink sink;
+  subg::spice::ReadOptions options;
+  options.diagnostics = &sink;
+  static_cast<void>(subg::spice::read_string(text, options));
+  return 0;
+}

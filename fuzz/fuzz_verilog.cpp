@@ -1,0 +1,25 @@
+// Verilog reader fuzz target. Contract under ANY byte sequence: strict
+// mode either parses or throws subg::Error; recovering mode never throws —
+// every malformed construct must become a Diagnostic and the parser must
+// resynchronize without looping forever.
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "util/check.hpp"
+#include "verilog/verilog.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size > (1u << 16)) return 0;
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  try {
+    static_cast<void>(subg::verilog::read_string(text));
+  } catch (const subg::Error&) {
+  }
+  subg::DiagnosticSink sink;
+  subg::verilog::ReadOptions options;
+  options.diagnostics = &sink;
+  static_cast<void>(subg::verilog::read_string(text, options));
+  return 0;
+}

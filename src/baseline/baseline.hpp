@@ -20,6 +20,7 @@
 
 #include "match/instance.hpp"
 #include "netlist/netlist.hpp"
+#include "util/budget.hpp"
 
 namespace subg {
 
@@ -29,12 +30,19 @@ struct BaselineOptions {
   /// exponential worst case is the point of these baselines; benches need a
   /// leash). When hit, `budget_exhausted` is set in the result.
   std::size_t node_budget = 200'000'000;
+  /// Wall-clock / cancellation envelope, polled once per search node.
+  Budget budget;
 };
 
 struct BaselineResult {
   std::vector<SubcircuitInstance> instances;
   std::size_t nodes_explored = 0;
+  /// True iff `node_budget` specifically was hit (kept for Table-2-style
+  /// reporting); status.outcome is the full structured account.
   bool budget_exhausted = false;
+  /// kComplete iff the enumeration covered the whole search space —
+  /// `count()` is then exact, otherwise a lower bound.
+  RunStatus status;
   double seconds = 0;
 
   [[nodiscard]] std::size_t count() const { return instances.size(); }

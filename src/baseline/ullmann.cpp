@@ -98,11 +98,18 @@ struct UllmannSearch {
     return m;
   }
 
-  /// Ullmann refinement to arc consistency. Returns false if a row empties.
+  /// Ullmann refinement to arc consistency. Returns false if a row empties
+  /// (or the run is interrupted — the caller's status then explains why).
   [[nodiscard]] bool refine(BitMatrix& m) const {
     bool changed = true;
     while (changed) {
       changed = false;
+      RunOutcome why;
+      if (options.budget.interrupted(&why)) {
+        result.status.escalate(why, std::string("ullmann: ") + to_string(why) +
+                                        " during matrix refinement");
+        return false;
+      }
       for (std::size_t r = 0; r < prep.order.size(); ++r) {
         const Vertex s = prep.order[r];
         std::vector<std::size_t> to_clear;
@@ -135,7 +142,7 @@ struct UllmannSearch {
 
   [[nodiscard]] bool done() const {
     return result.instances.size() >= options.max_matches ||
-           result.budget_exhausted;
+           !result.status.complete();
   }
 
   void search(std::size_t depth, const BitMatrix& m) {
@@ -155,6 +162,15 @@ struct UllmannSearch {
       if (done()) return;
       if (++result.nodes_explored > options.node_budget) {
         result.budget_exhausted = true;
+        result.status.escalate(RunOutcome::kTruncated,
+                               "ullmann: search-node budget exhausted; "
+                               "instance count is a lower bound");
+        return;
+      }
+      RunOutcome why;
+      if (options.budget.interrupted(&why)) {
+        result.status.escalate(why, std::string("ullmann: ") + to_string(why) +
+                                        " during the search");
         return;
       }
       BitMatrix next = m;

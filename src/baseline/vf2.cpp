@@ -32,7 +32,7 @@ struct Vf2Search {
 
   [[nodiscard]] bool done() const {
     return result.instances.size() >= options.max_matches ||
-           result.budget_exhausted;
+           !result.status.complete();
   }
 
   /// Candidate host vertices for pattern vertex s given the current partial
@@ -88,6 +88,15 @@ struct Vf2Search {
       if (done()) return;
       if (++result.nodes_explored > options.node_budget) {
         result.budget_exhausted = true;
+        result.status.escalate(RunOutcome::kTruncated,
+                               "vf2: search-node budget exhausted; instance "
+                               "count is a lower bound");
+        return;
+      }
+      RunOutcome why;
+      if (options.budget.interrupted(&why)) {
+        result.status.escalate(why, std::string("vf2: ") + to_string(why) +
+                                        " during the search");
         return;
       }
       if (used[g] || !prep.compatible(s, g)) continue;

@@ -12,8 +12,21 @@ namespace subg::benchfmt {
 
 namespace {
 
+/// Recoverable per-line failure; converted to subg::Error (strict mode) or
+/// a Diagnostic (recovering mode) at the line/statement boundary.
+struct LineFail {
+  std::size_t line;
+  std::string message;
+};
+
 [[noreturn]] void parse_error(std::size_t line, const std::string& what) {
-  throw Error("bench: line " + std::to_string(line) + ": " + what);
+  throw LineFail{line, what};
+}
+
+/// Strict-mode error text, kept byte-identical to the historical format.
+[[noreturn]] void throw_strict(const LineFail& fail) {
+  throw Error("bench: line " + std::to_string(fail.line) + ": " +
+              fail.message);
 }
 
 struct Statement {
@@ -23,7 +36,8 @@ struct Statement {
   std::vector<std::string> args;  // operands
 };
 
-std::vector<Statement> parse_statements(std::string_view text) {
+std::vector<Statement> parse_statements(std::string_view text,
+                                        const ReadOptions& options) {
   std::vector<Statement> out;
   std::istringstream in{std::string(text)};
   std::string raw;
@@ -34,29 +48,35 @@ std::vector<Statement> parse_statements(std::string_view text) {
     std::string_view line = trim(raw);
     if (line.empty()) continue;
 
-    Statement st;
-    st.line = lineno;
-    std::string_view rest = line;
-    if (auto eq = line.find('='); eq != std::string_view::npos) {
-      st.target = std::string(trim(line.substr(0, eq)));
-      rest = trim(line.substr(eq + 1));
-      if (st.target.empty()) parse_error(lineno, "missing assignment target");
+    try {
+      Statement st;
+      st.line = lineno;
+      std::string_view rest = line;
+      if (auto eq = line.find('='); eq != std::string_view::npos) {
+        st.target = std::string(trim(line.substr(0, eq)));
+        rest = trim(line.substr(eq + 1));
+        if (st.target.empty()) parse_error(lineno, "missing assignment target");
+      }
+      auto open = rest.find('(');
+      auto close = rest.rfind(')');
+      if (open == std::string_view::npos || close == std::string_view::npos ||
+          close < open) {
+        parse_error(lineno, "expected FUNC(args)");
+      }
+      st.kind = to_upper(trim(rest.substr(0, open)));
+      for (std::string_view arg :
+           split_char(rest.substr(open + 1, close - open - 1), ',')) {
+        std::string_view t = trim(arg);
+        if (t.empty()) parse_error(lineno, "empty operand");
+        st.args.push_back(std::string(t));
+      }
+      if (st.kind.empty()) parse_error(lineno, "missing function name");
+      out.push_back(std::move(st));
+    } catch (const LineFail& f) {
+      if (options.diagnostics == nullptr) throw_strict(f);
+      options.diagnostics->add(options.filename, f.line,
+                               Diagnostic::Severity::kError, f.message);
     }
-    auto open = rest.find('(');
-    auto close = rest.rfind(')');
-    if (open == std::string_view::npos || close == std::string_view::npos ||
-        close < open) {
-      parse_error(lineno, "expected FUNC(args)");
-    }
-    st.kind = to_upper(trim(rest.substr(0, open)));
-    for (std::string_view arg :
-         split_char(rest.substr(open + 1, close - open - 1), ',')) {
-      std::string_view t = trim(arg);
-      if (t.empty()) parse_error(lineno, "empty operand");
-      st.args.push_back(std::string(t));
-    }
-    if (st.kind.empty()) parse_error(lineno, "missing function name");
-    out.push_back(std::move(st));
   }
   return out;
 }
@@ -148,17 +168,28 @@ struct Builder {
 
 }  // namespace
 
-BenchCircuit read_string(std::string_view text) {
-  std::vector<Statement> statements = parse_statements(text);
+BenchCircuit read_string(std::string_view text, const ReadOptions& options) {
+  // Strict mode: first failure escapes as subg::Error. Recovering mode:
+  // record it and drop the offending statement, keeping the rest.
+  auto fail = [&options](const LineFail& f) {
+    if (options.diagnostics == nullptr) throw_strict(f);
+    options.diagnostics->add(options.filename, f.line,
+                             Diagnostic::Severity::kError, f.message);
+  };
+  std::vector<Statement> statements = parse_statements(text, options);
 
   std::vector<std::string> inputs, outputs;
   for (const Statement& st : statements) {
-    if (st.kind == "INPUT") {
-      if (st.args.size() != 1) parse_error(st.line, "INPUT takes one name");
-      inputs.push_back(st.args[0]);
-    } else if (st.kind == "OUTPUT") {
-      if (st.args.size() != 1) parse_error(st.line, "OUTPUT takes one name");
-      outputs.push_back(st.args[0]);
+    try {
+      if (st.kind == "INPUT") {
+        if (st.args.size() != 1) parse_error(st.line, "INPUT takes one name");
+        inputs.push_back(st.args[0]);
+      } else if (st.kind == "OUTPUT") {
+        if (st.args.size() != 1) parse_error(st.line, "OUTPUT takes one name");
+        outputs.push_back(st.args[0]);
+      }
+    } catch (const LineFail& f) {
+      fail(f);
     }
   }
 
@@ -180,9 +211,18 @@ BenchCircuit read_string(std::string_view text) {
   bool any_dff = false;
   for (const Statement& st : statements) {
     if (st.kind == "INPUT" || st.kind == "OUTPUT") continue;
-    if (st.target.empty()) parse_error(st.line, "gate without a target net");
-    if (st.kind == "DFF") any_dff = true;
-    b.emit(st);
+    try {
+      if (st.target.empty()) parse_error(st.line, "gate without a target net");
+      if (st.kind == "DFF") any_dff = true;
+      b.emit(st);
+    } catch (const LineFail& f) {
+      fail(f);
+    } catch (const Error& e) {
+      // Deeper-layer rejection (netlist invariant) — recoverable per gate.
+      if (options.diagnostics == nullptr) throw;
+      options.diagnostics->add(options.filename, st.line,
+                               Diagnostic::Severity::kError, e.what());
+    }
   }
   if (any_dff) b.lib.design().add_global("clk");
 
@@ -192,12 +232,14 @@ BenchCircuit read_string(std::string_view text) {
   return out;
 }
 
-BenchCircuit read_file(const std::string& path) {
+BenchCircuit read_file(const std::string& path, const ReadOptions& options) {
   std::ifstream in(path);
   SUBG_CHECK_MSG(in.good(), "cannot open bench file '" << path << "'");
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return read_string(buffer.str());
+  ReadOptions opts = options;
+  if (opts.filename.empty()) opts.filename = path;
+  return read_string(buffer.str(), opts);
 }
 
 std::string write_string(const Netlist& gates) {

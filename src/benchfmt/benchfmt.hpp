@@ -22,8 +22,18 @@
 #include <vector>
 
 #include "netlist/netlist.hpp"
+#include "util/diagnostics.hpp"
 
 namespace subg::benchfmt {
+
+struct ReadOptions {
+  /// Strict mode (null, the default): throw subg::Error at the first
+  /// malformed line. Recovering mode (non-null): record each malformed line
+  /// or unsupported gate as a Diagnostic, skip it, and keep parsing.
+  DiagnosticSink* diagnostics = nullptr;
+  /// Input path used in diagnostics; read_file fills it automatically.
+  std::string filename;
+};
 
 struct BenchCircuit {
   /// Flattened transistor-level netlist (4-pin cmos catalog, vdd/gnd/clk
@@ -43,8 +53,10 @@ struct BenchCircuit {
 
 /// Parse .bench text. Throws subg::Error with a line number on malformed
 /// input or unsupported functions.
-[[nodiscard]] BenchCircuit read_string(std::string_view text);
-[[nodiscard]] BenchCircuit read_file(const std::string& path);
+[[nodiscard]] BenchCircuit read_string(std::string_view text,
+                                       const ReadOptions& options = {});
+[[nodiscard]] BenchCircuit read_file(const std::string& path,
+                                     const ReadOptions& options = {});
 
 /// Emit .bench from a gate-level netlist (e.g. extract_gates output) whose
 /// device types are all expressible. Ports become INPUT/OUTPUT lines:

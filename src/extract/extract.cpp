@@ -156,13 +156,26 @@ ExtractResult extract_gates(const Netlist& transistors,
   result.report.devices_before = working.device_count();
 
   std::uint64_t gate_serial = 0;
-  for (const LibraryCell* cell : order) {
+  for (std::size_t oi = 0; oi < order.size(); ++oi) {
+    const LibraryCell* cell = order[oi];
+    RunOutcome why;
+    if (options.match.budget.interrupted(&why)) {
+      result.report.cells_skipped = order.size() - oi;
+      result.report.status.escalate(
+          why, std::string("extract: ") + to_string(why) + " before cell '" +
+                   cell->name + "'; " +
+                   std::to_string(result.report.cells_skipped) +
+                   " cell(s) skipped");
+      break;
+    }
     Timer timer;
     ExtractReport::PerCell per;
     per.cell = cell->name;
 
     SubgraphMatcher matcher(cell->pattern, working, options.match);
     MatchReport matches = matcher.find_all();
+    per.outcome = matches.status.outcome;
+    result.report.status.merge(matches.status);
 
     // Greedy non-overlapping acceptance.
     std::unordered_set<std::uint32_t> claimed;

@@ -31,6 +31,10 @@ struct ExtractOptions {
   /// to process in the given order (ablation: shows Fig 7-style
   /// misextraction when inverters run first).
   bool largest_first = true;
+  /// match.budget governs the WHOLE sweep: it is polled between cells and
+  /// threaded into every per-cell match. An interrupted sweep keeps the
+  /// replacements already made (each is individually verified) and reports
+  /// the skipped cells in the report status.
   MatchOptions match;
 };
 
@@ -39,6 +43,9 @@ struct ExtractReport {
     std::string cell;
     std::size_t instances = 0;
     std::size_t devices_replaced = 0;
+    /// How this cell's match sweep ended; anything but kComplete means the
+    /// netlist may contain unextracted instances of this cell.
+    RunOutcome outcome = RunOutcome::kComplete;
     double seconds = 0;
   };
   std::vector<PerCell> cells;
@@ -46,6 +53,11 @@ struct ExtractReport {
   std::size_t devices_after = 0;
   /// Primitive (transistor-level) devices the library could not explain.
   std::size_t unextracted_primitives = 0;
+  /// Library cells never attempted because the sweep was interrupted first.
+  std::size_t cells_skipped = 0;
+  /// Aggregate outcome over the whole sweep (worst per-cell outcome, plus
+  /// skipped-work counters folded in from every match).
+  RunStatus status;
 };
 
 struct ExtractResult {

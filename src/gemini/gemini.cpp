@@ -124,11 +124,23 @@ bool finalize(const GeminiState& st, CompareResult* out) {
   return true;
 }
 
+/// Severity-ordered outcome escalation (see RunStatus::escalate).
+void escalate(CompareResult* out, RunOutcome to) {
+  if (static_cast<int>(to) > static_cast<int>(out->outcome)) out->outcome = to;
+}
+
 /// Refine until all-singleton (try finalize), imbalanced (fail), or stall
 /// (individuate + recurse).
 bool solve(GeminiState& st, const CompareOptions& options, CompareResult* out) {
   std::size_t prev_partitions = 0;
   while (out->rounds < options.max_rounds) {
+    RunOutcome why;
+    if (options.budget.interrupted(&why)) {
+      escalate(out, why);
+      out->reason =
+          std::string(to_string(why)) + " before refinement converged";
+      return false;
+    }
     GeminiState::Census c = st.census();
     if (!c.balanced) {
       out->reason = "partition sizes diverge after " +
@@ -168,6 +180,7 @@ bool solve(GeminiState& st, const CompareOptions& options, CompareResult* out) {
         if (st.label_b[vb] != target) continue;
         if (++out->individuations > options.max_individuations) {
           out->reason = "individuation budget exhausted";
+          escalate(out, RunOutcome::kTruncated);
           return false;
         }
         st.label_a[va] = fresh;
@@ -179,10 +192,18 @@ bool solve(GeminiState& st, const CompareOptions& options, CompareResult* out) {
         }
         out->rounds = attempt.rounds;
         out->individuations = attempt.individuations;
+        if (attempt.outcome != RunOutcome::kComplete) {
+          // A branch that was cut short (not refuted) poisons completeness;
+          // keep its explanation in case we end up failing overall.
+          escalate(out, attempt.outcome);
+          out->reason = attempt.reason;
+        }
         st.label_a = save_a;
         st.label_b = save_b;
       }
-      out->reason = "no consistent individuation for a symmetric partition";
+      if (out->outcome == RunOutcome::kComplete) {
+        out->reason = "no consistent individuation for a symmetric partition";
+      }
       return false;
     }
     prev_partitions = c.partitions;
@@ -190,6 +211,7 @@ bool solve(GeminiState& st, const CompareOptions& options, CompareResult* out) {
     ++out->rounds;
   }
   out->reason = "round budget exhausted";
+  escalate(out, RunOutcome::kTruncated);
   return false;
 }
 
@@ -213,6 +235,9 @@ CompareResult compare_netlists(const Netlist& a, const Netlist& b,
   if (solve(st, options, &result)) {
     result.isomorphic = true;
     result.reason.clear();
+    // A found-and-verified correspondence is definitive even if some other
+    // branch was cut short along the way.
+    result.outcome = RunOutcome::kComplete;
   }
   return result;
 }

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "netlist/netlist.hpp"
+#include "util/budget.hpp"
 
 namespace subg {
 
@@ -27,10 +28,16 @@ struct CompareOptions {
   std::uint64_t seed = 0x47454D494E49ULL;  // "GEMINI"
   std::size_t max_rounds = 10'000;
   std::size_t max_individuations = 100'000;
+  /// Wall-clock / cancellation envelope, polled once per refinement round.
+  Budget budget;
 };
 
 struct CompareResult {
   bool isomorphic = false;
+  /// kComplete: `isomorphic` is a definitive verdict. Anything else means
+  /// the comparison was cut short (round/individuation caps, deadline, or
+  /// cancellation) and a false `isomorphic` is NOT a proof of difference.
+  RunOutcome outcome = RunOutcome::kComplete;
   /// Human-readable cause when not isomorphic (first divergence found).
   std::string reason;
   /// When isomorphic: device i of `a` corresponds to device_map[i] of `b`,

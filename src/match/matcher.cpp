@@ -87,14 +87,20 @@ void SubgraphMatcher::validate_inputs() const {
 MatchReport SubgraphMatcher::run(std::size_t limit) {
   MatchReport report;
   Timer timer;
-  report.phase1 = run_phase1(pattern_graph_, *host_graph_, options_.phase1);
+  Phase1Options p1 = options_.phase1;
+  p1.budget = options_.budget;  // one envelope governs the whole run
+  report.phase1 = run_phase1(pattern_graph_, *host_graph_, p1);
   report.phase1_seconds = timer.seconds();
+  report.status.escalate(report.phase1.outcome,
+                         "phase1: refinement interrupted; candidate vector "
+                         "selected from a partial refinement");
   if (!report.phase1.feasible) return report;
 
   Phase2Options p2;
   p2.seed = options_.seed;
   p2.max_passes_per_candidate = options_.max_phase2_passes_per_candidate;
   p2.max_guess_depth = options_.max_guess_depth;
+  p2.budget = options_.budget;
   p2.trace = options_.trace;
 
   timer.reset();
@@ -110,18 +116,27 @@ MatchReport SubgraphMatcher::run(std::size_t limit) {
     }
     report.instances.push_back(std::move(inst));
   };
-  for (Vertex c : report.phase1.candidates) {
+  const std::vector<Vertex>& candidates = report.phase1.candidates;
+  for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
     if (report.instances.size() >= limit) break;
+    RunOutcome why;
+    if (options_.budget.interrupted(&why)) {
+      report.status.escalate(why, std::string("matcher: ") + to_string(why) +
+                                      " during the candidate sweep");
+      report.status.candidates_skipped += candidates.size() - ci;
+      break;
+    }
     if (options_.exhaustive) {
       std::vector<SubcircuitInstance> found = verifier.enumerate(
-          report.phase1.key, c, limit - report.instances.size());
+          report.phase1.key, candidates[ci], limit - report.instances.size());
       for (SubcircuitInstance& inst : found) accept(std::move(inst));
     } else {
-      auto inst = verifier.verify(report.phase1.key, c);
+      auto inst = verifier.verify(report.phase1.key, candidates[ci]);
       if (inst) accept(std::move(*inst));
     }
   }
   report.phase2 = verifier.stats();
+  report.status.merge(verifier.status());
   report.phase2_seconds = timer.seconds();
 
   SUBG_DEBUG("matcher: cv=" << report.phase1.candidates.size() << " found="

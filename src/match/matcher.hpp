@@ -39,6 +39,13 @@ struct MatchOptions {
   bool exhaustive = false;
   /// Seed for the fixed labels Phase II assigns to matched pairs.
   std::uint64_t seed = 0x53554247454D494EULL;
+  /// Wall-clock / cancellation envelope for the WHOLE run: threaded through
+  /// Phase I refinement, the candidate sweep, and Phase II verification
+  /// (it overrides phase1.budget). An interrupted run returns the verified
+  /// instances found so far and reports how it ended in
+  /// MatchReport::status — reported instances are always sound; only the
+  /// completeness of the sweep is at stake.
+  Budget budget;
   Phase1Options phase1;
   std::size_t max_phase2_passes_per_candidate = 1u << 20;
   std::size_t max_guess_depth = 4096;
@@ -50,6 +57,9 @@ struct MatchReport {
   std::vector<SubcircuitInstance> instances;
   Phase1Result phase1;
   Phase2Stats phase2;
+  /// kComplete iff every candidate was fully searched within every limit;
+  /// otherwise the first interruption/cap hit, with skipped-work counters.
+  RunStatus status;
   double phase1_seconds = 0;
   double phase2_seconds = 0;
 

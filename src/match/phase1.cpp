@@ -186,6 +186,7 @@ Phase1Result run_phase1(const CircuitGraph& pattern, const CircuitGraph& host,
   auto prev_shape = std::make_pair(st.refinement_shape(Kind::kNet),
                                    st.refinement_shape(Kind::kDevice));
   while (result.rounds < options.max_rounds) {
+    if (options.budget.interrupted(&result.outcome)) break;
     st.relabel_round(Kind::kNet);
     ++result.rounds;
     if (!st.any_valid(Kind::kNet)) break;

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "graph/circuit_graph.hpp"
+#include "util/budget.hpp"
 
 namespace subg {
 
@@ -33,6 +34,11 @@ struct Phase1Options {
   /// Hard cap on relabeling rounds (corruption reaches the whole pattern in
   /// O(pattern diameter) rounds; this is a safety net only).
   std::size_t max_rounds = 256;
+  /// Wall-clock / cancellation envelope, polled once per relabeling round.
+  /// An interrupted Phase I still selects a candidate vector from the
+  /// rounds already run (sound — refinement only ever narrows the CV) and
+  /// reports the interruption in Phase1Result::outcome.
+  Budget budget;
   /// Optional cache of the host's label sequence (see host_labels.hpp) —
   /// share one across patterns searched against the same host. Must have
   /// been constructed over the same host graph.
@@ -50,6 +56,10 @@ struct Phase1Options {
 struct Phase1Result {
   /// False ⇒ Phase I proved no instance of the pattern exists in the host.
   bool feasible = true;
+
+  /// kComplete, or the interruption that cut refinement short (the CV is
+  /// then valid but possibly wider than a full run would produce).
+  RunOutcome outcome = RunOutcome::kComplete;
 
   /// Key vertex in the pattern graph (valid iff feasible).
   Vertex key = 0;

@@ -173,7 +173,16 @@ Phase2Verifier::Outcome Phase2Verifier::run(
       return Outcome::kSuccess;
     }
     if (sink != nullptr && sink->size() >= sink_limit) return Outcome::kFail;
+    RunOutcome why;
+    if (options_.budget.interrupted(&why)) {
+      status_.escalate(why, std::string("phase2: ") + to_string(why) +
+                                " while verifying a candidate");
+      return Outcome::kFail;
+    }
     if (st.passes >= options_.max_passes_per_candidate) {
+      status_.escalate(RunOutcome::kTruncated,
+                       "phase2: pass budget exhausted; candidate rejected "
+                       "without a full search");
       SUBG_WARN("phase2: pass budget exhausted; rejecting candidate");
       return Outcome::kFail;
     }
@@ -186,6 +195,10 @@ Phase2Verifier::Outcome Phase2Verifier::run(
     // pattern, Fig 5). Guess a match in the most constrained stalled
     // partition and recurse with backtracking.
     if (depth >= options_.max_guess_depth) {
+      status_.escalate(RunOutcome::kTruncated,
+                       "phase2: guess depth budget exhausted; candidate "
+                       "rejected without a full search");
+      ++status_.guesses_abandoned;
       SUBG_WARN("phase2: guess depth budget exhausted; rejecting candidate");
       return Outcome::kFail;
     }
@@ -247,11 +260,19 @@ Phase2Verifier::Outcome Phase2Verifier::run(
       pool.erase(std::unique(pool.begin(), pool.end()), pool.end());
     }
 
-    for (Vertex g : pool) {
+    for (std::size_t pi = 0; pi < pool.size(); ++pi) {
       if (sink != nullptr && sink->size() >= sink_limit) break;
+      RunOutcome pool_why;
+      if (options_.budget.interrupted(&pool_why)) {
+        status_.escalate(pool_why, std::string("phase2: ") +
+                                       to_string(pool_why) +
+                                       " while exploring guess branches");
+        status_.guesses_abandoned += pool.size() - pi;
+        break;
+      }
       State snapshot = st;
       ++stats_.guesses;
-      postulate(st, guess_s, g);
+      postulate(st, guess_s, pool[pi]);
       if (run(st, depth + 1, out, sink, sink_limit) == Outcome::kSuccess) {
         return Outcome::kSuccess;
       }

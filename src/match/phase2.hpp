@@ -33,6 +33,7 @@
 
 #include "graph/circuit_graph.hpp"
 #include "match/instance.hpp"
+#include "util/budget.hpp"
 #include "util/rng.hpp"
 
 namespace subg {
@@ -55,6 +56,10 @@ struct Phase2Options {
   std::uint64_t seed = 0x53554247454D494EULL;  // "SUBGEMIN"
   std::size_t max_passes_per_candidate = 1u << 20;
   std::size_t max_guess_depth = 4096;
+  /// Wall-clock / cancellation envelope, polled once per relabeling pass
+  /// and per guess branch. Hitting any limit (caps included) is recorded in
+  /// the verifier's RunStatus — never silently.
+  Budget budget;
   /// When non-null, every pass appends the labels of both graphs' live
   /// vertices. Only use on small examples.
   Phase2Trace* trace = nullptr;
@@ -87,6 +92,12 @@ class Phase2Verifier {
                                                           std::size_t limit);
 
   [[nodiscard]] const Phase2Stats& stats() const { return stats_; }
+
+  /// How the verification work done so far went: kComplete, or the first
+  /// cap/deadline/cancellation that abandoned part of the search, with
+  /// counters for abandoned guess branches. Accumulated across verify() /
+  /// enumerate() calls, like stats().
+  [[nodiscard]] const RunStatus& status() const { return status_; }
 
  private:
   struct Slot {
@@ -138,6 +149,7 @@ class Phase2Verifier {
   const CircuitGraph& g_;
   Phase2Options options_;
   Phase2Stats stats_;
+  RunStatus status_;
   bool globals_resolved_ = true;
   /// Pattern special net vertex → host special net vertex (by name).
   std::vector<Vertex> special_image_;  // indexed by pattern vertex; kInvalidVertex

@@ -19,11 +19,24 @@ struct Card {
   std::size_t line;
 };
 
+/// Recoverable per-card failure; converted to subg::Error (strict mode) or
+/// a Diagnostic (recovering mode) at the card boundary.
+struct CardFail {
+  std::size_t line;
+  std::string message;
+};
+
 [[noreturn]] void parse_error(std::size_t line, const std::string& what) {
-  throw Error("spice: line " + std::to_string(line) + ": " + what);
+  throw CardFail{line, what};
 }
 
-std::vector<Card> logical_lines(std::istream& in) {
+/// Strict-mode error text, kept byte-identical to the historical format.
+[[noreturn]] void throw_strict(const CardFail& fail) {
+  throw Error("spice: line " + std::to_string(fail.line) + ": " +
+              fail.message);
+}
+
+std::vector<Card> logical_lines(std::istream& in, const ReadOptions& options) {
   std::vector<Card> cards;
   std::string raw;
   std::size_t lineno = 0;
@@ -41,7 +54,13 @@ std::vector<Card> logical_lines(std::istream& in) {
     std::string_view t = trim(raw);
     if (t.empty() || t.front() == '*' || t.front() == ';') continue;
     if (t.front() == '+') {
-      if (cards.empty()) parse_error(lineno, "continuation with no prior card");
+      if (cards.empty()) {
+        CardFail fail{lineno, "continuation with no prior card"};
+        if (options.diagnostics == nullptr) throw_strict(fail);
+        options.diagnostics->add(options.filename, fail.line,
+                                 Diagnostic::Severity::kError, fail.message);
+        continue;
+      }
       cards.back().text += ' ';
       cards.back().text += std::string(t.substr(1));
     } else {
@@ -57,6 +76,7 @@ struct Parser {
   Module* current = nullptr;  // module receiving cards
   Module* top = nullptr;
   bool in_subckt = false;
+  std::size_t subckt_line = 0;  // line of the open .SUBCKT (diagnostics)
 
   explicit Parser(const ReadOptions& opts)
       : options(opts), design(opts.catalog) {
@@ -131,25 +151,29 @@ struct Parser {
         if (args.size() < 1) parse_error(card.line, "X card needs a target");
         const std::string target = to_lower(args.back());
         args.pop_back();
-        std::vector<NetId> nets;
-        for (auto a : args) nets.push_back(net(a));
+        // Validate before creating any nets: a card rejected in recovering
+        // mode must leave no trace (no phantom degree-0 nets).
         if (auto mod = design.find_module(target)) {
-          if (design.module(*mod).ports().size() != nets.size()) {
+          if (design.module(*mod).ports().size() != args.size()) {
             parse_error(card.line, "instance of '" + target + "' expects " +
                                        std::to_string(
                                            design.module(*mod).ports().size()) +
-                                       " nets, got " + std::to_string(nets.size()));
+                                       " nets, got " + std::to_string(args.size()));
           }
+          std::vector<NetId> nets;
+          for (auto a : args) nets.push_back(net(a));
           current->add_instance(*mod, nets, name);
           return;
         }
         if (auto type = design.catalog().find(target)) {
-          if (design.catalog().type(*type).pin_count() != nets.size()) {
+          if (design.catalog().type(*type).pin_count() != args.size()) {
             parse_error(card.line,
                         "device of type '" + target + "' expects " +
                             std::to_string(design.catalog().type(*type).pin_count()) +
-                            " nets, got " + std::to_string(nets.size()));
+                            " nets, got " + std::to_string(args.size()));
           }
+          std::vector<NetId> nets;
+          for (auto a : args) nets.push_back(net(a));
           current->add_device(*type, nets, name);
           return;
         }
@@ -175,6 +199,7 @@ struct Parser {
       ModuleId id = design.add_module(to_lower(toks[1]), std::move(ports));
       current = &design.module(id);
       in_subckt = true;
+      subckt_line = card.line;
     } else if (key == ".ends") {
       if (!in_subckt) parse_error(card.line, ".ENDS without .SUBCKT");
       current = top;
@@ -190,16 +215,41 @@ struct Parser {
     }
   }
 
+  /// Record a card failure (recovering) or rethrow it as Error (strict).
+  void fail(const CardFail& f) {
+    if (options.diagnostics == nullptr) throw_strict(f);
+    options.diagnostics->add(options.filename, f.line,
+                             Diagnostic::Severity::kError, f.message);
+  }
+
   void run(std::istream& in) {
-    for (const Card& card : logical_lines(in)) {
-      if (card.text.front() == '.') {
-        directive(card);
-      } else {
-        device_card(card);
+    for (const Card& card : logical_lines(in, options)) {
+      try {
+        if (card.text.front() == '.') {
+          directive(card);
+        } else {
+          device_card(card);
+        }
+      } catch (const CardFail& f) {
+        fail(f);  // strict: throw; recovering: record and skip the card
+      } catch (const Error& e) {
+        // Deeper-layer rejection (duplicate module, netlist invariant...):
+        // recoverable per card, but catalog misconfiguration is not input-
+        // dependent, so strict mode still sees the original Error.
+        if (options.diagnostics == nullptr) throw;
+        options.diagnostics->add(options.filename, card.line,
+                                 Diagnostic::Severity::kError, e.what());
       }
     }
     if (in_subckt) {
-      throw Error("spice: unterminated .SUBCKT '" + current->name() + "'");
+      CardFail f{subckt_line,
+                 "unterminated .SUBCKT '" + current->name() + "'"};
+      if (options.diagnostics == nullptr) {
+        throw Error("spice: unterminated .SUBCKT '" + current->name() + "'");
+      }
+      fail(f);  // recovering: implicitly close the dangling definition
+      current = top;
+      in_subckt = false;
     }
   }
 };
@@ -212,21 +262,14 @@ const char* card_letter(const std::string& type) {
   return "x";
 }
 
-/// '$' begins a comment in SPICE, but auto-generated names ("$n0") contain
-/// it; rewrite to a safe marker on output. (Injective unless the netlist
-/// already uses the "_S_" marker, which our own names never do.)
+/// '$' begins a comment in SPICE only at a token boundary (see
+/// logical_lines), so a mid-name '$' ("x0/$n0", "g$nd") survives a
+/// write → read round trip verbatim — important for global nets, whose
+/// labels derive from their names. Only a LEADING '$' (auto-generated
+/// names like "$n0") would start a comment and must be rewritten.
 std::string sanitize(const std::string& name) {
-  if (name.find('$') == std::string::npos) return name;
-  std::string out;
-  out.reserve(name.size() + 4);
-  for (char c : name) {
-    if (c == '$') {
-      out += "_S_";
-    } else {
-      out.push_back(c);
-    }
-  }
-  return out;
+  if (name.empty() || name.front() != '$') return name;
+  return "_S_" + name.substr(1);
 }
 
 }  // namespace
@@ -245,7 +288,9 @@ Design read_string(std::string_view text, const ReadOptions& options) {
 Design read_file(const std::string& path, const ReadOptions& options) {
   std::ifstream in(path);
   SUBG_CHECK_MSG(in.good(), "cannot open SPICE file '" << path << "'");
-  return read(in, options);
+  ReadOptions opts = options;
+  if (opts.filename.empty()) opts.filename = path;
+  return read(in, opts);
 }
 
 Netlist read_flat(std::string_view text, const ReadOptions& options,

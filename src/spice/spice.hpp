@@ -31,6 +31,7 @@
 #include <string_view>
 
 #include "netlist/design.hpp"
+#include "util/diagnostics.hpp"
 
 namespace subg::spice {
 
@@ -38,6 +39,14 @@ struct ReadOptions {
   std::shared_ptr<const DeviceCatalog> catalog = DeviceCatalog::cmos();
   /// Name for the module collecting top-level cards.
   std::string top_name = "main";
+  /// Strict mode (null, the default): throw subg::Error at the first
+  /// malformed card. Recovering mode (non-null): record each malformed card
+  /// as a Diagnostic in the sink, skip it, and keep parsing — the returned
+  /// Design contains everything that did parse. Catalog/environment
+  /// problems (e.g. a catalog without an nmos type) still throw.
+  DiagnosticSink* diagnostics = nullptr;
+  /// Input path used in diagnostics; read_file fills it automatically.
+  std::string filename;
 };
 
 /// Parse SPICE text into a hierarchical design. Throws subg::Error with a

@@ -1,0 +1,171 @@
+// Run governance: wall-clock deadlines, cooperative cancellation, and
+// structured run outcomes, shared by every search entry point (Phase I,
+// Phase II, SubgraphMatcher, the Gemini comparator, the baselines, and the
+// extract sweep).
+//
+// SubGemini's worst case is exponential; the pass/guess/node caps leash it,
+// but a cap that silently truncates results is a soundness hazard for the
+// caller: a truncated "found 3 instances" is indistinguishable from a
+// complete one. Every governed entry point therefore reports a RunOutcome
+// alongside its results — instances that ARE reported are always fully
+// verified (soundness is never affected); the outcome states whether the
+// *sweep* was complete.
+//
+//   Budget budget = Budget::after(0.5);      // 500 ms from now
+//   MatchOptions opts;
+//   opts.budget = budget;
+//   MatchReport r = SubgraphMatcher(pattern, host, opts).find_all();
+//   if (r.status.outcome != RunOutcome::kComplete) { /* partial sweep */ }
+//
+// Deadlines are absolute (steady_clock) so one Budget composes across the
+// phases of a run and across the cells of an extract sweep. Cancellation is
+// cooperative: searches poll the token at pass/guess/node granularity, so a
+// cancel (from another thread or a signal handler via a pre-armed token)
+// takes effect within one pass, never mid-structure.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <string>
+
+namespace subg {
+
+/// How a governed run ended. Ordered by severity: merging two outcomes
+/// keeps the larger value.
+enum class RunOutcome {
+  kComplete = 0,          ///< the sweep covered everything it was asked to
+  kTruncated = 1,         ///< a pass/guess/node cap abandoned part of the search
+  kDeadlineExceeded = 2,  ///< the wall-clock deadline expired
+  kCancelled = 3,         ///< the caller's CancelToken was triggered
+};
+
+[[nodiscard]] constexpr const char* to_string(RunOutcome outcome) {
+  switch (outcome) {
+    case RunOutcome::kComplete: return "complete";
+    case RunOutcome::kTruncated: return "truncated";
+    case RunOutcome::kDeadlineExceeded: return "deadline-exceeded";
+    case RunOutcome::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+/// Cooperative cancellation flag. Thread-safe; the requesting side calls
+/// request(), the search polls cancelled() between passes. The token must
+/// outlive every Budget that references it.
+class CancelToken {
+ public:
+  void request() { cancelled_.store(true, std::memory_order_relaxed); }
+  void reset() { cancelled_.store(false, std::memory_order_relaxed); }
+  [[nodiscard]] bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// A run's resource envelope: an optional absolute wall-clock deadline and
+/// an optional cancellation token. Copyable — copies share the same
+/// absolute deadline and the same token, which is what threading one budget
+/// through nested phases wants. The default Budget is unlimited.
+class Budget {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Budget() = default;
+
+  /// A budget expiring `seconds` from now.
+  [[nodiscard]] static Budget after(double seconds) {
+    Budget b;
+    b.set_deadline_after(seconds);
+    return b;
+  }
+
+  void set_deadline_after(double seconds) {
+    deadline_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double>(seconds));
+    has_deadline_ = true;
+  }
+  void set_deadline(Clock::time_point deadline) {
+    deadline_ = deadline;
+    has_deadline_ = true;
+  }
+  void clear_deadline() { has_deadline_ = false; }
+  void set_cancel_token(const CancelToken* token) { cancel_ = token; }
+
+  [[nodiscard]] bool has_deadline() const { return has_deadline_; }
+  [[nodiscard]] bool limited() const {
+    return has_deadline_ || cancel_ != nullptr;
+  }
+
+  /// True once the deadline has passed or cancellation was requested;
+  /// `*why` (when non-null) is set to the triggering outcome. Cancellation
+  /// wins over the deadline. Cheap enough for per-pass / per-search-node
+  /// polling: the atomic token is read every call, the clock is sampled
+  /// only every kStride calls (and on the first).
+  [[nodiscard]] bool interrupted(RunOutcome* why = nullptr) const {
+    if (cancel_ != nullptr && cancel_->cancelled()) {
+      if (why != nullptr) *why = RunOutcome::kCancelled;
+      return true;
+    }
+    if (!has_deadline_) return false;
+    if (expired_) {
+      if (why != nullptr) *why = RunOutcome::kDeadlineExceeded;
+      return true;
+    }
+    if (poll_++ % kStride != 0) return false;
+    if (Clock::now() >= deadline_) {
+      expired_ = true;
+      if (why != nullptr) *why = RunOutcome::kDeadlineExceeded;
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  static constexpr std::uint32_t kStride = 64;
+
+  Clock::time_point deadline_{};
+  bool has_deadline_ = false;
+  /// Deadlines never un-expire; latching saves clock reads after expiry.
+  mutable bool expired_ = false;
+  mutable std::uint32_t poll_ = 0;
+  const CancelToken* cancel_ = nullptr;
+};
+
+/// Structured account of how a governed run went, surfaced in MatchReport,
+/// BaselineResult, CompareResult, and ExtractReport.
+struct RunStatus {
+  RunOutcome outcome = RunOutcome::kComplete;
+  /// Human-readable cause when outcome != kComplete (first escalation wins).
+  std::string reason;
+  /// Phase II candidates (or extract cells / baseline branches) never tried
+  /// because the run was interrupted first.
+  std::size_t candidates_skipped = 0;
+  /// Guess branches abandoned by a cap or interruption — each one is a
+  /// region of the search space the run cannot vouch for.
+  std::size_t guesses_abandoned = 0;
+
+  [[nodiscard]] bool complete() const {
+    return outcome == RunOutcome::kComplete;
+  }
+
+  /// Record an escalation: severity only ever increases, and the reason of
+  /// the first escalation to each level is kept.
+  void escalate(RunOutcome to, const std::string& why) {
+    if (static_cast<int>(to) > static_cast<int>(outcome)) {
+      outcome = to;
+      reason = why;
+    }
+  }
+
+  /// Fold another status (e.g. a per-cell report) into this one.
+  void merge(const RunStatus& other) {
+    escalate(other.outcome, other.reason);
+    candidates_skipped += other.candidates_skipped;
+    guesses_abandoned += other.guesses_abandoned;
+  }
+};
+
+}  // namespace subg

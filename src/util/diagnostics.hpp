@@ -1,0 +1,84 @@
+// Recovering-parse diagnostics for the netlist front ends (SPICE, Verilog,
+// .bench).
+//
+// By default every parser keeps its historical strict semantics: throw
+// subg::Error at the first malformed card. Pointing ReadOptions at a
+// DiagnosticSink switches the parser to best-effort recovery: each
+// malformed card is recorded as a Diagnostic and skipped, parsing
+// continues, and the caller inspects the sink afterwards. Reported
+// diagnostics are capped (a corrupt multi-megabyte deck should not produce
+// a multi-megabyte error list); overflow is counted, never silently lost.
+#pragma once
+
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace subg {
+
+struct Diagnostic {
+  enum class Severity { kWarning, kError };
+
+  std::string file;  ///< input path; empty for in-memory text
+  std::size_t line = 0;
+  Severity severity = Severity::kError;
+  std::string message;
+
+  [[nodiscard]] std::string to_string() const {
+    std::ostringstream os;
+    if (!file.empty()) os << file << ':';
+    os << line << ": "
+       << (severity == Severity::kError ? "error" : "warning") << ": "
+       << message;
+    return os.str();
+  }
+};
+
+/// Collects parse diagnostics in recovering mode. Capped: at most
+/// `max_diagnostics` entries are stored; later ones only bump `dropped`.
+class DiagnosticSink {
+ public:
+  explicit DiagnosticSink(std::size_t max_diagnostics = 100)
+      : max_diagnostics_(max_diagnostics) {}
+
+  void add(Diagnostic diag) {
+    if (diag.severity == Diagnostic::Severity::kError) ++error_count_;
+    if (diagnostics_.size() < max_diagnostics_) {
+      diagnostics_.push_back(std::move(diag));
+    } else {
+      ++dropped_;
+    }
+  }
+  void add(std::string file, std::size_t line, Diagnostic::Severity severity,
+           std::string message) {
+    add(Diagnostic{std::move(file), line, severity, std::move(message)});
+  }
+
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
+    return diagnostics_;
+  }
+  [[nodiscard]] bool empty() const {
+    return diagnostics_.empty() && dropped_ == 0;
+  }
+  /// Errors seen, including ones dropped past the cap.
+  [[nodiscard]] std::size_t error_count() const { return error_count_; }
+  [[nodiscard]] std::size_t dropped() const { return dropped_; }
+
+  [[nodiscard]] std::string summary() const {
+    std::ostringstream os;
+    for (const Diagnostic& d : diagnostics_) os << d.to_string() << '\n';
+    if (dropped_ > 0) {
+      os << "(" << dropped_ << " further diagnostics suppressed)\n";
+    }
+    return os.str();
+  }
+
+ private:
+  std::size_t max_diagnostics_;
+  std::vector<Diagnostic> diagnostics_;
+  std::size_t error_count_ = 0;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace subg

@@ -23,15 +23,28 @@ struct Token {
   std::size_t line;
 };
 
+/// Recoverable parse failure; converted to subg::Error (strict mode) or a
+/// Diagnostic (recovering mode) at a statement or module boundary.
+struct StmtFail {
+  std::size_t line;
+  std::string message;
+};
+
 [[noreturn]] void parse_error(std::size_t line, const std::string& what) {
-  throw Error("verilog: line " + std::to_string(line) + ": " + what);
+  throw StmtFail{line, what};
+}
+
+/// Strict-mode error text, kept byte-identical to the historical format.
+[[noreturn]] void throw_strict(const StmtFail& fail) {
+  throw Error("verilog: line " + std::to_string(fail.line) + ": " +
+              fail.message);
 }
 
 bool ident_char(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '$';
 }
 
-std::vector<Token> tokenize(std::istream& in) {
+std::vector<Token> tokenize(std::istream& in, const ReadOptions& options) {
   std::vector<Token> out;
   std::string line;
   std::size_t lineno = 0;
@@ -92,7 +105,11 @@ std::vector<Token> tokenize(std::istream& in) {
         out.push_back({line.substr(start, i - start), lineno});
         continue;
       }
-      parse_error(lineno, std::string("unexpected character '") + c + "'");
+      StmtFail fail{lineno, std::string("unexpected character '") + c + "'"};
+      if (options.diagnostics == nullptr) throw_strict(fail);
+      options.diagnostics->add(options.filename, fail.line,
+                               Diagnostic::Severity::kError, fail.message);
+      ++i;  // recovering: drop the character and keep scanning
     }
   }
   return out;
@@ -111,8 +128,37 @@ struct Parser {
       : options(opts), design(opts.catalog) {}
 
   [[nodiscard]] bool done() const { return pos >= toks.size(); }
+  [[nodiscard]] bool recovering() const { return options.diagnostics != nullptr; }
+  [[nodiscard]] std::size_t eof_line() const {
+    return toks.empty() ? 0 : toks.back().line;
+  }
+  /// Line for an error discovered "here" (next token, or EOF).
+  [[nodiscard]] std::size_t here() const {
+    return done() ? eof_line() : toks[pos].line;
+  }
+  void diag(const StmtFail& f) const {
+    options.diagnostics->add(options.filename, f.line,
+                             Diagnostic::Severity::kError, f.message);
+  }
+  /// After a failed statement, skip to the start of the next one: consume
+  /// up to and including the next ';'. Returns false at EOF or a 'module'
+  /// boundary (the caller should give up on this body); leaves 'endmodule'
+  /// for the statement loop to consume normally.
+  bool sync_statement() {
+    while (!done()) {
+      const std::string& t = toks[pos].text;
+      if (t == ";") {
+        ++pos;
+        return true;
+      }
+      if (t == "endmodule") return true;
+      if (t == "module") return false;
+      ++pos;
+    }
+    return false;
+  }
   [[nodiscard]] const Token& peek() const {
-    SUBG_CHECK_MSG(!done(), "verilog: unexpected end of input");
+    if (done()) throw StmtFail{eof_line(), "unexpected end of input"};
     return toks[pos];
   }
   Token next() {
@@ -153,17 +199,28 @@ struct Parser {
     std::size_t save = pos;
     while (!done()) {
       if (next().text != "module") continue;
-      Token name = next();
-      std::vector<std::string> ports;
-      if (accept("(")) {
-        while (!accept(")")) {
-          Token t = next();
-          if (t.text == ",") continue;
-          ports.push_back(to_lower(t.text));
+      const std::size_t at = here();
+      try {
+        Token name = next();
+        std::vector<std::string> ports;
+        if (accept("(")) {
+          while (!accept(")")) {
+            Token t = next();
+            if (t.text == ",") continue;
+            ports.push_back(to_lower(t.text));
+          }
         }
+        expect(";");
+        design.add_module(to_lower(name.text), std::move(ports));
+      } catch (const StmtFail& f) {
+        if (!recovering()) throw;
+        diag(f);
+      } catch (const Error& e) {
+        // Deeper-layer rejection (duplicate module name...) — recoverable
+        // per header; the body parse then skips the unregistered module.
+        if (!recovering()) throw;
+        diag(StmtFail{at, e.what()});
       }
-      expect(";");
-      design.add_module(to_lower(name.text), std::move(ports));
     }
     pos = save;
   }
@@ -171,18 +228,35 @@ struct Parser {
   void parse_all() {
     scan_modules();
     while (!done()) {
-      attributes();
-      Token t = next();
-      if (t.text != "module") {
-        parse_error(t.line, "expected 'module', got '" + t.text + "'");
+      const std::size_t at = here();
+      try {
+        attributes();
+        Token t = next();
+        if (t.text != "module") {
+          parse_error(t.line, "expected 'module', got '" + t.text + "'");
+        }
+        parse_module();
+      } catch (const StmtFail& f) {
+        if (!recovering()) throw;
+        diag(f);
+        while (!done() && toks[pos].text != "module") ++pos;
+      } catch (const Error& e) {
+        if (!recovering()) throw;
+        diag(StmtFail{at, e.what()});
+        while (!done() && toks[pos].text != "module") ++pos;
       }
-      parse_module();
     }
   }
 
   void parse_module() {
     Token name = next();
-    Module& mod = design.module(*design.find_module(to_lower(name.text)));
+    auto found = design.find_module(to_lower(name.text));
+    if (!found) {
+      // Pass 1 rejected (and skipped) this module's header.
+      parse_error(name.line,
+                  "module '" + to_lower(name.text) + "' has no usable header");
+    }
+    Module& mod = design.module(*found);
     last_module = mod.name();
     if (accept("(")) {
       while (!accept(")")) next();  // ports already recorded in pass 1
@@ -190,30 +264,41 @@ struct Parser {
     expect(";");
 
     while (true) {
-      bool global = attributes();
-      Token t = next();
-      if (t.text == "endmodule") return;
-      if (t.text == "wire" || t.text == "input" || t.text == "output" ||
-          t.text == "inout" || t.text == "supply0" || t.text == "supply1") {
-        // Declaration list. supply0/1 and subg_global mark design globals.
-        const bool is_global =
-            global || t.text == "supply0" || t.text == "supply1";
-        if (accept("wire")) {
-          // "inout wire a" style.
+      const std::size_t at = here();
+      try {
+        bool global = attributes();
+        Token t = next();
+        if (t.text == "endmodule") return;
+        if (t.text == "wire" || t.text == "input" || t.text == "output" ||
+            t.text == "inout" || t.text == "supply0" || t.text == "supply1") {
+          // Declaration list. supply0/1 and subg_global mark design globals.
+          const bool is_global =
+              global || t.text == "supply0" || t.text == "supply1";
+          if (accept("wire")) {
+            // "inout wire a" style.
+          }
+          while (true) {
+            Token n = next();
+            std::string net = to_lower(n.text);
+            mod.ensure_net(net);
+            if (is_global) design.add_global(net);
+            Token sep = next();
+            if (sep.text == ";") break;
+            if (sep.text != ",") parse_error(sep.line, "expected ',' or ';'");
+          }
+          continue;
         }
-        while (true) {
-          Token n = next();
-          std::string net = to_lower(n.text);
-          mod.ensure_net(net);
-          if (is_global) design.add_global(net);
-          Token sep = next();
-          if (sep.text == ";") break;
-          if (sep.text != ",") parse_error(sep.line, "expected ',' or ';'");
-        }
-        continue;
+        // Instance: TYPE NAME ( connections ) ;
+        parse_instance(mod, t);
+      } catch (const StmtFail& f) {
+        if (!recovering()) throw;
+        diag(f);
+        if (!sync_statement()) return;
+      } catch (const Error& e) {
+        if (!recovering()) throw;
+        diag(StmtFail{at, e.what()});
+        if (!sync_statement()) return;
       }
-      // Instance: TYPE NAME ( connections ) ;
-      parse_instance(mod, t);
     }
   }
 
@@ -326,8 +411,12 @@ std::string vsanitize(const std::string& name) {
 
 Design read(std::istream& in, const ReadOptions& options) {
   Parser parser(options);
-  parser.toks = tokenize(in);
-  parser.parse_all();
+  parser.toks = tokenize(in, options);
+  try {
+    parser.parse_all();
+  } catch (const StmtFail& f) {
+    throw_strict(f);  // strict mode: anything unrecovered becomes an Error
+  }
   return std::move(parser.design);
 }
 
@@ -339,15 +428,21 @@ Design read_string(std::string_view text, const ReadOptions& options) {
 Design read_file(const std::string& path, const ReadOptions& options) {
   std::ifstream in(path);
   SUBG_CHECK_MSG(in.good(), "cannot open Verilog file '" << path << "'");
-  return read(in, options);
+  ReadOptions opts = options;
+  if (opts.filename.empty()) opts.filename = path;
+  return read(in, opts);
 }
 
 Netlist read_flat(std::string_view text, const ReadOptions& options,
                   std::string_view top) {
   std::istringstream in{std::string(text)};
   Parser parser(options);
-  parser.toks = tokenize(in);
-  parser.parse_all();
+  parser.toks = tokenize(in, options);
+  try {
+    parser.parse_all();
+  } catch (const StmtFail& f) {
+    throw_strict(f);
+  }
   std::string chosen =
       top.empty() ? parser.last_module : to_lower(top);
   SUBG_CHECK_MSG(!chosen.empty(), "verilog: no module found");

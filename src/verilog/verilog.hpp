@@ -28,11 +28,20 @@
 #include <string_view>
 
 #include "netlist/design.hpp"
+#include "util/diagnostics.hpp"
 
 namespace subg::verilog {
 
 struct ReadOptions {
   std::shared_ptr<const DeviceCatalog> catalog = DeviceCatalog::cmos();
+  /// Strict mode (null, the default): throw subg::Error at the first
+  /// malformed construct. Recovering mode (non-null): record each failure
+  /// as a Diagnostic, resynchronize at the next ';' / endmodule / module
+  /// boundary, and keep parsing — the returned Design contains everything
+  /// that did parse.
+  DiagnosticSink* diagnostics = nullptr;
+  /// Input path used in diagnostics; read_file fills it automatically.
+  std::string filename;
 };
 
 /// Parse all modules into a design. Throws subg::Error with a line number

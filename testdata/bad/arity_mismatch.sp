@@ -1,0 +1,12 @@
+* Cards whose pin counts disagree with their targets, mixed with valid
+* cards a recovering parse must keep.
+.subckt inv in out vdd gnd
+mp1 out in vdd vdd pmos
+mn1 out in gnd gnd nmos
+.ends
+.global vdd gnd
+x1 a b inv
+m2 d g
+x2 a y vdd gnd inv
+q3 a b c npn
+.end

@@ -1,0 +1,5 @@
+* Deck ends inside a .SUBCKT definition — the classic truncated-file
+* failure (interrupted download, clipped email attachment).
+.subckt inv in out vdd gnd
+mp1 out in vdd vdd pmos
+mn1 out in gnd gnd nmos

@@ -1,0 +1,11 @@
+// An instance of a primitive the catalog does not know; the surrounding
+// valid devices must survive a recovering parse.
+module top (a, y, vdd, gnd);
+  inout a;
+  inout y;
+  (* subg_global *) wire vdd;
+  (* subg_global *) wire gnd;
+  frob u1 (.x(a), .z(y));
+  pmos u2 (.d(y), .g(a), .s(vdd), .b(vdd));
+  nmos u3 (.d(y), .g(a), .s(gnd), .b(gnd));
+endmodule

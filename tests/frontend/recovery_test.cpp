@@ -1,0 +1,150 @@
+// Recovering-parse behaviour of the three front ends over the malformed
+// decks in testdata/bad/: strict mode (the default) throws subg::Error at
+// the first problem exactly as before; recovering mode collects one
+// Diagnostic per problem, skips the offending card/statement, and keeps
+// everything that did parse.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "benchfmt/benchfmt.hpp"
+#include "util/check.hpp"
+#include "spice/spice.hpp"
+#include "verilog/verilog.hpp"
+
+namespace subg {
+namespace {
+
+std::string bad(const char* name) {
+  return std::string(SUBG_TESTDATA_DIR) + "/bad/" + name;
+}
+
+constexpr auto npos = std::string::npos;
+
+// --- SPICE --------------------------------------------------------------
+
+TEST(Recovery, SpiceTruncatedSubcktStrictThrows) {
+  EXPECT_THROW(static_cast<void>(spice::read_file(bad("truncated_subckt.sp"))),
+               Error);
+}
+
+TEST(Recovery, SpiceTruncatedSubcktRecovers) {
+  DiagnosticSink sink;
+  spice::ReadOptions opts;
+  opts.diagnostics = &sink;
+  Design d = spice::read_file(bad("truncated_subckt.sp"), opts);
+  ASSERT_EQ(sink.error_count(), 1u);
+  EXPECT_NE(sink.diagnostics()[0].message.find("unterminated"), npos);
+  // read_file stamps the diagnostic with the input path.
+  EXPECT_NE(sink.diagnostics()[0].file.find("truncated_subckt.sp"), npos);
+  // The dangling definition is implicitly closed and keeps its devices.
+  auto inv = d.find_module("inv");
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_EQ(d.module(*inv).device_count(), 2u);
+}
+
+TEST(Recovery, SpiceArityMismatchStrictThrows) {
+  EXPECT_THROW(static_cast<void>(spice::read_file(bad("arity_mismatch.sp"))),
+               Error);
+}
+
+TEST(Recovery, SpiceArityMismatchCollectsEveryDiagnostic) {
+  DiagnosticSink sink;
+  spice::ReadOptions opts;
+  opts.diagnostics = &sink;
+  Design d = spice::read_file(bad("arity_mismatch.sp"), opts);
+  // x1 (wrong instance arity), m2 (too few MOSFET nodes), q3 (unsupported
+  // card) — each with its own line number.
+  ASSERT_EQ(sink.error_count(), 3u);
+  std::set<std::size_t> lines;
+  for (const Diagnostic& diag : sink.diagnostics()) lines.insert(diag.line);
+  EXPECT_EQ(lines, (std::set<std::size_t>{8, 9, 11}));
+  // The valid instance x2 survives in the top module.
+  EXPECT_EQ(d.module(ModuleId(0)).instance_count(), 1u);
+}
+
+TEST(Recovery, SpiceRejectedCardLeavesNoPhantomNets) {
+  // The bad x1 card on line 8 names net 'b'; a card rejected in recovering
+  // mode must not leave behind nets it mentioned (they would survive as
+  // degree-0 nets and change comparison results).
+  DiagnosticSink sink;
+  spice::ReadOptions opts;
+  opts.diagnostics = &sink;
+  Design d = spice::read_file(bad("arity_mismatch.sp"), opts);
+  const Module& main_mod = d.module(ModuleId(0));
+  EXPECT_FALSE(main_mod.find_net("b").has_value());
+  EXPECT_TRUE(main_mod.find_net("a").has_value());  // used by the valid x2
+}
+
+TEST(Recovery, DiagnosticCapCountsOverflowInsteadOfGrowing) {
+  DiagnosticSink sink(/*max_diagnostics=*/2);
+  spice::ReadOptions opts;
+  opts.diagnostics = &sink;
+  static_cast<void>(spice::read_file(bad("arity_mismatch.sp"), opts));
+  EXPECT_EQ(sink.diagnostics().size(), 2u);
+  EXPECT_EQ(sink.dropped(), 1u);
+  EXPECT_EQ(sink.error_count(), 3u);  // includes the dropped one
+}
+
+// --- .bench -------------------------------------------------------------
+
+TEST(Recovery, BenchBadGateStrictThrows) {
+  EXPECT_THROW(static_cast<void>(benchfmt::read_file(bad("bad_gate.bench"))),
+               Error);
+}
+
+TEST(Recovery, BenchBadGateRecovers) {
+  DiagnosticSink sink;
+  benchfmt::ReadOptions opts;
+  opts.diagnostics = &sink;
+  benchfmt::BenchCircuit c = benchfmt::read_file(bad("bad_gate.bench"), opts);
+  // MAJORITY (unsupported function) and the unclosed "h = NAND(a".
+  EXPECT_EQ(sink.error_count(), 2u);
+  // Both valid NAND gates still expand to cells.
+  EXPECT_EQ(c.gates.at("nand2"), 2u);
+  EXPECT_EQ(c.inputs.size(), 2u);
+  EXPECT_EQ(c.outputs.size(), 1u);
+}
+
+// --- Verilog ------------------------------------------------------------
+
+TEST(Recovery, VerilogUnknownPrimitiveStrictThrows) {
+  EXPECT_THROW(
+      static_cast<void>(verilog::read_file(bad("unknown_primitive.v"))), Error);
+}
+
+TEST(Recovery, VerilogUnknownPrimitiveRecovers) {
+  DiagnosticSink sink;
+  verilog::ReadOptions opts;
+  opts.diagnostics = &sink;
+  Design d = verilog::read_file(bad("unknown_primitive.v"), opts);
+  ASSERT_EQ(sink.error_count(), 1u);
+  EXPECT_NE(sink.diagnostics()[0].message.find("frob"), npos);
+  auto top = d.find_module("top");
+  ASSERT_TRUE(top.has_value());
+  // The pmos/nmos pair after the bad instance survived.
+  EXPECT_EQ(d.module(*top).device_count(), 2u);
+}
+
+TEST(Recovery, VerilogCollectsAcrossModules) {
+  const char* text =
+      "module a (x); wire x; @ endmodule\n"
+      "module b (y); wire y; nmos n1 (.d(y), .g(y), .s(y)); endmodule\n"
+      "module c (z); wire z; endmodule\n";
+  // Strict: the stray '@' is fatal.
+  EXPECT_THROW(static_cast<void>(verilog::read_string(text)), Error);
+
+  DiagnosticSink sink;
+  verilog::ReadOptions opts;
+  opts.diagnostics = &sink;
+  Design d = verilog::read_string(text, opts);
+  // '@' (tokenizer) and n1's unconnected 'b' pin — failures in two
+  // different modules, both recorded, later modules unaffected.
+  EXPECT_EQ(sink.error_count(), 2u);
+  EXPECT_TRUE(d.find_module("a").has_value());
+  EXPECT_TRUE(d.find_module("c").has_value());
+}
+
+}  // namespace
+}  // namespace subg

@@ -1,9 +1,12 @@
 // Resource-limit and failure-injection behaviour of the matcher: budget
 // exhaustion must degrade to "no match" without crashing or corrupting
-// later searches.
+// later searches, and every cut-short sweep must say so in its RunStatus.
 #include <gtest/gtest.h>
 
+#include <chrono>
+
 #include "cells/cells.hpp"
+#include "extract/extract.hpp"
 #include "gen/generators.hpp"
 #include "match/matcher.hpp"
 #include "test_circuits.hpp"
@@ -12,6 +15,20 @@ namespace subg {
 namespace {
 
 using test::Cmos3;
+
+/// K parallel transistors between the same nets: maximally symmetric, so
+/// exhaustive Phase II has a factorial guess space — the adversarial input
+/// for deadline tests.
+Netlist parallel_bank(const Cmos3& c, std::size_t devices,
+                      const char* name, bool ports) {
+  Netlist net = c.netlist(name);
+  NetId n1 = net.add_net("n1"), n2 = net.add_net("n2"), g = net.add_net("g");
+  for (std::size_t i = 0; i < devices; ++i) net.add_device(c.nmos, {n1, g, n2});
+  if (ports) {
+    for (NetId p : {n1, n2, g}) net.mark_port(p);
+  }
+  return net;
+}
 
 TEST(Limits, ZeroGuessDepthRejectsSymmetricPatterns) {
   // The parallel pair needs one guess; with the guess budget at zero the
@@ -74,6 +91,102 @@ TEST(Limits, MatcherReusableAfterBudgetFailure) {
   EXPECT_EQ(bad.find_all().count(), 0u);
   SubgraphMatcher good(pattern, host.netlist);
   EXPECT_EQ(good.find_all().count(), 2u);
+}
+
+TEST(Limits, TruncationIsReportedNotSilent) {
+  // The zero-guess-depth rejection from above must be labeled: a capped
+  // sweep is kTruncated with abandoned guesses on the books.
+  Cmos3 c;
+  Netlist pattern = parallel_bank(c, 2, "pair", true);
+  Netlist host = parallel_bank(c, 2, "host", false);
+
+  MatchOptions opts;
+  opts.max_guess_depth = 0;
+  SubgraphMatcher matcher(pattern, host, opts);
+  MatchReport r = matcher.find_all();
+  EXPECT_EQ(r.count(), 0u);
+  EXPECT_EQ(r.status.outcome, RunOutcome::kTruncated);
+  EXPECT_FALSE(r.status.reason.empty());
+  EXPECT_GT(r.status.guesses_abandoned, 0u);
+
+  // An ungoverned run on the same inputs is complete.
+  SubgraphMatcher ok(pattern, host);
+  MatchReport full = ok.find_all();
+  EXPECT_EQ(full.status.outcome, RunOutcome::kComplete);
+  EXPECT_TRUE(full.status.reason.empty());
+}
+
+TEST(Limits, DeadlineExpiryReturnsPromptlyWithOutcome) {
+  // Exhaustive enumeration over a maximally symmetric bank explores a
+  // factorial branch space — unbounded, it would run for hours. With a
+  // 100 ms deadline it must come back within a small multiple of that and
+  // say the sweep was cut short.
+  Cmos3 c;
+  Netlist pattern = parallel_bank(c, 6, "bank6", true);
+  Netlist host = parallel_bank(c, 40, "host", false);
+
+  MatchOptions opts;
+  opts.exhaustive = true;
+  const auto start = std::chrono::steady_clock::now();
+  opts.budget = Budget::after(0.1);
+  SubgraphMatcher matcher(pattern, host, opts);
+  MatchReport r = matcher.find_all();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  EXPECT_EQ(r.status.outcome, RunOutcome::kDeadlineExceeded);
+  EXPECT_FALSE(r.status.reason.empty());
+  // ~2x the deadline, with scheduler slack so the bound is not flaky.
+  EXPECT_LT(elapsed, 0.5);
+  // Whatever was reported before the cutoff is individually verified.
+  for (const SubcircuitInstance& inst : r.instances) {
+    EXPECT_EQ(inst.device_image.size(), pattern.device_count());
+  }
+}
+
+TEST(Limits, PreCancelledTokenStopsBeforeSearching) {
+  Cmos3 c;
+  Netlist pattern = parallel_bank(c, 6, "bank6", true);
+  Netlist host = parallel_bank(c, 40, "host", false);
+
+  CancelToken token;
+  token.request();
+  MatchOptions opts;
+  opts.exhaustive = true;
+  opts.budget.set_cancel_token(&token);
+  SubgraphMatcher matcher(pattern, host, opts);
+  MatchReport r = matcher.find_all();
+  EXPECT_EQ(r.status.outcome, RunOutcome::kCancelled);
+  EXPECT_EQ(r.count(), 0u);
+
+  // Resetting the token restores normal behaviour for the next run with
+  // the same options — the budget holds no stale state.
+  token.reset();
+  Netlist small_host = parallel_bank(c, 6, "host6", false);
+  SubgraphMatcher again(pattern, small_host, opts);
+  MatchReport ok = again.find_all();
+  EXPECT_EQ(ok.status.outcome, RunOutcome::kComplete);
+  EXPECT_EQ(ok.count(), 1u);
+}
+
+TEST(Limits, DeadlineGovernsExtractSweep) {
+  // An already-expired budget: the sweep gives up before the first cell
+  // and reports every cell as skipped rather than returning a silently
+  // empty extraction.
+  cells::CellLibrary lib;
+  gen::Generated host = gen::ripple_carry_adder(2);
+  std::vector<extract::LibraryCell> cells = {
+      {"xor2", lib.pattern("xor2")},
+      {"nand2", lib.pattern("nand2")},
+  };
+  extract::ExtractOptions opts;
+  opts.match.budget.set_deadline(Budget::Clock::now());
+  extract::ExtractResult result =
+      extract::extract_gates(host.netlist, cells, opts);
+  EXPECT_EQ(result.report.status.outcome, RunOutcome::kDeadlineExceeded);
+  EXPECT_EQ(result.report.cells_skipped, 2u);
+  EXPECT_EQ(result.report.devices_before, result.report.devices_after);
 }
 
 TEST(Limits, FindAllIsRepeatableOnOneMatcher) {

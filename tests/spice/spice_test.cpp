@@ -139,6 +139,23 @@ TEST(Spice, WriterRoundTripIsIsomorphic) {
   EXPECT_TRUE(r.isomorphic) << r.reason << "\n" << text;
 }
 
+TEST(Spice, WriterPreservesMidNameDollarInGlobals) {
+  // '$' starts a comment only at a token boundary, so a mid-name '$' is a
+  // legal character that must survive write → reparse unchanged — global
+  // labels derive from the name, so renaming would break isomorphism.
+  Design d = read_string(
+      ".global vdd g$nd\n"
+      "mp out in vdd vdd pmos\n"
+      "mn out in g$nd g$nd nmos\n"
+      ".end\n");
+  Netlist original = d.flatten("main");
+  std::string text = write_string(original);
+  EXPECT_NE(text.find("g$nd"), std::string::npos) << text;
+  Netlist reparsed = read_flat(text);
+  CompareResult r = compare_netlists(original, reparsed);
+  EXPECT_TRUE(r.isomorphic) << r.reason << "\n" << text;
+}
+
 TEST(Spice, WriterEmitsSubcktForPatterns) {
   Design d = read_string(kInverterDeck);
   Netlist pattern = d.flatten("inv");

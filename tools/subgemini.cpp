@@ -15,7 +15,14 @@
 //       Series/parallel device reduction; writes SPICE to stdout.
 //   subgemini stats <host.sp> [host_top]
 //       Netlist statistics.
+//
+// Global flags (anywhere after the command):
+//   --timeout=<sec>   wall-clock budget for the search; an expired run
+//                     reports what it found and exits 75
+//   --lenient         best-effort parsing: malformed input lines become
+//                     stderr diagnostics instead of fatal errors
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -49,8 +56,42 @@ int usage() {
       "  subgemini reduce <host.sp> [host_top]\n"
       "  subgemini stats <host.sp> [host_top]\n"
       "\nInputs may be SPICE (.sp), structural Verilog (.v), or ISCAS "
-      "(.bench).\n");
+      "(.bench).\n"
+      "\nflags:\n"
+      "  --timeout=<sec>  wall-clock budget; a run cut short exits 75\n"
+      "  --lenient        recover from malformed input lines (diagnostics\n"
+      "                   go to stderr) instead of failing\n"
+      "\nexit codes: 0 success; 1 not isomorphic / rule violations;\n"
+      "  64 usage; 65 malformed input; 70 internal error;\n"
+      "  75 resource limit hit (results incomplete)\n");
   return 64;
+}
+
+/// Wall-clock budget shared by every search the invocation runs.
+Budget g_budget;
+/// Recovering-parse mode (--lenient).
+bool g_lenient = false;
+
+/// Print collected parse diagnostics; returns true if any were errors.
+bool flush_diagnostics(const DiagnosticSink& sink) {
+  for (const Diagnostic& d : sink.diagnostics()) {
+    std::fprintf(stderr, "%s\n", d.to_string().c_str());
+  }
+  if (sink.dropped() > 0) {
+    std::fprintf(stderr, "(%zu further diagnostics suppressed)\n",
+                 sink.dropped());
+  }
+  return sink.error_count() > 0;
+}
+
+/// sysexits-style mapping: anything short of a complete sweep is a
+/// temporary failure (75) so scripts cannot mistake partial results for
+/// the full answer.
+int outcome_exit(const RunStatus& status, int ok) {
+  if (status.complete()) return ok;
+  std::fprintf(stderr, "subgemini: search %s: %s\n",
+               to_string(status.outcome), status.reason.c_str());
+  return 75;
 }
 
 /// First .SUBCKT name of a design, or "main" when it only has top cards.
@@ -75,14 +116,37 @@ std::string default_top(const Design& design, const std::string& requested) {
   return ends_with_icase(path, ".bench");
 }
 
+/// Read a hierarchical design from SPICE or Verilog, honoring --lenient.
+Design load_design(const std::string& path) {
+  DiagnosticSink sink;
+  DiagnosticSink* diags = g_lenient ? &sink : nullptr;
+  Design design = [&] {
+    if (is_verilog(path)) {
+      verilog::ReadOptions opts;
+      opts.diagnostics = diags;
+      return verilog::read_file(path, opts);
+    }
+    spice::ReadOptions opts;
+    opts.diagnostics = diags;
+    return spice::read_file(path, opts);
+  }();
+  flush_diagnostics(sink);
+  return design;
+}
+
 /// Load a netlist from SPICE, structural Verilog, or ISCAS .bench (by file
 /// extension; .bench expands to transistor level).
 Netlist load(const std::string& path, const std::string& top) {
   if (is_bench(path)) {
-    return std::move(benchfmt::read_file(path).transistors);
+    DiagnosticSink sink;
+    benchfmt::ReadOptions opts;
+    opts.diagnostics = g_lenient ? &sink : nullptr;
+    Netlist transistors = std::move(benchfmt::read_file(path, opts).transistors);
+    flush_diagnostics(sink);
+    return transistors;
   }
+  Design design = load_design(path);
   if (is_verilog(path)) {
-    Design design = verilog::read_file(path);
     // Verilog: prefer the last-defined module as top (conventional).
     std::string chosen = top;
     if (chosen.empty() && design.module_count() > 0) {
@@ -93,7 +157,6 @@ Netlist load(const std::string& path, const std::string& top) {
     }
     return design.flatten(chosen);
   }
-  Design design = spice::read_file(path);
   return design.flatten(default_top(design, top));
 }
 
@@ -111,7 +174,9 @@ int cmd_find(const std::vector<std::string>& args) {
   Netlist pattern = load(args[0], args.size() > 2 ? args[2] : "");
   Netlist host = load(args[1], args.size() > 3 ? args[3] : "");
 
-  SubgraphMatcher matcher(pattern, host);
+  MatchOptions opts;
+  opts.budget = g_budget;
+  SubgraphMatcher matcher(pattern, host, opts);
   MatchReport report = matcher.find_all();
   std::printf("# pattern %s (%zu devices), host %s (%zu devices)\n",
               pattern.name().c_str(), pattern.device_count(),
@@ -119,6 +184,13 @@ int cmd_find(const std::vector<std::string>& args) {
   std::printf("# candidates %zu, instances %zu, %.2f ms (phase I %.2f)\n",
               report.phase1.candidates.size(), report.count(),
               report.total_seconds() * 1e3, report.phase1_seconds * 1e3);
+  if (!report.status.complete()) {
+    std::printf("# outcome %s: %s (%zu candidates skipped, %zu guesses "
+                "abandoned)\n",
+                to_string(report.status.outcome), report.status.reason.c_str(),
+                report.status.candidates_skipped,
+                report.status.guesses_abandoned);
+  }
   for (std::size_t i = 0; i < report.count(); ++i) {
     const SubcircuitInstance& inst = report.instances[i];
     std::printf("instance %zu:", i);
@@ -132,13 +204,12 @@ int cmd_find(const std::vector<std::string>& args) {
     }
     std::printf("\n");
   }
-  return 0;
+  return outcome_exit(report.status, 0);
 }
 
 int cmd_extract(const std::vector<std::string>& args) {
   if (args.size() < 2) return usage();
-  Design lib = is_verilog(args[0]) ? verilog::read_file(args[0])
-                                   : spice::read_file(args[0]);
+  Design lib = load_design(args[0]);
   Netlist host = load(args[1], args.size() > 2 ? args[2] : "");
 
   std::vector<extract::LibraryCell> cells;
@@ -152,31 +223,46 @@ int cmd_extract(const std::vector<std::string>& args) {
   }
   SUBG_CHECK_MSG(!cells.empty(), "library deck has no usable .SUBCKT");
 
-  extract::ExtractResult result = extract::extract_gates(host, cells);
+  extract::ExtractOptions options;
+  options.match.budget = g_budget;
+  extract::ExtractResult result = extract::extract_gates(host, cells, options);
   std::fprintf(stderr, "# %zu transistors -> %zu devices (%zu unextracted)\n",
                result.report.devices_before, result.report.devices_after,
                result.report.unextracted_primitives);
   for (const auto& per : result.report.cells) {
     if (per.instances) {
-      std::fprintf(stderr, "#   %-12s x %zu\n", per.cell.c_str(),
-                   per.instances);
+      std::fprintf(stderr, "#   %-12s x %zu%s\n", per.cell.c_str(),
+                   per.instances,
+                   per.outcome == RunOutcome::kComplete ? "" : " (partial)");
     }
   }
+  if (result.report.cells_skipped > 0) {
+    std::fprintf(stderr, "#   %zu cell(s) not attempted\n",
+                 result.report.cells_skipped);
+  }
   emit(args[1], result.netlist);
-  return 0;
+  return outcome_exit(result.report.status, 0);
 }
 
 int cmd_compare(const std::vector<std::string>& args) {
   if (args.size() < 2) return usage();
   Netlist a = load(args[0], args.size() > 2 ? args[2] : "");
   Netlist b = load(args[1], args.size() > 3 ? args[3] : "");
-  CompareResult r = compare_netlists(a, b);
+  CompareOptions options;
+  options.budget = g_budget;
+  CompareResult r = compare_netlists(a, b, options);
   if (r.isomorphic) {
     std::printf("ISOMORPHIC (%zu refinement rounds, %zu individuations)\n",
                 r.rounds, r.individuations);
     return 0;
   }
   std::printf("NOT ISOMORPHIC: %s\n", r.reason.c_str());
+  if (r.outcome != RunOutcome::kComplete) {
+    // The search was cut short, so "not isomorphic" is inconclusive.
+    std::fprintf(stderr, "subgemini: comparison %s: %s\n",
+                 to_string(r.outcome), r.reason.c_str());
+    return 75;
+  }
   return 1;
 }
 
@@ -244,7 +330,26 @@ int cmd_stats(const std::vector<std::string>& args) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   std::string cmd = argv[1];
-  std::vector<std::string> args(argv + 2, argv + argc);
+  std::vector<std::string> args;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--timeout=", 0) == 0) {
+      char* end = nullptr;
+      const double seconds = std::strtod(arg.c_str() + 10, &end);
+      if (end == nullptr || *end != '\0' || seconds <= 0) {
+        std::fprintf(stderr, "subgemini: bad --timeout value '%s'\n",
+                     arg.c_str() + 10);
+        return usage();
+      }
+      g_budget.set_deadline_after(seconds);
+      continue;
+    }
+    if (arg == "--lenient") {
+      g_lenient = true;
+      continue;
+    }
+    args.push_back(arg);
+  }
   try {
     if (cmd == "find") return cmd_find(args);
     if (cmd == "extract") return cmd_extract(args);
@@ -254,8 +359,13 @@ int main(int argc, char** argv) {
     if (cmd == "reduce") return cmd_reduce(args);
     if (cmd == "stats") return cmd_stats(args);
   } catch (const subg::Error& e) {
+    // Malformed input deck (sysexits EX_DATAERR).
     std::fprintf(stderr, "subgemini: %s\n", e.what());
     return 65;
+  } catch (const std::exception& e) {
+    // Anything else is a bug in subgemini itself (sysexits EX_SOFTWARE).
+    std::fprintf(stderr, "subgemini: internal error: %s\n", e.what());
+    return 70;
   }
   return usage();
 }
