@@ -1,14 +1,17 @@
 // Shared helpers for the experiment benches.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "cells/cells.hpp"
 #include "gen/generators.hpp"
 #include "match/matcher.hpp"
 #include "report/report.hpp"
 #include "util/strings.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace subg::bench {
@@ -32,8 +35,10 @@ struct MatchRow {
 /// Run one (pattern, host) match and collect the row.
 inline MatchRow run_match(const std::string& circuit_name, const Netlist& host,
                           const std::string& cell_name, const Netlist& pattern,
-                          std::size_t expected) {
-  SubgraphMatcher matcher(pattern, host);
+                          std::size_t expected, std::size_t jobs = 1) {
+  MatchOptions opts;
+  opts.jobs = jobs;
+  SubgraphMatcher matcher(pattern, host, opts);
   MatchReport r = matcher.find_all();
   MatchRow row;
   row.circuit = circuit_name;
@@ -48,6 +53,65 @@ inline MatchRow run_match(const std::string& circuit_name, const Netlist& host,
   row.phase2_ms = r.phase2_seconds * 1e3;
   row.outcome = r.status.outcome;
   return row;
+}
+
+/// Per-jobs scaling of one (pattern, host) match: median-of-`reps` total
+/// matching time at each lane count, with speedup relative to --jobs=1.
+/// The found-count is checked identical across lane counts (the report
+/// contract), so the rows time the same work.
+struct ScalingRow {
+  std::size_t jobs = 1;
+  std::size_t found = 0;
+  double ms = 0;
+  double speedup = 1.0;
+};
+
+inline std::vector<ScalingRow> jobs_scaling(const Netlist& pattern,
+                                            const Netlist& host,
+                                            int reps = 3) {
+  std::vector<std::size_t> lanes = {1, 2, 4};
+  const std::size_t hw = ThreadPool::default_jobs();
+  if (hw > lanes.back()) lanes.push_back(hw);
+  std::vector<ScalingRow> rows;
+  for (std::size_t jobs : lanes) {
+    MatchOptions opts;
+    opts.jobs = jobs;
+    ScalingRow row;
+    row.jobs = jobs;
+    row.ms = 1e100;
+    for (int rep = 0; rep < reps; ++rep) {
+      SubgraphMatcher matcher(pattern, host, opts);
+      Timer timer;
+      MatchReport r = matcher.find_all();
+      row.ms = std::min(row.ms, timer.seconds() * 1e3);
+      row.found = r.count();
+    }
+    rows.push_back(row);
+  }
+  for (ScalingRow& row : rows) row.speedup = rows.front().ms / row.ms;
+  return rows;
+}
+
+inline void print_scaling(const std::string& what,
+                          const std::vector<ScalingRow>& rows) {
+  std::printf("\nper-jobs scaling: %s (hardware concurrency %zu)\n",
+              what.c_str(), ThreadPool::default_jobs());
+  report::Table t({"jobs", "found", "time ms", "speedup"});
+  for (std::size_t c = 0; c < 4; ++c) t.align_right(c);
+  for (const ScalingRow& r : rows) {
+    t.add_row({with_commas(static_cast<long long>(r.jobs)),
+               with_commas(static_cast<long long>(r.found)),
+               format_fixed(r.ms, 2), format_fixed(r.speedup, 2) + "x"});
+  }
+  std::string s = t.to_string();
+  std::fputs(s.c_str(), stdout);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    if (rows[i].found != rows[0].found) {
+      std::printf("WARNING: found-count diverged across jobs "
+                  "(determinism contract violated)\n");
+      break;
+    }
+  }
 }
 
 inline void print_rows(const std::vector<MatchRow>& rows) {

@@ -96,5 +96,19 @@ int main() {
   subg::cells::CellLibrary lib;
   report_series("fulladder in ripple-carry adders", sweep_adders(lib));
   report_series("sram6t in 16-row SRAM arrays", sweep_sram(lib));
+
+  // Per-jobs scaling on the largest host of each family. The candidate
+  // sweep parallelizes over Phase II seeds, so speedup tracks the seed
+  // count; the found-count must be identical at every lane count.
+  {
+    subg::gen::Generated g = subg::gen::ripple_carry_adder(512);
+    print_scaling("fulladder in rca512",
+                  jobs_scaling(lib.pattern("fulladder"), g.netlist));
+  }
+  {
+    subg::gen::Generated g = subg::gen::sram_array(16, 512);
+    print_scaling("sram6t in sram16x512",
+                  jobs_scaling(lib.pattern("sram6t"), g.netlist));
+  }
   return 0;
 }

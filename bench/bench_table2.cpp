@@ -42,6 +42,21 @@ void run() {
 
   print_rows(rows);
 
+  // Per-jobs scaling on the two seed-heaviest rows: the candidate sweep
+  // runs Phase II seeds on parallel lanes, so these are the workloads
+  // where --jobs can pay off. Counts must be identical at every lane
+  // count (the determinism contract).
+  {
+    gen::Generated g = gen::logic_soup(20000, 1234);
+    print_scaling("nand2 in soup20k",
+                  jobs_scaling(lib.pattern("nand2"), g.netlist));
+  }
+  {
+    gen::Generated g = gen::array_multiplier(16);
+    print_scaling("fulladder in mul16",
+                  jobs_scaling(lib.pattern("fulladder"), g.netlist));
+  }
+
   std::printf(
       "\nNotes:\n"
       " - 'expected' is the construction-placed count; 'found' may exceed it\n"

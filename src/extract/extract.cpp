@@ -1,11 +1,14 @@
 #include "extract/extract.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <unordered_set>
 
 #include "gemini/gemini.hpp"
+#include "match/host_labels.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace subg::extract {
@@ -155,64 +158,124 @@ ExtractResult extract_gates(const Netlist& transistors,
   Netlist& working = result.netlist;
   result.report.devices_before = working.device_count();
 
+  // Resolve the shared pool for the sweep. The same pool drives (a)
+  // concurrent per-cell matches within a size tier and (b) each match's own
+  // Phase I relabeling / Phase II candidate parallelism, so the lane count
+  // is bounded by jobs regardless of nesting.
+  ThreadPool* pool = options.match.pool;
+  std::optional<ThreadPool> owned_pool;
+  const std::size_t jobs =
+      pool != nullptr ? pool->thread_count()
+                      : (options.match.jobs == 0 ? ThreadPool::default_jobs()
+                                                 : options.match.jobs);
+  if (pool == nullptr && jobs > 1) {
+    owned_pool.emplace(jobs);
+    pool = &*owned_pool;
+  }
+  if (jobs <= 1) pool = nullptr;
+
   std::uint64_t gate_serial = 0;
-  for (std::size_t oi = 0; oi < order.size(); ++oi) {
-    const LibraryCell* cell = order[oi];
+  std::size_t oi = 0;
+  while (oi < order.size()) {
     RunOutcome why;
     if (options.match.budget.interrupted(&why)) {
       result.report.cells_skipped = order.size() - oi;
       result.report.status.escalate(
           why, std::string("extract: ") + to_string(why) + " before cell '" +
-                   cell->name + "'; " +
+                   order[oi]->name + "'; " +
                    std::to_string(result.report.cells_skipped) +
                    " cell(s) skipped");
       break;
     }
-    Timer timer;
-    ExtractReport::PerCell per;
-    per.cell = cell->name;
 
-    SubgraphMatcher matcher(cell->pattern, working, options.match);
-    MatchReport matches = matcher.find_all();
-    per.outcome = matches.status.outcome;
-    result.report.status.merge(matches.status);
-
-    // Greedy non-overlapping acceptance.
-    std::unordered_set<std::uint32_t> claimed;
-    std::vector<const SubcircuitInstance*> accepted;
-    for (const SubcircuitInstance& inst : matches.instances) {
-      bool free = true;
-      for (DeviceId d : inst.device_image) {
-        if (claimed.contains(d.value)) {
-          free = false;
-          break;
-        }
+    // Size tier: the largest-first partial order only constrains cells of
+    // DIFFERENT sizes (a cell cannot be a proper subcircuit of an
+    // equal-sized one), so equal-sized cells match independently against
+    // one host snapshot — concurrently when a pool is available — and their
+    // replacements apply serially in cell order afterwards. Tier batching
+    // is used for every jobs value, so reports are identical across jobs.
+    std::size_t tier_end = oi + 1;
+    if (options.largest_first) {
+      while (tier_end < order.size() &&
+             order[tier_end]->pattern.device_count() ==
+                 order[oi]->pattern.device_count()) {
+        ++tier_end;
       }
-      if (!free) continue;
-      for (DeviceId d : inst.device_image) claimed.insert(d.value);
-      accepted.push_back(&inst);
+    }
+    const std::size_t tier_size = tier_end - oi;
+
+    // One graph + label cache snapshot shared by every match in the tier.
+    CircuitGraph host_graph(working);
+    HostLabelCache host_cache(host_graph);
+    struct CellMatch {
+      MatchReport report;
+      double seconds = 0;
+    };
+    std::vector<CellMatch> tier(tier_size);
+    auto run_cell = [&](std::size_t ti) {
+      Timer match_timer;
+      MatchOptions mo = options.match;
+      mo.phase1.host_cache = &host_cache;
+      mo.pool = pool;
+      SubgraphMatcher matcher(order[oi + ti]->pattern, host_graph, mo);
+      tier[ti].report = matcher.find_all();
+      tier[ti].seconds = match_timer.seconds();
+    };
+    if (pool != nullptr && tier_size > 1) {
+      pool->parallel_for(tier_size, 1,
+                         [&](std::size_t begin, std::size_t end) {
+                           for (std::size_t ti = begin; ti < end; ++ti) {
+                             run_cell(ti);
+                           }
+                         });
+    } else {
+      for (std::size_t ti = 0; ti < tier_size; ++ti) run_cell(ti);
     }
 
-    // Materialize the gates, then drop their transistors in one sweep.
-    const DeviceTypeId gate_type = working.catalog().require(cell->name);
+    // Apply replacements serially in cell order. Device ids in every
+    // instance refer to the tier-start snapshot, so victims accumulate
+    // across the tier and are removed in one compaction at the end.
+    std::unordered_set<std::uint32_t> claimed;
     std::vector<DeviceId> victims;
     std::vector<NetId> pins;
-    for (const SubcircuitInstance* inst : accepted) {
-      pins.clear();
-      for (NetId port : cell->pattern.ports()) {
-        pins.push_back(inst->net_image[port.index()]);
+    for (std::size_t ti = 0; ti < tier_size; ++ti) {
+      const LibraryCell* cell = order[oi + ti];
+      ExtractReport::PerCell per;
+      per.cell = cell->name;
+      per.outcome = tier[ti].report.status.outcome;
+      result.report.status.merge(tier[ti].report.status);
+
+      // Greedy non-overlapping acceptance; `claimed` spans the whole tier
+      // so an earlier cell's replacements exclude later cells' overlaps.
+      const DeviceTypeId gate_type = working.catalog().require(cell->name);
+      std::size_t cell_victims = 0;
+      for (const SubcircuitInstance& inst : tier[ti].report.instances) {
+        bool free = true;
+        for (DeviceId d : inst.device_image) {
+          if (claimed.contains(d.value)) {
+            free = false;
+            break;
+          }
+        }
+        if (!free) continue;
+        for (DeviceId d : inst.device_image) claimed.insert(d.value);
+        pins.clear();
+        for (NetId port : cell->pattern.ports()) {
+          pins.push_back(inst.net_image[port.index()]);
+        }
+        working.add_device(gate_type, pins,
+                           cell->name + "_" + std::to_string(gate_serial++));
+        for (DeviceId d : inst.device_image) victims.push_back(d);
+        ++per.instances;
+        cell_victims += inst.device_image.size();
       }
-      working.add_device(gate_type, pins,
-                         cell->name + "_" + std::to_string(gate_serial++));
-      for (DeviceId d : inst->device_image) victims.push_back(d);
+      per.devices_replaced = cell_victims;
+      per.seconds = tier[ti].seconds;
+      result.report.cells.push_back(std::move(per));
+      SUBG_DEBUG("extract: " << cell->name << " x" << per.instances);
     }
     working.remove_devices(victims);
-
-    per.instances = accepted.size();
-    per.devices_replaced = victims.size();
-    per.seconds = timer.seconds();
-    result.report.cells.push_back(std::move(per));
-    SUBG_DEBUG("extract: " << cell->name << " x" << accepted.size());
+    oi = tier_end;
   }
 
   result.report.devices_after = working.device_count();

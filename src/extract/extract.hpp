@@ -8,6 +8,14 @@
 // NAND's pullup/stack pair is not misextracted as an inverter. Overlapping
 // matches are resolved greedily: an instance is accepted only if none of
 // its transistors is already claimed.
+//
+// Equal-sized cells form a SIZE TIER: the partial order only constrains
+// cells of different sizes, so a tier's cells all match against one host
+// snapshot (sharing its CircuitGraph and HostLabelCache) — concurrently
+// when match.jobs > 1 — and their replacements then apply serially in cell
+// order, with the greedy claimed-set spanning the tier. Tier semantics are
+// used at every jobs value, so extraction results are identical whether the
+// sweep runs on one lane or many.
 #pragma once
 
 #include <memory>

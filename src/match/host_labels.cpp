@@ -1,12 +1,31 @@
 #include "match/host_labels.hpp"
 
+#include <algorithm>
+
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace subg {
 
+namespace {
+/// Vertex-parallel grain: small enough to balance, large enough that chunk
+/// claiming is noise. Host sweeps are memory-bound, so finer doesn't help.
+constexpr std::size_t kRelabelGrain = 4096;
+}  // namespace
+
+void HostLabelCache::normalize(RailKey& rails) {
+  std::sort(rails.begin(), rails.end());
+  rails.erase(std::unique(rails.begin(), rails.end()), rails.end());
+}
+
 const std::vector<Label>& HostLabelCache::labels(const RailKey& rails,
-                                                 std::size_t round) {
-  std::vector<std::vector<Label>>& seq = sequences_[rails];
+                                                 std::size_t round,
+                                                 ThreadPool* pool) {
+  RailKey key = rails;
+  normalize(key);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::deque<std::vector<Label>>& seq = sequences_[key];
   if (seq.empty()) {
     // Round 0: invariant labels, with rail overrides. Host-declared globals
     // that are NOT in the rail set get ordinary degree labels (specialness
@@ -18,7 +37,7 @@ const std::vector<Label>& HostLabelCache::labels(const RailKey& rails,
                     ? g_->initial_label(v)
                     : degree_label(hnl.net_degree(g_->net_of(v)));
     }
-    for (const auto& [vertex, label] : rails) {
+    for (const auto& [vertex, label] : key) {
       SUBG_CHECK_MSG(vertex < g_->vertex_count(), "rail vertex out of range");
       init[vertex] = label;
     }
@@ -32,16 +51,25 @@ const std::vector<Label>& HostLabelCache::labels(const RailKey& rails,
     std::vector<Label> next = prev;
 
     std::vector<bool> is_rail(g_->vertex_count(), false);
-    for (const auto& [vertex, label] : rails) is_rail[vertex] = true;
+    for (const auto& [vertex, label] : key) is_rail[vertex] = true;
 
-    for (Vertex v = 0; v < g_->vertex_count(); ++v) {
-      const bool is_net = g_->is_net(v);
-      if (is_net != net_round || is_rail[v]) continue;
-      Label sum = 0;
-      for (const auto& e : g_->edges(v)) {
-        sum += edge_contribution(e.coefficient, prev[e.to]);
+    // Two-buffer synchronous update: next[v] depends only on prev, so the
+    // vertex sweep is data-parallel and scheduling-order independent.
+    auto sweep = [&](std::size_t begin, std::size_t end) {
+      for (Vertex v = static_cast<Vertex>(begin); v < end; ++v) {
+        const bool is_net = g_->is_net(v);
+        if (is_net != net_round || is_rail[v]) continue;
+        Label sum = 0;
+        for (const auto& e : g_->edges(v)) {
+          sum += edge_contribution(e.coefficient, prev[e.to]);
+        }
+        next[v] = relabel(prev[v], sum);
       }
-      next[v] = relabel(prev[v], sum);
+    };
+    if (pool != nullptr) {
+      pool->parallel_for(g_->vertex_count(), kRelabelGrain, sweep);
+    } else {
+      sweep(0, g_->vertex_count());
     }
     seq.push_back(std::move(next));
   }
@@ -49,6 +77,7 @@ const std::vector<Label>& HostLabelCache::labels(const RailKey& rails,
 }
 
 std::size_t HostLabelCache::cached_rounds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::size_t total = 0;
   for (const auto& [key, seq] : sequences_) total += seq.size();
   return total;

@@ -16,16 +16,27 @@
 //
 // Rounds alternate like Phase I does: round 0 = initial invariant labels,
 // odd rounds relabel nets, even rounds relabel devices.
+//
+// Thread safety: labels() may be called concurrently from matches running
+// on different threads (the extract sweep shares one cache across a cell
+// tier). Lookup and extension are serialized by an internal mutex; the
+// returned array reference stays valid for the cache's lifetime (storage is
+// a deque, so finished rounds never move) and is immutable once returned,
+// so callers may read it without holding any lock.
 #pragma once
 
 #include <cstddef>
+#include <deque>
 #include <map>
+#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "graph/circuit_graph.hpp"
 
 namespace subg {
+
+class ThreadPool;
 
 class HostLabelCache {
  public:
@@ -35,9 +46,21 @@ class HostLabelCache {
 
   explicit HostLabelCache(const CircuitGraph& host) : g_(&host) {}
 
+  /// Canonicalize a rail key in place: sort and drop duplicate entries.
+  /// Aliased globals (two pattern specials resolving to the same host net)
+  /// would otherwise pollute the cache key with duplicates — missing the
+  /// cache and applying the same rail override twice. Conflicting labels
+  /// for one vertex are kept (both sorted, deterministic; the last override
+  /// wins when the initial round is built).
+  static void normalize(RailKey& rails);
+
   /// Label array after `round` relabeling steps under `rails`; computed
-  /// (and memoized) on demand.
-  const std::vector<Label>& labels(const RailKey& rails, std::size_t round);
+  /// (and memoized) on demand. The key is canonicalized via normalize()
+  /// before lookup. When `pool` is non-null the relabeling sweep is
+  /// data-parallel over host vertices (two-buffer synchronous update, so
+  /// the result is bit-identical to the serial sweep).
+  const std::vector<Label>& labels(const RailKey& rails, std::size_t round,
+                                   ThreadPool* pool = nullptr);
 
   [[nodiscard]] const CircuitGraph& host() const { return *g_; }
 
@@ -46,7 +69,10 @@ class HostLabelCache {
 
  private:
   const CircuitGraph* g_;
-  std::map<RailKey, std::vector<std::vector<Label>>> sequences_;
+  /// Deque per rail key: push_back never moves finished rounds, so label
+  /// array references handed out survive concurrent extension.
+  std::map<RailKey, std::deque<std::vector<Label>>> sequences_;
+  mutable std::mutex mutex_;
 };
 
 }  // namespace subg

@@ -27,6 +27,20 @@ struct Phase2Stats {
   std::size_t backtracks = 0;        ///< failed guesses undone
   std::size_t verify_failures = 0;   ///< final explicit verification rejected
   std::size_t max_guess_depth = 0;
+
+  /// Fold another verifier's counters in (parallel sweeps keep per-worker
+  /// stats and merge them; sums are scheduling-order independent).
+  void merge(const Phase2Stats& other) {
+    candidates_tried += other.candidates_tried;
+    candidates_matched += other.candidates_matched;
+    passes += other.passes;
+    guesses += other.guesses;
+    backtracks += other.backtracks;
+    verify_failures += other.verify_failures;
+    if (other.max_guess_depth > max_guess_depth) {
+      max_guess_depth = other.max_guess_depth;
+    }
+  }
 };
 
 }  // namespace subg

@@ -1,10 +1,13 @@
 #include "match/matcher.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <optional>
 #include <set>
 
 #include "util/check.hpp"
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace subg {
@@ -87,8 +90,26 @@ void SubgraphMatcher::validate_inputs() const {
 MatchReport SubgraphMatcher::run(std::size_t limit) {
   MatchReport report;
   Timer timer;
+
+  // Resolve the parallelism lanes for this run. An external pool (shared
+  // across an extract sweep) wins; otherwise jobs > 1 spins up a private
+  // pool for the duration of the call. jobs == 1 keeps pool == nullptr and
+  // every downstream branch takes the exact serial code path.
+  ThreadPool* pool = options_.pool;
+  std::optional<ThreadPool> owned_pool;
+  std::size_t jobs = pool != nullptr
+                         ? pool->thread_count()
+                         : (options_.jobs == 0 ? ThreadPool::default_jobs()
+                                               : options_.jobs);
+  if (pool == nullptr && jobs > 1) {
+    owned_pool.emplace(jobs);
+    pool = &*owned_pool;
+  }
+  if (jobs <= 1) pool = nullptr;
+
   Phase1Options p1 = options_.phase1;
   p1.budget = options_.budget;  // one envelope governs the whole run
+  p1.pool = pool;
   report.phase1 = run_phase1(pattern_graph_, *host_graph_, p1);
   report.phase1_seconds = timer.seconds();
   report.status.escalate(report.phase1.outcome,
@@ -104,7 +125,6 @@ MatchReport SubgraphMatcher::run(std::size_t limit) {
   p2.trace = options_.trace;
 
   timer.reset();
-  Phase2Verifier verifier(pattern_graph_, *host_graph_, p2);
   std::set<std::vector<std::uint32_t>> seen_device_sets;
   auto accept = [&](SubcircuitInstance&& inst) {
     if (options_.deduplicate || options_.exhaustive) {
@@ -117,26 +137,121 @@ MatchReport SubgraphMatcher::run(std::size_t limit) {
     report.instances.push_back(std::move(inst));
   };
   const std::vector<Vertex>& candidates = report.phase1.candidates;
-  for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
-    if (report.instances.size() >= limit) break;
+
+  // The sweep parallelizes only when the match limit cannot cut it short
+  // (each seed's work must be independent of earlier seeds' results) and
+  // no pass trace is requested (trace entries interleave).
+  const bool limit_binds = options_.exhaustive
+                               ? limit != static_cast<std::size_t>(-1)
+                               : limit < candidates.size();
+  if (pool == nullptr || limit_binds || options_.trace != nullptr ||
+      candidates.size() < 2) {
+    // Serial sweep: one verifier, candidates in order.
+    Phase2Verifier verifier(pattern_graph_, *host_graph_, p2);
+    for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
+      if (report.instances.size() >= limit) break;
+      RunOutcome why;
+      if (options_.budget.interrupted(&why)) {
+        report.status.escalate(why, std::string("matcher: ") + to_string(why) +
+                                        " during the candidate sweep");
+        report.status.candidates_skipped += candidates.size() - ci;
+        break;
+      }
+      if (options_.exhaustive) {
+        std::vector<SubcircuitInstance> found = verifier.enumerate(
+            report.phase1.key, candidates[ci], limit - report.instances.size());
+        for (SubcircuitInstance& inst : found) accept(std::move(inst));
+      } else {
+        auto inst = verifier.verify(report.phase1.key, candidates[ci]);
+        if (inst) accept(std::move(*inst));
+      }
+    }
+    report.phase2 = verifier.stats();
+    report.status.merge(verifier.status());
+  } else {
+    // Parallel sweep: every candidate-vector seed is an independent rooted
+    // search (verify/enumerate is a pure function of the seed), so lanes
+    // claim seeds dynamically; results land in per-seed slots and are
+    // merged in seed-index order below. Instances, order, and status come
+    // out identical to the serial sweep.
+    struct SeedResult {
+      std::vector<SubcircuitInstance> found;
+      RunStatus status;
+      bool skipped = false;
+    };
+    std::vector<SeedResult> seeds(candidates.size());
+    std::atomic<std::size_t> next{0};
+    std::atomic<int> first_interrupt{-1};
+
     RunOutcome why;
     if (options_.budget.interrupted(&why)) {
+      // Mirrors the serial loop's check before the first candidate.
       report.status.escalate(why, std::string("matcher: ") + to_string(why) +
                                       " during the candidate sweep");
-      report.status.candidates_skipped += candidates.size() - ci;
-      break;
-    }
-    if (options_.exhaustive) {
-      std::vector<SubcircuitInstance> found = verifier.enumerate(
-          report.phase1.key, candidates[ci], limit - report.instances.size());
-      for (SubcircuitInstance& inst : found) accept(std::move(inst));
+      report.status.candidates_skipped += candidates.size();
     } else {
-      auto inst = verifier.verify(report.phase1.key, candidates[ci]);
-      if (inst) accept(std::move(*inst));
+      const std::size_t lanes = std::min(jobs, candidates.size());
+      std::vector<Phase2Stats> lane_stats(lanes);
+      pool->parallel_for(lanes, 1, [&](std::size_t lane_begin,
+                                       std::size_t lane_end) {
+        for (std::size_t lane = lane_begin; lane < lane_end; ++lane) {
+          // Per-lane verifier and budget: verifier state (stats, per-seed
+          // status) and the budget's poll/latch counters are lane-private;
+          // the budget copies still share the deadline and cancel token.
+          Phase2Verifier verifier(pattern_graph_, *host_graph_, p2);
+          Budget budget = options_.budget;
+          for (;;) {
+            const std::size_t ci =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (ci >= candidates.size()) break;
+            RunOutcome lane_why;
+            if (budget.interrupted(&lane_why)) {
+              int expected = -1;
+              first_interrupt.compare_exchange_strong(
+                  expected, static_cast<int>(lane_why));
+              seeds[ci].skipped = true;
+              continue;  // keep claiming so every unattempted seed is counted
+            }
+            if (options_.exhaustive) {
+              seeds[ci].found = verifier.enumerate(
+                  report.phase1.key, candidates[ci], limit);
+            } else {
+              auto inst = verifier.verify(report.phase1.key, candidates[ci]);
+              if (inst) seeds[ci].found.push_back(std::move(*inst));
+            }
+            seeds[ci].status = verifier.take_status();
+          }
+          lane_stats[lane] = verifier.stats();
+          SUBG_DEBUG("matcher: lane " << lane << " tried "
+                                      << lane_stats[lane].candidates_tried
+                                      << " seeds, " << lane_stats[lane].passes
+                                      << " passes");
+        }
+      });
+      for (const Phase2Stats& stats : lane_stats) report.phase2.merge(stats);
+
+      std::size_t skipped = 0;
+      for (const SeedResult& seed : seeds) {
+        if (seed.skipped) ++skipped;
+      }
+      if (skipped > 0) {
+        const RunOutcome sweep_why =
+            first_interrupt.load() >= 0
+                ? static_cast<RunOutcome>(first_interrupt.load())
+                : RunOutcome::kCancelled;
+        report.status.escalate(sweep_why, std::string("matcher: ") +
+                                              to_string(sweep_why) +
+                                              " during the candidate sweep");
+        report.status.candidates_skipped += skipped;
+      }
+      // Deterministic seed-index merge: same escalation order and the same
+      // acceptance/deduplication order as the serial sweep.
+      for (SeedResult& seed : seeds) {
+        report.status.merge(seed.status);
+        for (SubcircuitInstance& inst : seed.found) accept(std::move(inst));
+      }
     }
   }
-  report.phase2 = verifier.stats();
-  report.status.merge(verifier.status());
   report.phase2_seconds = timer.seconds();
 
   SUBG_DEBUG("matcher: cv=" << report.phase1.candidates.size() << " found="

@@ -27,6 +27,8 @@
 
 namespace subg {
 
+class ThreadPool;
+
 struct MatchOptions {
   /// Stop after this many verified instances.
   std::size_t max_matches = static_cast<std::size_t>(-1);
@@ -51,6 +53,18 @@ struct MatchOptions {
   std::size_t max_guess_depth = 4096;
   /// Optional Phase II pass trace (small examples only).
   Phase2Trace* trace = nullptr;
+  /// Lanes of parallelism for Phase I host relabeling and the Phase II
+  /// candidate sweep. 1 (the default) is the exact serial code path; 0
+  /// means hardware concurrency. Each candidate-vector seed is an
+  /// independent rooted search, so seeds are verified concurrently and the
+  /// results merged in seed-index order — the report's instances, order,
+  /// and status are identical to the serial run's. A trace implies the
+  /// serial path (trace entries interleave across candidates).
+  std::size_t jobs = 1;
+  /// Optional externally owned pool, shared across matches (the extract
+  /// sweep passes one). Overrides `jobs` when set; the pool must outlive
+  /// the matcher calls that use it.
+  ThreadPool* pool = nullptr;
 };
 
 struct MatchReport {

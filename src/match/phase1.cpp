@@ -18,6 +18,7 @@ struct Phase1State {
   const CircuitGraph& s;
   const CircuitGraph& g;
   HostLabelCache& cache;
+  ThreadPool* pool = nullptr;
   HostLabelCache::RailKey rail_key;
 
   std::vector<Label> label_s;
@@ -54,8 +55,11 @@ struct Phase1State {
         rail_key.emplace_back(hv, s.initial_label(v));
       }
     }
-    std::sort(rail_key.begin(), rail_key.end());
-    label_g = &cache.labels(rail_key, 0);
+    // Sort AND deduplicate: two pattern specials resolving to the same host
+    // net (aliased globals) must not leave a duplicate entry in the cache
+    // key — that would miss the cache and double-apply the rail override.
+    HostLabelCache::normalize(rail_key);
+    label_g = &cache.labels(rail_key, 0, pool);
 
     valid_s.assign(s.vertex_count(), true);
     for (NetId port : pnl.ports()) {
@@ -101,7 +105,7 @@ struct Phase1State {
       }
     }
     ++round;
-    label_g = &cache.labels(rail_key, round);
+    label_g = &cache.labels(rail_key, round, pool);
   }
 
   [[nodiscard]] bool any_valid(Kind kind) const {
@@ -174,6 +178,7 @@ Phase1Result run_phase1(const CircuitGraph& pattern, const CircuitGraph& host,
 
   Phase1Result result;
   Phase1State st(pattern, host, cache);
+  st.pool = options.pool;
   st.prune = options.consistency_checks;
 
   // Initial consistency pass over both sides of the bipartition (Fig 4:

@@ -29,6 +29,7 @@
 namespace subg {
 
 class HostLabelCache;
+class ThreadPool;
 
 struct Phase1Options {
   /// Hard cap on relabeling rounds (corruption reaches the whole pattern in
@@ -43,6 +44,10 @@ struct Phase1Options {
   /// share one across patterns searched against the same host. Must have
   /// been constructed over the same host graph.
   HostLabelCache* host_cache = nullptr;
+  /// Optional worker pool: host relabeling rounds become data-parallel over
+  /// vertices (two-buffer synchronous update, bit-identical to the serial
+  /// sweep). The pattern side stays serial — patterns are tiny.
+  ThreadPool* pool = nullptr;
   /// Ablation switch: disable the per-round consistency checks (host-vertex
   /// pruning and early infeasibility detection, paper §III). Candidates are
   /// then selected from final-round labels alone. Correct but slower /

@@ -99,6 +99,16 @@ class Phase2Verifier {
   /// enumerate() calls, like stats().
   [[nodiscard]] const RunStatus& status() const { return status_; }
 
+  /// Return the accumulated status and reset it to kComplete. Parallel
+  /// sweeps call this after every candidate so per-candidate statuses can
+  /// be merged in seed-index order — reproducing the serial run's report
+  /// regardless of which worker verified which candidate.
+  [[nodiscard]] RunStatus take_status() {
+    RunStatus out = std::move(status_);
+    status_ = RunStatus{};
+    return out;
+  }
+
  private:
   struct Slot {
     Vertex vertex;

@@ -62,10 +62,16 @@ inline constexpr Label kNoLabel = 0;
   return splitmix64_mix(type_label + 0x2545F4914F6CDD1DULL * (class_index + 1));
 }
 
-/// One incident edge's contribution to a relabeling sum.
+/// One incident edge's contribution to a relabeling sum. The neighbor label
+/// is mixed BEFORE the coefficient is added: pairing them with a bare XOR
+/// (or add) would let contributions from two different pin classes collide
+/// via the trivial differential neighbor2 = neighbor1 ^ (coeff1 ^ coeff2),
+/// silently erasing class sensitivity for correlated labels. With the
+/// pre-mix, equal cross-class contributions require inverting SplitMix64 —
+/// i.e. a deliberate attack, not a structural accident.
 [[nodiscard]] constexpr Label edge_contribution(Label coefficient,
                                                 Label neighbor_label) noexcept {
-  return splitmix64_mix(neighbor_label ^ coefficient);
+  return splitmix64_mix(splitmix64_mix(neighbor_label) + coefficient);
 }
 
 /// Finalize a relabeling: mixed old label plus the commutative edge sum.

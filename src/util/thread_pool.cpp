@@ -1,0 +1,110 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace subg {
+
+std::size_t ThreadPool::default_jobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool::ThreadPool(std::size_t jobs) {
+  if (jobs == 0) jobs = default_jobs();
+  workers_.reserve(jobs - 1);
+  for (std::size_t i = 0; i + 1 < jobs; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+bool ThreadPool::run_chunk(Job& job) {
+  const std::size_t begin = job.next.fetch_add(job.grain);
+  if (begin >= job.total) return false;
+  const std::size_t end = std::min(begin + job.grain, job.total);
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    error = job.error;
+  }
+  if (error == nullptr) {
+    // Skip the work (but still account for it) once a sibling chunk failed.
+    try {
+      (*job.body)(begin, end);
+    } catch (...) {
+      error = std::current_exception();
+    }
+  }
+  bool finished;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (error != nullptr && job.error == nullptr) job.error = error;
+    job.done += end - begin;
+    finished = job.done == job.total;
+  }
+  if (finished) job.complete.notify_all();
+  return true;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] {
+        if (shutdown_) return true;
+        for (auto it = active_.begin(); it != active_.end();) {
+          if ((*it)->next.load(std::memory_order_relaxed) >= (*it)->total) {
+            it = active_.erase(it);  // fully claimed; drop from the scan list
+          } else {
+            job = *it;
+            return true;
+          }
+        }
+        return false;
+      });
+      if (job == nullptr) return;  // shutdown
+    }
+    while (run_chunk(*job)) {
+    }
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  if (workers_.empty() || n <= grain) {
+    body(0, n);  // inline serial path
+    return;
+  }
+  auto job = std::make_shared<Job>();
+  job->total = n;
+  job->grain = grain;
+  job->body = &body;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    active_.push_back(job);
+  }
+  wake_.notify_all();
+  while (run_chunk(*job)) {
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  job->complete.wait(lock, [&] { return job->done == job->total; });
+  std::exception_ptr error = job->error;
+  lock.unlock();
+  if (error != nullptr) std::rethrow_exception(error);
+}
+
+}  // namespace subg

@@ -1,0 +1,87 @@
+// Shared worker pool for the matching runtime.
+//
+// SubGemini's hot paths parallelize along two natural axes: Phase I host
+// relabeling is data-parallel over vertices (every new label is a pure
+// function of the previous round), and the Phase II candidate sweep is
+// task-parallel over candidate-vector seeds (each seed is an independent
+// rooted search). Both run on one ThreadPool so a whole extract sweep —
+// many matches, each with many candidates — shares a fixed set of threads
+// instead of oversubscribing.
+//
+// Design notes:
+//  - ThreadPool(jobs) provides `jobs` lanes of parallelism INCLUDING the
+//    calling thread: jobs-1 workers are spawned, and parallel_for's caller
+//    claims chunks alongside them. ThreadPool(1) spawns no threads and runs
+//    everything inline on the caller — the exact serial code path.
+//  - parallel_for may be called from inside a parallel_for body (extract
+//    runs per-cell matches on the pool, and each match parallelizes its
+//    candidate sweep on the same pool). This cannot deadlock: the nested
+//    caller always makes progress on its own job, and idle workers steal
+//    chunks from any active job.
+//  - Work distribution is dynamic (atomic chunk counter), so callers that
+//    need determinism must make each index's work independent of
+//    scheduling order — which is exactly how the matching code uses it
+//    (results land in per-index slots and are merged in index order).
+//  - The first exception thrown by a body is captured and rethrown on the
+//    calling thread after the loop drains; remaining chunks are skipped.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace subg {
+
+class ThreadPool {
+ public:
+  /// A pool with `jobs` lanes of parallelism (caller included); jobs == 0
+  /// means default_jobs(). ThreadPool(1) is the inline/serial pool.
+  explicit ThreadPool(std::size_t jobs = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Lanes of parallelism: worker threads + the calling thread.
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size() + 1; }
+
+  /// Run body(begin, end) over [0, n) in chunks of at most `grain`
+  /// indices, distributed dynamically over the pool. Blocks until every
+  /// index is done. The calling thread participates, so this works (and
+  /// stays deadlock-free) when called from inside another parallel_for
+  /// body on the same pool.
+  void parallel_for(std::size_t n, std::size_t grain,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
+  /// Hardware concurrency, clamped to at least 1.
+  [[nodiscard]] static std::size_t default_jobs();
+
+ private:
+  struct Job {
+    std::size_t total = 0;
+    std::size_t grain = 1;
+    const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+    std::atomic<std::size_t> next{0};  // next unclaimed index
+    std::size_t done = 0;              // completed indices; guarded by pool mutex
+    std::exception_ptr error;          // first failure; guarded by pool mutex
+    std::condition_variable complete;
+  };
+
+  void worker_loop();
+  /// Claim and run one chunk of `job`; false when nothing is left to claim.
+  bool run_chunk(Job& job);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::vector<std::shared_ptr<Job>> active_;  // jobs with unclaimed chunks
+  bool shutdown_ = false;
+};
+
+}  // namespace subg

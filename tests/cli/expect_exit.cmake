@@ -1,0 +1,29 @@
+# Run a command and require an EXACT exit code (ctest's WILL_FAIL only
+# distinguishes zero from nonzero, which cannot tell "resource limit hit"
+# (75) apart from a crash). Usage:
+#
+#   cmake "-DCMD=<exe>;arg;arg;..." -DEXPECT=<code> [-DEXPECT_RE=<regex>]
+#         -P expect_exit.cmake
+#
+# EXPECT_RE, when given, must additionally match the combined output.
+if(NOT DEFINED CMD OR NOT DEFINED EXPECT)
+  message(FATAL_ERROR "expect_exit.cmake needs -DCMD and -DEXPECT")
+endif()
+
+execute_process(COMMAND ${CMD}
+                RESULT_VARIABLE rc
+                OUTPUT_VARIABLE out
+                ERROR_VARIABLE err)
+
+if(NOT rc EQUAL ${EXPECT})
+  message(FATAL_ERROR "expected exit ${EXPECT}, got '${rc}'\n"
+                      "command: ${CMD}\nstdout:\n${out}\nstderr:\n${err}")
+endif()
+
+if(DEFINED EXPECT_RE)
+  set(combined "${out}${err}")
+  if(NOT combined MATCHES "${EXPECT_RE}")
+    message(FATAL_ERROR "output does not match '${EXPECT_RE}'\n"
+                        "stdout:\n${out}\nstderr:\n${err}")
+  endif()
+endif()

@@ -103,6 +103,56 @@ TEST(HostLabels, WrongHostRejected) {
   EXPECT_THROW(static_cast<void>(run_phase1(sg, gb, opts)), Error);
 }
 
+TEST(HostLabels, NormalizeSortsAndDeduplicates) {
+  HostLabelCache::RailKey key = {{7, 100}, {3, 50}, {7, 100}, {3, 50}, {1, 9}};
+  HostLabelCache::normalize(key);
+  const HostLabelCache::RailKey expected = {{1, 9}, {3, 50}, {7, 100}};
+  EXPECT_EQ(key, expected);
+
+  // Conflicting labels for one vertex are both kept (sorted), so the
+  // canonical form is still deterministic.
+  HostLabelCache::RailKey conflict = {{4, 20}, {4, 10}, {4, 20}};
+  HostLabelCache::normalize(conflict);
+  const HostLabelCache::RailKey expected2 = {{4, 10}, {4, 20}};
+  EXPECT_EQ(conflict, expected2);
+}
+
+TEST(HostLabels, AliasedRailEntriesHitTheSameCacheEntry) {
+  // Regression: a rail key with duplicate (vertex, label) entries — two
+  // pattern globals aliasing one host net — must canonicalize to the clean
+  // key: same cache entry (no double memoization) and identical labels
+  // (the rail override applied once, not twice).
+  gen::Generated host = gen::ripple_carry_adder(4);
+  CircuitGraph gg(host.netlist);
+  HostLabelCache cache(gg);
+
+  // Use the first two net vertices as stand-in rails.
+  constexpr Vertex kNone = 0xFFFFFFFFu;
+  Vertex rail_a = kNone, rail_b = kNone;
+  for (Vertex v = 0; v < gg.vertex_count(); ++v) {
+    if (!gg.is_net(v)) continue;
+    if (rail_a == kNone) {
+      rail_a = v;
+    } else {
+      rail_b = v;
+      break;
+    }
+  }
+  ASSERT_NE(rail_b, kNone);
+
+  const HostLabelCache::RailKey clean = {{rail_a, 111}, {rail_b, 222}};
+  HostLabelCache::RailKey aliased = {{rail_b, 222}, {rail_a, 111},
+                                     {rail_a, 111}, {rail_b, 222}};
+
+  const std::vector<Label>& from_clean = cache.labels(clean, 3);
+  const std::size_t rounds_after_clean = cache.cached_rounds();
+  const std::vector<Label>& from_aliased = cache.labels(aliased, 3);
+  // Same memoized array — the duplicate-laden key did not mint a second
+  // sequence.
+  EXPECT_EQ(&from_clean, &from_aliased);
+  EXPECT_EQ(cache.cached_rounds(), rounds_after_clean);
+}
+
 TEST(HostLabels, MatcherEndToEndWithSharedCache) {
   gen::Generated host = gen::logic_soup(300, 9);
   CircuitGraph gg(host.netlist);

@@ -1,0 +1,229 @@
+// Serial-vs-parallel equivalence: --jobs must change the wall clock only.
+//
+// The contract (MatchOptions::jobs): the report of a parallel run —
+// instances, their ORDER, phase1/phase2 statistics, and the structured
+// RunStatus — is bit-identical to the serial run's, because every
+// candidate-vector seed is a pure function of (graphs, options, seed) and
+// results are merged in seed-index order. These tests pin that contract
+// over testdata circuits, randomized generated circuits, both matching
+// semantics, injected cancellation, and the extract sweep.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "cells/cells.hpp"
+#include "extract/extract.hpp"
+#include "gemini/gemini.hpp"
+#include "gen/generators.hpp"
+#include "match/matcher.hpp"
+#include "spice/spice.hpp"
+#include "util/thread_pool.hpp"
+
+namespace subg {
+namespace {
+
+void expect_reports_equal(const MatchReport& serial, const MatchReport& parallel,
+                          const std::string& what) {
+  SCOPED_TRACE(what);
+  // Instances: same count, same order, same full mappings.
+  ASSERT_EQ(serial.instances.size(), parallel.instances.size());
+  for (std::size_t i = 0; i < serial.instances.size(); ++i) {
+    EXPECT_EQ(serial.instances[i].device_image,
+              parallel.instances[i].device_image)
+        << "instance " << i;
+    EXPECT_EQ(serial.instances[i].net_image, parallel.instances[i].net_image)
+        << "instance " << i;
+  }
+  // Phase I is identical by construction (same refinement, shared or not).
+  EXPECT_EQ(serial.phase1.feasible, parallel.phase1.feasible);
+  EXPECT_EQ(serial.phase1.key, parallel.phase1.key);
+  EXPECT_EQ(serial.phase1.candidates, parallel.phase1.candidates);
+  EXPECT_EQ(serial.phase1.rounds, parallel.phase1.rounds);
+  // Phase II counters are per-candidate and merged; sums must agree.
+  EXPECT_EQ(serial.phase2.candidates_tried, parallel.phase2.candidates_tried);
+  EXPECT_EQ(serial.phase2.candidates_matched,
+            parallel.phase2.candidates_matched);
+  EXPECT_EQ(serial.phase2.passes, parallel.phase2.passes);
+  EXPECT_EQ(serial.phase2.guesses, parallel.phase2.guesses);
+  EXPECT_EQ(serial.phase2.backtracks, parallel.phase2.backtracks);
+  EXPECT_EQ(serial.phase2.verify_failures, parallel.phase2.verify_failures);
+  EXPECT_EQ(serial.phase2.max_guess_depth, parallel.phase2.max_guess_depth);
+  // The structured outcome, reason string, and skip counters.
+  EXPECT_EQ(serial.status.outcome, parallel.status.outcome);
+  EXPECT_EQ(serial.status.reason, parallel.status.reason);
+  EXPECT_EQ(serial.status.candidates_skipped,
+            parallel.status.candidates_skipped);
+  EXPECT_EQ(serial.status.guesses_abandoned,
+            parallel.status.guesses_abandoned);
+}
+
+MatchReport run_with_jobs(const Netlist& pattern, const Netlist& host,
+                          std::size_t jobs, bool exhaustive = false,
+                          Budget budget = {}) {
+  MatchOptions opts;
+  opts.jobs = jobs;
+  opts.exhaustive = exhaustive;
+  opts.budget = budget;
+  SubgraphMatcher matcher(pattern, host, opts);
+  return matcher.find_all();
+}
+
+TEST(ParallelEquivalence, GeneratedCircuitsAllCells) {
+  cells::CellLibrary lib;
+  struct Case {
+    const char* cell;
+    gen::Generated host;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"fulladder", gen::ripple_carry_adder(12)});
+  cases.push_back({"nand2", gen::logic_soup(250, 7)});
+  cases.push_back({"xor2", gen::kogge_stone_adder(8)});
+  cases.push_back({"inv", gen::decoder(3)});
+  for (const Case& c : cases) {
+    Netlist pattern = lib.pattern(c.cell);
+    MatchReport serial = run_with_jobs(pattern, c.host.netlist, 1);
+    MatchReport parallel = run_with_jobs(pattern, c.host.netlist, 8);
+    expect_reports_equal(serial, parallel, c.cell);
+    EXPECT_GE(serial.count(), c.host.placed_count(c.cell)) << c.cell;
+  }
+}
+
+TEST(ParallelEquivalence, RandomizedSoupSweep) {
+  cells::CellLibrary lib;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    gen::Generated host = gen::logic_soup(180, seed);
+    for (const char* cell : {"nand2", "nor2", "inv", "mux2"}) {
+      Netlist pattern = lib.pattern(cell);
+      MatchReport serial = run_with_jobs(pattern, host.netlist, 1);
+      MatchReport parallel = run_with_jobs(pattern, host.netlist, 8);
+      expect_reports_equal(serial, parallel,
+                           std::string(cell) + " soup " + std::to_string(seed));
+    }
+  }
+}
+
+TEST(ParallelEquivalence, ExhaustiveSemantics) {
+  // Exhaustive enumeration explores every guess branch per candidate; the
+  // parallel path may only engage with an unbounded limit, and must still
+  // agree exactly.
+  cells::CellLibrary lib;
+  gen::Generated host = gen::sram_array(4, 4);
+  for (const char* cell : {"inv", "nand2"}) {
+    Netlist pattern = lib.pattern(cell);
+    MatchReport serial = run_with_jobs(pattern, host.netlist, 1, true);
+    MatchReport parallel = run_with_jobs(pattern, host.netlist, 8, true);
+    expect_reports_equal(serial, parallel, std::string("exhaustive ") + cell);
+  }
+}
+
+TEST(ParallelEquivalence, TestdataCircuits) {
+  Design cells_deck =
+      spice::read_file(std::string(SUBG_TESTDATA_DIR) + "/cells.sp");
+  Design host_deck =
+      spice::read_file(std::string(SUBG_TESTDATA_DIR) + "/mux_host.sp");
+  Netlist host = host_deck.flatten("main");
+  for (const char* cell : {"nand2", "inv"}) {
+    Netlist pattern = cells_deck.flatten(cell);
+    MatchReport serial = run_with_jobs(pattern, host, 1);
+    MatchReport parallel = run_with_jobs(pattern, host, 8);
+    expect_reports_equal(serial, parallel, cell);
+    EXPECT_GT(serial.count(), 0u) << cell;
+  }
+}
+
+TEST(ParallelEquivalence, InjectedCancellation) {
+  // A token tripped before the run starts is the one cancellation point
+  // both modes hit deterministically: everything is skipped, and both
+  // reports must agree on that — same outcome, same reason, same counter.
+  cells::CellLibrary lib;
+  gen::Generated host = gen::ripple_carry_adder(8);
+  Netlist pattern = lib.pattern("fulladder");
+  CancelToken token;
+  token.request();
+  Budget budget;
+  budget.set_cancel_token(&token);
+  MatchReport serial = run_with_jobs(pattern, host.netlist, 1, false, budget);
+  MatchReport parallel = run_with_jobs(pattern, host.netlist, 8, false, budget);
+  expect_reports_equal(serial, parallel, "cancelled");
+  EXPECT_EQ(serial.status.outcome, RunOutcome::kCancelled);
+  EXPECT_TRUE(serial.instances.empty());
+}
+
+TEST(ParallelEquivalence, ExpiredDeadline) {
+  cells::CellLibrary lib;
+  gen::Generated host = gen::logic_soup(150, 3);
+  Netlist pattern = lib.pattern("nand2");
+  Budget budget;
+  budget.set_deadline(Budget::Clock::now() - std::chrono::seconds(1));
+  MatchReport serial = run_with_jobs(pattern, host.netlist, 1, false, budget);
+  MatchReport parallel = run_with_jobs(pattern, host.netlist, 8, false, budget);
+  expect_reports_equal(serial, parallel, "expired");
+  EXPECT_EQ(serial.status.outcome, RunOutcome::kDeadlineExceeded);
+}
+
+TEST(ParallelEquivalence, ExtractSweep) {
+  // The extract tier machinery (shared snapshot, concurrent per-cell
+  // matches, serial greedy application) must produce the same gate netlist
+  // and the same report at every jobs value.
+  cells::CellLibrary lib;
+  gen::Generated host = gen::register_file(4, 4);
+  std::vector<extract::LibraryCell> library;
+  for (const char* cell : {"dff", "mux2", "nand2", "inv"}) {
+    library.push_back(extract::LibraryCell{cell, lib.pattern(cell)});
+  }
+
+  auto run = [&](std::size_t jobs) {
+    extract::ExtractOptions opts;
+    opts.match.jobs = jobs;
+    return extract::extract_gates(host.netlist, library, opts);
+  };
+  extract::ExtractResult serial = run(1);
+  extract::ExtractResult parallel = run(8);
+
+  ASSERT_EQ(serial.report.cells.size(), parallel.report.cells.size());
+  for (std::size_t i = 0; i < serial.report.cells.size(); ++i) {
+    EXPECT_EQ(serial.report.cells[i].cell, parallel.report.cells[i].cell);
+    EXPECT_EQ(serial.report.cells[i].instances,
+              parallel.report.cells[i].instances);
+    EXPECT_EQ(serial.report.cells[i].devices_replaced,
+              parallel.report.cells[i].devices_replaced);
+    EXPECT_EQ(serial.report.cells[i].outcome, parallel.report.cells[i].outcome);
+  }
+  EXPECT_EQ(serial.report.devices_after, parallel.report.devices_after);
+  EXPECT_EQ(serial.report.unextracted_primitives,
+            parallel.report.unextracted_primitives);
+  EXPECT_EQ(serial.report.status.outcome, parallel.report.status.outcome);
+  // The gate netlists are not just isomorphic but identical device-for-
+  // device (same names, same pins), since acceptance is applied in the
+  // same order.
+  ASSERT_EQ(serial.netlist.device_count(), parallel.netlist.device_count());
+  for (std::uint32_t d = 0; d < serial.netlist.device_count(); ++d) {
+    const DeviceId id(d);
+    EXPECT_EQ(serial.netlist.device_name(id), parallel.netlist.device_name(id));
+    EXPECT_EQ(serial.netlist.device_type_info(id).name,
+              parallel.netlist.device_type_info(id).name);
+  }
+  EXPECT_TRUE(compare_netlists(serial.netlist, parallel.netlist).isomorphic);
+}
+
+TEST(ParallelEquivalence, ExternalPoolMatchesOwnedPool) {
+  // A caller-owned pool (the extract sweep's shape) must behave like the
+  // matcher's own: same report, pool reusable across matches.
+  cells::CellLibrary lib;
+  gen::Generated host = gen::ripple_carry_adder(6);
+  ThreadPool pool(4);
+  for (const char* cell : {"fulladder", "xor2"}) {
+    Netlist pattern = lib.pattern(cell);
+    MatchOptions with_pool;
+    with_pool.pool = &pool;
+    SubgraphMatcher m(pattern, host.netlist, with_pool);
+    MatchReport shared = m.find_all();
+    MatchReport serial = run_with_jobs(pattern, host.netlist, 1);
+    expect_reports_equal(serial, shared, cell);
+  }
+}
+
+}  // namespace
+}  // namespace subg

@@ -1,0 +1,131 @@
+// ThreadPool unit tests: coverage, nesting, exception transport, and the
+// serial fast path. Scheduling is nondeterministic, so every assertion is
+// about scheduling-independent facts (each index runs exactly once, sums
+// match, errors surface).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace subg {
+namespace {
+
+TEST(ThreadPool, DefaultJobsIsPositive) {
+  EXPECT_GE(ThreadPool::default_jobs(), 1u);
+}
+
+TEST(ThreadPool, SerialPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  const std::thread::id caller = std::this_thread::get_id();
+  bool same_thread = true;
+  pool.parallel_for(100, 8, [&](std::size_t, std::size_t) {
+    if (std::this_thread::get_id() != caller) same_thread = false;
+  });
+  EXPECT_TRUE(same_thread);
+}
+
+TEST(ThreadPool, EveryIndexRunsExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  constexpr std::size_t kN = 10'000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, 7, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ChunksRespectGrainAndBounds) {
+  ThreadPool pool(3);
+  std::atomic<std::size_t> covered{0};
+  std::atomic<bool> bad_chunk{false};
+  pool.parallel_for(1000, 64, [&](std::size_t begin, std::size_t end) {
+    if (end <= begin || end - begin > 64 || end > 1000) bad_chunk = true;
+    covered.fetch_add(end - begin);
+  });
+  EXPECT_FALSE(bad_chunk.load());
+  EXPECT_EQ(covered.load(), 1000u);
+}
+
+TEST(ThreadPool, NestedParallelForCompletes) {
+  // extract runs per-cell matches on the pool and each match parallelizes
+  // its candidate sweep on the SAME pool; the nested call must not
+  // deadlock and must cover everything.
+  ThreadPool pool(4);
+  constexpr std::size_t kOuter = 8, kInner = 500;
+  std::atomic<std::size_t> total{0};
+  pool.parallel_for(kOuter, 1, [&](std::size_t ob, std::size_t oe) {
+    for (std::size_t o = ob; o < oe; ++o) {
+      pool.parallel_for(kInner, 16, [&](std::size_t ib, std::size_t ie) {
+        total.fetch_add(ie - ib, std::memory_order_relaxed);
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), kOuter * kInner);
+}
+
+TEST(ThreadPool, FirstExceptionPropagatesAndPoolSurvives) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(1000, 1,
+                        [&](std::size_t begin, std::size_t) {
+                          if (begin == 437) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The pool must remain fully usable after a failed loop.
+  std::atomic<std::size_t> covered{0};
+  pool.parallel_for(256, 4, [&](std::size_t begin, std::size_t end) {
+    covered.fetch_add(end - begin);
+  });
+  EXPECT_EQ(covered.load(), 256u);
+}
+
+TEST(ThreadPool, ConcurrentCallersShareOnePool) {
+  // Two external threads issuing parallel_for on the same pool (the shape
+  // of an extract tier: each cell match is a caller).
+  ThreadPool pool(4);
+  std::atomic<std::size_t> a{0}, b{0};
+  std::thread t1([&] {
+    for (int round = 0; round < 20; ++round) {
+      pool.parallel_for(300, 8, [&](std::size_t begin, std::size_t end) {
+        a.fetch_add(end - begin, std::memory_order_relaxed);
+      });
+    }
+  });
+  std::thread t2([&] {
+    for (int round = 0; round < 20; ++round) {
+      pool.parallel_for(300, 8, [&](std::size_t begin, std::size_t end) {
+        b.fetch_add(end - begin, std::memory_order_relaxed);
+      });
+    }
+  });
+  t1.join();
+  t2.join();
+  EXPECT_EQ(a.load(), 20u * 300u);
+  EXPECT_EQ(b.load(), 20u * 300u);
+}
+
+TEST(ThreadPool, EmptyAndTinyLoops) {
+  ThreadPool pool(4);
+  bool ran = false;
+  pool.parallel_for(0, 8, [&](std::size_t, std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+  std::atomic<std::size_t> covered{0};
+  pool.parallel_for(1, 8, [&](std::size_t begin, std::size_t end) {
+    covered.fetch_add(end - begin);
+  });
+  EXPECT_EQ(covered.load(), 1u);
+}
+
+}  // namespace
+}  // namespace subg

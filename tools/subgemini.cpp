@@ -19,6 +19,9 @@
 // Global flags (anywhere after the command):
 //   --timeout=<sec>   wall-clock budget for the search; an expired run
 //                     reports what it found and exits 75
+//   --jobs=<n>        parallel lanes for find/extract (default: hardware
+//                     concurrency; --jobs=1 is the exact serial path —
+//                     reports are identical at every value)
 //   --lenient         best-effort parsing: malformed input lines become
 //                     stderr diagnostics instead of fatal errors
 #include <cstdio>
@@ -59,6 +62,8 @@ int usage() {
       "(.bench).\n"
       "\nflags:\n"
       "  --timeout=<sec>  wall-clock budget; a run cut short exits 75\n"
+      "  --jobs=<n>       parallel lanes for find/extract (default: hardware\n"
+      "                   concurrency; 1 = serial; results are identical)\n"
       "  --lenient        recover from malformed input lines (diagnostics\n"
       "                   go to stderr) instead of failing\n"
       "\nexit codes: 0 success; 1 not isomorphic / rule violations;\n"
@@ -69,6 +74,8 @@ int usage() {
 
 /// Wall-clock budget shared by every search the invocation runs.
 Budget g_budget;
+/// Parallel lanes for find/extract (--jobs); 0 = hardware concurrency.
+std::size_t g_jobs = 0;
 /// Recovering-parse mode (--lenient).
 bool g_lenient = false;
 
@@ -176,6 +183,7 @@ int cmd_find(const std::vector<std::string>& args) {
 
   MatchOptions opts;
   opts.budget = g_budget;
+  opts.jobs = g_jobs;
   SubgraphMatcher matcher(pattern, host, opts);
   MatchReport report = matcher.find_all();
   std::printf("# pattern %s (%zu devices), host %s (%zu devices)\n",
@@ -225,6 +233,7 @@ int cmd_extract(const std::vector<std::string>& args) {
 
   extract::ExtractOptions options;
   options.match.budget = g_budget;
+  options.match.jobs = g_jobs;
   extract::ExtractResult result = extract::extract_gates(host, cells, options);
   std::fprintf(stderr, "# %zu transistors -> %zu devices (%zu unextracted)\n",
                result.report.devices_before, result.report.devices_after,
@@ -342,6 +351,17 @@ int main(int argc, char** argv) {
         return usage();
       }
       g_budget.set_deadline_after(seconds);
+      continue;
+    }
+    if (arg.rfind("--jobs=", 0) == 0) {
+      char* end = nullptr;
+      const unsigned long jobs = std::strtoul(arg.c_str() + 7, &end, 10);
+      if (end == nullptr || *end != '\0' || arg.size() == 7 || jobs == 0) {
+        std::fprintf(stderr, "subgemini: bad --jobs value '%s'\n",
+                     arg.c_str() + 7);
+        return usage();
+      }
+      g_jobs = static_cast<std::size_t>(jobs);
       continue;
     }
     if (arg == "--lenient") {
