@@ -9,7 +9,9 @@
 #include "cells/cells.hpp"
 #include "gen/generators.hpp"
 #include "match/matcher.hpp"
+#include "report/document.hpp"
 #include "report/report.hpp"
+#include "util/cli_options.hpp"
 #include "util/strings.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -92,10 +94,8 @@ inline std::vector<ScalingRow> jobs_scaling(const Netlist& pattern,
   return rows;
 }
 
-inline void print_scaling(const std::string& what,
-                          const std::vector<ScalingRow>& rows) {
-  std::printf("\nper-jobs scaling: %s (hardware concurrency %zu)\n",
-              what.c_str(), ThreadPool::default_jobs());
+/// The scaling table, shared by the text rendering and the json document.
+inline report::Table make_scaling_table(const std::vector<ScalingRow>& rows) {
   report::Table t({"jobs", "found", "time ms", "speedup"});
   for (std::size_t c = 0; c < 4; ++c) t.align_right(c);
   for (const ScalingRow& r : rows) {
@@ -103,28 +103,54 @@ inline void print_scaling(const std::string& what,
                with_commas(static_cast<long long>(r.found)),
                format_fixed(r.ms, 2), format_fixed(r.speedup, 2) + "x"});
   }
-  std::string s = t.to_string();
-  std::fputs(s.c_str(), stdout);
+  return t;
+}
+
+[[nodiscard]] inline bool scaling_diverged(const std::vector<ScalingRow>& rows) {
   for (std::size_t i = 1; i < rows.size(); ++i) {
-    if (rows[i].found != rows[0].found) {
-      std::printf("WARNING: found-count diverged across jobs "
-                  "(determinism contract violated)\n");
-      break;
-    }
+    if (rows[i].found != rows[0].found) return true;
+  }
+  return false;
+}
+
+inline void print_scaling(const std::string& what,
+                          const std::vector<ScalingRow>& rows) {
+  std::printf("\nper-jobs scaling: %s (hardware concurrency %zu)\n",
+              what.c_str(), ThreadPool::default_jobs());
+  std::string s = make_scaling_table(rows).to_string();
+  std::fputs(s.c_str(), stdout);
+  if (scaling_diverged(rows)) {
+    std::printf("WARNING: found-count diverged across jobs "
+                "(determinism contract violated)\n");
   }
 }
 
-inline void print_rows(const std::vector<MatchRow>& rows) {
+/// A scaling section of a bench json document: the rendered table plus the
+/// determinism verdict.
+inline json::Value scaling_json(const std::string& what,
+                                const std::vector<ScalingRow>& rows) {
+  json::Value v = json::Value::object();
+  v.set("what", what);
+  v.set("hardware_concurrency", ThreadPool::default_jobs());
+  v.set("table", report::to_json(make_scaling_table(rows)));
+  v.set("found_identical_across_jobs", !scaling_diverged(rows));
+  return v;
+}
+
+/// The Table-2-style results table. `any_incomplete` (when non-null) is set
+/// iff some row hit a resource limit (its found-count is starred).
+inline report::Table make_match_table(const std::vector<MatchRow>& rows,
+                                      bool* any_incomplete = nullptr) {
   report::Table t({"circuit", "devices", "nets", "subcircuit", "CV", "found",
                    "expected", "guesses", "phaseI ms", "phaseII ms",
                    "total ms"});
   for (std::size_t c = 1; c < 11; ++c) t.align_right(c);
-  bool any_incomplete = false;
+  if (any_incomplete != nullptr) *any_incomplete = false;
   for (const MatchRow& r : rows) {
     std::string found = with_commas(static_cast<long long>(r.found));
     if (r.outcome != RunOutcome::kComplete) {
       found += "*";
-      any_incomplete = true;
+      if (any_incomplete != nullptr) *any_incomplete = true;
     }
     t.add_row({r.circuit, with_commas(static_cast<long long>(r.devices)),
                with_commas(static_cast<long long>(r.nets)), r.cell,
@@ -134,11 +160,42 @@ inline void print_rows(const std::vector<MatchRow>& rows) {
                format_fixed(r.phase1_ms, 2), format_fixed(r.phase2_ms, 2),
                format_fixed(r.phase1_ms + r.phase2_ms, 2)});
   }
-  std::string s = t.to_string();
+  return t;
+}
+
+inline void print_rows(const std::vector<MatchRow>& rows) {
+  bool any_incomplete = false;
+  std::string s = make_match_table(rows, &any_incomplete).to_string();
   std::fputs(s.c_str(), stdout);
   if (any_incomplete) {
     std::printf("(* = run hit a resource limit; count is a lower bound)\n");
   }
+}
+
+/// Shared argv handling for the bench mains: global flags only, no
+/// positionals, and only --format applies (benches fix their own workloads
+/// and lane counts so rows stay comparable). Returns the format via
+/// `format`; a non-zero return is the process exit code.
+inline int parse_bench_args(const char* name, int argc, char** argv,
+                            cli::Format* format) {
+  cli::ParsedArgs parsed = cli::parse_args(argc, argv, 1);
+  std::string error = parsed.error;
+  if (error.empty() && !parsed.positionals.empty()) {
+    error = "unexpected argument '" + parsed.positionals.front() + "'";
+  }
+  if (error.empty() &&
+      (parsed.options.jobs != 0 || parsed.options.lenient ||
+       parsed.options.metrics || parsed.options.budget.has_deadline() ||
+       !parsed.options.top.empty() || !parsed.options.pattern_top.empty())) {
+    error = "only --format=text|json applies to benches";
+  }
+  if (!error.empty()) {
+    std::fprintf(stderr, "%s: %s\nusage: %s [--format=text|json]\n", name,
+                 error.c_str(), name);
+    return 64;
+  }
+  *format = parsed.options.format;
+  return 0;
 }
 
 }  // namespace subg::bench

@@ -10,7 +10,11 @@
 // The regenerated figure is the printed (x, y) series; the fit's R² and
 // the log-log scaling exponent quantify "approximately linear" (exponent
 // ≈ 1).
+//
+// --format=json emits the series tables, fits (report::to_json(LinearFit)),
+// and scaling exponents as one schema_version-1 document.
 #include <cstdio>
+#include <iostream>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -63,52 +67,103 @@ std::vector<Point> sweep_sram(cells::CellLibrary& lib) {
   return pts;
 }
 
-void report_series(const char* name, const std::vector<Point>& pts) {
-  std::printf("\n%s\n", name);
-  report::Table t({"host devices", "matched devices", "time ms",
-                   "us per matched device"});
-  for (std::size_t c = 0; c < 4; ++c) t.align_right(c);
+/// One family's series table plus its regression numbers.
+struct Series {
+  std::string name;
+  report::Table table;
+  report::LinearFit fit;
+  double exponent = 0;
+};
+
+Series make_series(const char* name, const std::vector<Point>& pts) {
+  Series out{name,
+             report::Table({"host devices", "matched devices", "time ms",
+                            "us per matched device"}),
+             {},
+             0};
+  for (std::size_t c = 0; c < 4; ++c) out.table.align_right(c);
   std::vector<double> x, y;
   for (const Point& p : pts) {
-    t.add_row({with_commas(static_cast<long long>(p.host_devices)),
-               with_commas(static_cast<long long>(p.matched_devices)),
-               format_fixed(p.ms, 2),
-               format_fixed(p.ms * 1e3 / static_cast<double>(p.matched_devices),
-                            3)});
+    out.table.add_row(
+        {with_commas(static_cast<long long>(p.host_devices)),
+         with_commas(static_cast<long long>(p.matched_devices)),
+         format_fixed(p.ms, 2),
+         format_fixed(p.ms * 1e3 / static_cast<double>(p.matched_devices),
+                      3)});
     x.push_back(static_cast<double>(p.matched_devices));
     y.push_back(p.ms);
   }
-  std::string s = t.to_string();
+  out.fit = report::fit_line(x, y);
+  out.exponent = report::scaling_exponent(x, y);
+  return out;
+}
+
+void print_series(const Series& series) {
+  std::printf("\n%s\n", series.name.c_str());
+  std::string s = series.table.to_string();
   std::fputs(s.c_str(), stdout);
-  report::LinearFit fit = report::fit_line(x, y);
-  double expo = report::scaling_exponent(x, y);
   std::printf("linear fit: time_ms = %.6f * matched + %.3f   R^2 = %.4f\n",
-              fit.slope, fit.intercept, fit.r2);
-  std::printf("log-log scaling exponent: %.3f (paper claims ~1.0)\n", expo);
+              series.fit.slope, series.fit.intercept, series.fit.r2);
+  std::printf("log-log scaling exponent: %.3f (paper claims ~1.0)\n",
+              series.exponent);
+}
+
+json::Value series_json(const Series& series) {
+  json::Value v = json::Value::object();
+  v.set("name", series.name);
+  v.set("table", report::to_json(series.table));
+  v.set("fit", report::to_json(series.fit));
+  v.set("scaling_exponent", series.exponent);
+  return v;
 }
 
 }  // namespace
 }  // namespace subg::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace subg::bench;
-  std::printf("E5: running time vs total devices inside matched subcircuits\n");
+  subg::cli::Format format = subg::cli::Format::kText;
+  if (int code = parse_bench_args("bench_linearity", argc, argv, &format)) {
+    return code;
+  }
+
   subg::cells::CellLibrary lib;
-  report_series("fulladder in ripple-carry adders", sweep_adders(lib));
-  report_series("sram6t in 16-row SRAM arrays", sweep_sram(lib));
+  Series adders = make_series("fulladder in ripple-carry adders",
+                              sweep_adders(lib));
+  Series sram = make_series("sram6t in 16-row SRAM arrays", sweep_sram(lib));
 
   // Per-jobs scaling on the largest host of each family. The candidate
   // sweep parallelizes over Phase II seeds, so speedup tracks the seed
   // count; the found-count must be identical at every lane count.
+  std::vector<ScalingRow> rca_scaling;
+  std::vector<ScalingRow> sram_scaling;
   {
     subg::gen::Generated g = subg::gen::ripple_carry_adder(512);
-    print_scaling("fulladder in rca512",
-                  jobs_scaling(lib.pattern("fulladder"), g.netlist));
+    rca_scaling = jobs_scaling(lib.pattern("fulladder"), g.netlist);
   }
   {
     subg::gen::Generated g = subg::gen::sram_array(16, 512);
-    print_scaling("sram6t in sram16x512",
-                  jobs_scaling(lib.pattern("sram6t"), g.netlist));
+    sram_scaling = jobs_scaling(lib.pattern("sram6t"), g.netlist);
   }
+
+  if (format == subg::cli::Format::kJson) {
+    subg::report::Document doc("bench_linearity", "E5");
+    subg::json::Value series = subg::json::Value::array();
+    series.push(series_json(adders));
+    series.push(series_json(sram));
+    doc.set("series", std::move(series));
+    subg::json::Value scaling = subg::json::Value::array();
+    scaling.push(scaling_json("fulladder in rca512", rca_scaling));
+    scaling.push(scaling_json("sram6t in sram16x512", sram_scaling));
+    doc.set("scaling", std::move(scaling));
+    doc.write(std::cout);
+    return 0;
+  }
+
+  std::printf("E5: running time vs total devices inside matched subcircuits\n");
+  print_series(adders);
+  print_series(sram);
+  print_scaling("fulladder in rca512", rca_scaling);
+  print_scaling("sram6t in sram16x512", sram_scaling);
   return 0;
 }

@@ -7,14 +7,18 @@
 // machine artifacts; the shape to check is: instance counts match the
 // construction ground truth, the candidate vector is close to the instance
 // count (Phase I filters well), and times stay small even at 10^5 devices.
+//
+// --format=json emits the same results as one schema_version-1 document
+// (tables serialized via report::to_json) instead of the ASCII rendering.
 #include <cstdio>
+#include <iostream>
 
 #include "bench_common.hpp"
 
 namespace subg::bench {
 namespace {
 
-void run() {
+void run(cli::Format format) {
   cells::CellLibrary lib;
   std::vector<MatchRow> rows;
 
@@ -25,9 +29,6 @@ void run() {
                                g.placed_count(cell)));
     }
   };
-
-  std::printf("E6: gate finding in generated CMOS circuits "
-              "(Table-2-style rows)\n\n");
 
   add("c17", gen::c17(), {"nand2"});
   add("rca64", gen::ripple_carry_adder(64), {"fulladder", "xor2", "nand2"});
@@ -40,23 +41,39 @@ void run() {
   add("soup20k", gen::logic_soup(20000, 1234),
       {"nand2", "nor2", "aoi21", "xor2", "mux2", "dff"});
 
-  print_rows(rows);
-
   // Per-jobs scaling on the two seed-heaviest rows: the candidate sweep
   // runs Phase II seeds on parallel lanes, so these are the workloads
   // where --jobs can pay off. Counts must be identical at every lane
   // count (the determinism contract).
+  std::vector<ScalingRow> soup_scaling;
+  std::vector<ScalingRow> mul_scaling;
   {
     gen::Generated g = gen::logic_soup(20000, 1234);
-    print_scaling("nand2 in soup20k",
-                  jobs_scaling(lib.pattern("nand2"), g.netlist));
+    soup_scaling = jobs_scaling(lib.pattern("nand2"), g.netlist);
   }
   {
     gen::Generated g = gen::array_multiplier(16);
-    print_scaling("fulladder in mul16",
-                  jobs_scaling(lib.pattern("fulladder"), g.netlist));
+    mul_scaling = jobs_scaling(lib.pattern("fulladder"), g.netlist);
   }
 
+  if (format == cli::Format::kJson) {
+    report::Document doc("bench_table2", "E6");
+    bool any_incomplete = false;
+    doc.set("table", report::to_json(make_match_table(rows, &any_incomplete)));
+    doc.set("any_incomplete", any_incomplete);
+    json::Value scaling = json::Value::array();
+    scaling.push(scaling_json("nand2 in soup20k", soup_scaling));
+    scaling.push(scaling_json("fulladder in mul16", mul_scaling));
+    doc.set("scaling", std::move(scaling));
+    doc.write(std::cout);
+    return;
+  }
+
+  std::printf("E6: gate finding in generated CMOS circuits "
+              "(Table-2-style rows)\n\n");
+  print_rows(rows);
+  print_scaling("nand2 in soup20k", soup_scaling);
+  print_scaling("fulladder in mul16", mul_scaling);
   std::printf(
       "\nNotes:\n"
       " - 'expected' is the construction-placed count; 'found' may exceed it\n"
@@ -69,7 +86,12 @@ void run() {
 }  // namespace
 }  // namespace subg::bench
 
-int main() {
-  subg::bench::run();
+int main(int argc, char** argv) {
+  subg::cli::Format format = subg::cli::Format::kText;
+  if (int code = subg::bench::parse_bench_args("bench_table2", argc, argv,
+                                               &format)) {
+    return code;
+  }
+  subg::bench::run(format);
   return 0;
 }

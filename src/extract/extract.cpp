@@ -6,6 +6,7 @@
 
 #include "gemini/gemini.hpp"
 #include "match/host_labels.hpp"
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
 #include "util/thread_pool.hpp"
@@ -173,6 +174,8 @@ ExtractResult extract_gates(const Netlist& transistors,
     pool = &*owned_pool;
   }
   if (jobs <= 1) pool = nullptr;
+  obs::Metrics* metrics = options.match.metrics;
+  if (metrics != nullptr && pool != nullptr) pool->enable_timing();
 
   std::uint64_t gate_serial = 0;
   std::size_t oi = 0;
@@ -180,6 +183,7 @@ ExtractResult extract_gates(const Netlist& transistors,
     RunOutcome why;
     if (options.match.budget.interrupted(&why)) {
       result.report.cells_skipped = order.size() - oi;
+      obs::count(metrics, "extract.cells_skipped", result.report.cells_skipped);
       result.report.status.escalate(
           why, std::string("extract: ") + to_string(why) + " before cell '" +
                    order[oi]->name + "'; " +
@@ -205,6 +209,9 @@ ExtractResult extract_gates(const Netlist& transistors,
     const std::size_t tier_size = tier_end - oi;
 
     // One graph + label cache snapshot shared by every match in the tier.
+    obs::Metrics::SpanTimer tier_span(metrics, "extract.tier");
+    obs::count(metrics, "extract.tiers");
+    obs::count(metrics, "extract.cells_attempted", tier_size);
     CircuitGraph host_graph(working);
     HostLabelCache host_cache(host_graph);
     struct CellMatch {
@@ -271,14 +278,38 @@ ExtractResult extract_gates(const Netlist& transistors,
       }
       per.devices_replaced = cell_victims;
       per.seconds = tier[ti].seconds;
+      obs::count(metrics, "extract.instances", per.instances);
+      obs::count(metrics, "extract.devices_removed", cell_victims);
+      if (per.instances > 0) obs::count(metrics, "extract.cells_matched");
       result.report.cells.push_back(std::move(per));
       SUBG_DEBUG("extract: " << cell->name << " x" << per.instances);
     }
     working.remove_devices(victims);
+    // The tier's shared label cache dies here; fold its reuse totals in
+    // (matches in the tier skip recording for caller-shared caches).
+    if (metrics != nullptr) {
+      const HostLabelCache::CacheStats cs = host_cache.stats();
+      metrics->add("phase1.label_cache.hits", cs.hits);
+      metrics->add("phase1.label_cache.misses", cs.misses);
+    }
     oi = tier_end;
   }
 
   result.report.devices_after = working.device_count();
+  if (metrics != nullptr) {
+    metrics->add("extract.runs");
+    metrics->gauge("extract.devices_before",
+                   static_cast<double>(result.report.devices_before));
+    metrics->gauge("extract.devices_after",
+                   static_cast<double>(result.report.devices_after));
+    if (owned_pool.has_value()) {
+      const ThreadPool::Stats ps = owned_pool->stats();
+      metrics->add("pool.tasks", ps.tasks);
+      metrics->add("pool.chunks", ps.chunks);
+      metrics->add("pool.chunks_steal_free", ps.caller_chunks);
+      metrics->span_add("pool.busy", ps.busy_seconds);
+    }
+  }
   std::unordered_set<std::string> cell_names;
   for (const LibraryCell& c : cells) cell_names.insert(c.name);
   for (std::uint32_t d = 0; d < working.device_count(); ++d) {

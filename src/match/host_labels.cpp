@@ -26,6 +26,12 @@ const std::vector<Label>& HostLabelCache::labels(const RailKey& rails,
 
   std::lock_guard<std::mutex> lock(mutex_);
   std::deque<std::vector<Label>>& seq = sequences_[key];
+  if (seq.size() > round) {
+    ++stats_.hits;
+  } else {
+    // One miss per round actually computed (round 0 included).
+    stats_.misses += round + 1 - seq.size();
+  }
   if (seq.empty()) {
     // Round 0: invariant labels, with rail overrides. Host-declared globals
     // that are NOT in the rail set get ordinary degree labels (specialness
@@ -74,6 +80,11 @@ const std::vector<Label>& HostLabelCache::labels(const RailKey& rails,
     seq.push_back(std::move(next));
   }
   return seq[round];
+}
+
+HostLabelCache::CacheStats HostLabelCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
 }
 
 std::size_t HostLabelCache::cached_rounds() const {

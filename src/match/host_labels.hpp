@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <map>
 #include <mutex>
@@ -67,12 +68,22 @@ class HostLabelCache {
   /// Number of label arrays currently memoized (for tests/benches).
   [[nodiscard]] std::size_t cached_rounds() const;
 
+  /// Reuse accounting for the metrics registry: a labels() call that only
+  /// reads memoized rounds is a hit; every round it has to compute is a
+  /// miss. Updated under the cache mutex, so reads are exact.
+  struct CacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+  [[nodiscard]] CacheStats stats() const;
+
  private:
   const CircuitGraph* g_;
   /// Deque per rail key: push_back never moves finished rounds, so label
   /// array references handed out survive concurrent extension.
   std::map<RailKey, std::deque<std::vector<Label>>> sequences_;
   mutable std::mutex mutex_;
+  CacheStats stats_;
 };
 
 }  // namespace subg

@@ -23,6 +23,10 @@ struct Phase2Stats {
   std::size_t candidates_tried = 0;
   std::size_t candidates_matched = 0;
   std::size_t passes = 0;            ///< relabeling passes, all candidates
+  std::size_t bindings = 0;          ///< pattern↔host pairs postulated (key
+                                     ///< postulates, singleton matches, and
+                                     ///< guesses; re-bindings after a
+                                     ///< backtrack count again)
   std::size_t guesses = 0;           ///< postulated matches at ambiguity points
   std::size_t backtracks = 0;        ///< failed guesses undone
   std::size_t verify_failures = 0;   ///< final explicit verification rejected
@@ -34,6 +38,7 @@ struct Phase2Stats {
     candidates_tried += other.candidates_tried;
     candidates_matched += other.candidates_matched;
     passes += other.passes;
+    bindings += other.bindings;
     guesses += other.guesses;
     backtracks += other.backtracks;
     verify_failures += other.verify_failures;

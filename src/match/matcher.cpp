@@ -5,6 +5,7 @@
 #include <optional>
 #include <set>
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
 #include "util/thread_pool.hpp"
@@ -106,12 +107,15 @@ MatchReport SubgraphMatcher::run(std::size_t limit) {
     pool = &*owned_pool;
   }
   if (jobs <= 1) pool = nullptr;
+  if (options_.metrics != nullptr && pool != nullptr) pool->enable_timing();
 
   Phase1Options p1 = options_.phase1;
   p1.budget = options_.budget;  // one envelope governs the whole run
   p1.pool = pool;
+  p1.metrics = options_.metrics;
   report.phase1 = run_phase1(pattern_graph_, *host_graph_, p1);
   report.phase1_seconds = timer.seconds();
+  obs::span_add(options_.metrics, "phase1.seconds", report.phase1_seconds);
   report.status.escalate(report.phase1.outcome,
                          "phase1: refinement interrupted; candidate vector "
                          "selected from a partial refinement");
@@ -200,6 +204,8 @@ MatchReport SubgraphMatcher::run(std::size_t limit) {
           // the budget copies still share the deadline and cancel token.
           Phase2Verifier verifier(pattern_graph_, *host_graph_, p2);
           Budget budget = options_.budget;
+          Timer lane_timer;
+          std::size_t lane_seeds = 0;
           for (;;) {
             const std::size_t ci =
                 next.fetch_add(1, std::memory_order_relaxed);
@@ -212,6 +218,7 @@ MatchReport SubgraphMatcher::run(std::size_t limit) {
               seeds[ci].skipped = true;
               continue;  // keep claiming so every unattempted seed is counted
             }
+            ++lane_seeds;
             if (options_.exhaustive) {
               seeds[ci].found = verifier.enumerate(
                   report.phase1.key, candidates[ci], limit);
@@ -222,6 +229,13 @@ MatchReport SubgraphMatcher::run(std::size_t limit) {
             seeds[ci].status = verifier.take_status();
           }
           lane_stats[lane] = verifier.stats();
+          // Per-lane seed throughput: each lane is its own thread, so these
+          // land in distinct shards; the span merge yields (lane count,
+          // total busy seconds) and the counter the total seeds claimed.
+          obs::span_add(options_.metrics, "phase2.lane_busy",
+                        lane_timer.seconds());
+          obs::count(options_.metrics, "phase2.lane_seeds_claimed",
+                     lane_seeds);
           SUBG_DEBUG("matcher: lane " << lane << " tried "
                                       << lane_stats[lane].candidates_tried
                                       << " seeds, " << lane_stats[lane].passes
@@ -253,6 +267,30 @@ MatchReport SubgraphMatcher::run(std::size_t limit) {
     }
   }
   report.phase2_seconds = timer.seconds();
+
+  if (options_.metrics != nullptr) {
+    obs::Metrics& m = *options_.metrics;
+    m.span_add("phase2.seconds", report.phase2_seconds);
+    const Phase2Stats& stats = report.phase2;
+    m.add("phase2.seeds_tried", stats.candidates_tried);
+    m.add("phase2.seeds_matched", stats.candidates_matched);
+    m.add("phase2.passes", stats.passes);
+    m.add("phase2.bindings", stats.bindings);
+    m.add("phase2.ambiguity_guesses", stats.guesses);
+    m.add("phase2.backtracks", stats.backtracks);
+    m.add("phase2.verify_failures", stats.verify_failures);
+    m.gauge("phase2.max_guess_depth",
+            static_cast<double>(stats.max_guess_depth));
+    m.add("match.runs");
+    m.add("match.instances", report.instances.size());
+    if (owned_pool.has_value()) {
+      const ThreadPool::Stats ps = owned_pool->stats();
+      m.add("pool.tasks", ps.tasks);
+      m.add("pool.chunks", ps.chunks);
+      m.add("pool.chunks_steal_free", ps.caller_chunks);
+      m.span_add("pool.busy", ps.busy_seconds);
+    }
+  }
 
   SUBG_DEBUG("matcher: cv=" << report.phase1.candidates.size() << " found="
                             << report.instances.size() << " in "

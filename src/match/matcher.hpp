@@ -25,6 +25,10 @@
 #include "match/phase1.hpp"
 #include "match/phase2.hpp"
 
+namespace subg::obs {
+class Metrics;
+}  // namespace subg::obs
+
 namespace subg {
 
 class ThreadPool;
@@ -65,6 +69,12 @@ struct MatchOptions {
   /// sweep passes one). Overrides `jobs` when set; the pool must outlive
   /// the matcher calls that use it.
   ThreadPool* pool = nullptr;
+  /// Optional metrics sink (see obs/metrics.hpp), threaded into Phase I and
+  /// recorded against at phase boundaries: seeds tried, bindings,
+  /// backtracks, ambiguity events, per-lane seed throughput, phase timings.
+  /// Null (the default) records nothing and costs nothing — the Phase II
+  /// inner loops are never instrumented per-pass.
+  obs::Metrics* metrics = nullptr;
 };
 
 struct MatchReport {

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "match/host_labels.hpp"
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
 
@@ -132,6 +133,8 @@ struct Phase1State {
   }
 
   bool prune = true;
+  /// Host vertices pruned by the consistency checks, for the metrics sink.
+  std::size_t pruned = 0;
 
   /// Prune host vertices whose label matches no valid pattern partition;
   /// detect infeasibility when a host partition is smaller than its valid
@@ -150,6 +153,7 @@ struct Phase1State {
       auto it = s_count.find((*label_g)[v]);
       if (it == s_count.end()) {
         possible_g[v] = false;  // cannot be the image of any valid vertex
+        ++pruned;
       } else {
         ++g_count[(*label_g)[v]];
       }
@@ -165,21 +169,15 @@ struct Phase1State {
 
 }  // namespace
 
-Phase1Result run_phase1(const CircuitGraph& pattern, const CircuitGraph& host,
-                        const Phase1Options& options) {
-  SUBG_CHECK_MSG(pattern.device_count() > 0, "pattern has no devices");
+namespace {
 
-  // Fall back to a call-local cache when the caller does not share one.
-  HostLabelCache local_cache(host);
-  HostLabelCache& cache =
-      options.host_cache != nullptr ? *options.host_cache : local_cache;
-  SUBG_CHECK_MSG(&cache.host() == &host,
-                 "host label cache was built over a different host graph");
-
+/// The refinement loop proper; `st`'s prune counter survives the return so
+/// the wrapper can report it to the metrics sink on every exit path.
+Phase1Result run_phase1_refinement(const CircuitGraph& pattern,
+                                   const CircuitGraph& host,
+                                   const Phase1Options& options,
+                                   Phase1State& st) {
   Phase1Result result;
-  Phase1State st(pattern, host, cache);
-  st.pool = options.pool;
-  st.prune = options.consistency_checks;
 
   // Initial consistency pass over both sides of the bipartition (Fig 4:
   // degree-/type-infeasible host vertices are pruned before any round).
@@ -283,6 +281,58 @@ Phase1Result run_phase1(const CircuitGraph& pattern, const CircuitGraph& host,
 
   SUBG_DEBUG("phase1: rounds=" << result.rounds << " cv=" << result.candidates.size()
                                << " key=" << pattern.vertex_name(result.key));
+  return result;
+}
+
+}  // namespace
+
+Phase1Result run_phase1(const CircuitGraph& pattern, const CircuitGraph& host,
+                        const Phase1Options& options) {
+  SUBG_CHECK_MSG(pattern.device_count() > 0, "pattern has no devices");
+
+  // Fall back to a call-local cache when the caller does not share one.
+  HostLabelCache local_cache(host);
+  HostLabelCache& cache =
+      options.host_cache != nullptr ? *options.host_cache : local_cache;
+  SUBG_CHECK_MSG(&cache.host() == &host,
+                 "host label cache was built over a different host graph");
+
+  Phase1State st(pattern, host, cache);
+  st.pool = options.pool;
+  st.prune = options.consistency_checks;
+
+  Phase1Result result = run_phase1_refinement(pattern, host, options, st);
+
+  if (options.metrics != nullptr) {
+    obs::Metrics& m = *options.metrics;
+    m.add("phase1.runs");
+    m.add("phase1.rounds", result.rounds);
+    m.add("phase1.consistency_prunes", st.pruned);
+    if (result.outcome != RunOutcome::kComplete) m.add("phase1.interrupted");
+    if (!result.feasible) {
+      m.add("phase1.infeasible");
+    } else {
+      m.add("phase1.candidates", result.candidates.size());
+      // Corruption front: non-special pattern vertices reached by the
+      // corruption spread from the ports when refinement stopped.
+      std::size_t matchable = 0;
+      for (Vertex v = 0; v < pattern.vertex_count(); ++v) {
+        if (!pattern.is_special(v)) ++matchable;
+      }
+      m.add("phase1.corrupt_pattern_vertices",
+            matchable - result.valid_pattern_vertices);
+      m.gauge("phase1.max_candidates",
+              static_cast<double>(result.candidates.size()));
+    }
+    // A caller-shared cache spans many runs; its totals are recorded once
+    // by whoever owns it (see extract_gates). The local fallback cache
+    // dies here, so its reuse numbers are recorded now.
+    if (options.host_cache == nullptr) {
+      const HostLabelCache::CacheStats cs = local_cache.stats();
+      m.add("phase1.label_cache.hits", cs.hits);
+      m.add("phase1.label_cache.misses", cs.misses);
+    }
+  }
   return result;
 }
 

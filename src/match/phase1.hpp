@@ -26,6 +26,10 @@
 #include "graph/circuit_graph.hpp"
 #include "util/budget.hpp"
 
+namespace subg::obs {
+class Metrics;
+}  // namespace subg::obs
+
 namespace subg {
 
 class HostLabelCache;
@@ -56,6 +60,11 @@ struct Phase1Options {
   /// Diagnostics: copy the final labels and validity flags into the result
   /// (costs O(|S| + |G|) memory) so tests can check Label Invariant (1).
   bool keep_labels = false;
+  /// Optional metrics sink (see obs/metrics.hpp): rounds, candidate-vector
+  /// size, consistency-check prunes, corruption front, label-cache
+  /// hits/misses. Null (the default) records nothing and costs nothing —
+  /// counters are recorded once per run, never inside the relabeling loop.
+  obs::Metrics* metrics = nullptr;
 };
 
 struct Phase1Result {

@@ -71,6 +71,7 @@ std::uint32_t Phase2Verifier::ensure_slot(State& st, Vertex g) {
 }
 
 void Phase2Verifier::postulate(State& st, Vertex s, Vertex g) {
+  ++stats_.bindings;
   const Label l = fresh_label(st);
   st.label_s[s] = l;
   st.considered_s[s] = true;
@@ -389,6 +390,7 @@ bool Phase2Verifier::pass(State& st, bool* progress) {
 
   // --- 4. Match singleton safe pairs (fresh fixed labels).
   for (const auto& [sv, gv] : to_match) {
+    ++stats_.bindings;
     const Label l = fresh_label(st);
     st.label_s[sv] = l;
     st.matched_s[sv] = gv;

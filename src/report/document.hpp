@@ -1,0 +1,95 @@
+// Versioned machine-readable run reports — the JSON surface of the runtime.
+//
+// Every front-end (the subgemini subcommands under --format=json, the bench
+// mains) emits one report::Document: a JSON object whose first member is
+// "schema_version". Schema version 1 is ADDITIVE-ONLY: consumers may rely
+// on every documented member keeping its name, type, and meaning; new
+// members may appear in any object in later releases of the same version,
+// so consumers must ignore unknown keys. Removing or retyping a member
+// requires bumping the version. See README.md ("Machine-readable output")
+// for the documented layout.
+//
+// The to_json() overloads are the single source of truth for how runtime
+// structs (MatchReport, ExtractReport, CompareResult, RunStatus, metric
+// snapshots, tables, fits) appear on the wire; front-ends compose documents
+// out of them instead of hand-rolling JSON.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "util/json.hpp"
+
+namespace subg {
+struct RunStatus;
+struct Phase1Result;
+struct Phase2Stats;
+struct MatchReport;
+struct CompareResult;
+}  // namespace subg
+
+namespace subg::extract {
+struct ExtractReport;
+}  // namespace subg::extract
+
+namespace subg::obs {
+struct Snapshot;
+}  // namespace subg::obs
+
+namespace subg::report {
+
+class Table;
+struct LinearFit;
+
+/// The wire schema emitted by this build. Bumped only on a breaking change;
+/// additions within a version are allowed (consumers ignore unknown keys).
+inline constexpr std::uint64_t kSchemaVersion = 1;
+
+[[nodiscard]] json::Value to_json(const RunStatus& status);
+[[nodiscard]] json::Value to_json(const Phase1Result& phase1);
+[[nodiscard]] json::Value to_json(const Phase2Stats& stats);
+/// Full match report including the verified instances (device/net images as
+/// host vertex indices).
+[[nodiscard]] json::Value to_json(const MatchReport& report);
+[[nodiscard]] json::Value to_json(const extract::ExtractReport& report);
+/// Comparison verdict including the device/net correspondence when one was
+/// found (indices into netlist `b`, positionally matching `a`).
+[[nodiscard]] json::Value to_json(const CompareResult& result);
+/// Metrics snapshot: {"counters": {...}, "gauges": {...}, "spans":
+/// {name: {"count": n, "seconds": s}}}, each map sorted by name.
+[[nodiscard]] json::Value to_json(const obs::Snapshot& snapshot);
+/// {"headers": [...], "rows": [[cell, ...], ...]} — cells stay strings,
+/// exactly as the ASCII rendering would print them.
+[[nodiscard]] json::Value to_json(const Table& table);
+[[nodiscard]] json::Value to_json(const LinearFit& fit);
+
+/// One machine-readable run report. Members keep insertion order, so a
+/// document always starts {"schema_version": 1, "tool": ..., "command":
+/// ...} followed by whatever the front-end set()s.
+class Document {
+ public:
+  /// `tool` is the emitting program ("subgemini", "bench_table2");
+  /// `command` the subcommand or experiment within it ("find", "extract").
+  Document(std::string_view tool, std::string_view command);
+
+  [[nodiscard]] json::Value& root() { return root_; }
+  [[nodiscard]] const json::Value& root() const { return root_; }
+
+  /// Set/replace a top-level member. Returns *this for chaining.
+  Document& set(std::string key, json::Value value);
+
+  /// Attach a collected metrics snapshot under "metrics". An empty
+  /// snapshot (metrics were never enabled) attaches nothing, so the member
+  /// is present exactly when the run recorded something.
+  Document& set_metrics(const obs::Snapshot& snapshot);
+
+  /// Pretty-print (2-space indent) with a trailing newline.
+  void write(std::ostream& out) const;
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  json::Value root_;
+};
+
+}  // namespace subg::report

@@ -53,6 +53,28 @@ void Table::print(std::ostream& out) const {
   for (const auto& row : rows_) emit(row);
 }
 
+void Table::print_csv(std::ostream& out) const {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) out << ',';
+      const std::string& cell = cells[c];
+      if (cell.find_first_of(",\"\n\r") == std::string::npos) {
+        out << cell;
+        continue;
+      }
+      out << '"';
+      for (const char ch : cell) {
+        if (ch == '"') out << '"';
+        out << ch;
+      }
+      out << '"';
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
 std::string Table::to_string() const {
   std::ostringstream os;
   print(os);

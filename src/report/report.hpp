@@ -21,9 +21,18 @@ class Table {
   void align_right(std::size_t column);
 
   void print(std::ostream& out) const;
+  /// RFC 4180 CSV: header row first, fields quoted only when they contain a
+  /// comma, quote, or newline (quotes doubled). No alignment padding.
+  void print_csv(std::ostream& out) const;
   [[nodiscard]] std::string to_string() const;
 
   [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& headers() const {
+    return headers_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& row_data() const {
+    return rows_;
+  }
 
  private:
   std::vector<std::string> headers_;

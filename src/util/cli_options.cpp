@@ -1,0 +1,126 @@
+#include "util/cli_options.hpp"
+
+#include <cstdlib>
+
+namespace subg::cli {
+
+namespace {
+
+/// Value of `--name=value` when `arg` starts with "--name="; nullptr
+/// otherwise. An exact "--name" (no '=') returns nullptr too — flags that
+/// allow the bare form check for it separately.
+[[nodiscard]] const char* flag_value(const std::string& arg,
+                                     const char* prefix) {
+  const std::size_t n = std::string::traits_type::length(prefix);
+  if (arg.compare(0, n, prefix) != 0) return nullptr;
+  return arg.c_str() + n;
+}
+
+}  // namespace
+
+ParsedArgs parse_args(const std::vector<std::string>& args) {
+  ParsedArgs out;
+  bool flags_done = false;
+  for (const std::string& arg : args) {
+    if (flags_done || arg.size() < 2 || arg.compare(0, 2, "--") != 0) {
+      out.positionals.push_back(arg);
+      continue;
+    }
+    if (arg == "--") {
+      flags_done = true;
+      continue;
+    }
+    if (const char* v = flag_value(arg, "--timeout=")) {
+      char* end = nullptr;
+      const double seconds = std::strtod(v, &end);
+      if (end == v || *end != '\0' || seconds <= 0) {
+        out.error = std::string("bad --timeout value '") + v + "'";
+        return out;
+      }
+      out.options.budget.set_deadline_after(seconds);
+      continue;
+    }
+    if (const char* v = flag_value(arg, "--jobs=")) {
+      char* end = nullptr;
+      const unsigned long jobs = std::strtoul(v, &end, 10);
+      if (end == v || *end != '\0' || jobs == 0) {
+        out.error = std::string("bad --jobs value '") + v + "'";
+        return out;
+      }
+      out.options.jobs = static_cast<std::size_t>(jobs);
+      continue;
+    }
+    if (arg == "--lenient") {
+      out.options.lenient = true;
+      continue;
+    }
+    if (const char* v = flag_value(arg, "--format=")) {
+      const std::string value = v;
+      if (value == "text") {
+        out.options.format = Format::kText;
+      } else if (value == "json") {
+        out.options.format = Format::kJson;
+      } else {
+        out.error = "bad --format value '" + value + "' (want text or json)";
+        return out;
+      }
+      continue;
+    }
+    if (arg == "--metrics") {
+      out.options.metrics = true;
+      continue;
+    }
+    if (const char* v = flag_value(arg, "--metrics=")) {
+      if (*v == '\0') {
+        out.error = "bad --metrics value: empty file name";
+        return out;
+      }
+      out.options.metrics = true;
+      out.options.metrics_path = v;
+      continue;
+    }
+    if (const char* v = flag_value(arg, "--top=")) {
+      if (*v == '\0') {
+        out.error = "bad --top value: empty module name";
+        return out;
+      }
+      out.options.top = v;
+      continue;
+    }
+    if (const char* v = flag_value(arg, "--pattern-top=")) {
+      if (*v == '\0') {
+        out.error = "bad --pattern-top value: empty module name";
+        return out;
+      }
+      out.options.pattern_top = v;
+      continue;
+    }
+    out.error = "unknown flag '" + arg + "'";
+    return out;
+  }
+  return out;
+}
+
+ParsedArgs parse_args(int argc, char** argv, int first) {
+  std::vector<std::string> args;
+  for (int i = first; i < argc; ++i) args.emplace_back(argv[i]);
+  return parse_args(args);
+}
+
+const char* global_flags_help() {
+  return
+      "  --timeout=<sec>    wall-clock budget; a run cut short exits 75\n"
+      "  --jobs=<n>         parallel lanes (default: hardware concurrency;\n"
+      "                     1 = serial; results are identical at every value)\n"
+      "  --lenient          recover from malformed input lines (diagnostics\n"
+      "                     go to stderr) instead of failing\n"
+      "  --format=<fmt>     output format: text (default) or json (one\n"
+      "                     schema_version-1 document on stdout)\n"
+      "  --metrics[=FILE]   collect search metrics; dump the counter tree\n"
+      "                     to FILE (default stderr), and embed it in json\n"
+      "                     output\n"
+      "  --top=NAME         top module of the host (second or sole) input\n"
+      "  --pattern-top=NAME top module of the pattern (first) input\n";
+}
+
+}  // namespace subg::cli

@@ -1,0 +1,68 @@
+// Shared global-flag handling for the command-line front ends.
+//
+// The subgemini tool and the bench mains accept one common set of global
+// flags; this is the single parser for them, so a flag added here appears
+// everywhere with the same spelling, validation, and error message:
+//
+//   --timeout=<sec>      wall-clock budget (arms GlobalOptions::budget)
+//   --jobs=<n>           parallel lanes; n >= 1 (0 stays "unset")
+//   --lenient            recovering parse mode
+//   --format=text|json   output format (text is the historical default)
+//   --metrics[=FILE]     collect search metrics; dump the counter tree to
+//                        FILE (stderr when omitted)
+//   --top=NAME           top module of the host / second / sole input
+//   --pattern-top=NAME   top module of the pattern / first input
+//
+// Flags may appear anywhere; everything else is returned as a positional.
+// Unknown --flags are an error (callers map it to a usage exit), so typos
+// fail loudly instead of being read as file names. A literal "--" ends flag
+// parsing.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/budget.hpp"
+
+namespace subg::cli {
+
+enum class Format { kText, kJson };
+
+struct GlobalOptions {
+  /// Armed iff --timeout was given; default-unlimited otherwise.
+  Budget budget;
+  /// 0 = unset (front ends map it to their own default, typically hardware
+  /// concurrency); --jobs rejects 0 explicitly.
+  std::size_t jobs = 0;
+  bool lenient = false;
+  Format format = Format::kText;
+  /// --metrics[=FILE]: collect counters during the run.
+  bool metrics = false;
+  /// Dump target for the text counter tree; empty = stderr.
+  std::string metrics_path;
+  /// --top / --pattern-top; empty = not given.
+  std::string top;
+  std::string pattern_top;
+};
+
+struct ParsedArgs {
+  GlobalOptions options;
+  std::vector<std::string> positionals;
+  /// Empty on success; otherwise a one-line message (no tool-name prefix,
+  /// no trailing newline) and the other fields are unspecified.
+  std::string error;
+
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+/// Parse argv-style arguments (not including the program / command name).
+[[nodiscard]] ParsedArgs parse_args(const std::vector<std::string>& args);
+
+/// Convenience overload over raw argv, starting at index `first`.
+[[nodiscard]] ParsedArgs parse_args(int argc, char** argv, int first = 1);
+
+/// The flags block for usage text, one indented line per flag.
+[[nodiscard]] const char* global_flags_help();
+
+}  // namespace subg::cli

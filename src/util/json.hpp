@@ -1,0 +1,270 @@
+// Dependency-free JSON document model and writer.
+//
+// Backs the versioned machine-readable reports (report::Document): a small
+// ordered value tree plus a pretty-printing serializer. Deliberately tiny —
+// write-side only (no parser), no external dependency, and deterministic
+// output so golden-file tests can compare bytes:
+//  - object members keep insertion order (set() of an existing key updates
+//    in place);
+//  - doubles serialize via std::to_chars (shortest round-trip form,
+//    locale-independent); non-finite doubles become null, JSON having no
+//    representation for them;
+//  - strings are escaped per RFC 8259 (control characters as \u00XX).
+#pragma once
+
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace subg::json {
+
+class Value {
+ public:
+  enum class Kind {
+    kNull,
+    kBool,
+    kInt,
+    kUint,
+    kDouble,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Value() : kind_(Kind::kNull) {}
+  Value(bool b) : kind_(Kind::kBool), bool_(b) {}  // NOLINT(google-explicit-constructor)
+  Value(std::int64_t i) : kind_(Kind::kInt), int_(i) {}  // NOLINT
+  Value(std::uint64_t u) : kind_(Kind::kUint), uint_(u) {}  // NOLINT
+  Value(int i) : Value(static_cast<std::int64_t>(i)) {}  // NOLINT
+  Value(unsigned u) : Value(static_cast<std::uint64_t>(u)) {}  // NOLINT
+  Value(double d) : kind_(Kind::kDouble), double_(d) {}  // NOLINT
+  Value(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}  // NOLINT
+  Value(std::string_view s) : Value(std::string(s)) {}  // NOLINT
+  Value(const char* s) : Value(std::string(s)) {}  // NOLINT
+
+  [[nodiscard]] static Value object() {
+    Value v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+  [[nodiscard]] static Value array() {
+    Value v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+
+  /// Object member set/update; keeps first-insertion order. Returns *this
+  /// for chaining.
+  Value& set(std::string key, Value value) {
+    SUBG_CHECK_MSG(kind_ == Kind::kObject, "json: set() on a non-object");
+    for (auto& member : members_) {
+      if (member.first == key) {
+        member.second = std::move(value);
+        return *this;
+      }
+    }
+    members_.emplace_back(std::move(key), std::move(value));
+    return *this;
+  }
+
+  /// Array append. Returns *this for chaining.
+  Value& push(Value value) {
+    SUBG_CHECK_MSG(kind_ == Kind::kArray, "json: push() on a non-array");
+    elements_.push_back(std::move(value));
+    return *this;
+  }
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  [[nodiscard]] const Value* find(std::string_view key) const {
+    if (kind_ != Kind::kObject) return nullptr;
+    for (const auto& member : members_) {
+      if (member.first == key) return &member.second;
+    }
+    return nullptr;
+  }
+  [[nodiscard]] Value* find(std::string_view key) {
+    return const_cast<Value*>(std::as_const(*this).find(key));
+  }
+  /// Remove an object member if present; true when something was removed.
+  bool erase(std::string_view key) {
+    if (kind_ != Kind::kObject) return false;
+    for (auto it = members_.begin(); it != members_.end(); ++it) {
+      if (it->first == key) {
+        members_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Mutable views for tree rewriting (golden-test normalization).
+  [[nodiscard]] std::vector<std::pair<std::string, Value>>& members() {
+    SUBG_CHECK(kind_ == Kind::kObject);
+    return members_;
+  }
+  [[nodiscard]] const std::vector<std::pair<std::string, Value>>& members()
+      const {
+    SUBG_CHECK(kind_ == Kind::kObject);
+    return members_;
+  }
+  [[nodiscard]] std::vector<Value>& elements() {
+    SUBG_CHECK(kind_ == Kind::kArray);
+    return elements_;
+  }
+  [[nodiscard]] const std::vector<Value>& elements() const {
+    SUBG_CHECK(kind_ == Kind::kArray);
+    return elements_;
+  }
+
+  [[nodiscard]] double as_double() const {
+    switch (kind_) {
+      case Kind::kDouble: return double_;
+      case Kind::kInt: return static_cast<double>(int_);
+      case Kind::kUint: return static_cast<double>(uint_);
+      default: SUBG_CHECK_MSG(false, "json: as_double() on a non-number");
+    }
+    return 0;
+  }
+  [[nodiscard]] std::uint64_t as_uint() const {
+    SUBG_CHECK_MSG(kind_ == Kind::kUint || kind_ == Kind::kInt,
+                   "json: as_uint() on a non-integer");
+    return kind_ == Kind::kUint ? uint_ : static_cast<std::uint64_t>(int_);
+  }
+  [[nodiscard]] const std::string& as_string() const {
+    SUBG_CHECK_MSG(kind_ == Kind::kString, "json: as_string() on a non-string");
+    return string_;
+  }
+
+  /// Serialize. indent == 0 emits compact one-line JSON; indent > 0 pretty
+  /// prints with that many spaces per depth level.
+  void write(std::ostream& out, int indent = 2, int depth = 0) const {
+    switch (kind_) {
+      case Kind::kNull:
+        out << "null";
+        return;
+      case Kind::kBool:
+        out << (bool_ ? "true" : "false");
+        return;
+      case Kind::kInt:
+        out << int_;
+        return;
+      case Kind::kUint:
+        out << uint_;
+        return;
+      case Kind::kDouble:
+        write_double(out, double_);
+        return;
+      case Kind::kString:
+        write_escaped(out, string_);
+        return;
+      case Kind::kArray: {
+        if (elements_.empty()) {
+          out << "[]";
+          return;
+        }
+        out << '[';
+        for (std::size_t i = 0; i < elements_.size(); ++i) {
+          if (i > 0) out << ',';
+          newline(out, indent, depth + 1);
+          elements_[i].write(out, indent, depth + 1);
+        }
+        newline(out, indent, depth);
+        out << ']';
+        return;
+      }
+      case Kind::kObject: {
+        if (members_.empty()) {
+          out << "{}";
+          return;
+        }
+        out << '{';
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+          if (i > 0) out << ',';
+          newline(out, indent, depth + 1);
+          write_escaped(out, members_[i].first);
+          out << (indent > 0 ? ": " : ":");
+          members_[i].second.write(out, indent, depth + 1);
+        }
+        newline(out, indent, depth);
+        out << '}';
+        return;
+      }
+    }
+  }
+
+  [[nodiscard]] std::string dump(int indent = 2) const {
+    std::ostringstream os;
+    write(os, indent);
+    return os.str();
+  }
+
+  static void write_escaped(std::ostream& out, std::string_view s) {
+    out << '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': out << "\\\""; break;
+        case '\\': out << "\\\\"; break;
+        case '\b': out << "\\b"; break;
+        case '\f': out << "\\f"; break;
+        case '\n': out << "\\n"; break;
+        case '\r': out << "\\r"; break;
+        case '\t': out << "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            constexpr char kHex[] = "0123456789abcdef";
+            out << "\\u00" << kHex[(c >> 4) & 0xF] << kHex[c & 0xF];
+          } else {
+            out << c;  // UTF-8 bytes pass through untouched
+          }
+      }
+    }
+    out << '"';
+  }
+
+ private:
+  static void newline(std::ostream& out, int indent, int depth) {
+    if (indent <= 0) return;
+    out << '\n';
+    for (int i = 0; i < indent * depth; ++i) out << ' ';
+  }
+
+  static void write_double(std::ostream& out, double d) {
+    if (!std::isfinite(d)) {
+      out << "null";  // JSON has no NaN/Inf
+      return;
+    }
+    // Integral doubles print as integers ("3" not "3.0"): shorter, and
+    // stable across compilers' shortest-round-trip tie-breaking.
+    if (d == static_cast<double>(static_cast<std::int64_t>(d)) &&
+        d >= -9.0e15 && d <= 9.0e15) {
+      out << static_cast<std::int64_t>(d);
+      return;
+    }
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), d);
+    out.write(buf, res.ptr - buf);
+  }
+
+  Kind kind_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  std::uint64_t uint_ = 0;
+  double double_ = 0;
+  std::string string_;
+  std::vector<std::pair<std::string, Value>> members_;
+  std::vector<Value> elements_;
+};
+
+}  // namespace subg::json

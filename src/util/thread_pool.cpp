@@ -1,10 +1,20 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "util/check.hpp"
 
 namespace subg {
+
+ThreadPool::Stats ThreadPool::stats() const {
+  Stats s;
+  s.tasks = tasks_.load(std::memory_order_relaxed);
+  s.chunks = chunks_.load(std::memory_order_relaxed);
+  s.caller_chunks = caller_chunks_.load(std::memory_order_relaxed);
+  s.busy_seconds = static_cast<double>(busy_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  return s;
+}
 
 std::size_t ThreadPool::default_jobs() {
   const unsigned hw = std::thread::hardware_concurrency();
@@ -28,10 +38,15 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : workers_) t.join();
 }
 
-bool ThreadPool::run_chunk(Job& job) {
+bool ThreadPool::run_chunk(Job& job, bool caller) {
   const std::size_t begin = job.next.fetch_add(job.grain);
   if (begin >= job.total) return false;
   const std::size_t end = std::min(begin + job.grain, job.total);
+  chunks_.fetch_add(1, std::memory_order_relaxed);
+  if (caller) caller_chunks_.fetch_add(1, std::memory_order_relaxed);
+  const bool timed = timing_.load(std::memory_order_relaxed);
+  const auto t0 = timed ? std::chrono::steady_clock::now()
+                        : std::chrono::steady_clock::time_point{};
   std::exception_ptr error;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -44,6 +59,12 @@ bool ThreadPool::run_chunk(Job& job) {
     } catch (...) {
       error = std::current_exception();
     }
+  }
+  if (timed) {
+    const auto dt = std::chrono::steady_clock::now() - t0;
+    busy_ns_.fetch_add(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count(),
+        std::memory_order_relaxed);
   }
   bool finished;
   {
@@ -93,12 +114,13 @@ void ThreadPool::parallel_for(
   job->total = n;
   job->grain = grain;
   job->body = &body;
+  tasks_.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     active_.push_back(job);
   }
   wake_.notify_all();
-  while (run_chunk(*job)) {
+  while (run_chunk(*job, /*caller=*/true)) {
   }
   std::unique_lock<std::mutex> lock(mutex_);
   job->complete.wait(lock, [&] { return job->done == job->total; });

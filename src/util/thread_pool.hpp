@@ -29,6 +29,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <memory>
@@ -62,6 +63,24 @@ class ThreadPool {
   /// Hardware concurrency, clamped to at least 1.
   [[nodiscard]] static std::size_t default_jobs();
 
+  /// Lifetime totals of the pool's work distribution, for the metrics
+  /// registry. Counters are always on (relaxed atomics, bumped once per
+  /// chunk — chunks are coarse); busy-time sampling costs two clock reads
+  /// per chunk and is off until enable_timing().
+  struct Stats {
+    std::uint64_t tasks = 0;          ///< parallel_for jobs that used workers
+    std::uint64_t chunks = 0;         ///< chunks claimed and executed
+    std::uint64_t caller_chunks = 0;  ///< chunks run by the submitting thread
+                                      ///< (steal-free claims; the rest were
+                                      ///< taken by workers)
+    double busy_seconds = 0;          ///< summed chunk wall time, all lanes
+  };
+  [[nodiscard]] Stats stats() const;
+
+  /// Turn on per-chunk busy-time measurement (sticky; used when a metrics
+  /// sink is attached to the run).
+  void enable_timing() { timing_.store(true, std::memory_order_relaxed); }
+
  private:
   struct Job {
     std::size_t total = 0;
@@ -75,13 +94,20 @@ class ThreadPool {
 
   void worker_loop();
   /// Claim and run one chunk of `job`; false when nothing is left to claim.
-  bool run_chunk(Job& job);
+  /// `caller` marks the submitting thread's own claims for Stats.
+  bool run_chunk(Job& job, bool caller = false);
 
   std::vector<std::thread> workers_;
   std::mutex mutex_;
   std::condition_variable wake_;
   std::vector<std::shared_ptr<Job>> active_;  // jobs with unclaimed chunks
   bool shutdown_ = false;
+
+  std::atomic<bool> timing_{false};
+  std::atomic<std::uint64_t> tasks_{0};
+  std::atomic<std::uint64_t> chunks_{0};
+  std::atomic<std::uint64_t> caller_chunks_{0};
+  std::atomic<std::uint64_t> busy_ns_{0};
 };
 
 }  // namespace subg

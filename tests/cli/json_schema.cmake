@@ -1,0 +1,22 @@
+# Run a subgemini command with --format=json, capture stdout, and validate
+# the document against the v1 schema with the python checker.
+#
+# Arguments (all -D):
+#   CMD     - semicolon-separated command to run (already includes --format=json)
+#   OUT     - file to capture stdout into
+#   PYTHON  - python3 interpreter
+#   CHECKER - path to check_schema.py
+#   SCHEMA  - path to schema_v1.json
+#   EXPECT  - optional expected exit code of CMD (default 0)
+if(NOT DEFINED EXPECT)
+  set(EXPECT 0)
+endif()
+execute_process(COMMAND ${CMD} OUTPUT_FILE ${OUT} RESULT_VARIABLE rc)
+if(NOT rc EQUAL ${EXPECT})
+  message(FATAL_ERROR "command exited ${rc}, expected ${EXPECT}: ${CMD}")
+endif()
+execute_process(COMMAND ${PYTHON} ${CHECKER} ${SCHEMA} ${OUT}
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "schema validation failed for output of: ${CMD}")
+endif()

@@ -1,0 +1,63 @@
+// The sharded-metrics determinism contract: counters that measure search
+// work (not scheduling) merge to identical totals at every --jobs value,
+// because shard merging is commutative addition and the candidate sweep does
+// the same work regardless of lane count. Runs under the `concurrency` ctest
+// label so the TSan CI job covers lanes recording into one registry.
+#include "cells/cells.hpp"
+#include "gen/generators.hpp"
+#include "gtest/gtest.h"
+#include "match/matcher.hpp"
+#include "obs/metrics.hpp"
+
+namespace subg {
+namespace {
+
+obs::Snapshot run_with_jobs(const Netlist& pattern, const Netlist& host,
+                            std::size_t jobs, std::size_t* instances) {
+  obs::Metrics metrics;
+  MatchOptions options;
+  options.jobs = jobs;
+  options.metrics = &metrics;
+  SubgraphMatcher matcher(pattern, host, options);
+  MatchReport report = matcher.find_all();
+  EXPECT_TRUE(report.status.complete());
+  *instances = report.count();
+  return metrics.collect();
+}
+
+TEST(MetricsJobs, DeterministicCountersIdenticalAcrossLaneCounts) {
+  cells::CellLibrary lib;
+  gen::Generated g = gen::array_multiplier(8);
+  Netlist pattern = lib.pattern("fulladder");
+
+  std::size_t serial_instances = 0;
+  std::size_t parallel_instances = 0;
+  obs::Snapshot serial = run_with_jobs(pattern, g.netlist, 1,
+                                       &serial_instances);
+  obs::Snapshot parallel = run_with_jobs(pattern, g.netlist, 8,
+                                         &parallel_instances);
+  EXPECT_EQ(serial_instances, parallel_instances);
+
+  // Work counters: identical merged totals whether recorded by one thread
+  // or by eight lanes into different shards.
+  for (const char* name :
+       {"phase1.rounds", "phase1.candidates", "phase2.seeds_tried",
+        "phase2.seeds_matched", "phase2.passes", "phase2.bindings",
+        "phase2.ambiguity_guesses", "phase2.backtracks", "match.instances"}) {
+    EXPECT_EQ(serial.counter(name), parallel.counter(name))
+        << "counter " << name << " diverged between jobs=1 and jobs=8";
+  }
+
+  // Timing quantities are scheduling-dependent; require sanity, not
+  // equality: every gauge and span total must be finite and non-negative.
+  for (const auto& [name, value] : parallel.gauges) {
+    EXPECT_GE(value, 0.0) << "gauge " << name;
+  }
+  for (const auto& [name, span] : parallel.spans) {
+    EXPECT_GT(span.count, 0u) << "span " << name;
+    EXPECT_GE(span.seconds, 0.0) << "span " << name;
+  }
+}
+
+}  // namespace
+}  // namespace subg

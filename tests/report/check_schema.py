@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Validate a report document against a (small subset of) JSON Schema.
+
+Usage: check_schema.py SCHEMA.json DOC.json [DOC2.json ...]
+
+Supports the keywords schema_v1.json actually uses -- type, enum, const,
+required, properties, additionalProperties (bool), items, minimum, oneOf --
+plus "$defs"/"$ref" for local reuse. Stdlib only, so the ctest / CI step
+needs nothing beyond a python3 interpreter.
+"""
+import json
+import sys
+
+TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def type_ok(value, name):
+    if name == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if name == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    return isinstance(value, TYPES[name])
+
+
+def resolve(schema, root):
+    ref = schema.get("$ref")
+    if ref is None:
+        return schema
+    if not ref.startswith("#/"):
+        raise SystemExit(f"unsupported $ref: {ref}")
+    node = root
+    for part in ref[2:].split("/"):
+        node = node[part]
+    return node
+
+
+def validate(value, schema, root, path, errors):
+    schema = resolve(schema, root)
+    if "oneOf" in schema:
+        attempts = []
+        for sub in schema["oneOf"]:
+            sub_errors = []
+            validate(value, sub, root, path, sub_errors)
+            if not sub_errors:
+                break
+            attempts.append(sub_errors)
+        else:
+            errors.append(f"{path}: matches no oneOf branch")
+            for i, sub_errors in enumerate(attempts):
+                errors.extend(f"  (branch {i}) {e}" for e in sub_errors)
+        return
+    if "const" in schema and value != schema["const"]:
+        errors.append(f"{path}: expected {schema['const']!r}, got {value!r}")
+        return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not one of {schema['enum']}")
+        return
+    if "type" in schema:
+        names = schema["type"]
+        if isinstance(names, str):
+            names = [names]
+        if not any(type_ok(value, n) for n in names):
+            errors.append(
+                f"{path}: expected {'/'.join(names)}, "
+                f"got {type(value).__name__}")
+            return
+    if "minimum" in schema and isinstance(value, (int, float)) \
+            and not isinstance(value, bool) and value < schema["minimum"]:
+        errors.append(f"{path}: {value} < minimum {schema['minimum']}")
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required member '{key}'")
+        props = schema.get("properties", {})
+        for key, sub in props.items():
+            if key in value:
+                validate(value[key], sub, root, f"{path}.{key}", errors)
+        if schema.get("additionalProperties") is False:
+            for key in value:
+                if key not in props:
+                    errors.append(f"{path}: unexpected member '{key}'")
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            validate(item, schema["items"], root, f"{path}[{i}]", errors)
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(argv[1], encoding="utf-8") as f:
+        schema = json.load(f)
+    status = 0
+    for doc_path in argv[2:]:
+        with open(doc_path, encoding="utf-8") as f:
+            doc = json.load(f)
+        errors = []
+        validate(doc, schema, schema, "$", errors)
+        if errors:
+            status = 1
+            print(f"{doc_path}: INVALID", file=sys.stderr)
+            for err in errors:
+                print(f"  {err}", file=sys.stderr)
+        else:
+            print(f"{doc_path}: ok")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

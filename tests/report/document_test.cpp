@@ -1,0 +1,183 @@
+// Golden-file tests for the schema_version-1 report documents.
+//
+// Each case runs a real (deterministic) workload, builds the same Document a
+// front-end would, normalizes the volatile members (wall-clock values), and
+// compares the serialized bytes against a checked-in golden file. Regenerate
+// with:
+//
+//   SUBG_UPDATE_GOLDENS=1 ./document_test
+//
+// A golden diff is an intentional schema change or a regression — either
+// way it should be looked at, not papered over. Schema version 1 is
+// additive-only, so goldens may gain members but never lose or retype them.
+#include "report/document.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "cells/cells.hpp"
+#include "extract/extract.hpp"
+#include "gemini/gemini.hpp"
+#include "gen/generators.hpp"
+#include "gtest/gtest.h"
+#include "match/matcher.hpp"
+#include "obs/metrics.hpp"
+#include "report/report.hpp"
+#include "util/budget.hpp"
+
+namespace subg::report {
+namespace {
+
+/// Wall-clock members make bytes unstable; zero them everywhere. The rule
+/// mirrors the schema: any member named "seconds" or ending in "_seconds"
+/// holds a duration (span totals, phase timings, per-cell timings).
+void zero_seconds(json::Value& v) {
+  if (v.is_object()) {
+    for (auto& [key, value] : v.members()) {
+      const bool is_duration =
+          key == "seconds" ||
+          (key.size() > 8 && key.compare(key.size() - 8, 8, "_seconds") == 0);
+      if (is_duration) {
+        value = 0;
+      } else {
+        zero_seconds(value);
+      }
+    }
+  } else if (v.is_array()) {
+    for (json::Value& element : v.elements()) zero_seconds(element);
+  }
+}
+
+std::string golden_path(const char* name) {
+  return std::string(SUBG_GOLDEN_DIR) + "/" + name;
+}
+
+void compare_against_golden(const Document& doc, const char* name) {
+  const std::string actual = doc.dump();
+  const std::string path = golden_path(name);
+  if (std::getenv("SUBG_UPDATE_GOLDENS") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write golden " << path;
+    out << actual;
+    GTEST_SKIP() << "golden updated: " << path;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden " << path
+                         << " (regenerate with SUBG_UPDATE_GOLDENS=1)";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(actual, expected.str()) << "document diverged from " << path;
+}
+
+TEST(DocumentGolden, FindReportWithMetrics) {
+  cells::CellLibrary lib;
+  gen::Generated g = gen::c17();
+  Netlist pattern = lib.pattern("nand2");
+
+  obs::Metrics metrics;
+  MatchOptions options;
+  options.metrics = &metrics;
+  SubgraphMatcher matcher(pattern, g.netlist, options);
+  MatchReport report = matcher.find_all();
+  ASSERT_TRUE(report.status.complete());
+
+  Document doc("subgemini", "find");
+  doc.set("report", to_json(report));
+  doc.set_metrics(metrics.collect());
+  zero_seconds(doc.root());
+  compare_against_golden(doc, "find_c17_nand2.json");
+}
+
+TEST(DocumentGolden, ExtractReport) {
+  cells::CellLibrary lib;
+  gen::Generated g = gen::c17();
+  std::vector<extract::LibraryCell> library;
+  library.push_back({"nand2", lib.pattern("nand2")});
+  library.push_back({"inv", lib.pattern("inv")});
+
+  extract::ExtractResult result = extract::extract_gates(g.netlist, library);
+  ASSERT_TRUE(result.report.status.complete());
+
+  Document doc("subgemini", "extract");
+  doc.set("report", to_json(result.report));
+  zero_seconds(doc.root());
+  compare_against_golden(doc, "extract_c17.json");
+}
+
+TEST(DocumentGolden, CompareReport) {
+  gen::Generated a = gen::c17();
+  gen::Generated b = gen::c17();
+  CompareResult result = compare_netlists(a.netlist, b.netlist);
+  ASSERT_TRUE(result.isomorphic);
+
+  Document doc("subgemini", "compare");
+  doc.set("report", to_json(result));
+  zero_seconds(doc.root());
+  compare_against_golden(doc, "compare_c17.json");
+}
+
+TEST(DocumentGolden, DeadlineExpiredRunKeepsStatusAndPartialMetrics) {
+  // A pre-expired deadline interrupts deterministically: Phase I stops at
+  // its first budget poll, the sweep skips every candidate, and the
+  // document still carries the structured status plus whatever metrics the
+  // run recorded before the interruption.
+  cells::CellLibrary lib;
+  gen::Generated g = gen::c17();
+  Netlist pattern = lib.pattern("nand2");
+
+  obs::Metrics metrics;
+  MatchOptions options;
+  options.metrics = &metrics;
+  options.budget = Budget::after(0.0);
+  SubgraphMatcher matcher(pattern, g.netlist, options);
+  MatchReport report = matcher.find_all();
+  ASSERT_EQ(report.status.outcome, RunOutcome::kDeadlineExceeded);
+  ASSERT_TRUE(report.instances.empty());
+
+  Document doc("subgemini", "find");
+  doc.set("report", to_json(report));
+  doc.set_metrics(metrics.collect());
+  zero_seconds(doc.root());
+  compare_against_golden(doc, "find_deadline_expired.json");
+}
+
+TEST(Document, EnvelopeComesFirstAndInOrder) {
+  Document doc("tool", "cmd");
+  doc.set("extra", 1);
+  const auto& members = doc.root().members();
+  ASSERT_GE(members.size(), 4u);
+  EXPECT_EQ(members[0].first, "schema_version");
+  EXPECT_EQ(members[0].second.as_uint(), kSchemaVersion);
+  EXPECT_EQ(members[1].first, "tool");
+  EXPECT_EQ(members[2].first, "command");
+  EXPECT_EQ(members[3].first, "extra");
+}
+
+TEST(Document, EmptySnapshotAttachesNoMetricsMember) {
+  Document doc("tool", "cmd");
+  doc.set_metrics(obs::Snapshot{});
+  EXPECT_EQ(doc.root().find("metrics"), nullptr);
+  obs::Metrics m;
+  m.add("x");
+  doc.set_metrics(m.collect());
+  ASSERT_NE(doc.root().find("metrics"), nullptr);
+}
+
+TEST(Table, PrintCsvQuotesOnlyWhenNeeded) {
+  Table table({"name", "value"});
+  table.add_row({"plain", "1"});
+  table.add_row({"with,comma", "say \"hi\""});
+  table.add_row({"multi\nline", "trailing\r"});
+  std::ostringstream out;
+  table.print_csv(out);
+  EXPECT_EQ(out.str(),
+            "name,value\n"
+            "plain,1\n"
+            "\"with,comma\",\"say \"\"hi\"\"\"\n"
+            "\"multi\nline\",\"trailing\r\"\n");
+}
+
+}  // namespace
+}  // namespace subg::report

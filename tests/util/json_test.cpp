@@ -1,0 +1,111 @@
+// util/json.hpp — the dependency-free JSON writer behind report::Document.
+// Golden-file report tests compare bytes, so the properties under test here
+// are exactly the ones that make bytes stable: insertion order, in-place
+// updates, deterministic number rendering, RFC 8259 escaping.
+#include "util/json.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "gtest/gtest.h"
+#include "util/check.hpp"
+
+namespace subg::json {
+namespace {
+
+TEST(JsonValue, ScalarsRenderCompact) {
+  EXPECT_EQ(Value().dump(0), "null");
+  EXPECT_EQ(Value(true).dump(0), "true");
+  EXPECT_EQ(Value(false).dump(0), "false");
+  EXPECT_EQ(Value(42).dump(0), "42");
+  EXPECT_EQ(Value(static_cast<std::int64_t>(-7)).dump(0), "-7");
+  EXPECT_EQ(Value(static_cast<std::uint64_t>(18446744073709551615ULL)).dump(0),
+            "18446744073709551615");
+  EXPECT_EQ(Value("hi").dump(0), "\"hi\"");
+}
+
+TEST(JsonValue, ObjectKeepsInsertionOrderAndUpdatesInPlace) {
+  Value v = Value::object();
+  v.set("b", 1);
+  v.set("a", 2);
+  v.set("c", 3);
+  v.set("b", 9);  // update must not move "b" to the back
+  EXPECT_EQ(v.dump(0), "{\"b\":9,\"a\":2,\"c\":3}");
+}
+
+TEST(JsonValue, FindAndErase) {
+  Value v = Value::object();
+  v.set("x", 1);
+  v.set("y", "two");
+  ASSERT_NE(v.find("y"), nullptr);
+  EXPECT_EQ(v.find("y")->as_string(), "two");
+  EXPECT_EQ(v.find("z"), nullptr);
+  EXPECT_TRUE(v.erase("x"));
+  EXPECT_FALSE(v.erase("x"));
+  EXPECT_EQ(v.dump(0), "{\"y\":\"two\"}");
+}
+
+TEST(JsonValue, ArraysNest) {
+  Value v = Value::array();
+  v.push(1);
+  Value inner = Value::object();
+  inner.set("k", Value::array());
+  v.push(std::move(inner));
+  EXPECT_EQ(v.dump(0), "[1,{\"k\":[]}]");
+}
+
+TEST(JsonValue, PrettyPrintIndents) {
+  Value v = Value::object();
+  v.set("a", 1);
+  Value arr = Value::array();
+  arr.push(2);
+  v.set("b", std::move(arr));
+  EXPECT_EQ(v.dump(2), "{\n  \"a\": 1,\n  \"b\": [\n    2\n  ]\n}");
+}
+
+TEST(JsonValue, EmptyContainersStayOnOneLine) {
+  Value v = Value::object();
+  v.set("a", Value::object());
+  v.set("b", Value::array());
+  EXPECT_EQ(v.dump(2), "{\n  \"a\": {},\n  \"b\": []\n}");
+}
+
+TEST(JsonValue, StringEscaping) {
+  EXPECT_EQ(Value("a\"b\\c").dump(0), "\"a\\\"b\\\\c\"");
+  EXPECT_EQ(Value("\n\r\t\b\f").dump(0), "\"\\n\\r\\t\\b\\f\"");
+  EXPECT_EQ(Value(std::string("\x01\x1f")).dump(0), "\"\\u0001\\u001f\"");
+  // UTF-8 passes through byte-for-byte.
+  EXPECT_EQ(Value("π").dump(0), "\"π\"");
+}
+
+TEST(JsonValue, DoubleRendering) {
+  // Integral doubles render as integers for cross-compiler stability.
+  EXPECT_EQ(Value(3.0).dump(0), "3");
+  EXPECT_EQ(Value(-0.0).dump(0), "0");
+  EXPECT_EQ(Value(0.5).dump(0), "0.5");
+  // Non-finite values have no JSON representation.
+  EXPECT_EQ(Value(std::numeric_limits<double>::quiet_NaN()).dump(0), "null");
+  EXPECT_EQ(Value(std::numeric_limits<double>::infinity()).dump(0), "null");
+}
+
+TEST(JsonValue, TypeMismatchThrows) {
+  Value scalar(1);
+  EXPECT_THROW(scalar.set("k", 1), subg::Error);
+  EXPECT_THROW(scalar.push(1), subg::Error);
+  EXPECT_THROW((void)scalar.as_string(), subg::Error);
+  EXPECT_THROW((void)Value("s").as_double(), subg::Error);
+}
+
+TEST(JsonValue, MutableViewsSupportNormalization) {
+  // The golden tests zero volatile members through members()/elements();
+  // make sure that rewrites what write() emits.
+  Value v = Value::object();
+  v.set("seconds", 0.123);
+  for (auto& [key, value] : v.members()) {
+    if (key == "seconds") value = 0;
+  }
+  EXPECT_EQ(v.dump(0), "{\"seconds\":0}");
+}
+
+}  // namespace
+}  // namespace subg::json

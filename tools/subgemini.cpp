@@ -16,18 +16,18 @@
 //   subgemini stats <host.sp> [host_top]
 //       Netlist statistics.
 //
-// Global flags (anywhere after the command):
-//   --timeout=<sec>   wall-clock budget for the search; an expired run
-//                     reports what it found and exits 75
-//   --jobs=<n>        parallel lanes for find/extract (default: hardware
-//                     concurrency; --jobs=1 is the exact serial path —
-//                     reports are identical at every value)
-//   --lenient         best-effort parsing: malformed input lines become
-//                     stderr diagnostics instead of fatal errors
+// Global flags (anywhere after the command) are parsed by the shared
+// cli::parse_args — see util/cli_options.hpp for the full list. Top module
+// names are best given as --top=NAME (the host / second / sole input) and
+// --pattern-top=NAME (the pattern / first input); the positional forms
+// above still work but are deprecated. --format=json replaces every
+// command's stdout with one versioned report::Document (schema_version 1,
+// see README.md); --format=text output is unchanged.
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -36,10 +36,13 @@
 #include "gemini/gemini.hpp"
 #include "lvs/lvs.hpp"
 #include "match/matcher.hpp"
+#include "obs/metrics.hpp"
 #include "reduce/reduce.hpp"
+#include "report/document.hpp"
 #include "rulecheck/rulecheck.hpp"
 #include "spice/spice.hpp"
 #include "util/check.hpp"
+#include "util/cli_options.hpp"
 #include "util/strings.hpp"
 #include "verilog/verilog.hpp"
 
@@ -59,34 +62,38 @@ int usage() {
       "  subgemini reduce <host.sp> [host_top]\n"
       "  subgemini stats <host.sp> [host_top]\n"
       "\nInputs may be SPICE (.sp), structural Verilog (.v), or ISCAS "
-      "(.bench).\n"
-      "\nflags:\n"
-      "  --timeout=<sec>  wall-clock budget; a run cut short exits 75\n"
-      "  --jobs=<n>       parallel lanes for find/extract (default: hardware\n"
-      "                   concurrency; 1 = serial; results are identical)\n"
-      "  --lenient        recover from malformed input lines (diagnostics\n"
-      "                   go to stderr) instead of failing\n"
+      "(.bench).\nPositional top names are deprecated; prefer --top= / "
+      "--pattern-top=.\n"
+      "\nflags:\n%s"
       "\nexit codes: 0 success; 1 not isomorphic / rule violations;\n"
       "  64 usage; 65 malformed input; 70 internal error;\n"
-      "  75 resource limit hit (results incomplete)\n");
+      "  75 resource limit hit (results incomplete)\n",
+      cli::global_flags_help());
   return 64;
 }
 
-/// Wall-clock budget shared by every search the invocation runs.
-Budget g_budget;
-/// Parallel lanes for find/extract (--jobs); 0 = hardware concurrency.
-std::size_t g_jobs = 0;
-/// Recovering-parse mode (--lenient).
-bool g_lenient = false;
+/// Global options for the invocation (set once in main).
+cli::GlobalOptions g_opts;
+/// Metrics registry when --metrics was given; null otherwise.
+obs::Metrics* g_metrics = nullptr;
 
-/// Print collected parse diagnostics; returns true if any were errors.
+/// A command-line contradiction (e.g. both --top and a positional top):
+/// caught in main, reported, and mapped to the usage exit.
+struct UsageError {
+  std::string message;
+};
+
+[[nodiscard]] bool json_output() {
+  return g_opts.format == cli::Format::kJson;
+}
+
+/// Print collected parse diagnostics; returns true if any were errors. One
+/// stream write for the whole batch, so concurrent lanes' stderr cannot
+/// interleave mid-line with it.
 bool flush_diagnostics(const DiagnosticSink& sink) {
-  for (const Diagnostic& d : sink.diagnostics()) {
-    std::fprintf(stderr, "%s\n", d.to_string().c_str());
-  }
-  if (sink.dropped() > 0) {
-    std::fprintf(stderr, "(%zu further diagnostics suppressed)\n",
-                 sink.dropped());
+  const std::string text = sink.summary();
+  if (!text.empty()) {
+    std::fwrite(text.data(), 1, text.size(), stderr);
   }
   return sink.error_count() > 0;
 }
@@ -99,6 +106,31 @@ int outcome_exit(const RunStatus& status, int ok) {
   std::fprintf(stderr, "subgemini: search %s: %s\n",
                to_string(status.outcome), status.reason.c_str());
   return 75;
+}
+
+/// Resolve a top-module name that may come from a named flag or from the
+/// deprecated positional slot `index`. The named flag wins; giving both is
+/// a usage error, and the positional form warns once per invocation.
+std::string pick_top(const std::vector<std::string>& positionals,
+                     std::size_t index, const std::string& named,
+                     const char* flag) {
+  const bool have_positional = positionals.size() > index;
+  if (!named.empty()) {
+    if (have_positional) {
+      throw UsageError{std::string("positional top name '") +
+                       positionals[index] + "' conflicts with " + flag};
+    }
+    return named;
+  }
+  if (!have_positional) return "";
+  static bool warned = false;
+  if (!warned) {
+    warned = true;
+    std::fprintf(stderr,
+                 "subgemini: positional top names are deprecated; use "
+                 "--top=NAME / --pattern-top=NAME\n");
+  }
+  return positionals[index];
 }
 
 /// First .SUBCKT name of a design, or "main" when it only has top cards.
@@ -126,7 +158,7 @@ std::string default_top(const Design& design, const std::string& requested) {
 /// Read a hierarchical design from SPICE or Verilog, honoring --lenient.
 Design load_design(const std::string& path) {
   DiagnosticSink sink;
-  DiagnosticSink* diags = g_lenient ? &sink : nullptr;
+  DiagnosticSink* diags = g_opts.lenient ? &sink : nullptr;
   Design design = [&] {
     if (is_verilog(path)) {
       verilog::ReadOptions opts;
@@ -147,7 +179,7 @@ Netlist load(const std::string& path, const std::string& top) {
   if (is_bench(path)) {
     DiagnosticSink sink;
     benchfmt::ReadOptions opts;
-    opts.diagnostics = g_lenient ? &sink : nullptr;
+    opts.diagnostics = g_opts.lenient ? &sink : nullptr;
     Netlist transistors = std::move(benchfmt::read_file(path, opts).transistors);
     flush_diagnostics(sink);
     return transistors;
@@ -176,16 +208,78 @@ void emit(const std::string& like_path, const Netlist& netlist) {
   }
 }
 
+/// {"name": ..., "devices": ..., "nets": ...} — how a loaded netlist
+/// appears in every json document.
+json::Value netlist_summary(const Netlist& netlist) {
+  json::Value v = json::Value::object();
+  v.set("name", netlist.name());
+  v.set("devices", netlist.device_count());
+  v.set("nets", static_cast<std::size_t>(netlist.net_count()));
+  return v;
+}
+
+/// The emitted-netlist member of extract/reduce documents: the full text in
+/// the format emit() would print, tagged with which format that is.
+json::Value netlist_text(const std::string& like_path, const Netlist& netlist) {
+  std::ostringstream os;
+  json::Value v = json::Value::object();
+  if (is_verilog(like_path)) {
+    verilog::write(os, netlist);
+    v.set("format", "verilog");
+  } else {
+    spice::write(os, netlist);
+    v.set("format", "spice");
+  }
+  v.set("text", os.str());
+  return v;
+}
+
+/// Attach the collected metrics (when --metrics armed a registry) and print
+/// the document — the single exit path of every json-mode command.
+int finish_document(report::Document& doc, const RunStatus& status, int ok) {
+  if (g_metrics != nullptr) doc.set_metrics(g_metrics->collect());
+  doc.write(std::cout);
+  return outcome_exit(status, ok);
+}
+
 int cmd_find(const std::vector<std::string>& args) {
   if (args.size() < 2) return usage();
-  Netlist pattern = load(args[0], args.size() > 2 ? args[2] : "");
-  Netlist host = load(args[1], args.size() > 3 ? args[3] : "");
+  Netlist pattern = load(args[0], pick_top(args, 2, g_opts.pattern_top,
+                                           "--pattern-top"));
+  Netlist host = load(args[1], pick_top(args, 3, g_opts.top, "--top"));
 
   MatchOptions opts;
-  opts.budget = g_budget;
-  opts.jobs = g_jobs;
+  opts.budget = g_opts.budget;
+  opts.jobs = g_opts.jobs;
+  opts.metrics = g_metrics;
   SubgraphMatcher matcher(pattern, host, opts);
   MatchReport report = matcher.find_all();
+
+  if (json_output()) {
+    report::Document doc("subgemini", "find");
+    doc.set("pattern", netlist_summary(pattern));
+    doc.set("host", netlist_summary(host));
+    json::Value instances = json::Value::array();
+    for (const SubcircuitInstance& inst : report.instances) {
+      json::Value one = json::Value::object();
+      json::Value ports = json::Value::object();
+      for (NetId port : pattern.ports()) {
+        ports.set(pattern.net_name(port),
+                  host.net_name(inst.net_image[port.index()]));
+      }
+      json::Value devices = json::Value::array();
+      for (DeviceId d : inst.device_image) {
+        devices.push(host.device_name(d));
+      }
+      one.set("ports", std::move(ports));
+      one.set("devices", std::move(devices));
+      instances.push(std::move(one));
+    }
+    doc.set("instances", std::move(instances));
+    doc.set("report", report::to_json(report));
+    return finish_document(doc, report.status, 0);
+  }
+
   std::printf("# pattern %s (%zu devices), host %s (%zu devices)\n",
               pattern.name().c_str(), pattern.device_count(),
               host.name().c_str(), host.device_count());
@@ -218,7 +312,7 @@ int cmd_find(const std::vector<std::string>& args) {
 int cmd_extract(const std::vector<std::string>& args) {
   if (args.size() < 2) return usage();
   Design lib = load_design(args[0]);
-  Netlist host = load(args[1], args.size() > 2 ? args[2] : "");
+  Netlist host = load(args[1], pick_top(args, 2, g_opts.top, "--top"));
 
   std::vector<extract::LibraryCell> cells;
   for (std::uint32_t m = 0; m < lib.module_count(); ++m) {
@@ -232,8 +326,9 @@ int cmd_extract(const std::vector<std::string>& args) {
   SUBG_CHECK_MSG(!cells.empty(), "library deck has no usable .SUBCKT");
 
   extract::ExtractOptions options;
-  options.match.budget = g_budget;
-  options.match.jobs = g_jobs;
+  options.match.budget = g_opts.budget;
+  options.match.jobs = g_opts.jobs;
+  options.match.metrics = g_metrics;
   extract::ExtractResult result = extract::extract_gates(host, cells, options);
   std::fprintf(stderr, "# %zu transistors -> %zu devices (%zu unextracted)\n",
                result.report.devices_before, result.report.devices_after,
@@ -249,23 +344,45 @@ int cmd_extract(const std::vector<std::string>& args) {
     std::fprintf(stderr, "#   %zu cell(s) not attempted\n",
                  result.report.cells_skipped);
   }
+
+  if (json_output()) {
+    report::Document doc("subgemini", "extract");
+    doc.set("host", netlist_summary(host));
+    doc.set("library_cells", cells.size());
+    doc.set("report", report::to_json(result.report));
+    doc.set("netlist", netlist_text(args[1], result.netlist));
+    return finish_document(doc, result.report.status, 0);
+  }
+
   emit(args[1], result.netlist);
   return outcome_exit(result.report.status, 0);
 }
 
 int cmd_compare(const std::vector<std::string>& args) {
   if (args.size() < 2) return usage();
-  Netlist a = load(args[0], args.size() > 2 ? args[2] : "");
-  Netlist b = load(args[1], args.size() > 3 ? args[3] : "");
+  Netlist a = load(args[0], pick_top(args, 2, g_opts.pattern_top,
+                                     "--pattern-top"));
+  Netlist b = load(args[1], pick_top(args, 3, g_opts.top, "--top"));
   CompareOptions options;
-  options.budget = g_budget;
+  options.budget = g_opts.budget;
   CompareResult r = compare_netlists(a, b, options);
-  if (r.isomorphic) {
+
+  if (json_output()) {
+    report::Document doc("subgemini", "compare");
+    doc.set("a", netlist_summary(a));
+    doc.set("b", netlist_summary(b));
+    doc.set("result", report::to_json(r));
+    if (g_metrics != nullptr) doc.set_metrics(g_metrics->collect());
+    doc.write(std::cout);
+    // Fall through to the same verdict-to-exit-code mapping as text mode.
+  } else if (r.isomorphic) {
     std::printf("ISOMORPHIC (%zu refinement rounds, %zu individuations)\n",
                 r.rounds, r.individuations);
-    return 0;
+  } else {
+    std::printf("NOT ISOMORPHIC: %s\n", r.reason.c_str());
   }
-  std::printf("NOT ISOMORPHIC: %s\n", r.reason.c_str());
+
+  if (r.isomorphic) return 0;
   if (r.outcome != RunOutcome::kComplete) {
     // The search was cut short, so "not isomorphic" is inconclusive.
     std::fprintf(stderr, "subgemini: comparison %s: %s\n",
@@ -277,9 +394,34 @@ int cmd_compare(const std::vector<std::string>& args) {
 
 int cmd_check(const std::vector<std::string>& args) {
   if (args.size() < 1) return usage();
-  Netlist host = load(args[0], args.size() > 1 ? args[1] : "");
+  Netlist host = load(args[0], pick_top(args, 1, g_opts.top, "--top"));
   rulecheck::CheckReport report =
       rulecheck::check(host, rulecheck::builtin_rules(host.catalog_ptr()));
+
+  if (json_output()) {
+    report::Document doc("subgemini", "check");
+    doc.set("host", netlist_summary(host));
+    doc.set("rules_checked", report.rules_checked);
+    doc.set("errors", report.errors);
+    doc.set("warnings", report.warnings);
+    json::Value violations = json::Value::array();
+    for (const auto& v : report.violations) {
+      json::Value one = json::Value::object();
+      one.set("severity",
+              v.severity == rulecheck::Severity::kError ? "error" : "warning");
+      one.set("rule", v.rule);
+      json::Value devices = json::Value::array();
+      for (const auto& d : v.devices) devices.push(d);
+      one.set("devices", std::move(devices));
+      one.set("message", v.message);
+      violations.push(std::move(one));
+    }
+    doc.set("violations", std::move(violations));
+    if (g_metrics != nullptr) doc.set_metrics(g_metrics->collect());
+    doc.write(std::cout);
+    return report.errors == 0 ? 0 : 1;
+  }
+
   std::printf("# %zu rules, %zu errors, %zu warnings\n", report.rules_checked,
               report.errors, report.warnings);
   for (const auto& v : report.violations) {
@@ -294,19 +436,57 @@ int cmd_check(const std::vector<std::string>& args) {
 
 int cmd_reduce(const std::vector<std::string>& args) {
   if (args.size() < 1) return usage();
-  Netlist host = load(args[0], args.size() > 1 ? args[1] : "");
+  Netlist host = load(args[0], pick_top(args, 1, g_opts.top, "--top"));
   reduce::Reduced r = reduce::reduce_netlist(host);
   std::fprintf(stderr, "# %zu -> %zu devices\n", host.device_count(),
                r.netlist.device_count());
+
+  if (json_output()) {
+    report::Document doc("subgemini", "reduce");
+    doc.set("host", netlist_summary(host));
+    doc.set("devices_before", host.device_count());
+    doc.set("devices_after", r.netlist.device_count());
+    doc.set("netlist", netlist_text(args[0], r.netlist));
+    if (g_metrics != nullptr) doc.set_metrics(g_metrics->collect());
+    doc.write(std::cout);
+    return 0;
+  }
+
   emit(args[0], r.netlist);
   return 0;
 }
 
 int cmd_lvs(const std::vector<std::string>& args) {
   if (args.size() < 2) return usage();
-  Netlist left = load(args[0], args.size() > 2 ? args[2] : "");
-  Netlist right = load(args[1], args.size() > 3 ? args[3] : "");
+  Netlist left = load(args[0], pick_top(args, 2, g_opts.pattern_top,
+                                        "--pattern-top"));
+  Netlist right = load(args[1], pick_top(args, 3, g_opts.top, "--top"));
   lvs::LvsReport report = lvs::compare(left, right);
+
+  if (json_output()) {
+    report::Document doc("subgemini", "lvs");
+    doc.set("left", netlist_summary(left));
+    doc.set("right", netlist_summary(right));
+    doc.set("clean", report.clean);
+    doc.set("summary", report.summary);
+    json::Value mismatches = json::Value::array();
+    for (const lvs::Mismatch& m : report.mismatches) {
+      json::Value one = json::Value::object();
+      one.set("round", m.round);
+      json::Value lhs = json::Value::array();
+      for (const auto& n : m.left) lhs.push(n);
+      json::Value rhs = json::Value::array();
+      for (const auto& n : m.right) rhs.push(n);
+      one.set("left", std::move(lhs));
+      one.set("right", std::move(rhs));
+      mismatches.push(std::move(one));
+    }
+    doc.set("mismatches", std::move(mismatches));
+    if (g_metrics != nullptr) doc.set_metrics(g_metrics->collect());
+    doc.write(std::cout);
+    return report.clean ? 0 : 1;
+  }
+
   std::printf("%s\n", report.summary.c_str());
   for (const lvs::Mismatch& m : report.mismatches) {
     std::printf("mismatch (round %zu):\n  left :", m.round);
@@ -320,8 +500,27 @@ int cmd_lvs(const std::vector<std::string>& args) {
 
 int cmd_stats(const std::vector<std::string>& args) {
   if (args.size() < 1) return usage();
-  Netlist host = load(args[0], args.size() > 1 ? args[1] : "");
+  Netlist host = load(args[0], pick_top(args, 1, g_opts.top, "--top"));
   NetlistStats s = host.stats();
+
+  if (json_output()) {
+    report::Document doc("subgemini", "stats");
+    doc.set("host", netlist_summary(host));
+    doc.set("devices", s.device_count);
+    doc.set("nets", s.net_count);
+    doc.set("global_nets", s.global_net_count);
+    doc.set("pins", s.pin_count);
+    doc.set("max_net_degree", s.max_net_degree);
+    json::Value by_type = json::Value::object();
+    for (const auto& [type, count] : s.devices_by_type) {
+      by_type.set(type, count);
+    }
+    doc.set("devices_by_type", std::move(by_type));
+    if (g_metrics != nullptr) doc.set_metrics(g_metrics->collect());
+    doc.write(std::cout);
+    return 0;
+  }
+
   std::printf("netlist %s\n", host.name().c_str());
   std::printf("  devices      %zu\n", s.device_count);
   std::printf("  nets         %zu (%zu global)\n", s.net_count,
@@ -334,50 +533,60 @@ int cmd_stats(const std::vector<std::string>& args) {
   return 0;
 }
 
+int dispatch(const std::string& cmd, const std::vector<std::string>& args) {
+  if (cmd == "find") return cmd_find(args);
+  if (cmd == "extract") return cmd_extract(args);
+  if (cmd == "compare") return cmd_compare(args);
+  if (cmd == "lvs") return cmd_lvs(args);
+  if (cmd == "check") return cmd_check(args);
+  if (cmd == "reduce") return cmd_reduce(args);
+  if (cmd == "stats") return cmd_stats(args);
+  return usage();
+}
+
+/// --metrics[=FILE]: write the counter-tree text dump after the command
+/// finishes (even in json mode — the file is the flag's contract; the json
+/// document additionally embeds the same snapshot).
+void dump_metrics() {
+  if (g_metrics == nullptr) return;
+  const std::string text = g_metrics->collect().to_text();
+  if (g_opts.metrics_path.empty()) {
+    std::fwrite(text.data(), 1, text.size(), stderr);
+    return;
+  }
+  std::FILE* out = std::fopen(g_opts.metrics_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "subgemini: cannot write metrics to '%s'\n",
+                 g_opts.metrics_path.c_str());
+    return;
+  }
+  std::fwrite(text.data(), 1, text.size(), out);
+  std::fclose(out);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
-  std::string cmd = argv[1];
-  std::vector<std::string> args;
-  for (int i = 2; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg.rfind("--timeout=", 0) == 0) {
-      char* end = nullptr;
-      const double seconds = std::strtod(arg.c_str() + 10, &end);
-      if (end == nullptr || *end != '\0' || seconds <= 0) {
-        std::fprintf(stderr, "subgemini: bad --timeout value '%s'\n",
-                     arg.c_str() + 10);
-        return usage();
-      }
-      g_budget.set_deadline_after(seconds);
-      continue;
-    }
-    if (arg.rfind("--jobs=", 0) == 0) {
-      char* end = nullptr;
-      const unsigned long jobs = std::strtoul(arg.c_str() + 7, &end, 10);
-      if (end == nullptr || *end != '\0' || arg.size() == 7 || jobs == 0) {
-        std::fprintf(stderr, "subgemini: bad --jobs value '%s'\n",
-                     arg.c_str() + 7);
-        return usage();
-      }
-      g_jobs = static_cast<std::size_t>(jobs);
-      continue;
-    }
-    if (arg == "--lenient") {
-      g_lenient = true;
-      continue;
-    }
-    args.push_back(arg);
+  const std::string cmd = argv[1];
+  cli::ParsedArgs parsed = cli::parse_args(argc, argv, 2);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "subgemini: %s\n", parsed.error.c_str());
+    return usage();
+  }
+  g_opts = parsed.options;
+  std::optional<obs::Metrics> metrics;
+  if (g_opts.metrics) {
+    metrics.emplace();
+    g_metrics = &*metrics;
   }
   try {
-    if (cmd == "find") return cmd_find(args);
-    if (cmd == "extract") return cmd_extract(args);
-    if (cmd == "compare") return cmd_compare(args);
-    if (cmd == "lvs") return cmd_lvs(args);
-    if (cmd == "check") return cmd_check(args);
-    if (cmd == "reduce") return cmd_reduce(args);
-    if (cmd == "stats") return cmd_stats(args);
+    const int code = dispatch(cmd, parsed.positionals);
+    dump_metrics();
+    return code;
+  } catch (const UsageError& e) {
+    std::fprintf(stderr, "subgemini: %s\n", e.message.c_str());
+    return usage();
   } catch (const subg::Error& e) {
     // Malformed input deck (sysexits EX_DATAERR).
     std::fprintf(stderr, "subgemini: %s\n", e.what());
@@ -387,5 +596,4 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "subgemini: internal error: %s\n", e.what());
     return 70;
   }
-  return usage();
 }
