@@ -1,0 +1,56 @@
+// Lint entry-point fuzz target. Contract under ANY byte sequence: the full
+// `subgemini lint` pipeline — recovering SPICE parse, diagnostic import,
+// design-level checks, flatten, flat-netlist checks, text and JSON
+// rendering — never crashes and never throws anything but subg::Error (the
+// flatten step may reject what the recovering parser salvaged).
+//
+// The lint layer is the one component whose whole job is digesting sick
+// inputs, so it gets the harshest diet: every check runs, with a small
+// per-check cap so a pathological deck cannot balloon the report.
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string_view>
+
+#include "lint/lint.hpp"
+#include "netlist/design.hpp"
+#include "report/document.hpp"
+#include "spice/spice.hpp"
+#include "util/check.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size > (1u << 16)) return 0;
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+
+  subg::DiagnosticSink sink;
+  subg::spice::ReadOptions options;
+  options.diagnostics = &sink;
+  options.filename = "fuzz.sp";
+  const subg::Design design = subg::spice::read_string(text, options);
+
+  subg::lint::LintOptions lo;
+  lo.max_findings_per_check = 8;
+  subg::lint::LintReport report;
+  report.merge(subg::lint::import_diagnostics(sink, lo));
+  report.merge(subg::lint::lint_design(design, lo));
+  try {
+    const subg::Netlist flat = design.flatten(
+        design.module_count() > 0
+            ? design.module(subg::ModuleId(0)).name()
+            : std::string());
+    report.merge(subg::lint::lint_netlist(flat, lo));
+  } catch (const subg::Error&) {
+    // Unflattenable-but-parseable decks are lint's bread and butter; the
+    // CLI reports them as a "flatten" finding.
+  }
+
+  // Both renderings must cope with whatever names the parser salvaged
+  // (control bytes, embedded quotes, invalid UTF-8).
+  std::ostringstream out;
+  report.write_text(out);
+  subg::report::Document doc("subgemini", "lint");
+  doc.set("lint", subg::report::to_json(report));
+  doc.write(out);
+  return 0;
+}

@@ -155,7 +155,7 @@ ExtractResult extract_gates(const Netlist& transistors,
                      });
   }
 
-  ExtractResult result{clone_netlist(transistors, catalog), {}};
+  ExtractResult result{clone_netlist(transistors, catalog), {}, {}};
   Netlist& working = result.netlist;
   result.report.devices_before = working.device_count();
 
@@ -177,9 +177,30 @@ ExtractResult extract_gates(const Netlist& transistors,
   obs::Metrics* metrics = options.match.metrics;
   if (metrics != nullptr && pool != nullptr) pool->enable_timing();
 
+  // Lint preflight: a host with structural defects (floating gates, rail
+  // shorts) produces matches that LOOK valid but extract garbage; errors
+  // cancel the sweep before any replacement, warnings only inform.
+  bool lint_cancelled = false;
+  if (options.lint_host) {
+    lint::LintOptions lo = options.lint;
+    lo.pattern_checks = false;
+    if (lo.metrics == nullptr) lo.metrics = metrics;
+    result.host_lint = lint::lint_netlist(transistors, lo);
+    if (result.host_lint.has_errors()) {
+      lint_cancelled = true;
+      result.report.cells_skipped = order.size();
+      obs::count(metrics, "extract.cells_skipped", result.report.cells_skipped);
+      result.report.status.escalate(
+          RunOutcome::kCancelled,
+          "extract: host netlist failed the lint preflight (" +
+              std::to_string(result.host_lint.errors) +
+              " error(s)); extraction skipped");
+    }
+  }
+
   std::uint64_t gate_serial = 0;
   std::size_t oi = 0;
-  while (oi < order.size()) {
+  while (!lint_cancelled && oi < order.size()) {
     RunOutcome why;
     if (options.match.budget.interrupted(&why)) {
       result.report.cells_skipped = order.size() - oi;

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "lint/lint.hpp"
 #include "match/matcher.hpp"
 #include "netlist/netlist.hpp"
 
@@ -44,6 +45,14 @@ struct ExtractOptions {
   /// replacements already made (each is individually verified) and reports
   /// the skipped cells in the report status.
   MatchOptions match;
+  /// Lint the host netlist before the sweep (CLI --lint). Findings land in
+  /// ExtractResult::host_lint; lint ERRORS cancel the sweep outright (a
+  /// floating gate or rail short makes every match suspect), while
+  /// warnings only inform.
+  bool lint_host = false;
+  /// Knobs for the preflight when lint_host is set. pattern_checks is
+  /// forced off (a host netlist owes nobody connected ports).
+  lint::LintOptions lint;
 };
 
 struct ExtractReport {
@@ -71,6 +80,8 @@ struct ExtractReport {
 struct ExtractResult {
   Netlist netlist;  ///< gate-level netlist (extended catalog)
   ExtractReport report;
+  /// Preflight findings (empty unless ExtractOptions::lint_host).
+  lint::LintReport host_lint;
 };
 
 /// Catalog of `base` plus one device type per cell (pins = the cell's

@@ -1,0 +1,379 @@
+#include "lint/lint.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/strings.hpp"
+
+namespace subg::lint {
+
+namespace {
+
+/// Append a name list as " [label: a, b, c]".
+void append_names(std::ostream& os, const char* label,
+                  const std::vector<std::string>& names) {
+  if (names.empty()) return;
+  os << " [" << label << ":";
+  for (const std::string& n : names) os << ' ' << n;
+  os << ']';
+}
+
+/// True when pin `pin` of device `d` belongs to the "gate" terminal
+/// equivalence class (a MOS control input: it never drives its net).
+bool is_gate_pin(const Netlist& netlist, DeviceId d, std::uint32_t pin) {
+  const DeviceTypeInfo& info = netlist.device_type_info(d);
+  return info.pins[pin].equivalence_class == "gate";
+}
+
+void record_metrics(const LintOptions& options, const LintReport& report) {
+  if (options.metrics == nullptr) return;
+  obs::Metrics& m = *options.metrics;
+  m.add("lint.checks", report.checks_run);
+  m.add("lint.findings", report.findings.size());
+  m.add("lint.errors", report.errors);
+  m.add("lint.warnings", report.warnings);
+  m.add("lint.suppressed", report.suppressed);
+}
+
+}  // namespace
+
+std::string Finding::to_string() const {
+  std::ostringstream os;
+  os << lint::to_string(severity) << ' ' << check << ": " << message;
+  if (!module.empty()) os << " [module: " << module << ']';
+  append_names(os, "nets", nets);
+  append_names(os, "devices", devices);
+  return os.str();
+}
+
+void LintReport::add(Finding finding, std::size_t max_per_check) {
+  switch (finding.severity) {
+    case Severity::kError: ++errors; break;
+    case Severity::kWarning: ++warnings; break;
+    case Severity::kInfo: ++infos; break;
+  }
+  for (auto& [check, count] : per_check_) {
+    if (check == finding.check) {
+      if (count >= max_per_check) {
+        ++suppressed;
+        return;
+      }
+      ++count;
+      findings.push_back(std::move(finding));
+      return;
+    }
+  }
+  per_check_.emplace_back(finding.check, 1);
+  findings.push_back(std::move(finding));
+}
+
+void LintReport::merge(LintReport other) {
+  findings.insert(findings.end(),
+                  std::make_move_iterator(other.findings.begin()),
+                  std::make_move_iterator(other.findings.end()));
+  checks_run += other.checks_run;
+  errors += other.errors;
+  warnings += other.warnings;
+  infos += other.infos;
+  suppressed += other.suppressed;
+  for (auto& [check, count] : other.per_check_) {
+    bool found = false;
+    for (auto& [mine, my_count] : per_check_) {
+      if (mine == check) {
+        my_count += count;
+        found = true;
+        break;
+      }
+    }
+    if (!found) per_check_.emplace_back(std::move(check), count);
+  }
+}
+
+void LintReport::write_text(std::ostream& out) const {
+  for (const Finding& f : findings) out << f.to_string() << '\n';
+  if (suppressed > 0) {
+    out << "(" << suppressed << " further findings suppressed)\n";
+  }
+  if (!findings.empty() || suppressed > 0 || checks_run > 0) {
+    out << "# " << checks_run << " checks, " << errors << " errors, "
+        << warnings << " warnings, " << infos << " infos\n";
+  }
+}
+
+RailClass classify_rail(std::string_view name) {
+  std::string lower = to_lower(name);
+  if (!lower.empty() && lower.back() == '!') lower.pop_back();
+  if (lower.rfind("vdd", 0) == 0 || lower.rfind("vcc", 0) == 0 ||
+      lower == "pwr" || lower == "power") {
+    return RailClass::kSupply;
+  }
+  if (lower.rfind("gnd", 0) == 0 || lower.rfind("vss", 0) == 0 ||
+      lower == "0" || lower == "ground") {
+    return RailClass::kGround;
+  }
+  return RailClass::kNone;
+}
+
+LintReport lint_netlist(const Netlist& netlist, const LintOptions& options) {
+  LintReport report;
+  const std::size_t cap = options.max_findings_per_check;
+
+  // --- unconnected-port: a declared pattern port no device touches ------
+  // (Paper §II: ports are the pattern's external nets; a port with no pins
+  // makes the interface a lie — the matcher would bind it arbitrarily.)
+  if (options.pattern_checks) {
+    ++report.checks_run;
+    for (NetId port : netlist.ports()) {
+      if (netlist.net_degree(port) > 0) continue;
+      Finding f;
+      f.check = kUnconnectedPort;
+      f.severity = Severity::kError;
+      f.message = "port '" + netlist.net_name(port) +
+                  "' connects to no device pin";
+      f.nets.push_back(netlist.net_name(port));
+      report.add(std::move(f), cap);
+    }
+  }
+
+  // --- floating-gate / dangling-net / unused-net ------------------------
+  // One sweep classifies every net by its attached pin mix. A net whose
+  // every pin is a gate-class MOS input has no driver at all (Phase I
+  // degree labels are fine but the circuit is electrically dead); a
+  // single-pin net leads nowhere; a zero-pin net is clutter.
+  //
+  // Severity depends on what the netlist declares: with ports marked, a
+  // gate-only net is provably internal and undriven (error); a deck with
+  // no ports at all (top-level SPICE cards) cannot distinguish a floating
+  // gate from a primary input, so the finding downgrades to a warning.
+  const Severity floating_severity =
+      netlist.ports().empty() ? Severity::kWarning : Severity::kError;
+  ++report.checks_run;  // floating-gate
+  ++report.checks_run;  // dangling-net
+  ++report.checks_run;  // unused-net
+  for (std::uint32_t n = 0; n < netlist.net_count(); ++n) {
+    const NetId net(n);
+    if (netlist.is_port(net) || netlist.is_global(net)) continue;
+    const auto pins = netlist.net_pins(net);
+    if (pins.empty()) {
+      Finding f;
+      f.check = kUnusedNet;
+      f.severity = Severity::kInfo;
+      f.message = "net '" + netlist.net_name(net) +
+                  "' connects to no device pin";
+      f.nets.push_back(netlist.net_name(net));
+      report.add(std::move(f), cap);
+      continue;
+    }
+    bool all_gates = true;
+    for (const Netlist::NetPin& p : pins) {
+      if (!is_gate_pin(netlist, p.device, p.pin)) {
+        all_gates = false;
+        break;
+      }
+    }
+    if (all_gates) {
+      Finding f;
+      f.check = kFloatingGate;
+      f.severity = floating_severity;
+      f.message = "net '" + netlist.net_name(net) +
+                  "' drives only MOS gates and is driven by nothing";
+      f.nets.push_back(netlist.net_name(net));
+      for (const Netlist::NetPin& p : pins) {
+        f.devices.push_back(netlist.device_name(p.device));
+      }
+      report.add(std::move(f), cap);
+    } else if (pins.size() == 1) {
+      Finding f;
+      f.check = kDanglingNet;
+      f.severity = Severity::kWarning;
+      f.message = "net '" + netlist.net_name(net) +
+                  "' has a single terminal (dangling)";
+      f.nets.push_back(netlist.net_name(net));
+      f.devices.push_back(netlist.device_name(pins.front().device));
+      report.add(std::move(f), cap);
+    }
+  }
+
+  // --- unreachable: devices cut off from every port and rail ------------
+  // BFS over the net–device bipartite adjacency from all ports and used
+  // globals. A device no such anchor reaches belongs to an island the
+  // surrounding circuitry cannot observe — in a pattern it can never be
+  // placed (matcher.cpp rejects disconnected patterns outright), in a host
+  // it is dead weight that still slows refinement.
+  ++report.checks_run;
+  {
+    std::vector<NetId> net_frontier;
+    for (std::uint32_t n = 0; n < netlist.net_count(); ++n) {
+      const NetId net(n);
+      if ((netlist.is_port(net) || netlist.is_global(net)) &&
+          netlist.net_degree(net) > 0) {
+        net_frontier.push_back(net);
+      }
+    }
+    if (!net_frontier.empty()) {
+      std::vector<bool> net_seen(netlist.net_count(), false);
+      std::vector<bool> dev_seen(netlist.device_count(), false);
+      for (NetId n : net_frontier) net_seen[n.index()] = true;
+      while (!net_frontier.empty()) {
+        NetId n = net_frontier.back();
+        net_frontier.pop_back();
+        for (const Netlist::NetPin& p : netlist.net_pins(n)) {
+          if (dev_seen[p.device.index()]) continue;
+          dev_seen[p.device.index()] = true;
+          for (NetId adj : netlist.device_pins(p.device)) {
+            if (!net_seen[adj.index()]) {
+              net_seen[adj.index()] = true;
+              net_frontier.push_back(adj);
+            }
+          }
+        }
+      }
+      for (std::uint32_t d = 0; d < netlist.device_count(); ++d) {
+        if (dev_seen[d]) continue;
+        Finding f;
+        f.check = kUnreachable;
+        f.severity = Severity::kWarning;
+        f.message = "device '" + netlist.device_name(DeviceId(d)) +
+                    "' is unreachable from every port and global rail";
+        f.devices.push_back(netlist.device_name(DeviceId(d)));
+        report.add(std::move(f), cap);
+      }
+    }
+  }
+
+  record_metrics(options, report);
+  return report;
+}
+
+LintReport lint_design(const Design& design, const LintOptions& options) {
+  LintReport report;
+  const std::size_t cap = options.max_findings_per_check;
+
+  // --- duplicate-instance -----------------------------------------------
+  // Module-local device/instance names must be unique: flatten() composes
+  // "<path>/<name>" names and Netlist::add_device throws on the collision,
+  // so a duplicate here kills the whole flatten with a mid-expansion error.
+  ++report.checks_run;
+  for (std::uint32_t mi = 0; mi < design.module_count(); ++mi) {
+    const Module& mod = design.module(ModuleId(mi));
+    std::unordered_map<std::string, std::size_t> seen;
+    auto note = [&](const std::string& name) {
+      if (name.empty()) return;  // auto-named; always unique
+      if (++seen[name] != 2) return;  // report each duplicate name once
+      Finding f;
+      f.check = kDuplicateInstance;
+      f.severity = Severity::kError;
+      f.message = "name '" + name + "' is used by more than one "
+                  "device/instance in module '" + mod.name() + "'";
+      f.module = mod.name();
+      f.devices.push_back(name);
+      report.add(std::move(f), cap);
+    };
+    for (const Module::Prim& dev : mod.devices()) note(dev.name);
+    for (const Module::Instance& inst : mod.instances()) note(inst.name);
+  }
+
+  // --- supply-short / rail-mismatch -------------------------------------
+  // A VDD–GND short needs no device to be fatal: binding one actual net to
+  // both a supply-class formal and a ground-class formal of a child module
+  // fuses the rails through a zero-device path (after flatten they are ONE
+  // net, and the paper's special-signal matching (§IV.A) silently treats
+  // the merged rail as whichever name survived). A single cross-polarity
+  // binding is the milder cousin: probably a swapped port order.
+  ++report.checks_run;  // supply-short
+  ++report.checks_run;  // rail-mismatch
+  for (std::uint32_t mi = 0; mi < design.module_count(); ++mi) {
+    const Module& mod = design.module(ModuleId(mi));
+    for (const Module::Instance& inst : mod.instances()) {
+      const Module& child = design.module(inst.child);
+      // Per actual net: the first supply-class and ground-class formal
+      // bound to it (-1 = none yet). A handful of rails per instance, so a
+      // flat insertion-ordered vector keeps findings deterministic.
+      struct RailBinding {
+        std::uint32_t actual;
+        int supply = -1;
+        int ground = -1;
+      };
+      std::vector<RailBinding> bound;
+      for (std::size_t i = 0; i < inst.actuals.size(); ++i) {
+        const std::string& formal = child.net_name(child.ports()[i]);
+        const RailClass cls = classify_rail(formal);
+        if (cls == RailClass::kNone) continue;
+        const std::uint32_t actual = inst.actuals[i].value;
+        auto it = std::find_if(
+            bound.begin(), bound.end(),
+            [actual](const RailBinding& b) { return b.actual == actual; });
+        if (it == bound.end()) {
+          bound.push_back(RailBinding{actual, -1, -1});
+          it = bound.end() - 1;
+        }
+        if (cls == RailClass::kSupply && it->supply < 0) {
+          it->supply = static_cast<int>(i);
+        } else if (cls == RailClass::kGround && it->ground < 0) {
+          it->ground = static_cast<int>(i);
+        }
+        const RailClass actual_cls =
+            classify_rail(mod.net_name(inst.actuals[i]));
+        if (actual_cls != RailClass::kNone && actual_cls != cls) {
+          Finding f;
+          f.check = kRailMismatch;
+          f.severity = Severity::kWarning;
+          f.message = "instance '" + inst.name + "' binds " +
+                      (actual_cls == RailClass::kGround ? "ground" : "supply") +
+                      " net '" + mod.net_name(inst.actuals[i]) + "' to " +
+                      (cls == RailClass::kSupply ? "supply" : "ground") +
+                      " port '" + formal + "' of '" + child.name() + "'";
+          f.module = mod.name();
+          f.devices.push_back(inst.name);
+          f.nets.push_back(mod.net_name(inst.actuals[i]));
+          report.add(std::move(f), cap);
+        }
+      }
+      for (const RailBinding& b : bound) {
+        if (b.supply < 0 || b.ground < 0) continue;
+        Finding f;
+        f.check = kSupplyShort;
+        f.severity = Severity::kError;
+        f.message =
+            "instance '" + inst.name + "' ties supply port '" +
+            child.net_name(child.ports()[static_cast<std::size_t>(b.supply)]) +
+            "' and ground port '" +
+            child.net_name(child.ports()[static_cast<std::size_t>(b.ground)]) +
+            "' of '" + child.name() + "' to the same net '" +
+            mod.net_name(NetId(b.actual)) + "' (zero-device VDD-GND short)";
+        f.module = mod.name();
+        f.devices.push_back(inst.name);
+        f.nets.push_back(mod.net_name(NetId(b.actual)));
+        report.add(std::move(f), cap);
+      }
+    }
+  }
+
+  record_metrics(options, report);
+  return report;
+}
+
+LintReport import_diagnostics(const DiagnosticSink& sink,
+                              const LintOptions& options) {
+  LintReport report;
+  ++report.checks_run;
+  for (const Diagnostic& d : sink.diagnostics()) {
+    Finding f;
+    f.check = kParse;
+    f.severity = d.severity == Diagnostic::Severity::kError
+                     ? Severity::kError
+                     : Severity::kWarning;
+    f.message = d.to_string();
+    report.add(std::move(f), options.max_findings_per_check);
+  }
+  // Diagnostics past the sink's own cap still count toward the tallies.
+  for (std::size_t i = 0; i < sink.dropped(); ++i) ++report.suppressed;
+  record_metrics(options, report);
+  return report;
+}
+
+}  // namespace subg::lint

@@ -1,0 +1,144 @@
+// Netlist lint: static analysis of parsed circuits BEFORE matching.
+//
+// Phase I partition refinement silently degrades on malformed inputs —
+// floating gates stop corruption fronts, dangling nets distort degree
+// labels, and aliased supply rails break the paper's special-signal
+// handling (§IV.A assumes well-formed power/ground connectivity). The lint
+// layer turns those latent hazards into structured findings so front ends
+// can refuse (or flag) a sick netlist instead of matching garbage.
+//
+// Three sources feed one LintReport:
+//   * lint_netlist()  — structural checks on a flat Netlist (floating
+//     gates, dangling/single-terminal nets, unconnected pattern ports,
+//     unreachable components);
+//   * lint_design()   — hierarchy checks the flat view cannot express
+//     (duplicate instance names, VDD–GND shorts through zero-device
+//     instance bindings, rail-polarity swaps);
+//   * import_diagnostics() — the recovering parsers' DiagnosticSink,
+//     surfacing per-card failures (terminal-class arity mismatches,
+//     truncated definitions) as findings with file/line context.
+//
+// Reports are deterministic: checks run in a fixed order and findings are
+// emitted in netlist declaration order, so golden-file tests compare bytes.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "netlist/design.hpp"
+#include "netlist/netlist.hpp"
+#include "util/diagnostics.hpp"
+
+namespace subg::obs {
+class Metrics;
+}  // namespace subg::obs
+
+namespace subg::lint {
+
+enum class Severity { kInfo, kWarning, kError };
+
+[[nodiscard]] constexpr const char* to_string(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "unknown";
+}
+
+/// One defect found by a check. `check` is a stable kebab-case identifier
+/// (the set below); consumers may key suppressions off it.
+struct Finding {
+  std::string check;
+  Severity severity = Severity::kWarning;
+  std::string message;
+  /// Nets involved, by name (flat or module-local, per the check's scope).
+  std::vector<std::string> nets;
+  /// Devices / instances involved, by name.
+  std::vector<std::string> devices;
+  /// Module context for hierarchy checks; empty for flat-netlist findings.
+  std::string module;
+
+  /// "error floating-gate: <message> [nets: ...] [devices: ...]"
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Stable check identifiers (also the spelling used in reports/tests).
+inline constexpr const char* kFloatingGate = "floating-gate";
+inline constexpr const char* kDanglingNet = "dangling-net";
+inline constexpr const char* kUnusedNet = "unused-net";
+inline constexpr const char* kUnconnectedPort = "unconnected-port";
+inline constexpr const char* kUnreachable = "unreachable";
+inline constexpr const char* kSupplyShort = "supply-short";
+inline constexpr const char* kRailMismatch = "rail-mismatch";
+inline constexpr const char* kDuplicateInstance = "duplicate-instance";
+inline constexpr const char* kParse = "parse";
+inline constexpr const char* kFlatten = "flatten";
+
+struct LintOptions {
+  /// Findings stored per check id; overflow only bumps
+  /// LintReport::suppressed (a corrupt million-device deck must not produce
+  /// a million-line report).
+  std::size_t max_findings_per_check = 100;
+  /// Run the port checks (unconnected-port). Meaningful for pattern-style
+  /// netlists; a flat host with no declared ports skips them anyway.
+  bool pattern_checks = true;
+  /// Optional counter sink (lint.checks / lint.findings / lint.errors...).
+  obs::Metrics* metrics = nullptr;
+};
+
+struct LintReport {
+  std::vector<Finding> findings;
+  std::size_t checks_run = 0;
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  std::size_t infos = 0;
+  /// Findings dropped past LintOptions::max_findings_per_check. Counted,
+  /// never silently lost: a report with suppressed > 0 is not clean.
+  std::size_t suppressed = 0;
+
+  [[nodiscard]] bool clean() const {
+    return findings.empty() && suppressed == 0;
+  }
+  /// Worst severity present, or nullopt when the report is empty.
+  [[nodiscard]] bool has_errors() const { return errors > 0; }
+  [[nodiscard]] bool has_warnings() const { return warnings > 0; }
+
+  /// Record a finding, honoring the per-check cap. Bumps the severity
+  /// tallies either way.
+  void add(Finding finding, std::size_t max_per_check);
+
+  /// Fold `other` into this report (used to combine design-, parse-, and
+  /// netlist-level passes into the one report a front end prints).
+  void merge(LintReport other);
+
+  /// Text rendering: one line per finding plus a one-line summary; ends
+  /// with '\n' unless the report is empty and clean.
+  void write_text(std::ostream& out) const;
+
+ private:
+  std::vector<std::pair<std::string, std::size_t>> per_check_;
+};
+
+/// Structural checks over a flat netlist. Deterministic; read-only.
+[[nodiscard]] LintReport lint_netlist(const Netlist& netlist,
+                                      const LintOptions& options = {});
+
+/// Hierarchy checks over a parsed design (before flattening — duplicate
+/// names make flatten() itself throw, so this must run first).
+[[nodiscard]] LintReport lint_design(const Design& design,
+                                     const LintOptions& options = {});
+
+/// Surface recovering-parse diagnostics as findings (check id "parse").
+[[nodiscard]] LintReport import_diagnostics(const DiagnosticSink& sink,
+                                            const LintOptions& options = {});
+
+/// Rail-name classification used by the supply checks: "vdd"/"vcc"/"pwr"
+/// prefixes are supplies, "gnd"/"vss"/"0"/"ground" are grounds. Matching is
+/// case-insensitive and ignores a trailing '!'.
+enum class RailClass { kNone, kSupply, kGround };
+[[nodiscard]] RailClass classify_rail(std::string_view name);
+
+}  // namespace subg::lint

@@ -23,6 +23,19 @@ const std::vector<Label>& HostLabelCache::labels(const RailKey& rails,
                                                  ThreadPool* pool) {
   RailKey key = rails;
   normalize(key);
+  if constexpr (kAuditEnabled) {
+    // Cache-key stability: every lookup of the same rail set must hash to
+    // the same normalized key, or concurrent jobs would fork divergent
+    // label sequences for one host.
+    SUBG_AUDIT_MSG(std::is_sorted(key.begin(), key.end()),
+                   "label-cache audit: rail key not normalized (unsorted)");
+    SUBG_AUDIT_MSG(std::adjacent_find(key.begin(), key.end()) == key.end(),
+                   "label-cache audit: rail key not normalized (duplicate)");
+    for (std::size_t i = 1; i < key.size(); ++i) {
+      SUBG_AUDIT_MSG(key[i - 1].first != key[i].first,
+                     "label-cache audit: one rail bound to two labels");
+    }
+  }
 
   std::lock_guard<std::mutex> lock(mutex_);
   std::deque<std::vector<Label>>& seq = sequences_[key];
@@ -61,7 +74,8 @@ const std::vector<Label>& HostLabelCache::labels(const RailKey& rails,
 
     // Two-buffer synchronous update: next[v] depends only on prev, so the
     // vertex sweep is data-parallel and scheduling-order independent.
-    auto sweep = [&](std::size_t begin, std::size_t end) {
+    auto sweep_into = [&](std::vector<Label>& out, std::size_t begin,
+                          std::size_t end) {
       for (Vertex v = static_cast<Vertex>(begin); v < end; ++v) {
         const bool is_net = g_->is_net(v);
         if (is_net != net_round || is_rail[v]) continue;
@@ -69,13 +83,34 @@ const std::vector<Label>& HostLabelCache::labels(const RailKey& rails,
         for (const auto& e : g_->edges(v)) {
           sum += edge_contribution(e.coefficient, prev[e.to]);
         }
-        next[v] = relabel(prev[v], sum);
+        out[v] = relabel(prev[v], sum);
       }
     };
     if (pool != nullptr) {
-      pool->parallel_for(g_->vertex_count(), kRelabelGrain, sweep);
+      pool->parallel_for(g_->vertex_count(), kRelabelGrain,
+                         [&](std::size_t begin, std::size_t end) {
+                           sweep_into(next, begin, end);
+                         });
+      if constexpr (kAuditEnabled) {
+        // Stability across jobs: the parallel sweep must produce exactly
+        // the serial labels, or cached rounds would depend on --jobs.
+        std::vector<Label> serial = prev;
+        sweep_into(serial, 0, g_->vertex_count());
+        SUBG_AUDIT_MSG(serial == next,
+                       "label-cache audit: parallel relabel sweep diverged "
+                       "from the serial sweep");
+      }
     } else {
-      sweep(0, g_->vertex_count());
+      sweep_into(next, 0, g_->vertex_count());
+    }
+    if constexpr (kAuditEnabled) {
+      // Rail overrides are pinned at round 0 and skipped by every sweep;
+      // their labels must never drift between rounds.
+      for (const auto& [vertex, label] : key) {
+        SUBG_AUDIT_MSG(next[vertex] == label,
+                       "label-cache audit: rail override drifted across "
+                       "rounds");
+      }
     }
     seq.push_back(std::move(next));
   }

@@ -268,6 +268,20 @@ MatchReport SubgraphMatcher::run(std::size_t limit) {
   }
   report.phase2_seconds = timer.seconds();
 
+  if constexpr (kAuditEnabled) {
+    // Both sweep shapes must respect the match limit and hand back complete
+    // images (one host device per pattern device, one host net per pattern
+    // net — globals resolved by name included).
+    SUBG_AUDIT_MSG(report.instances.size() <= limit,
+                   "matcher audit: sweep exceeded the match limit");
+    for (const SubcircuitInstance& inst : report.instances) {
+      SUBG_AUDIT_MSG(inst.device_image.size() == pattern_.device_count(),
+                     "matcher audit: instance device image is incomplete");
+      SUBG_AUDIT_MSG(inst.net_image.size() == pattern_.net_count(),
+                     "matcher audit: instance net image is incomplete");
+    }
+  }
+
   if (options_.metrics != nullptr) {
     obs::Metrics& m = *options_.metrics;
     m.span_add("phase2.seconds", report.phase2_seconds);

@@ -78,11 +78,23 @@ struct Phase1State {
     return kind == Kind::kDevice ? graph.is_device(v) : graph.is_net(v);
   }
 
+  /// Non-special pattern vertices still valid (both kinds) — the auditor's
+  /// monotonicity census.
+  [[nodiscard]] std::size_t valid_count() const {
+    std::size_t n = 0;
+    for (Vertex v = 0; v < s.vertex_count(); ++v) {
+      if (!s.is_special(v) && valid_s[v]) ++n;
+    }
+    return n;
+  }
+
   /// One synchronous relabeling round over all vertices of `kind`.
   /// Pattern vertices whose neighbor (of the other kind) is corrupt become
   /// corrupt themselves instead of being relabeled; host labels advance via
   /// the shared cache.
   void relabel_round(Kind kind) {
+    std::size_t audit_valid_before = 0;
+    if constexpr (kAuditEnabled) audit_valid_before = valid_count();
     for (Vertex v = 0; v < s.vertex_count(); ++v) {
       if (!kind_of(s, v, kind) || s.is_special(v) || !valid_s[v]) continue;
       Label sum = 0;
@@ -103,6 +115,22 @@ struct Phase1State {
     for (Vertex v = 0; v < s.vertex_count(); ++v) {
       if (kind_of(s, v, kind) && !s.is_special(v) && valid_s[v]) {
         label_s[v] = scratch_s[v];
+      }
+    }
+    if constexpr (kAuditEnabled) {
+      // Monotonicity (paper §III): corruption only ever spreads; a round
+      // never resurrects a corrupt vertex.
+      SUBG_AUDIT_MSG(valid_count() <= audit_valid_before,
+                     "phase1 audit: valid set grew during a relabel round");
+      // Corrupt-bit propagation: a vertex of `kind` that survived this
+      // round can have no corrupt neighbor (neighbors are the other kind
+      // and did not change validity this round).
+      for (Vertex v = 0; v < s.vertex_count(); ++v) {
+        if (!kind_of(s, v, kind) || s.is_special(v) || !valid_s[v]) continue;
+        for (const auto& e : s.edges(v)) {
+          SUBG_AUDIT_MSG(valid_s[e.to],
+                         "phase1 audit: valid vertex kept a corrupt neighbor");
+        }
       }
     }
     ++round;
@@ -265,6 +293,23 @@ Phase1Result run_phase1_refinement(const CircuitGraph& pattern,
   for (Vertex v = 0; v < host.vertex_count(); ++v) {
     if (st.possible_g[v] && label_g[v] == best_label) {
       result.candidates.push_back(v);
+    }
+  }
+  // Candidate-vector ⊆ host-partition consistency: the vector just built
+  // must agree with the census taken above (two independent sweeps), be at
+  // least as large as the pattern partition it images, and never contain a
+  // by-name-matched special net (possible_g excludes them from round 0 and
+  // is only ever cleared).
+  SUBG_AUDIT_MSG(result.candidates.size() == best_g,
+                 "phase1 audit: candidate vector disagrees with the host "
+                 "partition census");
+  SUBG_AUDIT_MSG(best_g >= best_s,
+                 "phase1 audit: candidate vector smaller than its pattern "
+                 "partition");
+  if constexpr (kAuditEnabled) {
+    for (Vertex v : result.candidates) {
+      SUBG_AUDIT_MSG(!st.special_g[v],
+                     "phase1 audit: special host net in the candidate vector");
     }
   }
   for (Vertex v = 0; v < pattern.vertex_count(); ++v) {

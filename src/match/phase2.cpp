@@ -71,6 +71,11 @@ std::uint32_t Phase2Verifier::ensure_slot(State& st, Vertex g) {
 }
 
 void Phase2Verifier::postulate(State& st, Vertex s, Vertex g) {
+  SUBG_AUDIT_MSG(!s_.is_special(s),
+                 "phase2 audit: special rails match by name, never by "
+                 "postulate");
+  SUBG_AUDIT_MSG(st.matched_s[s] == kInvalidVertex,
+                 "phase2 audit: pattern vertex postulated twice");
   ++stats_.bindings;
   const Label l = fresh_label(st);
   st.label_s[s] = l;
@@ -78,8 +83,13 @@ void Phase2Verifier::postulate(State& st, Vertex s, Vertex g) {
   st.safe_s[s] = true;
   st.matched_s[s] = g;
   ++st.matched_count;
+  SUBG_AUDIT_MSG(st.matched_count <= matchable_total_,
+                 "phase2 audit: matched count exceeds the matchable pattern "
+                 "vertices");
 
   Slot& slot = st.slots[ensure_slot(st, g)];
+  SUBG_AUDIT_MSG(slot.matched_to == kInvalidVertex,
+                 "phase2 audit: host vertex bound to two pattern vertices");
   slot.label = l;
   slot.safe = true;
   slot.excluded = false;
@@ -160,6 +170,22 @@ Phase2Verifier::Outcome Phase2Verifier::run(
   stats_.max_guess_depth = std::max(stats_.max_guess_depth, depth);
   while (true) {
     if (st.matched_count == matchable_total_) {
+      if constexpr (kAuditEnabled) {
+        // The matched_count ledger claims a full binding; cross-check it
+        // against the actual matched_s contents and verify injectivity
+        // (every host vertex used at most once).
+        std::set<Vertex> image;
+        for (Vertex v = 0; v < s_.vertex_count(); ++v) {
+          if (s_.is_special(v)) continue;
+          SUBG_AUDIT_MSG(st.matched_s[v] != kInvalidVertex,
+                         "phase2 audit: matched count is full but a pattern "
+                         "vertex is unbound");
+          image.insert(st.matched_s[v]);
+        }
+        SUBG_AUDIT_MSG(image.size() == matchable_total_,
+                       "phase2 audit: pattern-to-host binding is not "
+                       "injective");
+      }
       if (!extract_mapping(st, out)) return Outcome::kFail;
       if (!verify_mapping(*out)) {
         ++stats_.verify_failures;

@@ -26,6 +26,20 @@ class Design;
 /// declared nets in order.
 class Module {
  public:
+  /// A primitive device card as declared (module-local nets, pin order).
+  struct Prim {
+    DeviceTypeId type;
+    std::vector<NetId> nets;
+    std::string name;
+  };
+  /// A child-module instantiation; actuals bind to the child's ports in
+  /// order.
+  struct Instance {
+    ModuleId child;
+    std::vector<NetId> actuals;
+    std::string name;
+  };
+
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] std::span<const NetId> ports() const { return ports_; }
 
@@ -50,18 +64,14 @@ class Module {
   [[nodiscard]] std::size_t device_count() const { return devices_.size(); }
   [[nodiscard]] std::size_t instance_count() const { return instances_.size(); }
 
+  /// Read-only views for analyses (lint) in declaration order.
+  [[nodiscard]] std::span<const Prim> devices() const { return devices_; }
+  [[nodiscard]] std::span<const Instance> instances() const {
+    return instances_;
+  }
+
  private:
   friend class Design;
-  struct Prim {
-    DeviceTypeId type;
-    std::vector<NetId> nets;
-    std::string name;
-  };
-  struct Instance {
-    ModuleId child;
-    std::vector<NetId> actuals;
-    std::string name;
-  };
 
   explicit Module(Design* design, std::string name)
       : design_(design), name_(std::move(name)) {}

@@ -5,6 +5,7 @@
 
 #include "extract/extract.hpp"
 #include "gemini/gemini.hpp"
+#include "lint/lint.hpp"
 #include "match/matcher.hpp"
 #include "obs/metrics.hpp"
 #include "report/report.hpp"
@@ -92,6 +93,32 @@ json::Value to_json(const extract::ExtractReport& report) {
   v.set("unextracted_primitives", report.unextracted_primitives);
   v.set("cells_skipped", report.cells_skipped);
   v.set("status", to_json(report.status));
+  return v;
+}
+
+json::Value to_json(const lint::LintReport& report) {
+  json::Value v = json::Value::object();
+  json::Value findings = json::Value::array();
+  for (const lint::Finding& f : report.findings) {
+    json::Value one = json::Value::object();
+    one.set("check", f.check);
+    one.set("severity", lint::to_string(f.severity));
+    one.set("message", f.message);
+    json::Value nets = json::Value::array();
+    for (const std::string& n : f.nets) nets.push(n);
+    one.set("nets", std::move(nets));
+    json::Value devices = json::Value::array();
+    for (const std::string& d : f.devices) devices.push(d);
+    one.set("devices", std::move(devices));
+    one.set("module", f.module);
+    findings.push(std::move(one));
+  }
+  v.set("findings", std::move(findings));
+  v.set("checks_run", report.checks_run);
+  v.set("errors", report.errors);
+  v.set("warnings", report.warnings);
+  v.set("infos", report.infos);
+  v.set("suppressed", report.suppressed);
   return v;
 }
 

@@ -33,6 +33,10 @@ namespace subg::extract {
 struct ExtractReport;
 }  // namespace subg::extract
 
+namespace subg::lint {
+struct LintReport;
+}  // namespace subg::lint
+
 namespace subg::obs {
 struct Snapshot;
 }  // namespace subg::obs
@@ -53,6 +57,10 @@ inline constexpr std::uint64_t kSchemaVersion = 1;
 /// host vertex indices).
 [[nodiscard]] json::Value to_json(const MatchReport& report);
 [[nodiscard]] json::Value to_json(const extract::ExtractReport& report);
+/// Lint report: {"findings": [{"check", "severity", "message", "nets",
+/// "devices", "module"}...], "checks_run", "errors", "warnings", "infos",
+/// "suppressed"} — the "lint" member of lint/extract documents.
+[[nodiscard]] json::Value to_json(const lint::LintReport& report);
 /// Comparison verdict including the device/net correspondence when one was
 /// found (indices into netlist `b`, positionally matching `a`).
 [[nodiscard]] json::Value to_json(const CompareResult& result);

@@ -49,3 +49,29 @@ namespace detail {
 #else
 #define SUBG_DCHECK(expr) SUBG_CHECK(expr)
 #endif
+
+// SUBG_AUDIT / SUBG_AUDIT_MSG: the internal invariant auditor. Deeper (and
+// costlier) than SUBG_DCHECK — these verify algorithmic invariants of the
+// matching runtime itself (partition-refinement monotonicity, corrupt-bit
+// propagation, candidate-vector ⊆ host-partition consistency, label-cache
+// key stability), some of which need O(n) scans per round. They compile to
+// nothing unless the build sets -DSUBG_AUDIT=ON (cmake option; defines
+// SUBG_AUDIT_ENABLED), so production and benchmark binaries pay zero cost.
+// DESIGN.md ("Invariant catalog") enumerates every assertion and the paper
+// property it guards. kAuditEnabled lets tests and reports state whether
+// the auditor was compiled in.
+#ifdef SUBG_AUDIT_ENABLED
+#define SUBG_AUDIT(expr) SUBG_CHECK(expr)
+#define SUBG_AUDIT_MSG(expr, msg) SUBG_CHECK_MSG(expr, msg)
+namespace subg {
+inline constexpr bool kAuditEnabled = true;
+}  // namespace subg
+#else
+// Unevaluated sizeof: the expression still type-checks (and its operands
+// count as used) in non-audit builds, but no code is emitted.
+#define SUBG_AUDIT(expr) ((void)sizeof(expr))
+#define SUBG_AUDIT_MSG(expr, msg) ((void)sizeof(expr))
+namespace subg {
+inline constexpr bool kAuditEnabled = false;
+}  // namespace subg
+#endif

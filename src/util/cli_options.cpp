@@ -1,5 +1,6 @@
 #include "util/cli_options.hpp"
 
+#include <atomic>
 #include <cstdlib>
 
 namespace subg::cli {
@@ -95,6 +96,22 @@ ParsedArgs parse_args(const std::vector<std::string>& args) {
       out.options.pattern_top = v;
       continue;
     }
+    if (const char* v = flag_value(arg, "--fail-on=")) {
+      const std::string value = v;
+      if (value == "warn") {
+        out.options.fail_on = FailOn::kWarn;
+      } else if (value == "error") {
+        out.options.fail_on = FailOn::kError;
+      } else {
+        out.error = "bad --fail-on value '" + value + "' (want warn or error)";
+        return out;
+      }
+      continue;
+    }
+    if (arg == "--lint") {
+      out.options.lint = true;
+      continue;
+    }
     out.error = "unknown flag '" + arg + "'";
     return out;
   }
@@ -120,7 +137,25 @@ const char* global_flags_help() {
       "                     to FILE (default stderr), and embed it in json\n"
       "                     output\n"
       "  --top=NAME         top module of the host (second or sole) input\n"
-      "  --pattern-top=NAME top module of the pattern (first) input\n";
+      "  --pattern-top=NAME top module of the pattern (first) input\n"
+      "  --fail-on=<sev>    lowest lint severity that fails the run: error\n"
+      "                     (default) or warn\n"
+      "  --lint             extract: lint the host netlist first; lint\n"
+      "                     errors skip the extraction sweep\n";
+}
+
+namespace {
+/// One latch per process; relaxed ordering is enough — the only contract is
+/// "exactly one claimant", not any ordering with other memory.
+std::atomic<bool> g_positional_top_warned{false};
+}  // namespace
+
+bool claim_positional_top_warning() {
+  return !g_positional_top_warned.exchange(true, std::memory_order_relaxed);
+}
+
+void reset_positional_top_warning_for_test() {
+  g_positional_top_warned.store(false, std::memory_order_relaxed);
 }
 
 }  // namespace subg::cli

@@ -12,6 +12,8 @@
 //                        FILE (stderr when omitted)
 //   --top=NAME           top module of the host / second / sole input
 //   --pattern-top=NAME   top module of the pattern / first input
+//   --fail-on=warn|error severity threshold for a nonzero lint exit
+//   --lint               run the lint checks before extraction
 //
 // Flags may appear anywhere; everything else is returned as a positional.
 // Unknown --flags are an error (callers map it to a usage exit), so typos
@@ -29,6 +31,11 @@ namespace subg::cli {
 
 enum class Format { kText, kJson };
 
+/// --fail-on: lowest finding severity that turns into a nonzero exit.
+/// kError is the default (warnings inform, errors gate); kWarn tightens the
+/// gate for CI runs that want a warning-clean deck.
+enum class FailOn { kError, kWarn };
+
 struct GlobalOptions {
   /// Armed iff --timeout was given; default-unlimited otherwise.
   Budget budget;
@@ -44,6 +51,10 @@ struct GlobalOptions {
   /// --top / --pattern-top; empty = not given.
   std::string top;
   std::string pattern_top;
+  /// --fail-on severity threshold for lint-style commands.
+  FailOn fail_on = FailOn::kError;
+  /// --lint: run the lint checks as a preflight (extract).
+  bool lint = false;
 };
 
 struct ParsedArgs {
@@ -64,5 +75,16 @@ struct ParsedArgs {
 
 /// The flags block for usage text, one indented line per flag.
 [[nodiscard]] const char* global_flags_help();
+
+/// Claim the once-per-process "positional top names are deprecated" warning.
+/// Returns true exactly once, atomically, no matter how many threads race on
+/// it — front ends print the warning iff this returns true. (The front ends
+/// resolve tops from worker lanes in some sweeps; a plain `static bool` here
+/// was a data race under TSan.)
+[[nodiscard]] bool claim_positional_top_warning();
+
+/// Reset the warn-once latch — test-only, so one process can exercise the
+/// warning path repeatedly.
+void reset_positional_top_warning_for_test();
 
 }  // namespace subg::cli

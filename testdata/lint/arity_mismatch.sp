@@ -1,0 +1,8 @@
+* lint corpus: 'mbad' is missing its bulk node. The recovering parser turns
+* the card into a diagnostic, which lint surfaces as a "parse" finding.
+.global vdd gnd
+.subckt top in out vdd gnd
+mp out in vdd vdd pmos
+mbad out in gnd nmos
+mn out in gnd gnd nmos
+.ends

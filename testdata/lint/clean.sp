@@ -1,0 +1,8 @@
+* lint corpus: clean two-stage buffer — zero findings, exit 0.
+.global vdd gnd
+.subckt buf in out vdd gnd
+mp1 mid in vdd vdd pmos
+mn1 mid in gnd gnd nmos
+mp2 out mid vdd vdd pmos
+mn2 out mid gnd gnd nmos
+.ends

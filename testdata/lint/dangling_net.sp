@@ -1,0 +1,7 @@
+* lint corpus: 'dang' has exactly one terminal (a resistor end) — warning.
+.global vdd gnd
+.subckt top in out vdd gnd
+mp out in vdd vdd pmos
+mn out in gnd gnd nmos
+rstub dang out 100
+.ends

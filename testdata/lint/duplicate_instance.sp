@@ -1,0 +1,10 @@
+* lint corpus: two instances named x1 — an error the flat netlist can only
+* report by throwing (duplicate device names), so lint catches it pre-flatten
+* and the flatten failure itself becomes a second finding.
+.global vdd gnd
+.subckt inv in out vdd gnd
+mp out in vdd vdd pmos
+mn out in gnd gnd nmos
+.ends
+x1 a b vdd gnd inv
+x1 b c vdd gnd inv

@@ -1,0 +1,9 @@
+* lint corpus: net 'float' gates the second stage but nothing drives it.
+* With ports declared the net is provably internal, so this is an error.
+.global vdd gnd
+.subckt top in out vdd gnd
+mp1 x in vdd vdd pmos
+mn1 x in gnd gnd nmos
+mp2 out float vdd vdd pmos
+mn2 out float gnd gnd nmos
+.ends

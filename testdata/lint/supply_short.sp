@@ -1,0 +1,10 @@
+* lint corpus: xbad ties the SAME net (vdd) to both the child's vdd and gnd
+* ports — a zero-device VDD-GND short once flattened. Detectable only at the
+* design level (after flatten the rails are one net and the evidence is gone).
+.global vdd gnd
+.subckt inv in out vdd gnd
+mp out in vdd vdd pmos
+mn out in gnd gnd nmos
+.ends
+xgood a b vdd gnd inv
+xbad b c vdd vdd inv

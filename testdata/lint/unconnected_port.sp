@@ -1,0 +1,6 @@
+* lint corpus: port 'nc' is declared but touches no device — error.
+.global vdd gnd
+.subckt top in out nc vdd gnd
+mp out in vdd vdd pmos
+mn out in gnd gnd nmos
+.ends

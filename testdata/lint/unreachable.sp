@@ -1,0 +1,9 @@
+* lint corpus: mi1/mi2 form an island touching no port and no rail — the
+* surrounding circuit cannot observe them (warnings).
+.global vdd gnd
+.subckt top in out vdd gnd
+mp out in vdd vdd pmos
+mn out in gnd gnd nmos
+mi1 i1 i2 i3 i3 nmos
+mi2 i2 i1 i3 i3 pmos
+.ends

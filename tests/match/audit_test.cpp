@@ -1,0 +1,108 @@
+// Invariant-auditor exercise paths (ctest label: audit).
+//
+// The SUBG_AUDIT assertions in phase1/phase2/host_labels/matcher are
+// compiled in only under -DSUBG_AUDIT=ON; this suite drives every
+// instrumented code path so the audit build actually evaluates them:
+// partition-refinement monotonicity and corrupt-neighbor propagation
+// (phase1), candidate-vector/host-partition consistency (phase1),
+// postulate/bind discipline and final-map injectivity (phase2), parallel
+// vs serial label-sweep equivalence and rail-key stability (host_labels),
+// and instance-shape/limit postconditions (matcher). In a normal build the
+// macros are no-ops and this is an ordinary smoke suite — it must pass
+// identically either way.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cells/cells.hpp"
+#include "gen/generators.hpp"
+#include "match/matcher.hpp"
+#include "util/check.hpp"
+
+namespace subg {
+namespace {
+
+TEST(Audit, ModeIsReported) {
+  // Not an assertion on the mode itself (both builds run this suite);
+  // the record makes "which build ran?" visible in ctest logs.
+  RecordProperty("audit_enabled", kAuditEnabled ? "true" : "false");
+  SUCCEED();
+}
+
+// Every cell in the library against a soup host: covers phase1 refinement
+// rounds (monotone valid set, corrupt-neighbor spread), candidate-vector
+// selection, and phase2's full postulate/pass/guess/backtrack cycle.
+class AuditCellSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AuditCellSweep, MatchRunsCleanUnderAudit) {
+  gen::Generated host = gen::logic_soup(60, /*seed=*/0x5eed);
+  cells::CellLibrary lib;
+  Netlist pattern = lib.pattern(GetParam());
+  SubgraphMatcher matcher(pattern, host.netlist);
+  MatchReport report = matcher.find_all();
+  EXPECT_GE(report.count(), host.placed_count(GetParam()));
+  for (const SubcircuitInstance& inst : report.instances) {
+    EXPECT_EQ(inst.device_image.size(), pattern.device_count());
+    EXPECT_EQ(inst.net_image.size(), pattern.net_count());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cells, AuditCellSweep,
+    ::testing::ValuesIn(cells::CellLibrary::all_cells()),
+    [](const ::testing::TestParamInfo<std::string>& param_info) {
+      return param_info.param;
+    });
+
+TEST(Audit, ParallelJobsMatchSerial) {
+  // jobs>1 routes host relabeling through ThreadPool::parallel_for; under
+  // audit every parallel sweep is re-run serially and compared
+  // (host_labels.cpp), making this the label-cache stability proof.
+  gen::Generated host = gen::logic_soup(120, /*seed=*/0xA0D17);
+  cells::CellLibrary lib;
+  Netlist pattern = lib.pattern("nand2");
+
+  MatchOptions serial;
+  SubgraphMatcher m1(pattern, host.netlist, serial);
+  MatchReport r1 = m1.find_all();
+
+  MatchOptions parallel;
+  parallel.jobs = 4;
+  SubgraphMatcher m2(pattern, host.netlist, parallel);
+  MatchReport r2 = m2.find_all();
+
+  ASSERT_EQ(r1.count(), r2.count());
+  for (std::size_t i = 0; i < r1.count(); ++i) {
+    EXPECT_EQ(r1.instances[i].device_image, r2.instances[i].device_image);
+  }
+}
+
+TEST(Audit, PlantedInstancesSurviveAudit) {
+  // Dense hit path: many overlapping-candidate postulations and
+  // backtracks, the heaviest load on the phase2 bind/release assertions.
+  gen::Generated host = gen::logic_soup(80, /*seed=*/0xBEEF);
+  std::vector<NetId> pool;
+  for (int i = 0; i < 12; ++i) {
+    pool.push_back(*host.netlist.find_net("pi" + std::to_string(i)));
+  }
+  cells::CellLibrary lib;
+  Netlist pattern = lib.pattern("inv");
+  const std::size_t planted =
+      gen::plant_instances(host.netlist, pattern, 6, pool, 0xF00D);
+  SubgraphMatcher matcher(pattern, host.netlist);
+  EXPECT_GE(matcher.find_all().count(), planted + host.placed_count("inv"));
+}
+
+TEST(Audit, MatchLimitPostcondition) {
+  // Exercises the matcher-level "sweep exceeded the match limit" audit.
+  gen::Generated host = gen::logic_soup(60, /*seed=*/0xCAFE);
+  cells::CellLibrary lib;
+  Netlist pattern = lib.pattern("inv");
+  MatchOptions opts;
+  opts.max_matches = 1;
+  SubgraphMatcher matcher(pattern, host.netlist, opts);
+  EXPECT_LE(matcher.find_all().count(), 1u);
+}
+
+}  // namespace
+}  // namespace subg

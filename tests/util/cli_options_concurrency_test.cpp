@@ -1,0 +1,76 @@
+// Thread-safety tests for the CLI front-end helpers (ctest label:
+// concurrency; the TSan CI job runs this). The warn-once latch used to be a
+// function-local `static bool` written without synchronization — racy when
+// sweeps resolve tops from worker lanes — and is now an atomic exchange.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "util/cli_options.hpp"
+
+namespace subg::cli {
+namespace {
+
+TEST(PositionalTopWarning, ClaimedExactlyOnceAcrossThreads) {
+  // Modest thread/round counts and a yielding start barrier: the suite runs
+  // under TSan on single-core CI boxes, where a hard spin would serialize
+  // every thread through the scheduler at instrumented-load speed.
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 20;
+  for (int round = 0; round < kRounds; ++round) {
+    reset_positional_top_warning_for_test();
+    std::atomic<int> claims{0};
+    std::atomic<bool> go{false};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&] {
+        while (!go.load(std::memory_order_acquire)) {
+          std::this_thread::yield();
+        }
+        if (claim_positional_top_warning()) {
+          claims.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    go.store(true, std::memory_order_release);
+    for (std::thread& t : threads) t.join();
+    EXPECT_EQ(claims.load(), 1) << "round " << round;
+  }
+}
+
+TEST(PositionalTopWarning, SecondClaimInSameThreadFails) {
+  reset_positional_top_warning_for_test();
+  EXPECT_TRUE(claim_positional_top_warning());
+  EXPECT_FALSE(claim_positional_top_warning());
+}
+
+TEST(ParseArgs, ConcurrentParsesAreIndependent) {
+  // parse_args owns no shared state besides the latch; hammer it from many
+  // threads so TSan can prove that.
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&failures, t] {
+      for (int i = 0; i < 200; ++i) {
+        const ParsedArgs parsed = parse_args(
+            {"--jobs=" + std::to_string(t + 1), "--fail-on=warn", "--lint",
+             "host.sp"});
+        if (!parsed.ok() || parsed.options.jobs != static_cast<std::size_t>(t + 1) ||
+            parsed.options.fail_on != FailOn::kWarn || !parsed.options.lint ||
+            parsed.positionals.size() != 1) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace subg::cli

@@ -11,6 +11,12 @@
 //       Gemini netlist isomorphism check (LVS-lite). Exit 0 iff isomorphic.
 //   subgemini check <host.sp> [host_top]
 //       Run the built-in circuit rule library. Exit 0 iff clean of errors.
+//   subgemini lint <netlist.sp> [host_top]
+//       Static netlist analysis: floating gates, dangling nets, rail
+//       shorts, duplicate instances, parse-level defects. Always parses in
+//       recovering mode (card failures become findings). Exit 0 when no
+//       finding reaches the --fail-on threshold, 1 for warnings at
+//       --fail-on=warn, 2 for errors.
 //   subgemini reduce <host.sp> [host_top]
 //       Series/parallel device reduction; writes SPICE to stdout.
 //   subgemini stats <host.sp> [host_top]
@@ -34,6 +40,7 @@
 #include "benchfmt/benchfmt.hpp"
 #include "extract/extract.hpp"
 #include "gemini/gemini.hpp"
+#include "lint/lint.hpp"
 #include "lvs/lvs.hpp"
 #include "match/matcher.hpp"
 #include "obs/metrics.hpp"
@@ -59,15 +66,17 @@ int usage() {
       "  subgemini compare <a.sp> <b.sp> [a_top] [b_top]\n"
       "  subgemini lvs <layout.sp> <schematic.sp> [l_top] [s_top]\n"
       "  subgemini check <host.sp> [host_top]\n"
+      "  subgemini lint <netlist.sp> [host_top]\n"
       "  subgemini reduce <host.sp> [host_top]\n"
       "  subgemini stats <host.sp> [host_top]\n"
       "\nInputs may be SPICE (.sp), structural Verilog (.v), or ISCAS "
       "(.bench).\nPositional top names are deprecated; prefer --top= / "
       "--pattern-top=.\n"
       "\nflags:\n%s"
-      "\nexit codes: 0 success; 1 not isomorphic / rule violations;\n"
-      "  64 usage; 65 malformed input; 70 internal error;\n"
-      "  75 resource limit hit (results incomplete)\n",
+      "\nexit codes: 0 success; 1 not isomorphic / rule violations / lint\n"
+      "  warnings at --fail-on=warn; 2 lint errors; 64 usage; 65 malformed\n"
+      "  input; 70 internal error; 75 resource limit hit (results "
+      "incomplete)\n",
       cli::global_flags_help());
   return 64;
 }
@@ -123,9 +132,9 @@ std::string pick_top(const std::vector<std::string>& positionals,
     return named;
   }
   if (!have_positional) return "";
-  static bool warned = false;
-  if (!warned) {
-    warned = true;
+  // Atomic warn-once: tops can be resolved from worker lanes, so the latch
+  // lives behind an atomic in cli_options instead of a local static bool.
+  if (cli::claim_positional_top_warning()) {
     std::fprintf(stderr,
                  "subgemini: positional top names are deprecated; use "
                  "--top=NAME / --pattern-top=NAME\n");
@@ -329,7 +338,15 @@ int cmd_extract(const std::vector<std::string>& args) {
   options.match.budget = g_opts.budget;
   options.match.jobs = g_opts.jobs;
   options.match.metrics = g_metrics;
+  options.lint_host = g_opts.lint;
   extract::ExtractResult result = extract::extract_gates(host, cells, options);
+  if (g_opts.lint && !result.host_lint.clean()) {
+    // Findings go to stderr: stdout stays the netlist (or the document).
+    std::ostringstream lint_text;
+    result.host_lint.write_text(lint_text);
+    std::fputs(lint_text.str().c_str(), stderr);
+  }
+  const bool lint_gated = g_opts.lint && result.host_lint.has_errors();
   std::fprintf(stderr, "# %zu transistors -> %zu devices (%zu unextracted)\n",
                result.report.devices_before, result.report.devices_after,
                result.report.unextracted_primitives);
@@ -350,10 +367,19 @@ int cmd_extract(const std::vector<std::string>& args) {
     doc.set("host", netlist_summary(host));
     doc.set("library_cells", cells.size());
     doc.set("report", report::to_json(result.report));
+    if (g_opts.lint) doc.set("lint", report::to_json(result.host_lint));
+    if (lint_gated) {
+      // The document still carries the findings, but a lint-gated run is a
+      // data error, not a resource outcome: exit 65.
+      if (g_metrics != nullptr) doc.set_metrics(g_metrics->collect());
+      doc.write(std::cout);
+      return 65;
+    }
     doc.set("netlist", netlist_text(args[1], result.netlist));
     return finish_document(doc, result.report.status, 0);
   }
 
+  if (lint_gated) return 65;
   emit(args[1], result.netlist);
   return outcome_exit(result.report.status, 0);
 }
@@ -432,6 +458,92 @@ int cmd_check(const std::vector<std::string>& args) {
     std::printf("  (%s)\n", v.message.c_str());
   }
   return report.errors == 0 ? 0 : 1;
+}
+
+/// Severity-based lint exit: 2 for errors, 1 for warnings when --fail-on
+/// lowered the threshold, 0 otherwise (info findings never gate).
+int lint_exit(const lint::LintReport& report) {
+  if (report.has_errors()) return 2;
+  if (report.has_warnings() && g_opts.fail_on == cli::FailOn::kWarn) return 1;
+  return 0;
+}
+
+int cmd_lint(const std::vector<std::string>& args) {
+  if (args.size() < 1) return usage();
+  const std::string& path = args[0];
+  const std::string top = pick_top(args, 1, g_opts.top, "--top");
+
+  lint::LintOptions lo;
+  lo.metrics = g_metrics;
+  lint::LintReport report;
+  std::optional<Netlist> flat;
+
+  // Lint always parses in recovering mode — the whole point is to DESCRIBE
+  // a sick deck, so card-level failures surface as "parse" findings rather
+  // than aborting. Only unrecoverable inputs (missing file, nothing
+  // salvageable) still throw to the usual exit-65 path in main.
+  if (is_bench(path)) {
+    DiagnosticSink sink;
+    benchfmt::ReadOptions opts;
+    opts.diagnostics = &sink;
+    flat = std::move(benchfmt::read_file(path, opts).transistors);
+    report.merge(lint::import_diagnostics(sink, lo));
+  } else {
+    DiagnosticSink sink;
+    Design design = [&] {
+      if (is_verilog(path)) {
+        verilog::ReadOptions opts;
+        opts.diagnostics = &sink;
+        return verilog::read_file(path, opts);
+      }
+      spice::ReadOptions opts;
+      opts.diagnostics = &sink;
+      return spice::read_file(path, opts);
+    }();
+    report.merge(lint::import_diagnostics(sink, lo));
+    // Hierarchy checks must run BEFORE flatten: duplicate instance names
+    // and zero-device rail shorts are invisible (or fatal) once flat.
+    report.merge(lint::lint_design(design, lo));
+    std::string chosen = top;
+    if (is_verilog(path) && chosen.empty() && design.module_count() > 0) {
+      chosen = design
+                   .module(ModuleId(
+                       static_cast<std::uint32_t>(design.module_count() - 1)))
+                   .name();
+    }
+    try {
+      flat = design.flatten(is_verilog(path) ? chosen
+                                             : default_top(design, chosen));
+    } catch (const Error& e) {
+      // A deck lint can describe but not flatten (duplicate device names,
+      // recursive hierarchy): one "flatten" error finding, flat checks
+      // skipped.
+      lint::Finding f;
+      f.check = lint::kFlatten;
+      f.severity = lint::Severity::kError;
+      f.message = e.what();
+      lint::LintReport flatten_report;
+      flatten_report.checks_run = 1;
+      flatten_report.add(std::move(f), lo.max_findings_per_check);
+      report.merge(std::move(flatten_report));
+    }
+  }
+  if (flat.has_value()) report.merge(lint::lint_netlist(*flat, lo));
+
+  const int code = lint_exit(report);
+  if (json_output()) {
+    report::Document doc("subgemini", "lint");
+    doc.set("input", path);
+    doc.set("fail_on", g_opts.fail_on == cli::FailOn::kWarn ? "warn" : "error");
+    if (flat.has_value()) doc.set("host", netlist_summary(*flat));
+    doc.set("lint", report::to_json(report));
+    if (g_metrics != nullptr) doc.set_metrics(g_metrics->collect());
+    doc.write(std::cout);
+    return code;
+  }
+
+  report.write_text(std::cout);
+  return code;
 }
 
 int cmd_reduce(const std::vector<std::string>& args) {
@@ -539,6 +651,7 @@ int dispatch(const std::string& cmd, const std::vector<std::string>& args) {
   if (cmd == "compare") return cmd_compare(args);
   if (cmd == "lvs") return cmd_lvs(args);
   if (cmd == "check") return cmd_check(args);
+  if (cmd == "lint") return cmd_lint(args);
   if (cmd == "reduce") return cmd_reduce(args);
   if (cmd == "stats") return cmd_stats(args);
   return usage();
