@@ -9,6 +9,7 @@
 #include "cells/cells.hpp"
 #include "gen/generators.hpp"
 #include "match/matcher.hpp"
+#include "obs/metrics.hpp"
 #include "report/document.hpp"
 #include "report/report.hpp"
 #include "util/cli_options.hpp"
@@ -32,14 +33,32 @@ struct MatchRow {
   /// How the sweep ended; anything but kComplete means `found` is a lower
   /// bound and the timing row is not comparable to a complete run.
   RunOutcome outcome = RunOutcome::kComplete;
+  // Deterministic work counters (identical across --jobs and --core, and
+  // across machines): these are what the CI baseline gate compares exactly,
+  // while timings stay advisory.
+  std::size_t rounds = 0;             ///< Phase I relabeling rounds
+  std::uint64_t relabel_ops = 0;      ///< Phase I pattern-side contributions
+  std::uint64_t host_relabel_ops = 0; ///< Phase I host-side contributions
+  std::uint64_t cache_hits = 0;       ///< label-cache round reuses
+  std::uint64_t cache_misses = 0;     ///< label-cache rounds computed
+  std::size_t passes = 0;             ///< Phase II relabeling passes
+  std::size_t bindings = 0;
+  std::size_t backtracks = 0;
+  std::size_t expansion_ops = 0;      ///< Phase II edge visits
 };
 
-/// Run one (pattern, host) match and collect the row.
+/// Run one (pattern, host) match and collect the row. A private metrics
+/// registry rides along to capture the label-cache counters (the matcher
+/// builds a fresh cache per run, so hits/misses are deterministic).
 inline MatchRow run_match(const std::string& circuit_name, const Netlist& host,
                           const std::string& cell_name, const Netlist& pattern,
-                          std::size_t expected, std::size_t jobs = 1) {
+                          std::size_t expected, std::size_t jobs = 1,
+                          CoreMode core = CoreMode::kCsr) {
   MatchOptions opts;
   opts.jobs = jobs;
+  opts.core = core;
+  obs::Metrics metrics;
+  opts.metrics = &metrics;
   SubgraphMatcher matcher(pattern, host, opts);
   MatchReport r = matcher.find_all();
   MatchRow row;
@@ -54,7 +73,59 @@ inline MatchRow run_match(const std::string& circuit_name, const Netlist& host,
   row.phase1_ms = r.phase1_seconds * 1e3;
   row.phase2_ms = r.phase2_seconds * 1e3;
   row.outcome = r.status.outcome;
+  row.rounds = r.phase1.rounds;
+  row.relabel_ops = r.phase1.relabel_ops;
+  row.passes = r.phase2.passes;
+  row.bindings = r.phase2.bindings;
+  row.backtracks = r.phase2.backtracks;
+  row.expansion_ops = r.phase2.expansion_ops;
+  const obs::Snapshot snap = metrics.collect();
+  row.host_relabel_ops = snap.counter("phase1.label_cache.relabel_ops");
+  row.cache_hits = snap.counter("phase1.label_cache.hits");
+  row.cache_misses = snap.counter("phase1.label_cache.misses");
   return row;
+}
+
+/// The deterministic per-row counters as a json array — the payload the CI
+/// bench-regression gate (tools/check_bench_baseline.py) compares exactly
+/// against the committed BENCH_baseline.json.
+inline json::Value counters_json(const std::vector<MatchRow>& rows) {
+  json::Value arr = json::Value::array();
+  for (const MatchRow& r : rows) {
+    json::Value v = json::Value::object();
+    v.set("circuit", r.circuit);
+    v.set("cell", r.cell);
+    v.set("cv", r.cv);
+    v.set("found", r.found);
+    v.set("expected", r.expected);
+    v.set("rounds", r.rounds);
+    v.set("relabel_ops", r.relabel_ops);
+    v.set("host_relabel_ops", r.host_relabel_ops);
+    v.set("cache_hits", r.cache_hits);
+    v.set("cache_misses", r.cache_misses);
+    v.set("passes", r.passes);
+    v.set("bindings", r.bindings);
+    v.set("guesses", r.guesses);
+    v.set("backtracks", r.backtracks);
+    v.set("expansion_ops", r.expansion_ops);
+    arr.push(std::move(v));
+  }
+  return arr;
+}
+
+/// Advisory wall-clock companion to counters_json: same row keys, timing
+/// values only. The gate prints drift here but never fails on it.
+inline json::Value timings_json(const std::vector<MatchRow>& rows) {
+  json::Value arr = json::Value::array();
+  for (const MatchRow& r : rows) {
+    json::Value v = json::Value::object();
+    v.set("circuit", r.circuit);
+    v.set("cell", r.cell);
+    v.set("phase1_ms", r.phase1_ms);
+    v.set("phase2_ms", r.phase2_ms);
+    arr.push(std::move(v));
+  }
+  return arr;
 }
 
 /// Per-jobs scaling of one (pattern, host) match: median-of-`reps` total
@@ -173,12 +244,31 @@ inline void print_rows(const std::vector<MatchRow>& rows) {
 }
 
 /// Shared argv handling for the bench mains: global flags only, no
-/// positionals, and only --format applies (benches fix their own workloads
-/// and lane counts so rows stay comparable). Returns the format via
-/// `format`; a non-zero return is the process exit code.
+/// positionals, and only --format applies everywhere (benches fix their own
+/// workloads and lane counts so rows stay comparable). The baseline-gated
+/// benches additionally accept --core=csr|legacy (via `core`) and --quick
+/// (via `quick`): quick mode runs reduced deterministic workloads with one
+/// rep and no scaling sweeps, for the CI bench-regression gate. Returns the
+/// format via `format`; a non-zero return is the process exit code.
 inline int parse_bench_args(const char* name, int argc, char** argv,
-                            cli::Format* format) {
-  cli::ParsedArgs parsed = cli::parse_args(argc, argv, 1);
+                            cli::Format* format, CoreMode* core = nullptr,
+                            bool* quick = nullptr) {
+  // --quick is bench-only (not a global flag), so strip it before the
+  // shared parser; remember whether --core appeared so benches without the
+  // out-param still reject it.
+  std::vector<std::string> args;
+  bool saw_quick = false;
+  bool saw_core = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (quick != nullptr && arg == "--quick") {
+      saw_quick = true;
+      continue;
+    }
+    if (arg.rfind("--core=", 0) == 0) saw_core = true;
+    args.push_back(arg);
+  }
+  cli::ParsedArgs parsed = cli::parse_args(args);
   std::string error = parsed.error;
   if (error.empty() && !parsed.positionals.empty()) {
     error = "unexpected argument '" + parsed.positionals.front() + "'";
@@ -187,14 +277,21 @@ inline int parse_bench_args(const char* name, int argc, char** argv,
       (parsed.options.jobs != 0 || parsed.options.lenient ||
        parsed.options.metrics || parsed.options.budget.has_deadline() ||
        !parsed.options.top.empty() || !parsed.options.pattern_top.empty())) {
-    error = "only --format=text|json applies to benches";
+    error = "flag does not apply to benches";
+  }
+  if (error.empty() && saw_core && core == nullptr) {
+    error = "--core does not apply to this bench";
   }
   if (!error.empty()) {
-    std::fprintf(stderr, "%s: %s\nusage: %s [--format=text|json]\n", name,
-                 error.c_str(), name);
+    const bool gated = core != nullptr;
+    std::fprintf(stderr, "%s: %s\nusage: %s [--format=text|json]%s\n", name,
+                 error.c_str(), name,
+                 gated ? " [--core=csr|legacy] [--quick]" : "");
     return 64;
   }
   *format = parsed.options.format;
+  if (core != nullptr) *core = parsed.options.core;
+  if (quick != nullptr) *quick = saw_quick;
   return 0;
 }
 

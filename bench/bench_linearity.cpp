@@ -28,41 +28,62 @@ struct Point {
   double ms;
 };
 
-std::vector<Point> sweep_adders(cells::CellLibrary& lib) {
+/// The sweep config: quick mode (CI bench gate) trims the size ladder and
+/// the timing reps — the deterministic counters are identical per size
+/// either way, only the regression quality degrades.
+struct SweepConfig {
+  bool quick = false;
+  CoreMode core = CoreMode::kCsr;
+};
+
+std::vector<Point> sweep_adders(cells::CellLibrary& lib,
+                                const SweepConfig& cfg,
+                                std::vector<MatchRow>* rows) {
   std::vector<Point> pts;
   Netlist pattern = lib.pattern("fulladder");
-  for (int bits : {8, 16, 32, 64, 128, 256, 512}) {
+  const std::vector<int> sizes =
+      cfg.quick ? std::vector<int>{8, 16, 32}
+                : std::vector<int>{8, 16, 32, 64, 128, 256, 512};
+  const int reps = cfg.quick ? 1 : 3;
+  for (int bits : sizes) {
     gen::Generated g = gen::ripple_carry_adder(bits);
-    // Median-of-3 timing.
+    // Best-of-`reps` timing; the counters are rep-invariant.
     double best_ms = 1e100;
-    std::size_t matched = 0;
-    for (int rep = 0; rep < 3; ++rep) {
-      SubgraphMatcher matcher(pattern, g.netlist);
-      Timer timer;
-      MatchReport r = matcher.find_all();
-      best_ms = std::min(best_ms, timer.seconds() * 1e3);
-      matched = r.count() * pattern.device_count();
+    MatchRow row;
+    for (int rep = 0; rep < reps; ++rep) {
+      row = run_match("rca" + std::to_string(bits), g.netlist, "fulladder",
+                      pattern, g.placed_count("fulladder"), 1, cfg.core);
+      best_ms = std::min(best_ms, row.phase1_ms + row.phase2_ms);
     }
-    pts.push_back({g.netlist.device_count(), matched, best_ms});
+    pts.push_back(
+        {g.netlist.device_count(), row.found * pattern.device_count(),
+         best_ms});
+    if (rows != nullptr) rows->push_back(row);
   }
   return pts;
 }
 
-std::vector<Point> sweep_sram(cells::CellLibrary& lib) {
+std::vector<Point> sweep_sram(cells::CellLibrary& lib, const SweepConfig& cfg,
+                              std::vector<MatchRow>* rows) {
   std::vector<Point> pts;
   Netlist pattern = lib.pattern("sram6t");
-  for (int cols : {16, 32, 64, 128, 256, 512}) {
+  const std::vector<int> sizes =
+      cfg.quick ? std::vector<int>{16, 32}
+                : std::vector<int>{16, 32, 64, 128, 256, 512};
+  const int reps = cfg.quick ? 1 : 3;
+  for (int cols : sizes) {
     gen::Generated g = gen::sram_array(16, cols);
     double best_ms = 1e100;
-    std::size_t matched = 0;
-    for (int rep = 0; rep < 3; ++rep) {
-      SubgraphMatcher matcher(pattern, g.netlist);
-      Timer timer;
-      MatchReport r = matcher.find_all();
-      best_ms = std::min(best_ms, timer.seconds() * 1e3);
-      matched = r.count() * pattern.device_count();
+    MatchRow row;
+    for (int rep = 0; rep < reps; ++rep) {
+      row = run_match("sram16x" + std::to_string(cols), g.netlist, "sram6t",
+                      pattern, g.placed_count("sram6t"), 1, cfg.core);
+      best_ms = std::min(best_ms, row.phase1_ms + row.phase2_ms);
     }
-    pts.push_back({g.netlist.device_count(), matched, best_ms});
+    pts.push_back(
+        {g.netlist.device_count(), row.found * pattern.device_count(),
+         best_ms});
+    if (rows != nullptr) rows->push_back(row);
   }
   return pts;
 }
@@ -123,39 +144,52 @@ json::Value series_json(const Series& series) {
 int main(int argc, char** argv) {
   using namespace subg::bench;
   subg::cli::Format format = subg::cli::Format::kText;
-  if (int code = parse_bench_args("bench_linearity", argc, argv, &format)) {
+  SweepConfig cfg;
+  if (int code = parse_bench_args("bench_linearity", argc, argv, &format,
+                                  &cfg.core, &cfg.quick)) {
     return code;
   }
 
   subg::cells::CellLibrary lib;
+  std::vector<MatchRow> rows;
   Series adders = make_series("fulladder in ripple-carry adders",
-                              sweep_adders(lib));
-  Series sram = make_series("sram6t in 16-row SRAM arrays", sweep_sram(lib));
+                              sweep_adders(lib, cfg, &rows));
+  Series sram = make_series("sram6t in 16-row SRAM arrays",
+                            sweep_sram(lib, cfg, &rows));
 
   // Per-jobs scaling on the largest host of each family. The candidate
   // sweep parallelizes over Phase II seeds, so speedup tracks the seed
-  // count; the found-count must be identical at every lane count.
+  // count; the found-count must be identical at every lane count. Quick
+  // mode skips it — the gate compares counters, not lane speedups.
   std::vector<ScalingRow> rca_scaling;
   std::vector<ScalingRow> sram_scaling;
-  {
-    subg::gen::Generated g = subg::gen::ripple_carry_adder(512);
-    rca_scaling = jobs_scaling(lib.pattern("fulladder"), g.netlist);
-  }
-  {
-    subg::gen::Generated g = subg::gen::sram_array(16, 512);
-    sram_scaling = jobs_scaling(lib.pattern("sram6t"), g.netlist);
+  if (!cfg.quick) {
+    {
+      subg::gen::Generated g = subg::gen::ripple_carry_adder(512);
+      rca_scaling = jobs_scaling(lib.pattern("fulladder"), g.netlist);
+    }
+    {
+      subg::gen::Generated g = subg::gen::sram_array(16, 512);
+      sram_scaling = jobs_scaling(lib.pattern("sram6t"), g.netlist);
+    }
   }
 
   if (format == subg::cli::Format::kJson) {
     subg::report::Document doc("bench_linearity", "E5");
+    doc.set("core", subg::to_string(cfg.core));
+    doc.set("quick", cfg.quick);
     subg::json::Value series = subg::json::Value::array();
     series.push(series_json(adders));
     series.push(series_json(sram));
     doc.set("series", std::move(series));
-    subg::json::Value scaling = subg::json::Value::array();
-    scaling.push(scaling_json("fulladder in rca512", rca_scaling));
-    scaling.push(scaling_json("sram6t in sram16x512", sram_scaling));
-    doc.set("scaling", std::move(scaling));
+    doc.set("counters", counters_json(rows));
+    doc.set("timings", timings_json(rows));
+    if (!cfg.quick) {
+      subg::json::Value scaling = subg::json::Value::array();
+      scaling.push(scaling_json("fulladder in rca512", rca_scaling));
+      scaling.push(scaling_json("sram6t in sram16x512", sram_scaling));
+      doc.set("scaling", std::move(scaling));
+    }
     doc.write(std::cout);
     return 0;
   }
@@ -163,7 +197,9 @@ int main(int argc, char** argv) {
   std::printf("E5: running time vs total devices inside matched subcircuits\n");
   print_series(adders);
   print_series(sram);
-  print_scaling("fulladder in rca512", rca_scaling);
-  print_scaling("sram6t in sram16x512", sram_scaling);
+  if (!cfg.quick) {
+    print_scaling("fulladder in rca512", rca_scaling);
+    print_scaling("sram6t in sram16x512", sram_scaling);
+  }
   return 0;
 }

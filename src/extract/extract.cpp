@@ -235,6 +235,16 @@ ExtractResult extract_gates(const Netlist& transistors,
     obs::count(metrics, "extract.cells_attempted", tier_size);
     CircuitGraph host_graph(working);
     HostLabelCache host_cache(host_graph);
+    // One flattened host core per tier (csr mode): every match in the tier
+    // shares it instead of re-flattening the same snapshot per cell.
+    std::optional<CsrCore> tier_core;
+    if (options.match.core == CoreMode::kCsr) {
+      tier_core.emplace(host_graph);
+      obs::span_add(metrics, "csr.build_seconds", tier_core->build_seconds());
+      if (metrics != nullptr) {
+        metrics->gauge("csr.bytes", static_cast<double>(tier_core->bytes()));
+      }
+    }
     struct CellMatch {
       MatchReport report;
       double seconds = 0;
@@ -245,6 +255,7 @@ ExtractResult extract_gates(const Netlist& transistors,
       MatchOptions mo = options.match;
       mo.phase1.host_cache = &host_cache;
       mo.pool = pool;
+      mo.host_core = tier_core.has_value() ? &*tier_core : nullptr;
       SubgraphMatcher matcher(order[oi + ti]->pattern, host_graph, mo);
       tier[ti].report = matcher.find_all();
       tier[ti].seconds = match_timer.seconds();
@@ -308,11 +319,7 @@ ExtractResult extract_gates(const Netlist& transistors,
     working.remove_devices(victims);
     // The tier's shared label cache dies here; fold its reuse totals in
     // (matches in the tier skip recording for caller-shared caches).
-    if (metrics != nullptr) {
-      const HostLabelCache::CacheStats cs = host_cache.stats();
-      metrics->add("phase1.label_cache.hits", cs.hits);
-      metrics->add("phase1.label_cache.misses", cs.misses);
-    }
+    record_cache_stats(metrics, host_cache.stats());
     oi = tier_end;
   }
 

@@ -1,0 +1,53 @@
+#include "graph/csr_core.hpp"
+
+#include <limits>
+
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace subg {
+
+CsrCore::CsrCore(const CircuitGraph& graph) : graph_(&graph) {
+  Timer timer;
+  const std::size_t nv = graph.vertex_count();
+  edge_begin_.resize(nv + 1);
+  initial_label_.resize(nv);
+  host_base_label_.resize(nv);
+  special_.resize(nv);
+
+  std::size_t total_edges = 0;
+  for (Vertex v = 0; v < nv; ++v) total_edges += graph.degree(v);
+  SUBG_CHECK_MSG(total_edges <= std::numeric_limits<std::uint32_t>::max(),
+                 "graph too large for 32-bit edge offsets");
+  edge_to_.resize(total_edges);
+  edge_coeff_.resize(total_edges);
+
+  const Netlist& nl = graph.netlist();
+  std::uint32_t e = 0;
+  for (Vertex v = 0; v < nv; ++v) {
+    edge_begin_[v] = e;
+    for (const CircuitGraph::Edge& edge : graph.edges(v)) {
+      edge_to_[e] = edge.to;
+      edge_coeff_[e] = edge.coefficient;
+      ++e;
+    }
+    initial_label_[v] = graph.initial_label(v);
+    host_base_label_[v] = graph.is_device(v)
+                              ? graph.initial_label(v)
+                              : degree_label(nl.net_degree(graph.net_of(v)));
+    special_[v] = graph.is_special(v) ? 1 : 0;
+  }
+  edge_begin_[nv] = e;
+  build_seconds_ = timer.seconds();
+}
+
+std::size_t CsrCore::bytes() const {
+  return edge_begin_.capacity() * sizeof(std::uint32_t) +
+         edge_to_.capacity() * sizeof(Vertex) +
+         edge_coeff_.capacity() * sizeof(Label) +
+         initial_label_.capacity() * sizeof(Label) +
+         host_base_label_.capacity() * sizeof(Label) +
+         special_.capacity() * sizeof(std::uint8_t);
+}
+
+}  // namespace subg

@@ -1,0 +1,89 @@
+// Flattened structure-of-arrays matching core (the `--core=csr` layout).
+//
+// CircuitGraph already stores CSR adjacency, but as an array-of-structs
+// (Edge{to, coefficient}) over the pointer-rich Netlist. The hot Phase I/II
+// loops touch the two edge fields in different places — corruption checks
+// and frontier expansion only need `to`; the relabel sum needs both — so
+// the AoS layout drags the unused 8 bytes of every edge through the cache,
+// and the host round-0 labels chase Netlist degree lookups per vertex.
+//
+// CsrCore is a one-shot flattening into parallel contiguous arrays:
+//
+//   edge_begin_[v..v+1]  edge range of vertex v (uint32 offsets)
+//   edge_to_[e]          neighbor vertex (the expansion/corruption array)
+//   edge_coeff_[e]       terminal-class coefficient (the relabel array)
+//   initial_label_[v]    invariant label (flat copy)
+//   host_base_label_[v]  round-0 host label: initial for devices, the
+//                        degree label for nets (precomputed, so building
+//                        round 0 never touches the Netlist)
+//   special_[v]          rail tag as uint8 (vector<bool> proxies are not
+//                        addressable and cost a shift+mask per probe)
+//
+// Edge order is EXACTLY CircuitGraph's edge order. The relabel arithmetic
+// (util/hash.hpp) is commutative but the code must not rely on that: equal
+// iteration order makes the csr and legacy cores bit-identical by
+// construction, which is what the --core equivalence tests pin down.
+//
+// The core borrows the graph (and the graph borrows the netlist); both
+// must outlive it. Build cost is one linear pass (build_seconds(), for the
+// "csr.build_seconds" span) and the footprint is bytes() (for the
+// "csr.bytes" gauge).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/circuit_graph.hpp"
+
+namespace subg {
+
+class CsrCore {
+ public:
+  explicit CsrCore(const CircuitGraph& graph);
+
+  [[nodiscard]] const CircuitGraph& graph() const { return *graph_; }
+
+  [[nodiscard]] std::size_t vertex_count() const {
+    return edge_begin_.size() - 1;
+  }
+
+  [[nodiscard]] std::span<const Vertex> neighbors(Vertex v) const {
+    return {edge_to_.data() + edge_begin_[v],
+            edge_begin_[v + 1] - edge_begin_[v]};
+  }
+  [[nodiscard]] std::span<const Label> coefficients(Vertex v) const {
+    return {edge_coeff_.data() + edge_begin_[v],
+            edge_begin_[v + 1] - edge_begin_[v]};
+  }
+  [[nodiscard]] std::size_t degree(Vertex v) const {
+    return edge_begin_[v + 1] - edge_begin_[v];
+  }
+
+  [[nodiscard]] Label initial_label(Vertex v) const {
+    return initial_label_[v];
+  }
+  /// Round-0 host label BEFORE rail overrides: the invariant label for
+  /// devices, degree_label(degree) for nets.
+  [[nodiscard]] Label host_base_label(Vertex v) const {
+    return host_base_label_[v];
+  }
+  [[nodiscard]] bool is_special(Vertex v) const { return special_[v] != 0; }
+
+  /// Wall-clock cost of the flattening pass (for "csr.build_seconds").
+  [[nodiscard]] double build_seconds() const { return build_seconds_; }
+  /// Heap footprint of the flat arrays (for the "csr.bytes" gauge).
+  [[nodiscard]] std::size_t bytes() const;
+
+ private:
+  const CircuitGraph* graph_;
+  std::vector<std::uint32_t> edge_begin_;  // size vertex_count()+1
+  std::vector<Vertex> edge_to_;
+  std::vector<Label> edge_coeff_;
+  std::vector<Label> initial_label_;
+  std::vector<Label> host_base_label_;
+  std::vector<std::uint8_t> special_;
+  double build_seconds_ = 0;
+};
+
+}  // namespace subg

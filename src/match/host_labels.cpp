@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "graph/csr_core.hpp"
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
@@ -20,9 +22,14 @@ void HostLabelCache::normalize(RailKey& rails) {
 
 const std::vector<Label>& HostLabelCache::labels(const RailKey& rails,
                                                  std::size_t round,
-                                                 ThreadPool* pool) {
+                                                 ThreadPool* pool,
+                                                 const CsrCore* core) {
   RailKey key = rails;
   normalize(key);
+  if (core != nullptr) {
+    SUBG_CHECK_MSG(&core->graph() == g_,
+                   "csr core was built over a different host graph");
+  }
   if constexpr (kAuditEnabled) {
     // Cache-key stability: every lookup of the same rail set must hash to
     // the same normalized key, or concurrent jobs would fork divergent
@@ -48,19 +55,38 @@ const std::vector<Label>& HostLabelCache::labels(const RailKey& rails,
   if (seq.empty()) {
     // Round 0: invariant labels, with rail overrides. Host-declared globals
     // that are NOT in the rail set get ordinary degree labels (specialness
-    // is pattern-driven; see phase1.cpp).
+    // is pattern-driven; see phase1.cpp). The csr core has the base labels
+    // precomputed; the legacy path derives net degrees from the Netlist.
     std::vector<Label> init(g_->vertex_count());
-    const Netlist& hnl = g_->netlist();
-    for (Vertex v = 0; v < g_->vertex_count(); ++v) {
-      init[v] = g_->is_device(v)
-                    ? g_->initial_label(v)
-                    : degree_label(hnl.net_degree(g_->net_of(v)));
+    if (core != nullptr) {
+      for (Vertex v = 0; v < g_->vertex_count(); ++v) {
+        init[v] = core->host_base_label(v);
+      }
+    } else {
+      const Netlist& hnl = g_->netlist();
+      for (Vertex v = 0; v < g_->vertex_count(); ++v) {
+        init[v] = g_->is_device(v)
+                      ? g_->initial_label(v)
+                      : degree_label(hnl.net_degree(g_->net_of(v)));
+      }
     }
     for (const auto& [vertex, label] : key) {
       SUBG_CHECK_MSG(vertex < g_->vertex_count(), "rail vertex out of range");
       init[vertex] = label;
     }
     seq.push_back(std::move(init));
+  }
+  if (seq.size() > round) return seq[round];
+
+  // Rail bitmap and per-kind edge-visit totals, hoisted out of the round
+  // loop (they depend only on the key): byte flags probe flat, and each
+  // computed round's relabel_ops is the degree sum over the side it sweeps.
+  std::vector<std::uint8_t> is_rail(g_->vertex_count(), 0);
+  for (const auto& [vertex, label] : key) is_rail[vertex] = 1;
+  std::uint64_t net_ops = 0, device_ops = 0;
+  for (Vertex v = 0; v < g_->vertex_count(); ++v) {
+    if (is_rail[v]) continue;
+    (g_->is_net(v) ? net_ops : device_ops) += g_->degree(v);
   }
 
   while (seq.size() <= round) {
@@ -69,21 +95,41 @@ const std::vector<Label>& HostLabelCache::labels(const RailKey& rails,
     const std::vector<Label>& prev = seq.back();
     std::vector<Label> next = prev;
 
-    std::vector<bool> is_rail(g_->vertex_count(), false);
-    for (const auto& [vertex, label] : key) is_rail[vertex] = true;
-
     // Two-buffer synchronous update: next[v] depends only on prev, so the
-    // vertex sweep is data-parallel and scheduling-order independent.
-    auto sweep_into = [&](std::vector<Label>& out, std::size_t begin,
-                          std::size_t end) {
+    // vertex sweep is data-parallel and scheduling-order independent. Both
+    // cores visit edges in the same order — equal sums bit for bit.
+    auto sweep_legacy = [&](std::vector<Label>& out, std::size_t begin,
+                            std::size_t end) {
       for (Vertex v = static_cast<Vertex>(begin); v < end; ++v) {
         const bool is_net = g_->is_net(v);
-        if (is_net != net_round || is_rail[v]) continue;
+        if (is_net != net_round || is_rail[v] != 0) continue;
         Label sum = 0;
         for (const auto& e : g_->edges(v)) {
           sum += edge_contribution(e.coefficient, prev[e.to]);
         }
         out[v] = relabel(prev[v], sum);
+      }
+    };
+    auto sweep_csr = [&](std::vector<Label>& out, std::size_t begin,
+                         std::size_t end) {
+      for (Vertex v = static_cast<Vertex>(begin); v < end; ++v) {
+        const bool is_net = g_->is_net(v);
+        if (is_net != net_round || is_rail[v] != 0) continue;
+        const std::span<const Vertex> to = core->neighbors(v);
+        const std::span<const Label> coeff = core->coefficients(v);
+        Label sum = 0;
+        for (std::size_t i = 0; i < to.size(); ++i) {
+          sum += edge_contribution(coeff[i], prev[to[i]]);
+        }
+        out[v] = relabel(prev[v], sum);
+      }
+    };
+    auto sweep_into = [&](std::vector<Label>& out, std::size_t begin,
+                          std::size_t end) {
+      if (core != nullptr) {
+        sweep_csr(out, begin, end);
+      } else {
+        sweep_legacy(out, begin, end);
       }
     };
     if (pool != nullptr) {
@@ -112,6 +158,9 @@ const std::vector<Label>& HostLabelCache::labels(const RailKey& rails,
                        "rounds");
       }
     }
+    // Work accounting stays out of the (possibly parallel) sweep: the edge
+    // visits of a round are a closed form of the swept side's degrees.
+    stats_.relabel_ops += net_round ? net_ops : device_ops;
     seq.push_back(std::move(next));
   }
   return seq[round];
@@ -127,6 +176,14 @@ std::size_t HostLabelCache::cached_rounds() const {
   std::size_t total = 0;
   for (const auto& [key, seq] : sequences_) total += seq.size();
   return total;
+}
+
+void record_cache_stats(obs::Metrics* metrics,
+                        const HostLabelCache::CacheStats& stats) {
+  if (metrics == nullptr) return;
+  metrics->add("phase1.label_cache.hits", stats.hits);
+  metrics->add("phase1.label_cache.misses", stats.misses);
+  metrics->add("phase1.label_cache.relabel_ops", stats.relabel_ops);
 }
 
 }  // namespace subg

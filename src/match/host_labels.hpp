@@ -23,6 +23,12 @@
 // returned array reference stays valid for the cache's lifetime (storage is
 // a deque, so finished rounds never move) and is immutable once returned,
 // so callers may read it without holding any lock.
+//
+// Core toggle: when a CsrCore over the same host graph is passed, the
+// relabel sweep iterates the flat SoA arrays and round 0 is built from the
+// precomputed base labels (no Netlist degree lookups). Both paths compute
+// the identical label values in the identical edge order, so memoized
+// sequences are interchangeable regardless of which core filled them.
 #pragma once
 
 #include <cstddef>
@@ -35,8 +41,13 @@
 
 #include "graph/circuit_graph.hpp"
 
+namespace subg::obs {
+class Metrics;
+}  // namespace subg::obs
+
 namespace subg {
 
+class CsrCore;
 class ThreadPool;
 
 class HostLabelCache {
@@ -59,9 +70,12 @@ class HostLabelCache {
   /// (and memoized) on demand. The key is canonicalized via normalize()
   /// before lookup. When `pool` is non-null the relabeling sweep is
   /// data-parallel over host vertices (two-buffer synchronous update, so
-  /// the result is bit-identical to the serial sweep).
+  /// the result is bit-identical to the serial sweep). When `core` is
+  /// non-null (it must flatten this cache's host graph) the sweep runs on
+  /// the flat SoA arrays — same values, same order.
   const std::vector<Label>& labels(const RailKey& rails, std::size_t round,
-                                   ThreadPool* pool = nullptr);
+                                   ThreadPool* pool = nullptr,
+                                   const CsrCore* core = nullptr);
 
   [[nodiscard]] const CircuitGraph& host() const { return *g_; }
 
@@ -70,10 +84,14 @@ class HostLabelCache {
 
   /// Reuse accounting for the metrics registry: a labels() call that only
   /// reads memoized rounds is a hit; every round it has to compute is a
-  /// miss. Updated under the cache mutex, so reads are exact.
+  /// miss, and each computed round adds its edge visits to relabel_ops.
+  /// Updated under the cache mutex, so reads are exact.
   struct CacheStats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+    /// Edge contributions computed by relabel sweeps (a pure function of
+    /// which rounds were computed — identical across --jobs and --core).
+    std::uint64_t relabel_ops = 0;
   };
   [[nodiscard]] CacheStats stats() const;
 
@@ -85,5 +103,13 @@ class HostLabelCache {
   mutable std::mutex mutex_;
   CacheStats stats_;
 };
+
+/// Record a cache's reuse totals under the uniform metric names
+/// ("phase1.label_cache.hits" / ".misses" / ".relabel_ops"). Null-safe;
+/// every owner of a cache — the Phase I local fallback, the extract tier
+/// sweep, the benches — funnels through here so `--metrics` output and the
+/// bench comparator see cache behavior spelled the same way.
+void record_cache_stats(obs::Metrics* metrics,
+                        const HostLabelCache::CacheStats& stats);
 
 }  // namespace subg

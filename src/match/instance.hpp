@@ -31,6 +31,11 @@ struct Phase2Stats {
   std::size_t backtracks = 0;        ///< failed guesses undone
   std::size_t verify_failures = 0;   ///< final explicit verification rejected
   std::size_t max_guess_depth = 0;
+  std::size_t expansion_ops = 0;     ///< edge visits in the relabel passes
+                                     ///< (frontier expansion + label sums,
+                                     ///< both sides) — a deterministic work
+                                     ///< counter, identical across --jobs
+                                     ///< and --core
 
   /// Fold another verifier's counters in (parallel sweeps keep per-worker
   /// stats and merge them; sums are scheduling-order independent).
@@ -45,6 +50,7 @@ struct Phase2Stats {
     if (other.max_guess_depth > max_guess_depth) {
       max_guess_depth = other.max_guess_depth;
     }
+    expansion_ops += other.expansion_ops;
   }
 };
 

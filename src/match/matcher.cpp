@@ -69,6 +69,7 @@ SubgraphMatcher::SubgraphMatcher(const Netlist& pattern, const Netlist& host,
       owned_host_graph_(std::in_place, host),
       host_graph_(&*owned_host_graph_) {
   validate_inputs();
+  init_cores();
 }
 
 SubgraphMatcher::SubgraphMatcher(const Netlist& pattern,
@@ -80,6 +81,30 @@ SubgraphMatcher::SubgraphMatcher(const Netlist& pattern,
       pattern_graph_(pattern),
       host_graph_(&host_graph) {
   validate_inputs();
+  init_cores();
+}
+
+void SubgraphMatcher::init_cores() {
+  if (options_.core != CoreMode::kCsr) return;
+  pattern_core_.emplace(pattern_graph_);
+  if (options_.host_core != nullptr) {
+    SUBG_CHECK_MSG(&options_.host_core->graph() == host_graph_,
+                   "external csr core was built over a different host graph");
+    host_core_ = options_.host_core;
+  } else {
+    owned_host_core_.emplace(*host_graph_);
+    host_core_ = &*owned_host_core_;
+  }
+  if (options_.metrics != nullptr) {
+    obs::Metrics& m = *options_.metrics;
+    m.span_add("csr.build_seconds", pattern_core_->build_seconds());
+    std::size_t bytes = pattern_core_->bytes();
+    if (owned_host_core_.has_value()) {
+      m.span_add("csr.build_seconds", owned_host_core_->build_seconds());
+      bytes += owned_host_core_->bytes();
+    }
+    m.gauge("csr.bytes", static_cast<double>(bytes));
+  }
 }
 
 void SubgraphMatcher::validate_inputs() const {
@@ -113,6 +138,8 @@ MatchReport SubgraphMatcher::run(std::size_t limit) {
   p1.budget = options_.budget;  // one envelope governs the whole run
   p1.pool = pool;
   p1.metrics = options_.metrics;
+  p1.pattern_core = pattern_core_.has_value() ? &*pattern_core_ : nullptr;
+  p1.host_core = host_core_;
   report.phase1 = run_phase1(pattern_graph_, *host_graph_, p1);
   report.phase1_seconds = timer.seconds();
   obs::span_add(options_.metrics, "phase1.seconds", report.phase1_seconds);
@@ -127,6 +154,8 @@ MatchReport SubgraphMatcher::run(std::size_t limit) {
   p2.max_guess_depth = options_.max_guess_depth;
   p2.budget = options_.budget;
   p2.trace = options_.trace;
+  p2.pattern_core = pattern_core_.has_value() ? &*pattern_core_ : nullptr;
+  p2.host_core = host_core_;
 
   timer.reset();
   std::set<std::vector<std::uint32_t>> seen_device_sets;
@@ -293,6 +322,7 @@ MatchReport SubgraphMatcher::run(std::size_t limit) {
     m.add("phase2.ambiguity_guesses", stats.guesses);
     m.add("phase2.backtracks", stats.backtracks);
     m.add("phase2.verify_failures", stats.verify_failures);
+    m.add("phase2.expansion_ops", stats.expansion_ops);
     m.gauge("phase2.max_guess_depth",
             static_cast<double>(stats.max_guess_depth));
     m.add("match.runs");

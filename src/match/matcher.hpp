@@ -21,9 +21,11 @@
 #include <optional>
 
 #include "graph/circuit_graph.hpp"
+#include "graph/csr_core.hpp"
 #include "match/instance.hpp"
 #include "match/phase1.hpp"
 #include "match/phase2.hpp"
+#include "util/core_mode.hpp"
 
 namespace subg::obs {
 class Metrics;
@@ -75,6 +77,16 @@ struct MatchOptions {
   /// Null (the default) records nothing and costs nothing — the Phase II
   /// inner loops are never instrumented per-pass.
   obs::Metrics* metrics = nullptr;
+  /// Matching-core layout (see graph/csr_core.hpp). kCsr (the default)
+  /// flattens both graphs into contiguous SoA index arrays once per matcher
+  /// and runs every relabel sweep over them; kLegacy walks the CircuitGraph
+  /// adjacency directly. Reports are byte-identical either way — the csr
+  /// core visits the same edges in the same order with the same arithmetic.
+  CoreMode core = CoreMode::kCsr;
+  /// Optional externally owned host core, shared across a library sweep
+  /// (extract builds one per tier). Must have been built over the host
+  /// graph handed to the matcher; only consulted when core == kCsr.
+  const CsrCore* host_core = nullptr;
 };
 
 struct MatchReport {
@@ -125,6 +137,9 @@ class SubgraphMatcher {
  private:
   MatchReport run(std::size_t limit);
   void validate_inputs() const;
+  /// Build (or adopt) the flattened cores when options_.core == kCsr, and
+  /// record their build time / footprint against the metrics sink.
+  void init_cores();
 
   const Netlist& pattern_;
   const Netlist& host_;
@@ -132,6 +147,9 @@ class SubgraphMatcher {
   CircuitGraph pattern_graph_;
   std::optional<CircuitGraph> owned_host_graph_;
   const CircuitGraph* host_graph_;
+  std::optional<CsrCore> pattern_core_;
+  std::optional<CsrCore> owned_host_core_;
+  const CsrCore* host_core_ = nullptr;
 };
 
 }  // namespace subg

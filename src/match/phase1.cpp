@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "graph/csr_core.hpp"
 #include "match/host_labels.hpp"
 #include "obs/metrics.hpp"
+#include "util/arena.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
 
@@ -20,6 +22,17 @@ struct Phase1State {
   const CircuitGraph& g;
   HostLabelCache& cache;
   ThreadPool* pool = nullptr;
+  /// Non-null = the csr core layout (flat SoA edge walks, arena-backed
+  /// censuses); null = the legacy CircuitGraph walks. Labels, prunes, and
+  /// every counter come out identical either way.
+  const CsrCore* s_core = nullptr;
+  const CsrCore* g_core = nullptr;
+  /// Per-round scratch for the flat censuses (csr mode only); reserved
+  /// once, reset per census, never grown mid-round.
+  Arena arena;
+  /// Pattern-side edge contributions computed (work counter; counted by
+  /// the same rule in both cores).
+  std::uint64_t relabel_ops = 0;
   HostLabelCache::RailKey rail_key;
 
   std::vector<Label> label_s;
@@ -36,8 +49,23 @@ struct Phase1State {
   std::size_t round = 0;
 
   explicit Phase1State(const CircuitGraph& pattern, const CircuitGraph& host,
-                       HostLabelCache& host_cache)
-      : s(pattern), g(host), cache(host_cache) {
+                       HostLabelCache& host_cache, const Phase1Options& options)
+      : s(pattern),
+        g(host),
+        cache(host_cache),
+        pool(options.pool),
+        s_core(options.pattern_core),
+        g_core(options.host_core) {
+    if (s_core != nullptr) {
+      SUBG_CHECK_MSG(&s_core->graph() == &s,
+                     "pattern csr core was built over a different graph");
+      // Worst case one census holds live at a time: the sorted label
+      // column plus the unique-label column and two count columns, all
+      // bounded by the pattern vertex count (plus alignment slack).
+      arena.reserve(s.vertex_count() *
+                        (2 * sizeof(Label) + 2 * sizeof(std::uint32_t)) +
+                    4 * alignof(std::max_align_t));
+    }
     label_s.resize(s.vertex_count());
     for (Vertex v = 0; v < s.vertex_count(); ++v) label_s[v] = s.initial_label(v);
     scratch_s = label_s;
@@ -60,7 +88,7 @@ struct Phase1State {
     // net (aliased globals) must not leave a duplicate entry in the cache
     // key — that would miss the cache and double-apply the rail override.
     HostLabelCache::normalize(rail_key);
-    label_g = &cache.labels(rail_key, 0, pool);
+    label_g = &cache.labels(rail_key, 0, pool, g_core);
 
     valid_s.assign(s.vertex_count(), true);
     for (NetId port : pnl.ports()) {
@@ -95,16 +123,31 @@ struct Phase1State {
   void relabel_round(Kind kind) {
     std::size_t audit_valid_before = 0;
     if constexpr (kAuditEnabled) audit_valid_before = valid_count();
+    std::uint64_t ops = 0;
     for (Vertex v = 0; v < s.vertex_count(); ++v) {
       if (!kind_of(s, v, kind) || s.is_special(v) || !valid_s[v]) continue;
       Label sum = 0;
       bool corrupt = false;
-      for (const auto& e : s.edges(v)) {
-        if (!valid_s[e.to]) {
-          corrupt = true;
-          break;
+      if (s_core != nullptr) {
+        const std::span<const Vertex> to = s_core->neighbors(v);
+        const std::span<const Label> coeff = s_core->coefficients(v);
+        for (std::size_t i = 0; i < to.size(); ++i) {
+          if (!valid_s[to[i]]) {
+            corrupt = true;
+            break;
+          }
+          sum += edge_contribution(coeff[i], label_s[to[i]]);
+          ++ops;
         }
-        sum += edge_contribution(e.coefficient, label_s[e.to]);
+      } else {
+        for (const auto& e : s.edges(v)) {
+          if (!valid_s[e.to]) {
+            corrupt = true;
+            break;
+          }
+          sum += edge_contribution(e.coefficient, label_s[e.to]);
+          ++ops;
+        }
       }
       if (corrupt) {
         valid_s[v] = false;
@@ -112,6 +155,7 @@ struct Phase1State {
         scratch_s[v] = relabel(label_s[v], sum);
       }
     }
+    relabel_ops += ops;
     for (Vertex v = 0; v < s.vertex_count(); ++v) {
       if (kind_of(s, v, kind) && !s.is_special(v) && valid_s[v]) {
         label_s[v] = scratch_s[v];
@@ -134,7 +178,7 @@ struct Phase1State {
       }
     }
     ++round;
-    label_g = &cache.labels(rail_key, round, pool);
+    label_g = &cache.labels(rail_key, round, pool, g_core);
   }
 
   [[nodiscard]] bool any_valid(Kind kind) const {
@@ -146,9 +190,27 @@ struct Phase1State {
 
   /// (valid vertex count, distinct label count) over valid pattern vertices
   /// of a kind — used to detect that refinement has stabilized (patterns
-  /// with few or no ports may never corrupt a whole side).
+  /// with few or no ports may never corrupt a whole side). The csr mode
+  /// sorts an arena column instead of filling a hash map; the pair is a
+  /// pure function of the labels either way.
   [[nodiscard]] std::pair<std::size_t, std::size_t> refinement_shape(
-      Kind kind) const {
+      Kind kind) {
+    if (s_core != nullptr) {
+      arena.reset();
+      std::span<Label> labels = arena.take<Label>(s.vertex_count());
+      std::size_t count = 0;
+      for (Vertex v = 0; v < s.vertex_count(); ++v) {
+        if (kind_of(s, v, kind) && !s.is_special(v) && valid_s[v]) {
+          labels[count++] = label_s[v];
+        }
+      }
+      std::sort(labels.begin(), labels.begin() + count);
+      std::size_t distinct = 0;
+      for (std::size_t i = 0; i < count; ++i) {
+        if (i == 0 || labels[i] != labels[i - 1]) ++distinct;
+      }
+      return {count, distinct};
+    }
     std::unordered_map<Label, std::size_t> parts;
     std::size_t count = 0;
     for (Vertex v = 0; v < s.vertex_count(); ++v) {
@@ -166,9 +228,12 @@ struct Phase1State {
 
   /// Prune host vertices whose label matches no valid pattern partition;
   /// detect infeasibility when a host partition is smaller than its valid
-  /// pattern twin. Returns false on infeasibility.
+  /// pattern twin. Returns false on infeasibility. Both paths prune the
+  /// same host vertices and reach the same verdict: the censuses are pure
+  /// functions of the label multisets, independent of container.
   [[nodiscard]] bool consistency(Kind kind) {
     if (!prune) return true;
+    if (s_core != nullptr) return consistency_flat(kind);
     std::unordered_map<Label, std::size_t> s_count;
     for (Vertex v = 0; v < s.vertex_count(); ++v) {
       if (kind_of(s, v, kind) && !s.is_special(v) && valid_s[v]) {
@@ -190,6 +255,52 @@ struct Phase1State {
       auto it = g_count.find(lbl);
       const std::size_t have = it == g_count.end() ? 0 : it->second;
       if (have < need) return false;  // no induced subgraph can exist
+    }
+    return true;
+  }
+
+  /// csr-mode consistency: the pattern census is a sorted arena column
+  /// (run-length counted), the host sweep binary-searches it. Patterns are
+  /// tiny, so the search column lives in L1 where a per-round hash map
+  /// would churn the heap.
+  [[nodiscard]] bool consistency_flat(Kind kind) {
+    arena.reset();
+    std::span<Label> labels = arena.take<Label>(s.vertex_count());
+    std::size_t n = 0;
+    for (Vertex v = 0; v < s.vertex_count(); ++v) {
+      if (kind_of(s, v, kind) && !s.is_special(v) && valid_s[v]) {
+        labels[n++] = label_s[v];
+      }
+    }
+    std::sort(labels.begin(), labels.begin() + n);
+    std::span<Label> uniq = arena.take<Label>(n);
+    std::span<std::uint32_t> s_cnt = arena.take<std::uint32_t>(n);
+    std::span<std::uint32_t> g_cnt = arena.take<std::uint32_t>(n);
+    std::size_t u = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (u == 0 || uniq[u - 1] != labels[i]) {
+        uniq[u] = labels[i];
+        s_cnt[u] = 0;
+        g_cnt[u] = 0;
+        ++u;
+      }
+      ++s_cnt[u - 1];
+    }
+    const Label* ubegin = uniq.data();
+    const Label* uend = uniq.data() + u;
+    for (Vertex v = 0; v < g.vertex_count(); ++v) {
+      if (!kind_of(g, v, kind) || !possible_g[v]) continue;
+      const Label l = (*label_g)[v];
+      const Label* it = std::lower_bound(ubegin, uend, l);
+      if (it == uend || *it != l) {
+        possible_g[v] = false;  // cannot be the image of any valid vertex
+        ++pruned;
+      } else {
+        ++g_cnt[static_cast<std::size_t>(it - ubegin)];
+      }
+    }
+    for (std::size_t i = 0; i < u; ++i) {
+      if (g_cnt[i] < s_cnt[i]) return false;  // no induced subgraph can exist
     }
     return true;
   }
@@ -342,17 +453,22 @@ Phase1Result run_phase1(const CircuitGraph& pattern, const CircuitGraph& host,
   SUBG_CHECK_MSG(&cache.host() == &host,
                  "host label cache was built over a different host graph");
 
-  Phase1State st(pattern, host, cache);
-  st.pool = options.pool;
+  Phase1State st(pattern, host, cache, options);
   st.prune = options.consistency_checks;
 
   Phase1Result result = run_phase1_refinement(pattern, host, options, st);
+  result.relabel_ops = st.relabel_ops;
 
   if (options.metrics != nullptr) {
     obs::Metrics& m = *options.metrics;
     m.add("phase1.runs");
     m.add("phase1.rounds", result.rounds);
+    m.add("phase1.relabel_ops", result.relabel_ops);
     m.add("phase1.consistency_prunes", st.pruned);
+    if (st.s_core != nullptr) {
+      m.gauge("csr.arena_bytes",
+              static_cast<double>(st.arena.high_water_bytes()));
+    }
     if (result.outcome != RunOutcome::kComplete) m.add("phase1.interrupted");
     if (!result.feasible) {
       m.add("phase1.infeasible");
@@ -373,9 +489,7 @@ Phase1Result run_phase1(const CircuitGraph& pattern, const CircuitGraph& host,
     // by whoever owns it (see extract_gates). The local fallback cache
     // dies here, so its reuse numbers are recorded now.
     if (options.host_cache == nullptr) {
-      const HostLabelCache::CacheStats cs = local_cache.stats();
-      m.add("phase1.label_cache.hits", cs.hits);
-      m.add("phase1.label_cache.misses", cs.misses);
+      record_cache_stats(&m, local_cache.stats());
     }
   }
   return result;

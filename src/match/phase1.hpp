@@ -32,6 +32,7 @@ class Metrics;
 
 namespace subg {
 
+class CsrCore;
 class HostLabelCache;
 class ThreadPool;
 
@@ -65,6 +66,14 @@ struct Phase1Options {
   /// hits/misses. Null (the default) records nothing and costs nothing —
   /// counters are recorded once per run, never inside the relabeling loop.
   obs::Metrics* metrics = nullptr;
+  /// Flattened cores (graph/csr_core.hpp) for the `--core=csr` layout:
+  /// `pattern_core` over the pattern graph drives the pattern-side relabel
+  /// sweep and the arena-backed censuses; `host_core` over the host graph
+  /// is handed to the label cache. Null (the default) runs the legacy
+  /// CircuitGraph walks. Either may be set independently; results are
+  /// byte-identical in every combination.
+  const CsrCore* pattern_core = nullptr;
+  const CsrCore* host_core = nullptr;
 };
 
 struct Phase1Result {
@@ -91,6 +100,12 @@ struct Phase1Result {
   /// Host vertices still eligible (not pruned by consistency checks) at
   /// exit — a measure of how sharp the filter was before CV selection.
   std::size_t possible_host_vertices = 0;
+
+  /// Pattern-side edge contributions computed across all relabel rounds —
+  /// a deterministic work counter, identical across --jobs and --core.
+  /// (Host-side relabel work is accounted by the label cache; see
+  /// HostLabelCache::CacheStats::relabel_ops.)
+  std::uint64_t relabel_ops = 0;
 
   /// Filled only when Phase1Options::keep_labels is set: final labels and
   /// the pattern's valid (non-corrupt) flags, for invariant checking.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "graph/csr_core.hpp"
 #include "match/verify.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
@@ -22,6 +23,14 @@ Label base_label(const CircuitGraph& graph, Vertex v) {
 Phase2Verifier::Phase2Verifier(const CircuitGraph& pattern,
                                const CircuitGraph& host, Phase2Options options)
     : s_(pattern), g_(host), options_(options) {
+  if (options_.pattern_core != nullptr) {
+    SUBG_CHECK_MSG(&options_.pattern_core->graph() == &s_,
+                   "pattern csr core was built over a different graph");
+  }
+  if (options_.host_core != nullptr) {
+    SUBG_CHECK_MSG(&options_.host_core->graph() == &g_,
+                   "host csr core was built over a different graph");
+  }
   special_image_.assign(s_.vertex_count(), kInvalidVertex);
   host_fixed_label_.assign(g_.vertex_count(), kNoLabel);
 
@@ -313,14 +322,31 @@ Phase2Verifier::Outcome Phase2Verifier::run(
 bool Phase2Verifier::pass(State& st, bool* progress) {
   ++st.passes;
   ++stats_.passes;
+  const CsrCore* s_core = options_.pattern_core;
+  const CsrCore* g_core = options_.host_core;
+  // Edge visits this pass (frontier expansion + relabel sums, both sides).
+  // Accumulated locally and folded into stats_ once at the end — and
+  // counted by the same rule in both cores, so reports stay byte-identical
+  // across --core.
+  std::size_t ops = 0;
 
   // --- 1. Frontier expansion: neighbors of safe vertices join the search.
   // Special rails never expand the frontier (they would drag their whole
-  // host fanout in); their labels still contribute below.
+  // host fanout in); their labels still contribute below. Expansion only
+  // reads the neighbor column, so the csr core skips the coefficients
+  // entirely.
   for (Vertex v = 0; v < s_.vertex_count(); ++v) {
     if (s_.is_special(v) || !st.considered_s[v] || !st.safe_s[v]) continue;
-    for (const auto& e : s_.edges(v)) {
-      if (!s_.is_special(e.to)) st.considered_s[e.to] = true;
+    if (s_core != nullptr) {
+      for (const Vertex to : s_core->neighbors(v)) {
+        ++ops;
+        if (!s_core->is_special(to)) st.considered_s[to] = true;
+      }
+    } else {
+      for (const auto& e : s_.edges(v)) {
+        ++ops;
+        if (!s_.is_special(e.to)) st.considered_s[e.to] = true;
+      }
     }
   }
   const std::size_t slot_count_before = st.slots.size();
@@ -328,8 +354,16 @@ bool Phase2Verifier::pass(State& st, bool* progress) {
     // Indexed loop: ensure_slot may grow st.slots.
     if (!st.slots[i].safe) continue;
     const Vertex v = st.slots[i].vertex;
-    for (const auto& e : g_.edges(v)) {
-      if (host_fixed_label_[e.to] == kNoLabel) ensure_slot(st, e.to);
+    if (g_core != nullptr) {
+      for (const Vertex to : g_core->neighbors(v)) {
+        ++ops;
+        if (host_fixed_label_[to] == kNoLabel) ensure_slot(st, to);
+      }
+    } else {
+      for (const auto& e : g_.edges(v)) {
+        ++ops;
+        if (host_fixed_label_[e.to] == kNoLabel) ensure_slot(st, e.to);
+      }
     }
   }
 
@@ -350,30 +384,55 @@ bool Phase2Verifier::pass(State& st, bool* progress) {
     return (slot.safe && !slot.excluded) ? slot.label : kNoLabel;
   };
 
-  std::vector<std::pair<Vertex, Label>> new_s;
+  new_s_.clear();
   for (Vertex v = 0; v < s_.vertex_count(); ++v) {
     if (s_.is_special(v) || !st.considered_s[v]) continue;
     if (st.matched_s[v] != kInvalidVertex) continue;
     Label sum = 0;
-    for (const auto& e : s_.edges(v)) {
-      const Label nl = safe_label_s(e.to);
-      if (nl != kNoLabel) sum += edge_contribution(e.coefficient, nl);
+    if (s_core != nullptr) {
+      const auto nbrs = s_core->neighbors(v);
+      const auto coeffs = s_core->coefficients(v);
+      for (std::size_t k = 0; k < nbrs.size(); ++k) {
+        ++ops;
+        const Label nl = safe_label_s(nbrs[k]);
+        if (nl != kNoLabel) sum += edge_contribution(coeffs[k], nl);
+      }
+    } else {
+      for (const auto& e : s_.edges(v)) {
+        ++ops;
+        const Label nl = safe_label_s(e.to);
+        if (nl != kNoLabel) sum += edge_contribution(e.coefficient, nl);
+      }
     }
-    new_s.emplace_back(v, relabel(base_label(s_, v), sum));
+    new_s_.emplace_back(v, relabel(base_label(s_, v), sum));
   }
-  std::vector<std::pair<std::uint32_t, Label>> new_g;
+  new_g_.clear();
   for (std::uint32_t i = 0; i < st.slots.size(); ++i) {
     const Slot& slot = st.slots[i];
     if (slot.excluded || slot.matched_to != kInvalidVertex) continue;
     Label sum = 0;
-    for (const auto& e : g_.edges(slot.vertex)) {
-      const Label nl = safe_label_g(e.to);
-      if (nl != kNoLabel) sum += edge_contribution(e.coefficient, nl);
+    if (g_core != nullptr) {
+      const auto nbrs = g_core->neighbors(slot.vertex);
+      const auto coeffs = g_core->coefficients(slot.vertex);
+      for (std::size_t k = 0; k < nbrs.size(); ++k) {
+        ++ops;
+        const Label nl = safe_label_g(nbrs[k]);
+        if (nl != kNoLabel) sum += edge_contribution(coeffs[k], nl);
+      }
+    } else {
+      for (const auto& e : g_.edges(slot.vertex)) {
+        ++ops;
+        const Label nl = safe_label_g(e.to);
+        if (nl != kNoLabel) sum += edge_contribution(e.coefficient, nl);
+      }
     }
-    new_g.emplace_back(i, relabel(base_label(g_, slot.vertex), sum));
+    new_g_.emplace_back(i, relabel(base_label(g_, slot.vertex), sum));
   }
-  for (const auto& [v, l] : new_s) st.label_s[v] = l;
-  for (const auto& [i, l] : new_g) st.slots[i].label = l;
+  for (const auto& [v, l] : new_s_) st.label_s[v] = l;
+  for (const auto& [i, l] : new_g_) st.slots[i].label = l;
+  // Fold the work counter in before the partition comparison below — a
+  // refuted hypothesis (early return) still did this pass's edge visits.
+  stats_.expansion_ops += ops;
 
   // --- 3. Partition comparison: equal sizes ⇒ safe; host-only labels ⇒
   // excluded; undersized host partitions ⇒ hypothesis refuted.

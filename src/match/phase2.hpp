@@ -38,6 +38,8 @@
 
 namespace subg {
 
+class CsrCore;
+
 /// Optional pass-by-pass trace (used to regenerate the paper's Table 1).
 struct Phase2Trace {
   struct Entry {
@@ -63,6 +65,12 @@ struct Phase2Options {
   /// When non-null, every pass appends the labels of both graphs' live
   /// vertices. Only use on small examples.
   Phase2Trace* trace = nullptr;
+  /// Flattened cores for the `--core=csr` layout (see graph/csr_core.hpp):
+  /// the relabel passes then iterate the SoA edge arrays. Null = legacy
+  /// CircuitGraph walks; labels, matches, and traces are bit-identical
+  /// either way (same arithmetic in the same edge order).
+  const CsrCore* pattern_core = nullptr;
+  const CsrCore* host_core = nullptr;
 };
 
 class Phase2Verifier {
@@ -159,6 +167,11 @@ class Phase2Verifier {
   const CircuitGraph& g_;
   Phase2Options options_;
   Phase2Stats stats_;
+  /// Per-pass relabel result buffers, reused across passes (cleared, never
+  /// reallocated) — contents and iteration order are identical to fresh
+  /// vectors, so this is safe for bit-identical reports in BOTH cores.
+  std::vector<std::pair<Vertex, Label>> new_s_;
+  std::vector<std::pair<std::uint32_t, Label>> new_g_;
   RunStatus status_;
   bool globals_resolved_ = true;
   /// Pattern special net vertex → host special net vertex (by name).

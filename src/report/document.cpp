@@ -32,6 +32,7 @@ json::Value to_json(const Phase1Result& phase1) {
   v.set("candidates", phase1.candidates.size());
   v.set("valid_pattern_vertices", phase1.valid_pattern_vertices);
   v.set("possible_host_vertices", phase1.possible_host_vertices);
+  v.set("relabel_ops", phase1.relabel_ops);
   return v;
 }
 
@@ -45,6 +46,7 @@ json::Value to_json(const Phase2Stats& stats) {
   v.set("backtracks", stats.backtracks);
   v.set("verify_failures", stats.verify_failures);
   v.set("max_guess_depth", stats.max_guess_depth);
+  v.set("expansion_ops", stats.expansion_ops);
   return v;
 }
 

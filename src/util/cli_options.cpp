@@ -112,6 +112,16 @@ ParsedArgs parse_args(const std::vector<std::string>& args) {
       out.options.lint = true;
       continue;
     }
+    if (const char* v = flag_value(arg, "--core=")) {
+      const auto mode = parse_core_mode(v);
+      if (!mode.has_value()) {
+        out.error = std::string("bad --core value '") + v +
+                    "' (want csr or legacy)";
+        return out;
+      }
+      out.options.core = *mode;
+      continue;
+    }
     out.error = "unknown flag '" + arg + "'";
     return out;
   }
@@ -141,7 +151,10 @@ const char* global_flags_help() {
       "  --fail-on=<sev>    lowest lint severity that fails the run: error\n"
       "                     (default) or warn\n"
       "  --lint             extract: lint the host netlist first; lint\n"
-      "                     errors skip the extraction sweep\n";
+      "                     errors skip the extraction sweep\n"
+      "  --core=<layout>    matching-core layout: csr (default; flattened\n"
+      "                     index arrays) or legacy (direct graph walks);\n"
+      "                     reports are byte-identical either way\n";
 }
 
 namespace {

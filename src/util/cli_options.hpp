@@ -14,6 +14,7 @@
 //   --pattern-top=NAME   top module of the pattern / first input
 //   --fail-on=warn|error severity threshold for a nonzero lint exit
 //   --lint               run the lint checks before extraction
+//   --core=csr|legacy    matching-core layout (csr is the default)
 //
 // Flags may appear anywhere; everything else is returned as a positional.
 // Unknown --flags are an error (callers map it to a usage exit), so typos
@@ -26,6 +27,7 @@
 #include <vector>
 
 #include "util/budget.hpp"
+#include "util/core_mode.hpp"
 
 namespace subg::cli {
 
@@ -55,6 +57,10 @@ struct GlobalOptions {
   FailOn fail_on = FailOn::kError;
   /// --lint: run the lint checks as a preflight (extract).
   bool lint = false;
+  /// --core: matching-core layout (graph/csr_core.hpp). csr (the default)
+  /// runs the flattened SoA sweeps; legacy walks the CircuitGraph directly.
+  /// Reports are byte-identical either way.
+  CoreMode core = CoreMode::kCsr;
 };
 
 struct ParsedArgs {

@@ -1,0 +1,29 @@
+// Selector for the matching-core data layout.
+//
+// kCsr (the default) runs Phase I/II and the host label cache over the
+// flattened structure-of-arrays core (graph/csr_core.hpp); kLegacy walks
+// the original CircuitGraph edge records. Both cores compute the same
+// label arithmetic in the same order, so every report is byte-identical
+// across the toggle — kLegacy exists as the reference path for the
+// equivalence tests and as an escape hatch, not as a different algorithm.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+namespace subg {
+
+enum class CoreMode { kCsr, kLegacy };
+
+[[nodiscard]] constexpr const char* to_string(CoreMode mode) {
+  return mode == CoreMode::kCsr ? "csr" : "legacy";
+}
+
+[[nodiscard]] inline std::optional<CoreMode> parse_core_mode(
+    std::string_view text) {
+  if (text == "csr") return CoreMode::kCsr;
+  if (text == "legacy") return CoreMode::kLegacy;
+  return std::nullopt;
+}
+
+}  // namespace subg

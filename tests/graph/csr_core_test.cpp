@@ -1,0 +1,80 @@
+// CsrCore structural tests: the flat arrays must mirror CircuitGraph
+// exactly — same vertices, same edge ORDER (not just the same edge set;
+// the byte-identity of --core=csr vs --core=legacy depends on iterating
+// edges in the same sequence), same labels and rail flags — plus the
+// precomputed round-0 host labels and the footprint accounting the obs
+// layer reports.
+#include <gtest/gtest.h>
+
+#include "cells/cells.hpp"
+#include "gen/generators.hpp"
+#include "graph/circuit_graph.hpp"
+#include "graph/csr_core.hpp"
+#include "util/hash.hpp"
+
+namespace subg {
+namespace {
+
+void expect_mirrors_graph(const CircuitGraph& graph, const CsrCore& core) {
+  ASSERT_EQ(core.vertex_count(), graph.vertex_count());
+  EXPECT_EQ(&core.graph(), &graph);
+  for (Vertex v = 0; v < graph.vertex_count(); ++v) {
+    SCOPED_TRACE(v);
+    const auto edges = graph.edges(v);
+    const auto nbrs = core.neighbors(v);
+    const auto coeffs = core.coefficients(v);
+    ASSERT_EQ(nbrs.size(), edges.size());
+    ASSERT_EQ(coeffs.size(), edges.size());
+    EXPECT_EQ(core.degree(v), graph.degree(v));
+    for (std::size_t k = 0; k < edges.size(); ++k) {
+      EXPECT_EQ(nbrs[k], edges[k].to) << "edge " << k;
+      EXPECT_EQ(coeffs[k], edges[k].coefficient) << "edge " << k;
+    }
+    EXPECT_EQ(core.initial_label(v), graph.initial_label(v));
+    EXPECT_EQ(core.is_special(v), graph.is_special(v));
+    // Round-0 host labels: invariant label for devices, pure degree label
+    // for nets (rail overrides are applied by the caller, not baked in).
+    if (graph.is_device(v)) {
+      EXPECT_EQ(core.host_base_label(v), graph.initial_label(v));
+    } else {
+      EXPECT_EQ(core.host_base_label(v), degree_label(graph.degree(v)));
+    }
+  }
+}
+
+TEST(CsrCore, MirrorsPatternGraph) {
+  cells::CellLibrary lib;
+  for (const char* cell : {"inv", "nand2", "fulladder", "dff", "sram6t"}) {
+    SCOPED_TRACE(cell);
+    Netlist pattern = lib.pattern(cell);
+    CircuitGraph graph(pattern);
+    CsrCore core(graph);
+    expect_mirrors_graph(graph, core);
+  }
+}
+
+TEST(CsrCore, MirrorsGeneratedHosts) {
+  for (const gen::Generated& g :
+       {gen::c17(), gen::ripple_carry_adder(8), gen::register_file(2, 4),
+        gen::logic_soup(100, 42)}) {
+    SCOPED_TRACE(g.netlist.device_count());
+    CircuitGraph graph(g.netlist);
+    CsrCore core(graph);
+    expect_mirrors_graph(graph, core);
+  }
+}
+
+TEST(CsrCore, FootprintAccounting) {
+  gen::Generated g = gen::ripple_carry_adder(8);
+  CircuitGraph graph(g.netlist);
+  CsrCore core(graph);
+  // bytes() is the heap footprint of the flat arrays: at minimum the
+  // offsets array plus per-vertex label/flag arrays must be accounted.
+  const std::size_t nv = graph.vertex_count();
+  EXPECT_GE(core.bytes(), (nv + 1) * sizeof(std::uint32_t) +
+                              nv * (2 * sizeof(Label) + sizeof(std::uint8_t)));
+  EXPECT_GE(core.build_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace subg

@@ -261,6 +261,7 @@ int cmd_find(const std::vector<std::string>& args) {
   opts.budget = g_opts.budget;
   opts.jobs = g_opts.jobs;
   opts.metrics = g_metrics;
+  opts.core = g_opts.core;
   SubgraphMatcher matcher(pattern, host, opts);
   MatchReport report = matcher.find_all();
 
@@ -338,6 +339,7 @@ int cmd_extract(const std::vector<std::string>& args) {
   options.match.budget = g_opts.budget;
   options.match.jobs = g_opts.jobs;
   options.match.metrics = g_metrics;
+  options.match.core = g_opts.core;
   options.lint_host = g_opts.lint;
   extract::ExtractResult result = extract::extract_gates(host, cells, options);
   if (g_opts.lint && !result.host_lint.clean()) {
