@@ -1,0 +1,37 @@
+#!/bin/sh
+# Module-library sweep against a warm match server.
+#
+# The workload SubGemini's serve mode exists for: load a host design ONCE
+# (CSR core + label cache stay warm), then run every cell of a standard-cell
+# library against it as one request stream -- the way the original SubGem
+# tool swept a chip netlist against a whole module library.  One process,
+# one host load, N find requests, N JSON answers.
+#
+# Usage:  examples/library_sweep.sh [path/to/subgemini]
+# (run from the repo root; defaults to the binary in build/tools/)
+set -eu
+
+binary=${1:-build/tools/subgemini}
+here=$(dirname "$0")
+repo=$here/..
+
+# serve_client.py spawns `subgemini serve <host>` as a child, issues one
+# `find` per .subckt cell in the library deck, prints each response as a
+# JSON line, and shuts the server down.  Exit 0 means every cell answered
+# ok; a cell with zero instances still answers ok (empty `instances`).
+python3 "$repo/tools/serve_client.py" \
+    --binary "$binary" \
+    --spawn-host "$repo/testdata/mux_host.sp" \
+    sweep --library "$repo/testdata/cells.sp" |
+python3 -c '
+import json, sys
+for line in sys.stdin:
+    frame = json.loads(line)
+    result = frame["result"]
+    cell = result["pattern"]["name"]
+    hits = result["instances"]
+    print(f"{cell:8s} {len(hits)} instance(s)")
+    for inst in hits:
+        ports = " ".join(f"{k}={v}" for k, v in inst["ports"].items())
+        print(f"         {ports}")
+'

@@ -7,6 +7,26 @@
 
 namespace subg {
 
+std::size_t CsrCore::edge_count(const CircuitGraph& graph) {
+  const std::size_t nv = graph.vertex_count();
+  std::size_t total_edges = 0;
+  for (Vertex v = 0; v < nv; ++v) total_edges += graph.degree(v);
+  return total_edges;
+}
+
+RunStatus CsrCore::capacity_status(const CircuitGraph& graph) {
+  RunStatus status;
+  const std::size_t total_edges = edge_count(graph);
+  if (!offsets_fit(total_edges)) {
+    status.escalate(RunOutcome::kTruncated,
+                    "csr core: host graph has " + std::to_string(total_edges) +
+                        " edges, exceeding the 32-bit offset limit of " +
+                        std::to_string(kMaxEdges) +
+                        "; rerun with --core=legacy");
+  }
+  return status;
+}
+
 CsrCore::CsrCore(const CircuitGraph& graph) : graph_(&graph) {
   Timer timer;
   const std::size_t nv = graph.vertex_count();
@@ -15,9 +35,8 @@ CsrCore::CsrCore(const CircuitGraph& graph) : graph_(&graph) {
   host_base_label_.resize(nv);
   special_.resize(nv);
 
-  std::size_t total_edges = 0;
-  for (Vertex v = 0; v < nv; ++v) total_edges += graph.degree(v);
-  SUBG_CHECK_MSG(total_edges <= std::numeric_limits<std::uint32_t>::max(),
+  const std::size_t total_edges = edge_count(graph);
+  SUBG_CHECK_MSG(offsets_fit(total_edges),
                  "graph too large for 32-bit edge offsets");
   edge_to_.resize(total_edges);
   edge_coeff_.resize(total_edges);

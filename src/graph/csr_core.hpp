@@ -31,15 +31,40 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <vector>
 
 #include "graph/circuit_graph.hpp"
+#include "util/budget.hpp"
 
 namespace subg {
 
 class CsrCore {
  public:
+  /// Edge offsets are uint32, so a core can hold at most kMaxEdges edges.
+  /// Larger graphs (ROADMAP's multi-million-device hosts can exceed this
+  /// once net fanout is counted twice, device- and net-side) must be
+  /// refused BEFORE construction: capacity_status() turns the limit into a
+  /// structured RunStatus instead of UB or silent truncation.
+  static constexpr std::size_t kMaxEdges =
+      std::numeric_limits<std::uint32_t>::max();
+
+  /// True iff `edge_count` edges fit 32-bit CSR offsets.
+  [[nodiscard]] static constexpr bool offsets_fit(std::size_t edge_count) {
+    return edge_count <= kMaxEdges;
+  }
+
+  /// Total directed edge slots a core over `graph` would need.
+  [[nodiscard]] static std::size_t edge_count(const CircuitGraph& graph);
+
+  /// kComplete when `graph` fits; otherwise a kTruncated status whose
+  /// reason names the limit and the --core=legacy escape hatch. Callers
+  /// (SubgraphMatcher::init_cores) consult this instead of letting the
+  /// constructor throw mid-run.
+  [[nodiscard]] static RunStatus capacity_status(const CircuitGraph& graph);
+
+  /// Requires offsets_fit(edge_count(graph)) — checked.
   explicit CsrCore(const CircuitGraph& graph);
 
   [[nodiscard]] const CircuitGraph& graph() const { return *graph_; }

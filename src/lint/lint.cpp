@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "util/check.hpp"
 #include "util/strings.hpp"
 
 namespace subg::lint {
@@ -374,6 +375,45 @@ LintReport import_diagnostics(const DiagnosticSink& sink,
   for (std::size_t i = 0; i < sink.dropped(); ++i) ++report.suppressed;
   record_metrics(options, report);
   return report;
+}
+
+DeckLint lint_deck(const Design& design, const std::string& top,
+                   const LintOptions& options) {
+  DeckLint out;
+  // Hierarchy checks must run BEFORE flatten: duplicate instance names and
+  // zero-device rail shorts are invisible (or fatal) once flat.
+  out.report.merge(lint_design(design, options));
+  std::string chosen = top;
+  if (chosen.empty() && design.module_count() > 0) {
+    // Module 0 is the implicit "main"; prefer the first explicit subckt
+    // with content when main is empty (the CLI default-top rule).
+    const Module& main_module = design.module(ModuleId(0));
+    if (design.module_count() > 1 && main_module.device_count() == 0 &&
+        main_module.instance_count() == 0) {
+      chosen = design.module(ModuleId(1)).name();
+    } else {
+      chosen = main_module.name();
+    }
+  }
+  try {
+    out.netlist = design.flatten(chosen);
+  } catch (const Error& e) {
+    // A deck lint can describe but not flatten (duplicate device names,
+    // recursive hierarchy): one "flatten" error finding, flat checks
+    // skipped.
+    Finding f;
+    f.check = kFlatten;
+    f.severity = Severity::kError;
+    f.message = e.what();
+    LintReport flatten_report;
+    flatten_report.checks_run = 1;
+    flatten_report.add(std::move(f), options.max_findings_per_check);
+    out.report.merge(std::move(flatten_report));
+  }
+  if (out.netlist.has_value()) {
+    out.report.merge(lint_netlist(*out.netlist, options));
+  }
+  return out;
 }
 
 }  // namespace subg::lint

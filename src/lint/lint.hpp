@@ -24,6 +24,7 @@
 
 #include <cstddef>
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -134,6 +135,20 @@ struct LintReport {
 /// Surface recovering-parse diagnostics as findings (check id "parse").
 [[nodiscard]] LintReport import_diagnostics(const DiagnosticSink& sink,
                                             const LintOptions& options = {});
+
+/// The full deck-lint pipeline over an already-parsed design: hierarchy
+/// checks, then flatten (a failure becomes one "flatten" error finding
+/// instead of throwing — a lint must DESCRIBE a sick deck), then the flat
+/// netlist checks. `top` empty picks the design's first non-empty module.
+/// Shared by `subgemini lint` and the serve daemon's lint op, so both
+/// surfaces report identical findings for the same deck.
+struct DeckLint {
+  LintReport report;
+  /// The flattened netlist when flatten succeeded (for summaries).
+  std::optional<Netlist> netlist;
+};
+[[nodiscard]] DeckLint lint_deck(const Design& design, const std::string& top,
+                                 const LintOptions& options = {});
 
 /// Rail-name classification used by the supply checks: "vdd"/"vcc"/"pwr"
 /// prefixes are supplies, "gnd"/"vss"/"0"/"ground" are grounds. Matching is

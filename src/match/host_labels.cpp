@@ -5,6 +5,7 @@
 #include "graph/csr_core.hpp"
 #include "obs/metrics.hpp"
 #include "util/check.hpp"
+#include "util/fault.hpp"
 #include "util/thread_pool.hpp"
 
 namespace subg {
@@ -24,6 +25,7 @@ const std::vector<Label>& HostLabelCache::labels(const RailKey& rails,
                                                  std::size_t round,
                                                  ThreadPool* pool,
                                                  const CsrCore* core) {
+  SUBG_FAULT_POINT("cache");
   RailKey key = rails;
   normalize(key);
   if (core != nullptr) {

@@ -86,6 +86,16 @@ SubgraphMatcher::SubgraphMatcher(const Netlist& pattern,
 
 void SubgraphMatcher::init_cores() {
   if (options_.core != CoreMode::kCsr) return;
+  // Capacity is a structured refusal, not a crash: a host whose edge count
+  // overflows the 32-bit CSR offsets makes find_all() return immediately
+  // with this status (instances empty, outcome truncated) — the caller can
+  // retry with --core=legacy. Checked here, before any allocation, so the
+  // constructor's SUBG_CHECK backstop can never fire through this path.
+  core_status_ = CsrCore::capacity_status(pattern_graph_);
+  if (core_status_.complete() && options_.host_core == nullptr) {
+    core_status_ = CsrCore::capacity_status(*host_graph_);
+  }
+  if (!core_status_.complete()) return;
   pattern_core_.emplace(pattern_graph_);
   if (options_.host_core != nullptr) {
     SUBG_CHECK_MSG(&options_.host_core->graph() == host_graph_,
@@ -115,6 +125,10 @@ void SubgraphMatcher::validate_inputs() const {
 
 MatchReport SubgraphMatcher::run(std::size_t limit) {
   MatchReport report;
+  if (!core_status_.complete()) {
+    report.status = core_status_;
+    return report;
+  }
   Timer timer;
 
   // Resolve the parallelism lanes for this run. An external pool (shared

@@ -150,6 +150,9 @@ class SubgraphMatcher {
   std::optional<CsrCore> pattern_core_;
   std::optional<CsrCore> owned_host_core_;
   const CsrCore* host_core_ = nullptr;
+  /// Non-complete when the csr core refused to build (32-bit edge-offset
+  /// overflow): run() returns it immediately instead of searching.
+  RunStatus core_status_;
 };
 
 }  // namespace subg

@@ -8,6 +8,7 @@
 #include "obs/metrics.hpp"
 #include "util/arena.hpp"
 #include "util/check.hpp"
+#include "util/fault.hpp"
 #include "util/log.hpp"
 
 namespace subg {
@@ -444,6 +445,7 @@ Phase1Result run_phase1_refinement(const CircuitGraph& pattern,
 
 Phase1Result run_phase1(const CircuitGraph& pattern, const CircuitGraph& host,
                         const Phase1Options& options) {
+  SUBG_FAULT_POINT("phase1");
   SUBG_CHECK_MSG(pattern.device_count() > 0, "pattern has no devices");
 
   // Fall back to a call-local cache when the caller does not share one.

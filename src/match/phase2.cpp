@@ -6,6 +6,7 @@
 #include "graph/csr_core.hpp"
 #include "match/verify.hpp"
 #include "util/check.hpp"
+#include "util/fault.hpp"
 #include "util/log.hpp"
 
 namespace subg {
@@ -107,6 +108,7 @@ void Phase2Verifier::postulate(State& st, Vertex s, Vertex g) {
 
 std::optional<SubcircuitInstance> Phase2Verifier::verify(Vertex key,
                                                          Vertex candidate) {
+  SUBG_FAULT_POINT("phase2");
   ++stats_.candidates_tried;
   if (!globals_resolved_) return std::nullopt;
   if (s_.is_device(key) != g_.is_device(candidate)) return std::nullopt;

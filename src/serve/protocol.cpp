@@ -1,0 +1,177 @@
+#include "serve/protocol.hpp"
+
+#include <utility>
+
+#include "match/matcher.hpp"
+#include "report/document.hpp"
+#include "util/fault.hpp"
+#include "util/json_parse.hpp"
+
+namespace subg::serve {
+
+namespace {
+
+/// Read an optional string member; false (with *message set) when present
+/// but not a string — a request with {"host": 7} must be rejected, not
+/// silently matched against no host.
+bool read_string(const json::Value& object, std::string_view key,
+                 std::string* out, std::string* message) {
+  const json::Value* member = object.find(key);
+  if (member == nullptr) return true;
+  if (member->kind() != json::Value::Kind::kString) {
+    *message = std::string("member '") + std::string(key) + "' must be a string";
+    return false;
+  }
+  *out = member->as_string();
+  return true;
+}
+
+bool read_number(const json::Value& object, std::string_view key, double* out,
+                 std::string* message) {
+  const json::Value* member = object.find(key);
+  if (member == nullptr) return true;
+  switch (member->kind()) {
+    case json::Value::Kind::kInt:
+    case json::Value::Kind::kUint:
+    case json::Value::Kind::kDouble: *out = member->as_double(); return true;
+    default:
+      *message =
+          std::string("member '") + std::string(key) + "' must be a number";
+      return false;
+  }
+}
+
+}  // namespace
+
+std::optional<Request> parse_request(std::string_view line, ErrorCode* code,
+                                     std::string* message) {
+  SUBG_FAULT_POINT("parse.request");
+  json::ParseResult parsed = json::parse(line);
+  if (!parsed.ok()) {
+    *code = ErrorCode::kParseError;
+    *message = "request line is not valid JSON: " + parsed.error +
+               " (at byte " + std::to_string(parsed.offset) + ")";
+    return std::nullopt;
+  }
+  if (!parsed.value.is_object()) {
+    *code = ErrorCode::kBadRequest;
+    *message = "request must be a JSON object";
+    return std::nullopt;
+  }
+  const json::Value& object = parsed.value;
+
+  Request request;
+  if (const json::Value* id = object.find("id"); id != nullptr) {
+    request.id = *id;
+  }
+  *code = ErrorCode::kBadRequest;
+  if (!read_string(object, "op", &request.op, message)) return std::nullopt;
+  if (request.op.empty()) {
+    *message = "request is missing the required 'op' member";
+    return std::nullopt;
+  }
+  if (!read_string(object, "host", &request.host, message) ||
+      !read_string(object, "pattern", &request.pattern, message) ||
+      !read_string(object, "pattern_top", &request.pattern_top, message) ||
+      !read_string(object, "library", &request.library, message) ||
+      !read_string(object, "netlist", &request.netlist, message) ||
+      !read_string(object, "path", &request.path, message) ||
+      !read_string(object, "name", &request.name, message) ||
+      !read_string(object, "top", &request.top, message)) {
+    return std::nullopt;
+  }
+  double timeout_ms = -1;
+  if (!read_number(object, "timeout_ms", &timeout_ms, message)) {
+    return std::nullopt;
+  }
+  if (object.find("timeout_ms") != nullptr && timeout_ms < 0) {
+    *message = "member 'timeout_ms' must be >= 0";
+    return std::nullopt;
+  }
+  request.timeout_ms = timeout_ms;
+  double max_matches = 0;
+  if (!read_number(object, "max_matches", &max_matches, message)) {
+    return std::nullopt;
+  }
+  if (max_matches < 0) {
+    *message = "member 'max_matches' must be >= 0";
+    return std::nullopt;
+  }
+  request.max_matches = static_cast<std::uint64_t>(max_matches);
+  return request;
+}
+
+namespace {
+
+/// The response frame members every answer starts with. Keeping
+/// "schema_version" first matches report::Document's layout.
+json::Value response_head(const json::Value& id, std::string_view op,
+                          bool ok) {
+  json::Value head = json::Value::object();
+  head.set("schema_version", report::kSchemaVersion);
+  head.set("id", id);
+  head.set("op", std::string(op));
+  head.set("ok", ok);
+  return head;
+}
+
+}  // namespace
+
+std::string ok_response(const Request& request, json::Value result) {
+  json::Value response = response_head(request.id, request.op, true);
+  response.set("result", std::move(result));
+  return response.dump(0);
+}
+
+std::string error_response(const json::Value& id, std::string_view op,
+                           ErrorCode code, std::string_view message,
+                           std::optional<json::Value> partial) {
+  json::Value response = response_head(id, op, false);
+  json::Value error = json::Value::object();
+  error.set("code", to_string(code));
+  error.set("message", std::string(message));
+  response.set("error", std::move(error));
+  if (partial.has_value()) response.set("result", std::move(*partial));
+  return response.dump(0);
+}
+
+json::Value netlist_summary(const Netlist& netlist) {
+  json::Value v = json::Value::object();
+  v.set("name", netlist.name());
+  v.set("devices", netlist.device_count());
+  v.set("nets", static_cast<std::size_t>(netlist.net_count()));
+  return v;
+}
+
+json::Value instances_json(const Netlist& pattern, const Netlist& host,
+                           const MatchReport& report) {
+  json::Value instances = json::Value::array();
+  for (const SubcircuitInstance& inst : report.instances) {
+    json::Value one = json::Value::object();
+    json::Value ports = json::Value::object();
+    for (NetId port : pattern.ports()) {
+      ports.set(pattern.net_name(port),
+                host.net_name(inst.net_image[port.index()]));
+    }
+    json::Value devices = json::Value::array();
+    for (DeviceId d : inst.device_image) {
+      devices.push(host.device_name(d));
+    }
+    one.set("ports", std::move(ports));
+    one.set("devices", std::move(devices));
+    instances.push(std::move(one));
+  }
+  return instances;
+}
+
+std::string default_top(const Design& design, const std::string& requested) {
+  if (!requested.empty()) return requested;
+  if (design.module_count() > 1 &&
+      design.module(ModuleId(0)).device_count() == 0 &&
+      design.module(ModuleId(0)).instance_count() == 0) {
+    return design.module(ModuleId(1)).name();
+  }
+  return design.module(ModuleId(0)).name();
+}
+
+}  // namespace subg::serve

@@ -1,0 +1,159 @@
+// The serve wire protocol: JSON-lines requests and responses.
+//
+// One request per line, one response per line, both JSON objects. The
+// response schema is an extension of report schema v1 (additive-only; see
+// README.md "Match-server mode"):
+//
+//   request:  {"op": "find", "id": 7, "pattern": "...", "host": "chip"}
+//   success:  {"schema_version": 1, "id": 7, "op": "find", "ok": true,
+//              "result": {...}}
+//   failure:  {"schema_version": 1, "id": 7, "op": "find", "ok": false,
+//              "error": {"code": "deadline_expired", "message": "..."},
+//              "result": {...partial...}}
+//
+// The "result" of a find/extract/lint response carries exactly the members
+// the one-shot CLI document does ("pattern", "host", "instances",
+// "report", ...), built by the SAME helpers below — so a serve answer and a
+// `subgemini find --format=json` answer agree byte for byte on every
+// deterministic member. "id" is echoed verbatim (any JSON value; null when
+// the request had none), so pipelined clients can correlate out-of-order
+// responses from a multi-worker server.
+//
+// Error codes are a closed, documented set (to_string below): consumers
+// branch on "error.code", never on message text.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "netlist/design.hpp"
+#include "netlist/netlist.hpp"
+#include "util/budget.hpp"
+#include "util/json.hpp"
+
+namespace subg {
+struct MatchReport;
+}  // namespace subg
+
+namespace subg::serve {
+
+/// Structured failure classes, in the "error.code" member. The set may grow
+/// within schema v1; existing codes keep their meaning.
+enum class ErrorCode {
+  kParseError,       ///< request line or an inline netlist failed to parse
+  kBadRequest,       ///< well-formed JSON, but not a valid request
+  kUnknownOp,        ///< "op" names no handler
+  kUnknownHost,      ///< "host" names no loaded host
+  kOversized,        ///< request line exceeded max_request_bytes
+  kDeadlineExpired,  ///< per-request budget expired (the in-band exit-75)
+  kResourceLimit,    ///< a search cap truncated the sweep
+  kCancelled,        ///< the run's cancel token fired
+  kOverloaded,       ///< admission control shed the request (queue full)
+  kShuttingDown,     ///< request was queued behind a drain
+  kInjectedFault,    ///< a SUBG_FAULT trigger point fired (test builds)
+  kInternal,         ///< unexpected exception; the daemon itself survived
+};
+
+[[nodiscard]] constexpr const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kParseError: return "parse_error";
+    case ErrorCode::kBadRequest: return "bad_request";
+    case ErrorCode::kUnknownOp: return "unknown_op";
+    case ErrorCode::kUnknownHost: return "unknown_host";
+    case ErrorCode::kOversized: return "oversized";
+    case ErrorCode::kDeadlineExpired: return "deadline_expired";
+    case ErrorCode::kResourceLimit: return "resource_limit";
+    case ErrorCode::kCancelled: return "cancelled";
+    case ErrorCode::kOverloaded: return "overloaded";
+    case ErrorCode::kShuttingDown: return "shutting_down";
+    case ErrorCode::kInjectedFault: return "injected_fault";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+/// The incomplete-sweep outcomes as in-band error codes: the one-shot CLI
+/// maps them all to exit 75; a daemon cannot exit per request, so the same
+/// contract rides in "error.code" (with the partial result attached).
+[[nodiscard]] constexpr ErrorCode outcome_error(RunOutcome outcome) {
+  switch (outcome) {
+    case RunOutcome::kComplete: return ErrorCode::kInternal;  // not an error
+    case RunOutcome::kTruncated: return ErrorCode::kResourceLimit;
+    case RunOutcome::kDeadlineExceeded: return ErrorCode::kDeadlineExpired;
+    case RunOutcome::kCancelled: return ErrorCode::kCancelled;
+  }
+  return ErrorCode::kInternal;
+}
+
+/// One decoded request. Unknown members are ignored (additive schema);
+/// which members are REQUIRED depends on the op and is enforced by the
+/// server's handlers, not here.
+struct Request {
+  /// Correlation id, echoed verbatim into the response ("id": null when the
+  /// request carried none).
+  json::Value id;
+  std::string op;
+  /// Loaded-host name for find/extract/lint; "" = the sole loaded host.
+  std::string host;
+  /// Inline SPICE text of the pattern deck (find).
+  std::string pattern;
+  std::string pattern_top;
+  /// Inline SPICE text of the library deck (extract).
+  std::string library;
+  /// Inline SPICE text of a netlist (lint, load).
+  std::string netlist;
+  /// File path of a netlist (load).
+  std::string path;
+  /// Host name to (re)register (load).
+  std::string name;
+  /// Top module for flatten (lint, load).
+  std::string top;
+  /// Per-request wall-clock budget; < 0 = use the server default.
+  double timeout_ms = -1;
+  /// find: stop after this many instances; 0 = unlimited.
+  std::uint64_t max_matches = 0;
+};
+
+/// Decode one request line. On failure returns nullopt with *code (always
+/// kParseError or kBadRequest here) and *message filled. Contains the
+/// "parse.request" fault trigger point.
+[[nodiscard]] std::optional<Request> parse_request(std::string_view line,
+                                                   ErrorCode* code,
+                                                   std::string* message);
+
+/// A success response frame: {"schema_version", "id", "op", "ok": true,
+/// "result"} serialized compact, no trailing newline.
+[[nodiscard]] std::string ok_response(const Request& request,
+                                      json::Value result);
+
+/// A failure response frame ("ok": false, "error": {"code", "message"}).
+/// `id` may be null (unparseable request). A non-null `partial` is attached
+/// as "result" — incomplete sweeps still report what they verified.
+[[nodiscard]] std::string error_response(const json::Value& id,
+                                         std::string_view op, ErrorCode code,
+                                         std::string_view message,
+                                         std::optional<json::Value> partial =
+                                             std::nullopt);
+
+// ---------------------------------------------------------------------------
+// Shared document builders: the single source of truth for the members both
+// the one-shot CLI and the serve handlers emit.
+
+/// {"name", "devices", "nets"} — how a loaded netlist appears in documents.
+[[nodiscard]] json::Value netlist_summary(const Netlist& netlist);
+
+/// The "instances" array of a find document: per instance a {"ports": {
+/// pattern port -> host net}, "devices": [host device names]} object.
+[[nodiscard]] json::Value instances_json(const Netlist& pattern,
+                                         const Netlist& host,
+                                         const MatchReport& report);
+
+/// Default top-module choice for a SPICE design: module 0 (the implicit
+/// "main"), or the first explicit .SUBCKT when main is empty. `requested`
+/// non-empty short-circuits.
+[[nodiscard]] std::string default_top(const Design& design,
+                                      const std::string& requested);
+
+}  // namespace subg::serve

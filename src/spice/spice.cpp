@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "util/check.hpp"
+#include "util/fault.hpp"
 #include "util/strings.hpp"
 
 namespace subg::spice {
@@ -275,6 +276,7 @@ std::string sanitize(const std::string& name) {
 }  // namespace
 
 Design read(std::istream& in, const ReadOptions& options) {
+  SUBG_FAULT_POINT("parse.netlist");
   Parser parser(options);
   parser.run(in);
   return std::move(parser.design);

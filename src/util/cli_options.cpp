@@ -122,6 +122,54 @@ ParsedArgs parse_args(const std::vector<std::string>& args) {
       out.options.core = *mode;
       continue;
     }
+    if (const char* v = flag_value(arg, "--serve-workers=")) {
+      char* end = nullptr;
+      const unsigned long workers = std::strtoul(v, &end, 10);
+      if (end == v || *end != '\0' || workers == 0) {
+        out.error = std::string("bad --serve-workers value '") + v + "'";
+        return out;
+      }
+      out.options.serve_workers = static_cast<std::size_t>(workers);
+      continue;
+    }
+    if (const char* v = flag_value(arg, "--max-pending=")) {
+      char* end = nullptr;
+      const unsigned long pending = std::strtoul(v, &end, 10);
+      if (end == v || *end != '\0' || pending == 0) {
+        out.error = std::string("bad --max-pending value '") + v + "'";
+        return out;
+      }
+      out.options.max_pending = static_cast<std::size_t>(pending);
+      continue;
+    }
+    if (const char* v = flag_value(arg, "--max-request-bytes=")) {
+      char* end = nullptr;
+      const unsigned long bytes = std::strtoul(v, &end, 10);
+      if (end == v || *end != '\0' || bytes == 0) {
+        out.error = std::string("bad --max-request-bytes value '") + v + "'";
+        return out;
+      }
+      out.options.max_request_bytes = static_cast<std::size_t>(bytes);
+      continue;
+    }
+    if (const char* v = flag_value(arg, "--request-timeout=")) {
+      char* end = nullptr;
+      const double seconds = std::strtod(v, &end);
+      if (end == v || *end != '\0' || seconds <= 0) {
+        out.error = std::string("bad --request-timeout value '") + v + "'";
+        return out;
+      }
+      out.options.request_timeout = seconds;
+      continue;
+    }
+    if (const char* v = flag_value(arg, "--socket=")) {
+      if (*v == '\0') {
+        out.error = "bad --socket value: empty path";
+        return out;
+      }
+      out.options.socket_path = v;
+      continue;
+    }
     out.error = "unknown flag '" + arg + "'";
     return out;
   }
@@ -154,7 +202,17 @@ const char* global_flags_help() {
       "                     errors skip the extraction sweep\n"
       "  --core=<layout>    matching-core layout: csr (default; flattened\n"
       "                     index arrays) or legacy (direct graph walks);\n"
-      "                     reports are byte-identical either way\n";
+      "                     reports are byte-identical either way\n"
+      "  serve-only flags:\n"
+      "  --serve-workers=<n>    concurrent request workers (default 1)\n"
+      "  --max-pending=<n>      queued-request bound; beyond it requests\n"
+      "                         are answered `overloaded` (default 64)\n"
+      "  --max-request-bytes=<n> longest accepted request line; longer\n"
+      "                         lines are answered `oversized` (default 1M)\n"
+      "  --request-timeout=<sec> default per-request budget; an expired\n"
+      "                         request answers `deadline_expired`\n"
+      "  --socket=PATH          serve an AF_UNIX socket at PATH instead of\n"
+      "                         stdin/stdout\n";
 }
 
 namespace {

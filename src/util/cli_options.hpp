@@ -61,6 +61,15 @@ struct GlobalOptions {
   /// runs the flattened SoA sweeps; legacy walks the CircuitGraph directly.
   /// Reports are byte-identical either way.
   CoreMode core = CoreMode::kCsr;
+  /// serve-only knobs (see serve/server.hpp for semantics; inert for the
+  /// one-shot commands).
+  std::size_t serve_workers = 1;
+  std::size_t max_pending = 64;
+  std::size_t max_request_bytes = 1 << 20;
+  /// Server-default per-request budget, seconds; 0 = unlimited.
+  double request_timeout = 0;
+  /// AF_UNIX socket path; empty = stdin/stdout.
+  std::string socket_path;
 };
 
 struct ParsedArgs {

@@ -1,0 +1,37 @@
+#include "util/fault.hpp"
+
+#include <cstdlib>
+
+namespace subg::fault {
+
+bool arm_from_env() {
+  const char* spec = std::getenv("SUBG_FAULT");
+  if (spec == nullptr || *spec == '\0') return false;
+  const std::string text(spec);
+  std::string site = text;
+  std::uint64_t nth = 1;
+  const std::size_t colon = text.rfind(':');
+  if (colon != std::string::npos) {
+    site = text.substr(0, colon);
+    const std::string ordinal = text.substr(colon + 1);
+    SUBG_CHECK_MSG(!ordinal.empty() &&
+                       ordinal.find_first_not_of("0123456789") ==
+                           std::string::npos,
+                   "SUBG_FAULT: ordinal '" << ordinal
+                                           << "' is not a positive integer");
+    nth = std::strtoull(ordinal.c_str(), nullptr, 10);
+  }
+  SUBG_CHECK_MSG(arm(site, nth), "SUBG_FAULT: unknown site '"
+                                     << site << "' or zero ordinal (sites: "
+                                     << [] {
+                                          std::string all;
+                                          for (const auto& s : kSites) {
+                                            if (!all.empty()) all += ", ";
+                                            all += s;
+                                          }
+                                          return all;
+                                        }() << ")");
+  return true;
+}
+
+}  // namespace subg::fault

@@ -1,0 +1,160 @@
+// Deterministic fault injection for robustness testing.
+//
+// A daemon's failure paths are only trustworthy if they are exercised, not
+// theoretical. This header plants site-keyed trigger points in the risky
+// layers of the runtime — request parsing, netlist parsing, Phase I, Phase
+// II, the host label cache, and the serve dispatch loop — that can be armed
+// to throw an InjectedFault on the nth execution of a given site:
+//
+//   SUBG_FAULT=phase1:3 subgemini serve host.sp     # env arming
+//   fault::arm("phase1", 3);                        # programmatic arming
+//
+// The trigger points compile to nothing unless the build sets
+// -DSUBG_FAULTS=ON (cmake option; defines SUBG_FAULTS_ENABLED), so
+// production binaries pay zero cost. The arming/inspection API is always
+// compiled so callers (the serve `status` op, tests) can report whether the
+// machinery is live.
+//
+// Semantics: exactly ONE throw per arming — the armed site's counter is
+// compared against `nth` (1-based) and the fault fires once, so a server
+// that survives the fault then serves normally (which is exactly what the
+// soak test asserts). Counters and the armed state are atomics: trigger
+// points run on pool worker threads.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace subg::fault {
+
+#ifdef SUBG_FAULTS_ENABLED
+inline constexpr bool kFaultsEnabled = true;
+#else
+inline constexpr bool kFaultsEnabled = false;
+#endif
+
+/// Thrown by an armed trigger point. Derives from subg::Error so existing
+/// catch(const Error&) isolation boundaries contain it; handlers that want
+/// to label the failure distinctly catch this type first.
+class InjectedFault : public Error {
+ public:
+  explicit InjectedFault(const std::string& site)
+      : Error("injected fault at site '" + site + "'"), site_(site) {}
+  [[nodiscard]] const std::string& site() const { return site_; }
+
+ private:
+  std::string site_;
+};
+
+/// The registered sites, in a fixed order. Every SUBG_FAULT_POINT in the
+/// tree uses one of these names; arm() rejects anything else so a typo in a
+/// test or CI matrix fails loudly instead of silently never firing.
+///   parse.request  serve request-line JSON decoding
+///   parse.netlist  SPICE deck parsing (read/read_string/read_file)
+///   phase1         Phase I refinement entry
+///   phase2         Phase II candidate verification entry
+///   cache          host label cache lookup/extension
+///   serve.dispatch serve request handler dispatch
+inline constexpr std::string_view kSites[] = {
+    "parse.request", "parse.netlist", "phase1",
+    "phase2",        "cache",         "serve.dispatch",
+};
+inline constexpr std::size_t kSiteCount = sizeof(kSites) / sizeof(kSites[0]);
+
+namespace detail {
+struct State {
+  /// Armed site index into kSites, or -1 when disarmed.
+  std::atomic<int> armed_site{-1};
+  /// 1-based hit ordinal that fires the fault.
+  std::atomic<std::uint64_t> armed_nth{0};
+  /// Set once the armed fault has fired (one throw per arming).
+  std::atomic<bool> fired{false};
+  /// Per-site lifetime hit counters.
+  std::atomic<std::uint64_t> hits[kSiteCount]{};
+};
+inline State& state() {
+  static State s;
+  return s;
+}
+inline int site_index(std::string_view site) {
+  for (std::size_t i = 0; i < kSiteCount; ++i) {
+    if (kSites[i] == site) return static_cast<int>(i);
+  }
+  return -1;
+}
+}  // namespace detail
+
+/// Arm `site` to throw on its nth (1-based) execution from now. Resets the
+/// site's hit counter and the fired latch. Returns false (and disarms
+/// nothing) for an unknown site or nth == 0.
+inline bool arm(std::string_view site, std::uint64_t nth) {
+  const int idx = detail::site_index(site);
+  if (idx < 0 || nth == 0) return false;
+  detail::State& s = detail::state();
+  s.hits[idx].store(0, std::memory_order_relaxed);
+  s.fired.store(false, std::memory_order_relaxed);
+  s.armed_nth.store(nth, std::memory_order_relaxed);
+  s.armed_site.store(idx, std::memory_order_release);
+  return true;
+}
+
+/// Disarm whatever is armed; trigger points become pure counters again.
+inline void disarm() {
+  detail::state().armed_site.store(-1, std::memory_order_release);
+}
+
+/// Arm from the SUBG_FAULT environment variable ("<site>:<nth>"; nth
+/// defaults to 1 when omitted). Returns false when the variable is unset;
+/// throws subg::Error when it is set but malformed or names an unknown site
+/// (a CI matrix iterating sites must not silently no-op on a typo).
+bool arm_from_env();
+
+/// The armed site name, or "" when disarmed (or already fired).
+[[nodiscard]] inline std::string armed_site() {
+  detail::State& s = detail::state();
+  const int idx = s.armed_site.load(std::memory_order_acquire);
+  if (idx < 0 || s.fired.load(std::memory_order_relaxed)) return "";
+  return std::string(kSites[idx]);
+}
+
+/// All registered site names, in registration order.
+[[nodiscard]] inline std::vector<std::string> sites() {
+  return {kSites, kSites + kSiteCount};
+}
+
+/// The body of a trigger point: count the hit and throw iff this site is
+/// armed, the ordinal matches, and the fault has not fired yet. Called via
+/// SUBG_FAULT_POINT only, so a non-faults build never reaches it.
+inline void hit(std::string_view site) {
+  detail::State& s = detail::state();
+  const int armed = s.armed_site.load(std::memory_order_acquire);
+  const int idx = detail::site_index(site);
+  SUBG_DCHECK(idx >= 0);
+  if (idx < 0) return;
+  const std::uint64_t n =
+      s.hits[idx].fetch_add(1, std::memory_order_relaxed) + 1;
+  if (armed != idx) return;
+  if (n != s.armed_nth.load(std::memory_order_relaxed)) return;
+  bool expected = false;
+  if (!s.fired.compare_exchange_strong(expected, true,
+                                       std::memory_order_acq_rel)) {
+    return;  // another thread's hit already threw for this arming
+  }
+  throw InjectedFault(std::string(site));
+}
+
+}  // namespace subg::fault
+
+// The trigger-point macro. Zero cost (not even a branch) unless the build
+// compiled the fault layer in; the unevaluated sizeof keeps the site
+// expression type-checked either way.
+#ifdef SUBG_FAULTS_ENABLED
+#define SUBG_FAULT_POINT(site) ::subg::fault::hit(site)
+#else
+#define SUBG_FAULT_POINT(site) ((void)sizeof(site))
+#endif

@@ -1,0 +1,333 @@
+#include "util/json_parse.hpp"
+
+#include <cerrno>
+#include <charconv>
+#include <cstdint>
+#include <cstdlib>
+
+namespace subg::json {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::size_t max_depth)
+      : text_(text), max_depth_(max_depth) {}
+
+  ParseResult run() {
+    ParseResult result;
+    skip_ws();
+    if (!parse_value(&result.value)) {
+      result.error = error_;
+      result.offset = error_at_;
+      return result;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      result.value = Value();
+      result.error = "trailing characters after the value";
+      result.offset = pos_;
+    }
+    return result;
+  }
+
+ private:
+  bool fail(const std::string& message) {
+    // Keep the FIRST failure: callees may fail deeper first.
+    if (error_.empty()) {
+      error_ = message;
+      error_at_ = pos_;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool at_end() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+
+  void skip_ws() {
+    while (!at_end()) {
+      const char c = peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool consume_literal(std::string_view word, Value value, Value* out) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return fail("invalid literal");
+    }
+    pos_ += word.size();
+    *out = std::move(value);
+    return true;
+  }
+
+  bool parse_value(Value* out) {
+    if (depth_ >= max_depth_) return fail("nesting too deep");
+    if (at_end()) return fail("unexpected end of input");
+    switch (peek()) {
+      case 'n': return consume_literal("null", Value(), out);
+      case 't': return consume_literal("true", Value(true), out);
+      case 'f': return consume_literal("false", Value(false), out);
+      case '"': {
+        std::string s;
+        if (!parse_string(&s)) return false;
+        *out = Value(std::move(s));
+        return true;
+      }
+      case '[': return parse_array(out);
+      case '{': return parse_object(out);
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_array(Value* out) {
+    ++pos_;  // '['
+    ++depth_;
+    Value array = Value::array();
+    skip_ws();
+    if (!at_end() && peek() == ']') {
+      ++pos_;
+      --depth_;
+      *out = std::move(array);
+      return true;
+    }
+    while (true) {
+      Value element;
+      skip_ws();
+      if (!parse_value(&element)) return false;
+      array.push(std::move(element));
+      skip_ws();
+      if (at_end()) return fail("unterminated array");
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        --depth_;
+        *out = std::move(array);
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parse_object(Value* out) {
+    ++pos_;  // '{'
+    ++depth_;
+    Value object = Value::object();
+    skip_ws();
+    if (!at_end() && peek() == '}') {
+      ++pos_;
+      --depth_;
+      *out = std::move(object);
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (at_end() || peek() != '"') return fail("expected object key string");
+      std::string key;
+      if (!parse_string(&key)) return false;
+      skip_ws();
+      if (at_end() || peek() != ':') return fail("expected ':' after key");
+      ++pos_;
+      skip_ws();
+      Value member;
+      if (!parse_value(&member)) return false;
+      // Duplicate keys: last one wins (set() replaces), like most parsers.
+      object.set(std::move(key), std::move(member));
+      skip_ws();
+      if (at_end()) return fail("unterminated object");
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        --depth_;
+        *out = std::move(object);
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  /// Append one code point as UTF-8.
+  static void append_utf8(std::string* s, std::uint32_t cp) {
+    if (cp < 0x80) {
+      s->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      s->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      s->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      s->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      s->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      s->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      s->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      s->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      s->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      s->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  bool parse_hex4(std::uint32_t* out) {
+    if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<std::size_t>(i)];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        return fail("invalid \\u escape digit");
+      }
+    }
+    pos_ += 4;
+    *out = value;
+    return true;
+  }
+
+  bool parse_string(std::string* out) {
+    ++pos_;  // opening quote
+    out->clear();
+    while (true) {
+      if (at_end()) return fail("unterminated string");
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+      if (at_end()) return fail("truncated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          std::uint32_t cp = 0;
+          if (!parse_hex4(&cp)) return false;
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: require the low half.
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return fail("unpaired surrogate");
+            }
+            pos_ += 2;
+            std::uint32_t low = 0;
+            if (!parse_hex4(&low)) return false;
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return fail("invalid low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return fail("unpaired surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: return fail("invalid escape character");
+      }
+    }
+  }
+
+  bool parse_number(Value* out) {
+    const std::size_t start = pos_;
+    const bool negative = !at_end() && peek() == '-';
+    if (negative) ++pos_;
+    if (at_end() || peek() < '0' || peek() > '9') {
+      pos_ = start;
+      return fail("invalid number");
+    }
+    // Leading zero must not be followed by another digit.
+    if (peek() == '0' && pos_ + 1 < text_.size() && text_[pos_ + 1] >= '0' &&
+        text_[pos_ + 1] <= '9') {
+      return fail("leading zero in number");
+    }
+    bool integral = true;
+    while (!at_end() && peek() >= '0' && peek() <= '9') ++pos_;
+    if (!at_end() && peek() == '.') {
+      integral = false;
+      ++pos_;
+      if (at_end() || peek() < '0' || peek() > '9') {
+        return fail("digit required after decimal point");
+      }
+      while (!at_end() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    if (!at_end() && (peek() == 'e' || peek() == 'E')) {
+      integral = false;
+      ++pos_;
+      if (!at_end() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (at_end() || peek() < '0' || peek() > '9') {
+        return fail("digit required in exponent");
+      }
+      while (!at_end() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (integral) {
+      // from_chars range failure (not a syntax failure — the grammar was
+      // already checked) means the magnitude needs a double.
+      if (negative) {
+        std::int64_t i = 0;
+        const auto res =
+            std::from_chars(token.data(), token.data() + token.size(), i);
+        if (res.ec == std::errc() && res.ptr == token.data() + token.size()) {
+          *out = Value(i);
+          return true;
+        }
+      } else {
+        std::uint64_t u = 0;
+        const auto res =
+            std::from_chars(token.data(), token.data() + token.size(), u);
+        if (res.ec == std::errc() && res.ptr == token.data() + token.size()) {
+          *out = Value(u);
+          return true;
+        }
+      }
+    }
+    // strtod over a bounded copy: from_chars<double> is missing on some
+    // libstdc++ versions this project still builds with.
+    const std::string copy(token);
+    errno = 0;
+    char* end = nullptr;
+    const double d = std::strtod(copy.c_str(), &end);
+    if (end != copy.c_str() + copy.size()) return fail("invalid number");
+    *out = Value(d);
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t max_depth_;
+  std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
+  std::string error_;
+  std::size_t error_at_ = 0;
+};
+
+}  // namespace
+
+ParseResult parse(std::string_view text, std::size_t max_depth) {
+  return Parser(text, max_depth).run();
+}
+
+}  // namespace subg::json

@@ -1,0 +1,37 @@
+// Dependency-free JSON parser — the read side of util/json.hpp.
+//
+// The serve protocol reads one JSON request per line from untrusted
+// clients, so unlike the writer this code must be defensive: every
+// malformed input returns a structured error (position + message), nesting
+// depth is bounded (hostile "[[[[..." input must not overflow the stack),
+// and numbers out of integer range fall back to double instead of invoking
+// UB. Values parse into the same json::Value tree the writer serializes,
+// so parse(dump(v)) round-trips for every tree the writer can emit (modulo
+// non-finite doubles, which the writer encodes as null).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "util/json.hpp"
+
+namespace subg::json {
+
+struct ParseResult {
+  Value value;
+  /// Empty on success; otherwise a one-line description and `offset` is the
+  /// byte position in the input where parsing failed.
+  std::string error;
+  std::size_t offset = 0;
+
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+/// Parse one complete JSON document. Trailing non-whitespace is an error
+/// (a request line must be exactly one value). `max_depth` bounds
+/// container nesting.
+[[nodiscard]] ParseResult parse(std::string_view text,
+                                std::size_t max_depth = 64);
+
+}  // namespace subg::json

@@ -1,0 +1,146 @@
+#include "util/line_io.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <unistd.h>
+
+namespace subg {
+
+namespace {
+constexpr std::size_t kReadChunk = 64 * 1024;
+}  // namespace
+
+LineReader::LineReader(int fd, std::size_t max_line_bytes)
+    : fd_(fd), max_line_bytes_(max_line_bytes) {}
+
+LineReader::Status LineReader::fill(const std::atomic<bool>* interrupt,
+                                    int poll_interval_ms) {
+  while (true) {
+    if (interrupt != nullptr) {
+      if (interrupt->load(std::memory_order_acquire)) {
+        return Status::kInterrupted;
+      }
+      struct pollfd pfd;
+      pfd.fd = fd_;
+      pfd.events = POLLIN;
+      pfd.revents = 0;
+      const int ready = ::poll(&pfd, 1, poll_interval_ms);
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        return Status::kError;
+      }
+      if (ready == 0) continue;  // timeout: re-check the interrupt flag
+    }
+    char chunk[kReadChunk];
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::kError;
+    }
+    if (n == 0) {
+      eof_ = true;
+      return Status::kEof;
+    }
+    buf_.append(chunk, static_cast<std::size_t>(n));
+    return Status::kLine;
+  }
+}
+
+LineReader::Status LineReader::read_line(std::string* line,
+                                         const std::atomic<bool>* interrupt,
+                                         int poll_interval_ms) {
+  line->clear();
+  std::size_t scanned = start_;  // newline search resumes where it left off
+  while (true) {
+    const std::size_t nl = buf_.find('\n', scanned);
+    if (nl != std::string::npos) {
+      const std::size_t length = nl - start_;
+      if (length > max_line_bytes_) {
+        last_line_bytes_ = length;
+        line->assign(buf_, start_, max_line_bytes_);
+        start_ = nl + 1;
+        compact();
+        return Status::kOversized;
+      }
+      line->assign(buf_, start_, length);
+      last_line_bytes_ = length;
+      start_ = nl + 1;
+      compact();
+      return Status::kLine;
+    }
+    // No terminator yet. An over-limit partial line is already rejectable:
+    // keep only the reportable prefix and discard until its newline shows
+    // up, so a hostile endless line cannot grow the buffer unboundedly.
+    if (buf_.size() - start_ > max_line_bytes_ + 1) {
+      std::size_t discarded = buf_.size() - start_;
+      std::string prefix(buf_, start_, max_line_bytes_);
+      buf_.clear();
+      start_ = 0;
+      while (true) {
+        const Status st = fill(interrupt, poll_interval_ms);
+        if (st == Status::kEof) {
+          last_line_bytes_ = discarded;
+          *line = std::move(prefix);
+          return Status::kOversized;
+        }
+        if (st != Status::kLine) return st;
+        const std::size_t end = buf_.find('\n');
+        if (end != std::string::npos) {
+          discarded += end;
+          buf_.erase(0, end + 1);
+          last_line_bytes_ = discarded;
+          *line = std::move(prefix);
+          return Status::kOversized;
+        }
+        discarded += buf_.size();
+        buf_.clear();
+      }
+    }
+    scanned = buf_.size();
+    if (eof_) {
+      if (scanned > start_) {
+        // Final line without a terminator.
+        line->assign(buf_, start_, scanned - start_);
+        last_line_bytes_ = scanned - start_;
+        buf_.clear();
+        start_ = 0;
+        return Status::kLine;
+      }
+      return Status::kEof;
+    }
+    const Status st = fill(interrupt, poll_interval_ms);
+    if (st == Status::kEof) continue;  // flush any final partial line above
+    if (st != Status::kLine) return st;
+  }
+}
+
+void LineReader::compact() {
+  // Drop the consumed prefix once it dominates the buffer, so a long
+  // session cannot accrete every past request.
+  if (start_ > 4096 && start_ * 2 > buf_.size()) {
+    buf_.erase(0, start_);
+    start_ = 0;
+  }
+}
+
+bool write_line(int fd, std::string_view line) {
+  std::string frame;
+  frame.reserve(line.size() + 1);
+  frame.append(line);
+  frame.push_back('\n');
+  std::size_t written = 0;
+  while (written < frame.size()) {
+    const ssize_t n =
+        ::write(fd, frame.data() + written, frame.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace subg

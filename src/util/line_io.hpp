@@ -1,0 +1,76 @@
+// Line-framed IO over POSIX file descriptors, for the serve protocol.
+//
+// The serve daemon frames requests and responses as newline-terminated
+// JSON. std::getline cannot serve that loop: it blocks uninterruptibly (a
+// SIGTERM drain must be able to wake the reader), and it buffers an
+// arbitrarily long line before the caller can reject it (an oversized
+// request must be refused after max_line_bytes, not after exhausting
+// memory). LineReader reads through poll(2) with a bounded buffer:
+//
+//   LineReader reader(STDIN_FILENO, 1 << 20);
+//   std::string line;
+//   switch (reader.read_line(&line, &stop_flag)) { ... }
+//
+// Oversized lines are consumed to their newline (framing survives) and
+// reported as kOversized with the truncated prefix in *line, so the server
+// can answer with a structured rejection and keep serving.
+//
+// write_line appends '\n' and writes the whole frame with a retry loop
+// (partial writes, EINTR), returning false on a broken pipe instead of
+// raising SIGPIPE — callers must have SIGPIPE ignored or blocked.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace subg {
+
+class LineReader {
+ public:
+  enum class Status {
+    kLine,         ///< *line holds one complete line (no terminator)
+    kOversized,    ///< line exceeded max_line_bytes; discarded to newline
+    kEof,          ///< end of stream (a final unterminated line IS returned
+                   ///< as kLine first)
+    kInterrupted,  ///< *interrupt became true while waiting for input
+    kError,        ///< unrecoverable read error (errno-level)
+  };
+
+  /// Reads from `fd`, which stays owned by the caller. Lines longer than
+  /// `max_line_bytes` (terminator excluded) report kOversized.
+  LineReader(int fd, std::size_t max_line_bytes);
+
+  /// Block until one line, EOF, an error, or (when `interrupt` is non-null)
+  /// the flag turning true; the flag is polled every `poll_interval_ms`.
+  Status read_line(std::string* line,
+                   const std::atomic<bool>* interrupt = nullptr,
+                   int poll_interval_ms = 100);
+
+  /// Bytes discarded by the most recent kOversized result (terminator
+  /// excluded; includes the prefix returned in *line).
+  [[nodiscard]] std::size_t last_line_bytes() const {
+    return last_line_bytes_;
+  }
+
+ private:
+  /// Refill buf_ from fd; returns kLine when data arrived.
+  Status fill(const std::atomic<bool>* interrupt, int poll_interval_ms);
+  /// Drop the consumed prefix of buf_ when it gets large.
+  void compact();
+
+  int fd_;
+  std::size_t max_line_bytes_;
+  std::string buf_;      ///< bytes read but not yet consumed
+  std::size_t start_ = 0;  ///< consumed prefix of buf_
+  std::size_t last_line_bytes_ = 0;
+  bool eof_ = false;
+};
+
+/// Write `line` plus '\n' as one frame, retrying partial writes and EINTR.
+/// Returns false when the peer is gone (EPIPE/ECONNRESET) or on any other
+/// write error.
+bool write_line(int fd, std::string_view line);
+
+}  // namespace subg

@@ -6,6 +6,9 @@
 // layer reports.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+
 #include "cells/cells.hpp"
 #include "gen/generators.hpp"
 #include "graph/circuit_graph.hpp"
@@ -74,6 +77,47 @@ TEST(CsrCore, FootprintAccounting) {
   EXPECT_GE(core.bytes(), (nv + 1) * sizeof(std::uint32_t) +
                               nv * (2 * sizeof(Label) + sizeof(std::uint8_t)));
   EXPECT_GE(core.build_seconds(), 0.0);
+}
+
+// --- 32-bit offset overflow guard ------------------------------------------
+// CSR edge offsets are uint32, so a host beyond kMaxEdges edges must be
+// refused BEFORE construction with a structured status, never built into a
+// silently wrapped core. Building a real > 4-billion-edge graph is not an
+// option in a unit test; the boundary arithmetic and the status document
+// are, and the constructor's SUBG_CHECK backstop covers the rest.
+
+TEST(CsrCore, OffsetsFitBoundary) {
+  EXPECT_TRUE(CsrCore::offsets_fit(0));
+  EXPECT_TRUE(CsrCore::offsets_fit(CsrCore::kMaxEdges - 1));
+  EXPECT_TRUE(CsrCore::offsets_fit(CsrCore::kMaxEdges));
+  EXPECT_FALSE(CsrCore::offsets_fit(CsrCore::kMaxEdges + 1));
+  EXPECT_FALSE(CsrCore::offsets_fit(static_cast<std::size_t>(-1)));
+}
+
+TEST(CsrCore, MaxEdgesMatchesTheOffsetWidth) {
+  // The limit IS the uint32 range; if the offset type ever widens, this
+  // test (and the error message in capacity_status) must move with it.
+  EXPECT_EQ(CsrCore::kMaxEdges,
+            static_cast<std::size_t>(
+                std::numeric_limits<std::uint32_t>::max()));
+}
+
+TEST(CsrCore, CapacityStatusCompleteForRealGraphs) {
+  gen::Generated g = gen::c17();
+  CircuitGraph graph(g.netlist);
+  const RunStatus status = CsrCore::capacity_status(graph);
+  EXPECT_TRUE(status.complete());
+  EXPECT_TRUE(status.reason.empty());
+}
+
+TEST(CsrCore, EdgeCountMatchesGraphDegrees) {
+  // capacity_status compares edge_count against the limit; edge_count must
+  // agree with what the builder would actually lay out (sum of degrees).
+  gen::Generated g = gen::ripple_carry_adder(4);
+  CircuitGraph graph(g.netlist);
+  std::size_t total = 0;
+  for (Vertex v = 0; v < graph.vertex_count(); ++v) total += graph.degree(v);
+  EXPECT_EQ(CsrCore::edge_count(graph), total);
 }
 
 }  // namespace

@@ -1,7 +1,11 @@
 #!/usr/bin/env python3
 """Validate a report document against a (small subset of) JSON Schema.
 
-Usage: check_schema.py SCHEMA.json DOC.json [DOC2.json ...]
+Usage: check_schema.py [--jsonl] SCHEMA.json DOC.json [DOC2.json ...]
+
+With --jsonl every non-blank LINE of each DOC file is validated as one
+document (the serve daemon's response-frame transcript format); without it
+each DOC file is one JSON document.
 
 Supports the keywords schema_v1.json actually uses -- type, enum, const,
 required, properties, additionalProperties (bool), items, minimum, oneOf --
@@ -90,25 +94,47 @@ def validate(value, schema, root, path, errors):
             validate(item, schema["items"], root, f"{path}[{i}]", errors)
 
 
+def check_one(doc, schema, label):
+    errors = []
+    validate(doc, schema, schema, "$", errors)
+    if errors:
+        print(f"{label}: INVALID", file=sys.stderr)
+        for err in errors:
+            print(f"  {err}", file=sys.stderr)
+        return 1
+    print(f"{label}: ok")
+    return 0
+
+
 def main(argv):
-    if len(argv) < 3:
+    args = list(argv[1:])
+    jsonl = "--jsonl" in args
+    if jsonl:
+        args.remove("--jsonl")
+    if len(args) < 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    with open(argv[1], encoding="utf-8") as f:
+    with open(args[0], encoding="utf-8") as f:
         schema = json.load(f)
     status = 0
-    for doc_path in argv[2:]:
+    for doc_path in args[1:]:
         with open(doc_path, encoding="utf-8") as f:
-            doc = json.load(f)
-        errors = []
-        validate(doc, schema, schema, "$", errors)
-        if errors:
-            status = 1
-            print(f"{doc_path}: INVALID", file=sys.stderr)
-            for err in errors:
-                print(f"  {err}", file=sys.stderr)
-        else:
-            print(f"{doc_path}: ok")
+            if jsonl:
+                for lineno, line in enumerate(f, start=1):
+                    line = line.strip()
+                    if not line:
+                        continue
+                    label = f"{doc_path}:{lineno}"
+                    try:
+                        doc = json.loads(line)
+                    except json.JSONDecodeError as e:
+                        print(f"{label}: INVALID", file=sys.stderr)
+                        print(f"  not JSON: {e}", file=sys.stderr)
+                        status = 1
+                        continue
+                    status |= check_one(doc, schema, label)
+            else:
+                status |= check_one(json.load(f), schema, doc_path)
     return status
 
 

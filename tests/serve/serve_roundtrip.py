@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Serve answers must be byte-identical to the one-shot CLI.
+
+The warm daemon is an optimization, never a different matcher: for the same
+pattern/host pair, `subgemini serve`'s `find` result document and the
+one-shot `subgemini find --format=json` document must carry identical
+pattern/host/instances/report members -- modulo the wall-clock timing
+fields, which are zeroed on both sides before comparing the canonical JSON
+bytes.  Also covers `lint` against `subgemini lint --format=json`.
+
+Stdlib only.  Exit 0 when every pair matches, 1 otherwise.
+"""
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+
+
+def zero_timings(node):
+    """Zero every *seconds member, recursively, in place."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            if key == "seconds" or key.endswith("_seconds"):
+                node[key] = 0
+            else:
+                zero_timings(value)
+    elif isinstance(node, list):
+        for item in node:
+            zero_timings(item)
+
+
+def canonical(doc, members):
+    picked = {key: doc[key] for key in members if key in doc}
+    missing = [key for key in members if key not in doc]
+    if missing:
+        raise SystemExit(f"document is missing members {missing}: "
+                         f"{json.dumps(doc)[:200]}")
+    zero_timings(picked)
+    return json.dumps(picked, sort_keys=True)
+
+
+def one_shot(binary, argv):
+    done = subprocess.run([binary, *argv], capture_output=True, text=True)
+    if done.returncode != 0:
+        raise SystemExit(f"one-shot {argv} exited {done.returncode}: "
+                         f"{done.stderr}")
+    return json.loads(done.stdout)
+
+
+def serve_once(binary, host_path, request):
+    proc = subprocess.Popen([binary, "serve", host_path],
+                            stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+                            text=True)
+    out, _ = proc.communicate(json.dumps(request) + "\n", timeout=60)
+    if proc.returncode != 0:
+        raise SystemExit(f"serve exited {proc.returncode}")
+    frame = json.loads(out.splitlines()[0])
+    if not frame.get("ok"):
+        raise SystemExit(f"serve answered an error: {out.splitlines()[0]}")
+    return frame["result"]
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--binary", required=True)
+    parser.add_argument("--testdata",
+                        default=os.path.join(HERE, "..", "..", "testdata"))
+    args = parser.parse_args(argv[1:])
+
+    host_path = os.path.join(args.testdata, "mux_host.sp")
+    cells_path = os.path.join(args.testdata, "cells.sp")
+    with open(cells_path, encoding="utf-8") as f:
+        cells_text = f.read()
+
+    failures = 0
+    for cell in ["inv", "nand2", "nor2"]:
+        cli = one_shot(args.binary,
+                       ["find", "--format=json", cells_path, host_path,
+                        f"--pattern-top={cell}"])
+        served = serve_once(args.binary, host_path,
+                            {"id": 0, "op": "find", "pattern": cells_text,
+                             "pattern_top": cell})
+        members = ["pattern", "host", "instances", "report"]
+        if canonical(cli, members) != canonical(served, members):
+            failures += 1
+            print(f"roundtrip: FAIL: find {cell} differs", file=sys.stderr)
+            print(f"  one-shot: {canonical(cli, members)}", file=sys.stderr)
+            print(f"  serve:    {canonical(served, members)}",
+                  file=sys.stderr)
+        else:
+            print(f"roundtrip: find {cell}: identical")
+
+    # Lint an inline deck: that path runs the same lint_deck pipeline
+    # (hierarchy checks + flatten + flat checks) as the one-shot CLI.  The
+    # loaded-host lint intentionally differs -- it lints the warm,
+    # already-flattened netlist.
+    with open(host_path, encoding="utf-8") as f:
+        host_text = f.read()
+    cli = one_shot(args.binary, ["lint", "--format=json", host_path,
+                                 "--fail-on=error"])
+    served = serve_once(args.binary, host_path,
+                        {"id": 0, "op": "lint", "netlist": host_text})
+    if canonical(cli, ["lint"]) != canonical(served, ["lint"]):
+        failures += 1
+        print("roundtrip: FAIL: lint differs", file=sys.stderr)
+    else:
+        print("roundtrip: lint: identical")
+
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,504 @@
+// In-process tests of the serve daemon: a Server over real pipe(2) pairs,
+// driven through the same JSON-lines protocol a client speaks.
+//
+// The robustness contract under test: every failure (malformed line, bad
+// request shape, unknown host, expired deadline, oversized line, full
+// queue, drain) yields ONE schema-shaped error response and the daemon
+// keeps answering; EOF drains every accepted request; shutdown exits 0.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "util/fault.hpp"
+#include "util/json.hpp"
+#include "util/json_parse.hpp"
+#include "util/line_io.hpp"
+
+namespace subg::serve {
+namespace {
+
+std::string testdata(const std::string& file) {
+  return std::string(SUBG_TESTDATA_DIR) + "/" + file;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// A minimal NAND2 pattern deck (same cell the testdata library defines).
+constexpr const char* kNandPattern =
+    ".global vdd gnd\n"
+    ".subckt nand2 a b y\n"
+    "mp0 y a vdd vdd pmos\n"
+    "mp1 y b vdd vdd pmos\n"
+    "mn0 y a x gnd nmos\n"
+    "mn1 x b gnd gnd nmos\n"
+    ".ends\n";
+
+/// One live server over two pipes; the test is the client.
+struct ServeFixture {
+  int req[2] = {-1, -1};   // test writes -> server stdin
+  int resp[2] = {-1, -1};  // server stdout -> test reads
+  std::unique_ptr<Server> server;
+  std::unique_ptr<LineReader> reader;
+  std::thread thread;
+  int exit_code = -1;
+
+  explicit ServeFixture(ServeOptions options) {
+    EXPECT_EQ(pipe(req), 0);
+    EXPECT_EQ(pipe(resp), 0);
+    options.in_fd = req[0];
+    options.out_fd = resp[1];
+    server = std::make_unique<Server>(std::move(options));
+    reader = std::make_unique<LineReader>(resp[0], 1 << 22);
+    thread = std::thread([this] { exit_code = server->run(); });
+  }
+
+  ~ServeFixture() {
+    close_input();
+    if (thread.joinable()) thread.join();
+    for (int fd : {req[0], resp[0], resp[1]}) {
+      if (fd >= 0) close(fd);
+    }
+  }
+
+  void send_line(const std::string& line) {
+    ASSERT_TRUE(write_line(req[1], line));
+  }
+  void send(const json::Value& request) { send_line(request.dump(0)); }
+
+  void close_input() {
+    if (req[1] >= 0) {
+      close(req[1]);
+      req[1] = -1;
+    }
+  }
+
+  /// Read + parse one response frame, asserting the envelope members every
+  /// answer must carry.
+  json::Value next() {
+    std::string line;
+    EXPECT_EQ(reader->read_line(&line), LineReader::Status::kLine) << line;
+    json::ParseResult parsed = json::parse(line);
+    EXPECT_TRUE(parsed.ok()) << line << " -> " << parsed.error;
+    EXPECT_TRUE(parsed.value.is_object());
+    const json::Value* version = parsed.value.find("schema_version");
+    EXPECT_NE(version, nullptr);
+    if (version != nullptr) {
+      EXPECT_EQ(version->as_uint(), 1u);
+    }
+    EXPECT_NE(parsed.value.find("id"), nullptr);
+    EXPECT_NE(parsed.value.find("op"), nullptr);
+    const json::Value* ok = parsed.value.find("ok");
+    EXPECT_NE(ok, nullptr);
+    if (ok != nullptr && ok->dump(0) == "false") {
+      const json::Value* error = parsed.value.find("error");
+      EXPECT_NE(error, nullptr);
+      if (error != nullptr) {
+        EXPECT_NE(error->find("code"), nullptr);
+        EXPECT_NE(error->find("message"), nullptr);
+      }
+    }
+    return std::move(parsed.value);
+  }
+};
+
+bool response_ok(const json::Value& frame) {
+  const json::Value* ok = frame.find("ok");
+  return ok != nullptr && ok->dump(0) == "true";
+}
+
+std::string error_code(const json::Value& frame) {
+  const json::Value* error = frame.find("error");
+  if (error == nullptr || error->find("code") == nullptr) return "";
+  return error->find("code")->as_string();
+}
+
+ServeOptions mux_options() {
+  ServeOptions options;
+  options.hosts.push_back({"mux_host", testdata("mux_host.sp"), ""});
+  options.workers = 2;
+  options.jobs = 2;
+  return options;
+}
+
+json::Value make_request(std::string_view op, std::uint64_t id) {
+  json::Value v = json::Value::object();
+  v.set("id", id);
+  v.set("op", std::string(op));
+  return v;
+}
+
+json::Value find_request(std::uint64_t id,
+                         const std::string& host = std::string()) {
+  json::Value v = make_request("find", id);
+  v.set("pattern", kNandPattern);
+  v.set("pattern_top", "nand2");
+  if (!host.empty()) v.set("host", host);
+  return v;
+}
+
+TEST(Serve, StatusReportsServerShape) {
+  ServeFixture fx(mux_options());
+  fx.send(make_request("status", 1));
+  json::Value frame = fx.next();
+  ASSERT_TRUE(response_ok(frame)) << frame.dump(0);
+  EXPECT_EQ(frame.find("id")->as_uint(), 1u);
+  const json::Value* result = frame.find("result");
+  ASSERT_NE(result, nullptr);
+  ASSERT_NE(result->find("hosts"), nullptr);
+  ASSERT_EQ(result->find("hosts")->elements().size(), 1u);
+  const json::Value& host = result->find("hosts")->elements()[0];
+  EXPECT_EQ(host.find("host")->as_string(), "mux_host");
+  EXPECT_NE(host.find("summary"), nullptr);
+  EXPECT_EQ(result->find("workers")->as_uint(), 2u);
+  const json::Value* queue = result->find("queue");
+  ASSERT_NE(queue, nullptr);
+  EXPECT_NE(queue->find("pending"), nullptr);
+  EXPECT_NE(queue->find("max_pending"), nullptr);
+  const json::Value* counters = result->find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_NE(counters->find("served"), nullptr);
+  EXPECT_NE(counters->find("shed"), nullptr);
+  const json::Value* faults = result->find("faults");
+  ASSERT_NE(faults, nullptr);
+  EXPECT_EQ(faults->find("enabled")->dump(0),
+            fault::kFaultsEnabled ? "true" : "false");
+  EXPECT_EQ(faults->find("sites")->elements().size(), fault::kSiteCount);
+  EXPECT_EQ(result->find("draining")->dump(0), "false");
+}
+
+TEST(Serve, FindReturnsVerifiedInstances) {
+  ServeFixture fx(mux_options());
+  fx.send(find_request(7));
+  json::Value frame = fx.next();
+  ASSERT_TRUE(response_ok(frame)) << frame.dump(0);
+  EXPECT_EQ(frame.find("id")->as_uint(), 7u);
+  EXPECT_EQ(frame.find("op")->as_string(), "find");
+  const json::Value* result = frame.find("result");
+  ASSERT_NE(result, nullptr);
+  ASSERT_NE(result->find("instances"), nullptr);
+  // The same 3 NAND2 gates the one-shot CLI finds in mux_host.sp.
+  EXPECT_EQ(result->find("instances")->elements().size(), 3u);
+  for (const json::Value& inst : result->find("instances")->elements()) {
+    ASSERT_NE(inst.find("ports"), nullptr);
+    ASSERT_NE(inst.find("devices"), nullptr);
+    EXPECT_EQ(inst.find("devices")->elements().size(), 4u);
+  }
+  const json::Value* report = result->find("report");
+  ASSERT_NE(report, nullptr);
+}
+
+TEST(Serve, WarmCacheAnswersRepeatedFindsIdentically) {
+  // The whole point of serving: the second find reuses the warm host state
+  // and must produce the identical instances document.
+  ServeFixture fx(mux_options());
+  fx.send(find_request(1));
+  json::Value first = fx.next();
+  ASSERT_TRUE(response_ok(first));
+  fx.send(find_request(2));
+  json::Value second = fx.next();
+  ASSERT_TRUE(response_ok(second));
+  EXPECT_EQ(first.find("result")->find("instances")->dump(0),
+            second.find("result")->find("instances")->dump(0));
+}
+
+TEST(Serve, MalformedLineIsAnsweredAndServingContinues) {
+  ServeFixture fx(mux_options());
+  fx.send_line("this is not json");
+  json::Value frame = fx.next();
+  EXPECT_FALSE(response_ok(frame));
+  EXPECT_EQ(error_code(frame), "parse_error");
+  // The id cannot be echoed from an unparseable line.
+  EXPECT_EQ(frame.find("id")->kind(), json::Value::Kind::kNull);
+
+  fx.send(make_request("status", 2));
+  EXPECT_TRUE(response_ok(fx.next()));
+}
+
+TEST(Serve, BadRequestShapesAreRejectedStructurally) {
+  ServeFixture fx(mux_options());
+  fx.send_line("[1, 2, 3]");  // JSON, but not an object
+  EXPECT_EQ(error_code(fx.next()), "bad_request");
+
+  fx.send_line(R"({"id": 4, "op": 7})");  // op must be a string
+  EXPECT_EQ(error_code(fx.next()), "bad_request");
+
+  fx.send_line(R"({"id": 5})");  // missing op
+  EXPECT_EQ(error_code(fx.next()), "bad_request");
+
+  fx.send_line(R"({"id": 6, "op": "find", "timeout_ms": -3})");
+  EXPECT_EQ(error_code(fx.next()), "bad_request");
+
+  json::Value no_pattern = make_request("find", 8);
+  fx.send(no_pattern);  // find without a pattern
+  json::Value frame = fx.next();
+  EXPECT_EQ(error_code(frame), "bad_request");
+  EXPECT_EQ(frame.find("id")->as_uint(), 8u);
+
+  fx.send(make_request("frobnicate", 9));
+  EXPECT_EQ(error_code(fx.next()), "unknown_op");
+
+  // After the whole gauntlet the daemon still works.
+  fx.send(find_request(10));
+  EXPECT_TRUE(response_ok(fx.next()));
+}
+
+TEST(Serve, UnknownHostAndSickPatternAreRequestErrors) {
+  ServeFixture fx(mux_options());
+  fx.send(find_request(1, "no_such_host"));
+  EXPECT_EQ(error_code(fx.next()), "unknown_host");
+
+  json::Value sick = make_request("find", 2);
+  sick.set("pattern", ".subckt broken\nmx y a\n");  // unterminated, bad card
+  fx.send(sick);
+  json::Value frame = fx.next();
+  EXPECT_FALSE(response_ok(frame));
+  EXPECT_EQ(error_code(frame), "parse_error");
+
+  fx.send(make_request("status", 3));
+  EXPECT_TRUE(response_ok(fx.next()));
+}
+
+TEST(Serve, ExpiredDeadlineAnswersInBandWithPartialResult) {
+  ServeFixture fx(mux_options());
+  json::Value request = find_request(11);
+  request.set("timeout_ms", 1e-6);  // expires before the first budget poll
+  fx.send(request);
+  json::Value frame = fx.next();
+  EXPECT_FALSE(response_ok(frame));
+  EXPECT_EQ(error_code(frame), "deadline_expired");
+  EXPECT_EQ(frame.find("id")->as_uint(), 11u);
+  // The partial (verified-only) result document still attaches — the
+  // in-band mapping of the one-shot exit-75 contract.
+  const json::Value* result = frame.find("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_NE(result->find("report"), nullptr);
+  EXPECT_NE(result->find("instances"), nullptr);
+
+  // The daemon is not poisoned: the same find without the timeout works.
+  fx.send(find_request(12));
+  EXPECT_TRUE(response_ok(fx.next()));
+}
+
+TEST(Serve, ServerDefaultTimeoutAppliesAndZeroOverridesIt) {
+  ServeOptions options = mux_options();
+  options.request_timeout = 1e-9;  // every defaulted request expires
+  ServeFixture fx(options);
+
+  fx.send(find_request(1));  // no timeout_ms: server default applies
+  EXPECT_EQ(error_code(fx.next()), "deadline_expired");
+
+  json::Value unlimited = find_request(2);
+  unlimited.set("timeout_ms", 0);  // 0 = explicitly unlimited
+  fx.send(unlimited);
+  EXPECT_TRUE(response_ok(fx.next()));
+}
+
+TEST(Serve, LoadInlineThenFindAndReplace) {
+  ServeOptions options;  // no preloaded hosts at all
+  ServeFixture fx(options);
+
+  // With nothing loaded, "" cannot resolve (bad_request: nothing to
+  // default to); a NAMED missing host is unknown_host.
+  fx.send(find_request(1));
+  EXPECT_EQ(error_code(fx.next()), "bad_request");
+  fx.send(find_request(11, "ghost"));
+  EXPECT_EQ(error_code(fx.next()), "unknown_host");
+
+  json::Value load = make_request("load", 2);
+  load.set("name", "inline_mux");
+  load.set("netlist", read_file(testdata("mux_host.sp")));
+  fx.send(load);
+  json::Value frame = fx.next();
+  ASSERT_TRUE(response_ok(frame)) << frame.dump(0);
+  const json::Value* result = frame.find("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(result->find("host")->as_string(), "inline_mux");
+  EXPECT_EQ(result->find("replaced")->dump(0), "false");
+  EXPECT_EQ(result->find("csr_core")->dump(0), "true");
+
+  // The sole loaded host resolves as the default.
+  fx.send(find_request(3));
+  frame = fx.next();
+  ASSERT_TRUE(response_ok(frame)) << frame.dump(0);
+  EXPECT_EQ(frame.find("result")->find("instances")->elements().size(), 3u);
+
+  // Replacing the same name is reported; in-flight semantics are covered
+  // by the shared_ptr design (old references stay valid).
+  fx.send(load);
+  frame = fx.next();
+  ASSERT_TRUE(response_ok(frame));
+  EXPECT_EQ(frame.find("result")->find("replaced")->dump(0), "true");
+
+  json::Value bad_load = make_request("load", 4);
+  bad_load.set("name", "both");
+  bad_load.set("netlist", "x");
+  bad_load.set("path", "/nonexistent");
+  fx.send(bad_load);
+  EXPECT_EQ(error_code(fx.next()), "bad_request");
+}
+
+TEST(Serve, OversizedLineIsSheddedAndFramingSurvives) {
+  ServeOptions options = mux_options();
+  options.max_request_bytes = 96;
+  ServeFixture fx(options);
+
+  std::string big = R"({"id": 1, "op": "lint", "netlist": ")";
+  big += std::string(500, 'x');
+  big += "\"}";
+  fx.send_line(big);
+  json::Value frame = fx.next();
+  EXPECT_FALSE(response_ok(frame));
+  EXPECT_EQ(error_code(frame), "oversized");
+  // Fast rejection is id-less by design: echoing the id would require
+  // parsing the very line being refused.
+  EXPECT_EQ(frame.find("id")->kind(), json::Value::Kind::kNull);
+
+  // The long line was consumed exactly to its newline: the next (short)
+  // request parses cleanly.
+  fx.send(make_request("status", 2));
+  frame = fx.next();
+  ASSERT_TRUE(response_ok(frame));
+  EXPECT_EQ(frame.find("id")->as_uint(), 2u);
+  EXPECT_EQ(frame.find("result")
+                ->find("counters")
+                ->find("oversized")
+                ->as_uint(),
+            1u);
+}
+
+TEST(Serve, EofDrainStillAnswersEveryAcceptedRequest) {
+  // A client that writes N requests and closes stdin gets N answers: EOF
+  // stops intake, never the workers.
+  ServeFixture fx(mux_options());
+  constexpr std::uint64_t kRequests = 5;
+  for (std::uint64_t i = 0; i < kRequests; ++i) fx.send(find_request(i));
+  fx.close_input();
+
+  std::map<std::uint64_t, bool> answered;  // id -> ok (workers race, ids sort)
+  for (std::uint64_t i = 0; i < kRequests; ++i) {
+    json::Value frame = fx.next();
+    answered[frame.find("id")->as_uint()] = response_ok(frame);
+  }
+  ASSERT_EQ(answered.size(), kRequests);
+  for (const auto& [id, ok] : answered) {
+    EXPECT_TRUE(ok) << "request " << id;
+  }
+  fx.thread.join();
+  EXPECT_EQ(fx.exit_code, 0);
+}
+
+TEST(Serve, ShutdownOpDrainsAndExitsZero) {
+  ServeFixture fx(mux_options());
+  fx.send(make_request("shutdown", 99));
+  json::Value frame = fx.next();
+  ASSERT_TRUE(response_ok(frame));
+  EXPECT_EQ(frame.find("result")->find("draining")->dump(0), "true");
+  fx.thread.join();
+  EXPECT_EQ(fx.exit_code, 0);
+}
+
+TEST(Serve, FullQueueShedsAndDrainAnswersQueuedRequests) {
+  // One worker wedged on a slow load (a FIFO with no writer), a one-slot
+  // queue: the next request queues, the one after that is shed with
+  // `overloaded`; a drain then answers the queued request `shutting_down`
+  // once the worker is unwedged.
+  char dir_template[] = "/tmp/subg_serve_test_XXXXXX";
+  char* dir = mkdtemp(dir_template);
+  ASSERT_NE(dir, nullptr);
+  const std::string fifo = std::string(dir) + "/slow.fifo";
+  ASSERT_EQ(mkfifo(fifo.c_str(), 0600), 0);
+
+  {
+    ServeOptions options;
+    options.workers = 1;
+    options.max_pending = 1;
+    ServeFixture fx(options);
+
+    json::Value slow_load = make_request("load", 1);
+    slow_load.set("name", "slow");
+    slow_load.set("path", fifo);
+    fx.send(slow_load);
+    // Let the single worker pop the load and block opening the FIFO.
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+
+    // `find` (not `status`: status still executes during a drain, which is
+    // what lets operators watch a draining server).
+    fx.send(find_request(2));            // fills the 1-slot queue
+    fx.send(make_request("status", 3));  // queue full: shed immediately
+    json::Value shed = fx.next();
+    EXPECT_FALSE(response_ok(shed));
+    EXPECT_EQ(error_code(shed), "overloaded");
+    EXPECT_EQ(shed.find("id")->kind(), json::Value::Kind::kNull);
+
+    fx.server->request_shutdown();
+    // Unwedge the load: open the writer side and give it EOF.
+    const int wfd = open(fifo.c_str(), O_WRONLY);
+    ASSERT_GE(wfd, 0);
+    close(wfd);
+
+    // The wedged load answers (an empty FIFO is a parse error — the point
+    // is the worker survived), then the queued request is drained.
+    json::Value load_frame = fx.next();
+    EXPECT_EQ(load_frame.find("id")->as_uint(), 1u);
+    json::Value queued = fx.next();
+    EXPECT_EQ(queued.find("id")->as_uint(), 2u);
+    EXPECT_EQ(error_code(queued), "shutting_down");
+
+    fx.thread.join();
+    EXPECT_EQ(fx.exit_code, 0);
+  }
+  unlink(fifo.c_str());
+  rmdir(dir);
+}
+
+TEST(Serve, InjectedFaultIsContainedToOneResponse) {
+  if (!fault::kFaultsEnabled) {
+    GTEST_SKIP() << "built without -DSUBG_FAULTS=ON";
+  }
+  ServeFixture fx(mux_options());
+  // Warm up so arming cannot hit a concurrent stray dispatch.
+  fx.send(make_request("status", 1));
+  ASSERT_TRUE(response_ok(fx.next()));
+
+  ASSERT_TRUE(fault::arm("serve.dispatch", 1));
+  fx.send(make_request("status", 2));
+  json::Value frame = fx.next();
+  EXPECT_FALSE(response_ok(frame));
+  EXPECT_EQ(error_code(frame), "injected_fault");
+
+  // One throw per arming: the daemon serves normally afterwards.
+  fx.send(make_request("status", 3));
+  EXPECT_TRUE(response_ok(fx.next()));
+  fault::disarm();
+}
+
+TEST(Serve, MissingConfiguredHostExitsDataError) {
+  ServeOptions options;
+  options.hosts.push_back({"ghost", "/nonexistent/ghost.sp", ""});
+  ServeFixture fx(options);
+  fx.close_input();
+  fx.thread.join();
+  EXPECT_EQ(fx.exit_code, 65);
+}
+
+}  // namespace
+}  // namespace subg::serve

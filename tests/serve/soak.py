@@ -1,0 +1,298 @@
+#!/usr/bin/env python3
+"""Soak `subgemini serve` with a seeded, randomized request stream.
+
+Drives one server process with a mixed stream -- valid finds/lints/status,
+malformed JSON, structurally bad requests, oversized lines, deadline-blown
+finds -- and holds the daemon to its contract on every single line:
+
+  * every request line is answered with exactly one schema-valid frame
+    (validated against tests/report/schema_v1.json);
+  * answered ids match sent ids; unparseable/oversized lines answer id=null;
+  * each request kind gets its designated error code (or ok);
+  * after the whole stream, a final well-formed find still answers
+    correctly -- the daemon survived everything.
+
+With --fault-smoke it instead iterates every registered fault-injection
+site: one server per site armed via SUBG_FAULT=<site>:1, asserting the
+fault surfaces as one `injected_fault` response and the next request is
+answered normally.  In a build without -DSUBG_FAULTS=ON this mode reports
+"faults disabled" and exits 0.
+
+Stdlib only.  Exit 0 on success, 1 on any contract violation.
+"""
+import argparse
+import importlib.util
+import json
+import os
+import random
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+
+
+def load_schema_checker(path):
+    spec = importlib.util.spec_from_file_location("check_schema", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class Failures:
+    def __init__(self):
+        self.count = 0
+
+    def __call__(self, message):
+        self.count += 1
+        print(f"soak: FAIL: {message}", file=sys.stderr)
+
+
+class Server:
+    def __init__(self, binary, host, flags=(), env_extra=None):
+        env = dict(os.environ)
+        if env_extra:
+            env.update(env_extra)
+        self.proc = subprocess.Popen(
+            [binary, "serve", *flags, host],
+            stdin=subprocess.PIPE, stdout=subprocess.PIPE, text=True, env=env)
+
+    def send_lines(self, lines):
+        for line in lines:
+            self.proc.stdin.write(line + "\n")
+        self.proc.stdin.flush()
+
+    def read_frame(self):
+        line = self.proc.stdout.readline()
+        if not line:
+            raise EOFError("server closed stdout mid-stream")
+        return json.loads(line), line
+
+    def finish(self):
+        """Close input (drain) and return the exit code."""
+        self.proc.stdin.close()
+        return self.proc.wait(timeout=60)
+
+
+def make_stream(rng, cells_text, cell_names, oversized_bytes):
+    """One (line, expectation) pair.  expectation is (id, codes) where codes
+    is the set of acceptable error codes, or None for a must-succeed
+    request; id is None for lines that by contract answer id=null."""
+    kind = rng.choices(
+        ["find", "status", "lint", "deadline", "bad_shape", "malformed",
+         "oversized"],
+        weights=[30, 10, 10, 10, 15, 15, 10])[0]
+    rid = rng.randrange(1 << 30)
+    if kind == "find":
+        request = {"id": rid, "op": "find", "pattern": cells_text,
+                   "pattern_top": rng.choice(cell_names)}
+        return json.dumps(request), (rid, None)
+    if kind == "status":
+        return json.dumps({"id": rid, "op": "status"}), (rid, None)
+    if kind == "lint":
+        return json.dumps({"id": rid, "op": "lint"}), (rid, None)
+    if kind == "deadline":
+        request = {"id": rid, "op": "find", "pattern": cells_text,
+                   "pattern_top": rng.choice(cell_names),
+                   "timeout_ms": 1e-6}
+        return json.dumps(request), (rid, {"deadline_expired"})
+    if kind == "bad_shape":
+        # Shapes rejected at the parse layer answer id=null (the decoded
+        # Request carrying the id is discarded); shapes rejected at
+        # dispatch echo the id.
+        line, codes, echoed = rng.choice([
+            (json.dumps({"id": rid, "op": 7}), {"bad_request"}, False),
+            (json.dumps({"id": rid}), {"bad_request"}, False),
+            (json.dumps({"id": rid, "op": "find", "timeout_ms": -3}),
+             {"bad_request"}, False),
+            (json.dumps({"id": rid, "op": "frobnicate"}), {"unknown_op"},
+             True),
+            (json.dumps({"id": rid, "op": "find"}), {"bad_request"}, True),
+            (json.dumps({"id": rid, "op": "find", "pattern": cells_text,
+                         "pattern_top": "nand2", "host": "no_such_host"}),
+             {"unknown_host"}, True),
+        ])
+        return line, (rid if echoed else None, codes)
+    if kind == "malformed":
+        line = rng.choice([
+            "{", "not json at all", '{"id": 1,, "op"}', "[1, 2",
+            '"just a string"',  # parses, but a frame must be an object
+            "{} {}",
+        ])
+        return line, (None, {"parse_error", "bad_request"})
+    # oversized: longer than --max-request-bytes, still newline-framed.
+    return "x" * (oversized_bytes + 1), (None, {"oversized"})
+
+
+def check_frame(frame, checker, schema, fail, context):
+    errors = []
+    checker.validate(frame, schema, schema, "$", errors)
+    for err in errors:
+        fail(f"{context}: schema violation: {err}")
+
+
+def run_soak(args, checker, schema):
+    fail = Failures()
+    rng = random.Random(args.seed)
+    host_path = os.path.join(args.testdata, "mux_host.sp")
+    with open(os.path.join(args.testdata, "cells.sp"), encoding="utf-8") as f:
+        cells_text = f.read()
+    cell_names = ["inv", "nand2", "nor2"]
+
+    max_bytes = len(cells_text) + 4096
+    server = Server(args.binary, host_path,
+                    ["--serve-workers=2", "--max-pending=64",
+                     f"--max-request-bytes={max_bytes}"])
+
+    sent = 0
+    while sent < args.requests:
+        burst = min(rng.randrange(1, 5), args.requests - sent)
+        lines, expectations = [], {}
+        null_codes = []
+        for _ in range(burst):
+            line, (rid, codes) = make_stream(rng, cells_text, cell_names,
+                                             max_bytes)
+            lines.append(line)
+            if rid is None:
+                null_codes.append(codes)
+            else:
+                expectations[rid] = codes
+        server.send_lines(lines)
+        answered_null = 0
+        for _ in range(burst):
+            frame, raw = server.read_frame()
+            context = f"request {sent}..{sent + burst}"
+            check_frame(frame, checker, schema, fail, context)
+            rid = frame.get("id")
+            if rid is None:
+                answered_null += 1
+                code = frame.get("error", {}).get("code")
+                if not any(code in codes for codes in null_codes):
+                    fail(f"{context}: unexpected id=null code {code!r}")
+            elif rid not in expectations:
+                fail(f"{context}: answer for an id never sent: {rid}")
+            else:
+                codes = expectations.pop(rid)
+                if codes is None:
+                    if not frame.get("ok"):
+                        fail(f"{context}: id {rid} should succeed, got "
+                             f"{raw.strip()}")
+                else:
+                    code = frame.get("error", {}).get("code")
+                    if code not in codes:
+                        fail(f"{context}: id {rid} expected {codes}, "
+                             f"got {code!r}")
+        if expectations:
+            fail(f"unanswered ids in burst: {sorted(expectations)}")
+        if answered_null != len(null_codes):
+            fail(f"expected {len(null_codes)} id=null answers, "
+                 f"got {answered_null}")
+        sent += burst
+
+    # The daemon must still answer a canonical request correctly.
+    final = {"id": "final", "op": "find", "pattern": cells_text,
+             "pattern_top": "nand2"}
+    server.send_lines([json.dumps(final)])
+    frame, raw = server.read_frame()
+    check_frame(frame, checker, schema, fail, "final find")
+    if not frame.get("ok") or frame.get("id") != "final":
+        fail(f"final find not answered ok: {raw.strip()}")
+    elif len(frame["result"]["instances"]) != 3:
+        fail(f"final find found {len(frame['result']['instances'])} "
+             "nand2 instances, wanted 3")
+
+    code = server.finish()
+    if code != 0:
+        fail(f"server exit code {code} after drain, wanted 0")
+    print(f"soak: {args.requests} requests, seed {args.seed}, "
+          f"{fail.count} failure(s)")
+    return 1 if fail.count else 0
+
+
+def run_fault_smoke(args, checker, schema):
+    fail = Failures()
+    host_path = os.path.join(args.testdata, "mux_host.sp")
+    with open(os.path.join(args.testdata, "cells.sp"), encoding="utf-8") as f:
+        cells_text = f.read()
+
+    probe = Server(args.binary, host_path)
+    probe.send_lines([json.dumps({"id": 0, "op": "status"})])
+    status, _ = probe.read_frame()
+    probe.finish()
+    faults = status["result"]["faults"]
+    if not faults["enabled"]:
+        print("soak: faults disabled in this build, nothing to smoke")
+        return 0
+
+    find = json.dumps({"id": 1, "op": "find", "pattern": cells_text,
+                       "pattern_top": "nand2"})
+    for site in faults["sites"]:
+        # Some sites are also crossed while the configured host loads at
+        # startup (e.g. parse.netlist); an armed fault firing there exits
+        # 65 before serving.  Escalate nth past the startup crossings until
+        # the fault lands inside the request -- every site is crossed at
+        # least once per find, so the first surviving nth fires in-request.
+        for nth in range(1, 8):
+            server = Server(args.binary, host_path,
+                            env_extra={"SUBG_FAULT": f"{site}:{nth}"})
+            try:
+                server.send_lines([find])
+                frame, raw = server.read_frame()
+            except (EOFError, BrokenPipeError):
+                code = server.proc.wait(timeout=30)
+                if code != 65:
+                    fail(f"site {site}:{nth}: startup fault exited {code}, "
+                         "wanted 65")
+                continue  # fired during host load; aim past it
+            break
+        else:
+            fail(f"site {site}: never reached a request within 7 arming"
+                 " ordinals")
+            continue
+        check_frame(frame, checker, schema, fail, f"site {site}")
+        code = frame.get("error", {}).get("code")
+        if frame.get("ok") or code != "injected_fault":
+            fail(f"site {site}: first request answered {raw.strip()}, "
+                 "wanted injected_fault")
+        # The fault fired once; the daemon must now serve normally.
+        server.send_lines([find])
+        frame, raw = server.read_frame()
+        check_frame(frame, checker, schema, fail, f"site {site} (after)")
+        if not frame.get("ok"):
+            fail(f"site {site}: service did not continue: {raw.strip()}")
+        elif len(frame["result"]["instances"]) != 3:
+            fail(f"site {site}: post-fault find degraded: {raw.strip()}")
+        code = server.finish()
+        if code != 0:
+            fail(f"site {site}: server exit {code} after drain, wanted 0")
+        print(f"soak: site {site} (nth={nth}): contained, service continued")
+    print(f"soak: {len(faults['sites'])} fault site(s), "
+          f"{fail.count} failure(s)")
+    return 1 if fail.count else 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--binary", required=True)
+    parser.add_argument("--testdata",
+                        default=os.path.join(HERE, "..", "..", "testdata"))
+    parser.add_argument("--schema",
+                        default=os.path.join(HERE, "..", "report",
+                                             "schema_v1.json"))
+    parser.add_argument("--checker",
+                        default=os.path.join(HERE, "..", "report",
+                                             "check_schema.py"))
+    parser.add_argument("--requests", type=int, default=1000)
+    parser.add_argument("--seed", type=int, default=20260809)
+    parser.add_argument("--fault-smoke", action="store_true")
+    args = parser.parse_args(argv[1:])
+
+    checker = load_schema_checker(args.checker)
+    with open(args.schema, encoding="utf-8") as f:
+        schema = json.load(f)
+    if args.fault_smoke:
+        return run_fault_smoke(args, checker, schema)
+    return run_soak(args, checker, schema)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

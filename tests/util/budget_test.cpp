@@ -1,0 +1,235 @@
+// Budget / CancelToken / RunStatus edge cases.
+//
+// The serve daemon maps these semantics straight onto wire responses
+// (deadline_expired, cancelled), so the edges — a budget already expired at
+// construction, a zero-second timeout, cancellation racing a deadline, and
+// the escalate/merge ordering of RunStatus — are contract, not trivia.
+#include <gtest/gtest.h>
+
+#include "match/matcher.hpp"
+#include "match/phase2.hpp"
+#include "util/budget.hpp"
+
+#include "../match/test_circuits.hpp"
+
+namespace subg {
+namespace {
+
+TEST(Budget, DefaultIsUnlimited) {
+  Budget b;
+  EXPECT_FALSE(b.has_deadline());
+  EXPECT_FALSE(b.limited());
+  RunOutcome why = RunOutcome::kComplete;
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(b.interrupted(&why));
+  EXPECT_EQ(why, RunOutcome::kComplete);
+}
+
+TEST(Budget, ZeroTimeoutExpiresAtFirstPoll) {
+  // Budget::after(0) has its deadline in the past (or exactly now) by the
+  // time anyone polls; the very first interrupted() call must say so — a
+  // zero-second sweep that reports kComplete would be a silent truncation.
+  Budget b = Budget::after(0.0);
+  EXPECT_TRUE(b.has_deadline());
+  EXPECT_TRUE(b.limited());
+  RunOutcome why = RunOutcome::kComplete;
+  EXPECT_TRUE(b.interrupted(&why));
+  EXPECT_EQ(why, RunOutcome::kDeadlineExceeded);
+}
+
+TEST(Budget, NegativeTimeoutExpiresAtFirstPoll) {
+  Budget b = Budget::after(-5.0);
+  RunOutcome why = RunOutcome::kComplete;
+  EXPECT_TRUE(b.interrupted(&why));
+  EXPECT_EQ(why, RunOutcome::kDeadlineExceeded);
+}
+
+TEST(Budget, ExpiryLatches) {
+  // Deadlines never un-expire: every poll after the first expired one must
+  // agree, including the strided polls that skip the clock read.
+  Budget b = Budget::after(0.0);
+  ASSERT_TRUE(b.interrupted());
+  for (int i = 0; i < 200; ++i) {
+    RunOutcome why = RunOutcome::kComplete;
+    EXPECT_TRUE(b.interrupted(&why));
+    EXPECT_EQ(why, RunOutcome::kDeadlineExceeded);
+  }
+}
+
+TEST(Budget, StridedPollingStillCatchesExpiry) {
+  // The clock is sampled only every kStride polls. Arm a deadline that
+  // expires immediately but poll a fresh *copy* first so the stride counter
+  // is mid-cycle; expiry must still surface within one stride.
+  Budget b = Budget::after(3600.0);  // far future: polls return false
+  for (int i = 0; i < 17; ++i) ASSERT_FALSE(b.interrupted());
+  b.set_deadline_after(0.0);  // now in the past
+  bool caught = false;
+  for (int i = 0; i < 65 && !caught; ++i) caught = b.interrupted();
+  EXPECT_TRUE(caught);
+}
+
+TEST(Budget, CancelTokenAloneLimits) {
+  CancelToken token;
+  Budget b;
+  b.set_cancel_token(&token);
+  EXPECT_TRUE(b.limited());
+  EXPECT_FALSE(b.has_deadline());
+  EXPECT_FALSE(b.interrupted());
+  token.request();
+  RunOutcome why = RunOutcome::kComplete;
+  EXPECT_TRUE(b.interrupted(&why));
+  EXPECT_EQ(why, RunOutcome::kCancelled);
+  token.reset();
+  EXPECT_FALSE(b.interrupted());
+}
+
+TEST(Budget, CancellationWinsOverExpiredDeadline) {
+  // Both conditions hold; the documented precedence is cancellation.
+  CancelToken token;
+  token.request();
+  Budget b = Budget::after(0.0);
+  b.set_cancel_token(&token);
+  RunOutcome why = RunOutcome::kComplete;
+  EXPECT_TRUE(b.interrupted(&why));
+  EXPECT_EQ(why, RunOutcome::kCancelled);
+}
+
+TEST(Budget, CopiesShareTokenAndDeadline) {
+  CancelToken token;
+  Budget a = Budget::after(3600.0);
+  a.set_cancel_token(&token);
+  Budget b = a;  // a phase receiving the budget by value
+  token.request();
+  RunOutcome why = RunOutcome::kComplete;
+  EXPECT_TRUE(b.interrupted(&why));
+  EXPECT_EQ(why, RunOutcome::kCancelled);
+}
+
+TEST(RunStatus, EscalateOnlyIncreasesSeverity) {
+  RunStatus s;
+  EXPECT_TRUE(s.complete());
+  s.escalate(RunOutcome::kTruncated, "cap A");
+  EXPECT_EQ(s.outcome, RunOutcome::kTruncated);
+  EXPECT_EQ(s.reason, "cap A");
+  // A later escalation to the SAME level keeps the first reason.
+  s.escalate(RunOutcome::kTruncated, "cap B");
+  EXPECT_EQ(s.reason, "cap A");
+  // De-escalation is a no-op.
+  s.escalate(RunOutcome::kComplete, "never");
+  EXPECT_EQ(s.outcome, RunOutcome::kTruncated);
+  EXPECT_EQ(s.reason, "cap A");
+  // Strictly higher severity replaces outcome and reason.
+  s.escalate(RunOutcome::kCancelled, "caller cancelled");
+  EXPECT_EQ(s.outcome, RunOutcome::kCancelled);
+  EXPECT_EQ(s.reason, "caller cancelled");
+}
+
+TEST(RunStatus, MergeKeepsWorstAndAccumulatesCounters) {
+  RunStatus a;
+  a.escalate(RunOutcome::kTruncated, "pass cap");
+  a.candidates_skipped = 3;
+  a.guesses_abandoned = 1;
+
+  RunStatus b;
+  b.escalate(RunOutcome::kDeadlineExceeded, "deadline: phase2");
+  b.candidates_skipped = 4;
+  b.guesses_abandoned = 2;
+
+  a.merge(b);
+  EXPECT_EQ(a.outcome, RunOutcome::kDeadlineExceeded);
+  EXPECT_EQ(a.reason, "deadline: phase2");
+  EXPECT_EQ(a.candidates_skipped, 7u);
+  EXPECT_EQ(a.guesses_abandoned, 3u);
+
+  // Merging a milder status changes counters only.
+  RunStatus c;
+  c.escalate(RunOutcome::kTruncated, "milder");
+  c.candidates_skipped = 5;
+  a.merge(c);
+  EXPECT_EQ(a.outcome, RunOutcome::kDeadlineExceeded);
+  EXPECT_EQ(a.reason, "deadline: phase2");
+  EXPECT_EQ(a.candidates_skipped, 12u);
+}
+
+TEST(RunStatus, MergeOrderIndependentForOutcome) {
+  RunStatus x, y;
+  x.escalate(RunOutcome::kCancelled, "cancel");
+  y.escalate(RunOutcome::kTruncated, "cap");
+  RunStatus xy = x;
+  xy.merge(y);
+  RunStatus yx = y;
+  yx.merge(x);
+  EXPECT_EQ(xy.outcome, yx.outcome);
+  EXPECT_EQ(xy.outcome, RunOutcome::kCancelled);
+}
+
+// ---------------------------------------------------------------------------
+// Cancellation observed by the matcher itself.
+
+struct NandFixture {
+  test::Cmos3 c;
+  Netlist pattern = c.nand2_pattern(/*global_rails=*/true);
+  Netlist host = c.netlist("host");
+
+  NandFixture() {
+    NetId vdd = host.add_net("vdd"), gnd = host.add_net("gnd");
+    host.mark_global(vdd);
+    host.mark_global(gnd);
+    NetId prev = host.add_net("pi");
+    for (int i = 0; i < 4; ++i) {
+      NetId other = host.add_net("b" + std::to_string(i));
+      NetId y = host.add_net("y" + std::to_string(i));
+      c.nand2(host, prev, other, y, vdd, gnd);
+      prev = y;
+    }
+  }
+};
+
+TEST(BudgetMatcher, PreArmedCancelYieldsCancelledOutcome) {
+  // A token requested before find_all(): the first budget poll (Phase I)
+  // observes it, the run reports kCancelled, and no instance is invented.
+  NandFixture f;
+  CancelToken token;
+  token.request();
+  MatchOptions opts;
+  opts.budget.set_cancel_token(&token);
+  MatchReport report = SubgraphMatcher(f.pattern, f.host, opts).find_all();
+  EXPECT_EQ(report.status.outcome, RunOutcome::kCancelled);
+  EXPECT_FALSE(report.status.complete());
+  EXPECT_FALSE(report.status.reason.empty());
+}
+
+TEST(BudgetMatcher, CancelDuringPhase2IsReported) {
+  // Drive Phase II directly with a cancelled budget: Phase I's candidates
+  // are computed first (un-governed), so the cancellation is observed by
+  // the verifier itself — the phase the serve daemon spends its time in.
+  NandFixture f;
+  CircuitGraph pattern(f.pattern);
+  CircuitGraph host(f.host);
+  Phase1Result p1 = run_phase1(pattern, host);
+  ASSERT_FALSE(p1.candidates.empty());
+
+  CancelToken token;
+  token.request();
+  Phase2Options opts;
+  opts.budget.set_cancel_token(&token);
+  Phase2Verifier verifier(pattern, host, opts);
+  ASSERT_TRUE(verifier.globals_resolved());
+  EXPECT_EQ(verifier.verify(p1.key, p1.candidates.front()), std::nullopt);
+  EXPECT_EQ(verifier.status().outcome, RunOutcome::kCancelled);
+}
+
+TEST(BudgetMatcher, UncancelledRunStaysComplete) {
+  // Control: the same fixture with a token that is never requested matches
+  // all four gates and reports kComplete — limited() alone must not taint
+  // the outcome.
+  NandFixture f;
+  CancelToken token;
+  MatchOptions opts;
+  opts.budget.set_cancel_token(&token);
+  MatchReport report = SubgraphMatcher(f.pattern, f.host, opts).find_all();
+  EXPECT_TRUE(report.status.complete());
+  EXPECT_EQ(report.count(), 4u);
+}
+
+}  // namespace
+}  // namespace subg

@@ -1,0 +1,145 @@
+// util/fault.hpp — deterministic fault injection.
+//
+// The arming API and the hit() semantics are always compiled (only the
+// SUBG_FAULT_POINT macro is build-gated), so this test drives hit()
+// directly and passes in every build flavor. The contract under test is
+// what the serve soak leg relies on: exactly one throw per arming, at the
+// exact 1-based ordinal, and a loud failure on a typo'd site name.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/fault.hpp"
+
+namespace subg::fault {
+namespace {
+
+/// Every test must leave the process disarmed; a leaked arming would make
+/// an unrelated test throw.
+struct FaultGuard {
+  FaultGuard() { disarm(); }
+  ~FaultGuard() {
+    disarm();
+    unsetenv("SUBG_FAULT");
+  }
+};
+
+TEST(Fault, RegistryIsFixedAndNonEmpty) {
+  const std::vector<std::string> names = sites();
+  ASSERT_EQ(names.size(), kSiteCount);
+  EXPECT_NE(kSiteCount, 0u);
+  // The serve status op and the CI matrix both iterate this list; spot
+  // check the sites the soak leg depends on.
+  EXPECT_NE(std::find(names.begin(), names.end(), "parse.request"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "serve.dispatch"),
+            names.end());
+}
+
+TEST(Fault, DisarmedHitsAreCountersOnly) {
+  FaultGuard guard;
+  for (int i = 0; i < 10; ++i) EXPECT_NO_THROW(hit("phase1"));
+  EXPECT_EQ(armed_site(), "");
+}
+
+TEST(Fault, ArmRejectsUnknownSiteAndZeroOrdinal) {
+  FaultGuard guard;
+  EXPECT_FALSE(arm("no.such.site", 1));
+  EXPECT_FALSE(arm("phase1", 0));
+  EXPECT_EQ(armed_site(), "");
+  // A rejected arm must not have half-armed anything.
+  EXPECT_NO_THROW(hit("phase1"));
+}
+
+TEST(Fault, FiresExactlyOnceAtTheArmedOrdinal) {
+  FaultGuard guard;
+  ASSERT_TRUE(arm("phase2", 3));
+  EXPECT_EQ(armed_site(), "phase2");
+  EXPECT_NO_THROW(hit("phase2"));  // 1st
+  EXPECT_NO_THROW(hit("phase2"));  // 2nd
+  bool threw = false;
+  try {
+    hit("phase2");  // 3rd: fires
+  } catch (const InjectedFault& fault) {
+    threw = true;
+    EXPECT_EQ(fault.site(), "phase2");
+    // InjectedFault derives from Error so existing isolation boundaries
+    // contain it; the message names the site.
+    EXPECT_NE(std::string(fault.what()).find("phase2"), std::string::npos);
+  }
+  EXPECT_TRUE(threw);
+  // Fired latch: the same arming never throws twice.
+  for (int i = 0; i < 5; ++i) EXPECT_NO_THROW(hit("phase2"));
+  EXPECT_EQ(armed_site(), "");  // reported as disarmed once fired
+}
+
+TEST(Fault, OtherSitesStayInertWhileArmed) {
+  FaultGuard guard;
+  ASSERT_TRUE(arm("cache", 1));
+  EXPECT_NO_THROW(hit("phase1"));
+  EXPECT_NO_THROW(hit("parse.netlist"));
+  EXPECT_THROW(hit("cache"), InjectedFault);
+}
+
+TEST(Fault, RearmingResetsTheCounter) {
+  FaultGuard guard;
+  ASSERT_TRUE(arm("phase1", 2));
+  EXPECT_NO_THROW(hit("phase1"));
+  EXPECT_THROW(hit("phase1"), InjectedFault);
+  // Re-arm at nth=2: the counter starts over, so one hit is again safe.
+  ASSERT_TRUE(arm("phase1", 2));
+  EXPECT_NO_THROW(hit("phase1"));
+  EXPECT_THROW(hit("phase1"), InjectedFault);
+}
+
+TEST(Fault, DisarmStopsAnArmedFault) {
+  FaultGuard guard;
+  ASSERT_TRUE(arm("serve.dispatch", 1));
+  disarm();
+  EXPECT_EQ(armed_site(), "");
+  EXPECT_NO_THROW(hit("serve.dispatch"));
+}
+
+TEST(Fault, ArmFromEnvUnsetIsFalse) {
+  FaultGuard guard;
+  unsetenv("SUBG_FAULT");
+  EXPECT_FALSE(arm_from_env());
+  EXPECT_EQ(armed_site(), "");
+}
+
+TEST(Fault, ArmFromEnvParsesSiteAndOrdinal) {
+  FaultGuard guard;
+  setenv("SUBG_FAULT", "phase1:2", 1);
+  EXPECT_TRUE(arm_from_env());
+  EXPECT_EQ(armed_site(), "phase1");
+  EXPECT_NO_THROW(hit("phase1"));
+  EXPECT_THROW(hit("phase1"), InjectedFault);
+}
+
+TEST(Fault, ArmFromEnvOrdinalDefaultsToOne) {
+  FaultGuard guard;
+  setenv("SUBG_FAULT", "parse.request", 1);
+  EXPECT_TRUE(arm_from_env());
+  EXPECT_THROW(hit("parse.request"), InjectedFault);
+}
+
+TEST(Fault, ArmFromEnvRejectsGarbageLoudly) {
+  // A CI matrix iterating sites must not silently no-op on a typo.
+  FaultGuard guard;
+  setenv("SUBG_FAULT", "no.such.site:1", 1);
+  EXPECT_THROW((void)arm_from_env(), Error);
+  setenv("SUBG_FAULT", "phase1:zero", 1);
+  EXPECT_THROW((void)arm_from_env(), Error);
+  setenv("SUBG_FAULT", "phase1:0", 1);
+  EXPECT_THROW((void)arm_from_env(), Error);
+  // An empty value is "unset", not an error — shells export it that way.
+  setenv("SUBG_FAULT", "", 1);
+  EXPECT_FALSE(arm_from_env());
+}
+
+}  // namespace
+}  // namespace subg::fault

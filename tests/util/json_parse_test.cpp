@@ -1,0 +1,182 @@
+// util/json_parse.hpp — the untrusted read side of the serve protocol.
+//
+// Every branch here is a request a hostile or buggy client can send: the
+// parser must return a structured error with a position, never crash, never
+// read past the input, and round-trip everything the writer can emit.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "util/json.hpp"
+#include "util/json_parse.hpp"
+
+namespace subg::json {
+namespace {
+
+Value parse_ok(const std::string& text) {
+  ParseResult r = parse(text);
+  EXPECT_TRUE(r.ok()) << text << " -> " << r.error << " @" << r.offset;
+  return std::move(r.value);
+}
+
+void expect_error(const std::string& text) {
+  ParseResult r = parse(text);
+  EXPECT_FALSE(r.ok()) << "accepted: " << text;
+  EXPECT_FALSE(r.error.empty());
+  EXPECT_LE(r.offset, text.size());
+}
+
+/// Compact re-serialization — the writer is deterministic, so comparing
+/// dump(0) output checks both the parsed shape and the round trip.
+std::string rt(const std::string& text) { return parse_ok(text).dump(0); }
+
+TEST(JsonParse, Scalars) {
+  EXPECT_EQ(parse_ok("null").kind(), Value::Kind::kNull);
+  EXPECT_EQ(rt("true"), "true");
+  EXPECT_EQ(rt("false"), "false");
+  EXPECT_EQ(rt("42"), "42");
+  EXPECT_EQ(rt("-17"), "-17");
+  EXPECT_DOUBLE_EQ(parse_ok("2.5").as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(parse_ok("1e-6").as_double(), 1e-6);
+  EXPECT_DOUBLE_EQ(parse_ok("-1.25E+2").as_double(), -125.0);
+  EXPECT_EQ(parse_ok("\"hi\"").as_string(), "hi");
+  EXPECT_EQ(parse_ok("  \"ws\"  ").as_string(), "ws");
+}
+
+TEST(JsonParse, IntegerKinds) {
+  EXPECT_EQ(parse_ok("42").kind(), Value::Kind::kUint);
+  EXPECT_EQ(parse_ok("42").as_uint(), 42u);
+  EXPECT_EQ(parse_ok("-17").kind(), Value::Kind::kInt);
+  EXPECT_DOUBLE_EQ(parse_ok("-17").as_double(), -17.0);
+}
+
+TEST(JsonParse, HugeIntegerFallsBackToDouble) {
+  // Past integer range the value must degrade to double, not overflow.
+  Value v = parse_ok("123456789012345678901234567890");
+  EXPECT_EQ(v.kind(), Value::Kind::kDouble);
+  EXPECT_GT(v.as_double(), 1e29);
+  Value n = parse_ok("-123456789012345678901234567890");
+  EXPECT_EQ(n.kind(), Value::Kind::kDouble);
+  EXPECT_LT(n.as_double(), -1e29);
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(parse_ok(R"("a\"b\\c\/d\n\t\r\b\f")").as_string(),
+            "a\"b\\c/d\n\t\r\b\f");
+  EXPECT_EQ(parse_ok(R"("Aé")").as_string(), "A\xc3\xa9");
+  EXPECT_EQ(parse_ok(R"("A")").as_string(), "A");
+  // Surrogate pair: U+1F600 -> 4-byte UTF-8.
+  EXPECT_EQ(parse_ok(R"("😀")").as_string(), "\xf0\x9f\x98\x80");
+  // Raw UTF-8 passes through untouched.
+  EXPECT_EQ(parse_ok("\"\xc3\xa9\"").as_string(), "\xc3\xa9");
+}
+
+TEST(JsonParse, BadStringEscapes) {
+  expect_error(R"("\x41")");    // unknown escape
+  expect_error(R"("\u12")");    // truncated \u
+  expect_error(R"("\ud83d")");  // lone high surrogate
+  expect_error(R"("\ude00")");  // lone low surrogate
+  expect_error("\"unterminated");
+  expect_error("\"ctrl\x01char\"");  // raw control byte inside a string
+}
+
+TEST(JsonParse, Containers) {
+  Value v = parse_ok(R"({"a": [1, 2, {"b": null}], "c": "d"})");
+  ASSERT_TRUE(v.is_object());
+  ASSERT_NE(v.find("c"), nullptr);
+  EXPECT_EQ(v.find("c")->as_string(), "d");
+  const Value* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->elements().size(), 3u);
+  EXPECT_EQ(a->elements()[1].as_uint(), 2u);
+  ASSERT_TRUE(a->elements()[2].is_object());
+  EXPECT_EQ(a->elements()[2].find("b")->kind(), Value::Kind::kNull);
+  EXPECT_EQ(rt("[]"), "[]");
+  EXPECT_EQ(rt("{}"), "{}");
+  EXPECT_EQ(rt("[ 1 , 2 ]"), "[1,2]");
+}
+
+TEST(JsonParse, DuplicateKeysLastWins) {
+  Value v = parse_ok(R"({"k": 1, "k": 2})");
+  ASSERT_NE(v.find("k"), nullptr);
+  EXPECT_EQ(v.find("k")->as_uint(), 2u);
+  EXPECT_EQ(v.members().size(), 1u);
+}
+
+TEST(JsonParse, MalformedDocuments) {
+  expect_error("");
+  expect_error("   ");
+  expect_error("{");
+  expect_error("[1, 2");
+  expect_error("[1 2]");
+  expect_error("{\"a\" 1}");
+  expect_error("{\"a\": }");
+  expect_error("{1: 2}");  // keys must be strings
+  expect_error("[1,]");    // trailing comma
+  expect_error("nul");     // truncated keyword
+  expect_error("+1");      // leading plus is not JSON
+  expect_error("01");      // leading zero
+  expect_error("1.");      // bare decimal point
+  expect_error(".5");      // bare fraction
+  expect_error("not json");
+}
+
+TEST(JsonParse, TrailingContentIsAnError) {
+  // A request line must be exactly one value; a second value smuggled onto
+  // the line must fail loudly.
+  expect_error("{} {}");
+  expect_error("1 2");
+  expect_error("null x");
+}
+
+TEST(JsonParse, ErrorOffsetsPointIntoTheInput) {
+  ParseResult r = parse("[1, 2, x]");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.offset, 7u);
+  r = parse("{} trailing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_GE(r.offset, 2u);
+  EXPECT_LE(r.offset, 4u);
+}
+
+TEST(JsonParse, DepthIsBounded) {
+  // "[[[[..." past max_depth must be refused, not overflow the stack.
+  std::string deep(100000, '[');
+  EXPECT_FALSE(parse(deep).ok());
+
+  // 8 nested arrays: the scalar inside sits at depth 8, so max_depth=9
+  // admits the document and max_depth=8 refuses it.
+  std::string ok_doc = "[[[[[[[[1]]]]]]]]";
+  EXPECT_TRUE(parse(ok_doc, /*max_depth=*/9).ok());
+  EXPECT_FALSE(parse(ok_doc, /*max_depth=*/8).ok());
+}
+
+TEST(JsonParse, RoundTripsWriterOutput) {
+  Value doc = Value::object();
+  doc.set("schema_version", Value(std::int64_t{1}));
+  doc.set("name", Value("nand2 \"quoted\" \n tab\t"));
+  doc.set("pi", Value(3.141592653589793));
+  doc.set("neg", Value(std::int64_t{-7}));
+  doc.set("big", Value(std::uint64_t{1} << 63));
+  doc.set("flag", Value(true));
+  doc.set("nothing", Value());
+  Value arr = Value::array();
+  for (int i = 0; i < 5; ++i) arr.push(Value(i * i));
+  doc.set("squares", std::move(arr));
+  Value inner = Value::object();
+  inner.set("k", Value("v"));
+  doc.set("inner", std::move(inner));
+
+  for (int indent : {0, 2}) {
+    const std::string text = doc.dump(indent);
+    ParseResult r = parse(text);
+    ASSERT_TRUE(r.ok()) << r.error;
+    // The writer is deterministic, so dump(parse(dump(v))) == dump(v).
+    EXPECT_EQ(r.value.dump(indent), text);
+  }
+}
+
+}  // namespace
+}  // namespace subg::json

@@ -1,0 +1,175 @@
+// util/line_io.hpp — poll(2)-driven line framing over real pipes.
+//
+// The serve loop's liveness depends on three properties tested here: an
+// oversized line is discarded exactly to its newline (framing survives), a
+// blocked read wakes up when the interrupt flag flips (drain on SIGTERM),
+// and a final unterminated line is still delivered before EOF.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <string>
+#include <thread>
+
+#include "util/line_io.hpp"
+
+namespace subg {
+namespace {
+
+/// A pipe whose write end the test drives; both ends closed on destruction.
+struct Pipe {
+  int fds[2] = {-1, -1};
+  Pipe() { EXPECT_EQ(pipe(fds), 0); }
+  ~Pipe() {
+    close_write();
+    if (fds[0] >= 0) close(fds[0]);
+  }
+  void close_write() {
+    if (fds[1] >= 0) {
+      close(fds[1]);
+      fds[1] = -1;
+    }
+  }
+  [[nodiscard]] int read_fd() const { return fds[0]; }
+  void feed(std::string_view bytes) {
+    ASSERT_EQ(write(fds[1], bytes.data(), bytes.size()),
+              static_cast<ssize_t>(bytes.size()));
+  }
+};
+
+TEST(LineIo, ReadsNewlineFramedLines) {
+  Pipe p;
+  p.feed("first\nsecond\n\nfourth\n");
+  p.close_write();
+  LineReader reader(p.read_fd(), 1024);
+  std::string line;
+  ASSERT_EQ(reader.read_line(&line), LineReader::Status::kLine);
+  EXPECT_EQ(line, "first");
+  ASSERT_EQ(reader.read_line(&line), LineReader::Status::kLine);
+  EXPECT_EQ(line, "second");
+  ASSERT_EQ(reader.read_line(&line), LineReader::Status::kLine);
+  EXPECT_EQ(line, "");  // blank lines are real (keepalive) frames
+  ASSERT_EQ(reader.read_line(&line), LineReader::Status::kLine);
+  EXPECT_EQ(line, "fourth");
+  EXPECT_EQ(reader.read_line(&line), LineReader::Status::kEof);
+}
+
+TEST(LineIo, FinalUnterminatedLineIsDeliveredBeforeEof) {
+  Pipe p;
+  p.feed("complete\ntrailing");
+  p.close_write();
+  LineReader reader(p.read_fd(), 1024);
+  std::string line;
+  ASSERT_EQ(reader.read_line(&line), LineReader::Status::kLine);
+  EXPECT_EQ(line, "complete");
+  ASSERT_EQ(reader.read_line(&line), LineReader::Status::kLine);
+  EXPECT_EQ(line, "trailing");
+  EXPECT_EQ(reader.read_line(&line), LineReader::Status::kEof);
+}
+
+TEST(LineIo, OversizedLinePreservesFraming) {
+  // A line beyond the bound reports kOversized, and the NEXT read returns
+  // the following line intact — the long line was consumed to its newline,
+  // not left to corrupt the stream.
+  Pipe p;
+  const std::string big(100, 'x');
+  p.feed(big + "\nafter\n");
+  p.close_write();
+  LineReader reader(p.read_fd(), /*max_line_bytes=*/16);
+  std::string line;
+  ASSERT_EQ(reader.read_line(&line), LineReader::Status::kOversized);
+  EXPECT_EQ(reader.last_line_bytes(), big.size());
+  EXPECT_LE(line.size(), 16u);  // truncated prefix only
+  ASSERT_EQ(reader.read_line(&line), LineReader::Status::kLine);
+  EXPECT_EQ(line, "after");
+  EXPECT_EQ(reader.read_line(&line), LineReader::Status::kEof);
+}
+
+TEST(LineIo, OversizedSpanningManyReadsIsStillOneFrame) {
+  // The long line arrives in chunks with the terminator last; the reader
+  // must keep discarding across fills and resynchronize at the newline.
+  Pipe p;
+  LineReader reader(p.read_fd(), /*max_line_bytes=*/8);
+  std::thread writer([&] {
+    for (int i = 0; i < 10; ++i) p.feed(std::string(64, 'y'));
+    p.feed("\nnext\n");
+    p.close_write();
+  });
+  std::string line;
+  EXPECT_EQ(reader.read_line(&line), LineReader::Status::kOversized);
+  EXPECT_EQ(reader.last_line_bytes(), 640u);
+  EXPECT_EQ(reader.read_line(&line), LineReader::Status::kLine);
+  EXPECT_EQ(line, "next");
+  writer.join();
+}
+
+TEST(LineIo, ExactlyMaxBytesIsNotOversized) {
+  Pipe p;
+  p.feed("12345678\n");
+  p.close_write();
+  LineReader reader(p.read_fd(), /*max_line_bytes=*/8);
+  std::string line;
+  ASSERT_EQ(reader.read_line(&line), LineReader::Status::kLine);
+  EXPECT_EQ(line, "12345678");
+}
+
+TEST(LineIo, InterruptFlagWakesABlockedRead) {
+  Pipe p;  // nothing ever written: read_line would block forever
+  LineReader reader(p.read_fd(), 1024);
+  std::atomic<bool> stop{false};
+  std::thread waker([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    stop.store(true);
+  });
+  std::string line;
+  EXPECT_EQ(reader.read_line(&line, &stop, /*poll_interval_ms=*/5),
+            LineReader::Status::kInterrupted);
+  waker.join();
+}
+
+TEST(LineIo, InterruptDoesNotEatBufferedLines) {
+  // A line already in the reader's buffer must be returned even when the
+  // flag is up — drain means "answer what arrived", not "drop it". (Data
+  // still in the pipe IS subject to the interrupt; only buffered bytes are
+  // owed.) Both lines land in the buffer on the first 64K fill.
+  Pipe p;
+  p.feed("first\nqueued\n");
+  std::atomic<bool> stop{false};
+  LineReader reader(p.read_fd(), 1024);
+  std::string line;
+  ASSERT_EQ(reader.read_line(&line, &stop, 5), LineReader::Status::kLine);
+  ASSERT_EQ(line, "first");
+  stop.store(true);
+  EXPECT_EQ(reader.read_line(&line, &stop, 5), LineReader::Status::kLine);
+  EXPECT_EQ(line, "queued");
+}
+
+TEST(LineIo, WriteLineFramesAndRoundTrips) {
+  Pipe p;
+  ASSERT_TRUE(write_line(p.fds[1], "hello frame"));
+  ASSERT_TRUE(write_line(p.fds[1], ""));
+  p.close_write();
+  LineReader reader(p.read_fd(), 1024);
+  std::string line;
+  ASSERT_EQ(reader.read_line(&line), LineReader::Status::kLine);
+  EXPECT_EQ(line, "hello frame");
+  ASSERT_EQ(reader.read_line(&line), LineReader::Status::kLine);
+  EXPECT_EQ(line, "");
+  EXPECT_EQ(reader.read_line(&line), LineReader::Status::kEof);
+}
+
+TEST(LineIo, WriteLineToClosedReaderFailsWithoutSignal) {
+  // SIGPIPE is ignored process-wide here (as the serve daemon does); the
+  // write must report failure instead of killing the process.
+  signal(SIGPIPE, SIG_IGN);
+  Pipe p;
+  close(p.fds[0]);
+  p.fds[0] = -1;
+  EXPECT_FALSE(write_line(p.fds[1], "into the void"));
+}
+
+}  // namespace
+}  // namespace subg

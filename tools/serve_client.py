@@ -1,0 +1,211 @@
+#!/usr/bin/env python3
+"""JSON-lines client for `subgemini serve` -- stdlib only.
+
+Three ways to drive a match server:
+
+  One request, answer on stdout (spawns a server over testdata):
+    serve_client.py --spawn-host mux_host.sp status
+    serve_client.py --spawn-host mux_host.sp find --pattern-file nand2.sp
+
+  A batch file (one JSON request per line) against a running server's
+  AF_UNIX socket, responses to stdout as JSON lines:
+    serve_client.py --socket /tmp/subg.sock --batch requests.jsonl
+
+  A library sweep: every .subckt cell of a SPICE library becomes one find
+  request (the module-library sweep the daemon exists for):
+    serve_client.py --spawn-host mux_host.sp sweep --library cells.sp
+
+Exit codes: 0 all requests answered ok, 1 any request answered with an
+error document, 2 usage / transport failure.
+"""
+import argparse
+import json
+import os
+import re
+import socket
+import subprocess
+import sys
+
+
+class Transport:
+    """One JSON-lines connection: send a request dict, read a response."""
+
+    def send(self, request):
+        raise NotImplementedError
+
+    def recv(self):
+        raise NotImplementedError
+
+    def close(self):
+        pass
+
+
+class SpawnedServer(Transport):
+    """`subgemini serve` as a child process over its stdin/stdout."""
+
+    def __init__(self, binary, hosts, extra_flags):
+        cmd = [binary, "serve"] + list(extra_flags) + list(hosts)
+        self.proc = subprocess.Popen(
+            cmd, stdin=subprocess.PIPE, stdout=subprocess.PIPE, text=True)
+
+    def send(self, request):
+        self.proc.stdin.write(json.dumps(request) + "\n")
+        self.proc.stdin.flush()
+
+    def recv(self):
+        line = self.proc.stdout.readline()
+        if not line:
+            raise EOFError("server closed its stdout")
+        return json.loads(line)
+
+    def close(self):
+        try:
+            self.send({"op": "shutdown"})
+            self.recv()
+        except (BrokenPipeError, EOFError, ValueError):
+            pass
+        self.proc.stdin.close()
+        self.proc.wait(timeout=30)
+
+
+class SocketClient(Transport):
+    """A running server's AF_UNIX socket."""
+
+    def __init__(self, path):
+        self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self.sock.connect(path)
+        self.rfile = self.sock.makefile("r")
+
+    def send(self, request):
+        self.sock.sendall((json.dumps(request) + "\n").encode())
+
+    def recv(self):
+        line = self.rfile.readline()
+        if not line:
+            raise EOFError("server closed the connection")
+        return json.loads(line)
+
+    def close(self):
+        self.rfile.close()
+        self.sock.close()
+
+
+def library_cells(text):
+    """Cell names of every .subckt with at least one port (find needs a
+    pattern with ports; portless decks are power-rail helpers)."""
+    cells = []
+    for line in text.splitlines():
+        match = re.match(r"\s*\.subckt\s+(\S+)\s+\S+", line, re.IGNORECASE)
+        if match:
+            cells.append(match.group(1))
+    return cells
+
+
+def run_requests(transport, requests, out):
+    """Send requests one at a time; return the number answered not-ok."""
+    failures = 0
+    for request in requests:
+        transport.send(request)
+        response = transport.recv()
+        json.dump(response, out)
+        out.write("\n")
+        if not response.get("ok", False):
+            failures += 1
+    return failures
+
+
+def build_requests(args):
+    if args.command == "batch":
+        with open(args.batch, encoding="utf-8") as f:
+            return [json.loads(line) for line in f if line.strip()]
+    if args.command == "sweep":
+        with open(args.library, encoding="utf-8") as f:
+            library = f.read()
+        cells = library_cells(library)
+        if not cells:
+            raise SystemExit(f"{args.library}: no .subckt cells found")
+        requests = []
+        for i, cell in enumerate(cells):
+            request = {"id": i, "op": "find", "pattern": library,
+                       "pattern_top": cell}
+            if args.host:
+                request["host"] = args.host
+            if args.timeout_ms is not None:
+                request["timeout_ms"] = args.timeout_ms
+            requests.append(request)
+        return requests
+    # Single-op commands.
+    request = {"id": 0, "op": args.command}
+    if args.pattern_file:
+        with open(args.pattern_file, encoding="utf-8") as f:
+            request["pattern"] = f.read()
+    if args.pattern_top:
+        request["pattern_top"] = args.pattern_top
+    if args.host:
+        request["host"] = args.host
+    if args.timeout_ms is not None:
+        request["timeout_ms"] = args.timeout_ms
+    return [request]
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("command",
+                        help="find | extract | lint | status | shutdown | "
+                             "sweep | batch")
+    parser.add_argument("--socket", help="AF_UNIX socket of a running server")
+    parser.add_argument("--spawn-host", action="append", default=[],
+                        metavar="[NAME=]FILE",
+                        help="spawn a server child loading this host "
+                             "(repeatable)")
+    parser.add_argument("--binary", default="subgemini",
+                        help="subgemini binary for --spawn-host "
+                             "(default: from PATH)")
+    parser.add_argument("--serve-flag", action="append", default=[],
+                        metavar="FLAG",
+                        help="extra flag for the spawned server (repeatable)")
+    parser.add_argument("--pattern-file", help="find: SPICE pattern deck")
+    parser.add_argument("--pattern-top", help="find: pattern top cell")
+    parser.add_argument("--library", help="sweep: SPICE library deck")
+    parser.add_argument("--batch", help="batch: JSON-lines request file")
+    parser.add_argument("--host", help="loaded host name to match against")
+    parser.add_argument("--timeout-ms", type=float, default=None,
+                        help="per-request budget in milliseconds")
+    args = parser.parse_args(argv[1:])
+
+    if args.command == "sweep" and not args.library:
+        parser.error("sweep requires --library")
+    if args.command == "batch" and not args.batch:
+        parser.error("batch requires --batch")
+    if bool(args.socket) == bool(args.spawn_host):
+        parser.error("exactly one of --socket or --spawn-host is required")
+
+    try:
+        requests = build_requests(args)
+    except (OSError, ValueError) as e:
+        print(f"serve_client: {e}", file=sys.stderr)
+        return 2
+
+    try:
+        if args.socket:
+            transport = SocketClient(args.socket)
+        else:
+            transport = SpawnedServer(args.binary, args.spawn_host,
+                                      args.serve_flag)
+    except OSError as e:
+        print(f"serve_client: cannot reach server: {e}", file=sys.stderr)
+        return 2
+
+    try:
+        failures = run_requests(transport, requests, sys.stdout)
+    except (EOFError, ValueError, BrokenPipeError) as e:
+        print(f"serve_client: transport failed: {e}", file=sys.stderr)
+        return 2
+    finally:
+        transport.close()
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

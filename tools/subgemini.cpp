@@ -47,9 +47,11 @@
 #include "reduce/reduce.hpp"
 #include "report/document.hpp"
 #include "rulecheck/rulecheck.hpp"
+#include "serve/server.hpp"
 #include "spice/spice.hpp"
 #include "util/check.hpp"
 #include "util/cli_options.hpp"
+#include "util/fault.hpp"
 #include "util/strings.hpp"
 #include "verilog/verilog.hpp"
 
@@ -69,6 +71,7 @@ int usage() {
       "  subgemini lint <netlist.sp> [host_top]\n"
       "  subgemini reduce <host.sp> [host_top]\n"
       "  subgemini stats <host.sp> [host_top]\n"
+      "  subgemini serve [name=]<host.sp> ...\n"
       "\nInputs may be SPICE (.sp), structural Verilog (.v), or ISCAS "
       "(.bench).\nPositional top names are deprecated; prefer --top= / "
       "--pattern-top=.\n"
@@ -143,16 +146,9 @@ std::string pick_top(const std::vector<std::string>& positionals,
 }
 
 /// First .SUBCKT name of a design, or "main" when it only has top cards.
+/// Shared with the serve daemon so both front ends pick the same module.
 std::string default_top(const Design& design, const std::string& requested) {
-  if (!requested.empty()) return requested;
-  // Module 0 is the implicit "main"; prefer the first explicit subckt with
-  // devices if main is empty.
-  if (design.module_count() > 1 &&
-      design.module(ModuleId(0)).device_count() == 0 &&
-      design.module(ModuleId(0)).instance_count() == 0) {
-    return design.module(ModuleId(1)).name();
-  }
-  return design.module(ModuleId(0)).name();
+  return serve::default_top(design, requested);
 }
 
 [[nodiscard]] bool is_verilog(const std::string& path) {
@@ -218,13 +214,10 @@ void emit(const std::string& like_path, const Netlist& netlist) {
 }
 
 /// {"name": ..., "devices": ..., "nets": ...} — how a loaded netlist
-/// appears in every json document.
+/// appears in every json document. Delegates to the serve protocol builder
+/// so one-shot documents and serve responses agree member for member.
 json::Value netlist_summary(const Netlist& netlist) {
-  json::Value v = json::Value::object();
-  v.set("name", netlist.name());
-  v.set("devices", netlist.device_count());
-  v.set("nets", static_cast<std::size_t>(netlist.net_count()));
-  return v;
+  return serve::netlist_summary(netlist);
 }
 
 /// The emitted-netlist member of extract/reduce documents: the full text in
@@ -269,23 +262,9 @@ int cmd_find(const std::vector<std::string>& args) {
     report::Document doc("subgemini", "find");
     doc.set("pattern", netlist_summary(pattern));
     doc.set("host", netlist_summary(host));
-    json::Value instances = json::Value::array();
-    for (const SubcircuitInstance& inst : report.instances) {
-      json::Value one = json::Value::object();
-      json::Value ports = json::Value::object();
-      for (NetId port : pattern.ports()) {
-        ports.set(pattern.net_name(port),
-                  host.net_name(inst.net_image[port.index()]));
-      }
-      json::Value devices = json::Value::array();
-      for (DeviceId d : inst.device_image) {
-        devices.push(host.device_name(d));
-      }
-      one.set("ports", std::move(ports));
-      one.set("devices", std::move(devices));
-      instances.push(std::move(one));
-    }
-    doc.set("instances", std::move(instances));
+    // Built by the serve protocol helper, so a serve `find` response and
+    // this document agree byte for byte on the instances member.
+    doc.set("instances", serve::instances_json(pattern, host, report));
     doc.set("report", report::to_json(report));
     return finish_document(doc, report.status, 0);
   }
@@ -490,6 +469,7 @@ int cmd_lint(const std::vector<std::string>& args) {
     opts.diagnostics = &sink;
     flat = std::move(benchfmt::read_file(path, opts).transistors);
     report.merge(lint::import_diagnostics(sink, lo));
+    report.merge(lint::lint_netlist(*flat, lo));
   } else {
     DiagnosticSink sink;
     Design design = [&] {
@@ -503,9 +483,6 @@ int cmd_lint(const std::vector<std::string>& args) {
       return spice::read_file(path, opts);
     }();
     report.merge(lint::import_diagnostics(sink, lo));
-    // Hierarchy checks must run BEFORE flatten: duplicate instance names
-    // and zero-device rail shorts are invisible (or fatal) once flat.
-    report.merge(lint::lint_design(design, lo));
     std::string chosen = top;
     if (is_verilog(path) && chosen.empty() && design.module_count() > 0) {
       chosen = design
@@ -513,24 +490,13 @@ int cmd_lint(const std::vector<std::string>& args) {
                        static_cast<std::uint32_t>(design.module_count() - 1)))
                    .name();
     }
-    try {
-      flat = design.flatten(is_verilog(path) ? chosen
-                                             : default_top(design, chosen));
-    } catch (const Error& e) {
-      // A deck lint can describe but not flatten (duplicate device names,
-      // recursive hierarchy): one "flatten" error finding, flat checks
-      // skipped.
-      lint::Finding f;
-      f.check = lint::kFlatten;
-      f.severity = lint::Severity::kError;
-      f.message = e.what();
-      lint::LintReport flatten_report;
-      flatten_report.checks_run = 1;
-      flatten_report.add(std::move(f), lo.max_findings_per_check);
-      report.merge(std::move(flatten_report));
-    }
+    // Hierarchy checks, flatten (failures become "flatten" findings), and
+    // the flat checks all live in lint_deck — the same pipeline the serve
+    // daemon's lint op runs, so both surfaces agree on any deck.
+    lint::DeckLint deck = lint::lint_deck(design, chosen, lo);
+    report.merge(std::move(deck.report));
+    flat = std::move(deck.netlist);
   }
-  if (flat.has_value()) report.merge(lint::lint_netlist(*flat, lo));
 
   const int code = lint_exit(report);
   if (json_output()) {
@@ -647,6 +613,45 @@ int cmd_stats(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_serve(const std::vector<std::string>& args) {
+  serve::ServeOptions so;
+  for (const std::string& arg : args) {
+    serve::ServeOptions::HostSpec spec;
+    // "name=path" registers under an explicit name; a bare path registers
+    // under its file stem ("designs/chip.sp" -> "chip").
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos && eq > 0) {
+      spec.name = arg.substr(0, eq);
+      spec.path = arg.substr(eq + 1);
+    } else {
+      spec.path = arg;
+      const std::size_t slash = arg.find_last_of('/');
+      const std::size_t base = slash == std::string::npos ? 0 : slash + 1;
+      const std::size_t dot = arg.find_last_of('.');
+      spec.name = arg.substr(
+          base, dot != std::string::npos && dot > base ? dot - base
+                                                       : std::string::npos);
+    }
+    if (spec.name.empty() || spec.path.empty()) {
+      throw UsageError{"bad serve host argument '" + arg + "'"};
+    }
+    spec.top = g_opts.top;
+    so.hosts.push_back(std::move(spec));
+  }
+  so.workers = g_opts.serve_workers;
+  so.max_pending = g_opts.max_pending;
+  so.max_request_bytes = g_opts.max_request_bytes;
+  so.request_timeout = g_opts.request_timeout;
+  so.jobs = g_opts.jobs == 0 ? 1 : g_opts.jobs;
+  so.core = g_opts.core;
+  so.lenient = g_opts.lenient;
+  so.metrics = g_metrics;
+  so.socket_path = g_opts.socket_path;
+  serve::Server server(std::move(so));
+  server.install_signal_handlers();
+  return server.run();
+}
+
 int dispatch(const std::string& cmd, const std::vector<std::string>& args) {
   if (cmd == "find") return cmd_find(args);
   if (cmd == "extract") return cmd_extract(args);
@@ -656,6 +661,7 @@ int dispatch(const std::string& cmd, const std::vector<std::string>& args) {
   if (cmd == "lint") return cmd_lint(args);
   if (cmd == "reduce") return cmd_reduce(args);
   if (cmd == "stats") return cmd_stats(args);
+  if (cmd == "serve") return cmd_serve(args);
   return usage();
 }
 
@@ -690,6 +696,14 @@ int main(int argc, char** argv) {
     return usage();
   }
   g_opts = parsed.options;
+  try {
+    // Fault-injection arming (SUBG_FAULT=<site>:<nth>); only meaningful in
+    // -DSUBG_FAULTS=ON builds, but a malformed spec fails loudly anywhere.
+    (void)subg::fault::arm_from_env();
+  } catch (const subg::Error& e) {
+    std::fprintf(stderr, "subgemini: %s\n", e.what());
+    return 64;
+  }
   std::optional<obs::Metrics> metrics;
   if (g_opts.metrics) {
     metrics.emplace();
