@@ -5,21 +5,31 @@
 // is that any guess works (no backtracking) when the host region is a true
 // instance. We sweep k and the number of host groups and report guesses,
 // backtracks, and time; then add "fat" decoy groups (one extra device)
-// whose verification fails after a full refinement, forcing genuine
+// whose hypothesis fails after a full refinement, forcing genuine
 // backtracking.
+//
+// Every workload runs twice — signature prefilter on (the default fast
+// path) and off — as separate baseline rows, so the CI gate pins BOTH that
+// results are identical and that the fast path's expansion_ops are strictly
+// lower wherever the prefilter can see the decoys. --quick trims the sweep
+// for the gate; --core selects the matching-core layout (rows are identical
+// in both, which the gate checks by running each).
 #include <cstdio>
+#include <iostream>
+#include <vector>
 
-#include "match/matcher.hpp"
-#include "report/report.hpp"
-#include "util/strings.hpp"
-#include "util/timer.hpp"
+#include "bench_common.hpp"
 
 namespace subg::bench {
 namespace {
 
-using namespace subg;
+struct SweepConfig {
+  bool quick = false;
+  CoreMode core = CoreMode::kCsr;
+};
 
-Netlist parallel_pattern(const std::shared_ptr<const DeviceCatalog>& cat, int k) {
+Netlist parallel_pattern(const std::shared_ptr<const DeviceCatalog>& cat,
+                         int k) {
   Netlist nl(cat, "par" + std::to_string(k));
   NetId n1 = nl.add_net("n1"), n2 = nl.add_net("n2"), g = nl.add_net("g");
   for (int i = 0; i < k; ++i) nl.add_device(cat->require("nmos"), {n1, g, n2});
@@ -29,17 +39,47 @@ Netlist parallel_pattern(const std::shared_ptr<const DeviceCatalog>& cat, int k)
   return nl;
 }
 
-void run() {
+/// Ring of `n` identical pass transistors; `fat` hangs one extra device off
+/// ring net 1 — invisible to safe-only labeling, fatal to the hypothesis.
+void add_ring(Netlist& nl, DeviceTypeId nmos, int n, const std::string& prefix,
+              bool fat) {
+  NetId gate = nl.add_net(prefix + "gate");
+  std::vector<NetId> nodes;
+  for (int i = 0; i < n; ++i) {
+    nodes.push_back(nl.add_net(prefix + std::to_string(i)));
+  }
+  for (int i = 0; i < n; ++i) {
+    nl.add_device(nmos, {nodes[i], gate, nodes[(i + 1) % n]});
+  }
+  if (fat) {
+    NetId qg = nl.add_net(prefix + "qg"), qd = nl.add_net(prefix + "qd");
+    nl.add_device(nmos, {nodes[1], qg, qd});
+  }
+}
+
+/// One workload, both filter modes: the "+nofilter" twin row differs only
+/// in MatchOptions::phase2_filter, so the baseline diff between the two IS
+/// the fast-path saving.
+void run_pair(const std::string& circuit, const Netlist& host,
+              const std::string& cell, const Netlist& pattern,
+              std::size_t expected, const SweepConfig& cfg,
+              std::vector<MatchRow>* rows) {
+  rows->push_back(run_match(circuit, host, cell, pattern, expected, 1,
+                            cfg.core, /*phase2_filter=*/true));
+  rows->push_back(run_match(circuit + "+nofilter", host, cell, pattern,
+                            expected, 1, cfg.core, /*phase2_filter=*/false));
+}
+
+std::vector<MatchRow> sweep_parallel(const SweepConfig& cfg) {
   auto cat = DeviceCatalog::cmos3();
   DeviceTypeId nmos = cat->require("nmos");
-
-  std::printf("E3 (Fig 5): symmetric patterns — guesses without backtracks\n\n");
-  report::Table t({"k parallel", "host groups", "found", "guesses",
-                   "backtracks", "total ms"});
-  for (std::size_t c = 0; c < 6; ++c) t.align_right(c);
-
-  for (int k : {2, 3, 4, 6, 8}) {
-    for (int groups : {4, 16, 64}) {
+  std::vector<MatchRow> rows;
+  const std::vector<int> ks = cfg.quick ? std::vector<int>{3, 6}
+                                        : std::vector<int>{2, 3, 4, 6, 8};
+  const std::vector<int> group_counts =
+      cfg.quick ? std::vector<int>{4, 16} : std::vector<int>{4, 16, 64};
+  for (int k : ks) {
+    for (int groups : group_counts) {
       Netlist host(cat, "host");
       for (int gi = 0; gi < groups; ++gi) {
         NetId n1 = host.add_net("a" + std::to_string(gi));
@@ -48,80 +88,126 @@ void run() {
         for (int i = 0; i < k; ++i) host.add_device(nmos, {n1, g, n2});
       }
       Netlist pattern = parallel_pattern(cat, k);
-      Timer timer;
-      SubgraphMatcher matcher(pattern, host);
-      MatchReport r = matcher.find_all();
-      t.add_row({std::to_string(k), std::to_string(groups),
-                 with_commas(static_cast<long long>(r.count())),
-                 with_commas(static_cast<long long>(r.phase2.guesses)),
-                 with_commas(static_cast<long long>(r.phase2.backtracks)),
-                 format_fixed(timer.seconds() * 1e3, 2)});
+      run_pair("groups" + std::to_string(groups), host, pattern.name(),
+               pattern, static_cast<std::size_t>(groups), cfg, &rows);
     }
   }
-  {
-    std::string s = t.to_string();
-    std::fputs(s.c_str(), stdout);
-  }
-  std::printf("\nTrue instances never backtrack: the first guess inside a "
-              "symmetric safe partition always completes (Fig 5).\n\n");
+  return rows;
+}
 
-  std::printf("Fat-ring decoys (an extra device on one ring net) survive\n"
-              "refinement but fail the final verification, forcing genuine\n"
-              "backtracking across the mirror-symmetric guess:\n\n");
-  report::Table t2({"ring size", "true rings", "decoy rings", "found",
-                    "guesses", "backtracks", "verify failures", "total ms"});
-  for (std::size_t c = 0; c < 8; ++c) t2.align_right(c);
-
-  auto add_ring = [&](Netlist& nl, int n, const std::string& prefix,
-                      bool fat) {
-    NetId gate = nl.add_net(prefix + "gate");
-    std::vector<NetId> nodes;
-    for (int i = 0; i < n; ++i) {
-      nodes.push_back(nl.add_net(prefix + std::to_string(i)));
-    }
-    for (int i = 0; i < n; ++i) {
-      nl.add_device(nmos, {nodes[i], gate, nodes[(i + 1) % n]});
-    }
-    if (fat) {
-      // Extra device on ring net 1: invisible to safe-only labeling but a
-      // violation of the internal-net degree rule at verification time.
-      NetId qg = nl.add_net(prefix + "qg"), qd = nl.add_net(prefix + "qd");
-      nl.add_device(nmos, {nodes[1], qg, qd});
-    }
-  };
-
-  for (int k : {4, 6, 8}) {
-    for (int decoys : {2, 8, 32}) {
+std::vector<MatchRow> sweep_fat_rings(const SweepConfig& cfg) {
+  auto cat = DeviceCatalog::cmos3();
+  DeviceTypeId nmos = cat->require("nmos");
+  std::vector<MatchRow> rows;
+  const std::vector<int> ks =
+      cfg.quick ? std::vector<int>{6} : std::vector<int>{4, 6, 8};
+  const std::vector<int> decoy_counts =
+      cfg.quick ? std::vector<int>{2, 8} : std::vector<int>{2, 8, 32};
+  const int groups = 8;
+  for (int k : ks) {
+    for (int decoys : decoy_counts) {
       Netlist host(cat, "host");
-      const int groups = 8;
       for (int gi = 0; gi < groups; ++gi) {
-        add_ring(host, k, "t" + std::to_string(gi) + "_", false);
+        add_ring(host, nmos, k, "t" + std::to_string(gi) + "_", false);
       }
       for (int gi = 0; gi < decoys; ++gi) {
-        add_ring(host, k, "d" + std::to_string(gi) + "_", true);
+        add_ring(host, nmos, k, "d" + std::to_string(gi) + "_", true);
       }
       Netlist pattern(cat, "ring" + std::to_string(k));
-      add_ring(pattern, k, "r", false);
+      add_ring(pattern, nmos, k, "r", false);
       pattern.mark_port(*pattern.find_net("rgate"));
-      Timer timer;
-      SubgraphMatcher matcher(pattern, host);
-      MatchReport r = matcher.find_all();
-      t2.add_row({std::to_string(k), "8", std::to_string(decoys),
-                  with_commas(static_cast<long long>(r.count())),
-                  with_commas(static_cast<long long>(r.phase2.guesses)),
-                  with_commas(static_cast<long long>(r.phase2.backtracks)),
-                  with_commas(static_cast<long long>(r.phase2.verify_failures)),
-                  format_fixed(timer.seconds() * 1e3, 2)});
+      run_pair("decoys" + std::to_string(decoys), host, pattern.name(),
+               pattern, static_cast<std::size_t>(groups), cfg, &rows);
     }
   }
-  std::string s2 = t2.to_string();
-  std::fputs(s2.c_str(), stdout);
+  return rows;
+}
+
+report::Table ambiguity_table(const std::vector<MatchRow>& rows) {
+  report::Table t({"circuit", "subcircuit", "found", "guesses", "backtracks",
+                   "domain prunes", "nogood hits", "trail undos",
+                   "expansion ops", "total ms"});
+  for (std::size_t c = 2; c < 10; ++c) t.align_right(c);
+  for (const MatchRow& r : rows) {
+    t.add_row({r.circuit, r.cell,
+               with_commas(static_cast<long long>(r.found)),
+               with_commas(static_cast<long long>(r.guesses)),
+               with_commas(static_cast<long long>(r.backtracks)),
+               with_commas(static_cast<long long>(r.domain_prunes)),
+               with_commas(static_cast<long long>(r.nogood_hits)),
+               with_commas(static_cast<long long>(r.trail_undos)),
+               with_commas(static_cast<long long>(r.expansion_ops)),
+               format_fixed(r.phase1_ms + r.phase2_ms, 2)});
+  }
+  return t;
+}
+
+/// Filter-on vs filter-off sanity: identical results, never more work.
+/// Printed as advisory text; the exact values are what the CI gate pins.
+void print_ab_summary(const std::vector<MatchRow>& rows) {
+  for (std::size_t i = 0; i + 1 < rows.size(); i += 2) {
+    const MatchRow& on = rows[i];
+    const MatchRow& off = rows[i + 1];
+    if (on.found != off.found) {
+      std::printf("WARNING: %s/%s found-count diverged across filter modes "
+                  "(soundness contract violated)\n",
+                  on.circuit.c_str(), on.cell.c_str());
+    }
+    if (on.expansion_ops > off.expansion_ops) {
+      std::printf("WARNING: %s/%s fast path did MORE relabeling work "
+                  "(%zu > %zu expansion ops)\n",
+                  on.circuit.c_str(), on.cell.c_str(), on.expansion_ops,
+                  off.expansion_ops);
+    }
+  }
 }
 
 }  // namespace
 }  // namespace subg::bench
 
-int main() {
-  subg::bench::run();
+int main(int argc, char** argv) {
+  using namespace subg::bench;
+  subg::cli::Format format = subg::cli::Format::kText;
+  SweepConfig cfg;
+  if (int code = parse_bench_args("bench_ambiguity", argc, argv, &format,
+                                  &cfg.core, &cfg.quick)) {
+    return code;
+  }
+
+  std::vector<MatchRow> parallel_rows = sweep_parallel(cfg);
+  std::vector<MatchRow> ring_rows = sweep_fat_rings(cfg);
+  std::vector<MatchRow> all = parallel_rows;
+  all.insert(all.end(), ring_rows.begin(), ring_rows.end());
+
+  if (format == subg::cli::Format::kJson) {
+    subg::report::Document doc("bench_ambiguity", "E3");
+    doc.set("core", subg::to_string(cfg.core));
+    doc.set("quick", cfg.quick);
+    doc.set("parallel", subg::report::to_json(ambiguity_table(parallel_rows)));
+    doc.set("fat_rings", subg::report::to_json(ambiguity_table(ring_rows)));
+    doc.set("counters", counters_json(all));
+    doc.set("timings", timings_json(all));
+    doc.write(std::cout);
+    return 0;
+  }
+
+  std::printf("E3 (Fig 5): symmetric patterns — guesses without backtracks\n"
+              "(each workload twice: signature prefilter on, then off)\n\n");
+  {
+    std::string s = ambiguity_table(parallel_rows).to_string();
+    std::fputs(s.c_str(), stdout);
+  }
+  std::printf("\nTrue instances never backtrack: the first guess inside a "
+              "symmetric safe partition always completes (Fig 5).\n\n");
+  std::printf("Fat-ring decoys (an extra device on one ring net) survive\n"
+              "refinement but fail the hypothesis, forcing genuine\n"
+              "backtracking — unless the signature prefilter refutes the\n"
+              "decoy's degree-3 ring net up front:\n\n");
+  {
+    std::string s = ambiguity_table(ring_rows).to_string();
+    std::fputs(s.c_str(), stdout);
+  }
+  std::printf("\n");
+  print_ab_summary(all);
   return 0;
 }

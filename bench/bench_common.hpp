@@ -45,6 +45,11 @@ struct MatchRow {
   std::size_t bindings = 0;
   std::size_t backtracks = 0;
   std::size_t expansion_ops = 0;      ///< Phase II edge visits
+  // Phase II fast-path counters (all zero when the signature prefilter is
+  // disabled for an A/B row).
+  std::size_t domain_prunes = 0;      ///< postulates refuted by the prefilter
+  std::size_t nogood_hits = 0;        ///< refutations served from the memo
+  std::size_t trail_undos = 0;        ///< trail entries rolled back
 };
 
 /// Run one (pattern, host) match and collect the row. A private metrics
@@ -53,10 +58,12 @@ struct MatchRow {
 inline MatchRow run_match(const std::string& circuit_name, const Netlist& host,
                           const std::string& cell_name, const Netlist& pattern,
                           std::size_t expected, std::size_t jobs = 1,
-                          CoreMode core = CoreMode::kCsr) {
+                          CoreMode core = CoreMode::kCsr,
+                          bool phase2_filter = true) {
   MatchOptions opts;
   opts.jobs = jobs;
   opts.core = core;
+  opts.phase2_filter = phase2_filter;
   obs::Metrics metrics;
   opts.metrics = &metrics;
   SubgraphMatcher matcher(pattern, host, opts);
@@ -79,6 +86,9 @@ inline MatchRow run_match(const std::string& circuit_name, const Netlist& host,
   row.bindings = r.phase2.bindings;
   row.backtracks = r.phase2.backtracks;
   row.expansion_ops = r.phase2.expansion_ops;
+  row.domain_prunes = r.phase2.domain_prunes;
+  row.nogood_hits = r.phase2.nogood_hits;
+  row.trail_undos = r.phase2.trail_undos;
   const obs::Snapshot snap = metrics.collect();
   row.host_relabel_ops = snap.counter("phase1.label_cache.relabel_ops");
   row.cache_hits = snap.counter("phase1.label_cache.hits");
@@ -108,6 +118,9 @@ inline json::Value counters_json(const std::vector<MatchRow>& rows) {
     v.set("guesses", r.guesses);
     v.set("backtracks", r.backtracks);
     v.set("expansion_ops", r.expansion_ops);
+    v.set("domain_prunes", r.domain_prunes);
+    v.set("nogood_hits", r.nogood_hits);
+    v.set("trail_undos", r.trail_undos);
     arr.push(std::move(v));
   }
   return arr;

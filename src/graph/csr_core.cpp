@@ -1,5 +1,6 @@
 #include "graph/csr_core.hpp"
 
+#include <algorithm>
 #include <limits>
 
 #include "util/check.hpp"
@@ -57,6 +58,18 @@ CsrCore::CsrCore(const CircuitGraph& graph) : graph_(&graph) {
     special_[v] = graph.is_special(v) ? 1 : 0;
   }
   edge_begin_[nv] = e;
+
+  neighbor_degree_.resize(total_edges, 0);
+  for (Vertex v = 0; v < nv; ++v) {
+    if (!graph.is_device(v)) continue;
+    const std::uint32_t begin = edge_begin_[v];
+    const std::uint32_t end = edge_begin_[v + 1];
+    for (std::uint32_t k = begin; k < end; ++k) {
+      neighbor_degree_[k] =
+          static_cast<std::uint32_t>(graph.degree(edge_to_[k]));
+    }
+    std::sort(neighbor_degree_.begin() + begin, neighbor_degree_.begin() + end);
+  }
   build_seconds_ = timer.seconds();
 }
 
@@ -66,7 +79,8 @@ std::size_t CsrCore::bytes() const {
          edge_coeff_.capacity() * sizeof(Label) +
          initial_label_.capacity() * sizeof(Label) +
          host_base_label_.capacity() * sizeof(Label) +
-         special_.capacity() * sizeof(std::uint8_t);
+         special_.capacity() * sizeof(std::uint8_t) +
+         neighbor_degree_.capacity() * sizeof(std::uint32_t);
 }
 
 }  // namespace subg

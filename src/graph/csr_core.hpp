@@ -85,6 +85,17 @@ class CsrCore {
     return edge_begin_[v + 1] - edge_begin_[v];
   }
 
+  /// Neighborhood signature of a DEVICE vertex: the degrees of its neighbor
+  /// nets, sorted ascending, one entry per edge slot (a pin wired to the
+  /// same net twice contributes its degree twice). Precomputed at build so
+  /// the Phase II signature prefilter rejects K↔c postulates without
+  /// touching the adjacency. Undefined for net vertices (empty span).
+  [[nodiscard]] std::span<const std::uint32_t> sorted_neighbor_degrees(
+      Vertex v) const {
+    return {neighbor_degree_.data() + edge_begin_[v],
+            graph_->is_device(v) ? edge_begin_[v + 1] - edge_begin_[v] : 0};
+  }
+
   [[nodiscard]] Label initial_label(Vertex v) const {
     return initial_label_[v];
   }
@@ -108,6 +119,10 @@ class CsrCore {
   std::vector<Label> initial_label_;
   std::vector<Label> host_base_label_;
   std::vector<std::uint8_t> special_;
+  /// Per-edge neighbor degrees, sorted within each DEVICE vertex's edge
+  /// range (net ranges stay zero — device fanin is bounded by the pin
+  /// count, so the sort is O(E); net fanout is not).
+  std::vector<std::uint32_t> neighbor_degree_;
   double build_seconds_ = 0;
 };
 

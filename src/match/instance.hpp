@@ -36,6 +36,15 @@ struct Phase2Stats {
                                      ///< both sides) — a deterministic work
                                      ///< counter, identical across --jobs
                                      ///< and --core
+  std::size_t domain_prunes = 0;     ///< postulates rejected by the
+                                     ///< neighborhood-signature prefilter
+                                     ///< before any relabeling pass ran
+  std::size_t nogood_hits = 0;       ///< rejections served from the
+                                     ///< per-candidate nogood memo without
+                                     ///< re-running the signature check
+  std::size_t trail_undos = 0;       ///< trail entries rolled back while
+                                     ///< backtracking (replaces whole-state
+                                     ///< snapshot copies)
 
   /// Fold another verifier's counters in (parallel sweeps keep per-worker
   /// stats and merge them; sums are scheduling-order independent).
@@ -51,6 +60,9 @@ struct Phase2Stats {
       max_guess_depth = other.max_guess_depth;
     }
     expansion_ops += other.expansion_ops;
+    domain_prunes += other.domain_prunes;
+    nogood_hits += other.nogood_hits;
+    trail_undos += other.trail_undos;
   }
 };
 

@@ -168,10 +168,15 @@ MatchReport SubgraphMatcher::run(std::size_t limit) {
   p2.max_guess_depth = options_.max_guess_depth;
   p2.budget = options_.budget;
   p2.trace = options_.trace;
+  p2.signature_filter = options_.phase2_filter;
   p2.pattern_core = pattern_core_.has_value() ? &*pattern_core_ : nullptr;
   p2.host_core = host_core_;
 
   timer.reset();
+  // Matcher-level dedup is by host DEVICE set — the counting convention the
+  // Ullmann/VF2 baselines use (and baseline_test pins). Phase II's
+  // enumerate() already dedups finer, on the full (device, net) image, so
+  // external-net automorphisms are distinguishable there but collapse here.
   std::set<std::vector<std::uint32_t>> seen_device_sets;
   auto accept = [&](SubcircuitInstance&& inst) {
     if (options_.deduplicate || options_.exhaustive) {
@@ -337,6 +342,11 @@ MatchReport SubgraphMatcher::run(std::size_t limit) {
     m.add("phase2.backtracks", stats.backtracks);
     m.add("phase2.verify_failures", stats.verify_failures);
     m.add("phase2.expansion_ops", stats.expansion_ops);
+    // Fast-path counters only when they fired, so runs that never prune or
+    // guess (and their golden metric snapshots) are unchanged.
+    if (stats.domain_prunes != 0) m.add("phase2.domain_prunes", stats.domain_prunes);
+    if (stats.nogood_hits != 0) m.add("phase2.nogood_hits", stats.nogood_hits);
+    if (stats.trail_undos != 0) m.add("phase2.trail_undos", stats.trail_undos);
     m.gauge("phase2.max_guess_depth",
             static_cast<double>(stats.max_guess_depth));
     m.add("match.runs");

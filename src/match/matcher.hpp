@@ -43,8 +43,18 @@ struct MatchOptions {
   /// Exhaustive semantics: enumerate EVERY instance (like the baselines) by
   /// exploring all Phase II guess branches per candidate, instead of the
   /// paper's one-instance-per-key-image. Costs extra only where instances
-  /// overlap or patterns are symmetric. Implies deduplication.
+  /// overlap or patterns are symmetric. Implies deduplication. Note the two
+  /// dedup granularities: Phase II's enumerate() keeps matches that differ
+  /// only in external-net bindings (full (device, net)-image key), while the
+  /// matcher-level dedup below collapses to one instance per host DEVICE
+  /// set — matching the Ullmann/VF2 baselines' counting convention.
   bool exhaustive = false;
+  /// Phase II neighborhood-signature prefilter (degree + sorted
+  /// neighbor-degree/type sequences) plus the per-candidate nogood memo over
+  /// refuted pattern-vertex/host-vertex postulates. Sound — it never rejects
+  /// a pair the census pass would accept — so results are identical either
+  /// way; off exists for A/B measurement (--phase2-filter=off).
+  bool phase2_filter = true;
   /// Seed for the fixed labels Phase II assigns to matched pairs.
   std::uint64_t seed = 0x53554247454D494EULL;
   /// Wall-clock / cancellation envelope for the WHOLE run: threaded through

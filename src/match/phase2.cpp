@@ -1,6 +1,7 @@
 #include "match/phase2.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <set>
 
 #include "graph/csr_core.hpp"
@@ -19,6 +20,17 @@ namespace {
 Label base_label(const CircuitGraph& graph, Vertex v) {
   return graph.is_device(v) ? graph.initial_label(v) : kNoLabel;
 }
+
+/// Heterogeneous comparator for binary-searching the flat (label, member)
+/// census by label.
+struct LabelLess {
+  bool operator()(const std::pair<Label, std::uint32_t>& a, Label b) const {
+    return a.first < b;
+  }
+  bool operator()(Label a, const std::pair<Label, std::uint32_t>& b) const {
+    return a < b.first;
+  }
+};
 }  // namespace
 
 Phase2Verifier::Phase2Verifier(const CircuitGraph& pattern,
@@ -59,6 +71,36 @@ Phase2Verifier::Phase2Verifier(const CircuitGraph& pattern,
     special_image_[v] = g_.vertex_of(*hn);
     host_fixed_label_[g_.vertex_of(*hn)] = s_.initial_label(v);
   }
+
+  // Signature profiles for the prefilter. Rail pins are skipped: they bind
+  // by name, and leaving the host's rail pins as unconstrained "extra"
+  // entries in the matching below only weakens the filter — never makes it
+  // unsound.
+  profile_.resize(s_.vertex_count());
+  for (Vertex v = 0; v < s_.vertex_count(); ++v) {
+    if (s_.is_special(v)) continue;
+    PinProfile& p = profile_[v];
+    if (s_.is_device(v)) {
+      for (const auto& e : s_.edges(v)) {
+        if (s_.is_special(e.to)) continue;
+        const auto d = static_cast<std::uint32_t>(s_.degree(e.to));
+        if (pnl.is_port(s_.net_of(e.to))) {
+          p.lower.push_back(d);
+        } else {
+          p.exact.push_back(d);
+        }
+      }
+      std::sort(p.exact.begin(), p.exact.end());
+      std::sort(p.lower.begin(), p.lower.end());
+    } else {
+      p.degree = static_cast<std::uint32_t>(s_.degree(v));
+      p.is_port = pnl.is_port(s_.net_of(v));
+      for (const auto& e : s_.edges(v)) {
+        p.nbr_labels.push_back(s_.initial_label(e.to));
+      }
+      std::sort(p.nbr_labels.begin(), p.nbr_labels.end());
+    }
+  }
 }
 
 Label Phase2Verifier::fresh_label(State& st) {
@@ -69,6 +111,270 @@ Label Phase2Verifier::fresh_label(State& st) {
   return l;
 }
 
+// --- live-slot bitset ------------------------------------------------------
+
+void Phase2Verifier::live_push(State& st) {
+  const std::size_t i = st.slots.size() - 1;
+  if (i % 64 == 0) st.live.push_back(0);
+  st.live[i / 64] |= std::uint64_t{1} << (i % 64);
+}
+
+void Phase2Verifier::live_refresh(State& st, std::uint32_t i) {
+  const Slot& slot = st.slots[i];
+  const std::uint64_t bit = std::uint64_t{1} << (i % 64);
+  if (!slot.excluded && slot.matched_to == kInvalidVertex) {
+    st.live[i / 64] |= bit;
+  } else {
+    st.live[i / 64] &= ~bit;
+  }
+}
+
+void Phase2Verifier::live_shrink(State& st, std::size_t slot_count) {
+  st.live.resize((slot_count + 63) / 64);
+  if (slot_count % 64 != 0) {
+    // Clear the ghost bits of truncated slots in the tail word so bitset
+    // equality (and the set-bit iteration) stays canonical.
+    st.live.back() &= (std::uint64_t{1} << (slot_count % 64)) - 1;
+  }
+}
+
+bool Phase2Verifier::live_test(const State& st, std::size_t i) {
+  return (st.live[i / 64] >> (i % 64)) & 1;
+}
+
+// --- trail-journaled mutators ----------------------------------------------
+
+void Phase2Verifier::set_label_s(State& st, Vertex v, Label l) {
+  if (st.label_s[v] == l) return;
+  if (trail_depth_ > 0) {
+    trail_.push_back({TrailEntry::Kind::kLabelS, v, st.label_s[v]});
+  }
+  st.label_s[v] = l;
+}
+
+void Phase2Verifier::set_considered_s(State& st, Vertex v) {
+  if (st.considered_s[v]) return;
+  if (trail_depth_ > 0) {
+    trail_.push_back({TrailEntry::Kind::kConsideredS, v, 0});
+  }
+  st.considered_s[v] = true;
+}
+
+void Phase2Verifier::set_safe_s(State& st, Vertex v, bool safe) {
+  if (st.safe_s[v] == safe) return;
+  if (trail_depth_ > 0) {
+    trail_.push_back({TrailEntry::Kind::kSafeS, v, safe ? 0u : 1u});
+  }
+  st.safe_s[v] = safe;
+}
+
+void Phase2Verifier::set_matched_s(State& st, Vertex v, Vertex g) {
+  if (st.matched_s[v] == g) return;
+  if (trail_depth_ > 0) {
+    trail_.push_back({TrailEntry::Kind::kMatchedS, v, st.matched_s[v]});
+  }
+  st.matched_s[v] = g;
+}
+
+void Phase2Verifier::set_slot_label(State& st, std::uint32_t i, Label l) {
+  if (st.slots[i].label == l) return;
+  if (trail_depth_ > 0) {
+    trail_.push_back({TrailEntry::Kind::kSlotLabel, i, st.slots[i].label});
+  }
+  st.slots[i].label = l;
+}
+
+void Phase2Verifier::set_slot_safe(State& st, std::uint32_t i, bool safe) {
+  if (st.slots[i].safe == safe) return;
+  if (trail_depth_ > 0) {
+    trail_.push_back({TrailEntry::Kind::kSlotSafe, i, safe ? 0u : 1u});
+  }
+  st.slots[i].safe = safe;
+}
+
+void Phase2Verifier::set_slot_excluded(State& st, std::uint32_t i,
+                                       bool excluded) {
+  if (st.slots[i].excluded == excluded) return;
+  if (trail_depth_ > 0) {
+    trail_.push_back({TrailEntry::Kind::kSlotExcluded, i, excluded ? 0u : 1u});
+  }
+  st.slots[i].excluded = excluded;
+  live_refresh(st, i);
+}
+
+void Phase2Verifier::set_slot_matched_to(State& st, std::uint32_t i,
+                                         Vertex s) {
+  if (st.slots[i].matched_to == s) return;
+  if (trail_depth_ > 0) {
+    trail_.push_back(
+        {TrailEntry::Kind::kSlotMatchedTo, i, st.slots[i].matched_to});
+  }
+  st.slots[i].matched_to = s;
+  live_refresh(st, i);
+}
+
+Phase2Verifier::TrailMark Phase2Verifier::trail_mark(const State& st) const {
+  return TrailMark{trail_.size(),       st.slots.size(), st.matched_count,
+                   st.safe_unmatched,   st.passes,       st.rng};
+}
+
+void Phase2Verifier::undo_to(State& st, const TrailMark& mark) {
+  std::size_t reverted = trail_.size() - mark.entries;
+  for (std::size_t i = trail_.size(); i > mark.entries; --i) {
+    const TrailEntry& e = trail_[i - 1];
+    switch (e.kind) {
+      case TrailEntry::Kind::kLabelS:
+        st.label_s[e.index] = e.old_value;
+        break;
+      case TrailEntry::Kind::kConsideredS:
+        st.considered_s[e.index] = false;
+        break;
+      case TrailEntry::Kind::kSafeS:
+        st.safe_s[e.index] = e.old_value != 0;
+        break;
+      case TrailEntry::Kind::kMatchedS:
+        st.matched_s[e.index] = static_cast<Vertex>(e.old_value);
+        break;
+      case TrailEntry::Kind::kSlotLabel:
+        st.slots[e.index].label = e.old_value;
+        break;
+      case TrailEntry::Kind::kSlotSafe:
+        st.slots[e.index].safe = e.old_value != 0;
+        break;
+      case TrailEntry::Kind::kSlotExcluded:
+        st.slots[e.index].excluded = e.old_value != 0;
+        live_refresh(st, e.index);
+        break;
+      case TrailEntry::Kind::kSlotMatchedTo:
+        st.slots[e.index].matched_to = static_cast<Vertex>(e.old_value);
+        live_refresh(st, e.index);
+        break;
+    }
+  }
+  trail_.resize(mark.entries);
+  // Slots only grow inside a branch, so rollback truncates; entries above
+  // were undone first, while their indices were still in range.
+  reverted += st.slots.size() - mark.slots;
+  for (std::size_t i = st.slots.size(); i > mark.slots; --i) {
+    st.slot_of.erase(st.slots[i - 1].vertex);
+  }
+  st.slots.resize(mark.slots);
+  live_shrink(st, mark.slots);
+  st.matched_count = mark.matched_count;
+  st.safe_unmatched = mark.safe_unmatched;
+  st.passes = mark.passes;
+  st.rng = mark.rng;
+  stats_.trail_undos += reverted;
+}
+
+bool Phase2Verifier::states_equal(const State& a, const State& b) {
+  return a.label_s == b.label_s && a.considered_s == b.considered_s &&
+         a.safe_s == b.safe_s && a.matched_s == b.matched_s &&
+         a.matched_count == b.matched_count &&
+         a.safe_unmatched == b.safe_unmatched && a.slot_of == b.slot_of &&
+         a.slots == b.slots && a.live == b.live && a.rng == b.rng &&
+         a.passes == b.passes;
+}
+
+// --- neighborhood-signature prefilter --------------------------------------
+
+bool Phase2Verifier::device_compatible(Vertex s, Vertex g) {
+  const PinProfile& p = profile_[s];
+  if (p.exact.empty() && p.lower.empty()) return true;
+  std::span<const std::uint32_t> hd;
+  if (options_.host_core != nullptr) {
+    hd = options_.host_core->sorted_neighbor_degrees(g);
+  } else {
+    host_degree_scratch_.clear();
+    for (const auto& e : g_.edges(g)) {
+      host_degree_scratch_.push_back(
+          static_cast<std::uint32_t>(g_.degree(e.to)));
+    }
+    std::sort(host_degree_scratch_.begin(), host_degree_scratch_.end());
+    hd = host_degree_scratch_;
+  }
+  // Injectively assign every pattern pin requirement to a distinct host pin
+  // (extra host pins — e.g. the candidate's rail pins — stay free). Exact
+  // requirements first: equal values are interchangeable, so consuming any
+  // match preserves feasibility. Then the lower bounds greedily take the
+  // smallest remaining value that satisfies them, which is exact for
+  // one-sided intervals.
+  degree_rem_scratch_.clear();
+  std::size_t j = 0;
+  for (const std::uint32_t need : p.exact) {
+    for (; j < hd.size() && hd[j] < need; ++j) {
+      degree_rem_scratch_.push_back(hd[j]);
+    }
+    if (j >= hd.size() || hd[j] != need) return false;
+    ++j;
+  }
+  for (; j < hd.size(); ++j) degree_rem_scratch_.push_back(hd[j]);
+  std::size_t k = 0;
+  for (const std::uint32_t need : p.lower) {
+    while (k < degree_rem_scratch_.size() && degree_rem_scratch_[k] < need) {
+      ++k;
+    }
+    if (k >= degree_rem_scratch_.size()) return false;
+    ++k;
+  }
+  return true;
+}
+
+bool Phase2Verifier::net_compatible(Vertex s, Vertex g) {
+  const PinProfile& p = profile_[s];
+  const auto hd = static_cast<std::uint32_t>(g_.degree(g));
+  // Internal pattern nets are induced (final verification enforces it), so
+  // their host image must have exactly the pattern degree; ports may fan
+  // out further in the host.
+  if (p.is_port ? hd < p.degree : hd != p.degree) return false;
+  host_label_scratch_.clear();
+  if (options_.host_core != nullptr) {
+    for (const Vertex to : options_.host_core->neighbors(g)) {
+      host_label_scratch_.push_back(options_.host_core->initial_label(to));
+    }
+  } else {
+    for (const auto& e : g_.edges(g)) {
+      host_label_scratch_.push_back(g_.initial_label(e.to));
+    }
+  }
+  std::sort(host_label_scratch_.begin(), host_label_scratch_.end());
+  // Each pattern pin maps to a distinct host pin on a device of the same
+  // type: multiset inclusion of the neighbor-type sequences.
+  std::size_t k = 0;
+  for (const Label need : p.nbr_labels) {
+    while (k < host_label_scratch_.size() && host_label_scratch_[k] < need) {
+      ++k;
+    }
+    if (k >= host_label_scratch_.size() || host_label_scratch_[k] != need) {
+      return false;
+    }
+    ++k;
+  }
+  return true;
+}
+
+bool Phase2Verifier::signature_ok(Vertex s, Vertex g) {
+  if (s_.is_special(s)) return true;
+  const std::uint64_t key = (static_cast<std::uint64_t>(s) << 32) | g;
+  auto it = compat_cache_.find(key);
+  if (it != compat_cache_.end()) {
+    // Nogood memo hit: the refutation (or acceptance) was derived earlier
+    // in THIS candidate's search — sibling guess branches skip the recheck.
+    if (!it->second) ++stats_.nogood_hits;
+    return it->second;
+  }
+  // A type-mismatched pair can never complete (extract_mapping requires the
+  // images to preserve device/net kind), so refuting it is exact.
+  const bool ok = s_.is_device(s) == g_.is_device(g) &&
+                  (s_.is_device(s) ? device_compatible(s, g)
+                                   : net_compatible(s, g));
+  compat_cache_.emplace(key, ok);
+  if (!ok) ++stats_.domain_prunes;
+  return ok;
+}
+
+// --- search ----------------------------------------------------------------
+
 std::uint32_t Phase2Verifier::ensure_slot(State& st, Vertex g) {
   auto [it, inserted] =
       st.slot_of.try_emplace(g, static_cast<std::uint32_t>(st.slots.size()));
@@ -76,6 +382,7 @@ std::uint32_t Phase2Verifier::ensure_slot(State& st, Vertex g) {
     Slot slot;
     slot.vertex = g;
     st.slots.push_back(slot);
+    live_push(st);
   }
   return it->second;
 }
@@ -88,22 +395,30 @@ void Phase2Verifier::postulate(State& st, Vertex s, Vertex g) {
                  "phase2 audit: pattern vertex postulated twice");
   ++stats_.bindings;
   const Label l = fresh_label(st);
-  st.label_s[s] = l;
-  st.considered_s[s] = true;
-  st.safe_s[s] = true;
-  st.matched_s[s] = g;
+  set_label_s(st, s, l);
+  set_considered_s(st, s);
+  set_safe_s(st, s, true);
+  set_matched_s(st, s, g);
   ++st.matched_count;
   SUBG_AUDIT_MSG(st.matched_count <= matchable_total_,
                  "phase2 audit: matched count exceeds the matchable pattern "
                  "vertices");
 
-  Slot& slot = st.slots[ensure_slot(st, g)];
-  SUBG_AUDIT_MSG(slot.matched_to == kInvalidVertex,
+  const std::uint32_t i = ensure_slot(st, g);
+  SUBG_AUDIT_MSG(st.slots[i].matched_to == kInvalidVertex,
                  "phase2 audit: host vertex bound to two pattern vertices");
-  slot.label = l;
-  slot.safe = true;
-  slot.excluded = false;
-  slot.matched_to = s;
+  set_slot_label(st, i, l);
+  set_slot_safe(st, i, true);
+  set_slot_excluded(st, i, false);
+  set_slot_matched_to(st, i, s);
+}
+
+void Phase2Verifier::reset_candidate_scratch() {
+  SUBG_AUDIT_MSG(trail_depth_ == 0,
+                 "phase2 audit: guess frames leaked across candidates");
+  trail_.clear();
+  trail_depth_ = 0;
+  compat_cache_.clear();
 }
 
 std::optional<SubcircuitInstance> Phase2Verifier::verify(Vertex key,
@@ -115,6 +430,10 @@ std::optional<SubcircuitInstance> Phase2Verifier::verify(Vertex key,
   if (s_.is_device(key)) {
     // Cheap pre-check: the candidate must at least share the device type.
     if (s_.initial_label(key) != g_.initial_label(candidate)) return std::nullopt;
+  }
+  reset_candidate_scratch();
+  if (options_.signature_filter && !signature_ok(key, candidate)) {
+    return std::nullopt;
   }
 
   State st;
@@ -137,12 +456,17 @@ std::optional<SubcircuitInstance> Phase2Verifier::verify(Vertex key,
 std::vector<SubcircuitInstance> Phase2Verifier::enumerate(Vertex key,
                                                           Vertex candidate,
                                                           std::size_t limit) {
+  SUBG_FAULT_POINT("phase2");
   ++stats_.candidates_tried;
   std::vector<SubcircuitInstance> found;
   if (!globals_resolved_ || limit == 0) return found;
   if (s_.is_device(key) != g_.is_device(candidate)) return found;
   if (s_.is_device(key) &&
       s_.initial_label(key) != g_.initial_label(candidate)) {
+    return found;
+  }
+  reset_candidate_scratch();
+  if (options_.signature_filter && !signature_ok(key, candidate)) {
     return found;
   }
 
@@ -158,16 +482,22 @@ std::vector<SubcircuitInstance> Phase2Verifier::enumerate(Vertex key,
   SubcircuitInstance scratch;
   (void)run(st, 0, &scratch, &found, limit);
 
-  // Automorphic branches revisit the same device set; dedup locally,
-  // keeping first-found order (deterministic).
-  std::set<std::vector<std::uint32_t>> seen;
+  // Automorphic branches revisit the same wiring; dedup on the exact
+  // (device image, net image) mapping — the position-indexed vectors, NOT
+  // sorted value sets — keeping first-found order (deterministic). Keying
+  // on sorted sets would silently merge matches that differ only in the
+  // assignment of external nets — e.g. the two orientations of a pass
+  // transistor cover the same net set {h1, h2} but are distinct mappings.
+  std::set<std::pair<std::vector<std::uint32_t>, std::vector<std::uint32_t>>>
+      seen;
   std::vector<SubcircuitInstance> unique;
   for (SubcircuitInstance& inst : found) {
-    std::vector<std::uint32_t> key_set;
-    key_set.reserve(inst.device_image.size());
-    for (DeviceId d : inst.device_image) key_set.push_back(d.value);
-    std::sort(key_set.begin(), key_set.end());
-    if (seen.insert(std::move(key_set)).second) {
+    std::pair<std::vector<std::uint32_t>, std::vector<std::uint32_t>> key_map;
+    key_map.first.reserve(inst.device_image.size());
+    for (DeviceId d : inst.device_image) key_map.first.push_back(d.value);
+    key_map.second.reserve(inst.net_image.size());
+    for (NetId n : inst.net_image) key_map.second.push_back(n.value);
+    if (seen.insert(std::move(key_map)).second) {
       unique.push_back(std::move(inst));
     }
   }
@@ -241,29 +571,60 @@ Phase2Verifier::Outcome Phase2Verifier::run(
       return Outcome::kFail;
     }
 
-    // Candidate images per pattern label among live host slots.
-    std::unordered_map<Label, std::vector<Vertex>> g_parts;
-    for (const Slot& slot : st.slots) {
-      if (slot.excluded || slot.matched_to != kInvalidVertex) continue;
-      if (slot.label != kNoLabel) g_parts[slot.label].push_back(slot.vertex);
+    // Candidate domains per pattern label among live host slots: the flat
+    // label-sorted census, grouped by equal label — each group is the
+    // domain of the pattern partition carrying that label.
+    part_g_.clear();
+    for (std::size_t w = 0; w < st.live.size(); ++w) {
+      std::uint64_t bits = st.live[w];
+      while (bits != 0) {
+        const auto i =
+            static_cast<std::uint32_t>(w * 64 + std::countr_zero(bits));
+        bits &= bits - 1;
+        if (st.slots[i].label != kNoLabel) {
+          part_g_.emplace_back(st.slots[i].label, i);
+        }
+      }
     }
+    std::stable_sort(part_g_.begin(), part_g_.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
 
     Vertex guess_s = kInvalidVertex;
     std::size_t best_size = 0;
+    std::size_t best_begin = 0;
     for (Vertex v = 0; v < s_.vertex_count(); ++v) {
       if (s_.is_special(v) || !st.considered_s[v]) continue;
       if (st.matched_s[v] != kInvalidVertex || st.label_s[v] == kNoLabel) continue;
-      auto it = g_parts.find(st.label_s[v]);
-      if (it == g_parts.end()) return Outcome::kFail;  // should not happen
-      if (guess_s == kInvalidVertex || it->second.size() < best_size) {
+      const auto [lo, hi] = std::equal_range(part_g_.begin(), part_g_.end(),
+                                             st.label_s[v], LabelLess{});
+      if (lo == hi) {
+        // A completed pass guarantees every live pattern partition has a
+        // host twin at least as large; an empty domain here means the
+        // census is corrupt. Refute deterministically instead of searching
+        // on a broken hypothesis.
+        SUBG_AUDIT_MSG(false,
+                       "phase2 audit: stalled pattern partition has no live "
+                       "host twin");
+        return Outcome::kFail;
+      }
+      const auto size = static_cast<std::size_t>(hi - lo);
+      if (guess_s == kInvalidVertex || size < best_size) {
         guess_s = v;
-        best_size = it->second.size();
+        best_size = size;
+        best_begin = static_cast<std::size_t>(lo - part_g_.begin());
       }
     }
 
     std::vector<Vertex> pool;
     if (guess_s != kInvalidVertex) {
-      pool = g_parts[st.label_s[guess_s]];
+      pool.reserve(best_size);
+      for (std::size_t k = best_begin; k < best_begin + best_size; ++k) {
+        const Vertex gv = st.slots[part_g_[k].second].vertex;
+        if (options_.signature_filter && !signature_ok(guess_s, gv)) continue;
+        pool.push_back(gv);
+      }
     } else {
       // No labeled unmatched pattern vertex: the remaining pattern region is
       // reachable only through a special rail (frontier expansion does not
@@ -296,6 +657,10 @@ Phase2Verifier::Outcome Phase2Verifier::run(
       }
       std::sort(pool.begin(), pool.end());
       pool.erase(std::unique(pool.begin(), pool.end()), pool.end());
+      if (options_.signature_filter) {
+        std::erase_if(pool,
+                      [&](Vertex gv) { return !signature_ok(guess_s, gv); });
+      }
     }
 
     for (std::size_t pi = 0; pi < pool.size(); ++pi) {
@@ -308,14 +673,22 @@ Phase2Verifier::Outcome Phase2Verifier::run(
         status_.guesses_abandoned += pool.size() - pi;
         break;
       }
-      State snapshot = st;
+      const TrailMark mark = trail_mark(st);
+      std::optional<State> audit_snapshot;
+      if constexpr (kAuditEnabled) audit_snapshot = st;
+      ++trail_depth_;
       ++stats_.guesses;
       postulate(st, guess_s, pool[pi]);
-      if (run(st, depth + 1, out, sink, sink_limit) == Outcome::kSuccess) {
-        return Outcome::kSuccess;
-      }
+      const Outcome outcome = run(st, depth + 1, out, sink, sink_limit);
+      --trail_depth_;
+      if (outcome == Outcome::kSuccess) return Outcome::kSuccess;
       ++stats_.backtracks;
-      st = std::move(snapshot);
+      undo_to(st, mark);
+      if constexpr (kAuditEnabled) {
+        SUBG_AUDIT_MSG(states_equal(st, *audit_snapshot),
+                       "phase2 audit: trail undo did not restore the "
+                       "pre-guess state");
+      }
     }
     return Outcome::kFail;
   }
@@ -326,6 +699,15 @@ bool Phase2Verifier::pass(State& st, bool* progress) {
   ++stats_.passes;
   const CsrCore* s_core = options_.pattern_core;
   const CsrCore* g_core = options_.host_core;
+  if constexpr (kAuditEnabled) {
+    for (std::uint32_t i = 0; i < st.slots.size(); ++i) {
+      SUBG_AUDIT_MSG(live_test(st, i) ==
+                         (!st.slots[i].excluded &&
+                          st.slots[i].matched_to == kInvalidVertex),
+                     "phase2 audit: live-slot bitset diverged from the slot "
+                     "flags");
+    }
+  }
   // Edge visits this pass (frontier expansion + relabel sums, both sides).
   // Accumulated locally and folded into stats_ once at the end — and
   // counted by the same rule in both cores, so reports stay byte-identical
@@ -342,18 +724,20 @@ bool Phase2Verifier::pass(State& st, bool* progress) {
     if (s_core != nullptr) {
       for (const Vertex to : s_core->neighbors(v)) {
         ++ops;
-        if (!s_core->is_special(to)) st.considered_s[to] = true;
+        if (!s_core->is_special(to)) set_considered_s(st, to);
       }
     } else {
       for (const auto& e : s_.edges(v)) {
         ++ops;
-        if (!s_.is_special(e.to)) st.considered_s[e.to] = true;
+        if (!s_.is_special(e.to)) set_considered_s(st, e.to);
       }
     }
   }
   const std::size_t slot_count_before = st.slots.size();
   for (std::size_t i = 0; i < slot_count_before; ++i) {
-    // Indexed loop: ensure_slot may grow st.slots.
+    // Indexed loop over ALL slots: matched slots are safe and keep
+    // expanding the frontier, so this one iterates flags, not live bits.
+    // ensure_slot may grow st.slots.
     if (!st.slots[i].safe) continue;
     const Vertex v = st.slots[i].vertex;
     if (g_core != nullptr) {
@@ -409,83 +793,120 @@ bool Phase2Verifier::pass(State& st, bool* progress) {
     new_s_.emplace_back(v, relabel(base_label(s_, v), sum));
   }
   new_g_.clear();
-  for (std::uint32_t i = 0; i < st.slots.size(); ++i) {
-    const Slot& slot = st.slots[i];
-    if (slot.excluded || slot.matched_to != kInvalidVertex) continue;
-    Label sum = 0;
-    if (g_core != nullptr) {
-      const auto nbrs = g_core->neighbors(slot.vertex);
-      const auto coeffs = g_core->coefficients(slot.vertex);
-      for (std::size_t k = 0; k < nbrs.size(); ++k) {
-        ++ops;
-        const Label nl = safe_label_g(nbrs[k]);
-        if (nl != kNoLabel) sum += edge_contribution(coeffs[k], nl);
+  for (std::size_t w = 0; w < st.live.size(); ++w) {
+    std::uint64_t bits = st.live[w];
+    while (bits != 0) {
+      const auto i =
+          static_cast<std::uint32_t>(w * 64 + std::countr_zero(bits));
+      bits &= bits - 1;
+      const Slot& slot = st.slots[i];
+      Label sum = 0;
+      if (g_core != nullptr) {
+        const auto nbrs = g_core->neighbors(slot.vertex);
+        const auto coeffs = g_core->coefficients(slot.vertex);
+        for (std::size_t k = 0; k < nbrs.size(); ++k) {
+          ++ops;
+          const Label nl = safe_label_g(nbrs[k]);
+          if (nl != kNoLabel) sum += edge_contribution(coeffs[k], nl);
+        }
+      } else {
+        for (const auto& e : g_.edges(slot.vertex)) {
+          ++ops;
+          const Label nl = safe_label_g(e.to);
+          if (nl != kNoLabel) sum += edge_contribution(e.coefficient, nl);
+        }
       }
-    } else {
-      for (const auto& e : g_.edges(slot.vertex)) {
-        ++ops;
-        const Label nl = safe_label_g(e.to);
-        if (nl != kNoLabel) sum += edge_contribution(e.coefficient, nl);
-      }
+      new_g_.emplace_back(i, relabel(base_label(g_, slot.vertex), sum));
     }
-    new_g_.emplace_back(i, relabel(base_label(g_, slot.vertex), sum));
   }
-  for (const auto& [v, l] : new_s_) st.label_s[v] = l;
-  for (const auto& [i, l] : new_g_) st.slots[i].label = l;
+  for (const auto& [v, l] : new_s_) set_label_s(st, v, l);
+  for (const auto& [i, l] : new_g_) set_slot_label(st, i, l);
   // Fold the work counter in before the partition comparison below — a
   // refuted hypothesis (early return) still did this pass's edge visits.
   stats_.expansion_ops += ops;
 
-  // --- 3. Partition comparison: equal sizes ⇒ safe; host-only labels ⇒
-  // excluded; undersized host partitions ⇒ hypothesis refuted.
-  struct Part {
-    std::vector<Vertex> s_members;
-    std::vector<std::uint32_t> g_slots;
-  };
-  std::unordered_map<Label, Part> parts;
+  // --- 3. Partition census: flat (label, member) pairs, stable-sorted by
+  // label (insertion order — vertex/slot index — survives within a group,
+  // matching the hash-map-era push order), then one merge walk. Equal
+  // sizes ⇒ safe; host-only labels ⇒ excluded; undersized host partitions
+  // ⇒ hypothesis refuted.
+  part_s_.clear();
   for (Vertex v = 0; v < s_.vertex_count(); ++v) {
     if (s_.is_special(v) || !st.considered_s[v]) continue;
     if (st.matched_s[v] != kInvalidVertex) continue;
-    parts[st.label_s[v]].s_members.push_back(v);
+    part_s_.emplace_back(st.label_s[v], v);
   }
-  for (std::uint32_t i = 0; i < st.slots.size(); ++i) {
-    const Slot& slot = st.slots[i];
-    if (slot.excluded || slot.matched_to != kInvalidVertex) continue;
-    parts[slot.label].g_slots.push_back(i);
+  part_g_.clear();
+  for (std::size_t w = 0; w < st.live.size(); ++w) {
+    std::uint64_t bits = st.live[w];
+    while (bits != 0) {
+      const auto i =
+          static_cast<std::uint32_t>(w * 64 + std::countr_zero(bits));
+      bits &= bits - 1;
+      part_g_.emplace_back(st.slots[i].label, i);
+    }
   }
+  const auto by_label = [](const auto& a, const auto& b) {
+    return a.first < b.first;
+  };
+  std::stable_sort(part_s_.begin(), part_s_.end(), by_label);
+  std::stable_sort(part_g_.begin(), part_g_.end(), by_label);
 
   const std::size_t matched_before = st.matched_count;
   std::size_t safe_unmatched = 0;
-  std::vector<std::pair<Vertex, Vertex>> to_match;
-  for (auto& [label, part] : parts) {
-    if (part.s_members.empty()) {
-      for (std::uint32_t i : part.g_slots) st.slots[i].excluded = true;
+  to_match_.clear();
+  std::size_t i = 0;
+  std::size_t j = 0;
+  const std::size_t ns = part_s_.size();
+  const std::size_t ng = part_g_.size();
+  while (i < ns || j < ng) {
+    if (j >= ng || (i < ns && part_s_[i].first < part_g_[j].first)) {
+      // Pattern partition with no live host twin: undersized (0 < n).
+      return false;
+    }
+    if (i >= ns || part_g_[j].first < part_s_[i].first) {
+      const Label l = part_g_[j].first;
+      for (; j < ng && part_g_[j].first == l; ++j) {
+        set_slot_excluded(st, part_g_[j].second, true);
+      }
       continue;
     }
-    if (part.g_slots.size() < part.s_members.size()) return false;
-    const bool safe = part.g_slots.size() == part.s_members.size();
-    for (Vertex v : part.s_members) st.safe_s[v] = safe;
-    for (std::uint32_t i : part.g_slots) st.slots[i].safe = safe;
+    const Label l = part_s_[i].first;
+    const std::size_t si = i;
+    const std::size_t sj = j;
+    while (i < ns && part_s_[i].first == l) ++i;
+    while (j < ng && part_g_[j].first == l) ++j;
+    const std::size_t s_count = i - si;
+    const std::size_t g_count = j - sj;
+    if (g_count < s_count) return false;
+    const bool safe = g_count == s_count;
+    for (std::size_t k = si; k < i; ++k) set_safe_s(st, part_s_[k].second, safe);
+    for (std::size_t k = sj; k < j; ++k) {
+      set_slot_safe(st, part_g_[k].second, safe);
+    }
     if (safe) {
-      safe_unmatched += part.s_members.size();
-      if (part.s_members.size() == 1) {
-        to_match.emplace_back(part.s_members.front(),
-                              st.slots[part.g_slots.front()].vertex);
+      safe_unmatched += s_count;
+      if (s_count == 1) {
+        to_match_.emplace_back(part_s_[si].second,
+                               st.slots[part_g_[sj].second].vertex);
       }
     }
   }
 
-  // --- 4. Match singleton safe pairs (fresh fixed labels).
-  for (const auto& [sv, gv] : to_match) {
+  // --- 4. Match singleton safe pairs (fresh fixed labels). A forced pair
+  // whose signatures cannot coexist refutes the whole hypothesis — the
+  // pairing is forced, so there is no other branch to take.
+  for (const auto& [sv, gv] : to_match_) {
+    if (options_.signature_filter && !signature_ok(sv, gv)) return false;
     ++stats_.bindings;
     const Label l = fresh_label(st);
-    st.label_s[sv] = l;
-    st.matched_s[sv] = gv;
+    set_label_s(st, sv, l);
+    set_matched_s(st, sv, gv);
     ++st.matched_count;
-    Slot& slot = st.slots[st.slot_of.at(gv)];
-    slot.label = l;
-    slot.safe = true;
-    slot.matched_to = sv;
+    const std::uint32_t gi = st.slot_of.at(gv);
+    set_slot_label(st, gi, l);
+    set_slot_safe(st, gi, true);
+    set_slot_matched_to(st, gi, sv);
     --safe_unmatched;
   }
 

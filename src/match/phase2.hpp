@@ -15,10 +15,25 @@
 //                        g and s are both safe or both suspect.
 //
 // When refinement stalls (symmetric patterns, Fig 5) the verifier guesses a
-// match inside the smallest stalled partition and recurses with full state
-// save/restore (backtracking). A fully matched mapping is then verified
-// explicitly — edges, pin equivalence classes, induced-ness of internal
-// nets — so reported instances are sound even if 64-bit labels collide.
+// match inside the smallest stalled partition and recurses with
+// backtracking. Guess branches are unwound by a mutation trail (every state
+// write inside a guess subtree is journaled and rolled back in reverse)
+// instead of copying the whole State per branch. A fully matched mapping is
+// then verified explicitly — edges, pin equivalence classes, induced-ness
+// of internal nets — so reported instances are sound even if 64-bit labels
+// collide.
+//
+// The fast path (Phase2Options::signature_filter, on by default) rejects
+// postulates before any relabeling runs: a cheap neighborhood signature —
+// degree plus the sorted neighbor-degree sequence (devices) or the sorted
+// neighbor-type multiset (nets), precomputed in the csr core — is checked
+// at candidate entry, on every forced singleton match, and across every
+// guess pool. The check is sound (it never rejects a pair that could
+// complete: port nets demand host degree >=, internal nets demand equality,
+// which final verification enforces anyway), so instances and reports are
+// identical with the filter off; only the work counters shrink. Refuted
+// pairs are memoized per candidate (nogood recording), so symmetric
+// patterns stop re-deriving the same refutation across sibling branches.
 //
 // Special signals (paper §IV.A): global nets are pre-matched by name,
 // carry fixed name-derived labels, are never relabeled and never expand the
@@ -71,6 +86,13 @@ struct Phase2Options {
   /// either way (same arithmetic in the same edge order).
   const CsrCore* pattern_core = nullptr;
   const CsrCore* host_core = nullptr;
+  /// Phase II fast path: the neighborhood-signature prefilter on postulates
+  /// (candidate entry, forced singleton matches, guess pools) plus the
+  /// per-candidate nogood memo over refuted (pattern, host) pairs. Off
+  /// reproduces the pure census search — same instances, same reports,
+  /// strictly more passes/guesses — which is what the A/B equivalence
+  /// tests and the EXPERIMENTS.md comparisons run.
+  bool signature_filter = true;
 };
 
 class Phase2Verifier {
@@ -89,12 +111,17 @@ class Phase2Verifier {
   [[nodiscard]] std::optional<SubcircuitInstance> verify(Vertex key,
                                                          Vertex candidate);
 
-  /// Enumerate EVERY instance in which `candidate` is the image of `key`
-  /// (deduplicated by host device set), by exploring all guess branches
-  /// instead of stopping at the first completion. Forced (refinement)
-  /// steps are shared by all such instances, so only ambiguity points
-  /// branch; symmetric patterns still enumerate automorphic assignments,
-  /// so `limit` caps the work. Used for exhaustive matching semantics.
+  /// Enumerate EVERY instance in which `candidate` is the image of `key`,
+  /// by exploring all guess branches instead of stopping at the first
+  /// completion. Deduplicated by the full (device image, net image) pair —
+  /// automorphic branches that permute the pattern onto the same wiring
+  /// collapse, while matches that differ only in external-net bindings
+  /// (e.g. the two orientations of a pass transistor) are distinct.
+  /// Forced (refinement) steps are shared by all such instances, so only
+  /// ambiguity points branch; symmetric patterns still enumerate
+  /// automorphic assignments, so `limit` caps the work. Used for
+  /// exhaustive matching semantics (the public matcher then collapses to
+  /// one instance per device set — matcher.hpp documents why).
   [[nodiscard]] std::vector<SubcircuitInstance> enumerate(Vertex key,
                                                           Vertex candidate,
                                                           std::size_t limit);
@@ -118,15 +145,20 @@ class Phase2Verifier {
   }
 
  private:
+  static constexpr Vertex kInvalidVertex = 0xFFFFFFFFu;
+
   struct Slot {
     Vertex vertex;
     Label label = kNoLabel;
     bool safe = false;      // as of the last completed pass
     bool excluded = false;  // proven outside the image under this hypothesis
     Vertex matched_to = kInvalidVertex;  // pattern vertex, if matched
+    friend bool operator==(const Slot&, const Slot&) = default;
   };
 
-  /// Complete mutable search state; copied wholesale for backtracking.
+  /// Complete mutable search state. Guess branches journal their writes on
+  /// the trail and roll back on backtrack; whole-State copies survive only
+  /// in the SUBG_AUDIT cross-check of that rollback.
   struct State {
     // Pattern side (dense arrays over pattern vertices).
     std::vector<Label> label_s;
@@ -138,13 +170,59 @@ class Phase2Verifier {
     // Host side (sparse: only vertices the refinement has touched).
     std::unordered_map<Vertex, std::uint32_t> slot_of;
     std::vector<Slot> slots;
+    /// Live-slot bitset over the slot array: bit i ⇔ slots[i] is neither
+    /// excluded nor matched. Maintained incrementally by every slot write
+    /// (and by trail rollback), so relabeling, the partition census, and
+    /// the guess-pool domains iterate set bits instead of re-testing flags.
+    std::vector<std::uint64_t> live;
     SplitMix64 rng;
     std::size_t passes = 0;
   };
 
   enum class Outcome { kSuccess, kFail };
 
-  static constexpr Vertex kInvalidVertex = 0xFFFFFFFFu;
+  /// One journaled state mutation: enough to restore the old value.
+  struct TrailEntry {
+    enum class Kind : std::uint8_t {
+      kLabelS,
+      kConsideredS,
+      kSafeS,
+      kMatchedS,
+      kSlotLabel,
+      kSlotSafe,
+      kSlotExcluded,
+      kSlotMatchedTo,
+    };
+    Kind kind;
+    std::uint32_t index;       // pattern vertex or slot index
+    std::uint64_t old_value;
+  };
+
+  /// Restore point for one guess branch: trail length + slot count (slots
+  /// only grow inside a branch, so rollback truncates) + the scalar
+  /// counters and the rng stream, which are cheaper to snapshot than to
+  /// journal per mutation.
+  struct TrailMark {
+    std::size_t entries;
+    std::size_t slots;
+    std::size_t matched_count;
+    std::size_t safe_unmatched;
+    std::size_t passes;
+    SplitMix64 rng;
+  };
+
+  /// Per-vertex signature requirements, precomputed over the pattern at
+  /// construction. Devices: the degrees their non-rail pins demand of the
+  /// host candidate's pins — exact for internal nets (final verification
+  /// enforces induced-ness), lower bounds for ports. Nets: own degree,
+  /// port-ness, and the sorted multiset of neighbor device types.
+  struct PinProfile {
+    std::vector<std::uint32_t> exact;  // sorted ascending
+    std::vector<std::uint32_t> lower;  // sorted ascending
+    std::vector<Label> nbr_labels;     // sorted ascending (nets only)
+    std::uint32_t degree = 0;          // nets only
+    bool is_port = false;              // nets only
+  };
 
   /// In enumerate mode `sink` collects completions and run() keeps
   /// backtracking (returns kFail upward) until branches are exhausted or
@@ -162,6 +240,33 @@ class Phase2Verifier {
                                      SubcircuitInstance* out) const;
   [[nodiscard]] bool verify_mapping(const SubcircuitInstance& inst) const;
   void record_trace(const State& st, std::size_t pass) const;
+  void reset_candidate_scratch();
+
+  // --- trail-journaled state mutators (recording only inside a guess
+  // branch: writes at depth 0 are never rolled back, they die with the
+  // candidate's State).
+  void set_label_s(State& st, Vertex v, Label l);
+  void set_considered_s(State& st, Vertex v);
+  void set_safe_s(State& st, Vertex v, bool safe);
+  void set_matched_s(State& st, Vertex v, Vertex g);
+  void set_slot_label(State& st, std::uint32_t i, Label l);
+  void set_slot_safe(State& st, std::uint32_t i, bool safe);
+  void set_slot_excluded(State& st, std::uint32_t i, bool excluded);
+  void set_slot_matched_to(State& st, std::uint32_t i, Vertex s);
+  [[nodiscard]] TrailMark trail_mark(const State& st) const;
+  void undo_to(State& st, const TrailMark& mark);
+  [[nodiscard]] static bool states_equal(const State& a, const State& b);
+
+  // --- live-slot bitset maintenance.
+  static void live_push(State& st);
+  static void live_refresh(State& st, std::uint32_t i);
+  static void live_shrink(State& st, std::size_t slot_count);
+  [[nodiscard]] static bool live_test(const State& st, std::size_t i);
+
+  // --- neighborhood-signature prefilter (the fast path).
+  [[nodiscard]] bool signature_ok(Vertex s, Vertex g);
+  [[nodiscard]] bool device_compatible(Vertex s, Vertex g);
+  [[nodiscard]] bool net_compatible(Vertex s, Vertex g);
 
   const CircuitGraph& s_;
   const CircuitGraph& g_;
@@ -172,6 +277,24 @@ class Phase2Verifier {
   /// vectors, so this is safe for bit-identical reports in BOTH cores.
   std::vector<std::pair<Vertex, Label>> new_s_;
   std::vector<std::pair<std::uint32_t, Label>> new_g_;
+  /// Partition census buffers: flat (label, member) pairs, stable-sorted by
+  /// label — groups replace the per-pass hash maps. Reused like new_*_.
+  std::vector<std::pair<Label, Vertex>> part_s_;
+  std::vector<std::pair<Label, std::uint32_t>> part_g_;
+  std::vector<std::pair<Vertex, Vertex>> to_match_;
+  /// Mutation journal for guess-branch rollback, with the active-branch
+  /// depth gating what gets recorded.
+  std::vector<TrailEntry> trail_;
+  std::size_t trail_depth_ = 0;
+  /// Per-candidate signature memo: (pattern vertex, host vertex) → checked
+  /// verdict. Refuted entries are the nogood set; cleared per candidate so
+  /// counters stay deterministic across --jobs lane assignments.
+  std::unordered_map<std::uint64_t, bool> compat_cache_;
+  /// Signature scratch (legacy-core degree sort, host net neighbor types).
+  std::vector<std::uint32_t> host_degree_scratch_;
+  std::vector<std::uint32_t> degree_rem_scratch_;
+  std::vector<Label> host_label_scratch_;
+  std::vector<PinProfile> profile_;
   RunStatus status_;
   bool globals_resolved_ = true;
   /// Pattern special net vertex → host special net vertex (by name).

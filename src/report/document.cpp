@@ -47,6 +47,11 @@ json::Value to_json(const Phase2Stats& stats) {
   v.set("verify_failures", stats.verify_failures);
   v.set("max_guess_depth", stats.max_guess_depth);
   v.set("expansion_ops", stats.expansion_ops);
+  // Fast-path counters are additive-only schema members, emitted only when
+  // they fired so pre-existing golden reports stay byte-identical.
+  if (stats.domain_prunes != 0) v.set("domain_prunes", stats.domain_prunes);
+  if (stats.nogood_hits != 0) v.set("nogood_hits", stats.nogood_hits);
+  if (stats.trail_undos != 0) v.set("trail_undos", stats.trail_undos);
   return v;
 }
 

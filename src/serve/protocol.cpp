@@ -26,6 +26,20 @@ bool read_string(const json::Value& object, std::string_view key,
   return true;
 }
 
+/// Read an optional boolean member; same rejection contract as read_string.
+bool read_bool(const json::Value& object, std::string_view key, bool* out,
+               std::string* message) {
+  const json::Value* member = object.find(key);
+  if (member == nullptr) return true;
+  if (member->kind() != json::Value::Kind::kBool) {
+    *message =
+        std::string("member '") + std::string(key) + "' must be a boolean";
+    return false;
+  }
+  *out = member->as_bool();
+  return true;
+}
+
 bool read_number(const json::Value& object, std::string_view key, double* out,
                  std::string* message) {
   const json::Value* member = object.find(key);
@@ -98,6 +112,9 @@ std::optional<Request> parse_request(std::string_view line, ErrorCode* code,
     return std::nullopt;
   }
   request.max_matches = static_cast<std::uint64_t>(max_matches);
+  if (!read_bool(object, "exhaustive", &request.exhaustive, message)) {
+    return std::nullopt;
+  }
   return request;
 }
 

@@ -114,6 +114,9 @@ struct Request {
   double timeout_ms = -1;
   /// find: stop after this many instances; 0 = unlimited.
   std::uint64_t max_matches = 0;
+  /// find: enumerate every instance (all Phase II guess branches per
+  /// candidate) instead of one per key image — MatchOptions::exhaustive.
+  bool exhaustive = false;
 };
 
 /// Decode one request line. On failure returns nullopt with *code (always

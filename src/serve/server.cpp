@@ -398,6 +398,7 @@ std::string Server::handle_find(const Request& request) {
   MatchOptions options;
   options.budget = request_budget(request);
   if (request.max_matches > 0) options.max_matches = request.max_matches;
+  options.exhaustive = request.exhaustive;
   options.pool = &pool_;
   options.metrics = options_.metrics;
   options.core =

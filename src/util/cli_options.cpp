@@ -122,6 +122,19 @@ ParsedArgs parse_args(const std::vector<std::string>& args) {
       out.options.core = *mode;
       continue;
     }
+    if (const char* v = flag_value(arg, "--phase2-filter=")) {
+      const std::string value = v;
+      if (value == "on") {
+        out.options.phase2_filter = true;
+      } else if (value == "off") {
+        out.options.phase2_filter = false;
+      } else {
+        out.error =
+            "bad --phase2-filter value '" + value + "' (want on or off)";
+        return out;
+      }
+      continue;
+    }
     if (const char* v = flag_value(arg, "--serve-workers=")) {
       char* end = nullptr;
       const unsigned long workers = std::strtoul(v, &end, 10);
@@ -203,6 +216,9 @@ const char* global_flags_help() {
       "  --core=<layout>    matching-core layout: csr (default; flattened\n"
       "                     index arrays) or legacy (direct graph walks);\n"
       "                     reports are byte-identical either way\n"
+      "  --phase2-filter=<mode> Phase II signature prefilter + nogood memo:\n"
+      "                     on (default) or off; results are identical, off\n"
+      "                     exists for A/B perf comparison\n"
       "  serve-only flags:\n"
       "  --serve-workers=<n>    concurrent request workers (default 1)\n"
       "  --max-pending=<n>      queued-request bound; beyond it requests\n"

@@ -15,6 +15,9 @@
 //   --fail-on=warn|error severity threshold for a nonzero lint exit
 //   --lint               run the lint checks before extraction
 //   --core=csr|legacy    matching-core layout (csr is the default)
+//   --phase2-filter=on|off
+//                        Phase II signature prefilter + nogood memo (on is
+//                        the default; off is the A/B measurement path)
 //
 // Flags may appear anywhere; everything else is returned as a positional.
 // Unknown --flags are an error (callers map it to a usage exit), so typos
@@ -61,6 +64,10 @@ struct GlobalOptions {
   /// runs the flattened SoA sweeps; legacy walks the CircuitGraph directly.
   /// Reports are byte-identical either way.
   CoreMode core = CoreMode::kCsr;
+  /// --phase2-filter: the neighborhood-signature prefilter and nogood memo
+  /// in Phase II. Sound (results identical either way); off exists for A/B
+  /// perf comparison.
+  bool phase2_filter = true;
   /// serve-only knobs (see serve/server.hpp for semantics; inert for the
   /// one-shot commands).
   std::size_t serve_workers = 1;

@@ -146,6 +146,10 @@ class Value {
     SUBG_CHECK_MSG(kind_ == Kind::kString, "json: as_string() on a non-string");
     return string_;
   }
+  [[nodiscard]] bool as_bool() const {
+    SUBG_CHECK_MSG(kind_ == Kind::kBool, "json: as_bool() on a non-boolean");
+    return bool_;
+  }
 
   /// Serialize. indent == 0 emits compact one-line JSON; indent > 0 pretty
   /// prints with that many spaces per depth level.

@@ -51,6 +51,11 @@ class SplitMix64 {
         (static_cast<unsigned __int128>(operator()()) * bound) >> 64);
   }
 
+  /// Stream equality = identical future draws (the Phase II trail audit
+  /// cross-checks restored state, rng stream included).
+  [[nodiscard]] friend constexpr bool operator==(const SplitMix64&,
+                                                 const SplitMix64&) = default;
+
  private:
   std::uint64_t state_;
 };

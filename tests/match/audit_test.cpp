@@ -17,6 +17,7 @@
 #include "cells/cells.hpp"
 #include "gen/generators.hpp"
 #include "match/matcher.hpp"
+#include "test_circuits.hpp"
 #include "util/check.hpp"
 
 namespace subg {
@@ -91,6 +92,54 @@ TEST(Audit, PlantedInstancesSurviveAudit) {
       gen::plant_instances(host.netlist, pattern, 6, pool, 0xF00D);
   SubgraphMatcher matcher(pattern, host.netlist);
   EXPECT_GE(matcher.find_all().count(), planted + host.placed_count("inv"));
+}
+
+TEST(Audit, TrailUndoRestoresStateAcrossGuessBranches) {
+  // A workload whose guess branches genuinely fail, so under SUBG_AUDIT=ON
+  // every branch exit runs the trail-undo-vs-snapshot state comparison and
+  // the live-bitset/slot-flag consistency sweep. A 6-ring pattern against a
+  // host with a poisoned fat ring (extra transistor on one ring net) and a
+  // clean one: fat-ring candidates far from the poison pass the signature
+  // prefilter, stall on the ring's mirror symmetry, and both orientations
+  // fail only after the guess — real backtracks with the filter at its
+  // default (on).
+  test::Cmos3 c;
+  Netlist pattern = c.netlist("ring_p");
+  NetId gate = pattern.add_net("rgate");
+  std::vector<NetId> nodes;
+  for (int i = 0; i < 6; ++i) {
+    nodes.push_back(pattern.add_net("r" + std::to_string(i)));
+  }
+  for (int i = 0; i < 6; ++i) {
+    pattern.add_device(c.nmos, {nodes[i], gate, nodes[(i + 1) % 6]});
+  }
+  pattern.mark_port(gate);
+
+  Netlist host = c.netlist("main");
+  NetId hgate = host.add_net("fgate");
+  std::vector<NetId> hnodes;
+  for (int i = 0; i < 6; ++i) {
+    hnodes.push_back(host.add_net("f" + std::to_string(i)));
+  }
+  for (int i = 0; i < 6; ++i) {
+    host.add_device(c.nmos, {hnodes[i], hgate, hnodes[(i + 1) % 6]});
+  }
+  NetId qg = host.add_net("qg"), qd = host.add_net("qd");
+  host.add_device(c.nmos, {hnodes[1], qg, qd});
+  NetId cgate = host.add_net("cgate");
+  std::vector<NetId> cnodes;
+  for (int i = 0; i < 6; ++i) {
+    cnodes.push_back(host.add_net("c" + std::to_string(i)));
+  }
+  for (int i = 0; i < 6; ++i) {
+    host.add_device(c.nmos, {cnodes[i], cgate, cnodes[(i + 1) % 6]});
+  }
+
+  SubgraphMatcher matcher(pattern, host);
+  MatchReport report = matcher.find_all();
+  EXPECT_EQ(report.count(), 1u);
+  EXPECT_GE(report.phase2.backtracks, 1u);
+  EXPECT_GE(report.phase2.trail_undos, 1u);
 }
 
 TEST(Audit, MatchLimitPostcondition) {

@@ -77,10 +77,11 @@ TEST(Symmetry, BacktrackingRecoversFromWrongGuess) {
   // Host contains a "fat" ring — a 6-ring with one extra transistor hanging
   // off ring net f1 — and a clean 6-ring. Refinement inside the fat ring
   // completes after a symmetric guess (the extra device is invisible to
-  // safe-only labeling), but the final explicit verification rejects the
-  // mapping: f1 has degree 3 where the pattern's internal ring net needs
-  // exactly 2. Both mirror guesses must fail (backtracking), every fat-ring
-  // candidate must be rejected, and the clean ring is the only instance.
+  // safe-only labeling), but the hypothesis is wrong: f1 has degree 3 where
+  // the pattern's internal ring net needs exactly 2. With the signature
+  // prefilter disabled (the pre-fast-path code path), the bad mappings
+  // complete and die in final explicit verification, after backtracking
+  // through both mirror guesses; the clean ring is the only instance.
   Cmos3 c;
   Netlist pattern = c.netlist("ring_p");
   add_ring(c, pattern, 6, "r");
@@ -93,7 +94,9 @@ TEST(Symmetry, BacktrackingRecoversFromWrongGuess) {
   host.add_device(c.nmos, {*host.find_net("f1"), qg, qd});
   add_ring(c, host, 6, "c");
 
-  SubgraphMatcher matcher(pattern, host);
+  MatchOptions unfiltered;
+  unfiltered.phase2_filter = false;
+  SubgraphMatcher matcher(pattern, host, unfiltered);
   MatchReport report = matcher.find_all();
   ASSERT_EQ(report.count(), 1u);
   // The instance lives in the clean ring.
@@ -105,6 +108,42 @@ TEST(Symmetry, BacktrackingRecoversFromWrongGuess) {
   EXPECT_GE(report.phase2.verify_failures, 1u);
   EXPECT_GE(report.phase2.backtracks, 1u);
   EXPECT_GT(report.phase2.guesses, report.phase2.backtracks);
+}
+
+TEST(Symmetry, SignatureFilterPrunesWrongGuessesEarly) {
+  // Same poisoned-host workload as BacktrackingRecoversFromWrongGuess, with
+  // the prefilter (the default) on: degree-3 f1 can never image a degree-2
+  // internal ring net, so fat-ring postulates are refuted up front instead
+  // of completing and dying in verification. Same single instance, strictly
+  // less relabeling work, and the fast-path counters must have fired.
+  Cmos3 c;
+  Netlist pattern = c.netlist("ring_p");
+  add_ring(c, pattern, 6, "r");
+  pattern.mark_port(*pattern.find_net("rgate"));
+
+  Netlist host = c.netlist("main");
+  add_ring(c, host, 6, "f");
+  NetId qg = host.add_net("qg"), qd = host.add_net("qd");
+  host.add_device(c.nmos, {*host.find_net("f1"), qg, qd});
+  add_ring(c, host, 6, "c");
+
+  MatchOptions unfiltered;
+  unfiltered.phase2_filter = false;
+  MatchReport baseline =
+      SubgraphMatcher(pattern, host, unfiltered).find_all();
+
+  SubgraphMatcher matcher(pattern, host);
+  MatchReport report = matcher.find_all();
+  ASSERT_EQ(report.count(), 1u);
+  ASSERT_EQ(baseline.count(), 1u);
+  EXPECT_EQ(report.instances.front().device_image,
+            baseline.instances.front().device_image);
+  EXPECT_EQ(report.instances.front().net_image,
+            baseline.instances.front().net_image);
+  EXPECT_GE(report.phase2.domain_prunes, 1u);
+  EXPECT_LT(report.phase2.expansion_ops, baseline.phase2.expansion_ops);
+  // A refuted postulate never completes, so it cannot reach verification.
+  EXPECT_LE(report.phase2.verify_failures, baseline.phase2.verify_failures);
 }
 
 TEST(Symmetry, RailOnlyConnectedPatternUsesGuessFallback) {

@@ -85,6 +85,10 @@ def make_stream(rng, cells_text, cell_names, oversized_bytes):
     if kind == "find":
         request = {"id": rid, "op": "find", "pattern": cells_text,
                    "pattern_top": rng.choice(cell_names)}
+        # Half the finds take the exhaustive (enumerate-every-branch) path,
+        # so the stream soaks both Phase II entry points.
+        if rng.random() < 0.5:
+            request["exhaustive"] = True
         return json.dumps(request), (rid, None)
     if kind == "status":
         return json.dumps({"id": rid, "op": "status"}), (rid, None)
@@ -103,6 +107,8 @@ def make_stream(rng, cells_text, cell_names, oversized_bytes):
             (json.dumps({"id": rid, "op": 7}), {"bad_request"}, False),
             (json.dumps({"id": rid}), {"bad_request"}, False),
             (json.dumps({"id": rid, "op": "find", "timeout_ms": -3}),
+             {"bad_request"}, False),
+            (json.dumps({"id": rid, "op": "find", "exhaustive": 7}),
              {"bad_request"}, False),
             (json.dumps({"id": rid, "op": "frobnicate"}), {"unknown_op"},
              True),
@@ -223,8 +229,11 @@ def run_fault_smoke(args, checker, schema):
         print("soak: faults disabled in this build, nothing to smoke")
         return 0
 
+    # Exhaustive mode routes Phase II through enumerate() (every fault site
+    # on the find path, plus enumerate's own "phase2" crossing); the
+    # containment contract is the same either way.
     find = json.dumps({"id": 1, "op": "find", "pattern": cells_text,
-                       "pattern_top": "nand2"})
+                       "pattern_top": "nand2", "exhaustive": True})
     for site in faults["sites"]:
         # Some sites are also crossed while the configured host loads at
         # startup (e.g. parse.netlist); an armed fault firing there exits

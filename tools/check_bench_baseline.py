@@ -29,7 +29,8 @@ import sys
 GATED_KEYS = (
     "cv", "found", "expected", "rounds", "relabel_ops", "host_relabel_ops",
     "cache_hits", "cache_misses", "passes", "bindings", "guesses",
-    "backtracks", "expansion_ops",
+    "backtracks", "expansion_ops", "domain_prunes", "nogood_hits",
+    "trail_undos",
 )
 
 

@@ -255,6 +255,7 @@ int cmd_find(const std::vector<std::string>& args) {
   opts.jobs = g_opts.jobs;
   opts.metrics = g_metrics;
   opts.core = g_opts.core;
+  opts.phase2_filter = g_opts.phase2_filter;
   SubgraphMatcher matcher(pattern, host, opts);
   MatchReport report = matcher.find_all();
 
@@ -319,6 +320,7 @@ int cmd_extract(const std::vector<std::string>& args) {
   options.match.jobs = g_opts.jobs;
   options.match.metrics = g_metrics;
   options.match.core = g_opts.core;
+  options.match.phase2_filter = g_opts.phase2_filter;
   options.lint_host = g_opts.lint;
   extract::ExtractResult result = extract::extract_gates(host, cells, options);
   if (g_opts.lint && !result.host_lint.clean()) {
