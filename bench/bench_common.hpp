@@ -8,8 +8,10 @@
 
 #include "cells/cells.hpp"
 #include "gen/generators.hpp"
+#include "match/host_labels.hpp"
 #include "match/matcher.hpp"
 #include "obs/metrics.hpp"
+#include "session/session.hpp"
 #include "report/document.hpp"
 #include "report/report.hpp"
 #include "util/cli_options.hpp"
@@ -52,22 +54,27 @@ struct MatchRow {
   std::size_t trail_undos = 0;        ///< trail entries rolled back
 };
 
-/// Run one (pattern, host) match and collect the row. A private metrics
-/// registry rides along to capture the label-cache counters (the matcher
-/// builds a fresh cache per run, so hits/misses are deterministic).
-inline MatchRow run_match(const std::string& circuit_name, const Netlist& host,
-                          const std::string& cell_name, const Netlist& pattern,
-                          std::size_t expected, std::size_t jobs = 1,
-                          CoreMode core = CoreMode::kCsr,
-                          bool phase2_filter = true) {
+/// Run one match through an existing HostSession and collect the row. A
+/// private metrics registry rides along to capture the label-cache
+/// counters; the session's cache stats are folded in explicitly (Phase I
+/// only auto-records its own fallback cache).
+inline MatchRow run_match_in_session(const std::string& circuit_name,
+                                     HostSession& session,
+                                     const std::string& cell_name,
+                                     const Netlist& pattern,
+                                     std::size_t expected,
+                                     std::size_t jobs = 1,
+                                     CoreMode core = CoreMode::kCsr,
+                                     bool phase2_filter = true) {
+  const Netlist& host = session.netlist();
   MatchOptions opts;
   opts.jobs = jobs;
   opts.core = core;
   opts.phase2_filter = phase2_filter;
   obs::Metrics metrics;
   opts.metrics = &metrics;
-  SubgraphMatcher matcher(pattern, host, opts);
-  MatchReport r = matcher.find_all();
+  MatchReport r = find_in_session(pattern, session, opts);
+  record_cache_stats(&metrics, session.cache().stats());
   MatchRow row;
   row.circuit = circuit_name;
   row.devices = host.device_count();
@@ -94,6 +101,21 @@ inline MatchRow run_match(const std::string& circuit_name, const Netlist& host,
   row.cache_hits = snap.counter("phase1.label_cache.hits");
   row.cache_misses = snap.counter("phase1.label_cache.misses");
   return row;
+}
+
+/// run_match_in_session over a freshly built session (the host is copied):
+/// the one-shot form the bench tables use. A cold session per row keeps the
+/// cache counters per-run deterministic.
+inline MatchRow run_match(const std::string& circuit_name, const Netlist& host,
+                          const std::string& cell_name, const Netlist& pattern,
+                          std::size_t expected, std::size_t jobs = 1,
+                          CoreMode core = CoreMode::kCsr,
+                          bool phase2_filter = true) {
+  SessionOptions so;
+  so.core = core;
+  HostSession session = HostSession::build(host, so);
+  return run_match_in_session(circuit_name, session, cell_name, pattern,
+                              expected, jobs, core, phase2_filter);
 }
 
 /// The deterministic per-row counters as a json array — the payload the CI
@@ -166,9 +188,10 @@ inline std::vector<ScalingRow> jobs_scaling(const Netlist& pattern,
     row.jobs = jobs;
     row.ms = 1e100;
     for (int rep = 0; rep < reps; ++rep) {
-      SubgraphMatcher matcher(pattern, host, opts);
+      // A cold session per rep: lanes race the same work, not a warm cache.
+      HostSession session = HostSession::build(host, SessionOptions{});
       Timer timer;
-      MatchReport r = matcher.find_all();
+      MatchReport r = find_in_session(pattern, session, opts);
       row.ms = std::min(row.ms, timer.seconds() * 1e3);
       row.found = r.count();
     }

@@ -7,6 +7,7 @@
 #include "gemini/gemini.hpp"
 #include "match/host_labels.hpp"
 #include "obs/metrics.hpp"
+#include "session/session.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
 #include "util/thread_pool.hpp"
@@ -229,20 +230,18 @@ ExtractResult extract_gates(const Netlist& transistors,
     }
     const std::size_t tier_size = tier_end - oi;
 
-    // One graph + label cache snapshot shared by every match in the tier.
+    // One session snapshot (graph + csr core + label cache) shared by
+    // every match in the tier.
     obs::Metrics::SpanTimer tier_span(metrics, "extract.tier");
     obs::count(metrics, "extract.tiers");
     obs::count(metrics, "extract.cells_attempted", tier_size);
-    CircuitGraph host_graph(working);
-    HostLabelCache host_cache(host_graph);
-    // One flattened host core per tier (csr mode): every match in the tier
-    // shares it instead of re-flattening the same snapshot per cell.
-    std::optional<CsrCore> tier_core;
-    if (options.match.core == CoreMode::kCsr) {
-      tier_core.emplace(host_graph);
-      obs::span_add(metrics, "csr.build_seconds", tier_core->build_seconds());
+    SessionOptions tier_so;
+    tier_so.core = options.match.core;
+    HostSession tier_session = HostSession::build(working, tier_so);
+    if (const CsrCore* core = tier_session.core()) {
+      obs::span_add(metrics, "csr.build_seconds", core->build_seconds());
       if (metrics != nullptr) {
-        metrics->gauge("csr.bytes", static_cast<double>(tier_core->bytes()));
+        metrics->gauge("csr.bytes", static_cast<double>(core->bytes()));
       }
     }
     struct CellMatch {
@@ -253,10 +252,10 @@ ExtractResult extract_gates(const Netlist& transistors,
     auto run_cell = [&](std::size_t ti) {
       Timer match_timer;
       MatchOptions mo = options.match;
-      mo.phase1.host_cache = &host_cache;
+      tier_session.configure(mo);
       mo.pool = pool;
-      mo.host_core = tier_core.has_value() ? &*tier_core : nullptr;
-      SubgraphMatcher matcher(order[oi + ti]->pattern, host_graph, mo);
+      SubgraphMatcher matcher(order[oi + ti]->pattern, tier_session.graph(),
+                              mo);
       tier[ti].report = matcher.find_all();
       tier[ti].seconds = match_timer.seconds();
     };
@@ -319,7 +318,7 @@ ExtractResult extract_gates(const Netlist& transistors,
     working.remove_devices(victims);
     // The tier's shared label cache dies here; fold its reuse totals in
     // (matches in the tier skip recording for caller-shared caches).
-    record_cache_stats(metrics, host_cache.stats());
+    record_cache_stats(metrics, tier_session.cache().stats());
     oi = tier_end;
   }
 
@@ -346,6 +345,17 @@ ExtractResult extract_gates(const Netlist& transistors,
     }
   }
   return result;
+}
+
+ExtractResult extract_gates(HostSession& session,
+                            const std::vector<LibraryCell>& cells,
+                            const ExtractOptions& options) {
+  // Extraction re-clones the host onto the extended catalog and mutates it
+  // tier by tier, so the session's own graph/core/cache cannot be matched
+  // against directly: the sweep builds its per-tier snapshot sessions. This
+  // overload is the session-first entry point for callers (CLI, serve) that
+  // keep the host in a HostSession for ECO patching.
+  return extract_gates(session.netlist(), cells, options);
 }
 
 Netlist expand_gates(const Netlist& gates, const std::vector<LibraryCell>& cells,

@@ -26,6 +26,10 @@
 #include "match/matcher.hpp"
 #include "netlist/netlist.hpp"
 
+namespace subg {
+class HostSession;  // session/session.hpp
+}
+
 namespace subg::extract {
 
 /// One library entry: the pattern netlist (ports marked, rails global) and
@@ -108,6 +112,13 @@ struct ExtractResult {
 
 /// Extract all library cells from `transistors`.
 [[nodiscard]] ExtractResult extract_gates(const Netlist& transistors,
+                                          const std::vector<LibraryCell>& cells,
+                                          const ExtractOptions& options = {});
+
+/// Session-first entry point: extract from the host a HostSession holds
+/// (after any ECO patches). The sweep itself still snapshots per size tier,
+/// so this is a thin adapter over the Netlist overload.
+[[nodiscard]] ExtractResult extract_gates(HostSession& session,
                                           const std::vector<LibraryCell>& cells,
                                           const ExtractOptions& options = {});
 

@@ -16,19 +16,29 @@ std::size_t CsrCore::edge_count(const CircuitGraph& graph) {
 }
 
 RunStatus CsrCore::capacity_status(const CircuitGraph& graph) {
+  return capacity_status(graph, kMaxEdges);
+}
+
+RunStatus CsrCore::capacity_status(const CircuitGraph& graph,
+                                   std::size_t max_edges) {
   RunStatus status;
   const std::size_t total_edges = edge_count(graph);
-  if (!offsets_fit(total_edges)) {
+  if (total_edges > max_edges || !offsets_fit(total_edges)) {
     status.escalate(RunOutcome::kTruncated,
                     "csr core: host graph has " + std::to_string(total_edges) +
                         " edges, exceeding the 32-bit offset limit of " +
-                        std::to_string(kMaxEdges) +
+                        std::to_string(std::min(max_edges, kMaxEdges)) +
                         "; rerun with --core=legacy");
   }
   return status;
 }
 
 CsrCore::CsrCore(const CircuitGraph& graph) : graph_(&graph) {
+  rebuild(graph);
+}
+
+void CsrCore::rebuild(const CircuitGraph& graph) {
+  graph_ = &graph;
   Timer timer;
   const std::size_t nv = graph.vertex_count();
   edge_begin_.resize(nv + 1);
@@ -59,7 +69,11 @@ CsrCore::CsrCore(const CircuitGraph& graph) : graph_(&graph) {
   }
   edge_begin_[nv] = e;
 
-  neighbor_degree_.resize(total_edges, 0);
+  // assign, not resize: the loop below only writes device-vertex ranges, so
+  // a shrinking rebuild must zero-fill the net-vertex slots a previous,
+  // larger build left behind (structural equality with a cold core depends
+  // on it). Capacity is retained either way — that is the spill.
+  neighbor_degree_.assign(total_edges, 0);
   for (Vertex v = 0; v < nv; ++v) {
     if (!graph.is_device(v)) continue;
     const std::uint32_t begin = edge_begin_[v];
@@ -81,6 +95,35 @@ std::size_t CsrCore::bytes() const {
          host_base_label_.capacity() * sizeof(Label) +
          special_.capacity() * sizeof(std::uint8_t) +
          neighbor_degree_.capacity() * sizeof(std::uint32_t);
+}
+
+std::size_t CsrCore::used_bytes() const {
+  return edge_begin_.size() * sizeof(std::uint32_t) +
+         edge_to_.size() * sizeof(Vertex) +
+         edge_coeff_.size() * sizeof(Label) +
+         initial_label_.size() * sizeof(Label) +
+         host_base_label_.size() * sizeof(Label) +
+         special_.size() * sizeof(std::uint8_t) +
+         neighbor_degree_.size() * sizeof(std::uint32_t);
+}
+
+void CsrCore::shrink() {
+  edge_begin_.shrink_to_fit();
+  edge_to_.shrink_to_fit();
+  edge_coeff_.shrink_to_fit();
+  initial_label_.shrink_to_fit();
+  host_base_label_.shrink_to_fit();
+  special_.shrink_to_fit();
+  neighbor_degree_.shrink_to_fit();
+}
+
+bool CsrCore::structurally_equal(const CsrCore& other) const {
+  return edge_begin_ == other.edge_begin_ && edge_to_ == other.edge_to_ &&
+         edge_coeff_ == other.edge_coeff_ &&
+         initial_label_ == other.initial_label_ &&
+         host_base_label_ == other.host_base_label_ &&
+         special_ == other.special_ &&
+         neighbor_degree_ == other.neighbor_degree_;
 }
 
 }  // namespace subg

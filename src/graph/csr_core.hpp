@@ -64,8 +64,22 @@ class CsrCore {
   /// constructor throw mid-run.
   [[nodiscard]] static RunStatus capacity_status(const CircuitGraph& graph);
 
+  /// Same check against a caller-imposed edge budget (<= kMaxEdges). The
+  /// session layer uses this as a test seam: a tiny limit exercises the
+  /// overflow path (core dropped, structured status) without a 4-billion-
+  /// edge host.
+  [[nodiscard]] static RunStatus capacity_status(const CircuitGraph& graph,
+                                                 std::size_t max_edges);
+
   /// Requires offsets_fit(edge_count(graph)) — checked.
   explicit CsrCore(const CircuitGraph& graph);
+
+  /// Refill the flat arrays from `graph`, which replaces the borrowed
+  /// graph. Storage is RETAINED: vectors are resized, not reallocated when
+  /// the new graph fits the old capacity — this is what makes an ECO patch
+  /// cheaper than a cold build, and what spill_bytes() measures afterwards.
+  /// Same precondition as the constructor (offsets must fit — checked).
+  void rebuild(const CircuitGraph& graph);
 
   [[nodiscard]] const CircuitGraph& graph() const { return *graph_; }
 
@@ -109,7 +123,26 @@ class CsrCore {
   /// Wall-clock cost of the flattening pass (for "csr.build_seconds").
   [[nodiscard]] double build_seconds() const { return build_seconds_; }
   /// Heap footprint of the flat arrays (for the "csr.bytes" gauge).
+  /// CAPACITY-based: after a rebuild() into retained storage this includes
+  /// the spill (capacity beyond the live size), so footprint reports stay
+  /// honest across ECO patches.
   [[nodiscard]] std::size_t bytes() const;
+  /// Bytes actually occupied by the live arrays (size-based).
+  [[nodiscard]] std::size_t used_bytes() const;
+  /// Retained-but-unused storage: bytes() − used_bytes(). Grows when a
+  /// patch shrinks the graph; the session compacts when it crosses the
+  /// configured threshold.
+  [[nodiscard]] std::size_t spill_bytes() const {
+    return bytes() - used_bytes();
+  }
+  /// Release spill storage (shrink_to_fit on every array) — the session's
+  /// compaction step.
+  void shrink();
+
+  /// True iff the flat arrays of both cores are element-wise identical
+  /// (offsets, adjacency, coefficients, labels, rail tags). Backs the A17
+  /// audit: a patched core must equal a cold build over the same graph.
+  [[nodiscard]] bool structurally_equal(const CsrCore& other) const;
 
  private:
   const CircuitGraph* graph_;

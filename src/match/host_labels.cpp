@@ -168,6 +168,139 @@ const std::vector<Label>& HostLabelCache::labels(const RailKey& rails,
   return seq[round];
 }
 
+std::unique_ptr<HostLabelCache> HostLabelCache::rebase(
+    const CircuitGraph& new_host, std::span<const Vertex> old_to_new,
+    std::span<const Vertex> new_to_old, std::span<const Vertex> dirty_seed,
+    std::uint64_t* invalidated) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t nv = new_host.vertex_count();
+  SUBG_CHECK_MSG(old_to_new.size() == g_->vertex_count() &&
+                     new_to_old.size() == nv,
+                 "rebase: vertex map sizes do not match the graphs");
+
+  auto fresh = std::make_unique<HostLabelCache>(new_host);
+  fresh->stats_ = stats_;
+
+  std::size_t max_round = 0;
+  for (const auto& [key, seq] : sequences_) {
+    if (!seq.empty()) max_round = std::max(max_round, seq.size() - 1);
+  }
+
+  // Dirty BFS level: dist[v] = hop distance from the seed (fresh vertices
+  // included), so "dirty at round r" is dist[v] <= r — the k-hop cone an
+  // edit can influence after r relabeling steps. One BFS serves every key:
+  // dirtiness over-approximates (rails inside the cone stay pinned anyway),
+  // and recomputing an unchanged label is sound, just not free.
+  constexpr std::uint32_t kUnreached = static_cast<std::uint32_t>(-1);
+  std::vector<std::uint32_t> dist(nv, kUnreached);
+  std::vector<Vertex> frontier;
+  for (Vertex v : dirty_seed) {
+    SUBG_CHECK_MSG(v < nv, "rebase: dirty seed vertex out of range");
+    if (dist[v] != 0) {
+      dist[v] = 0;
+      frontier.push_back(v);
+    }
+  }
+  for (Vertex v = 0; v < nv; ++v) {
+    if (new_to_old[v] == kNoVertex && dist[v] != 0) {
+      dist[v] = 0;
+      frontier.push_back(v);
+    }
+  }
+  std::vector<Vertex> next_frontier;
+  for (std::uint32_t level = 1;
+       level <= max_round && !frontier.empty(); ++level) {
+    next_frontier.clear();
+    for (Vertex v : frontier) {
+      for (const CircuitGraph::Edge& e : new_host.edges(v)) {
+        if (dist[e.to] > level) {
+          dist[e.to] = level;
+          next_frontier.push_back(e.to);
+        }
+      }
+    }
+    std::swap(frontier, next_frontier);
+  }
+  auto is_dirty = [&dist](Vertex v, std::size_t r) { return dist[v] <= r; };
+
+  std::uint64_t recomputed = 0;
+  std::uint64_t recompute_edge_visits = 0;
+  const Netlist& hnl = new_host.netlist();
+  for (const auto& [old_key, old_seq] : sequences_) {
+    if (old_seq.empty()) continue;
+    // Remap the rail key; a key whose rail net was removed is dropped (no
+    // pattern can ask for it again without re-resolving the rail, which
+    // would produce a new key).
+    RailKey key;
+    key.reserve(old_key.size());
+    bool lost_rail = false;
+    for (const auto& [v, label] : old_key) {
+      const Vertex mapped = old_to_new[v];
+      if (mapped == kNoVertex) {
+        lost_rail = true;
+        break;
+      }
+      key.emplace_back(mapped, label);
+    }
+    if (lost_rail) continue;
+    normalize(key);
+    std::vector<std::uint8_t> is_rail(nv, 0);
+    for (const auto& [v, label] : key) is_rail[v] = 1;
+
+    std::deque<std::vector<Label>> seq;
+    std::vector<Label> init(nv);
+    for (Vertex v = 0; v < nv; ++v) {
+      if (is_dirty(v, 0)) {
+        init[v] = new_host.is_device(v)
+                      ? new_host.initial_label(v)
+                      : degree_label(hnl.net_degree(new_host.net_of(v)));
+        ++recomputed;
+      } else {
+        init[v] = old_seq[0][new_to_old[v]];
+      }
+    }
+    for (const auto& [v, label] : key) init[v] = label;
+    seq.push_back(std::move(init));
+
+    for (std::size_t r = 1; r < old_seq.size(); ++r) {
+      const bool net_round = (r % 2) == 1;
+      const std::vector<Label>& prev = seq.back();
+      std::vector<Label> next = prev;
+      for (Vertex v = 0; v < nv; ++v) {
+        if (new_host.is_net(v) != net_round || is_rail[v] != 0) continue;
+        if (is_dirty(v, r)) {
+          Label sum = 0;
+          for (const CircuitGraph::Edge& e : new_host.edges(v)) {
+            sum += edge_contribution(e.coefficient, prev[e.to]);
+          }
+          next[v] = relabel(prev[v], sum);
+          ++recomputed;
+          recompute_edge_visits += new_host.degree(v);
+        } else {
+          next[v] = old_seq[r][new_to_old[v]];
+        }
+      }
+      seq.push_back(std::move(next));
+    }
+
+    if constexpr (kAuditEnabled) {
+      // A18 — cache-invalidation completeness: every rebased round must
+      // equal a cold recompute over the edited host. A miss here means the
+      // dirty cone was too small (an invalidation bug), not a label bug.
+      HostLabelCache cold(new_host);
+      for (std::size_t r = 0; r < seq.size(); ++r) {
+        SUBG_AUDIT_MSG(cold.labels(key, r) == seq[r],
+                       "label-cache audit (A18): rebased round diverged "
+                       "from a cold recompute of the edited host");
+      }
+    }
+    fresh->sequences_.emplace(std::move(key), std::move(seq));
+  }
+  fresh->stats_.relabel_ops += recompute_edge_visits;
+  if (invalidated != nullptr) *invalidated += recomputed;
+  return fresh;
+}
+
 HostLabelCache::CacheStats HostLabelCache::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return stats_;

@@ -35,7 +35,9 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <mutex>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -94,6 +96,30 @@ class HostLabelCache {
     std::uint64_t relabel_ops = 0;
   };
   [[nodiscard]] CacheStats stats() const;
+
+  /// "No corresponding vertex" sentinel for the rebase vertex maps.
+  static constexpr Vertex kNoVertex = static_cast<Vertex>(-1);
+
+  /// Rebase the memoized sequences onto `new_host` after an ECO edit,
+  /// returning a fresh cache (the class owns a mutex, so it cannot move).
+  /// `old_to_new[old_v]` / `new_to_old[new_v]` map vertices across the edit
+  /// (kNoVertex = removed/created); `dirty_seed` lists new-graph vertices
+  /// whose labels may differ from their mapped old values (edited nets,
+  /// fresh vertices are added implicitly). Only labels inside the seed's
+  /// r-hop neighborhood are recomputed at round r — everything else copies
+  /// its old value, which is sound because a non-dirty vertex's round-r
+  /// label depends only on non-dirty round-(r-1) neighbors with unchanged
+  /// adjacency (device pins are immutable and nets are only removable at
+  /// degree 0, so a mapped vertex whose pin set changed is in the seed).
+  /// Cache keys whose rail vertex was removed are dropped. Reuse stats
+  /// carry over (session-cumulative); the recomputed-label count is added
+  /// to *invalidated (the eco.invalidated_labels counter) when non-null.
+  /// Under SUBG_AUDIT every rebased round is checked against a cold
+  /// recompute over the new host (A18).
+  [[nodiscard]] std::unique_ptr<HostLabelCache> rebase(
+      const CircuitGraph& new_host, std::span<const Vertex> old_to_new,
+      std::span<const Vertex> new_to_old, std::span<const Vertex> dirty_seed,
+      std::uint64_t* invalidated) const;
 
  private:
   const CircuitGraph* g_;

@@ -222,6 +222,57 @@ void Netlist::remove_devices(std::span<const DeviceId> victims) {
   ports_ = std::move(new_ports);
 }
 
+void Netlist::rename_net(NetId n, std::string new_name) {
+  SUBG_CHECK_MSG(n.valid() && n.index() < nets_.size(), "invalid net id");
+  SUBG_CHECK_MSG(!new_name.empty(), "rename_net requires a name");
+  Net& net = nets_[n.index()];
+  if (net.name == new_name) return;
+  SUBG_CHECK_MSG(!net_by_name_.contains(new_name),
+                 "net '" << new_name << "' already exists in netlist '"
+                         << name_ << "'");
+  net_by_name_.erase(net.name);
+  net.name = new_name;
+  net_by_name_.emplace(std::move(new_name), n);
+}
+
+void Netlist::rename_device(DeviceId d, std::string new_name) {
+  SUBG_CHECK_MSG(d.valid() && d.index() < devices_.size(), "invalid device id");
+  SUBG_CHECK_MSG(!new_name.empty(), "rename_device requires a name");
+  Device& dev = devices_[d.index()];
+  if (dev.name == new_name) return;
+  SUBG_CHECK_MSG(!device_by_name_.contains(new_name),
+                 "device '" << new_name << "' already exists in netlist '"
+                            << name_ << "'");
+  device_by_name_.erase(dev.name);
+  dev.name = new_name;
+  device_by_name_.emplace(std::move(new_name), d);
+}
+
+void Netlist::remove_net(NetId n) {
+  SUBG_CHECK_MSG(n.valid() && n.index() < nets_.size(), "invalid net id");
+  const std::uint32_t idx = n.value;
+  SUBG_CHECK_MSG(nets_[idx].pins.empty(),
+                 "remove_net: net '" << nets_[idx].name
+                                     << "' still has connected pins");
+  net_by_name_.erase(nets_[idx].name);
+  nets_.erase(nets_.begin() + idx);
+  // Every id at or above idx shifts down; the degree-0 precondition means
+  // no pin references the removed slot itself.
+  for (auto& [name, id] : net_by_name_) {
+    if (id.index() > idx) id = NetId(id.value - 1);
+  }
+  for (NetId& pn : pin_nets_) {
+    if (pn.index() > idx) pn = NetId(pn.value - 1);
+  }
+  std::vector<NetId> new_ports;
+  new_ports.reserve(ports_.size());
+  for (NetId p : ports_) {
+    if (p.index() == idx) continue;
+    new_ports.push_back(p.index() > idx ? NetId(p.value - 1) : p);
+  }
+  ports_ = std::move(new_ports);
+}
+
 NetlistStats Netlist::stats() const {
   NetlistStats s;
   s.device_count = devices_.size();

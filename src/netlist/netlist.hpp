@@ -107,6 +107,24 @@ class Netlist {
   /// invalidates NetIds too, so callers should re-resolve by name.
   void remove_devices(std::span<const DeviceId> victims);
 
+  // --- incremental (ECO) mutators ------------------------------------
+  // The delta layer (src/session) edits a netlist in place instead of
+  // rebuilding it; these keep the name indexes in sync. Rename keeps ids
+  // stable; remove_net shifts every higher NetId down by one.
+
+  /// Rename a net. The new name must be non-empty and unused. Ids stay
+  /// valid; only the name index changes.
+  void rename_net(NetId n, std::string new_name);
+
+  /// Rename a device. Same contract as rename_net.
+  void rename_device(DeviceId d, std::string new_name);
+
+  /// Remove a single net. The net must have degree 0 (no connected pins) —
+  /// removing a live net would dangle device pins. Invalidates NetIds at or
+  /// above the removed index (they shift down by one); callers re-resolve
+  /// by name.
+  void remove_net(NetId n);
+
   // --- connectivity ---------------------------------------------------
 
   /// (device, pin index) pairs attached to a net.

@@ -91,7 +91,8 @@ std::optional<Request> parse_request(std::string_view line, ErrorCode* code,
       !read_string(object, "netlist", &request.netlist, message) ||
       !read_string(object, "path", &request.path, message) ||
       !read_string(object, "name", &request.name, message) ||
-      !read_string(object, "top", &request.top, message)) {
+      !read_string(object, "top", &request.top, message) ||
+      !read_string(object, "delta", &request.delta, message)) {
     return std::nullopt;
   }
   double timeout_ms = -1;

@@ -54,6 +54,8 @@ enum class ErrorCode {
   kShuttingDown,     ///< request was queued behind a drain
   kInjectedFault,    ///< a SUBG_FAULT trigger point fired (test builds)
   kInternal,         ///< unexpected exception; the daemon itself survived
+  kAlreadyLoaded,    ///< `load` would replace an existing host name
+  kBadDelta,         ///< `patch` delta failed to parse or apply
 };
 
 [[nodiscard]] constexpr const char* to_string(ErrorCode code) {
@@ -70,6 +72,8 @@ enum class ErrorCode {
     case ErrorCode::kShuttingDown: return "shutting_down";
     case ErrorCode::kInjectedFault: return "injected_fault";
     case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kAlreadyLoaded: return "already_loaded";
+    case ErrorCode::kBadDelta: return "bad_delta";
   }
   return "unknown";
 }
@@ -106,10 +110,12 @@ struct Request {
   std::string netlist;
   /// File path of a netlist (load).
   std::string path;
-  /// Host name to (re)register (load).
+  /// Host name to register (load).
   std::string name;
   /// Top module for flatten (lint, load).
   std::string top;
+  /// Inline ECO delta text, JSON-lines (patch) — see session/delta.hpp.
+  std::string delta;
   /// Per-request wall-clock budget; < 0 = use the server default.
   double timeout_ms = -1;
   /// find: stop after this many instances; 0 = unlimited.

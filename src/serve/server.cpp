@@ -50,15 +50,11 @@ extern "C" void serve_signal_handler(int) {
 Server::HostContext::HostContext(std::string host_name, Netlist host_netlist,
                                  CoreMode mode)
     : name(std::move(host_name)),
-      netlist(std::move(host_netlist)),
-      graph(netlist),
-      cache(graph) {
-  // An overflowing host falls back to the legacy core instead of refusing
-  // every request: the daemon serves what it can and says how.
-  if (mode == CoreMode::kCsr && CsrCore::capacity_status(graph).complete()) {
-    core.emplace(graph);
-  }
-}
+      // An overflowing host falls back to the legacy core instead of
+      // refusing every request (the session builds with core() == nullptr
+      // and a structured core_status()): the daemon serves what it can.
+      session(HostSession::build(std::move(host_netlist),
+                                 SessionOptions{.core = mode})) {}
 
 Server::Server(ServeOptions options)
     : options_(std::move(options)), pool_(options_.jobs) {
@@ -323,6 +319,7 @@ std::string Server::dispatch(const Request& request) {
   if (request.op == "lint") return handle_lint(request);
   if (request.op == "status") return handle_status(request);
   if (request.op == "load") return handle_load(request);
+  if (request.op == "patch") return handle_patch(request);
   if (request.op == "shutdown") return handle_shutdown(request);
   return fail(request.id, request.op, ErrorCode::kUnknownOp,
               "unknown op '" + request.op + "'");
@@ -401,18 +398,18 @@ std::string Server::handle_find(const Request& request) {
   options.exhaustive = request.exhaustive;
   options.pool = &pool_;
   options.metrics = options_.metrics;
-  options.core =
-      host->core.has_value() ? options_.core : CoreMode::kLegacy;
-  if (host->core.has_value()) options.host_core = &*host->core;
-  options.phase1.host_cache = &host->cache;
+  options.core = options_.core;
 
-  SubgraphMatcher matcher(*pattern, host->graph, options);
-  MatchReport report = matcher.find_all();
+  // Shared lock: many finds run concurrently against one session; a patch
+  // waits for them (and vice versa) on the exclusive side.
+  std::shared_lock<std::shared_mutex> session_lock(host->session_mutex);
+  MatchReport report = find_in_session(*pattern, host->session, options);
 
   json::Value result = json::Value::object();
   result.set("pattern", netlist_summary(*pattern));
-  result.set("host", netlist_summary(host->netlist));
-  result.set("instances", instances_json(*pattern, host->netlist, report));
+  result.set("host", netlist_summary(host->session.netlist()));
+  result.set("instances",
+             instances_json(*pattern, host->session.netlist(), report));
   result.set("report", report::to_json(report));
   if (!report.status.complete()) {
     // The one-shot exit-75 contract, in-band: partial results attach, the
@@ -461,11 +458,12 @@ std::string Server::handle_extract(const Request& request) {
   options.match.pool = &pool_;
   options.match.metrics = options_.metrics;
   options.match.core = options_.core;
+  std::shared_lock<std::shared_mutex> session_lock(host->session_mutex);
   extract::ExtractResult extracted =
-      extract::extract_gates(host->netlist, cells, options);
+      extract::extract_gates(host->session, cells, options);
 
   json::Value result = json::Value::object();
-  result.set("host", netlist_summary(host->netlist));
+  result.set("host", netlist_summary(host->session.netlist()));
   result.set("library_cells", cells.size());
   result.set("report", report::to_json(extracted.report));
   json::Value netlist_member = json::Value::object();
@@ -505,8 +503,9 @@ std::string Server::handle_lint(const Request& request) {
     std::shared_ptr<HostContext> host =
         resolve_host(request, &code, &message);
     if (host == nullptr) return fail(request.id, request.op, code, message);
-    report = lint::lint_netlist(host->netlist, options);
-    host_summary = netlist_summary(host->netlist);
+    std::shared_lock<std::shared_mutex> session_lock(host->session_mutex);
+    report = lint::lint_netlist(host->session.netlist(), options);
+    host_summary = netlist_summary(host->session.netlist());
   }
 
   json::Value result = json::Value::object();
@@ -521,10 +520,17 @@ std::string Server::handle_status(const Request& request) {
   {
     std::lock_guard<std::mutex> lock(hosts_mutex_);
     for (const auto& [name, context] : hosts_) {
+      std::shared_lock<std::shared_mutex> session_lock(context->session_mutex);
+      const HostSession& session = context->session;
       json::Value one = json::Value::object();
       one.set("host", name);
-      one.set("summary", netlist_summary(context->netlist));
-      one.set("csr_core", context->core.has_value());
+      one.set("summary", netlist_summary(session.netlist()));
+      one.set("csr_core", session.core() != nullptr);
+      json::Value eco = json::Value::object();
+      eco.set("patch_count", session.patch_count());
+      eco.set("spill_bytes", session.spill_bytes());
+      eco.set("last_compaction", session.last_compaction());
+      one.set("eco", std::move(eco));
       hosts.push(std::move(one));
     }
   }
@@ -581,19 +587,62 @@ std::string Server::handle_load(const Request& request) {
   } catch (const Error& e) {
     return fail(request.id, request.op, ErrorCode::kParseError, e.what());
   }
-  bool replaced = false;
   {
+    // A name is registered once: silently replacing a host under clients
+    // that patched it loses their edits, so a duplicate name is a
+    // structured refusal (evolve a loaded host with `patch` instead).
     std::lock_guard<std::mutex> lock(hosts_mutex_);
-    replaced = hosts_.count(request.name) > 0;
-    // In-flight requests keep their shared_ptr to the old context; only new
-    // resolutions see the replacement.
+    if (hosts_.count(request.name) > 0) {
+      return fail(request.id, request.op, ErrorCode::kAlreadyLoaded,
+                  "a host named '" + request.name +
+                      "' is already loaded (use patch to edit it)");
+    }
     hosts_[request.name] = context;
   }
   json::Value result = json::Value::object();
   result.set("host", request.name);
-  result.set("summary", netlist_summary(context->netlist));
-  result.set("csr_core", context->core.has_value());
-  result.set("replaced", replaced);
+  result.set("summary", netlist_summary(context->session.netlist()));
+  result.set("csr_core", context->session.core() != nullptr);
+  return succeed(request, std::move(result));
+}
+
+std::string Server::handle_patch(const Request& request) {
+  if (request.delta.empty()) {
+    return fail(request.id, request.op, ErrorCode::kBadRequest,
+                "patch requires 'delta' (inline JSON-lines edit script)");
+  }
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+  std::shared_ptr<HostContext> host = resolve_host(request, &code, &message);
+  if (host == nullptr) return fail(request.id, request.op, code, message);
+
+  ApplyStats stats;
+  try {
+    NetlistDelta delta = parse_delta(request.delta);
+    // Exclusive lock: the rebase swaps the session's graph/core/cache, so
+    // no find/extract/lint may be walking them. apply() itself is
+    // atomic — a throw below leaves the session byte-identical to before.
+    std::unique_lock<std::shared_mutex> session_lock(host->session_mutex);
+    stats = host->session.apply(delta);
+  } catch (const fault::InjectedFault&) {
+    throw;  // label distinctly at the process() boundary, not bad_delta
+  } catch (const Error& e) {
+    return fail(request.id, request.op, ErrorCode::kBadDelta, e.what());
+  }
+  record_eco_stats(options_.metrics, stats);
+
+  std::shared_lock<std::shared_mutex> session_lock(host->session_mutex);
+  json::Value result = json::Value::object();
+  result.set("host", host->name);
+  result.set("summary", netlist_summary(host->session.netlist()));
+  json::Value eco = json::Value::object();
+  eco.set("patched_devices", stats.patched_devices);
+  eco.set("patched_nets", stats.patched_nets);
+  eco.set("renames", stats.renames);
+  eco.set("invalidated_labels", stats.invalidated_labels);
+  eco.set("compactions", stats.compactions);
+  result.set("eco", std::move(eco));
+  result.set("patch_count", host->session.patch_count());
   return succeed(request, std::move(result));
 }
 

@@ -44,15 +44,14 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
-#include "graph/circuit_graph.hpp"
-#include "graph/csr_core.hpp"
-#include "match/host_labels.hpp"
 #include "netlist/netlist.hpp"
 #include "serve/protocol.hpp"
+#include "session/session.hpp"
 #include "util/core_mode.hpp"
 #include "util/thread_pool.hpp"
 
@@ -117,20 +116,18 @@ class Server {
   void install_signal_handlers();
 
  private:
-  /// Everything kept warm for one loaded host, in dependency order (graph
-  /// borrows netlist; core and cache borrow graph). Immutable after
-  /// construction except the cache, which is internally synchronized — so
-  /// concurrent requests share a context through shared_ptr, and a `load`
-  /// replacing the registry entry never invalidates an in-flight request's
-  /// reference.
+  /// Everything kept warm for one loaded host: a HostSession (netlist +
+  /// graph + csr core + label cache, session/session.hpp). Reads (find,
+  /// extract, lint, status) take the session lock shared; `patch` takes it
+  /// exclusive while it rebases the session in place. Concurrent requests
+  /// share a context through shared_ptr, so a context is never destroyed
+  /// under an in-flight request.
   struct HostContext {
     std::string name;
-    Netlist netlist;
-    CircuitGraph graph;
-    /// Absent under --core=legacy or when the host overflows the csr
-    /// 32-bit offsets (matches then run on the legacy core).
-    std::optional<CsrCore> core;
-    HostLabelCache cache;
+    HostSession session;
+    /// Reader/writer lock over `session`: patch mutates, everything else
+    /// reads (the label cache inside has its own finer-grained mutex).
+    std::shared_mutex session_mutex;
 
     HostContext(std::string host_name, Netlist host_netlist, CoreMode mode);
     HostContext(const HostContext&) = delete;
@@ -166,6 +163,7 @@ class Server {
   [[nodiscard]] std::string handle_lint(const Request& request);
   [[nodiscard]] std::string handle_status(const Request& request);
   [[nodiscard]] std::string handle_load(const Request& request);
+  [[nodiscard]] std::string handle_patch(const Request& request);
   [[nodiscard]] std::string handle_shutdown(const Request& request);
 
   /// Resolve the request's host ("" = the sole loaded host). Null with

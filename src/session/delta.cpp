@@ -1,0 +1,298 @@
+#include "session/delta.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "util/check.hpp"
+#include "util/fault.hpp"
+#include "util/json_parse.hpp"
+
+namespace subg {
+
+namespace {
+
+[[noreturn]] void fail_line(std::size_t line, const std::string& what) {
+  throw Error("delta line " + std::to_string(line) + ": " + what);
+}
+
+/// Required string member, non-empty unless `allow_empty`.
+std::string need_string(const json::Value& obj, std::string_view key,
+                        std::size_t line, bool allow_empty = false) {
+  const json::Value* member = obj.find(key);
+  if (member == nullptr || member->kind() != json::Value::Kind::kString) {
+    fail_line(line, "missing string member \"" + std::string(key) + "\"");
+  }
+  const std::string& s = member->as_string();
+  if (s.empty() && !allow_empty) {
+    fail_line(line, "member \"" + std::string(key) + "\" must be non-empty");
+  }
+  return s;
+}
+
+bool optional_bool(const json::Value& obj, std::string_view key,
+                   std::size_t line) {
+  const json::Value* member = obj.find(key);
+  if (member == nullptr) return false;
+  if (member->kind() != json::Value::Kind::kBool) {
+    fail_line(line, "member \"" + std::string(key) + "\" must be a boolean");
+  }
+  return member->as_bool();
+}
+
+DeltaOp parse_op(const json::Value& obj, std::size_t line) {
+  DeltaOp op;
+  op.line = line;
+  const std::string kind = need_string(obj, "op", line);
+  if (kind == "add_net") {
+    op.kind = DeltaOpKind::kAddNet;
+    op.name = need_string(obj, "name", line);
+    op.global = optional_bool(obj, "global", line);
+    op.port = optional_bool(obj, "port", line);
+  } else if (kind == "remove_net") {
+    op.kind = DeltaOpKind::kRemoveNet;
+    op.name = need_string(obj, "name", line);
+  } else if (kind == "add_device") {
+    op.kind = DeltaOpKind::kAddDevice;
+    op.type = need_string(obj, "type", line);
+    const json::Value* name = obj.find("name");
+    if (name != nullptr) op.name = need_string(obj, "name", line);
+    const json::Value* nets = obj.find("nets");
+    if (nets == nullptr || !nets->is_array()) {
+      fail_line(line, "missing array member \"nets\"");
+    }
+    for (const json::Value& net : nets->elements()) {
+      if (net.kind() != json::Value::Kind::kString ||
+          net.as_string().empty()) {
+        fail_line(line, "\"nets\" entries must be non-empty strings");
+      }
+      op.nets.push_back(net.as_string());
+    }
+  } else if (kind == "remove_device") {
+    op.kind = DeltaOpKind::kRemoveDevice;
+    op.name = need_string(obj, "name", line);
+  } else if (kind == "rename_net" || kind == "rename_device") {
+    op.kind = kind == "rename_net" ? DeltaOpKind::kRenameNet
+                                   : DeltaOpKind::kRenameDevice;
+    op.from = need_string(obj, "from", line);
+    op.to = need_string(obj, "to", line);
+  } else {
+    fail_line(line, "unknown op \"" + kind + "\"");
+  }
+  return op;
+}
+
+}  // namespace
+
+NetlistDelta parse_delta(std::string_view text) {
+  SUBG_FAULT_POINT("parse.delta");
+  NetlistDelta delta;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::string_view line =
+        text.substr(pos, eol == std::string_view::npos ? std::string_view::npos
+                                                       : eol - pos);
+    ++line_no;
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+
+    std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string_view::npos || line[first] == '#') continue;
+
+    const json::ParseResult parsed = json::parse(line);
+    if (!parsed.ok()) {
+      fail_line(line_no, "invalid JSON at byte " +
+                             std::to_string(parsed.offset) + ": " +
+                             parsed.error);
+    }
+    if (!parsed.value.is_object()) {
+      fail_line(line_no, "each delta line must be a JSON object");
+    }
+    delta.ops.push_back(parse_op(parsed.value, line_no));
+  }
+  return delta;
+}
+
+NetlistDelta parse_delta_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot read delta file '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_delta(buffer.str());
+}
+
+namespace {
+
+/// Move `name`'s membership/mappings when a rename lands, and resolve the
+/// pedigree of a name: fresh, renamed survivor, or untouched original.
+struct PedigreeTracker {
+  DeltaEffects* fx;
+
+  void net_created(const std::string& name) { fx->fresh_nets.insert(name); }
+
+  void net_pins_changed(const std::string& name) {
+    // Pin changes on fresh nets are already covered by freshness.
+    if (!fx->fresh_nets.contains(name)) fx->touched_nets.insert(name);
+  }
+
+  /// A net vanished (explicit remove_net, or dropped at degree 0 by
+  /// remove_devices): forget everything recorded under its name.
+  void net_gone(const std::string& name) {
+    fx->fresh_nets.erase(name);
+    fx->touched_nets.erase(name);
+    fx->net_pre_name.erase(name);
+  }
+
+  void net_renamed(const std::string& from, const std::string& to) {
+    if (auto fresh = fx->fresh_nets.find(from); fresh != fx->fresh_nets.end()) {
+      fx->fresh_nets.erase(fresh);
+      fx->fresh_nets.insert(to);
+    } else {
+      auto pre = fx->net_pre_name.find(from);
+      const std::string origin =
+          pre == fx->net_pre_name.end() ? from : pre->second;
+      if (pre != fx->net_pre_name.end()) fx->net_pre_name.erase(pre);
+      fx->net_pre_name.emplace(to, origin);
+    }
+    if (auto touched = fx->touched_nets.find(from);
+        touched != fx->touched_nets.end()) {
+      fx->touched_nets.erase(touched);
+      fx->touched_nets.insert(to);
+    }
+  }
+
+  void device_created(const std::string& name) {
+    fx->fresh_devices.insert(name);
+  }
+
+  void device_gone(const std::string& name) {
+    fx->fresh_devices.erase(name);
+    fx->device_pre_name.erase(name);
+  }
+
+  void device_renamed(const std::string& from, const std::string& to) {
+    if (auto fresh = fx->fresh_devices.find(from);
+        fresh != fx->fresh_devices.end()) {
+      fx->fresh_devices.erase(fresh);
+      fx->fresh_devices.insert(to);
+    } else {
+      auto pre = fx->device_pre_name.find(from);
+      const std::string origin =
+          pre == fx->device_pre_name.end() ? from : pre->second;
+      if (pre != fx->device_pre_name.end()) fx->device_pre_name.erase(pre);
+      fx->device_pre_name.emplace(to, origin);
+    }
+  }
+};
+
+}  // namespace
+
+DeltaEffects apply_delta(Netlist& netlist, const NetlistDelta& delta) {
+  DeltaEffects fx;
+  PedigreeTracker tracker{&fx};
+  for (const DeltaOp& op : delta.ops) {
+    switch (op.kind) {
+      case DeltaOpKind::kAddNet: {
+        if (netlist.find_net(op.name)) {
+          fail_line(op.line, "net '" + op.name + "' already exists");
+        }
+        const NetId n = netlist.add_net(op.name);
+        if (op.global) netlist.mark_global(n);
+        if (op.port) netlist.mark_port(n);
+        tracker.net_created(op.name);
+        ++fx.net_ops;
+        break;
+      }
+      case DeltaOpKind::kRemoveNet: {
+        const auto n = netlist.find_net(op.name);
+        if (!n) fail_line(op.line, "unknown net '" + op.name + "'");
+        if (netlist.net_degree(*n) != 0) {
+          fail_line(op.line, "net '" + op.name +
+                                 "' still has connected pins; remove its "
+                                 "devices first");
+        }
+        netlist.remove_net(*n);
+        tracker.net_gone(op.name);
+        ++fx.net_ops;
+        break;
+      }
+      case DeltaOpKind::kAddDevice: {
+        const auto type = netlist.catalog().find(op.type);
+        if (!type) {
+          fail_line(op.line, "unknown device type '" + op.type + "'");
+        }
+        if (!op.name.empty() && netlist.find_device(op.name)) {
+          fail_line(op.line, "device '" + op.name + "' already exists");
+        }
+        const std::uint32_t want = netlist.catalog().type(*type).pin_count();
+        if (op.nets.size() != want) {
+          fail_line(op.line, "device type '" + op.type + "' has " +
+                                 std::to_string(want) + " pins, got " +
+                                 std::to_string(op.nets.size()) + " nets");
+        }
+        std::vector<NetId> pins;
+        pins.reserve(op.nets.size());
+        for (const std::string& net_name : op.nets) {
+          if (!netlist.find_net(net_name)) {
+            tracker.net_created(net_name);
+          } else {
+            tracker.net_pins_changed(net_name);
+          }
+          pins.push_back(netlist.ensure_net(net_name));
+        }
+        const DeviceId d = netlist.add_device(*type, pins, op.name);
+        tracker.device_created(netlist.device_name(d));
+        ++fx.device_ops;
+        break;
+      }
+      case DeltaOpKind::kRemoveDevice: {
+        const auto d = netlist.find_device(op.name);
+        if (!d) fail_line(op.line, "unknown device '" + op.name + "'");
+        // The victim's nets lose a pin each; capture names first, because
+        // remove_devices also drops internal nets that reach degree 0.
+        std::vector<std::string> pin_nets;
+        for (const NetId n : netlist.device_pins(*d)) {
+          pin_nets.push_back(netlist.net_name(n));
+        }
+        const DeviceId victim = *d;
+        netlist.remove_devices({&victim, 1});
+        tracker.device_gone(op.name);
+        for (const std::string& net_name : pin_nets) {
+          if (netlist.find_net(net_name)) {
+            tracker.net_pins_changed(net_name);
+          } else {
+            tracker.net_gone(net_name);
+          }
+        }
+        ++fx.device_ops;
+        break;
+      }
+      case DeltaOpKind::kRenameNet: {
+        const auto n = netlist.find_net(op.from);
+        if (!n) fail_line(op.line, "unknown net '" + op.from + "'");
+        if (netlist.find_net(op.to)) {
+          fail_line(op.line, "net '" + op.to + "' already exists");
+        }
+        netlist.rename_net(*n, op.to);
+        tracker.net_renamed(op.from, op.to);
+        ++fx.rename_ops;
+        break;
+      }
+      case DeltaOpKind::kRenameDevice: {
+        const auto d = netlist.find_device(op.from);
+        if (!d) fail_line(op.line, "unknown device '" + op.from + "'");
+        if (netlist.find_device(op.to)) {
+          fail_line(op.line, "device '" + op.to + "' already exists");
+        }
+        netlist.rename_device(*d, op.to);
+        tracker.device_renamed(op.from, op.to);
+        ++fx.rename_ops;
+        break;
+      }
+    }
+  }
+  return fx;
+}
+
+}  // namespace subg

@@ -1,6 +1,5 @@
 #include "util/cli_options.hpp"
 
-#include <atomic>
 #include <cstdlib>
 
 namespace subg::cli {
@@ -135,6 +134,14 @@ ParsedArgs parse_args(const std::vector<std::string>& args) {
       }
       continue;
     }
+    if (const char* v = flag_value(arg, "--delta=")) {
+      if (*v == '\0') {
+        out.error = "bad --delta value: empty file name";
+        return out;
+      }
+      out.options.delta_path = v;
+      continue;
+    }
     if (const char* v = flag_value(arg, "--serve-workers=")) {
       char* end = nullptr;
       const unsigned long workers = std::strtoul(v, &end, 10);
@@ -219,6 +226,8 @@ const char* global_flags_help() {
       "  --phase2-filter=<mode> Phase II signature prefilter + nogood memo:\n"
       "                     on (default) or off; results are identical, off\n"
       "                     exists for A/B perf comparison\n"
+      "  --delta=FILE       find/extract: apply an ECO delta (JSON-lines,\n"
+      "                     one op per line) to the host before matching\n"
       "  serve-only flags:\n"
       "  --serve-workers=<n>    concurrent request workers (default 1)\n"
       "  --max-pending=<n>      queued-request bound; beyond it requests\n"
@@ -229,20 +238,6 @@ const char* global_flags_help() {
       "                         request answers `deadline_expired`\n"
       "  --socket=PATH          serve an AF_UNIX socket at PATH instead of\n"
       "                         stdin/stdout\n";
-}
-
-namespace {
-/// One latch per process; relaxed ordering is enough — the only contract is
-/// "exactly one claimant", not any ordering with other memory.
-std::atomic<bool> g_positional_top_warned{false};
-}  // namespace
-
-bool claim_positional_top_warning() {
-  return !g_positional_top_warned.exchange(true, std::memory_order_relaxed);
-}
-
-void reset_positional_top_warning_for_test() {
-  g_positional_top_warned.store(false, std::memory_order_relaxed);
 }
 
 }  // namespace subg::cli

@@ -18,6 +18,8 @@
 //   --phase2-filter=on|off
 //                        Phase II signature prefilter + nogood memo (on is
 //                        the default; off is the A/B measurement path)
+//   --delta=FILE         ECO delta (JSON-lines) applied to the host before
+//                        matching (find/extract)
 //
 // Flags may appear anywhere; everything else is returned as a positional.
 // Unknown --flags are an error (callers map it to a usage exit), so typos
@@ -68,6 +70,9 @@ struct GlobalOptions {
   /// in Phase II. Sound (results identical either way); off exists for A/B
   /// perf comparison.
   bool phase2_filter = true;
+  /// --delta=FILE: ECO delta applied to the host session before matching
+  /// (see session/delta.hpp for the grammar); empty = none.
+  std::string delta_path;
   /// serve-only knobs (see serve/server.hpp for semantics; inert for the
   /// one-shot commands).
   std::size_t serve_workers = 1;
@@ -97,16 +102,5 @@ struct ParsedArgs {
 
 /// The flags block for usage text, one indented line per flag.
 [[nodiscard]] const char* global_flags_help();
-
-/// Claim the once-per-process "positional top names are deprecated" warning.
-/// Returns true exactly once, atomically, no matter how many threads race on
-/// it — front ends print the warning iff this returns true. (The front ends
-/// resolve tops from worker lanes in some sweeps; a plain `static bool` here
-/// was a data race under TSan.)
-[[nodiscard]] bool claim_positional_top_warning();
-
-/// Reset the warn-once latch — test-only, so one process can exercise the
-/// warning path repeatedly.
-void reset_positional_top_warning_for_test();
 
 }  // namespace subg::cli

@@ -56,13 +56,17 @@ class InjectedFault : public Error {
 /// test or CI matrix fails loudly instead of silently never firing.
 ///   parse.request  serve request-line JSON decoding
 ///   parse.netlist  SPICE deck parsing (read/read_string/read_file)
+///   parse.delta    ECO delta (JSON-lines) parsing
 ///   phase1         Phase I refinement entry
 ///   phase2         Phase II candidate verification entry
 ///   cache          host label cache lookup/extension
 ///   serve.dispatch serve request handler dispatch
+///   session.patch  HostSession::apply, just before commit (a fault here
+///                  must leave the session byte-identical to before)
 inline constexpr std::string_view kSites[] = {
-    "parse.request", "parse.netlist", "phase1",
-    "phase2",        "cache",         "serve.dispatch",
+    "parse.request", "parse.netlist",  "parse.delta",
+    "phase1",        "phase2",         "cache",
+    "serve.dispatch", "session.patch",
 };
 inline constexpr std::size_t kSiteCount = sizeof(kSites) / sizeof(kSites[0]);
 

@@ -110,6 +110,66 @@ TEST(CsrCore, CapacityStatusCompleteForRealGraphs) {
   EXPECT_TRUE(status.reason.empty());
 }
 
+// --- rebuild / spill / compaction (the ECO patch path) ----------------------
+
+TEST(CsrCore, RebuildIntoRetainedStorageMirrorsAndAccountsSpill) {
+  gen::Generated big = gen::ripple_carry_adder(16);
+  gen::Generated small = gen::ripple_carry_adder(4);
+  CircuitGraph big_graph(big.netlist);
+  CircuitGraph small_graph(small.netlist);
+
+  CsrCore core(big_graph);
+  const std::size_t big_bytes = core.bytes();
+  EXPECT_EQ(core.spill_bytes(), 0u);  // a cold build is exactly sized
+
+  // Rebuild onto a much smaller graph: contents must mirror the new graph
+  // while bytes() keeps the retained capacity — the difference is spill.
+  core.rebuild(small_graph);
+  expect_mirrors_graph(small_graph, core);
+  EXPECT_EQ(core.bytes(), big_bytes);
+  EXPECT_GT(core.spill_bytes(), 0u);
+  EXPECT_EQ(core.bytes(), core.used_bytes() + core.spill_bytes());
+
+  // A cold core over the same graph is structurally identical (A17's
+  // comparison), spill or no spill.
+  CsrCore cold(small_graph);
+  EXPECT_TRUE(core.structurally_equal(cold));
+  EXPECT_TRUE(cold.structurally_equal(core));
+
+  // shrink() releases the spill and changes nothing structural.
+  core.shrink();
+  EXPECT_EQ(core.spill_bytes(), 0u);
+  EXPECT_LT(core.bytes(), big_bytes);
+  expect_mirrors_graph(small_graph, core);
+  EXPECT_TRUE(core.structurally_equal(cold));
+}
+
+TEST(CsrCore, StructurallyEqualSeesRealDifferences) {
+  gen::Generated a = gen::c17();
+  CircuitGraph graph_a(a.netlist);
+  CsrCore core_a(graph_a);
+  EXPECT_TRUE(core_a.structurally_equal(core_a));
+
+  Netlist edited = a.netlist;
+  NetId out = edited.add_net("eco_out");
+  NetId in = *edited.find_net("N1");
+  edited.add_device(edited.catalog().require("nmos"), {out, in, out, out});
+  CircuitGraph graph_b(edited);
+  CsrCore core_b(graph_b);
+  EXPECT_FALSE(core_a.structurally_equal(core_b));
+  EXPECT_FALSE(core_b.structurally_equal(core_a));
+}
+
+TEST(CsrCore, CapacityStatusHonorsACustomEdgeBudget) {
+  gen::Generated g = gen::c17();
+  CircuitGraph graph(g.netlist);
+  const std::size_t edges = CsrCore::edge_count(graph);
+  EXPECT_TRUE(CsrCore::capacity_status(graph, edges).complete());
+  const RunStatus refused = CsrCore::capacity_status(graph, edges - 1);
+  EXPECT_FALSE(refused.complete());
+  EXPECT_FALSE(refused.reason.empty());
+}
+
 TEST(CsrCore, EdgeCountMatchesGraphDegrees) {
   // capacity_status compares edge_count against the limit; edge_count must
   // agree with what the builder would actually lay out (sum of degrees).

@@ -168,5 +168,66 @@ TEST_F(NetlistTest, ValidatePassesOnWellFormed) {
   EXPECT_NO_THROW(nl.validate());
 }
 
+TEST_F(NetlistTest, RenameNetMovesTheNameNotTheId) {
+  Netlist nl(cat);
+  NetId a = nl.add_net("a"), y = nl.add_net("y"), g = nl.add_net("gnd");
+  nl.add_device(nmos, {y, a, g});
+  nl.rename_net(a, "a2");
+  EXPECT_EQ(nl.net_name(a), "a2");
+  EXPECT_EQ(nl.find_net("a2"), a);
+  EXPECT_FALSE(nl.find_net("a").has_value());
+  // Structure untouched: the device still pins the same NetId.
+  EXPECT_EQ(nl.net_degree(a), 1u);
+  // Renaming onto itself is a no-op, onto a taken name an error.
+  EXPECT_NO_THROW(nl.rename_net(a, "a2"));
+  EXPECT_THROW(nl.rename_net(a, "y"), Error);
+  EXPECT_THROW(nl.rename_net(a, ""), Error);
+  nl.validate();
+}
+
+TEST_F(NetlistTest, RenameDeviceMovesTheNameNotTheId) {
+  Netlist nl(cat);
+  NetId a = nl.add_net("a"), y = nl.add_net("y"), g = nl.add_net("gnd");
+  DeviceId m1 = nl.add_device(nmos, {y, a, g}, "m1");
+  nl.add_device(pmos, {y, a, g}, "m2");
+  nl.rename_device(m1, "m1b");
+  EXPECT_EQ(nl.device_name(m1), "m1b");
+  EXPECT_EQ(nl.find_device("m1b"), m1);
+  EXPECT_FALSE(nl.find_device("m1").has_value());
+  EXPECT_NO_THROW(nl.rename_device(m1, "m1b"));
+  EXPECT_THROW(nl.rename_device(m1, "m2"), Error);
+  nl.validate();
+}
+
+TEST_F(NetlistTest, RemoveNetShiftsHigherIdsDown) {
+  Netlist nl(cat);
+  NetId a = nl.add_net("a"), dead = nl.add_net("dead"), y = nl.add_net("y"),
+        g = nl.add_net("gnd");
+  nl.mark_port(a);
+  nl.mark_port(y);
+  nl.add_device(nmos, {y, a, g});
+  nl.remove_net(dead);
+  EXPECT_EQ(nl.net_count(), 3u);
+  EXPECT_FALSE(nl.find_net("dead").has_value());
+  // Ids above the removed slot shifted down; names still resolve and the
+  // device's pins follow.
+  const NetId y2 = *nl.find_net("y");
+  EXPECT_EQ(y2.value, y.value - 1);
+  EXPECT_EQ(nl.net_degree(y2), 1u);
+  ASSERT_EQ(nl.ports().size(), 2u);
+  EXPECT_EQ(nl.net_name(nl.ports()[0]), "a");
+  EXPECT_EQ(nl.net_name(nl.ports()[1]), "y");
+  nl.validate();
+}
+
+TEST_F(NetlistTest, RemoveNetRefusesLiveNets) {
+  Netlist nl(cat);
+  NetId a = nl.add_net("a"), y = nl.add_net("y"), g = nl.add_net("gnd");
+  nl.add_device(nmos, {y, a, g});
+  EXPECT_THROW(nl.remove_net(y), Error);
+  EXPECT_THROW(nl.remove_net(NetId(99)), Error);
+  nl.validate();
+}
+
 }  // namespace
 }  // namespace subg

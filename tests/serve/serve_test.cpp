@@ -312,7 +312,7 @@ TEST(Serve, ServerDefaultTimeoutAppliesAndZeroOverridesIt) {
   EXPECT_TRUE(response_ok(fx.next()));
 }
 
-TEST(Serve, LoadInlineThenFindAndReplace) {
+TEST(Serve, LoadInlineThenFindAndDuplicateRefused) {
   ServeOptions options;  // no preloaded hosts at all
   ServeFixture fx(options);
 
@@ -332,7 +332,6 @@ TEST(Serve, LoadInlineThenFindAndReplace) {
   const json::Value* result = frame.find("result");
   ASSERT_NE(result, nullptr);
   EXPECT_EQ(result->find("host")->as_string(), "inline_mux");
-  EXPECT_EQ(result->find("replaced")->dump(0), "false");
   EXPECT_EQ(result->find("csr_core")->dump(0), "true");
 
   // The sole loaded host resolves as the default.
@@ -341,12 +340,15 @@ TEST(Serve, LoadInlineThenFindAndReplace) {
   ASSERT_TRUE(response_ok(frame)) << frame.dump(0);
   EXPECT_EQ(frame.find("result")->find("instances")->elements().size(), 3u);
 
-  // Replacing the same name is reported; in-flight semantics are covered
-  // by the shared_ptr design (old references stay valid).
+  // Re-registering the same name is refused (a silent replacement would
+  // throw away any ECO patches clients applied); the host survives intact.
   fx.send(load);
   frame = fx.next();
-  ASSERT_TRUE(response_ok(frame));
-  EXPECT_EQ(frame.find("result")->find("replaced")->dump(0), "true");
+  EXPECT_EQ(error_code(frame), "already_loaded");
+  fx.send(find_request(31));
+  frame = fx.next();
+  ASSERT_TRUE(response_ok(frame)) << frame.dump(0);
+  EXPECT_EQ(frame.find("result")->find("instances")->elements().size(), 3u);
 
   json::Value bad_load = make_request("load", 4);
   bad_load.set("name", "both");
@@ -354,6 +356,97 @@ TEST(Serve, LoadInlineThenFindAndReplace) {
   bad_load.set("path", "/nonexistent");
   fx.send(bad_load);
   EXPECT_EQ(error_code(fx.next()), "bad_request");
+}
+
+/// A delta wiring a fourth NAND2 (inputs y / yb, output z) into mux_host.
+constexpr const char* kFourthNandDelta =
+    "# one more nand2, fed by the mux output and the spare inverter\n"
+    R"({"op":"add_device","type":"pmos","name":"xp0","nets":["z","y","vdd","vdd"]})"
+    "\n"
+    R"({"op":"add_device","type":"pmos","name":"xp1","nets":["z","yb","vdd","vdd"]})"
+    "\n"
+    R"({"op":"add_device","type":"nmos","name":"xn0","nets":["z","y","zx","gnd"]})"
+    "\n"
+    R"({"op":"add_device","type":"nmos","name":"xn1","nets":["zx","yb","gnd","gnd"]})"
+    "\n";
+
+TEST(Serve, PatchAppliesDeltaAndFindSeesIt) {
+  ServeFixture fx(mux_options());
+  fx.send(find_request(1));
+  json::Value frame = fx.next();
+  ASSERT_TRUE(response_ok(frame)) << frame.dump(0);
+  EXPECT_EQ(frame.find("result")->find("instances")->elements().size(), 3u);
+
+  json::Value patch = make_request("patch", 2);
+  patch.set("delta", std::string(kFourthNandDelta));
+  fx.send(patch);
+  frame = fx.next();
+  ASSERT_TRUE(response_ok(frame)) << frame.dump(0);
+  const json::Value* result = frame.find("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(result->find("host")->as_string(), "mux_host");
+  const json::Value* eco = result->find("eco");
+  ASSERT_NE(eco, nullptr);
+  EXPECT_EQ(eco->find("patched_devices")->as_uint(), 4u);
+  EXPECT_EQ(eco->find("renames")->as_uint(), 0u);
+  EXPECT_GT(eco->find("invalidated_labels")->as_uint(), 0u);
+  EXPECT_EQ(result->find("patch_count")->as_uint(), 1u);
+  // The summary reflects the post-patch netlist (4 new devices).
+  EXPECT_EQ(result->find("summary")->find("devices")->as_uint(), 20u);
+
+  // The warm session answers through the patched host: 4 NAND2s now.
+  fx.send(find_request(3));
+  frame = fx.next();
+  ASSERT_TRUE(response_ok(frame)) << frame.dump(0);
+  EXPECT_EQ(frame.find("result")->find("instances")->elements().size(), 4u);
+
+  // status reports the per-host ECO odometer.
+  fx.send(make_request("status", 4));
+  frame = fx.next();
+  ASSERT_TRUE(response_ok(frame));
+  const json::Value& host = frame.find("result")->find("hosts")->elements()[0];
+  const json::Value* host_eco = host.find("eco");
+  ASSERT_NE(host_eco, nullptr);
+  EXPECT_EQ(host_eco->find("patch_count")->as_uint(), 1u);
+  EXPECT_NE(host_eco->find("spill_bytes"), nullptr);
+  EXPECT_NE(host_eco->find("last_compaction"), nullptr);
+}
+
+TEST(Serve, PatchFailuresLeaveTheSessionUntouched) {
+  ServeFixture fx(mux_options());
+
+  json::Value patch = make_request("patch", 1);
+  fx.send(patch);  // no delta at all
+  EXPECT_EQ(error_code(fx.next()), "bad_request");
+
+  patch = make_request("patch", 2);
+  patch.set("delta", "{\"op\": \"add_net\"");  // malformed JSON line
+  fx.send(patch);
+  json::Value frame = fx.next();
+  EXPECT_EQ(error_code(frame), "bad_delta");
+  EXPECT_EQ(frame.find("id")->as_uint(), 2u);
+
+  patch = make_request("patch", 3);  // parses, but inapplicable: y is live
+  patch.set("delta", R"({"op":"remove_net","name":"y"})");
+  fx.send(patch);
+  EXPECT_EQ(error_code(fx.next()), "bad_delta");
+
+  patch = make_request("patch", 4);
+  patch.set("delta", R"({"op":"add_net","name":"fresh"})");
+  patch.set("host", "no_such_host");
+  fx.send(patch);
+  EXPECT_EQ(error_code(fx.next()), "unknown_host");
+
+  // Every failure rolled back (or never started): the host still answers
+  // with the original 3 instances and a zero patch odometer.
+  fx.send(find_request(5));
+  frame = fx.next();
+  ASSERT_TRUE(response_ok(frame)) << frame.dump(0);
+  EXPECT_EQ(frame.find("result")->find("instances")->elements().size(), 3u);
+  fx.send(make_request("status", 6));
+  frame = fx.next();
+  const json::Value& host = frame.find("result")->find("hosts")->elements()[0];
+  EXPECT_EQ(host.find("eco")->find("patch_count")->as_uint(), 0u);
 }
 
 TEST(Serve, OversizedLineIsSheddedAndFramingSurvives) {

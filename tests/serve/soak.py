@@ -2,8 +2,9 @@
 """Soak `subgemini serve` with a seeded, randomized request stream.
 
 Drives one server process with a mixed stream -- valid finds/lints/status,
-malformed JSON, structurally bad requests, oversized lines, deadline-blown
-finds -- and holds the daemon to its contract on every single line:
+round-tripping and hostile ECO patches, duplicate loads, malformed JSON,
+structurally bad requests, oversized lines, deadline-blown finds -- and
+holds the daemon to its contract on every single line:
 
   * every request line is answered with exactly one schema-valid frame
     (validated against tests/report/schema_v1.json);
@@ -78,9 +79,9 @@ def make_stream(rng, cells_text, cell_names, oversized_bytes):
     is the set of acceptable error codes, or None for a must-succeed
     request; id is None for lines that by contract answer id=null."""
     kind = rng.choices(
-        ["find", "status", "lint", "deadline", "bad_shape", "malformed",
-         "oversized"],
-        weights=[30, 10, 10, 10, 15, 15, 10])[0]
+        ["find", "status", "lint", "patch", "load_dup", "deadline",
+         "bad_shape", "malformed", "oversized"],
+        weights=[25, 8, 8, 12, 4, 10, 15, 12, 6])[0]
     rid = rng.randrange(1 << 30)
     if kind == "find":
         request = {"id": rid, "op": "find", "pattern": cells_text,
@@ -94,6 +95,32 @@ def make_stream(rng, cells_text, cell_names, oversized_bytes):
         return json.dumps({"id": rid, "op": "status"}), (rid, None)
     if kind == "lint":
         return json.dumps({"id": rid, "op": "lint"}), (rid, None)
+    if kind == "patch":
+        # Half the patches are sound: a scratch net added and removed in
+        # the same delta, so the host round-trips unchanged and later finds
+        # stay deterministic.  The rest are hostile and must answer
+        # bad_delta while leaving the host intact.
+        if rng.random() < 0.5:
+            scratch = f"soak_{rid}"
+            delta = (json.dumps({"op": "add_net", "name": scratch}) + "\n" +
+                     json.dumps({"op": "remove_net", "name": scratch}))
+            return (json.dumps({"id": rid, "op": "patch", "delta": delta}),
+                    (rid, None))
+        delta = rng.choice([
+            '{"op": "add_net"',                              # malformed line
+            json.dumps({"op": "remove_net", "name": "y"}),   # net is live
+            json.dumps({"op": "rename_net", "from": "no_such", "to": "x"}),
+            json.dumps({"op": "add_device", "type": "warp_core",
+                        "nets": ["a"]}),                     # unknown type
+        ])
+        return (json.dumps({"id": rid, "op": "patch", "delta": delta}),
+                (rid, {"bad_delta"}))
+    if kind == "load_dup":
+        # The startup host's name is taken; re-registering it is refused
+        # even with a perfectly valid netlist.
+        request = {"id": rid, "op": "load", "name": "mux_host",
+                   "netlist": cells_text}
+        return json.dumps(request), (rid, {"already_loaded"})
     if kind == "deadline":
         request = {"id": rid, "op": "find", "pattern": cells_text,
                    "pattern_top": rng.choice(cell_names),
@@ -116,6 +143,9 @@ def make_stream(rng, cells_text, cell_names, oversized_bytes):
             (json.dumps({"id": rid, "op": "find", "pattern": cells_text,
                          "pattern_top": "nand2", "host": "no_such_host"}),
              {"unknown_host"}, True),
+            (json.dumps({"id": rid, "op": "patch"}), {"bad_request"}, True),
+            (json.dumps({"id": rid, "op": "patch", "delta": "x",
+                         "host": "no_such_host"}), {"unknown_host"}, True),
         ])
         return line, (rid if echoed else None, codes)
     if kind == "malformed":
@@ -231,10 +261,19 @@ def run_fault_smoke(args, checker, schema):
 
     # Exhaustive mode routes Phase II through enumerate() (every fault site
     # on the find path, plus enumerate's own "phase2" crossing); the
-    # containment contract is the same either way.
+    # containment contract is the same either way.  The ECO sites
+    # (parse.delta, session.patch) are only crossed by a patch request, so
+    # those smoke through a round-tripping patch instead -- which doubles
+    # as the rollback check: the post-fault patch applies the SAME delta,
+    # which only succeeds if the faulted attempt left the host unchanged.
     find = json.dumps({"id": 1, "op": "find", "pattern": cells_text,
                        "pattern_top": "nand2", "exhaustive": True})
+    delta = ('{"op": "add_net", "name": "smoke"}\n'
+             '{"op": "remove_net", "name": "smoke"}')
+    patch = json.dumps({"id": 1, "op": "patch", "delta": delta})
+    patch_sites = {"parse.delta", "session.patch"}
     for site in faults["sites"]:
+        probe_request = patch if site in patch_sites else find
         # Some sites are also crossed while the configured host loads at
         # startup (e.g. parse.netlist); an armed fault firing there exits
         # 65 before serving.  Escalate nth past the startup crossings until
@@ -244,7 +283,7 @@ def run_fault_smoke(args, checker, schema):
             server = Server(args.binary, host_path,
                             env_extra={"SUBG_FAULT": f"{site}:{nth}"})
             try:
-                server.send_lines([find])
+                server.send_lines([probe_request])
                 frame, raw = server.read_frame()
             except (EOFError, BrokenPipeError):
                 code = server.proc.wait(timeout=30)
@@ -263,12 +302,13 @@ def run_fault_smoke(args, checker, schema):
             fail(f"site {site}: first request answered {raw.strip()}, "
                  "wanted injected_fault")
         # The fault fired once; the daemon must now serve normally.
-        server.send_lines([find])
+        server.send_lines([probe_request])
         frame, raw = server.read_frame()
         check_frame(frame, checker, schema, fail, f"site {site} (after)")
         if not frame.get("ok"):
             fail(f"site {site}: service did not continue: {raw.strip()}")
-        elif len(frame["result"]["instances"]) != 3:
+        elif (site not in patch_sites
+              and len(frame["result"]["instances"]) != 3):
             fail(f"site {site}: post-fault find degraded: {raw.strip()}")
         code = server.finish()
         if code != 0:

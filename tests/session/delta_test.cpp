@@ -1,0 +1,241 @@
+// ECO delta grammar and application (session/delta.hpp): the JSON-lines
+// parser, its "delta line N: ..." error contract, and apply_delta's op
+// counts + pedigree tracking (the bookkeeping HostSession::apply turns
+// into the label-cache dirty cone).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "netlist/netlist.hpp"
+#include "session/delta.hpp"
+#include "util/check.hpp"
+
+namespace subg {
+namespace {
+
+/// EXPECT that `fn` throws subg::Error whose message starts with
+/// "delta line <line>:".
+template <typename Fn>
+void expect_line_error(std::size_t line, Fn fn) {
+  try {
+    fn();
+    FAIL() << "expected a delta line " << line << " error";
+  } catch (const Error& e) {
+    const std::string prefix = "delta line " + std::to_string(line) + ":";
+    EXPECT_EQ(std::string(e.what()).substr(0, prefix.size()), prefix)
+        << e.what();
+  }
+}
+
+TEST(DeltaParse, AllOpsWithCommentsAndBlanks) {
+  const NetlistDelta delta = parse_delta(
+      "# an ECO, with commentary\n"
+      "\n"
+      "{\"op\":\"add_net\",\"name\":\"x\",\"global\":true,\"port\":true}\n"
+      "  {\"op\":\"remove_net\",\"name\":\"y\"}\n"
+      "{\"op\":\"add_device\",\"type\":\"nmos\",\"name\":\"m9\","
+      "\"nets\":[\"a\",\"b\"]}\n"
+      "{\"op\":\"remove_device\",\"name\":\"m1\"}\n"
+      "{\"op\":\"rename_net\",\"from\":\"a\",\"to\":\"b\"}\n"
+      "{\"op\":\"rename_device\",\"from\":\"m1\",\"to\":\"m2\"}\n");
+  ASSERT_EQ(delta.ops.size(), 6u);
+  EXPECT_EQ(delta.ops[0].kind, DeltaOpKind::kAddNet);
+  EXPECT_EQ(delta.ops[0].name, "x");
+  EXPECT_TRUE(delta.ops[0].global);
+  EXPECT_TRUE(delta.ops[0].port);
+  EXPECT_EQ(delta.ops[0].line, 3u);  // comments/blanks still count lines
+  EXPECT_EQ(delta.ops[1].kind, DeltaOpKind::kRemoveNet);
+  EXPECT_EQ(delta.ops[1].name, "y");
+  EXPECT_EQ(delta.ops[2].kind, DeltaOpKind::kAddDevice);
+  EXPECT_EQ(delta.ops[2].type, "nmos");
+  EXPECT_EQ(delta.ops[2].name, "m9");
+  ASSERT_EQ(delta.ops[2].nets.size(), 2u);
+  EXPECT_EQ(delta.ops[2].nets[1], "b");
+  EXPECT_EQ(delta.ops[3].kind, DeltaOpKind::kRemoveDevice);
+  EXPECT_EQ(delta.ops[4].kind, DeltaOpKind::kRenameNet);
+  EXPECT_EQ(delta.ops[4].from, "a");
+  EXPECT_EQ(delta.ops[4].to, "b");
+  EXPECT_EQ(delta.ops[5].kind, DeltaOpKind::kRenameDevice);
+  EXPECT_EQ(delta.ops[5].line, 8u);
+}
+
+TEST(DeltaParse, AnonymousAddDeviceAndEmptyText) {
+  const NetlistDelta delta = parse_delta(
+      "{\"op\":\"add_device\",\"type\":\"pmos\",\"nets\":[\"a\"]}");
+  ASSERT_EQ(delta.ops.size(), 1u);
+  EXPECT_TRUE(delta.ops[0].name.empty());  // auto-named at apply time
+  EXPECT_TRUE(parse_delta("").ops.empty());
+  EXPECT_TRUE(parse_delta("# only a comment\n\n").ops.empty());
+}
+
+TEST(DeltaParse, MalformedLinesNameTheLine) {
+  expect_line_error(1, [] { (void)parse_delta("{\"op\":\"add_net\""); });
+  expect_line_error(1, [] { (void)parse_delta("[1,2,3]"); });  // not an object
+  expect_line_error(1, [] { (void)parse_delta("{\"op\":\"warp\"}"); });
+  expect_line_error(1, [] { (void)parse_delta("{\"op\":\"add_net\"}"); });
+  expect_line_error(
+      1, [] { (void)parse_delta("{\"op\":\"add_net\",\"name\":\"\"}"); });
+  expect_line_error(1, [] {
+    (void)parse_delta(
+        "{\"op\":\"add_net\",\"name\":\"x\",\"global\":\"yes\"}");
+  });
+  expect_line_error(
+      1, [] { (void)parse_delta("{\"op\":\"add_device\",\"type\":\"n\"}"); });
+  expect_line_error(1, [] {
+    (void)parse_delta(
+        "{\"op\":\"add_device\",\"type\":\"n\",\"nets\":[\"a\",7]}");
+  });
+  expect_line_error(1, [] {
+    (void)parse_delta("{\"op\":\"rename_net\",\"from\":\"a\"}");
+  });
+  // The failing line is reported, not just "somewhere in the text".
+  expect_line_error(3, [] {
+    (void)parse_delta("# fine\n{\"op\":\"add_net\",\"name\":\"x\"}\nnot json");
+  });
+}
+
+TEST(DeltaParse, MissingFileThrows) {
+  EXPECT_THROW((void)parse_delta_file("/nonexistent/eco.delta"), Error);
+}
+
+// --- apply_delta -----------------------------------------------------------
+
+class ApplyDeltaTest : public ::testing::Test {
+ protected:
+  /// inv-ish host: m1 = nmos(y, a, gnd, gnd) against the cmos catalog the
+  /// delta tests speak (4-pin FETs, like the generators).
+  ApplyDeltaTest() {
+    a = nl.add_net("a");
+    y = nl.add_net("y");
+    gnd = nl.add_net("gnd");
+    nl.mark_global(gnd);
+    nl.add_device(nmos, {y, a, gnd, gnd}, "m1");
+  }
+
+  std::shared_ptr<const DeviceCatalog> cat = DeviceCatalog::cmos();
+  DeviceTypeId nmos = cat->require("nmos");
+  Netlist nl{cat, "host"};
+  NetId a, y, gnd;
+};
+
+TEST_F(ApplyDeltaTest, OpCountsAndPedigree) {
+  const NetlistDelta delta = parse_delta(
+      "{\"op\":\"add_net\",\"name\":\"w\"}\n"
+      "{\"op\":\"add_device\",\"type\":\"nmos\",\"name\":\"m2\","
+      "\"nets\":[\"w\",\"y\",\"gnd\",\"gnd\"]}\n"
+      "{\"op\":\"rename_net\",\"from\":\"a\",\"to\":\"a2\"}\n"
+      "{\"op\":\"rename_device\",\"from\":\"m1\",\"to\":\"m1b\"}\n");
+  const DeltaEffects fx = apply_delta(nl, delta);
+  EXPECT_EQ(fx.device_ops, 1u);
+  EXPECT_EQ(fx.net_ops, 1u);
+  EXPECT_EQ(fx.rename_ops, 2u);
+  EXPECT_TRUE(fx.fresh_nets.contains("w"));
+  EXPECT_TRUE(fx.fresh_devices.contains("m2"));
+  // Pre-existing nets that gained pins are touched; the fresh one is not.
+  EXPECT_TRUE(fx.touched_nets.contains("y"));
+  EXPECT_TRUE(fx.touched_nets.contains("gnd"));
+  EXPECT_FALSE(fx.touched_nets.contains("w"));
+  // Renames map the surviving name back to the pre-delta name.
+  ASSERT_TRUE(fx.net_pre_name.contains("a2"));
+  EXPECT_EQ(fx.net_pre_name.at("a2"), "a");
+  ASSERT_TRUE(fx.device_pre_name.contains("m1b"));
+  EXPECT_EQ(fx.device_pre_name.at("m1b"), "m1");
+  // And the netlist reflects it all.
+  EXPECT_TRUE(nl.find_device("m2").has_value());
+  EXPECT_TRUE(nl.find_net("a2").has_value());
+  EXPECT_FALSE(nl.find_net("a").has_value());
+}
+
+TEST_F(ApplyDeltaTest, ImplicitNetsAreFreshAndChainedRenamesCollapse) {
+  const NetlistDelta delta = parse_delta(
+      "{\"op\":\"add_device\",\"type\":\"nmos\","
+      "\"nets\":[\"fresh1\",\"a\",\"gnd\",\"gnd\"]}\n"
+      "{\"op\":\"rename_net\",\"from\":\"fresh1\",\"to\":\"fresh2\"}\n"
+      "{\"op\":\"rename_net\",\"from\":\"a\",\"to\":\"b\"}\n"
+      "{\"op\":\"rename_net\",\"from\":\"b\",\"to\":\"c\"}\n");
+  const DeltaEffects fx = apply_delta(nl, delta);
+  // A missing pin net is created implicitly: fresh, and a rename keeps it
+  // fresh under the new name (not "renamed from fresh1").
+  EXPECT_TRUE(fx.fresh_nets.contains("fresh2"));
+  EXPECT_FALSE(fx.fresh_nets.contains("fresh1"));
+  EXPECT_FALSE(fx.net_pre_name.contains("fresh2"));
+  // a -> b -> c collapses to c -> a.
+  ASSERT_TRUE(fx.net_pre_name.contains("c"));
+  EXPECT_EQ(fx.net_pre_name.at("c"), "a");
+  EXPECT_FALSE(fx.net_pre_name.contains("b"));
+  // The implicit device got an auto name and is fresh.
+  EXPECT_EQ(fx.fresh_devices.size(), 1u);
+  EXPECT_EQ(fx.device_ops, 1u);
+}
+
+TEST_F(ApplyDeltaTest, RemoveDeviceDropsInternalNetsFromThePedigree) {
+  // m2 hangs net "w" off y; removing m2 drops w (degree 0, not port or
+  // global) — the pedigree must forget w and touch y.
+  (void)apply_delta(nl, parse_delta(
+      "{\"op\":\"add_device\",\"type\":\"nmos\",\"name\":\"m2\","
+      "\"nets\":[\"w\",\"y\",\"gnd\",\"gnd\"]}\n"));
+  const DeltaEffects fx = apply_delta(
+      nl, parse_delta("{\"op\":\"remove_device\",\"name\":\"m2\"}"));
+  EXPECT_EQ(fx.device_ops, 1u);
+  EXPECT_TRUE(fx.touched_nets.contains("y"));
+  EXPECT_FALSE(fx.fresh_nets.contains("w"));
+  EXPECT_FALSE(fx.touched_nets.contains("w"));
+  EXPECT_FALSE(nl.find_net("w").has_value());
+  // Removing a just-added device inside ONE delta leaves no trace either.
+  const DeltaEffects fx2 = apply_delta(nl, parse_delta(
+      "{\"op\":\"add_device\",\"type\":\"nmos\",\"name\":\"m3\","
+      "\"nets\":[\"v\",\"y\",\"gnd\",\"gnd\"]}\n"
+      "{\"op\":\"remove_device\",\"name\":\"m3\"}\n"));
+  EXPECT_EQ(fx2.device_ops, 2u);
+  EXPECT_TRUE(fx2.fresh_devices.empty());
+  EXPECT_TRUE(fx2.fresh_nets.empty());
+}
+
+TEST_F(ApplyDeltaTest, InapplicableOpsNameTheLineAndOpsApplyInOrder) {
+  expect_line_error(1, [&] {
+    (void)apply_delta(nl, parse_delta("{\"op\":\"add_net\",\"name\":\"a\"}"));
+  });
+  expect_line_error(1, [&] {
+    (void)apply_delta(
+        nl, parse_delta("{\"op\":\"remove_net\",\"name\":\"ghost\"}"));
+  });
+  // y has a pin: a live net cannot be removed.
+  expect_line_error(1, [&] {
+    (void)apply_delta(nl,
+                      parse_delta("{\"op\":\"remove_net\",\"name\":\"y\"}"));
+  });
+  expect_line_error(1, [&] {
+    (void)apply_delta(nl, parse_delta(
+        "{\"op\":\"add_device\",\"type\":\"warp_core\",\"nets\":[\"a\"]}"));
+  });
+  // Pin-count mismatch against the catalog.
+  expect_line_error(1, [&] {
+    (void)apply_delta(nl, parse_delta(
+        "{\"op\":\"add_device\",\"type\":\"nmos\",\"nets\":[\"a\"]}"));
+  });
+  expect_line_error(1, [&] {
+    (void)apply_delta(
+        nl, parse_delta("{\"op\":\"rename_net\",\"from\":\"a\",\"to\":\"y\"}"));
+  });
+  // Order matters: line 2 removes what line 1 added, so line 3's re-add of
+  // the same name succeeds; then line 4 fails and is reported as line 4.
+  expect_line_error(4, [&] {
+    (void)apply_delta(nl, parse_delta(
+        "{\"op\":\"add_net\",\"name\":\"s\"}\n"
+        "{\"op\":\"remove_net\",\"name\":\"s\"}\n"
+        "{\"op\":\"add_net\",\"name\":\"s\"}\n"
+        "{\"op\":\"remove_net\",\"name\":\"nope\"}\n"));
+  });
+}
+
+TEST_F(ApplyDeltaTest, AddNetFlagsApply) {
+  (void)apply_delta(nl, parse_delta(
+      "{\"op\":\"add_net\",\"name\":\"vbias\",\"global\":true}\n"
+      "{\"op\":\"add_net\",\"name\":\"out\",\"port\":true}\n"));
+  EXPECT_TRUE(nl.is_global(*nl.find_net("vbias")));
+  EXPECT_TRUE(nl.is_port(*nl.find_net("out")));
+  nl.validate();
+}
+
+}  // namespace
+}  // namespace subg

@@ -1,0 +1,226 @@
+// HostSession lifecycle: build, configure, apply (atomic or not at all),
+// the edge-budget overflow path, spill/compaction accounting, and the
+// cumulative session generation counters behind serve `status` and the
+// eco.* metrics.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cells/cells.hpp"
+#include "gen/generators.hpp"
+#include "graph/csr_core.hpp"
+#include "match/matcher.hpp"
+#include "obs/metrics.hpp"
+#include "report/document.hpp"
+#include "session/delta.hpp"
+#include "session/session.hpp"
+#include "util/check.hpp"
+#include "util/fault.hpp"
+
+namespace subg {
+namespace {
+
+/// Serialized report with wall-clock zeroed: the byte-identity currency.
+std::string report_json(MatchReport report) {
+  report.phase1_seconds = 0;
+  report.phase2_seconds = 0;
+  return report::to_json(report).dump();
+}
+
+/// A nand2 delta: one more gate (4 devices) wired off existing soup nets.
+const char* kNandDelta =
+    "{\"op\":\"add_device\",\"type\":\"pmos\",\"name\":\"eco_p0\","
+    "\"nets\":[\"eco_z\",\"pi0\",\"vdd\",\"vdd\"]}\n"
+    "{\"op\":\"add_device\",\"type\":\"pmos\",\"name\":\"eco_p1\","
+    "\"nets\":[\"eco_z\",\"pi1\",\"vdd\",\"vdd\"]}\n"
+    "{\"op\":\"add_device\",\"type\":\"nmos\",\"name\":\"eco_n0\","
+    "\"nets\":[\"eco_z\",\"pi0\",\"eco_x\",\"gnd\"]}\n"
+    "{\"op\":\"add_device\",\"type\":\"nmos\",\"name\":\"eco_n1\","
+    "\"nets\":[\"eco_x\",\"pi1\",\"gnd\",\"gnd\"]}\n";
+
+class SessionTest : public ::testing::Test {
+ protected:
+  gen::Generated g = gen::logic_soup(60, 99);
+  cells::CellLibrary lib;
+  Netlist pattern = lib.pattern("nand2");
+};
+
+TEST_F(SessionTest, BuildOwnsTheWholeBundle) {
+  HostSession session = HostSession::build(g.netlist);
+  EXPECT_EQ(session.netlist().device_count(), g.netlist.device_count());
+  EXPECT_EQ(&session.graph().netlist(), &session.netlist());
+  ASSERT_NE(session.core(), nullptr);
+  EXPECT_EQ(&session.core()->graph(), &session.graph());
+  EXPECT_TRUE(session.core_status().complete());
+  EXPECT_EQ(session.patch_count(), 0u);
+  EXPECT_EQ(session.spill_bytes(), 0u);
+  EXPECT_EQ(session.last_compaction(), 0u);
+  EXPECT_EQ(session.totals().patched_devices, 0u);
+}
+
+TEST_F(SessionTest, ConfigureWiresTheSharedStructures) {
+  HostSession session = HostSession::build(g.netlist);
+  MatchOptions opts;
+  session.configure(opts);
+  EXPECT_EQ(opts.phase1.host_cache, &session.cache());
+  EXPECT_EQ(opts.host_core, session.core());
+  EXPECT_EQ(opts.core, CoreMode::kCsr);  // untouched when a core exists
+
+  SessionOptions legacy_opts;
+  legacy_opts.core = CoreMode::kLegacy;
+  HostSession legacy = HostSession::build(g.netlist, legacy_opts);
+  EXPECT_EQ(legacy.core(), nullptr);
+  EXPECT_TRUE(legacy.core_status().complete());  // skipped, not refused
+  MatchOptions lopts;
+  legacy.configure(lopts);
+  EXPECT_EQ(lopts.host_core, nullptr);
+  EXPECT_EQ(lopts.core, CoreMode::kLegacy);
+  // Matching still works, and agrees with the csr session byte for byte.
+  EXPECT_EQ(report_json(find_in_session(pattern, legacy)),
+            report_json(find_in_session(pattern, session)));
+}
+
+TEST_F(SessionTest, ApplyPatchesAndTheNextFindSeesIt) {
+  HostSession session = HostSession::build(g.netlist);
+  const std::size_t before = find_in_session(pattern, session).instances.size();
+  const NetlistDelta delta = parse_delta(kNandDelta);
+  const ApplyStats stats = session.apply(delta);
+  EXPECT_EQ(stats.patched_devices, 4u);
+  EXPECT_EQ(stats.patched_nets, 0u);  // implicit nets are not net ops
+  EXPECT_EQ(stats.renames, 0u);
+  EXPECT_GT(stats.invalidated_labels, 0u);
+  EXPECT_EQ(session.patch_count(), 1u);
+  EXPECT_EQ(session.netlist().device_count(), g.netlist.device_count() + 4);
+  EXPECT_EQ(find_in_session(pattern, session).instances.size(), before + 1);
+
+  // Second patch: rename the gate's output; totals accumulate.
+  (void)session.apply(parse_delta(
+      "{\"op\":\"rename_net\",\"from\":\"eco_z\",\"to\":\"eco_z2\"}"));
+  EXPECT_EQ(session.patch_count(), 2u);
+  EXPECT_EQ(session.totals().patched_devices, 4u);
+  EXPECT_EQ(session.totals().renames, 1u);
+  EXPECT_GE(session.totals().invalidated_labels, stats.invalidated_labels);
+}
+
+TEST_F(SessionTest, ApplyIsAtomicOnInapplicableDeltas) {
+  HostSession session = HostSession::build(g.netlist);
+  const std::string before = report_json(find_in_session(pattern, session));
+  // Line 1 applies cleanly; line 2 is inapplicable — the session must not
+  // keep line 1's net.
+  try {
+    (void)session.apply(parse_delta(
+        "{\"op\":\"add_net\",\"name\":\"half\"}\n"
+        "{\"op\":\"remove_net\",\"name\":\"ghost\"}\n"));
+    FAIL() << "expected the delta to be rejected";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("delta line 2"), std::string::npos);
+  }
+  EXPECT_FALSE(session.netlist().find_net("half").has_value());
+  EXPECT_EQ(session.patch_count(), 0u);
+  EXPECT_EQ(session.totals().patched_nets, 0u);
+  EXPECT_EQ(report_json(find_in_session(pattern, session)), before);
+}
+
+TEST_F(SessionTest, InjectedPatchFaultRollsBack) {
+  if (!fault::kFaultsEnabled) {
+    GTEST_SKIP() << "needs -DSUBG_FAULTS=ON";
+  }
+  HostSession session = HostSession::build(g.netlist);
+  const std::string before = report_json(find_in_session(pattern, session));
+  const NetlistDelta delta = parse_delta(kNandDelta);
+  ASSERT_TRUE(fault::arm("session.patch", 1));
+  EXPECT_THROW((void)session.apply(delta), fault::InjectedFault);
+  fault::disarm();
+  // Byte-identical to before the faulted attempt...
+  EXPECT_EQ(session.patch_count(), 0u);
+  EXPECT_EQ(session.netlist().device_count(), g.netlist.device_count());
+  EXPECT_EQ(report_json(find_in_session(pattern, session)), before);
+  // ...and the SAME delta applies cleanly afterwards — which it could not
+  // if the faulted attempt had left 'eco_p0' and friends behind.
+  const ApplyStats stats = session.apply(delta);
+  EXPECT_EQ(stats.patched_devices, 4u);
+  EXPECT_EQ(session.patch_count(), 1u);
+}
+
+TEST_F(SessionTest, EdgeBudgetOverflowFallsBackToLegacyAndRecovers) {
+  // A budget below the host's edge count: the session still builds, the
+  // core is refused with a structured status, and matches route legacy.
+  CircuitGraph probe(g.netlist);
+  const std::size_t edges = CsrCore::edge_count(probe);
+  SessionOptions tight;
+  tight.max_core_edges = edges - 1;
+  HostSession session = HostSession::build(g.netlist, tight);
+  EXPECT_EQ(session.core(), nullptr);
+  EXPECT_EQ(session.spill_bytes(), 0u);
+  EXPECT_FALSE(session.core_status().complete());
+  EXPECT_FALSE(session.core_status().reason.empty());
+  MatchOptions opts;
+  session.configure(opts);
+  EXPECT_EQ(opts.core, CoreMode::kLegacy);
+  const std::string coreless = report_json(find_in_session(pattern, session));
+
+  // Patches keep working without a core; removing a gate shrinks the host
+  // UNDER the budget, so the rebuilt session regains its csr core.
+  const std::string victim =
+      session.netlist().device_name(DeviceId(0));
+  (void)session.apply(parse_delta(
+      "{\"op\":\"remove_device\",\"name\":\"" + victim + "\"}"));
+  EXPECT_NE(session.core(), nullptr);
+  EXPECT_TRUE(session.core_status().complete());
+
+  // And the other direction: a fitting host patched PAST the budget drops
+  // the core instead of corrupting it.
+  SessionOptions exact;
+  exact.max_core_edges = edges;
+  HostSession fits = HostSession::build(g.netlist, exact);
+  ASSERT_NE(fits.core(), nullptr);
+  (void)fits.apply(parse_delta(kNandDelta));
+  EXPECT_EQ(fits.core(), nullptr);
+  EXPECT_FALSE(fits.core_status().complete());
+  // Both overflow shapes agree with each other on the base host.
+  HostSession cold = HostSession::build(g.netlist);
+  EXPECT_EQ(coreless, report_json(find_in_session(pattern, cold)));
+}
+
+TEST_F(SessionTest, CompactionReclaimsSpill) {
+  SessionOptions eager;
+  eager.spill_compaction_bytes = 0;  // any retained slack compacts
+  HostSession session = HostSession::build(g.netlist, eager);
+  const std::string victim = session.netlist().device_name(DeviceId(1));
+  const ApplyStats stats = session.apply(parse_delta(
+      "{\"op\":\"remove_device\",\"name\":\"" + victim + "\"}"));
+  EXPECT_EQ(stats.compactions, 1u);
+  EXPECT_EQ(session.spill_bytes(), 0u);
+  EXPECT_EQ(session.last_compaction(), 1u);
+  EXPECT_EQ(session.totals().compactions, 1u);
+
+  // The default threshold (1 MiB) never triggers on this small host: the
+  // spill from one removed gate is retained for the next patch instead.
+  HostSession lazy = HostSession::build(g.netlist);
+  const ApplyStats lazy_stats = lazy.apply(parse_delta(
+      "{\"op\":\"remove_device\",\"name\":\"" + victim + "\"}"));
+  EXPECT_EQ(lazy_stats.compactions, 0u);
+  EXPECT_GT(lazy.spill_bytes(), 0u);
+  EXPECT_EQ(lazy.last_compaction(), 0u);
+}
+
+TEST_F(SessionTest, RecordEcoStatsFeedsTheCounters) {
+  ApplyStats stats;
+  stats.patched_devices = 4;
+  stats.patched_nets = 2;
+  stats.renames = 1;
+  stats.invalidated_labels = 17;
+  stats.compactions = 1;
+  obs::Metrics metrics;
+  record_eco_stats(&metrics, stats);
+  record_eco_stats(nullptr, stats);  // null-safe
+  const obs::Snapshot snap = metrics.collect();
+  EXPECT_EQ(snap.counter("eco.patched_devices"), 4u);
+  EXPECT_EQ(snap.counter("eco.patched_nets"), 2u);
+  EXPECT_EQ(snap.counter("eco.renames"), 1u);
+  EXPECT_EQ(snap.counter("eco.invalidated_labels"), 17u);
+  EXPECT_EQ(snap.counter("eco.compactions"), 1u);
+}
+
+}  // namespace
+}  // namespace subg

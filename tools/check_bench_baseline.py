@@ -31,6 +31,10 @@ GATED_KEYS = (
     "cache_hits", "cache_misses", "passes", "bindings", "guesses",
     "backtracks", "expansion_ops", "domain_prunes", "nogood_hits",
     "trail_undos",
+    # ECO patching counters (bench_eco patched rows only; absent elsewhere,
+    # and None == None keeps non-ECO rows unaffected).
+    "eco_patched_devices", "eco_patched_nets", "eco_renames",
+    "eco_invalidated_labels", "eco_compactions",
 )
 
 

@@ -1,32 +1,34 @@
 // subgemini — command-line front end for the library.
 //
-//   subgemini find <pattern.sp> <host.sp> [pattern_top] [host_top]
+//   subgemini find <pattern.sp> <host.sp>
 //       Find instances of a subcircuit. The pattern file's top is its
 //       first .SUBCKT unless named; the host top defaults to "main"
-//       (top-level cards).
-//   subgemini extract <library.sp> <host.sp> [host_top]
+//       (top-level cards). --delta=FILE applies an ECO edit script to the
+//       host session before matching.
+//   subgemini extract <library.sp> <host.sp>
 //       Extract every .SUBCKT of the library deck from the host,
 //       largest-first; writes the gate-level netlist as SPICE to stdout.
-//   subgemini compare <a.sp> <b.sp> [a_top] [b_top]
+//       Honors --delta=FILE like find.
+//   subgemini compare <a.sp> <b.sp>
 //       Gemini netlist isomorphism check (LVS-lite). Exit 0 iff isomorphic.
-//   subgemini check <host.sp> [host_top]
+//   subgemini check <host.sp>
 //       Run the built-in circuit rule library. Exit 0 iff clean of errors.
-//   subgemini lint <netlist.sp> [host_top]
+//   subgemini lint <netlist.sp>
 //       Static netlist analysis: floating gates, dangling nets, rail
 //       shorts, duplicate instances, parse-level defects. Always parses in
 //       recovering mode (card failures become findings). Exit 0 when no
 //       finding reaches the --fail-on threshold, 1 for warnings at
 //       --fail-on=warn, 2 for errors.
-//   subgemini reduce <host.sp> [host_top]
+//   subgemini reduce <host.sp>
 //       Series/parallel device reduction; writes SPICE to stdout.
-//   subgemini stats <host.sp> [host_top]
+//   subgemini stats <host.sp>
 //       Netlist statistics.
 //
 // Global flags (anywhere after the command) are parsed by the shared
 // cli::parse_args — see util/cli_options.hpp for the full list. Top module
-// names are best given as --top=NAME (the host / second / sole input) and
-// --pattern-top=NAME (the pattern / first input); the positional forms
-// above still work but are deprecated. --format=json replaces every
+// names are given as --top=NAME (the host / second / sole input) and
+// --pattern-top=NAME (the pattern / first input); the old positional top
+// slots were removed and now exit 64. --format=json replaces every
 // command's stdout with one versioned report::Document (schema_version 1,
 // see README.md); --format=text output is unchanged.
 #include <cstdio>
@@ -42,12 +44,14 @@
 #include "gemini/gemini.hpp"
 #include "lint/lint.hpp"
 #include "lvs/lvs.hpp"
+#include "match/host_labels.hpp"
 #include "match/matcher.hpp"
 #include "obs/metrics.hpp"
 #include "reduce/reduce.hpp"
 #include "report/document.hpp"
 #include "rulecheck/rulecheck.hpp"
 #include "serve/server.hpp"
+#include "session/session.hpp"
 #include "spice/spice.hpp"
 #include "util/check.hpp"
 #include "util/cli_options.hpp"
@@ -63,18 +67,18 @@ int usage() {
   std::fprintf(
       stderr,
       "usage:\n"
-      "  subgemini find <pattern.sp> <host.sp> [pattern_top] [host_top]\n"
-      "  subgemini extract <library.sp> <host.sp> [host_top]\n"
-      "  subgemini compare <a.sp> <b.sp> [a_top] [b_top]\n"
-      "  subgemini lvs <layout.sp> <schematic.sp> [l_top] [s_top]\n"
-      "  subgemini check <host.sp> [host_top]\n"
-      "  subgemini lint <netlist.sp> [host_top]\n"
-      "  subgemini reduce <host.sp> [host_top]\n"
-      "  subgemini stats <host.sp> [host_top]\n"
+      "  subgemini find <pattern.sp> <host.sp>\n"
+      "  subgemini extract <library.sp> <host.sp>\n"
+      "  subgemini compare <a.sp> <b.sp>\n"
+      "  subgemini lvs <layout.sp> <schematic.sp>\n"
+      "  subgemini check <host.sp>\n"
+      "  subgemini lint <netlist.sp>\n"
+      "  subgemini reduce <host.sp>\n"
+      "  subgemini stats <host.sp>\n"
       "  subgemini serve [name=]<host.sp> ...\n"
       "\nInputs may be SPICE (.sp), structural Verilog (.v), or ISCAS "
-      "(.bench).\nPositional top names are deprecated; prefer --top= / "
-      "--pattern-top=.\n"
+      "(.bench).\nTop modules are selected with --top= (host / second / "
+      "sole input)\nand --pattern-top= (pattern / first input).\n"
       "\nflags:\n%s"
       "\nexit codes: 0 success; 1 not isomorphic / rule violations / lint\n"
       "  warnings at --fail-on=warn; 2 lint errors; 64 usage; 65 malformed\n"
@@ -120,29 +124,57 @@ int outcome_exit(const RunStatus& status, int ok) {
   return 75;
 }
 
-/// Resolve a top-module name that may come from a named flag or from the
-/// deprecated positional slot `index`. The named flag wins; giving both is
-/// a usage error, and the positional form warns once per invocation.
-std::string pick_top(const std::vector<std::string>& positionals,
-                     std::size_t index, const std::string& named,
-                     const char* flag) {
-  const bool have_positional = positionals.size() > index;
-  if (!named.empty()) {
-    if (have_positional) {
-      throw UsageError{std::string("positional top name '") +
-                       positionals[index] + "' conflicts with " + flag};
-    }
-    return named;
+/// Every one-shot command takes a fixed number of positional FILE
+/// arguments; the old trailing top-name slots are gone. Anything extra is
+/// a usage error with a pointer at the named flags that replaced them.
+void reject_extras(const std::vector<std::string>& positionals,
+                   std::size_t expected) {
+  if (positionals.size() <= expected) return;
+  throw UsageError{"unexpected argument '" + positionals[expected] +
+                   "' (positional top names were removed; use --top=NAME / "
+                   "--pattern-top=NAME)"};
+}
+
+/// Build the host session for find/extract and apply --delta when given.
+/// Returns the per-patch stats iff a delta was applied (also folded into
+/// the eco.* counters when --metrics armed a registry).
+std::optional<ApplyStats> apply_cli_delta(HostSession& session) {
+  if (g_opts.delta_path.empty()) return std::nullopt;
+  const ApplyStats stats = session.apply(parse_delta_file(g_opts.delta_path));
+  record_eco_stats(g_metrics, stats);
+  return stats;
+}
+
+/// The "eco" member of find/extract json documents: what --delta did.
+json::Value eco_json(const ApplyStats& stats) {
+  json::Value v = json::Value::object();
+  v.set("patched_devices", stats.patched_devices);
+  v.set("patched_nets", stats.patched_nets);
+  v.set("renames", stats.renames);
+  v.set("invalidated_labels", stats.invalidated_labels);
+  v.set("compactions", stats.compactions);
+  return v;
+}
+
+/// One-line text-mode summary of an applied --delta, on `out`.
+void print_eco_line(std::FILE* out, const ApplyStats& stats) {
+  std::fprintf(out,
+               "# eco: %llu device ops, %llu net ops, %llu renames, "
+               "%llu labels recomputed, %llu compactions\n",
+               static_cast<unsigned long long>(stats.patched_devices),
+               static_cast<unsigned long long>(stats.patched_nets),
+               static_cast<unsigned long long>(stats.renames),
+               static_cast<unsigned long long>(stats.invalidated_labels),
+               static_cast<unsigned long long>(stats.compactions));
+}
+
+/// Record the session core's footprint the way the one-shot matcher used
+/// to for its owned host core, so --metrics output keeps the csr.* view.
+void record_session_core(const HostSession& session) {
+  if (const CsrCore* core = session.core()) {
+    obs::span_add(g_metrics, "csr.build_seconds", core->build_seconds());
+    obs::gauge(g_metrics, "csr.bytes", static_cast<double>(core->bytes()));
   }
-  if (!have_positional) return "";
-  // Atomic warn-once: tops can be resolved from worker lanes, so the latch
-  // lives behind an atomic in cli_options instead of a local static bool.
-  if (cli::claim_positional_top_warning()) {
-    std::fprintf(stderr,
-                 "subgemini: positional top names are deprecated; use "
-                 "--top=NAME / --pattern-top=NAME\n");
-  }
-  return positionals[index];
 }
 
 /// First .SUBCKT name of a design, or "main" when it only has top cards.
@@ -246,9 +278,17 @@ int finish_document(report::Document& doc, const RunStatus& status, int ok) {
 
 int cmd_find(const std::vector<std::string>& args) {
   if (args.size() < 2) return usage();
-  Netlist pattern = load(args[0], pick_top(args, 2, g_opts.pattern_top,
-                                           "--pattern-top"));
-  Netlist host = load(args[1], pick_top(args, 3, g_opts.top, "--top"));
+  reject_extras(args, 2);
+  Netlist pattern = load(args[0], g_opts.pattern_top);
+
+  // The host lives in a session: one owned bundle of graph + csr core +
+  // label cache, patched in place by --delta instead of reparsed.
+  SessionOptions so;
+  so.core = g_opts.core;
+  HostSession session = HostSession::build(load(args[1], g_opts.top), so);
+  const std::optional<ApplyStats> eco = apply_cli_delta(session);
+  record_session_core(session);
+  const Netlist& host = session.netlist();
 
   MatchOptions opts;
   opts.budget = g_opts.budget;
@@ -256,13 +296,15 @@ int cmd_find(const std::vector<std::string>& args) {
   opts.metrics = g_metrics;
   opts.core = g_opts.core;
   opts.phase2_filter = g_opts.phase2_filter;
-  SubgraphMatcher matcher(pattern, host, opts);
-  MatchReport report = matcher.find_all();
+  MatchReport report = find_in_session(pattern, session, opts);
+  // The cache is session-owned, so Phase I leaves its reuse totals to us.
+  record_cache_stats(g_metrics, session.cache().stats());
 
   if (json_output()) {
     report::Document doc("subgemini", "find");
     doc.set("pattern", netlist_summary(pattern));
     doc.set("host", netlist_summary(host));
+    if (eco.has_value()) doc.set("eco", eco_json(*eco));
     // Built by the serve protocol helper, so a serve `find` response and
     // this document agree byte for byte on the instances member.
     doc.set("instances", serve::instances_json(pattern, host, report));
@@ -273,6 +315,7 @@ int cmd_find(const std::vector<std::string>& args) {
   std::printf("# pattern %s (%zu devices), host %s (%zu devices)\n",
               pattern.name().c_str(), pattern.device_count(),
               host.name().c_str(), host.device_count());
+  if (eco.has_value()) print_eco_line(stdout, *eco);
   std::printf("# candidates %zu, instances %zu, %.2f ms (phase I %.2f)\n",
               report.phase1.candidates.size(), report.count(),
               report.total_seconds() * 1e3, report.phase1_seconds * 1e3);
@@ -301,8 +344,14 @@ int cmd_find(const std::vector<std::string>& args) {
 
 int cmd_extract(const std::vector<std::string>& args) {
   if (args.size() < 2) return usage();
+  reject_extras(args, 2);
   Design lib = load_design(args[0]);
-  Netlist host = load(args[1], pick_top(args, 2, g_opts.top, "--top"));
+
+  SessionOptions so;
+  so.core = g_opts.core;
+  HostSession session = HostSession::build(load(args[1], g_opts.top), so);
+  const std::optional<ApplyStats> eco = apply_cli_delta(session);
+  const Netlist& host = session.netlist();
 
   std::vector<extract::LibraryCell> cells;
   for (std::uint32_t m = 0; m < lib.module_count(); ++m) {
@@ -322,7 +371,8 @@ int cmd_extract(const std::vector<std::string>& args) {
   options.match.core = g_opts.core;
   options.match.phase2_filter = g_opts.phase2_filter;
   options.lint_host = g_opts.lint;
-  extract::ExtractResult result = extract::extract_gates(host, cells, options);
+  extract::ExtractResult result =
+      extract::extract_gates(session, cells, options);
   if (g_opts.lint && !result.host_lint.clean()) {
     // Findings go to stderr: stdout stays the netlist (or the document).
     std::ostringstream lint_text;
@@ -330,6 +380,7 @@ int cmd_extract(const std::vector<std::string>& args) {
     std::fputs(lint_text.str().c_str(), stderr);
   }
   const bool lint_gated = g_opts.lint && result.host_lint.has_errors();
+  if (eco.has_value()) print_eco_line(stderr, *eco);
   std::fprintf(stderr, "# %zu transistors -> %zu devices (%zu unextracted)\n",
                result.report.devices_before, result.report.devices_after,
                result.report.unextracted_primitives);
@@ -348,6 +399,7 @@ int cmd_extract(const std::vector<std::string>& args) {
   if (json_output()) {
     report::Document doc("subgemini", "extract");
     doc.set("host", netlist_summary(host));
+    if (eco.has_value()) doc.set("eco", eco_json(*eco));
     doc.set("library_cells", cells.size());
     doc.set("report", report::to_json(result.report));
     if (g_opts.lint) doc.set("lint", report::to_json(result.host_lint));
@@ -369,9 +421,9 @@ int cmd_extract(const std::vector<std::string>& args) {
 
 int cmd_compare(const std::vector<std::string>& args) {
   if (args.size() < 2) return usage();
-  Netlist a = load(args[0], pick_top(args, 2, g_opts.pattern_top,
-                                     "--pattern-top"));
-  Netlist b = load(args[1], pick_top(args, 3, g_opts.top, "--top"));
+  reject_extras(args, 2);
+  Netlist a = load(args[0], g_opts.pattern_top);
+  Netlist b = load(args[1], g_opts.top);
   CompareOptions options;
   options.budget = g_opts.budget;
   CompareResult r = compare_netlists(a, b, options);
@@ -403,7 +455,8 @@ int cmd_compare(const std::vector<std::string>& args) {
 
 int cmd_check(const std::vector<std::string>& args) {
   if (args.size() < 1) return usage();
-  Netlist host = load(args[0], pick_top(args, 1, g_opts.top, "--top"));
+  reject_extras(args, 1);
+  Netlist host = load(args[0], g_opts.top);
   rulecheck::CheckReport report =
       rulecheck::check(host, rulecheck::builtin_rules(host.catalog_ptr()));
 
@@ -453,8 +506,9 @@ int lint_exit(const lint::LintReport& report) {
 
 int cmd_lint(const std::vector<std::string>& args) {
   if (args.size() < 1) return usage();
+  reject_extras(args, 1);
   const std::string& path = args[0];
-  const std::string top = pick_top(args, 1, g_opts.top, "--top");
+  const std::string& top = g_opts.top;
 
   lint::LintOptions lo;
   lo.metrics = g_metrics;
@@ -518,7 +572,8 @@ int cmd_lint(const std::vector<std::string>& args) {
 
 int cmd_reduce(const std::vector<std::string>& args) {
   if (args.size() < 1) return usage();
-  Netlist host = load(args[0], pick_top(args, 1, g_opts.top, "--top"));
+  reject_extras(args, 1);
+  Netlist host = load(args[0], g_opts.top);
   reduce::Reduced r = reduce::reduce_netlist(host);
   std::fprintf(stderr, "# %zu -> %zu devices\n", host.device_count(),
                r.netlist.device_count());
@@ -540,9 +595,9 @@ int cmd_reduce(const std::vector<std::string>& args) {
 
 int cmd_lvs(const std::vector<std::string>& args) {
   if (args.size() < 2) return usage();
-  Netlist left = load(args[0], pick_top(args, 2, g_opts.pattern_top,
-                                        "--pattern-top"));
-  Netlist right = load(args[1], pick_top(args, 3, g_opts.top, "--top"));
+  reject_extras(args, 2);
+  Netlist left = load(args[0], g_opts.pattern_top);
+  Netlist right = load(args[1], g_opts.top);
   lvs::LvsReport report = lvs::compare(left, right);
 
   if (json_output()) {
@@ -582,7 +637,8 @@ int cmd_lvs(const std::vector<std::string>& args) {
 
 int cmd_stats(const std::vector<std::string>& args) {
   if (args.size() < 1) return usage();
-  Netlist host = load(args[0], pick_top(args, 1, g_opts.top, "--top"));
+  reject_extras(args, 1);
+  Netlist host = load(args[0], g_opts.top);
   NetlistStats s = host.stats();
 
   if (json_output()) {
