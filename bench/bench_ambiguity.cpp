@@ -8,10 +8,14 @@
 // whose hypothesis fails after a full refinement, forcing genuine
 // backtracking.
 //
-// Every workload runs twice — signature prefilter on (the default fast
-// path) and off — as separate baseline rows, so the CI gate pins BOTH that
-// results are identical and that the fast path's expansion_ops are strictly
-// lower wherever the prefilter can see the decoys. --quick trims the sweep
+// Every workload runs three times — path-label prefilter (the default),
+// signature prefilter alone, and no prefilter — as separate baseline rows,
+// so the CI gate pins BOTH that results are identical and that each
+// stronger filter's expansion_ops never exceed the weaker one's wherever
+// the prefilter can see the decoys. A third sweep plants long-ring decoys
+// (a 12-ring host region probed with a 6-ring pattern) that are invisible
+// to the degree-signature check but statically refuted by the path-label
+// layer — the decoy A/B the analyzer exists for. --quick trims the sweep
 // for the gate; --core selects the matching-core layout (rows are identical
 // in both, which the gate checks by running each).
 #include <cstdio>
@@ -57,17 +61,20 @@ void add_ring(Netlist& nl, DeviceTypeId nmos, int n, const std::string& prefix,
   }
 }
 
-/// One workload, both filter modes: the "+nofilter" twin row differs only
-/// in MatchOptions::phase2_filter, so the baseline diff between the two IS
-/// the fast-path saving.
-void run_pair(const std::string& circuit, const Netlist& host,
+/// One workload, all three filter modes: the "+sigonly" and "+nofilter"
+/// twin rows differ only in MatchOptions::phase2_filter, so the baseline
+/// diffs between them ARE the per-layer fast-path savings (paths over
+/// signature, signature over census).
+void run_trio(const std::string& circuit, const Netlist& host,
               const std::string& cell, const Netlist& pattern,
               std::size_t expected, const SweepConfig& cfg,
               std::vector<MatchRow>* rows) {
   rows->push_back(run_match(circuit, host, cell, pattern, expected, 1,
-                            cfg.core, /*phase2_filter=*/true));
+                            cfg.core, Phase2Filter::kPaths));
+  rows->push_back(run_match(circuit + "+sigonly", host, cell, pattern,
+                            expected, 1, cfg.core, Phase2Filter::kOn));
   rows->push_back(run_match(circuit + "+nofilter", host, cell, pattern,
-                            expected, 1, cfg.core, /*phase2_filter=*/false));
+                            expected, 1, cfg.core, Phase2Filter::kOff));
 }
 
 std::vector<MatchRow> sweep_parallel(const SweepConfig& cfg) {
@@ -88,7 +95,7 @@ std::vector<MatchRow> sweep_parallel(const SweepConfig& cfg) {
         for (int i = 0; i < k; ++i) host.add_device(nmos, {n1, g, n2});
       }
       Netlist pattern = parallel_pattern(cat, k);
-      run_pair("groups" + std::to_string(groups), host, pattern.name(),
+      run_trio("groups" + std::to_string(groups), host, pattern.name(),
                pattern, static_cast<std::size_t>(groups), cfg, &rows);
     }
   }
@@ -116,24 +123,55 @@ std::vector<MatchRow> sweep_fat_rings(const SweepConfig& cfg) {
       Netlist pattern(cat, "ring" + std::to_string(k));
       add_ring(pattern, nmos, k, "r", false);
       pattern.mark_port(*pattern.find_net("rgate"));
-      run_pair("decoys" + std::to_string(decoys), host, pattern.name(),
+      run_trio("decoys" + std::to_string(decoys), host, pattern.name(),
                pattern, static_cast<std::size_t>(groups), cfg, &rows);
     }
   }
   return rows;
 }
 
+/// Long-ring decoys: the host holds true k-rings plus decoy 2k-rings.
+/// Every 2k-ring net has degree 2 exactly like the pattern's internal ring
+/// nets, so the degree-signature check is blind and the census must guess
+/// its way around each decoy; the path-label refuter counts closed walks
+/// and rejects every decoy postulate before the first guess.
+std::vector<MatchRow> sweep_long_ring_decoys(const SweepConfig& cfg) {
+  auto cat = DeviceCatalog::cmos3();
+  DeviceTypeId nmos = cat->require("nmos");
+  std::vector<MatchRow> rows;
+  const int k = 6;
+  const int groups = cfg.quick ? 2 : 4;
+  const std::vector<int> decoy_counts =
+      cfg.quick ? std::vector<int>{4} : std::vector<int>{4, 16};
+  for (int decoys : decoy_counts) {
+    Netlist host(cat, "host");
+    for (int gi = 0; gi < groups; ++gi) {
+      add_ring(host, nmos, k, "t" + std::to_string(gi) + "_", false);
+    }
+    for (int gi = 0; gi < decoys; ++gi) {
+      add_ring(host, nmos, 2 * k, "d" + std::to_string(gi) + "_", false);
+    }
+    Netlist pattern(cat, "ring" + std::to_string(k));
+    add_ring(pattern, nmos, k, "r", false);
+    pattern.mark_port(*pattern.find_net("rgate"));
+    run_trio("longdecoys" + std::to_string(decoys), host, pattern.name(),
+             pattern, static_cast<std::size_t>(groups), cfg, &rows);
+  }
+  return rows;
+}
+
 report::Table ambiguity_table(const std::vector<MatchRow>& rows) {
   report::Table t({"circuit", "subcircuit", "found", "guesses", "backtracks",
-                   "domain prunes", "nogood hits", "trail undos",
-                   "expansion ops", "total ms"});
-  for (std::size_t c = 2; c < 10; ++c) t.align_right(c);
+                   "domain prunes", "path prunes", "nogood hits",
+                   "trail undos", "expansion ops", "total ms"});
+  for (std::size_t c = 2; c < 11; ++c) t.align_right(c);
   for (const MatchRow& r : rows) {
     t.add_row({r.circuit, r.cell,
                with_commas(static_cast<long long>(r.found)),
                with_commas(static_cast<long long>(r.guesses)),
                with_commas(static_cast<long long>(r.backtracks)),
                with_commas(static_cast<long long>(r.domain_prunes)),
+               with_commas(static_cast<long long>(r.path_label_prunes)),
                with_commas(static_cast<long long>(r.nogood_hits)),
                with_commas(static_cast<long long>(r.trail_undos)),
                with_commas(static_cast<long long>(r.expansion_ops)),
@@ -142,22 +180,25 @@ report::Table ambiguity_table(const std::vector<MatchRow>& rows) {
   return t;
 }
 
-/// Filter-on vs filter-off sanity: identical results, never more work.
+/// Filter-mode sanity across each trio: identical results, and each
+/// stronger filter never does more relabeling work than the weaker one.
 /// Printed as advisory text; the exact values are what the CI gate pins.
 void print_ab_summary(const std::vector<MatchRow>& rows) {
-  for (std::size_t i = 0; i + 1 < rows.size(); i += 2) {
-    const MatchRow& on = rows[i];
-    const MatchRow& off = rows[i + 1];
-    if (on.found != off.found) {
+  for (std::size_t i = 0; i + 2 < rows.size(); i += 3) {
+    const MatchRow& paths = rows[i];
+    const MatchRow& sig = rows[i + 1];
+    const MatchRow& off = rows[i + 2];
+    if (paths.found != off.found || sig.found != off.found) {
       std::printf("WARNING: %s/%s found-count diverged across filter modes "
                   "(soundness contract violated)\n",
-                  on.circuit.c_str(), on.cell.c_str());
+                  paths.circuit.c_str(), paths.cell.c_str());
     }
-    if (on.expansion_ops > off.expansion_ops) {
-      std::printf("WARNING: %s/%s fast path did MORE relabeling work "
-                  "(%zu > %zu expansion ops)\n",
-                  on.circuit.c_str(), on.cell.c_str(), on.expansion_ops,
-                  off.expansion_ops);
+    if (sig.expansion_ops > off.expansion_ops ||
+        paths.expansion_ops > sig.expansion_ops) {
+      std::printf("WARNING: %s/%s a stronger filter did MORE relabeling work "
+                  "(%zu paths / %zu sig / %zu census expansion ops)\n",
+                  paths.circuit.c_str(), paths.cell.c_str(),
+                  paths.expansion_ops, sig.expansion_ops, off.expansion_ops);
     }
   }
 }
@@ -176,8 +217,10 @@ int main(int argc, char** argv) {
 
   std::vector<MatchRow> parallel_rows = sweep_parallel(cfg);
   std::vector<MatchRow> ring_rows = sweep_fat_rings(cfg);
+  std::vector<MatchRow> decoy_rows = sweep_long_ring_decoys(cfg);
   std::vector<MatchRow> all = parallel_rows;
   all.insert(all.end(), ring_rows.begin(), ring_rows.end());
+  all.insert(all.end(), decoy_rows.begin(), decoy_rows.end());
 
   if (format == subg::cli::Format::kJson) {
     subg::report::Document doc("bench_ambiguity", "E3");
@@ -185,6 +228,8 @@ int main(int argc, char** argv) {
     doc.set("quick", cfg.quick);
     doc.set("parallel", subg::report::to_json(ambiguity_table(parallel_rows)));
     doc.set("fat_rings", subg::report::to_json(ambiguity_table(ring_rows)));
+    doc.set("long_ring_decoys",
+            subg::report::to_json(ambiguity_table(decoy_rows)));
     doc.set("counters", counters_json(all));
     doc.set("timings", timings_json(all));
     doc.write(std::cout);
@@ -192,7 +237,8 @@ int main(int argc, char** argv) {
   }
 
   std::printf("E3 (Fig 5): symmetric patterns — guesses without backtracks\n"
-              "(each workload twice: signature prefilter on, then off)\n\n");
+              "(each workload three times: path-label prefilter, signature\n"
+              "prefilter alone, no prefilter)\n\n");
   {
     std::string s = ambiguity_table(parallel_rows).to_string();
     std::fputs(s.c_str(), stdout);
@@ -205,6 +251,14 @@ int main(int argc, char** argv) {
               "decoy's degree-3 ring net up front:\n\n");
   {
     std::string s = ambiguity_table(ring_rows).to_string();
+    std::fputs(s.c_str(), stdout);
+  }
+  std::printf("\nLong-ring decoys (12-rings probed with a 6-ring pattern)\n"
+              "show identical degrees everywhere, blinding the signature\n"
+              "check; only the path-label refuter rejects them before the\n"
+              "first guess:\n\n");
+  {
+    std::string s = ambiguity_table(decoy_rows).to_string();
     std::fputs(s.c_str(), stdout);
   }
   std::printf("\n");

@@ -52,6 +52,13 @@ struct MatchRow {
   std::size_t domain_prunes = 0;      ///< postulates refuted by the prefilter
   std::size_t nogood_hits = 0;        ///< refutations served from the memo
   std::size_t trail_undos = 0;        ///< trail entries rolled back
+  // Static-analyzer counters (zero unless the analyzer layer fired: the
+  // path-label refuter needs --phase2-filter=paths, symmetry skips need an
+  // exhaustive run with non-trivial pattern orbits, and infeasible
+  // shortcuts need a certificate that refutes the pairing outright).
+  std::size_t path_label_prunes = 0;  ///< postulates refuted by path labels
+  std::size_t symmetry_skips = 0;     ///< mappings folded by automorphisms
+  std::size_t infeasible_shortcuts = 0;  ///< searches skipped by certificate
 };
 
 /// Run one match through an existing HostSession and collect the row. A
@@ -65,7 +72,8 @@ inline MatchRow run_match_in_session(const std::string& circuit_name,
                                      std::size_t expected,
                                      std::size_t jobs = 1,
                                      CoreMode core = CoreMode::kCsr,
-                                     bool phase2_filter = true) {
+                                     Phase2Filter phase2_filter =
+                                         Phase2Filter::kPaths) {
   const Netlist& host = session.netlist();
   MatchOptions opts;
   opts.jobs = jobs;
@@ -96,6 +104,9 @@ inline MatchRow run_match_in_session(const std::string& circuit_name,
   row.domain_prunes = r.phase2.domain_prunes;
   row.nogood_hits = r.phase2.nogood_hits;
   row.trail_undos = r.phase2.trail_undos;
+  row.path_label_prunes = r.phase2.path_label_prunes;
+  row.symmetry_skips = r.phase2.symmetry_skips;
+  row.infeasible_shortcuts = r.infeasible_shortcuts;
   const obs::Snapshot snap = metrics.collect();
   row.host_relabel_ops = snap.counter("phase1.label_cache.relabel_ops");
   row.cache_hits = snap.counter("phase1.label_cache.hits");
@@ -110,7 +121,7 @@ inline MatchRow run_match(const std::string& circuit_name, const Netlist& host,
                           const std::string& cell_name, const Netlist& pattern,
                           std::size_t expected, std::size_t jobs = 1,
                           CoreMode core = CoreMode::kCsr,
-                          bool phase2_filter = true) {
+                          Phase2Filter phase2_filter = Phase2Filter::kPaths) {
   SessionOptions so;
   so.core = core;
   HostSession session = HostSession::build(host, so);
@@ -143,6 +154,9 @@ inline json::Value counters_json(const std::vector<MatchRow>& rows) {
     v.set("domain_prunes", r.domain_prunes);
     v.set("nogood_hits", r.nogood_hits);
     v.set("trail_undos", r.trail_undos);
+    v.set("path_label_prunes", r.path_label_prunes);
+    v.set("symmetry_skips", r.symmetry_skips);
+    v.set("infeasible_shortcuts", r.infeasible_shortcuts);
     arr.push(std::move(v));
   }
   return arr;

@@ -1,0 +1,66 @@
+// Static-analyzer fuzz target. Contract under ANY byte sequence: the full
+// `subgemini analyze` pipeline — recovering SPICE parse, flatten,
+// automorphism search, path-label construction, feasibility certificates,
+// text and JSON rendering — never crashes and never throws anything but
+// subg::Error (the flatten step may reject what the recovering parser
+// salvaged).
+//
+// The analyzer walks hostile graph shapes (self-loop nets, degree spikes,
+// duplicate names), so the pattern-only layers run on every salvageable
+// deck, and the host layers run the deck against itself — a self-pairing
+// can never be infeasible by construction-independent rules alone, but it
+// crosses every certificate and path-label code path.
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string_view>
+
+#include "analyze/analyze.hpp"
+#include "netlist/design.hpp"
+#include "report/document.hpp"
+#include "spice/spice.hpp"
+#include "util/check.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size > (1u << 16)) return 0;
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+
+  subg::DiagnosticSink sink;
+  subg::spice::ReadOptions options;
+  options.diagnostics = &sink;
+  options.filename = "fuzz.sp";
+  const subg::Design design = subg::spice::read_string(text, options);
+
+  try {
+    const subg::Netlist flat = design.flatten(
+        design.module_count() > 0
+            ? design.module(subg::ModuleId(0)).name()
+            : std::string());
+
+    subg::analyze::AnalyzeOptions ao;
+    // Tight caps keep pathological symmetric soups (k identical parallel
+    // devices have k! automorphisms) inside the fuzz time budget; capped
+    // searches are exactly the complete=false path worth covering.
+    ao.max_automorphisms = 32;
+    ao.max_search_nodes = 1u << 10;
+
+    const subg::analyze::AnalysisReport pattern_only =
+        subg::analyze::analyze(flat, nullptr, ao);
+    const subg::analyze::AnalysisReport self_paired =
+        subg::analyze::analyze(flat, &flat, ao);
+
+    // Both renderings must cope with whatever names the parser salvaged
+    // (control bytes, embedded quotes, invalid UTF-8).
+    std::ostringstream out;
+    subg::analyze::write_text(pattern_only, out);
+    subg::analyze::write_text(self_paired, out);
+    subg::report::Document doc("subgemini", "analyze");
+    doc.set("analysis", subg::report::to_json(self_paired));
+    doc.write(out);
+  } catch (const subg::Error&) {
+    // Unflattenable-but-parseable decks are rejected upstream of the
+    // analyzer; the CLI surfaces them as a parse error.
+  }
+  return 0;
+}

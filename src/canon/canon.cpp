@@ -7,8 +7,9 @@
 
 namespace subg::canon {
 
-Label fingerprint(const Netlist& netlist, const CanonOptions& options) {
-  CircuitGraph g(netlist);
+std::vector<Label> refined_labels(const CircuitGraph& g,
+                                  const Netlist& netlist,
+                                  const CanonOptions& options) {
   std::vector<Label> labels(g.vertex_count());
   for (Vertex v = 0; v < g.vertex_count(); ++v) {
     Label base = g.initial_label(v);
@@ -41,6 +42,12 @@ Label fingerprint(const Netlist& netlist, const CanonOptions& options) {
     if (parts.size() == distinct_before) break;
     distinct_before = parts.size();
   }
+  return labels;
+}
+
+Label fingerprint(const Netlist& netlist, const CanonOptions& options) {
+  CircuitGraph g(netlist);
+  const std::vector<Label> labels = refined_labels(g, netlist, options);
 
   // Order-free combination: histogram of final labels, hashed as sorted
   // (label, count) pairs, plus the overall shape.

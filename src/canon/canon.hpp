@@ -13,6 +13,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "graph/circuit_graph.hpp"
 #include "netlist/netlist.hpp"
 #include "util/hash.hpp"
 
@@ -22,6 +23,18 @@ struct CanonOptions {
   /// Refinement rounds (labels stabilize in O(diameter); this is a cap).
   std::size_t max_rounds = 64;
 };
+
+/// Per-vertex stable WL labels over `g` (CircuitGraph vertex order:
+/// devices then nets). This is the fingerprint's refinement loop without
+/// the final order-free combination: two vertices share a label iff
+/// iterated refinement cannot tell them apart, so equal labels are a
+/// necessary condition for an automorphism to map one onto the other.
+/// Port markings and special-net identities participate exactly as in
+/// `fingerprint` (ports mix in a flag, specials keep their fixed labels).
+[[nodiscard]] std::vector<Label> refined_labels(const CircuitGraph& g,
+                                                const Netlist& netlist,
+                                                const CanonOptions& options =
+                                                    {});
 
 /// Renaming-invariant fingerprint.
 [[nodiscard]] Label fingerprint(const Netlist& netlist,

@@ -281,6 +281,8 @@ ExtractResult extract_gates(const Netlist& transistors,
       ExtractReport::PerCell per;
       per.cell = cell->name;
       per.outcome = tier[ti].report.status.outcome;
+      per.infeasible = tier[ti].report.infeasible_shortcuts != 0;
+      result.report.infeasible_shortcuts += tier[ti].report.infeasible_shortcuts;
       result.report.status.merge(tier[ti].report.status);
 
       // Greedy non-overlapping acceptance; `claimed` spans the whole tier

@@ -67,6 +67,9 @@ struct ExtractReport {
     /// How this cell's match sweep ended; anything but kComplete means the
     /// netlist may contain unextracted instances of this cell.
     RunOutcome outcome = RunOutcome::kComplete;
+    /// True when the pre-search analyzer proved this cell cannot occur in
+    /// the host and its search was skipped (zero instances, exact).
+    bool infeasible = false;
     double seconds = 0;
   };
   std::vector<PerCell> cells;
@@ -76,6 +79,9 @@ struct ExtractReport {
   std::size_t unextracted_primitives = 0;
   /// Library cells never attempted because the sweep was interrupted first.
   std::size_t cells_skipped = 0;
+  /// Per-cell searches skipped because an infeasibility certificate proved
+  /// them matchless (summed across tiers; see MatchReport).
+  std::size_t infeasible_shortcuts = 0;
   /// Aggregate outcome over the whole sweep (worst per-cell outcome, plus
   /// skipped-work counters folded in from every match).
   RunStatus status;

@@ -45,6 +45,14 @@ struct Phase2Stats {
   std::size_t trail_undos = 0;       ///< trail entries rolled back while
                                      ///< backtracking (replaces whole-state
                                      ///< snapshot copies)
+  std::size_t path_label_prunes = 0; ///< postulates rejected by the
+                                     ///< supplemental path-label refuter
+                                     ///< (--phase2-filter=paths) after the
+                                     ///< signature check passed
+  std::size_t symmetry_skips = 0;    ///< exhaustive-enumeration completions
+                                     ///< suppressed because they are an
+                                     ///< automorphic image of one already
+                                     ///< recorded for this candidate
 
   /// Fold another verifier's counters in (parallel sweeps keep per-worker
   /// stats and merge them; sums are scheduling-order independent).
@@ -63,6 +71,8 @@ struct Phase2Stats {
     domain_prunes += other.domain_prunes;
     nogood_hits += other.nogood_hits;
     trail_undos += other.trail_undos;
+    path_label_prunes += other.path_label_prunes;
+    symmetry_skips += other.symmetry_skips;
   }
 };
 

@@ -117,6 +117,49 @@ void SubgraphMatcher::init_cores() {
   }
 }
 
+void SubgraphMatcher::ensure_certificate() {
+  if (certificate_checked_) return;
+  certificate_checked_ = true;
+  infeasibility_ = analyze::check_feasibility(pattern_, host_);
+}
+
+void SubgraphMatcher::ensure_path_labels() {
+  const analyze::AnalyzeOptions defaults;
+  if (!pattern_paths_.has_value()) {
+    // The csr overload walks the same adjacency in the same order, so the
+    // counts are bit-identical to the CircuitGraph build — the --core
+    // equivalence tests rely on it.
+    pattern_paths_ =
+        pattern_core_.has_value()
+            ? analyze::build_path_labels(*pattern_core_, pattern_,
+                                         analyze::Side::kPattern, defaults)
+            : analyze::build_path_labels(pattern_graph_, pattern_,
+                                         analyze::Side::kPattern, defaults);
+  }
+  if (host_paths_ == nullptr) {
+    if (options_.host_path_labels != nullptr) {
+      SUBG_CHECK_MSG(options_.host_path_labels->vertex_count ==
+                         host_graph_->vertex_count(),
+                     "external host path labels cover a different host");
+      host_paths_ = options_.host_path_labels;
+    } else {
+      owned_host_paths_ =
+          host_core_ != nullptr
+              ? analyze::build_path_labels(*host_core_, host_,
+                                           analyze::Side::kHost, defaults)
+              : analyze::build_path_labels(*host_graph_, host_,
+                                           analyze::Side::kHost, defaults);
+      host_paths_ = &*owned_host_paths_;
+    }
+  }
+}
+
+void SubgraphMatcher::ensure_orbits() {
+  if (!pattern_orbits_.has_value()) {
+    pattern_orbits_ = analyze::find_orbits(pattern_graph_, pattern_);
+  }
+}
+
 void SubgraphMatcher::validate_inputs() const {
   SUBG_CHECK_MSG(pattern_.device_count() > 0, "pattern netlist has no devices");
   check_catalog_compatibility(pattern_, host_);
@@ -128,6 +171,22 @@ MatchReport SubgraphMatcher::run(std::size_t limit) {
   if (!core_status_.complete()) {
     report.status = core_status_;
     return report;
+  }
+  if (options_.analyze) {
+    // Pre-search infeasibility certificates: each rule is a relaxation of
+    // the matcher's own acceptance checks (analyze.hpp), so a certificate
+    // means the full search would provably return zero instances — skip it
+    // and carry the explanation instead.
+    ensure_certificate();
+    if (infeasibility_.has_value()) {
+      report.infeasible_shortcuts = 1;
+      report.infeasibility = infeasibility_;
+      if (options_.metrics != nullptr) {
+        options_.metrics->add("match.runs");
+        options_.metrics->add("match.infeasible_shortcuts");
+      }
+      return report;
+    }
   }
   Timer timer;
 
@@ -168,9 +227,23 @@ MatchReport SubgraphMatcher::run(std::size_t limit) {
   p2.max_guess_depth = options_.max_guess_depth;
   p2.budget = options_.budget;
   p2.trace = options_.trace;
-  p2.signature_filter = options_.phase2_filter;
+  p2.signature_filter = options_.phase2_filter != Phase2Filter::kOff;
   p2.pattern_core = pattern_core_.has_value() ? &*pattern_core_ : nullptr;
   p2.host_core = host_core_;
+  if (options_.phase2_filter == Phase2Filter::kPaths) {
+    ensure_path_labels();
+    p2.pattern_paths = &*pattern_paths_;
+    p2.host_paths = host_paths_;
+  }
+  if (options_.analyze && options_.exhaustive &&
+      limit == static_cast<std::size_t>(-1)) {
+    // Symmetry-aware enumeration dedup is gated off whenever the match
+    // limit binds: suppressing a copy could then change WHICH instances
+    // fill the quota (phase2.hpp documents the soundness argument).
+    ensure_orbits();
+    p2.pattern_orbits = &*pattern_orbits_;
+    p2.symmetry_dedup = true;
+  }
 
   timer.reset();
   // Matcher-level dedup is by host DEVICE set — the counting convention the
@@ -347,6 +420,12 @@ MatchReport SubgraphMatcher::run(std::size_t limit) {
     if (stats.domain_prunes != 0) m.add("phase2.domain_prunes", stats.domain_prunes);
     if (stats.nogood_hits != 0) m.add("phase2.nogood_hits", stats.nogood_hits);
     if (stats.trail_undos != 0) m.add("phase2.trail_undos", stats.trail_undos);
+    if (stats.path_label_prunes != 0) {
+      m.add("phase2.path_label_prunes", stats.path_label_prunes);
+    }
+    if (stats.symmetry_skips != 0) {
+      m.add("phase2.symmetry_skips", stats.symmetry_skips);
+    }
     m.gauge("phase2.max_guess_depth",
             static_cast<double>(stats.max_guess_depth));
     m.add("match.runs");

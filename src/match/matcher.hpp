@@ -20,12 +20,14 @@
 #include <memory>
 #include <optional>
 
+#include "analyze/analyze.hpp"
 #include "graph/circuit_graph.hpp"
 #include "graph/csr_core.hpp"
 #include "match/instance.hpp"
 #include "match/phase1.hpp"
 #include "match/phase2.hpp"
 #include "util/core_mode.hpp"
+#include "util/phase2_filter.hpp"
 
 namespace subg::obs {
 class Metrics;
@@ -49,12 +51,26 @@ struct MatchOptions {
   /// matcher-level dedup below collapses to one instance per host DEVICE
   /// set — matching the Ullmann/VF2 baselines' counting convention.
   bool exhaustive = false;
-  /// Phase II neighborhood-signature prefilter (degree + sorted
-  /// neighbor-degree/type sequences) plus the per-candidate nogood memo over
-  /// refuted pattern-vertex/host-vertex postulates. Sound — it never rejects
-  /// a pair the census pass would accept — so results are identical either
-  /// way; off exists for A/B measurement (--phase2-filter=off).
-  bool phase2_filter = true;
+  /// Phase II prefilter strength (util/phase2_filter.hpp). kPaths (the
+  /// default) = the neighborhood-signature prefilter and nogood memo PLUS
+  /// the supplemental path-label refuter (src/analyze closed-walk counts);
+  /// kOn = signature alone; kOff = the pure census search. All settings
+  /// are sound — instances and statuses are identical; kOn/kOff exist for
+  /// A/B measurement (--phase2-filter).
+  Phase2Filter phase2_filter = Phase2Filter::kPaths;
+  /// Pre-search static analysis (src/analyze): check the infeasibility
+  /// certificates before Phase I — a certificate short-circuits the whole
+  /// search (MatchReport::infeasible_shortcuts, with the certificate
+  /// carried in the report) — and, in exhaustive mode with no binding
+  /// match limit, use the pattern's automorphisms to suppress symmetric
+  /// enumeration copies (Phase2Stats::symmetry_skips). Off reproduces the
+  /// pre-analyzer pipeline byte for byte.
+  bool analyze = true;
+  /// Optional externally owned host path labels (HostSession shares one
+  /// set across matches and rebases it through ECO patches). Must have
+  /// been built over THIS host with default AnalyzeOptions; only consulted
+  /// when phase2_filter == kPaths. Null = the matcher builds its own.
+  const analyze::PathLabels* host_path_labels = nullptr;
   /// Seed for the fixed labels Phase II assigns to matched pairs.
   std::uint64_t seed = 0x53554247454D494EULL;
   /// Wall-clock / cancellation envelope for the WHOLE run: threaded through
@@ -106,6 +122,12 @@ struct MatchReport {
   /// kComplete iff every candidate was fully searched within every limit;
   /// otherwise the first interruption/cap hit, with skipped-work counters.
   RunStatus status;
+  /// 1 when a pre-search infeasibility certificate proved the pattern
+  /// cannot occur in the host and the search never ran (0 otherwise);
+  /// `infeasibility` then holds the certificate. The empty instance list
+  /// is exact, not truncated — status stays kComplete.
+  std::size_t infeasible_shortcuts = 0;
+  std::optional<analyze::Certificate> infeasibility;
   double phase1_seconds = 0;
   double phase2_seconds = 0;
 
@@ -150,6 +172,13 @@ class SubgraphMatcher {
   /// Build (or adopt) the flattened cores when options_.core == kCsr, and
   /// record their build time / footprint against the metrics sink.
   void init_cores();
+  /// Lazily build the analyzer artifacts a run() needs: the feasibility
+  /// certificate (options_.analyze), path labels for both sides (kPaths),
+  /// pattern orbits (exhaustive, unlimited). Each is computed at most once
+  /// per matcher and reused across runs.
+  void ensure_certificate();
+  void ensure_path_labels();
+  void ensure_orbits();
 
   const Netlist& pattern_;
   const Netlist& host_;
@@ -163,6 +192,13 @@ class SubgraphMatcher {
   /// Non-complete when the csr core refused to build (32-bit edge-offset
   /// overflow): run() returns it immediately instead of searching.
   RunStatus core_status_;
+  // Cached analyzer artifacts (see ensure_*).
+  bool certificate_checked_ = false;
+  std::optional<analyze::Certificate> infeasibility_;
+  std::optional<analyze::PathLabels> pattern_paths_;
+  std::optional<analyze::PathLabels> owned_host_paths_;
+  const analyze::PathLabels* host_paths_ = nullptr;
+  std::optional<analyze::Orbits> pattern_orbits_;
 };
 
 }  // namespace subg

@@ -285,13 +285,25 @@ bool Phase2Verifier::device_compatible(Vertex s, Vertex g) {
   if (options_.host_core != nullptr) {
     hd = options_.host_core->sorted_neighbor_degrees(g);
   } else {
-    host_degree_scratch_.clear();
-    for (const auto& e : g_.edges(g)) {
-      host_degree_scratch_.push_back(
-          static_cast<std::uint32_t>(g_.degree(e.to)));
+    // Host degrees never change while the verifier lives, so sort each
+    // device's neighbor degrees once and serve every later query (same
+    // candidate or not) from the memo — the csr core precomputes the same
+    // sequence at build time.
+    if (host_degree_memo_offset_.empty()) {
+      host_degree_memo_offset_.assign(g_.vertex_count(), kNoMemo);
     }
-    std::sort(host_degree_scratch_.begin(), host_degree_scratch_.end());
-    hd = host_degree_scratch_;
+    std::size_t& off = host_degree_memo_offset_[g];
+    if (off == kNoMemo) {
+      off = host_degree_memo_.size();
+      for (const auto& e : g_.edges(g)) {
+        host_degree_memo_.push_back(
+            static_cast<std::uint32_t>(g_.degree(e.to)));
+      }
+      std::sort(host_degree_memo_.begin() +
+                    static_cast<std::ptrdiff_t>(off),
+                host_degree_memo_.end());
+    }
+    hd = {host_degree_memo_.data() + off, g_.degree(g)};
   }
   // Injectively assign every pattern pin requirement to a distinct host pin
   // (extra host pins — e.g. the candidate's rail pins — stay free). Exact
@@ -365,11 +377,22 @@ bool Phase2Verifier::signature_ok(Vertex s, Vertex g) {
   }
   // A type-mismatched pair can never complete (extract_mapping requires the
   // images to preserve device/net kind), so refuting it is exact.
-  const bool ok = s_.is_device(s) == g_.is_device(g) &&
-                  (s_.is_device(s) ? device_compatible(s, g)
-                                   : net_compatible(s, g));
+  bool ok = s_.is_device(s) == g_.is_device(g) &&
+            (s_.is_device(s) ? device_compatible(s, g)
+                             : net_compatible(s, g));
+  if (!ok) {
+    ++stats_.domain_prunes;
+  } else if (options_.pattern_paths != nullptr &&
+             options_.host_paths != nullptr &&
+             analyze::PathLabels::refutes(*options_.pattern_paths, s,
+                                          *options_.host_paths, g)) {
+    // Supplemental path-label refuter: the pattern anchor owns more closed
+    // walks through some tracked net-degree class than the host vertex can
+    // supply, so no embedding maps s onto g (analyze.hpp proves soundness).
+    ok = false;
+    ++stats_.path_label_prunes;
+  }
   compat_cache_.emplace(key, ok);
-  if (!ok) ++stats_.domain_prunes;
   return ok;
 }
 
@@ -491,15 +514,50 @@ std::vector<SubcircuitInstance> Phase2Verifier::enumerate(Vertex key,
   std::set<std::pair<std::vector<std::uint32_t>, std::vector<std::uint32_t>>>
       seen;
   std::vector<SubcircuitInstance> unique;
+  // Suppression is pure work-saving: skip it when the budget already
+  // expired — an interrupted sweep would otherwise spend unbounded
+  // post-deadline time permuting the abandoned completions, and the
+  // matcher-level device-set dedup collapses the copies regardless.
+  const analyze::Orbits* orbits =
+      options_.symmetry_dedup && !options_.budget.interrupted()
+          ? options_.pattern_orbits
+          : nullptr;
+  const std::size_t device_count = s_.netlist().device_count();
   for (SubcircuitInstance& inst : found) {
     std::pair<std::vector<std::uint32_t>, std::vector<std::uint32_t>> key_map;
     key_map.first.reserve(inst.device_image.size());
     for (DeviceId d : inst.device_image) key_map.first.push_back(d.value);
     key_map.second.reserve(inst.net_image.size());
     for (NetId n : inst.net_image) key_map.second.push_back(n.value);
-    if (seen.insert(std::move(key_map)).second) {
-      unique.push_back(std::move(inst));
+    if (seen.contains(key_map)) continue;
+    // Symmetry-aware dedup (exhaustive, no binding limit): if some pattern
+    // automorphism σ turns this mapping into one already recorded, the two
+    // cover the same host device set and the matcher-level set dedup would
+    // collapse them anyway — suppress the copy here and count it.
+    if (orbits != nullptr && !orbits->automorphisms.empty()) {
+      bool suppressed = false;
+      std::pair<std::vector<std::uint32_t>, std::vector<std::uint32_t>>
+          permuted;
+      for (const std::vector<Vertex>& sigma : orbits->automorphisms) {
+        permuted.first.assign(inst.device_image.size(), 0);
+        for (std::size_t i = 0; i < inst.device_image.size(); ++i) {
+          permuted.first[i] = inst.device_image[sigma[i]].value;
+        }
+        permuted.second.assign(inst.net_image.size(), 0);
+        for (std::size_t n = 0; n < inst.net_image.size(); ++n) {
+          permuted.second[n] =
+              inst.net_image[sigma[device_count + n] - device_count].value;
+        }
+        if (seen.contains(permuted)) {
+          suppressed = true;
+          ++stats_.symmetry_skips;
+          break;
+        }
+      }
+      if (suppressed) continue;
     }
+    seen.insert(std::move(key_map));
+    unique.push_back(std::move(inst));
   }
   if (!unique.empty()) ++stats_.candidates_matched;
   return unique;

@@ -46,6 +46,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "analyze/analyze.hpp"
 #include "graph/circuit_graph.hpp"
 #include "match/instance.hpp"
 #include "util/budget.hpp"
@@ -93,6 +94,27 @@ struct Phase2Options {
   /// strictly more passes/guesses — which is what the A/B equivalence
   /// tests and the EXPERIMENTS.md comparisons run.
   bool signature_filter = true;
+  /// Supplemental path-label refuter (--phase2-filter=paths). When both
+  /// pointers are set, signature_ok additionally compares the closed-walk
+  /// counts (analyze::PathLabels::refutes) and rejects pairs the degree
+  /// signature cannot tell apart. Sound by the same argument as the
+  /// signature filter: a refuted pair can never complete, so instances and
+  /// statuses are unchanged; Phase2Stats::path_label_prunes counts the
+  /// extra rejections. Both must be built with equal walk_steps over
+  /// exactly these two graphs.
+  const analyze::PathLabels* pattern_paths = nullptr;
+  const analyze::PathLabels* host_paths = nullptr;
+  /// Pattern automorphism group for exhaustive enumeration. When set (and
+  /// symmetry_dedup), enumerate() suppresses a completion if applying any
+  /// automorphism to it yields a mapping already recorded for this
+  /// candidate — those copies cover the same host device set, which the
+  /// public matcher collapses anyway (matcher.hpp on exhaustive dedup), so
+  /// suppression only removes work (Phase2Stats::symmetry_skips), never an
+  /// instance from the final report. The matcher enables this only when no
+  /// match limit binds: under a limit, suppressed copies could change
+  /// WHICH instances fill the quota.
+  const analyze::Orbits* pattern_orbits = nullptr;
+  bool symmetry_dedup = false;
 };
 
 class Phase2Verifier {
@@ -290,8 +312,16 @@ class Phase2Verifier {
   /// verdict. Refuted entries are the nogood set; cleared per candidate so
   /// counters stay deterministic across --jobs lane assignments.
   std::unordered_map<std::uint64_t, bool> compat_cache_;
-  /// Signature scratch (legacy-core degree sort, host net neighbor types).
-  std::vector<std::uint32_t> host_degree_scratch_;
+  /// Legacy-core memo: each queried host device's neighbor degrees, sorted
+  /// once (host degrees are fixed for the verifier's lifetime) and served
+  /// as a span on every later signature check — mirrors the csr core's
+  /// precomputed sorted_neighbor_degrees. offset[g] = start of g's run in
+  /// the flat store, kNoMemo until first queried.
+  static constexpr std::size_t kNoMemo = static_cast<std::size_t>(-1);
+  std::vector<std::uint32_t> host_degree_memo_;
+  std::vector<std::size_t> host_degree_memo_offset_;
+  /// Signature scratch (device lower-bound matching, host net neighbor
+  /// types).
   std::vector<std::uint32_t> degree_rem_scratch_;
   std::vector<Label> host_label_scratch_;
   std::vector<PinProfile> profile_;

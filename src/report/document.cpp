@@ -3,6 +3,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "analyze/analyze.hpp"
 #include "extract/extract.hpp"
 #include "gemini/gemini.hpp"
 #include "lint/lint.hpp"
@@ -52,6 +53,50 @@ json::Value to_json(const Phase2Stats& stats) {
   if (stats.domain_prunes != 0) v.set("domain_prunes", stats.domain_prunes);
   if (stats.nogood_hits != 0) v.set("nogood_hits", stats.nogood_hits);
   if (stats.trail_undos != 0) v.set("trail_undos", stats.trail_undos);
+  if (stats.path_label_prunes != 0) {
+    v.set("path_label_prunes", stats.path_label_prunes);
+  }
+  if (stats.symmetry_skips != 0) {
+    v.set("symmetry_skips", stats.symmetry_skips);
+  }
+  return v;
+}
+
+json::Value to_json(const analyze::Certificate& cert) {
+  json::Value v = json::Value::object();
+  v.set("rule", cert.rule);
+  if (!cert.subject.empty()) v.set("subject", cert.subject);
+  if (cert.degree != 0) v.set("degree", cert.degree);
+  v.set("pattern_count", cert.pattern_count);
+  v.set("host_count", cert.host_count);
+  v.set("detail", cert.detail);
+  return v;
+}
+
+json::Value to_json(const analyze::AnalysisReport& report) {
+  json::Value v = json::Value::object();
+  v.set("pattern_devices", report.pattern_devices);
+  v.set("pattern_nets", report.pattern_nets);
+  v.set("orbit_count", report.orbit_count);
+  v.set("nontrivial_orbit_count", report.nontrivial_orbit_count);
+  v.set("automorphism_count", report.automorphism_count);
+  v.set("automorphisms_complete", report.automorphisms_complete);
+  json::Value orbits = json::Value::array();
+  for (const std::vector<std::string>& group : report.orbits) {
+    json::Value one = json::Value::array();
+    for (const std::string& name : group) one.push(name);
+    orbits.push(std::move(one));
+  }
+  v.set("orbits", std::move(orbits));
+  v.set("walk_steps", report.walk_steps);
+  v.set("path_classes", report.path_classes);
+  if (report.host_checked) {
+    v.set("host", report.host_name);
+    v.set("infeasible", report.infeasible());
+    if (report.certificate.has_value()) {
+      v.set("certificate", to_json(*report.certificate));
+    }
+  }
   return v;
 }
 
@@ -77,6 +122,11 @@ json::Value to_json(const MatchReport& report) {
   v.set("phase1", to_json(report.phase1));
   v.set("phase2", to_json(report.phase2));
   v.set("status", to_json(report.status));
+  // Additive-only: present iff the pre-search analyzer refuted the pairing
+  // and the search never ran (pre-existing goldens are unchanged).
+  if (report.infeasible_shortcuts != 0) {
+    v.set("infeasible_shortcuts", report.infeasible_shortcuts);
+  }
   v.set("phase1_seconds", report.phase1_seconds);
   v.set("phase2_seconds", report.phase2_seconds);
   return v;
@@ -91,6 +141,8 @@ json::Value to_json(const extract::ExtractReport& report) {
     one.set("instances", per.instances);
     one.set("devices_replaced", per.devices_replaced);
     one.set("outcome", to_string(per.outcome));
+    // Additive-only: present iff the analyzer statically refuted the cell.
+    if (per.infeasible) one.set("infeasible", true);
     one.set("seconds", per.seconds);
     cells.push(std::move(one));
   }
@@ -99,6 +151,9 @@ json::Value to_json(const extract::ExtractReport& report) {
   v.set("devices_after", report.devices_after);
   v.set("unextracted_primitives", report.unextracted_primitives);
   v.set("cells_skipped", report.cells_skipped);
+  if (report.infeasible_shortcuts != 0) {
+    v.set("infeasible_shortcuts", report.infeasible_shortcuts);
+  }
   v.set("status", to_json(report.status));
   return v;
 }

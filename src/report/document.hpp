@@ -29,6 +29,11 @@ struct MatchReport;
 struct CompareResult;
 }  // namespace subg
 
+namespace subg::analyze {
+struct Certificate;
+struct AnalysisReport;
+}  // namespace subg::analyze
+
 namespace subg::extract {
 struct ExtractReport;
 }  // namespace subg::extract
@@ -56,6 +61,13 @@ inline constexpr std::uint64_t kSchemaVersion = 1;
 /// Full match report including the verified instances (device/net images as
 /// host vertex indices).
 [[nodiscard]] json::Value to_json(const MatchReport& report);
+/// Infeasibility certificate: {"rule", "subject"?, "degree"?,
+/// "pattern_count", "host_count", "detail"} — the "certificate" member of
+/// analyze documents and the "analysis" member find/extract emit when the
+/// pre-search analyzer refuted the pairing.
+[[nodiscard]] json::Value to_json(const analyze::Certificate& cert);
+/// Full static-analysis report (the `subgemini analyze` document body).
+[[nodiscard]] json::Value to_json(const analyze::AnalysisReport& report);
 [[nodiscard]] json::Value to_json(const extract::ExtractReport& report);
 /// Lint report: {"findings": [{"check", "severity", "message", "nets",
 /// "devices", "module"}...], "checks_run", "errors", "warnings", "infos",

@@ -10,6 +10,7 @@
 #include <cstring>
 #include <utility>
 
+#include "analyze/analyze.hpp"
 #include "benchfmt/benchfmt.hpp"
 #include "extract/extract.hpp"
 #include "lint/lint.hpp"
@@ -315,6 +316,7 @@ std::string Server::dispatch(const Request& request) {
   SUBG_FAULT_POINT("serve.dispatch");
   obs::count(options_.metrics, "serve.requests");
   if (request.op == "find") return handle_find(request);
+  if (request.op == "analyze") return handle_analyze(request);
   if (request.op == "extract") return handle_extract(request);
   if (request.op == "lint") return handle_lint(request);
   if (request.op == "status") return handle_status(request);
@@ -417,6 +419,55 @@ std::string Server::handle_find(const Request& request) {
     return fail(request.id, request.op, outcome_error(report.status.outcome),
                 report.status.reason, std::move(result));
   }
+  return succeed(request, std::move(result));
+}
+
+std::string Server::handle_analyze(const Request& request) {
+  if (request.pattern.empty()) {
+    return fail(request.id, request.op, ErrorCode::kBadRequest,
+                "analyze requires 'pattern' (inline SPICE text)");
+  }
+  // Host resolution mirrors find, except static analysis is meaningful
+  // without one: an omitted 'host' with nothing loaded still runs the
+  // pattern-only layers (orbits, path labels). A named-but-unknown host is
+  // an unknown_host frame, exactly like find.
+  std::shared_ptr<HostContext> host;
+  {
+    bool want_host = !request.host.empty();
+    if (!want_host) {
+      std::lock_guard<std::mutex> lock(hosts_mutex_);
+      want_host = !hosts_.empty();
+    }
+    if (want_host) {
+      ErrorCode code = ErrorCode::kInternal;
+      std::string message;
+      host = resolve_host(request, &code, &message);
+      if (host == nullptr) return fail(request.id, request.op, code, message);
+    }
+  }
+
+  std::optional<Netlist> pattern;
+  try {
+    Design design = spice::read_string(request.pattern);
+    pattern.emplace(design.flatten(default_top(design, request.pattern_top)));
+  } catch (const fault::InjectedFault&) {
+    throw;  // label distinctly at the process() boundary, not parse_error
+  } catch (const Error& e) {
+    return fail(request.id, request.op, ErrorCode::kParseError,
+                std::string("pattern: ") + e.what());
+  }
+
+  json::Value result = json::Value::object();
+  result.set("pattern", netlist_summary(*pattern));
+  analyze::AnalysisReport report;
+  if (host != nullptr) {
+    std::shared_lock<std::shared_mutex> session_lock(host->session_mutex);
+    report = analyze::analyze(*pattern, &host->session.netlist(), {});
+    result.set("host", netlist_summary(host->session.netlist()));
+  } else {
+    report = analyze::analyze(*pattern, nullptr, {});
+  }
+  result.set("analysis", report::to_json(report));
   return succeed(request, std::move(result));
 }
 
@@ -592,7 +643,7 @@ std::string Server::handle_load(const Request& request) {
     // that patched it loses their edits, so a duplicate name is a
     // structured refusal (evolve a loaded host with `patch` instead).
     std::lock_guard<std::mutex> lock(hosts_mutex_);
-    if (hosts_.count(request.name) > 0) {
+    if (hosts_.contains(request.name)) {
       return fail(request.id, request.op, ErrorCode::kAlreadyLoaded,
                   "a host named '" + request.name +
                       "' is already loaded (use patch to edit it)");

@@ -159,6 +159,7 @@ class Server {
                                      std::nullopt);
 
   [[nodiscard]] std::string handle_find(const Request& request);
+  [[nodiscard]] std::string handle_analyze(const Request& request);
   [[nodiscard]] std::string handle_extract(const Request& request);
   [[nodiscard]] std::string handle_lint(const Request& request);
   [[nodiscard]] std::string handle_status(const Request& request);

@@ -31,6 +31,16 @@ HostSession HostSession::build(Netlist netlist, SessionOptions options) {
       session.core_ = std::make_unique<CsrCore>(*session.graph_);
     }
   }
+  // Supplemental path labels, built once per session and shared by every
+  // match (configure() wires them into MatchOptions::host_path_labels).
+  // The core overload is preferred only as the faster walk; counts are
+  // bit-identical either way.
+  session.paths_ = std::make_unique<analyze::PathLabels>(
+      session.core_ != nullptr
+          ? analyze::build_path_labels(*session.core_, *session.netlist_,
+                                       analyze::Side::kHost)
+          : analyze::build_path_labels(*session.graph_, *session.netlist_,
+                                       analyze::Side::kHost));
   return session;
 }
 
@@ -114,6 +124,13 @@ ApplyStats HostSession::apply(const NetlistDelta& delta) {
   stats.renames = fx.rename_ops;
   auto new_cache = cache_->rebase(*new_graph, old_to_new, new_to_old,
                                   dirty_seed, &stats.invalidated_labels);
+  // Path-label rebase rides the same pedigree and dirty seeds: every
+  // changed edge is incident to a touched net or a fresh vertex, so the
+  // radius-walk_steps cone around the seeds covers every anchor whose
+  // closed-walk ball saw the edit; the rest copy through new_to_old.
+  auto new_paths = std::make_unique<analyze::PathLabels>(
+      analyze::rebase_path_labels(*paths_, *new_graph, *new_netlist,
+                                  new_to_old, dirty_seed));
 
   SUBG_FAULT_POINT("session.patch");
 
@@ -121,6 +138,7 @@ ApplyStats HostSession::apply(const NetlistDelta& delta) {
   netlist_ = std::move(new_netlist);
   graph_ = std::move(new_graph);
   cache_ = std::move(new_cache);
+  paths_ = std::move(new_paths);
   core_status_ = new_core_status;
   if (want_core) {
     if (core_ != nullptr) {
@@ -147,6 +165,14 @@ ApplyStats HostSession::apply(const NetlistDelta& delta) {
                      "session audit (A17): patched csr core diverged from "
                      "a cold rebuild of the edited host");
     }
+    // A19 — path-label rebase fidelity: dirty-cone recompute + pedigree
+    // copy must be bit-identical to a cold build over the edited host.
+    const analyze::PathLabels cold_paths =
+        analyze::build_path_labels(*graph_, *netlist_, analyze::Side::kHost);
+    SUBG_AUDIT_MSG(paths_->counts == cold_paths.counts &&
+                       paths_->vertex_count == cold_paths.vertex_count,
+                   "session audit (A19): rebased path labels diverged from "
+                   "a cold rebuild of the edited host");
   }
   totals_.patched_devices += stats.patched_devices;
   totals_.patched_nets += stats.patched_nets;
@@ -159,6 +185,7 @@ ApplyStats HostSession::apply(const NetlistDelta& delta) {
 void HostSession::configure(MatchOptions& options) {
   options.phase1.host_cache = cache_.get();
   options.host_core = core_.get();
+  options.host_path_labels = paths_.get();
   if (core_ == nullptr) options.core = CoreMode::kLegacy;
 }
 

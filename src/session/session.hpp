@@ -33,6 +33,7 @@
 #include <memory>
 #include <string>
 
+#include "analyze/analyze.hpp"
 #include "graph/circuit_graph.hpp"
 #include "graph/csr_core.hpp"
 #include "match/host_labels.hpp"
@@ -107,6 +108,14 @@ class HostSession {
   /// edge budget (see core_status()).
   [[nodiscard]] const CsrCore* core() const { return core_.get(); }
   [[nodiscard]] HostLabelCache& cache() { return *cache_; }
+  /// Session-owned supplemental path labels over the host (src/analyze),
+  /// shared across matches via configure() and REBASED through apply() —
+  /// only anchors inside the patch's dirty cone recompute, the rest copy
+  /// through the vertex pedigree (audit A19 pins the rebase against a cold
+  /// rebuild).
+  [[nodiscard]] const analyze::PathLabels& path_labels() const {
+    return *paths_;
+  }
   /// kComplete, or the kTruncated refusal explaining the missing core.
   [[nodiscard]] const RunStatus& core_status() const { return core_status_; }
   [[nodiscard]] const SessionOptions& options() const { return options_; }
@@ -132,6 +141,7 @@ class HostSession {
   std::unique_ptr<CircuitGraph> graph_;
   std::unique_ptr<CsrCore> core_;
   std::unique_ptr<HostLabelCache> cache_;
+  std::unique_ptr<analyze::PathLabels> paths_;
   RunStatus core_status_;
   std::uint64_t patch_count_ = 0;
   std::uint64_t last_compaction_ = 0;

@@ -149,7 +149,7 @@ struct Parser {
         return;
       }
       case 'x': {
-        if (args.size() < 1) parse_error(card.line, "X card needs a target");
+        if (args.empty()) parse_error(card.line, "X card needs a target");
         const std::string target = to_lower(args.back());
         args.pop_back();
         // Validate before creating any nets: a card rejected in recovering

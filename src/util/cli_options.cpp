@@ -122,14 +122,23 @@ ParsedArgs parse_args(const std::vector<std::string>& args) {
       continue;
     }
     if (const char* v = flag_value(arg, "--phase2-filter=")) {
+      const auto filter = parse_phase2_filter(v);
+      if (!filter.has_value()) {
+        out.error = std::string("bad --phase2-filter value '") + v +
+                    "' (want paths, on, or off)";
+        return out;
+      }
+      out.options.phase2_filter = *filter;
+      continue;
+    }
+    if (const char* v = flag_value(arg, "--analyze=")) {
       const std::string value = v;
       if (value == "on") {
-        out.options.phase2_filter = true;
+        out.options.analyze = true;
       } else if (value == "off") {
-        out.options.phase2_filter = false;
+        out.options.analyze = false;
       } else {
-        out.error =
-            "bad --phase2-filter value '" + value + "' (want on or off)";
+        out.error = "bad --analyze value '" + value + "' (want on or off)";
         return out;
       }
       continue;
@@ -223,9 +232,16 @@ const char* global_flags_help() {
       "  --core=<layout>    matching-core layout: csr (default; flattened\n"
       "                     index arrays) or legacy (direct graph walks);\n"
       "                     reports are byte-identical either way\n"
-      "  --phase2-filter=<mode> Phase II signature prefilter + nogood memo:\n"
-      "                     on (default) or off; results are identical, off\n"
-      "                     exists for A/B perf comparison\n"
+      "  --phase2-filter=<mode> Phase II prefilter strength: paths (default;\n"
+      "                     signature check + supplemental path-label\n"
+      "                     refuter), on (signature alone), or off (pure\n"
+      "                     census); results are identical, the weaker modes\n"
+      "                     exist for A/B perf comparison\n"
+      "  --analyze=<mode>   pre-search static analysis: on (default) checks\n"
+      "                     infeasibility certificates (a refuted pairing\n"
+      "                     skips the search and reports why) and dedups\n"
+      "                     symmetric exhaustive enumeration; off reproduces\n"
+      "                     the pre-analyzer pipeline\n"
       "  --delta=FILE       find/extract: apply an ECO delta (JSON-lines,\n"
       "                     one op per line) to the host before matching\n"
       "  serve-only flags:\n"

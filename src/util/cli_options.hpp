@@ -15,9 +15,14 @@
 //   --fail-on=warn|error severity threshold for a nonzero lint exit
 //   --lint               run the lint checks before extraction
 //   --core=csr|legacy    matching-core layout (csr is the default)
-//   --phase2-filter=on|off
-//                        Phase II signature prefilter + nogood memo (on is
-//                        the default; off is the A/B measurement path)
+//   --phase2-filter=paths|on|off
+//                        Phase II prefilter strength: paths (default;
+//                        signature + supplemental path-label refuter), on
+//                        (signature alone), off (pure census) — all sound,
+//                        the weaker modes are the A/B measurement paths
+//   --analyze=on|off     pre-search static analysis: infeasibility
+//                        certificates + symmetry-aware enumeration dedup
+//                        (on is the default)
 //   --delta=FILE         ECO delta (JSON-lines) applied to the host before
 //                        matching (find/extract)
 //
@@ -33,6 +38,7 @@
 
 #include "util/budget.hpp"
 #include "util/core_mode.hpp"
+#include "util/phase2_filter.hpp"
 
 namespace subg::cli {
 
@@ -66,10 +72,16 @@ struct GlobalOptions {
   /// runs the flattened SoA sweeps; legacy walks the CircuitGraph directly.
   /// Reports are byte-identical either way.
   CoreMode core = CoreMode::kCsr;
-  /// --phase2-filter: the neighborhood-signature prefilter and nogood memo
-  /// in Phase II. Sound (results identical either way); off exists for A/B
-  /// perf comparison.
-  bool phase2_filter = true;
+  /// --phase2-filter: Phase II prefilter strength (util/phase2_filter.hpp).
+  /// paths (the default) adds the supplemental path-label refuter on top of
+  /// the signature prefilter and nogood memo; on/off are the weaker A/B
+  /// measurement settings. All sound — results identical at any value.
+  Phase2Filter phase2_filter = Phase2Filter::kPaths;
+  /// --analyze: pre-search static analysis (src/analyze) — infeasibility
+  /// certificates short-circuit provably matchless searches, pattern
+  /// automorphisms dedup symmetric exhaustive enumeration. Off reproduces
+  /// the pre-analyzer pipeline.
+  bool analyze = true;
   /// --delta=FILE: ECO delta applied to the host session before matching
   /// (see session/delta.hpp for the grammar); empty = none.
   std::string delta_path;

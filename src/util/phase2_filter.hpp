@@ -1,0 +1,36 @@
+// Selector for the Phase II candidate-prefilter strength.
+//
+// kPaths (the default) runs the neighborhood-signature check plus the
+// supplemental path-label refuter (src/analyze: closed-walk counts through
+// tracked net-degree classes); kOn runs the signature check alone; kOff
+// reproduces the pure census search. All three are sound — instances and
+// statuses are identical across the toggle; only the work counters shrink
+// as the filter strengthens — so kOn/kOff exist for A/B measurement
+// (--phase2-filter), not as different algorithms.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+namespace subg {
+
+enum class Phase2Filter { kOff, kOn, kPaths };
+
+[[nodiscard]] constexpr const char* to_string(Phase2Filter filter) {
+  switch (filter) {
+    case Phase2Filter::kOff: return "off";
+    case Phase2Filter::kOn: return "on";
+    case Phase2Filter::kPaths: return "paths";
+  }
+  return "unknown";
+}
+
+[[nodiscard]] inline std::optional<Phase2Filter> parse_phase2_filter(
+    std::string_view text) {
+  if (text == "off") return Phase2Filter::kOff;
+  if (text == "on") return Phase2Filter::kOn;
+  if (text == "paths") return Phase2Filter::kPaths;
+  return std::nullopt;
+}
+
+}  // namespace subg

@@ -1,0 +1,323 @@
+// The pre-search static analyzer, layer by layer: orbit detection on
+// symmetric and asymmetric patterns (including the capped-search path),
+// path-label construction on the ring family the degree filter cannot
+// split, the side asymmetry (pattern walks exclude ports/specials, host
+// walks include them), and each infeasibility-certificate rule firing
+// exactly when its dominance check is violated.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "../match/test_circuits.hpp"
+#include "analyze/analyze.hpp"
+#include "graph/circuit_graph.hpp"
+
+namespace subg {
+namespace {
+
+using test::Cmos3;
+
+/// Ring of `n` identical pass transistors sharing one gate net.
+void add_ring(const Cmos3& c, Netlist& nl, int n, const std::string& prefix) {
+  NetId gate = nl.add_net(prefix + "gate");
+  std::vector<NetId> nodes;
+  for (int i = 0; i < n; ++i) {
+    nodes.push_back(nl.add_net(prefix + std::to_string(i)));
+  }
+  for (int i = 0; i < n; ++i) {
+    nl.add_device(c.nmos, {nodes[i], gate, nodes[(i + 1) % n]});
+  }
+}
+
+Netlist ring_pattern(const Cmos3& c, int n) {
+  Netlist nl = c.netlist("ring_p");
+  add_ring(c, nl, n, "r");
+  nl.mark_port(*nl.find_net("rgate"));
+  return nl;
+}
+
+/// k parallel transistors, every net a port — maximally symmetric.
+Netlist parallel_pattern(const Cmos3& c, int k) {
+  Netlist nl = c.netlist("par");
+  NetId n1 = nl.add_net("n1"), n2 = nl.add_net("n2"), g = nl.add_net("g");
+  for (int i = 0; i < k; ++i) nl.add_device(c.nmos, {n1, g, n2});
+  nl.mark_port(n1);
+  nl.mark_port(n2);
+  nl.mark_port(g);
+  return nl;
+}
+
+// --- layer 1: orbits ---------------------------------------------------------
+
+TEST(AnalyzeOrbits, ParallelDevicesFoldIntoOneOrbit) {
+  Cmos3 c;
+  Netlist pattern = parallel_pattern(c, 3);
+  CircuitGraph graph(pattern);
+  const analyze::Orbits orbits = analyze::find_orbits(graph, pattern);
+  EXPECT_TRUE(orbits.complete);
+  EXPECT_FALSE(orbits.automorphisms.empty());
+  // The three interchangeable devices share one representative.
+  EXPECT_EQ(orbits.orbit_of[0], orbits.orbit_of[1]);
+  EXPECT_EQ(orbits.orbit_of[1], orbits.orbit_of[2]);
+  EXPECT_GE(orbits.nontrivial_orbit_count(), 1u);
+  // Every reported permutation really is an automorphism: it permutes
+  // devices among devices and fixes no constraint we can check cheaply
+  // here beyond totality.
+  for (const std::vector<Vertex>& sigma : orbits.automorphisms) {
+    ASSERT_EQ(sigma.size(), graph.vertex_count());
+    for (Vertex v = 0; v < graph.vertex_count(); ++v) {
+      EXPECT_EQ(graph.is_device(sigma[v]), graph.is_device(v));
+    }
+  }
+}
+
+TEST(AnalyzeOrbits, AsymmetricPatternHasOnlyTheIdentity) {
+  Cmos3 c;
+  // A NAND's series stack orders its inputs: a0 gates the top transistor,
+  // so no structural automorphism exists (the Fig 7 canonicality point).
+  Netlist pattern = c.netlist("nand2");
+  NetId a = pattern.add_net("a"), b = pattern.add_net("b");
+  NetId y = pattern.add_net("y");
+  NetId vdd = pattern.add_net("vdd"), gnd = pattern.add_net("gnd");
+  c.nand2(pattern, a, b, y, vdd, gnd);
+  for (NetId n : {a, b, y}) pattern.mark_port(n);
+  pattern.mark_global(vdd);
+  pattern.mark_global(gnd);
+  CircuitGraph graph(pattern);
+  const analyze::Orbits orbits = analyze::find_orbits(graph, pattern);
+  EXPECT_TRUE(orbits.complete);
+  EXPECT_TRUE(orbits.automorphisms.empty());
+  EXPECT_EQ(orbits.orbit_count(), graph.vertex_count());
+  EXPECT_EQ(orbits.nontrivial_orbit_count(), 0u);
+}
+
+TEST(AnalyzeOrbits, CapTruncatesButStaysSound) {
+  Cmos3 c;
+  // 6 parallel devices have 6! = 720 device automorphisms; a cap of 4
+  // truncates the enumeration and must say so.
+  Netlist pattern = parallel_pattern(c, 6);
+  CircuitGraph graph(pattern);
+  analyze::AnalyzeOptions options;
+  options.max_automorphisms = 4;
+  const analyze::Orbits orbits = analyze::find_orbits(graph, pattern, options);
+  EXPECT_FALSE(orbits.complete);
+  EXPECT_LE(orbits.automorphisms.size(), 4u);
+  // Truncated orbits under-approximate: vertices merged by the subset
+  // found are genuinely equivalent, so devices still never mix with nets.
+  CircuitGraph check(pattern);
+  for (Vertex v = 0; v < check.vertex_count(); ++v) {
+    EXPECT_EQ(check.is_device(orbits.orbit_of[v]), check.is_device(v));
+  }
+}
+
+// --- layer 2: path labels ----------------------------------------------------
+
+TEST(AnalyzePathLabels, SixRingWrapsWhereTwelveRingCannot) {
+  Cmos3 c;
+  Netlist pattern = ring_pattern(c, 6);
+  Netlist host = c.netlist("main");
+  add_ring(c, host, 12, "h");
+  CircuitGraph pattern_graph(pattern);
+  CircuitGraph host_graph(host);
+  const analyze::PathLabels p = analyze::build_path_labels(
+      pattern_graph, pattern, analyze::Side::kPattern);
+  const analyze::PathLabels h = analyze::build_path_labels(
+      host_graph, host, analyze::Side::kHost);
+  // Every device-to-device pairing is refuted: a closed 12-step walk can
+  // wrap the 6-ring but not the 12-ring, so the pattern count through
+  // degree-2 nets strictly exceeds the host count.
+  for (Vertex s = 0; s < 6; ++s) {
+    ASSERT_TRUE(pattern_graph.is_device(s));
+    EXPECT_GT(p.count(s, 0), 0u);
+    for (Vertex g = 0; g < 12; ++g) {
+      ASSERT_TRUE(host_graph.is_device(g));
+      EXPECT_GT(p.count(s, 0), h.count(g, 0));
+      EXPECT_TRUE(analyze::PathLabels::refutes(p, s, h, g));
+    }
+  }
+}
+
+TEST(AnalyzePathLabels, EqualRingsDoNotRefute) {
+  Cmos3 c;
+  Netlist pattern = ring_pattern(c, 6);
+  Netlist host = c.netlist("main");
+  add_ring(c, host, 6, "h");
+  const analyze::PathLabels p = analyze::build_path_labels(
+      CircuitGraph(pattern), pattern, analyze::Side::kPattern);
+  const analyze::PathLabels h = analyze::build_path_labels(
+      CircuitGraph(host), host, analyze::Side::kHost);
+  for (Vertex s = 0; s < 6; ++s) {
+    for (Vertex g = 0; g < 6; ++g) {
+      EXPECT_FALSE(analyze::PathLabels::refutes(p, s, h, g));
+    }
+  }
+}
+
+TEST(AnalyzePathLabels, PatternWalksExcludePortNets) {
+  Cmos3 c;
+  // Every net of the parallel pattern is a port, so no pattern walk is
+  // admissible: all counts are zero and nothing can ever be refuted.
+  Netlist pattern = parallel_pattern(c, 3);
+  const analyze::PathLabels p = analyze::build_path_labels(
+      CircuitGraph(pattern), pattern, analyze::Side::kPattern);
+  for (std::uint64_t count : p.counts) EXPECT_EQ(count, 0u);
+}
+
+TEST(AnalyzePathLabels, HostSideIsAnUpperBoundOfPatternSide) {
+  Cmos3 c;
+  // Same graph, one ring net marked global: the pattern side must drop the
+  // walks through it, the host side keeps them — host >= pattern per
+  // vertex per class is exactly the soundness direction.
+  Netlist ring = c.netlist("ring");
+  add_ring(c, ring, 6, "r");
+  ring.mark_port(*ring.find_net("rgate"));
+  ring.mark_global(*ring.find_net("r3"));
+  CircuitGraph graph(ring);
+  const analyze::PathLabels as_pattern = analyze::build_path_labels(
+      graph, ring, analyze::Side::kPattern);
+  const analyze::PathLabels as_host = analyze::build_path_labels(
+      graph, ring, analyze::Side::kHost);
+  ASSERT_EQ(as_pattern.counts.size(), as_host.counts.size());
+  bool strictly_somewhere = false;
+  for (std::size_t i = 0; i < as_pattern.counts.size(); ++i) {
+    EXPECT_LE(as_pattern.counts[i], as_host.counts[i]);
+    strictly_somewhere |= as_pattern.counts[i] < as_host.counts[i];
+  }
+  EXPECT_TRUE(strictly_somewhere);
+}
+
+// --- layer 3: certificates ---------------------------------------------------
+
+TEST(AnalyzeCertificates, DeviceTypeDeficit) {
+  Cmos3 c;
+  Netlist pattern = parallel_pattern(c, 3);
+  Netlist host = c.netlist("main");
+  NetId a = host.add_net("a"), g = host.add_net("g"), b = host.add_net("b");
+  host.add_device(c.nmos, {a, g, b});
+  const auto cert = analyze::check_feasibility(pattern, host);
+  ASSERT_TRUE(cert.has_value());
+  EXPECT_EQ(cert->rule, "device_type_deficit");
+  EXPECT_EQ(cert->subject, "nmos");
+  EXPECT_EQ(cert->pattern_count, 3u);
+  EXPECT_EQ(cert->host_count, 1u);
+  EXPECT_FALSE(cert->detail.empty());
+}
+
+TEST(AnalyzeCertificates, MissingGlobalNet) {
+  Cmos3 c;
+  Netlist pattern = c.inv_pattern(/*global_rails=*/true);
+  // Host has the devices but no net named vdd: globals match by name, so
+  // the pattern's vdd connection can never bind.
+  Netlist host = c.netlist("main");
+  NetId a = host.add_net("a"), y = host.add_net("y");
+  NetId up = host.add_net("up"), down = host.add_net("down");
+  c.inv(host, a, y, up, down);
+  const auto cert = analyze::check_feasibility(pattern, host);
+  ASSERT_TRUE(cert.has_value());
+  EXPECT_EQ(cert->rule, "missing_global_net");
+  EXPECT_TRUE(cert->subject == "vdd" || cert->subject == "gnd");
+}
+
+TEST(AnalyzeCertificates, InternalNetDegreeDeficit) {
+  Cmos3 c;
+  // Pattern: a 3-star on internal net x (degree exactly 3). Host: the same
+  // three transistors in a chain — no degree-3 net anywhere.
+  Netlist pattern = c.netlist("star");
+  NetId x = pattern.add_net("x");
+  for (int i = 0; i < 3; ++i) {
+    NetId d = pattern.add_net("d" + std::to_string(i));
+    NetId g = pattern.add_net("g" + std::to_string(i));
+    pattern.add_device(c.nmos, {d, g, x});
+    pattern.mark_port(d);
+    pattern.mark_port(g);
+  }
+  Netlist host = c.netlist("main");
+  NetId prev = host.add_net("n0");
+  for (int i = 0; i < 3; ++i) {
+    NetId g = host.add_net("hg" + std::to_string(i));
+    NetId next = host.add_net("n" + std::to_string(i + 1));
+    host.add_device(c.nmos, {prev, g, next});
+    prev = next;
+  }
+  const auto cert = analyze::check_feasibility(pattern, host);
+  ASSERT_TRUE(cert.has_value());
+  EXPECT_EQ(cert->rule, "internal_net_degree_deficit");
+  EXPECT_EQ(cert->degree, 3u);
+  EXPECT_EQ(cert->pattern_count, 1u);
+  EXPECT_EQ(cert->host_count, 0u);
+}
+
+TEST(AnalyzeCertificates, PortNetDegreeDeficit) {
+  Cmos3 c;
+  // Pattern: 4 gates share one port net (degree 4, >= suffices for ports).
+  // Host: 4 transistors whose nets never exceed degree 2.
+  Netlist pattern = parallel_pattern(c, 4);
+  Netlist host = c.netlist("main");
+  for (int i = 0; i < 4; ++i) {
+    const std::string p = "h" + std::to_string(i);
+    NetId d = host.add_net(p + "d"), g = host.add_net(p + "g");
+    NetId s = host.add_net(p + "s");
+    host.add_device(c.nmos, {d, g, s});
+  }
+  const auto cert = analyze::check_feasibility(pattern, host);
+  ASSERT_TRUE(cert.has_value());
+  EXPECT_EQ(cert->rule, "port_net_degree_deficit");
+  EXPECT_EQ(cert->degree, 4u);
+}
+
+TEST(AnalyzeCertificates, FeasiblePairingProvesNothing) {
+  Cmos3 c;
+  Netlist pattern = c.inv_pattern(/*global_rails=*/false);
+  Netlist host = c.netlist("main");
+  NetId a = host.add_net("a"), y = host.add_net("y");
+  NetId vdd = host.add_net("vdd"), gnd = host.add_net("gnd");
+  c.inv(host, a, y, vdd, gnd);
+  c.nand2(host, y, a, host.add_net("z"), vdd, gnd);
+  EXPECT_FALSE(analyze::check_feasibility(pattern, host).has_value());
+}
+
+// --- the combined report -----------------------------------------------------
+
+TEST(AnalyzeReport, PatternOnlyAndPairedRuns) {
+  Cmos3 c;
+  Netlist pattern = ring_pattern(c, 6);
+  const analyze::AnalysisReport alone = analyze::analyze(pattern, nullptr);
+  EXPECT_EQ(alone.pattern_devices, 6u);
+  EXPECT_EQ(alone.pattern_nets, 7u);
+  EXPECT_EQ(alone.walk_steps, 12u);
+  EXPECT_GE(alone.path_classes, 1u);
+  EXPECT_FALSE(alone.host_checked);
+  EXPECT_FALSE(alone.infeasible());
+
+  Netlist host = c.netlist("main");
+  add_ring(c, host, 12, "h");
+  const analyze::AnalysisReport paired = analyze::analyze(pattern, &host);
+  EXPECT_TRUE(paired.host_checked);
+  // Feasibility is a coarse histogram relaxation: the ring decoy passes it
+  // (the refutation is per-candidate, in Phase II's path-label prefilter).
+  EXPECT_FALSE(paired.infeasible());
+
+  std::ostringstream text;
+  analyze::write_text(paired, text);
+  EXPECT_NE(text.str().find("orbit"), std::string::npos);
+}
+
+TEST(AnalyzeReport, InfeasiblePairCarriesTheCertificate) {
+  Cmos3 c;
+  Netlist pattern = c.inv_pattern(/*global_rails=*/false);
+  Netlist host = c.netlist("main");
+  NetId d = host.add_net("d"), g = host.add_net("g"), s = host.add_net("s");
+  host.add_device(c.nmos, {d, g, s});
+  const analyze::AnalysisReport report = analyze::analyze(pattern, &host);
+  ASSERT_TRUE(report.infeasible());
+  EXPECT_EQ(report.certificate->rule, "device_type_deficit");
+  EXPECT_EQ(report.certificate->subject, "pmos");
+  std::ostringstream text;
+  analyze::write_text(report, text);
+  EXPECT_NE(text.str().find("device_type_deficit"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace subg

@@ -101,8 +101,9 @@ TEST(Audit, TrailUndoRestoresStateAcrossGuessBranches) {
   // host with a poisoned fat ring (extra transistor on one ring net) and a
   // clean one: fat-ring candidates far from the poison pass the signature
   // prefilter, stall on the ring's mirror symmetry, and both orientations
-  // fail only after the guess — real backtracks with the filter at its
-  // default (on).
+  // fail only after the guess — real backtracks. The filter is pinned to
+  // kOn: the default path-label refuter would reject the fat ring before
+  // the first guess, and this test exists to drive the trail machinery.
   test::Cmos3 c;
   Netlist pattern = c.netlist("ring_p");
   NetId gate = pattern.add_net("rgate");
@@ -135,7 +136,9 @@ TEST(Audit, TrailUndoRestoresStateAcrossGuessBranches) {
     host.add_device(c.nmos, {cnodes[i], cgate, cnodes[(i + 1) % 6]});
   }
 
-  SubgraphMatcher matcher(pattern, host);
+  MatchOptions options;
+  options.phase2_filter = Phase2Filter::kOn;
+  SubgraphMatcher matcher(pattern, host, options);
   MatchReport report = matcher.find_all();
   EXPECT_EQ(report.count(), 1u);
   EXPECT_GE(report.phase2.backtracks, 1u);

@@ -111,10 +111,21 @@ TEST(Matcher, PatternLargerThanHostInfeasible) {
   host.mark_global(gnd);
   c.inv(host, host.add_net("a"), host.add_net("y"), vdd, gnd);
   Netlist pattern = c.nand2_pattern(true);
+  // Under the default options the pre-search analyzer refutes this with a
+  // device-type-deficit certificate before Phase I ever runs.
   SubgraphMatcher matcher(pattern, host);
   MatchReport report = matcher.find_all();
-  EXPECT_FALSE(report.phase1.feasible);
+  EXPECT_EQ(report.infeasible_shortcuts, 1u);
+  ASSERT_TRUE(report.infeasibility.has_value());
+  EXPECT_EQ(report.infeasibility->rule, "device_type_deficit");
   EXPECT_EQ(report.count(), 0u);
+  // With the analyzer off, Phase I's own partition-size check must reach
+  // the same conclusion on its own.
+  MatchOptions no_analyze;
+  no_analyze.analyze = false;
+  MatchReport raw = SubgraphMatcher(pattern, host, no_analyze).find_all();
+  EXPECT_FALSE(raw.phase1.feasible);
+  EXPECT_EQ(raw.count(), 0u);
 }
 
 TEST(Matcher, EmptyPatternThrows) {

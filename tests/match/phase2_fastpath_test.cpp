@@ -67,9 +67,9 @@ void expect_identical(const MatchReport& a, const MatchReport& b) {
   EXPECT_EQ(a.status.outcome, b.status.outcome);
 }
 
-MatchReport run(const Netlist& pattern, const Netlist& host, bool filter,
-                CoreMode core = CoreMode::kCsr, std::size_t jobs = 1,
-                bool exhaustive = false) {
+MatchReport run(const Netlist& pattern, const Netlist& host,
+                Phase2Filter filter, CoreMode core = CoreMode::kCsr,
+                std::size_t jobs = 1, bool exhaustive = false) {
   MatchOptions options;
   options.phase2_filter = filter;
   options.core = core;
@@ -85,8 +85,8 @@ TEST(Phase2FastPath, FilterIdentityOnSymmetricRings) {
   Netlist pattern = ring_pattern(c, 6);
   Netlist host = fat_ring_host(c);
   for (const CoreMode core : {CoreMode::kCsr, CoreMode::kLegacy}) {
-    const MatchReport off = run(pattern, host, false, core);
-    const MatchReport on = run(pattern, host, true, core);
+    const MatchReport off = run(pattern, host, Phase2Filter::kOff, core);
+    const MatchReport on = run(pattern, host, Phase2Filter::kOn, core);
     expect_identical(off, on);
     ASSERT_EQ(on.count(), 1u);
     // The pre-fast-path counters agree too: a sound prune only skips work
@@ -114,8 +114,8 @@ TEST(Phase2FastPath, FilterIdentityOnGeneratedWorkloads) {
     Netlist pattern = lib.pattern(cell);
     gen::plant_instances(host.netlist, pattern, 4, pool, 0xFEED);
 
-    const MatchReport off = run(pattern, host.netlist, false);
-    const MatchReport on = run(pattern, host.netlist, true);
+    const MatchReport off = run(pattern, host.netlist, Phase2Filter::kOff);
+    const MatchReport on = run(pattern, host.netlist, Phase2Filter::kOn);
     expect_identical(off, on);
     EXPECT_GE(on.count(), 4u) << cell;
     for (const SubcircuitInstance& inst : on.instances) {
@@ -147,8 +147,8 @@ TEST(Phase2FastPath, FilterIdentityUnderExhaustiveEnumeration) {
     for (int k = 0; k < 4; ++k) host.add_device(c.nmos, {h1, hg, h2});
   }
 
-  const MatchReport off = run(pattern, host, false, CoreMode::kCsr, 1, true);
-  const MatchReport on = run(pattern, host, true, CoreMode::kCsr, 1, true);
+  const MatchReport off = run(pattern, host, Phase2Filter::kOff, CoreMode::kCsr, 1, true);
+  const MatchReport on = run(pattern, host, Phase2Filter::kOn, CoreMode::kCsr, 1, true);
   expect_identical(off, on);
   // C(4,3) device sets per copy, three copies.
   EXPECT_EQ(on.count(), 12u);
@@ -175,12 +175,12 @@ TEST(Phase2FastPath, TwelveRingHostIsSignatureImmune) {
   add_ring(c, host, 12, "h");
 
   for (const CoreMode core : {CoreMode::kCsr, CoreMode::kLegacy}) {
-    const MatchReport report = run(pattern, host, true, core);
+    const MatchReport report = run(pattern, host, Phase2Filter::kOn, core);
     EXPECT_EQ(report.count(), 0u);
     EXPECT_EQ(report.phase2.domain_prunes, 0u);
     EXPECT_EQ(report.phase2.nogood_hits, 0u);
     EXPECT_TRUE(report.status.complete());
-    const MatchReport off = run(pattern, host, false, core);
+    const MatchReport off = run(pattern, host, Phase2Filter::kOff, core);
     EXPECT_EQ(off.count(), 0u);
     EXPECT_EQ(report.phase2.guesses, off.phase2.guesses);
     EXPECT_EQ(report.phase2.backtracks, off.phase2.backtracks);
@@ -219,7 +219,7 @@ TEST(Phase2FastPath, NogoodMemoAnswersSiblingBranchesFromCache) {
   host.add_device(c.nmos, {m3, hg, m4p}, "e");
 
   for (const CoreMode core : {CoreMode::kCsr, CoreMode::kLegacy}) {
-    const MatchReport on = run(pattern, host, true, core, 1, true);
+    const MatchReport on = run(pattern, host, Phase2Filter::kOn, core, 1, true);
     EXPECT_EQ(on.count(), 1u);
     EXPECT_GE(on.phase2.guesses, 1u);
     EXPECT_GE(on.phase2.backtracks, 1u);
@@ -228,7 +228,7 @@ TEST(Phase2FastPath, NogoodMemoAnswersSiblingBranchesFromCache) {
     EXPECT_GE(on.phase2.nogood_hits, 1u);
     EXPECT_TRUE(on.status.complete());
     // Soundness by identity: memo and filter change work, never results.
-    const MatchReport off = run(pattern, host, false, core, 1, true);
+    const MatchReport off = run(pattern, host, Phase2Filter::kOff, core, 1, true);
     expect_identical(off, on);
   }
 }
@@ -279,7 +279,7 @@ TEST(Phase2FastPath, EnumerateKeepsExternalNetOrientations) {
 
   // Matcher-level exhaustive counting stays device-set based.
   const MatchReport ex =
-      run(pattern, host, true, CoreMode::kCsr, 1, true);
+      run(pattern, host, Phase2Filter::kOn, CoreMode::kCsr, 1, true);
   EXPECT_EQ(ex.count(), 1u);
 }
 
@@ -293,8 +293,8 @@ TEST(Phase2FastPath, JobsIdentityOnGuessHeavyWorkloads) {
   Netlist pattern = ring_pattern(c, 6);
   Netlist host = fat_ring_host(c);
 
-  const MatchReport serial = run(pattern, host, true, CoreMode::kCsr, 1);
-  const MatchReport parallel = run(pattern, host, true, CoreMode::kCsr, 8);
+  const MatchReport serial = run(pattern, host, Phase2Filter::kOn, CoreMode::kCsr, 1);
+  const MatchReport parallel = run(pattern, host, Phase2Filter::kOn, CoreMode::kCsr, 8);
   expect_identical(serial, parallel);
   EXPECT_EQ(serial.phase2.domain_prunes, parallel.phase2.domain_prunes);
   EXPECT_EQ(serial.phase2.nogood_hits, parallel.phase2.nogood_hits);

@@ -95,7 +95,7 @@ TEST(Symmetry, BacktrackingRecoversFromWrongGuess) {
   add_ring(c, host, 6, "c");
 
   MatchOptions unfiltered;
-  unfiltered.phase2_filter = false;
+  unfiltered.phase2_filter = Phase2Filter::kOff;
   SubgraphMatcher matcher(pattern, host, unfiltered);
   MatchReport report = matcher.find_all();
   ASSERT_EQ(report.count(), 1u);
@@ -112,10 +112,13 @@ TEST(Symmetry, BacktrackingRecoversFromWrongGuess) {
 
 TEST(Symmetry, SignatureFilterPrunesWrongGuessesEarly) {
   // Same poisoned-host workload as BacktrackingRecoversFromWrongGuess, with
-  // the prefilter (the default) on: degree-3 f1 can never image a degree-2
-  // internal ring net, so fat-ring postulates are refuted up front instead
-  // of completing and dying in verification. Same single instance, strictly
-  // less relabeling work, and the fast-path counters must have fired.
+  // the prefilter on: degree-3 f1 can never image a degree-2 internal ring
+  // net, so fat-ring postulates are refuted up front instead of completing
+  // and dying in verification. Same single instance, strictly less
+  // relabeling work, and the fast-path counters must have fired. The filter
+  // is pinned to kOn: under the kPaths default the path-label refuter
+  // rejects fat-ring candidates before any domain is ever built, and this
+  // test exists to prove the signature prefilter alone does the job.
   Cmos3 c;
   Netlist pattern = c.netlist("ring_p");
   add_ring(c, pattern, 6, "r");
@@ -128,11 +131,13 @@ TEST(Symmetry, SignatureFilterPrunesWrongGuessesEarly) {
   add_ring(c, host, 6, "c");
 
   MatchOptions unfiltered;
-  unfiltered.phase2_filter = false;
+  unfiltered.phase2_filter = Phase2Filter::kOff;
   MatchReport baseline =
       SubgraphMatcher(pattern, host, unfiltered).find_all();
 
-  SubgraphMatcher matcher(pattern, host);
+  MatchOptions filtered;
+  filtered.phase2_filter = Phase2Filter::kOn;
+  SubgraphMatcher matcher(pattern, host, filtered);
   MatchReport report = matcher.find_all();
   ASSERT_EQ(report.count(), 1u);
   ASSERT_EQ(baseline.count(), 1u);

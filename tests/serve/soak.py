@@ -79,10 +79,14 @@ def make_stream(rng, cells_text, cell_names, oversized_bytes):
     is the set of acceptable error codes, or None for a must-succeed
     request; id is None for lines that by contract answer id=null."""
     kind = rng.choices(
-        ["find", "status", "lint", "patch", "load_dup", "deadline",
+        ["find", "analyze", "status", "lint", "patch", "load_dup", "deadline",
          "bad_shape", "malformed", "oversized"],
-        weights=[25, 8, 8, 12, 4, 10, 15, 12, 6])[0]
+        weights=[25, 8, 8, 8, 12, 4, 10, 15, 12, 6])[0]
     rid = rng.randrange(1 << 30)
+    if kind == "analyze":
+        request = {"id": rid, "op": "analyze", "pattern": cells_text,
+                   "pattern_top": rng.choice(cell_names)}
+        return json.dumps(request), (rid, None)
     if kind == "find":
         request = {"id": rid, "op": "find", "pattern": cells_text,
                    "pattern_top": rng.choice(cell_names)}
@@ -141,6 +145,10 @@ def make_stream(rng, cells_text, cell_names, oversized_bytes):
              True),
             (json.dumps({"id": rid, "op": "find"}), {"bad_request"}, True),
             (json.dumps({"id": rid, "op": "find", "pattern": cells_text,
+                         "pattern_top": "nand2", "host": "no_such_host"}),
+             {"unknown_host"}, True),
+            (json.dumps({"id": rid, "op": "analyze"}), {"bad_request"}, True),
+            (json.dumps({"id": rid, "op": "analyze", "pattern": cells_text,
                          "pattern_top": "nand2", "host": "no_such_host"}),
              {"unknown_host"}, True),
             (json.dumps({"id": rid, "op": "patch"}), {"bad_request"}, True),

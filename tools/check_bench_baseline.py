@@ -35,6 +35,9 @@ GATED_KEYS = (
     # and None == None keeps non-ECO rows unaffected).
     "eco_patched_devices", "eco_patched_nets", "eco_renames",
     "eco_invalidated_labels", "eco_compactions",
+    # Static-analyzer counters (path-label prunes in the Phase II prefilter,
+    # automorphism-folded enumeration skips, certificate short-circuits).
+    "path_label_prunes", "symmetry_skips", "infeasible_shortcuts",
 )
 
 

@@ -6,6 +6,7 @@ Three ways to drive a match server:
   One request, answer on stdout (spawns a server over testdata):
     serve_client.py --spawn-host mux_host.sp status
     serve_client.py --spawn-host mux_host.sp find --pattern-file nand2.sp
+    serve_client.py --spawn-host mux_host.sp analyze --pattern-file nand2.sp
 
   A batch file (one JSON request per line) against a running server's
   AF_UNIX socket, responses to stdout as JSON lines:
@@ -152,8 +153,8 @@ def main(argv):
     parser = argparse.ArgumentParser(
         description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("command",
-                        help="find | extract | lint | status | shutdown | "
-                             "sweep | batch")
+                        help="find | analyze | extract | lint | status | "
+                             "shutdown | sweep | batch")
     parser.add_argument("--socket", help="AF_UNIX socket of a running server")
     parser.add_argument("--spawn-host", action="append", default=[],
                         metavar="[NAME=]FILE",

@@ -9,6 +9,11 @@
 //       Extract every .SUBCKT of the library deck from the host,
 //       largest-first; writes the gate-level netlist as SPICE to stdout.
 //       Honors --delta=FILE like find.
+//   subgemini analyze <pattern.sp> [host.sp]
+//       Pre-search static analysis: pattern automorphisms/orbits, the
+//       supplemental path-label signature classes, and — when a host is
+//       given — the infeasibility certificates. Exit 0 when no certificate
+//       fires, 1 when the pairing is statically refuted.
 //   subgemini compare <a.sp> <b.sp>
 //       Gemini netlist isomorphism check (LVS-lite). Exit 0 iff isomorphic.
 //   subgemini check <host.sp>
@@ -69,6 +74,7 @@ int usage() {
       "usage:\n"
       "  subgemini find <pattern.sp> <host.sp>\n"
       "  subgemini extract <library.sp> <host.sp>\n"
+      "  subgemini analyze <pattern.sp> [host.sp]\n"
       "  subgemini compare <a.sp> <b.sp>\n"
       "  subgemini lvs <layout.sp> <schematic.sp>\n"
       "  subgemini check <host.sp>\n"
@@ -296,6 +302,7 @@ int cmd_find(const std::vector<std::string>& args) {
   opts.metrics = g_metrics;
   opts.core = g_opts.core;
   opts.phase2_filter = g_opts.phase2_filter;
+  opts.analyze = g_opts.analyze;
   MatchReport report = find_in_session(pattern, session, opts);
   // The cache is session-owned, so Phase I leaves its reuse totals to us.
   record_cache_stats(g_metrics, session.cache().stats());
@@ -309,6 +316,14 @@ int cmd_find(const std::vector<std::string>& args) {
     // this document agree byte for byte on the instances member.
     doc.set("instances", serve::instances_json(pattern, host, report));
     doc.set("report", report::to_json(report));
+    if (report.infeasibility.has_value()) {
+      // The pre-search analyzer refuted the pairing and the search never
+      // ran: say why, machine-readably (additive schema-v1 member).
+      json::Value analysis = json::Value::object();
+      analysis.set("infeasible", true);
+      analysis.set("certificate", report::to_json(*report.infeasibility));
+      doc.set("analysis", std::move(analysis));
+    }
     return finish_document(doc, report.status, 0);
   }
 
@@ -316,6 +331,11 @@ int cmd_find(const std::vector<std::string>& args) {
               pattern.name().c_str(), pattern.device_count(),
               host.name().c_str(), host.device_count());
   if (eco.has_value()) print_eco_line(stdout, *eco);
+  if (report.infeasibility.has_value()) {
+    std::printf("# statically infeasible (%s): %s\n",
+                report.infeasibility->rule.c_str(),
+                report.infeasibility->detail.c_str());
+  }
   std::printf("# candidates %zu, instances %zu, %.2f ms (phase I %.2f)\n",
               report.phase1.candidates.size(), report.count(),
               report.total_seconds() * 1e3, report.phase1_seconds * 1e3);
@@ -370,6 +390,7 @@ int cmd_extract(const std::vector<std::string>& args) {
   options.match.metrics = g_metrics;
   options.match.core = g_opts.core;
   options.match.phase2_filter = g_opts.phase2_filter;
+  options.match.analyze = g_opts.analyze;
   options.lint_host = g_opts.lint;
   extract::ExtractResult result =
       extract::extract_gates(session, cells, options);
@@ -419,6 +440,31 @@ int cmd_extract(const std::vector<std::string>& args) {
   return outcome_exit(result.report.status, 0);
 }
 
+int cmd_analyze(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  reject_extras(args, 2);
+  Netlist pattern = load(args[0], g_opts.pattern_top);
+  std::optional<Netlist> host;
+  if (args.size() >= 2) host = load(args[1], g_opts.top);
+
+  const analyze::AnalysisReport report =
+      analyze::analyze(pattern, host.has_value() ? &*host : nullptr);
+
+  if (json_output()) {
+    report::Document doc("subgemini", "analyze");
+    doc.set("pattern", netlist_summary(pattern));
+    if (host.has_value()) doc.set("host", netlist_summary(*host));
+    doc.set("analysis", report::to_json(report));
+    RunStatus status;  // static analysis always completes
+    return finish_document(doc, status, report.infeasible() ? 1 : 0);
+  }
+
+  std::ostringstream os;
+  analyze::write_text(report, os);
+  std::fputs(os.str().c_str(), stdout);
+  return report.infeasible() ? 1 : 0;
+}
+
 int cmd_compare(const std::vector<std::string>& args) {
   if (args.size() < 2) return usage();
   reject_extras(args, 2);
@@ -454,7 +500,7 @@ int cmd_compare(const std::vector<std::string>& args) {
 }
 
 int cmd_check(const std::vector<std::string>& args) {
-  if (args.size() < 1) return usage();
+  if (args.empty()) return usage();
   reject_extras(args, 1);
   Netlist host = load(args[0], g_opts.top);
   rulecheck::CheckReport report =
@@ -505,7 +551,7 @@ int lint_exit(const lint::LintReport& report) {
 }
 
 int cmd_lint(const std::vector<std::string>& args) {
-  if (args.size() < 1) return usage();
+  if (args.empty()) return usage();
   reject_extras(args, 1);
   const std::string& path = args[0];
   const std::string& top = g_opts.top;
@@ -571,7 +617,7 @@ int cmd_lint(const std::vector<std::string>& args) {
 }
 
 int cmd_reduce(const std::vector<std::string>& args) {
-  if (args.size() < 1) return usage();
+  if (args.empty()) return usage();
   reject_extras(args, 1);
   Netlist host = load(args[0], g_opts.top);
   reduce::Reduced r = reduce::reduce_netlist(host);
@@ -636,7 +682,7 @@ int cmd_lvs(const std::vector<std::string>& args) {
 }
 
 int cmd_stats(const std::vector<std::string>& args) {
-  if (args.size() < 1) return usage();
+  if (args.empty()) return usage();
   reject_extras(args, 1);
   Netlist host = load(args[0], g_opts.top);
   NetlistStats s = host.stats();
@@ -713,6 +759,7 @@ int cmd_serve(const std::vector<std::string>& args) {
 int dispatch(const std::string& cmd, const std::vector<std::string>& args) {
   if (cmd == "find") return cmd_find(args);
   if (cmd == "extract") return cmd_extract(args);
+  if (cmd == "analyze") return cmd_analyze(args);
   if (cmd == "compare") return cmd_compare(args);
   if (cmd == "lvs") return cmd_lvs(args);
   if (cmd == "check") return cmd_check(args);
