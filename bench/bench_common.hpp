@@ -3,6 +3,8 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <functional>
+#include <iostream>
 #include <string>
 #include <vector>
 
@@ -59,6 +61,12 @@ struct MatchRow {
   std::size_t path_label_prunes = 0;  ///< postulates refuted by path labels
   std::size_t symmetry_skips = 0;     ///< mappings folded by automorphisms
   std::size_t infeasible_shortcuts = 0;  ///< searches skipped by certificate
+  // Sharded-sweep counters (all zero on monolithic rows; deterministic —
+  // the shard plan is a pure function of the host, the round-0 skip rule a
+  // pure function of (plan, pattern)).
+  std::size_t shards_total = 0;       ///< regions in the session's plan
+  std::size_t shards_skipped = 0;     ///< regions bulk-skipped for >= 1 kind
+  std::size_t shards_prefilter_rejects = 0;  ///< regions dead for BOTH kinds
 };
 
 /// Run one match through an existing HostSession and collect the row. A
@@ -73,7 +81,8 @@ inline MatchRow run_match_in_session(const std::string& circuit_name,
                                      std::size_t jobs = 1,
                                      CoreMode core = CoreMode::kCsr,
                                      Phase2Filter phase2_filter =
-                                         Phase2Filter::kPaths) {
+                                         Phase2Filter::kPaths,
+                                     MatchReport* report_out = nullptr) {
   const Netlist& host = session.netlist();
   MatchOptions opts;
   opts.jobs = jobs;
@@ -107,10 +116,14 @@ inline MatchRow run_match_in_session(const std::string& circuit_name,
   row.path_label_prunes = r.phase2.path_label_prunes;
   row.symmetry_skips = r.phase2.symmetry_skips;
   row.infeasible_shortcuts = r.infeasible_shortcuts;
+  row.shards_total = r.phase1.shards_total;
+  row.shards_skipped = r.phase1.shards_skipped;
+  row.shards_prefilter_rejects = r.phase1.shards_prefilter_rejects;
   const obs::Snapshot snap = metrics.collect();
   row.host_relabel_ops = snap.counter("phase1.label_cache.relabel_ops");
   row.cache_hits = snap.counter("phase1.label_cache.hits");
   row.cache_misses = snap.counter("phase1.label_cache.misses");
+  if (report_out != nullptr) *report_out = std::move(r);
   return row;
 }
 
@@ -157,6 +170,9 @@ inline json::Value counters_json(const std::vector<MatchRow>& rows) {
     v.set("path_label_prunes", r.path_label_prunes);
     v.set("symmetry_skips", r.symmetry_skips);
     v.set("infeasible_shortcuts", r.infeasible_shortcuts);
+    v.set("shards_total", r.shards_total);
+    v.set("shards_skipped", r.shards_skipped);
+    v.set("shards_prefilter_rejects", r.shards_prefilter_rejects);
     arr.push(std::move(v));
   }
   return arr;
@@ -291,6 +307,30 @@ inline void print_rows(const std::vector<MatchRow>& rows) {
   if (any_incomplete) {
     std::printf("(* = run hit a resource limit; count is a lower bound)\n");
   }
+}
+
+/// The quick-mode json document every baseline-gated bench emits — tool +
+/// experiment header, core/quick echo, the rendered match table, the gated
+/// counters array, and the advisory timings, in that order. The `before` /
+/// `after` hooks splice bench-specific members in at their historical
+/// positions (between any_incomplete and counters, and after timings), so
+/// hoisting the emitter changed no bench's field order.
+inline void write_quick_doc(
+    const char* tool, const char* experiment, CoreMode core, bool quick,
+    const std::vector<MatchRow>& rows, json::Value counters,
+    const std::function<void(report::Document&)>& before = {},
+    const std::function<void(report::Document&)>& after = {}) {
+  report::Document doc(tool, experiment);
+  doc.set("core", to_string(core));
+  doc.set("quick", quick);
+  bool any_incomplete = false;
+  doc.set("table", report::to_json(make_match_table(rows, &any_incomplete)));
+  doc.set("any_incomplete", any_incomplete);
+  if (before) before(doc);
+  doc.set("counters", std::move(counters));
+  doc.set("timings", timings_json(rows));
+  if (after) after(doc);
+  doc.write(std::cout);
 }
 
 /// Shared argv handling for the bench mains: global flags only, no

@@ -192,26 +192,23 @@ void run(cli::Format format, CoreMode core, bool quick) {
   }
 
   if (format == cli::Format::kJson) {
-    report::Document doc("bench_eco", "E9");
-    doc.set("core", to_string(core));
-    doc.set("quick", quick);
-    bool any_incomplete = false;
-    doc.set("table", report::to_json(make_match_table(rows, &any_incomplete)));
-    doc.set("any_incomplete", any_incomplete);
-    doc.set("patched_matches_cold", all_equivalent);
-    doc.set("counters", eco_counters_json(pairs));
-    doc.set("timings", timings_json(rows));
-    json::Value eco = json::Value::array();
-    for (const EcoPair& p : pairs) {
-      json::Value v = json::Value::object();
-      v.set("edits", p.edits);
-      v.set("cold_build_ms", p.cold_build_ms);
-      v.set("patch_ms", p.patch_ms);
-      v.set("invalidated_labels", p.stats.invalidated_labels);
-      eco.push(std::move(v));
-    }
-    doc.set("eco", std::move(eco));
-    doc.write(std::cout);
+    write_quick_doc(
+        "bench_eco", "E9", core, quick, rows, eco_counters_json(pairs),
+        [&](report::Document& doc) {
+          doc.set("patched_matches_cold", all_equivalent);
+        },
+        [&](report::Document& doc) {
+          json::Value eco = json::Value::array();
+          for (const EcoPair& p : pairs) {
+            json::Value v = json::Value::object();
+            v.set("edits", p.edits);
+            v.set("cold_build_ms", p.cold_build_ms);
+            v.set("patch_ms", p.patch_ms);
+            v.set("invalidated_labels", p.stats.invalidated_labels);
+            eco.push(std::move(v));
+          }
+          doc.set("eco", std::move(eco));
+        });
     return;
   }
 

@@ -72,21 +72,16 @@ void run(cli::Format format, CoreMode core, bool quick) {
   }
 
   if (format == cli::Format::kJson) {
-    report::Document doc("bench_table2", "E6");
-    doc.set("core", to_string(core));
-    doc.set("quick", quick);
-    bool any_incomplete = false;
-    doc.set("table", report::to_json(make_match_table(rows, &any_incomplete)));
-    doc.set("any_incomplete", any_incomplete);
-    doc.set("counters", counters_json(rows));
-    doc.set("timings", timings_json(rows));
-    if (!quick) {
-      json::Value scaling = json::Value::array();
-      scaling.push(scaling_json("nand2 in soup20k", soup_scaling));
-      scaling.push(scaling_json("fulladder in mul16", mul_scaling));
-      doc.set("scaling", std::move(scaling));
-    }
-    doc.write(std::cout);
+    write_quick_doc("bench_table2", "E6", core, quick, rows,
+                    counters_json(rows), {}, [&](report::Document& doc) {
+                      if (quick) return;
+                      json::Value scaling = json::Value::array();
+                      scaling.push(scaling_json("nand2 in soup20k",
+                                                soup_scaling));
+                      scaling.push(scaling_json("fulladder in mul16",
+                                                mul_scaling));
+                      doc.set("scaling", std::move(scaling));
+                    });
     return;
   }
 

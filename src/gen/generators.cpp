@@ -1,6 +1,8 @@
 #include "gen/generators.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "cells/cells.hpp"
@@ -12,6 +14,36 @@ namespace subg::gen {
 namespace {
 
 using cells::CellLibrary;
+
+// --- overflow guards --------------------------------------------------
+// Size parameters are uint64 (generators.hpp): every generator bounds its
+// own arithmetic BEFORE allocating. checked_mul/checked_add throw on uint64
+// overflow; check_vertex_space throws when the (conservative) device+net
+// estimate would not fit the uint32 graph-vertex space CircuitGraph uses.
+
+std::uint64_t checked_mul(std::uint64_t a, std::uint64_t b, const char* what) {
+  std::uint64_t out = 0;
+  SUBG_CHECK_MSG(!__builtin_mul_overflow(a, b, &out),
+                 what << ": size arithmetic overflows uint64 (" << a << " * "
+                      << b << ")");
+  return out;
+}
+
+std::uint64_t checked_add(std::uint64_t a, std::uint64_t b, const char* what) {
+  std::uint64_t out = 0;
+  SUBG_CHECK_MSG(!__builtin_add_overflow(a, b, &out),
+                 what << ": size arithmetic overflows uint64 (" << a << " + "
+                      << b << ")");
+  return out;
+}
+
+void check_vertex_space(std::uint64_t devices, std::uint64_t nets,
+                        const char* what) {
+  const std::uint64_t vertices = checked_add(devices, nets, what);
+  SUBG_CHECK_MSG(vertices <= std::numeric_limits<std::uint32_t>::max(),
+                 what << ": workload needs about " << vertices
+                      << " graph vertices, exceeding the 32-bit vertex space");
+}
 
 /// Builder wrapper that tracks placed-cell counts.
 struct TopBuilder {
@@ -44,11 +76,13 @@ struct TopBuilder {
 
 }  // namespace
 
-Generated ripple_carry_adder(int bits) {
+Generated ripple_carry_adder(std::uint64_t bits) {
   SUBG_CHECK_MSG(bits >= 1, "adder needs at least 1 bit");
+  check_vertex_space(checked_mul(bits, 32, "rca"),
+                     checked_mul(bits, 24, "rca"), "rca");
   TopBuilder b("rca" + std::to_string(bits));
   NetId carry = b.net("cin");
-  for (int i = 0; i < bits; ++i) {
+  for (std::uint64_t i = 0; i < bits; ++i) {
     const std::string idx = std::to_string(i);
     NetId next = (i == bits - 1) ? b.net("cout") : b.net("c" + idx);
     b.place("fulladder",
@@ -58,15 +92,18 @@ Generated ripple_carry_adder(int bits) {
   return b.finish();
 }
 
-Generated array_multiplier(int bits) {
+Generated array_multiplier(std::uint64_t bits) {
   SUBG_CHECK_MSG(bits >= 2, "multiplier needs at least 2 bits");
-  const int n = bits;
+  const std::uint64_t n = bits;
+  const std::uint64_t n2 = checked_mul(n, n, "multiplier");
+  check_vertex_space(checked_mul(n2, 40, "multiplier"),
+                     checked_mul(n2, 28, "multiplier"), "multiplier");
   TopBuilder b("mul" + std::to_string(n));
 
   // Partial products pp[i][j] = a[i] & b[j] (nand2 + inv).
   std::vector<std::vector<NetId>> pp(n, std::vector<NetId>(n));
-  for (int i = 0; i < n; ++i) {
-    for (int j = 0; j < n; ++j) {
+  for (std::uint64_t i = 0; i < n; ++i) {
+    for (std::uint64_t j = 0; j < n; ++j) {
       NetId nband = b.net("nb_" + std::to_string(i) + "_" + std::to_string(j));
       pp[i][j] = b.net("pp_" + std::to_string(i) + "_" + std::to_string(j));
       b.place("nand2", {b.net("a" + std::to_string(i)),
@@ -78,12 +115,12 @@ Generated array_multiplier(int bits) {
   // Braun array: row r (r = 1..n-1) adds pp[*][r] into the running sum.
   // acc[i] holds the current sum bit for weight r+i.
   std::vector<NetId> acc(n);
-  for (int i = 0; i < n; ++i) acc[i] = pp[i][0];
+  for (std::uint64_t i = 0; i < n; ++i) acc[i] = pp[i][0];
   // p0 = acc[0] of row 0.
-  for (int r = 1; r < n; ++r) {
+  for (std::uint64_t r = 1; r < n; ++r) {
     std::vector<NetId> nacc(n);
     NetId carry;  // carry chain within the row
-    for (int i = 0; i < n; ++i) {
+    for (std::uint64_t i = 0; i < n; ++i) {
       const std::string tag = std::to_string(r) + "_" + std::to_string(i);
       // Add acc[i+1] (shifted) + pp[i][r] (+ carry for i>0).
       NetId addend = (i == n - 1) ? pp[n - 1][r - 1] : acc[i + 1];
@@ -104,29 +141,32 @@ Generated array_multiplier(int bits) {
   return b.finish();
 }
 
-Generated sram_array(int rows, int cols) {
+Generated sram_array(std::uint64_t rows, std::uint64_t cols) {
   SUBG_CHECK_MSG(rows >= 4 && cols >= 1, "sram needs rows >= 4, cols >= 1");
   SUBG_CHECK_MSG(rows <= 16, "row decoder supports up to 16 rows (nand4)");
+  check_vertex_space(checked_mul(checked_mul(rows, cols, "sram"), 16, "sram"),
+                     checked_mul(checked_mul(rows, cols, "sram"), 8, "sram"),
+                     "sram");
   // Address width.
-  int abits = 2;
-  while ((1 << abits) < rows) ++abits;
+  std::uint64_t abits = 2;
+  while ((std::uint64_t{1} << abits) < rows) ++abits;
 
   TopBuilder b("sram" + std::to_string(rows) + "x" + std::to_string(cols));
   // Address lines + complements.
   std::vector<NetId> addr(abits), naddr(abits);
-  for (int i = 0; i < abits; ++i) {
+  for (std::uint64_t i = 0; i < abits; ++i) {
     addr[i] = b.net("addr" + std::to_string(i));
     naddr[i] = b.net("naddr" + std::to_string(i));
     b.place("inv", {addr[i], naddr[i]});
   }
   // Row decoder: nand over literals, then inverter to the wordline.
   const std::string nand_cell = "nand" + std::to_string(abits);
-  for (int r = 0; r < rows; ++r) {
+  for (std::uint64_t r = 0; r < rows; ++r) {
     NetId nwl = b.net("nwl" + std::to_string(r));
     NetId wl = b.net("wl" + std::to_string(r));
     Module& m = *b.m;
     std::vector<NetId> lits;
-    for (int i = 0; i < abits; ++i) {
+    for (std::uint64_t i = 0; i < abits; ++i) {
       lits.push_back(((r >> i) & 1) ? addr[i] : naddr[i]);
     }
     lits.push_back(nwl);
@@ -134,7 +174,7 @@ Generated sram_array(int rows, int cols) {
     ++b.placed[nand_cell];
     b.place("inv", {nwl, wl});
     // Cells along the row.
-    for (int c = 0; c < cols; ++c) {
+    for (std::uint64_t c = 0; c < cols; ++c) {
       b.place("sram6t",
               {b.net("bl" + std::to_string(c)), b.net("blb" + std::to_string(c)),
                wl});
@@ -147,7 +187,7 @@ Generated sram_array(int rows, int cols) {
     DeviceTypeId pmos = cat.require("pmos");
     NetId prech = b.net("prech");
     NetId vdd = m.ensure_net("vdd");
-    for (int c = 0; c < cols; ++c) {
+    for (std::uint64_t c = 0; c < cols; ++c) {
       m.add_device(pmos, {b.net("bl" + std::to_string(c)), prech, vdd, vdd});
       m.add_device(pmos, {b.net("blb" + std::to_string(c)), prech, vdd, vdd});
     }
@@ -155,21 +195,21 @@ Generated sram_array(int rows, int cols) {
   return b.finish();
 }
 
-Generated decoder(int addr_bits) {
+Generated decoder(std::uint64_t addr_bits) {
   SUBG_CHECK_MSG(addr_bits >= 2 && addr_bits <= 4,
                  "decoder supports 2..4 address bits");
   TopBuilder b("dec" + std::to_string(addr_bits));
   std::vector<NetId> addr(addr_bits), naddr(addr_bits);
-  for (int i = 0; i < addr_bits; ++i) {
+  for (std::uint64_t i = 0; i < addr_bits; ++i) {
     addr[i] = b.net("addr" + std::to_string(i));
     naddr[i] = b.net("naddr" + std::to_string(i));
     b.place("inv", {addr[i], naddr[i]});
   }
   const std::string nand_cell = "nand" + std::to_string(addr_bits);
-  for (int out = 0; out < (1 << addr_bits); ++out) {
+  for (std::uint64_t out = 0; out < (std::uint64_t{1} << addr_bits); ++out) {
     NetId nsel = b.net("nsel" + std::to_string(out));
     std::vector<NetId> lits;
-    for (int i = 0; i < addr_bits; ++i) {
+    for (std::uint64_t i = 0; i < addr_bits; ++i) {
       lits.push_back(((out >> i) & 1) ? addr[i] : naddr[i]);
     }
     lits.push_back(nsel);
@@ -180,13 +220,19 @@ Generated decoder(int addr_bits) {
   return b.finish();
 }
 
-Generated register_file(int words, int width) {
+Generated register_file(std::uint64_t words, std::uint64_t width) {
   SUBG_CHECK_MSG(words >= 1 && width >= 1, "register file needs words, width >= 1");
+  check_vertex_space(
+      checked_mul(checked_mul(words, width, "register file"), 64,
+                  "register file"),
+      checked_mul(checked_mul(words, width, "register file"), 40,
+                  "register file"),
+      "register file");
   TopBuilder b("rf" + std::to_string(words) + "x" + std::to_string(width));
   NetId clk = b.net("clk");
-  for (int w = 0; w < words; ++w) {
+  for (std::uint64_t w = 0; w < words; ++w) {
     NetId wsel = b.net("wsel" + std::to_string(w));
-    for (int i = 0; i < width; ++i) {
+    for (std::uint64_t i = 0; i < width; ++i) {
       const std::string tag = std::to_string(w) + "_" + std::to_string(i);
       NetId q = b.net("q" + tag);
       NetId d = b.net("d" + tag);
@@ -259,13 +305,18 @@ Generated logic_soup(std::size_t gates, std::uint64_t seed) {
   return b.finish();
 }
 
-Generated kogge_stone_adder(int bits) {
+Generated kogge_stone_adder(std::uint64_t bits) {
   SUBG_CHECK_MSG(bits >= 2, "kogge-stone needs at least 2 bits");
+  // Device count is O(bits log bits); 64 per bit per level is a safe roof
+  // (the log factor is < 64 for any count that fits the vertex space).
+  check_vertex_space(checked_mul(bits, 64 * 24, "kogge-stone"),
+                     checked_mul(bits, 64 * 12, "kogge-stone"),
+                     "kogge-stone");
   TopBuilder b("ks" + std::to_string(bits));
 
   // Preprocess: g_i = a_i & b_i (nand2+inv), p_i = a_i ^ b_i (xor2).
   std::vector<NetId> g(bits), p(bits);
-  for (int i = 0; i < bits; ++i) {
+  for (std::uint64_t i = 0; i < bits; ++i) {
     const std::string idx = std::to_string(i);
     NetId a = b.net("a" + idx), bb = b.net("b" + idx);
     NetId ng = b.net("ng" + idx);
@@ -280,10 +331,10 @@ Generated kogge_stone_adder(int bits) {
   //   G' = G_i | (P_i & G_{i-s})  — aoi21 + inv
   //   P' = P_i & P_{i-s}          — nand2 + inv
   // Each (G_{i-s}, P_{i-s}) pair fans out to every i' >= i: reconvergence.
-  int level = 1;
-  for (int span = 1; span < bits; span *= 2, ++level) {
+  std::uint64_t level = 1;
+  for (std::uint64_t span = 1; span < bits; span *= 2, ++level) {
     std::vector<NetId> ng(bits), np(bits);
-    for (int i = 0; i < bits; ++i) {
+    for (std::uint64_t i = 0; i < bits; ++i) {
       if (i < span) {
         ng[i] = g[i];
         np[i] = p[i];
@@ -305,7 +356,7 @@ Generated kogge_stone_adder(int bits) {
   }
 
   // Sum: s_i = p0_i ^ carry_{i-1}; carry_i = G at the final level.
-  for (int i = 0; i < bits; ++i) {
+  for (std::uint64_t i = 0; i < bits; ++i) {
     const std::string idx = std::to_string(i);
     NetId sum = b.net("s" + idx);
     if (i == 0) {
@@ -317,12 +368,16 @@ Generated kogge_stone_adder(int bits) {
   return b.finish();
 }
 
-Generated parity_tree(int inputs) {
+Generated parity_tree(std::uint64_t inputs) {
   SUBG_CHECK_MSG(inputs >= 2, "parity tree needs at least 2 inputs");
+  check_vertex_space(checked_mul(inputs, 16, "parity tree"),
+                     checked_mul(inputs, 12, "parity tree"), "parity tree");
   TopBuilder b("parity" + std::to_string(inputs));
   std::vector<NetId> layer;
-  for (int i = 0; i < inputs; ++i) layer.push_back(b.net("in" + std::to_string(i)));
-  int serial = 0;
+  for (std::uint64_t i = 0; i < inputs; ++i) {
+    layer.push_back(b.net("in" + std::to_string(i)));
+  }
+  std::uint64_t serial = 0;
   while (layer.size() > 1) {
     std::vector<NetId> next;
     for (std::size_t i = 0; i + 1 < layer.size(); i += 2) {
@@ -332,6 +387,82 @@ Generated parity_tree(int inputs) {
     }
     if (layer.size() % 2) next.push_back(layer.back());
     layer = next;
+  }
+  return b.finish();
+}
+
+Generated soc_grid(std::uint64_t tiles, std::uint64_t tile_units,
+                   std::uint64_t pads, std::uint64_t bus_bits) {
+  SUBG_CHECK_MSG(tiles >= 1 && tile_units >= 1,
+                 "soc needs tiles, tile_units >= 1");
+  SUBG_CHECK_MSG(bus_bits >= 1, "soc needs at least one bus net");
+  // Guards run BEFORE any allocation: 6 transistors per (nand2, inv) unit,
+  // 3 discrete devices per pad, 2 per bus driver; nets are bounded by 4 per
+  // unit (chain, nand-internal, x, slack), 2 per pad, 2 per bus bit, one
+  // chain head per tile, and the rails.
+  const std::uint64_t units = checked_mul(tiles, tile_units, "soc");
+  std::uint64_t devices = checked_mul(units, 6, "soc");
+  devices = checked_add(devices, checked_mul(pads, 3, "soc"), "soc");
+  devices = checked_add(devices, checked_mul(bus_bits, 2, "soc"), "soc");
+  std::uint64_t nets = checked_mul(units, 4, "soc");
+  nets = checked_add(nets, checked_mul(pads, 2, "soc"), "soc");
+  nets = checked_add(nets, checked_mul(bus_bits, 2, "soc"), "soc");
+  nets = checked_add(nets, checked_add(tiles, 2, "soc"), "soc");
+  check_vertex_space(devices, nets, "soc");
+
+  TopBuilder b("soc" + std::to_string(tiles) + "x" + std::to_string(tile_units));
+
+  // Shared bus district: one inv driver per bus net so the bus ties into
+  // the rails like real logic. Each tile taps exactly one bus net (below),
+  // so a bus net's fanout is tiles/bus_bits + 1 — scale `tiles` past
+  // 64*bus_bits and the bus nets cross any sane shard fanout threshold and
+  // become boundary anchors, while every net INSIDE a tile stays degree
+  // <= 3. Bounding the per-net fanout this way (instead of wiring every
+  // unit to the bus) is what keeps both generation and the per-candidate
+  // match cost linear in the device count.
+  std::vector<NetId> bus(bus_bits);
+  for (std::uint64_t k = 0; k < bus_bits; ++k) {
+    bus[k] = b.net("bus" + std::to_string(k));
+    b.place("inv", {b.net("busin" + std::to_string(k)), bus[k]});
+  }
+
+  // Core tiles: a chain of (nand2 -> inv) units. Unit 0 is the tile's bus
+  // tap — its nand2 takes the bus net as second input; every later unit
+  // feeds from the previous unit's nand2 output instead, so the intra-tile
+  // nets stay degree <= 3 and with the bus/rails as anchors each tile is
+  // exactly one connected region for the shard decomposition.
+  for (std::uint64_t t = 0; t < tiles; ++t) {
+    const std::string tag = "t" + std::to_string(t) + "_";
+    NetId chain = b.net(tag + "c0");
+    NetId side = bus[t % bus_bits];
+    for (std::uint64_t u = 0; u < tile_units; ++u) {
+      NetId x = b.net(tag + "x" + std::to_string(u));
+      NetId next = b.net(tag + "c" + std::to_string(u + 1));
+      b.place("nand2", {chain, side, x});
+      b.place("inv", {x, next});
+      chain = next;
+      side = x;
+    }
+  }
+
+  // Pad ring: ESD cells from discrete devices — a series resistor into the
+  // pad node plus clamp diodes to both rails. Pads touch only res/diode
+  // devices and degree-1/3 nets, so a shard of pads shares no round-0 label
+  // with a CMOS logic pattern (the prefilter_rejects workload).
+  {
+    Module& m = *b.m;
+    const DeviceCatalog& cat = b.lib.design().catalog();
+    const DeviceTypeId res = cat.require("res");
+    const DeviceTypeId diode = cat.require("diode");
+    NetId vdd = m.ensure_net("vdd");
+    NetId gnd = m.ensure_net("gnd");
+    for (std::uint64_t i = 0; i < pads; ++i) {
+      NetId pad = b.net("pad" + std::to_string(i));
+      NetId pnode = b.net("pnode" + std::to_string(i));
+      m.add_device(res, {pad, pnode});
+      m.add_device(diode, {pnode, vdd});
+      m.add_device(diode, {gnd, pnode});
+    }
   }
   return b.finish();
 }

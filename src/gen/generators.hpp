@@ -27,23 +27,29 @@ struct Generated {
   }
 };
 
+/// Size parameters are uint64 throughout (ISSUE 10 / ROADMAP "million-device
+/// hosts"): callers can request arbitrarily large workloads and every
+/// generator guards its own arithmetic — a size whose device+net total would
+/// overflow the uint32 graph-vertex space (or whose intermediate products
+/// would overflow uint64) throws subg::Error BEFORE allocating anything.
+
 /// N-bit ripple-carry adder: a chain of `fulladder` cells.
-[[nodiscard]] Generated ripple_carry_adder(int bits);
+[[nodiscard]] Generated ripple_carry_adder(std::uint64_t bits);
 
 /// N×N Braun array multiplier: N² AND gates (nand2+inv) plus an adder array
 /// of halfadder/fulladder cells.
-[[nodiscard]] Generated array_multiplier(int bits);
+[[nodiscard]] Generated array_multiplier(std::uint64_t bits);
 
 /// SRAM block: rows×cols 6T cells, a NAND/INV row decoder (rows ≤ 16), and
 /// per-column pmos precharge pairs.
-[[nodiscard]] Generated sram_array(int rows, int cols);
+[[nodiscard]] Generated sram_array(std::uint64_t rows, std::uint64_t cols);
 
 /// n-to-2^n decoder (n ≤ 4): per-output nand_n + inverter, plus address
 /// inverters.
-[[nodiscard]] Generated decoder(int addr_bits);
+[[nodiscard]] Generated decoder(std::uint64_t addr_bits);
 
 /// words×width register file: dff storage with a write-select mux2 per bit.
-[[nodiscard]] Generated register_file(int words, int width);
+[[nodiscard]] Generated register_file(std::uint64_t words, std::uint64_t width);
 
 /// Random combinational/sequential "logic soup": `gates` random cells with
 /// random input wiring; realistic fanout distribution, reconvergence, and
@@ -54,11 +60,39 @@ struct Generated {
 /// reconvergent fanout (every prefix node feeds two successors). Exercises
 /// the paper's claim that the matcher handles reconvergence, unlike
 /// tree-covering technology mappers (§I).
-[[nodiscard]] Generated kogge_stone_adder(int bits);
+[[nodiscard]] Generated kogge_stone_adder(std::uint64_t bits);
 
 /// Balanced XOR parity tree over n inputs (n rounded up to a power of two
 /// internally is NOT done — n-1 xor2 cells in a left-balanced tree).
-[[nodiscard]] Generated parity_tree(int inputs);
+[[nodiscard]] Generated parity_tree(std::uint64_t inputs);
+
+/// Tiled synthetic SoC at transistor level — the multi-million-device host
+/// behind bench_shard's E10 experiment (DESIGN.md §11). Three structurally
+/// distinct districts, chosen so a fanout-bounded shard decomposition of the
+/// flattened netlist has real work to do:
+///
+///   cores    `tiles` tiles, each a chain of `tile_units` (nand2 → inv)
+///            units — 6 transistors per unit. Unit 0's nand2 takes its
+///            second input from bus[t % bus_bits] (one bus tap per tile);
+///            later units feed from the previous unit's nand2 output, so
+///            intra-tile nets stay degree ≤ 3 (each tile is one connected
+///            region, and per-candidate match cost stays O(1) in the SoC
+///            size).
+///   bus      `bus_bits` shared nets driven by one inv each (so no net
+///            dangles). Bus fanout is tiles/bus_bits + 1: at tiles ≥
+///            64·bus_bits the bus nets cross the default --shard fanout
+///            threshold and become boundary anchors.
+///   pad ring `pads` ESD cells: res(pad_i → pnode_i) plus clamp diodes
+///            pnode_i → vdd and gnd → pnode_i. Pads touch only res/diode
+///            devices and degree-1/3 nets — a shard of pads shares no
+///            round-0 label with a CMOS logic pattern, which is what makes
+///            `shards.prefilter_rejects` > 0 on this workload.
+///
+/// Devices = 6·tiles·tile_units + 3·pads + 2·bus_bits. placed["nand2"] is
+/// exactly tiles·tile_units (the ground truth bench_shard checks).
+[[nodiscard]] Generated soc_grid(std::uint64_t tiles, std::uint64_t tile_units,
+                                 std::uint64_t pads,
+                                 std::uint64_t bus_bits = 8);
 
 /// ISCAS-85 c17 (6 NAND2 gates) at transistor level.
 [[nodiscard]] Generated c17();

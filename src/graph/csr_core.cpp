@@ -26,7 +26,7 @@ RunStatus CsrCore::capacity_status(const CircuitGraph& graph,
   if (total_edges > max_edges || !offsets_fit(total_edges)) {
     status.escalate(RunOutcome::kTruncated,
                     "csr core: host graph has " + std::to_string(total_edges) +
-                        " edges, exceeding the 32-bit offset limit of " +
+                        " edges, exceeding the configured csr edge-offset limit of " +
                         std::to_string(std::min(max_edges, kMaxEdges)) +
                         "; rerun with --core=legacy");
   }
@@ -48,12 +48,12 @@ void CsrCore::rebuild(const CircuitGraph& graph) {
 
   const std::size_t total_edges = edge_count(graph);
   SUBG_CHECK_MSG(offsets_fit(total_edges),
-                 "graph too large for 32-bit edge offsets");
+                 "graph too large for the configured CSR edge-offset width");
   edge_to_.resize(total_edges);
   edge_coeff_.resize(total_edges);
 
   const Netlist& nl = graph.netlist();
-  std::uint32_t e = 0;
+  Offset e = 0;
   for (Vertex v = 0; v < nv; ++v) {
     edge_begin_[v] = e;
     for (const CircuitGraph::Edge& edge : graph.edges(v)) {
@@ -76,19 +76,20 @@ void CsrCore::rebuild(const CircuitGraph& graph) {
   neighbor_degree_.assign(total_edges, 0);
   for (Vertex v = 0; v < nv; ++v) {
     if (!graph.is_device(v)) continue;
-    const std::uint32_t begin = edge_begin_[v];
-    const std::uint32_t end = edge_begin_[v + 1];
-    for (std::uint32_t k = begin; k < end; ++k) {
+    const Offset begin = edge_begin_[v];
+    const Offset end = edge_begin_[v + 1];
+    for (Offset k = begin; k < end; ++k) {
       neighbor_degree_[k] =
           static_cast<std::uint32_t>(graph.degree(edge_to_[k]));
     }
-    std::sort(neighbor_degree_.begin() + begin, neighbor_degree_.begin() + end);
+    std::sort(neighbor_degree_.begin() + static_cast<std::ptrdiff_t>(begin),
+              neighbor_degree_.begin() + static_cast<std::ptrdiff_t>(end));
   }
   build_seconds_ = timer.seconds();
 }
 
 std::size_t CsrCore::bytes() const {
-  return edge_begin_.capacity() * sizeof(std::uint32_t) +
+  return edge_begin_.capacity() * sizeof(Offset) +
          edge_to_.capacity() * sizeof(Vertex) +
          edge_coeff_.capacity() * sizeof(Label) +
          initial_label_.capacity() * sizeof(Label) +
@@ -98,7 +99,7 @@ std::size_t CsrCore::bytes() const {
 }
 
 std::size_t CsrCore::used_bytes() const {
-  return edge_begin_.size() * sizeof(std::uint32_t) +
+  return edge_begin_.size() * sizeof(Offset) +
          edge_to_.size() * sizeof(Vertex) +
          edge_coeff_.size() * sizeof(Label) +
          initial_label_.size() * sizeof(Label) +

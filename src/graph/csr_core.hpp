@@ -9,7 +9,8 @@
 //
 // CsrCore is a one-shot flattening into parallel contiguous arrays:
 //
-//   edge_begin_[v..v+1]  edge range of vertex v (uint32 offsets)
+//   edge_begin_[v..v+1]  edge range of vertex v (CsrOffset offsets —
+//                        uint32 by default, uint64 under SUBG_CSR_OFFSET64)
 //   edge_to_[e]          neighbor vertex (the expansion/corruption array)
 //   edge_coeff_[e]       terminal-class coefficient (the relabel array)
 //   initial_label_[v]    invariant label (flat copy)
@@ -33,6 +34,7 @@
 #include <cstdint>
 #include <limits>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "graph/circuit_graph.hpp"
@@ -40,19 +42,46 @@
 
 namespace subg {
 
+/// Offset-width policy, parameterized so both widths stay unit-testable
+/// regardless of how the build was configured (DESIGN.md §11): a core with
+/// OffsetT offsets holds at most max_edges edges and must refuse larger
+/// graphs BEFORE construction.
+template <typename OffsetT>
+struct CsrOffsetLimits {
+  static_assert(std::is_unsigned_v<OffsetT>);
+  static constexpr std::uint64_t max_edges =
+      std::numeric_limits<OffsetT>::max();
+  [[nodiscard]] static constexpr bool fits(std::uint64_t edge_count) {
+    return edge_count <= max_edges;
+  }
+};
+
+/// Compile-time offset selection: the default core spends 4 bytes per
+/// vertex slot and caps at ~4.29e9 edges; configuring -DSUBG_CSR_OFFSET64=ON
+/// doubles the offset column for hosts past the uint32 boundary. bytes() /
+/// used_bytes() account the width automatically via sizeof(Offset).
+#if defined(SUBG_CSR_OFFSET64)
+using CsrOffset = std::uint64_t;
+#else
+using CsrOffset = std::uint32_t;
+#endif
+
 class CsrCore {
  public:
-  /// Edge offsets are uint32, so a core can hold at most kMaxEdges edges.
-  /// Larger graphs (ROADMAP's multi-million-device hosts can exceed this
+  /// The configured offset width (see CsrOffset above).
+  using Offset = CsrOffset;
+
+  /// Edge-offset capacity at the configured width. Larger graphs
+  /// (ROADMAP's multi-million-device hosts can exceed the 32-bit limit
   /// once net fanout is counted twice, device- and net-side) must be
   /// refused BEFORE construction: capacity_status() turns the limit into a
   /// structured RunStatus instead of UB or silent truncation.
   static constexpr std::size_t kMaxEdges =
-      std::numeric_limits<std::uint32_t>::max();
+      static_cast<std::size_t>(CsrOffsetLimits<Offset>::max_edges);
 
-  /// True iff `edge_count` edges fit 32-bit CSR offsets.
+  /// True iff `edge_count` edges fit the configured CSR offset width.
   [[nodiscard]] static constexpr bool offsets_fit(std::size_t edge_count) {
-    return edge_count <= kMaxEdges;
+    return CsrOffsetLimits<Offset>::fits(edge_count);
   }
 
   /// Total directed edge slots a core over `graph` would need.
@@ -146,7 +175,7 @@ class CsrCore {
 
  private:
   const CircuitGraph* graph_;
-  std::vector<std::uint32_t> edge_begin_;  // size vertex_count()+1
+  std::vector<Offset> edge_begin_;  // size vertex_count()+1
   std::vector<Vertex> edge_to_;
   std::vector<Label> edge_coeff_;
   std::vector<Label> initial_label_;

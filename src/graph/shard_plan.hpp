@@ -1,0 +1,126 @@
+// ShardPlan — region decomposition of a flattened host for sharded Phase I
+// (ISSUE 10 / ROADMAP "million-device hosts"; DESIGN.md §11).
+//
+// The host is cut into fanout-bounded regions: rail/global nets and other
+// very-high-fanout nets become BOUNDARY ANCHORS (replicated by reference
+// into every region that touches them, never owned), and the connected
+// components that remain once anchors are removed are packed into shards of
+// at most `target_devices` owned devices. Components are bucketed by their
+// device-type signature before packing, so structurally homogeneous regions
+// (logic tiles, pad cells, analog islands) land in homogeneous shards — the
+// property that makes the per-shard prefilter bite.
+//
+// Each shard carries:
+//   - the owned device/net vertex lists (ascending global ids),
+//   - a device-side CSR slice over local ids (owned devices' adjacency,
+//     with owned nets and boundary-anchor references remapped locally),
+//   - a structural prefilter: sorted distinct initial-label columns per
+//     vertex kind, a 256-bit bloom filter over each, and a device-type
+//     histogram.
+//
+// The prefilter answers one question — `rejects(labels, kind)`: does NO
+// owned vertex of the kind carry an initial label in the given set? That is
+// exactly the per-vertex test Phase I's round-0 consistency sweep applies,
+// so a rejected shard can be bulk-pruned without per-vertex label lookups
+// and the result stays byte-identical to the monolithic sweep (the
+// soundness argument lives in DESIGN.md §11 and is enforced by the
+// `shard`-labeled test suite).
+//
+// A plan is a pure function of (graph, options): building it twice yields
+// identical shards, so sharded counters are deterministic at every --jobs.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/circuit_graph.hpp"
+
+namespace subg {
+
+struct ShardPlanOptions {
+  /// Maximum owned devices per shard; oversized components are split along
+  /// their discovery (BFS) order.
+  std::size_t target_devices = std::size_t{1} << 16;
+  /// Nets with degree >= this become boundary anchors alongside the
+  /// host-declared globals. Anchors are swept individually every round and
+  /// are never part of a shard's bulk-skip.
+  std::size_t anchor_fanout = 64;
+};
+
+/// Sorted distinct round-0 labels of the VALID pattern vertices, per kind —
+/// the label sets Phase I's initial consistency sweep tests host vertices
+/// against (non-global ports start corrupt, specials are matched by name).
+/// Shared by the sharded sweep's skip rule and the soundness tests so the
+/// two cannot drift.
+struct Round0PatternLabels {
+  std::vector<Label> nets;
+  std::vector<Label> devices;
+};
+
+[[nodiscard]] Round0PatternLabels pattern_round0_labels(
+    const CircuitGraph& pattern);
+
+class ShardPlan {
+ public:
+  struct Shard {
+    /// Owned devices / owned non-anchor nets, ascending global vertex ids.
+    std::vector<Vertex> devices;
+    std::vector<Vertex> nets;
+    /// Anchor nets adjacent to an owned device, ascending global ids —
+    /// the region's replicated boundary.
+    std::vector<Vertex> anchor_refs;
+    /// Device-side CSR slice: slice_adj[slice_begin[i]..slice_begin[i+1])
+    /// are the local net ids adjacent to devices[i]. Local ids index
+    /// [devices | nets | anchor_refs] in that order.
+    std::vector<std::uint64_t> slice_begin;
+    std::vector<std::uint32_t> slice_adj;
+    /// Sorted distinct initial labels of the owned vertices, per kind.
+    std::vector<Label> device_labels;
+    std::vector<Label> net_labels;
+    /// 256-bit bloom over each label column (two probes per label); a
+    /// negative is definite, a positive falls through to binary search.
+    std::array<std::uint64_t, 4> device_bloom{};
+    std::array<std::uint64_t, 4> net_bloom{};
+    /// Owned-device census by type label, ascending label.
+    std::vector<std::pair<Label, std::uint64_t>> type_histogram;
+
+    /// True iff NO owned vertex of the kind has an initial label in
+    /// `sorted_labels` (ascending, distinct) — the round-0 bulk-skip test.
+    [[nodiscard]] bool rejects(std::span<const Label> sorted_labels,
+                               bool device_kind) const;
+  };
+
+  /// Decompose `graph`. The plan stores a pointer to the graph; the graph
+  /// must outlive the plan (HostSession rebuilds the plan on every patch).
+  [[nodiscard]] static ShardPlan build(const CircuitGraph& graph,
+                                       ShardPlanOptions options = {});
+
+  [[nodiscard]] const CircuitGraph& graph() const { return *graph_; }
+  [[nodiscard]] const std::vector<Shard>& shards() const { return shards_; }
+  /// All anchor nets, ascending global ids. Together with the shards'
+  /// owned lists this partitions the vertex set: every device is owned by
+  /// exactly one shard, every net is owned xor an anchor.
+  [[nodiscard]] std::span<const Vertex> anchor_nets() const {
+    return anchors_;
+  }
+  [[nodiscard]] const ShardPlanOptions& options() const { return options_; }
+
+  /// Heap footprint of the plan (owned vectors), for the obs gauges and
+  /// the serve status summary.
+  [[nodiscard]] std::uint64_t bytes() const;
+  [[nodiscard]] std::size_t max_shard_devices() const;
+  [[nodiscard]] double build_seconds() const { return build_seconds_; }
+
+ private:
+  const CircuitGraph* graph_ = nullptr;
+  ShardPlanOptions options_;
+  std::vector<Shard> shards_;
+  std::vector<Vertex> anchors_;
+  double build_seconds_ = 0;
+};
+
+}  // namespace subg

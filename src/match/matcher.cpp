@@ -87,7 +87,7 @@ SubgraphMatcher::SubgraphMatcher(const Netlist& pattern,
 void SubgraphMatcher::init_cores() {
   if (options_.core != CoreMode::kCsr) return;
   // Capacity is a structured refusal, not a crash: a host whose edge count
-  // overflows the 32-bit CSR offsets makes find_all() return immediately
+  // overflows the configured CSR offset width makes find_all() return immediately
   // with this status (instances empty, outcome truncated) — the caller can
   // retry with --core=legacy. Checked here, before any allocation, so the
   // constructor's SUBG_CHECK backstop can never fire through this path.

@@ -189,7 +189,7 @@ class SubgraphMatcher {
   std::optional<CsrCore> pattern_core_;
   std::optional<CsrCore> owned_host_core_;
   const CsrCore* host_core_ = nullptr;
-  /// Non-complete when the csr core refused to build (32-bit edge-offset
+  /// Non-complete when the csr core refused to build (edge-offset
   /// overflow): run() returns it immediately instead of searching.
   RunStatus core_status_;
   // Cached analyzer artifacts (see ensure_*).

@@ -306,18 +306,41 @@ void Netlist::validate() const {
       NetId n = pin_nets_[dev.first_pin + p];
       SUBG_CHECK_MSG(n.valid() && n.index() < nets_.size(),
                      "device '" << dev.name << "' pin " << p << " dangling");
-      const auto& pins = nets_[n.index()].pins;
-      bool found = std::any_of(pins.begin(), pins.end(), [&](const NetPin& np) {
-        return np.device == DeviceId(i) && np.pin == p;
-      });
-      SUBG_CHECK_MSG(found, "net '" << nets_[n.index()].name
-                                    << "' missing back-reference to device '"
-                                    << dev.name << "' pin " << p);
     }
     pin_total += dev.pin_count;
   }
+  // Back-reference sweep, linear in the total pin count (scanning each
+  // net's pin list per device pin instead would be quadratic on the rails —
+  // every transistor touches Vdd or GND, so a rail's list is O(devices)).
+  // Each net entry must claim a DISTINCT device pin that points back at the
+  // net; with the totals equal below, that claim set is a perfect matching
+  // between the pin table and the net connectivity — exactly the property
+  // the old per-pin membership scan established.
   std::size_t net_pin_total = 0;
-  for (const Net& n : nets_) net_pin_total += n.pins.size();
+  std::vector<bool> claimed(pin_nets_.size(), false);
+  for (std::uint32_t ni = 0; ni < nets_.size(); ++ni) {
+    const Net& net = nets_[ni];
+    net_pin_total += net.pins.size();
+    for (const NetPin& np : net.pins) {
+      SUBG_CHECK_MSG(
+          np.device.valid() && np.device.index() < devices_.size(),
+          "net '" << net.name << "' references a device that does not exist");
+      const Device& dev = devices_[np.device.index()];
+      SUBG_CHECK_MSG(np.pin < dev.pin_count,
+                     "net '" << net.name << "' references pin " << np.pin
+                             << " beyond device '" << dev.name << "'");
+      const std::size_t slot = dev.first_pin + np.pin;
+      SUBG_CHECK_MSG(pin_nets_[slot] == NetId(ni),
+                     "net '" << net.name
+                             << "' back-reference disagrees with device '"
+                             << dev.name << "' pin " << np.pin);
+      SUBG_CHECK_MSG(!claimed[slot], "net '" << net.name
+                                             << "' lists device '" << dev.name
+                                             << "' pin " << np.pin
+                                             << " more than once");
+      claimed[slot] = true;
+    }
+  }
   SUBG_CHECK_MSG(pin_total == net_pin_total,
                  "pin table and net connectivity out of sync");
   for (NetId p : ports_) {

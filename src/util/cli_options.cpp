@@ -121,6 +121,24 @@ ParsedArgs parse_args(const std::vector<std::string>& args) {
       out.options.core = *mode;
       continue;
     }
+    if (const char* v = flag_value(arg, "--shard=")) {
+      const std::string value = v;
+      if (value == "off") {
+        out.options.shard_target_devices = 0;
+      } else if (value == "on") {
+        out.options.shard_target_devices = std::size_t{1} << 16;
+      } else {
+        char* end = nullptr;
+        const unsigned long target = std::strtoul(v, &end, 10);
+        if (end == v || *end != '\0' || target == 0) {
+          out.error = std::string("bad --shard value '") + v +
+                      "' (want on, off, or a region size >= 1)";
+          return out;
+        }
+        out.options.shard_target_devices = static_cast<std::size_t>(target);
+      }
+      continue;
+    }
     if (const char* v = flag_value(arg, "--phase2-filter=")) {
       const auto filter = parse_phase2_filter(v);
       if (!filter.has_value()) {
@@ -232,6 +250,12 @@ const char* global_flags_help() {
       "  --core=<layout>    matching-core layout: csr (default; flattened\n"
       "                     index arrays) or legacy (direct graph walks);\n"
       "                     reports are byte-identical either way\n"
+      "  --shard=<mode>     Phase I host sharding: off (default; one\n"
+      "                     monolithic sweep), on (fanout-bounded regions of\n"
+      "                     at most 65536 devices), or an explicit region\n"
+      "                     size N >= 1; reports are byte-identical at every\n"
+      "                     value, sharding only reschedules the sweeps and\n"
+      "                     adds the shards_* counters\n"
       "  --phase2-filter=<mode> Phase II prefilter strength: paths (default;\n"
       "                     signature check + supplemental path-label\n"
       "                     refuter), on (signature alone), or off (pure\n"

@@ -15,6 +15,9 @@
 //   --fail-on=warn|error severity threshold for a nonzero lint exit
 //   --lint               run the lint checks before extraction
 //   --core=csr|legacy    matching-core layout (csr is the default)
+//   --shard=on|off|N     Phase I host sharding: off (default), on (regions
+//                        of at most 65536 devices), or an explicit region
+//                        size N >= 1; results are byte-identical either way
 //   --phase2-filter=paths|on|off
 //                        Phase II prefilter strength: paths (default;
 //                        signature + supplemental path-label refuter), on
@@ -72,6 +75,12 @@ struct GlobalOptions {
   /// runs the flattened SoA sweeps; legacy walks the CircuitGraph directly.
   /// Reports are byte-identical either way.
   CoreMode core = CoreMode::kCsr;
+  /// --shard: Phase I host sharding (graph/shard_plan.hpp). 0 (the default,
+  /// --shard=off) matches the whole host as one monolith; --shard=on uses
+  /// 65536-device regions; --shard=N sets the region size explicitly.
+  /// Reports are byte-identical at every value — sharding changes the sweep
+  /// schedule and adds the shards_* counters, never the result.
+  std::size_t shard_target_devices = 0;
   /// --phase2-filter: Phase II prefilter strength (util/phase2_filter.hpp).
   /// paths (the default) adds the supplemental path-label refuter on top of
   /// the signature prefilter and nogood memo; on/off are the weaker A/B

@@ -128,6 +128,47 @@ TEST(Generators, PlantInstancesAddsExactCopies) {
   EXPECT_NO_THROW(host.netlist.validate());
 }
 
+// Size parameters are uint64 (ISSUE 10): absurd requests must throw from
+// the pre-allocation guards — checked_mul/checked_add on uint64 overflow,
+// check_vertex_space past the uint32 graph-vertex space — instead of
+// wrapping around or attempting a multi-terabyte allocation. Each case
+// below would deadlock the test machine if the guard were missing, so the
+// tests finishing at all is part of what they verify.
+TEST(Generators, HugeSizesThrowBeforeAllocating) {
+  const std::uint64_t huge = std::uint64_t{1} << 62;  // *32 overflows uint64
+  EXPECT_THROW(ripple_carry_adder(huge), Error);
+  EXPECT_THROW(array_multiplier(huge), Error);
+  EXPECT_THROW(sram_array(huge, huge), Error);
+  EXPECT_THROW(register_file(huge, huge), Error);
+  EXPECT_THROW(kogge_stone_adder(huge), Error);
+  EXPECT_THROW(parity_tree(huge), Error);
+  EXPECT_THROW(soc_grid(huge, huge, huge), Error);
+}
+
+TEST(Generators, SizesPastTheVertexSpaceThrow) {
+  // No uint64 overflow anywhere in these, but the device+net estimate
+  // exceeds the 2^32-vertex CircuitGraph space — check_vertex_space fires.
+  const std::uint64_t big = std::uint64_t{1} << 30;
+  EXPECT_THROW(ripple_carry_adder(big), Error);
+  EXPECT_THROW(soc_grid(big, 8, 0), Error);
+  EXPECT_THROW(parity_tree(std::uint64_t{1} << 31), Error);
+}
+
+TEST(Generators, SocGridShape) {
+  Generated g = soc_grid(4, 3, 5, 2);
+  EXPECT_NO_THROW(g.netlist.validate());
+  // 6 transistors per (nand2, inv) unit, 3 per pad, 2 per bus driver.
+  EXPECT_EQ(g.netlist.device_count(), 4u * 3u * 6u + 5u * 3u + 2u * 2u);
+  EXPECT_EQ(g.placed_count("nand2"), 12u);
+  EXPECT_EQ(g.placed_count("inv"), 12u + 2u);  // units + bus drivers
+  // One bus tap per tile. At transistor level each nand2 tap is 2 gate
+  // pins and the driving inverter contributes 2 drains: 2·(tiles/bus_bits)
+  // + 2 pins per bus net.
+  auto bus0 = g.netlist.find_net("bus0");
+  ASSERT_TRUE(bus0.has_value());
+  EXPECT_EQ(g.netlist.net_degree(*bus0), 2u * (4u / 2u) + 2u);
+}
+
 TEST(Generators, PlantRejectsTinyPool) {
   Generated host = logic_soup(10, 3);
   std::vector<NetId> pool = {*host.netlist.find_net("pi0")};

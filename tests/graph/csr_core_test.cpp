@@ -90,16 +90,37 @@ TEST(CsrCore, OffsetsFitBoundary) {
   EXPECT_TRUE(CsrCore::offsets_fit(0));
   EXPECT_TRUE(CsrCore::offsets_fit(CsrCore::kMaxEdges - 1));
   EXPECT_TRUE(CsrCore::offsets_fit(CsrCore::kMaxEdges));
-  EXPECT_FALSE(CsrCore::offsets_fit(CsrCore::kMaxEdges + 1));
-  EXPECT_FALSE(CsrCore::offsets_fit(static_cast<std::size_t>(-1)));
+  if (CsrCore::kMaxEdges < std::numeric_limits<std::size_t>::max()) {
+    // Only meaningful at the 32-bit width: at 64 bits kMaxEdges IS the
+    // size_t range, so no representable count overflows it.
+    EXPECT_FALSE(CsrCore::offsets_fit(CsrCore::kMaxEdges + 1));
+    EXPECT_FALSE(CsrCore::offsets_fit(static_cast<std::size_t>(-1)));
+  }
 }
 
 TEST(CsrCore, MaxEdgesMatchesTheOffsetWidth) {
-  // The limit IS the uint32 range; if the offset type ever widens, this
-  // test (and the error message in capacity_status) must move with it.
+  // The limit IS the configured offset range; kMaxEdges and the refusal in
+  // capacity_status must move with CsrOffset (DESIGN.md §11).
   EXPECT_EQ(CsrCore::kMaxEdges,
             static_cast<std::size_t>(
-                std::numeric_limits<std::uint32_t>::max()));
+                std::numeric_limits<CsrCore::Offset>::max()));
+}
+
+// The width policy itself, testable at BOTH widths regardless of which one
+// the build selected: 32-bit limits cap at the uint32 range, 64-bit limits
+// never refuse a representable edge count.
+TEST(CsrCore, OffsetLimitsAtBothWidths) {
+  using L32 = CsrOffsetLimits<std::uint32_t>;
+  using L64 = CsrOffsetLimits<std::uint64_t>;
+  EXPECT_EQ(L32::max_edges, std::numeric_limits<std::uint32_t>::max());
+  EXPECT_EQ(L64::max_edges, std::numeric_limits<std::uint64_t>::max());
+  EXPECT_TRUE(L32::fits(0));
+  EXPECT_TRUE(L32::fits(L32::max_edges));
+  EXPECT_FALSE(L32::fits(L32::max_edges + 1));
+  EXPECT_FALSE(L32::fits(std::numeric_limits<std::uint64_t>::max()));
+  EXPECT_TRUE(L64::fits(0));
+  EXPECT_TRUE(L64::fits(L32::max_edges + 1));
+  EXPECT_TRUE(L64::fits(std::numeric_limits<std::uint64_t>::max()));
 }
 
 TEST(CsrCore, CapacityStatusCompleteForRealGraphs) {

@@ -14,11 +14,21 @@ never gated.
 
 Usage:
   check_bench_baseline.py BASELINE.json OUTPUT.json...           # gate
+  check_bench_baseline.py --subset BASELINE.json OUTPUT.json...  # partial gate
   check_bench_baseline.py --update BASELINE.json OUTPUT.json...  # regenerate
 
 Each OUTPUT.json is one bench document (report::Document schema v1) whose
 "tool" member names the bench. Exits 0 when every output's counters match
 the baseline, 1 on any mismatch or missing bench.
+
+By default every bench in the baseline must have an output — the gate exists
+to catch silent coverage loss, not just drift. CI lanes that deliberately
+split the benches (the scale-gate lane runs only bench_shard; bench-gate
+runs the rest) pass --subset to gate just the outputs they produced;
+tools/check_ci_coverage.py separately asserts that the union of all lanes
+still covers every baseline bench, so --subset never hides a dropped bench.
+--subset is a gating flag only: --update always replaces the whole baseline
+and therefore needs the full output set.
 
 Stdlib only — runs on a bare CI python3.
 """
@@ -38,6 +48,10 @@ GATED_KEYS = (
     # Static-analyzer counters (path-label prunes in the Phase II prefilter,
     # automorphism-folded enumeration skips, certificate short-circuits).
     "path_label_prunes", "symmetry_skips", "infeasible_shortcuts",
+    # Sharded-sweep counters: the region plan is a pure function of the host
+    # and the round-0 skip rule a pure function of (plan, pattern), so these
+    # are exact too. Zero on monolithic rows.
+    "shards_total", "shards_skipped", "shards_prefilter_rejects",
 )
 
 
@@ -95,9 +109,18 @@ def report_timings(tool, baseline_rows, output_rows):
 def main(argv):
     args = list(argv[1:])
     update = False
-    if args and args[0] == "--update":
-        update = True
+    subset = False
+    while args and args[0] in ("--update", "--subset"):
+        if args[0] == "--update":
+            update = True
+        else:
+            subset = True
         args = args[1:]
+    if update and subset:
+        print("error: --subset only applies to gating; --update replaces "
+              "the whole baseline and needs the full output set",
+              file=sys.stderr)
+        return 2
     if len(args) < 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2
@@ -154,9 +177,11 @@ def main(argv):
         problems += check_counters(tool, base.get("counters", []),
                                    doc["counters"])
         report_timings(tool, base.get("timings", []), doc.get("timings", []))
-    for tool in benches:
-        if tool not in outputs:
-            problems.append(f"{tool}: baseline entry has no output to check")
+    if not subset:
+        for tool in benches:
+            if tool not in outputs:
+                problems.append(
+                    f"{tool}: baseline entry has no output to check")
 
     if problems:
         print(f"\nFAIL: {len(problems)} counter mismatch(es):")
